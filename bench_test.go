@@ -1,0 +1,491 @@
+// Benchmark harness: one testing.B benchmark per experiment in DESIGN.md's
+// per-experiment index (E01–E26). Each benchmark regenerates the data
+// behind the corresponding EXPERIMENTS.md row/series and fails fast if the
+// paper-predicted shape breaks (who cycles, who converges, who wins), so
+// `go test -bench=. -benchmem` doubles as the reproduction run.
+package repro_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/async"
+	"repro/internal/automaton"
+	"repro/internal/bootstrap"
+	"repro/internal/config"
+	"repro/internal/debruijn"
+	"repro/internal/density"
+	"repro/internal/energy"
+	"repro/internal/interleave"
+	"repro/internal/phasespace"
+	"repro/internal/rule"
+	"repro/internal/sds"
+	"repro/internal/sim"
+	"repro/internal/space"
+	"repro/internal/stats"
+	"repro/internal/threshnet"
+	"repro/internal/update"
+	"repro/internal/wolfram"
+)
+
+func majRing(b *testing.B, n, r int) *automaton.Automaton {
+	b.Helper()
+	return automaton.MustNew(space.Ring(n, r), rule.Majority(r))
+}
+
+func xorPair() *automaton.Automaton {
+	return automaton.MustNew(space.CompleteGraph(2), rule.XOR{})
+}
+
+// E01 / Fig 1(a): full phase space of the parallel 2-node XOR CA.
+func BenchmarkE01_Fig1aParallelXOR(b *testing.B) {
+	a := xorPair()
+	for i := 0; i < b.N; i++ {
+		p := phasespace.BuildParallel(a)
+		c := p.TakeCensus()
+		if c.FixedPoints != 1 || c.ProperCycles != 0 || c.GardenOfEden != 2 {
+			b.Fatalf("Fig 1(a) shape broken: %+v", c)
+		}
+	}
+}
+
+// E02 / Fig 1(b): sequential phase space of the 2-node XOR CA.
+func BenchmarkE02_Fig1bSequentialXOR(b *testing.B) {
+	a := xorPair()
+	for i := 0; i < b.N; i++ {
+		s := phasespace.BuildSequential(a)
+		if len(s.PseudoFixedPoints()) != 2 || len(s.TwoCycles()) != 2 {
+			b.Fatal("Fig 1(b) shape broken")
+		}
+		if _, ok := s.Acyclic(); ok {
+			b.Fatal("sequential XOR should cycle")
+		}
+	}
+}
+
+// E03 / Lemma 1(i): enumerate all parallel MAJORITY cycles on even rings.
+func BenchmarkE03_Lemma1iParallelCycles(b *testing.B) {
+	a := majRing(b, 14, 1)
+	for i := 0; i < b.N; i++ {
+		p := phasespace.BuildParallel(a)
+		pcs := p.ProperCycles()
+		if len(pcs) == 0 {
+			b.Fatal("no parallel 2-cycles found")
+		}
+		for _, c := range pcs {
+			if len(c) != 2 {
+				b.Fatalf("period %d cycle", len(c))
+			}
+		}
+	}
+}
+
+// E04 / Lemma 1(ii): sequential MAJORITY phase space is acyclic.
+func BenchmarkE04_Lemma1iiSequentialAcyclic(b *testing.B) {
+	a := majRing(b, 12, 1)
+	s := phasespace.BuildSequential(a)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := s.Acyclic(); !ok {
+			b.Fatal("sequential MAJORITY cycled")
+		}
+	}
+}
+
+// E05 / Theorem 1: every monotone symmetric r=1 rule is sequentially acyclic.
+func BenchmarkE05_Theorem1AllThresholds(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, th := range rule.AllThresholds(3) {
+			a := automaton.MustNew(space.Ring(10, 1), th)
+			if _, ok := phasespace.BuildSequential(a).Acyclic(); !ok {
+				b.Fatalf("threshold k=%d cycled", th.K)
+			}
+		}
+	}
+}
+
+// E06 / Lemma 2: the radius-2 dichotomy.
+func BenchmarkE06_Lemma2Radius2(b *testing.B) {
+	par := majRing(b, 12, 2)
+	seq := majRing(b, 10, 2)
+	for i := 0; i < b.N; i++ {
+		if len(phasespace.BuildParallel(par).ProperCycles()) == 0 {
+			b.Fatal("no parallel r=2 cycles")
+		}
+		if _, ok := phasespace.BuildSequential(seq).Acyclic(); !ok {
+			b.Fatal("sequential r=2 cycled")
+		}
+	}
+}
+
+// E07 / Corollary 1: block 2-cycles exist for every radius.
+func BenchmarkE07_Corollary1AllRadii(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for r := 1; r <= 4; r++ {
+			n := 2 * r * 8
+			a := automaton.MustNew(space.Ring(n, r), rule.Majority(r))
+			if !a.IsTwoCycle(config.AlternatingBlocks(n, r, 0)) {
+				b.Fatalf("r=%d: block configuration not a 2-cycle", r)
+			}
+		}
+	}
+}
+
+// E08 / Proposition 1: orbits end in FPs or 2-cycles; exhaustive small n.
+func BenchmarkE08_Prop1Convergence(b *testing.B) {
+	a := majRing(b, 14, 1)
+	for i := 0; i < b.N; i++ {
+		tally := stats.NewOutcomeTally()
+		config.Space(14, func(_ uint64, c config.Config) {
+			res := a.Converge(c.Clone(), 100)
+			tally.Record(res.Period, res.Transient)
+		})
+		if tally.Longer != 0 || tally.Unresolved != 0 {
+			b.Fatalf("Proposition 1 violated: %s", tally)
+		}
+	}
+}
+
+// E09 / Corollary 1 on bipartite spaces: tori, hypercubes, even circulants.
+func BenchmarkE09_BipartiteTwoCycles(b *testing.B) {
+	spaces := []space.Space{
+		space.Torus(4, 4), space.Hypercube(4), space.Circulant(12, 1, 3),
+	}
+	for i := 0; i < b.N; i++ {
+		for _, sp := range spaces {
+			part, ok := space.Bipartition(sp)
+			if !ok {
+				b.Fatalf("%s not bipartite", sp.Name())
+			}
+			deg, _ := space.Regular(sp)
+			a := automaton.MustNew(sp, rule.StrictMajorityOf(deg))
+			if !a.IsTwoCycle(config.FromParts(part)) {
+				b.Fatalf("%s: bipartition not a 2-cycle", sp.Name())
+			}
+		}
+	}
+}
+
+// E10 / §1.1: interleaving granularity on the register VM.
+func BenchmarkE10_InterleavingGranularity(b *testing.B) {
+	progs := []interleave.Program{interleave.IncrementProgram(1), interleave.IncrementProgram(2)}
+	for i := 0; i < b.N; i++ {
+		atomic := interleave.AtomicOrders(0, progs)
+		machine := interleave.Interleavings(0, progs)
+		if len(atomic) != 1 || len(machine) != 3 {
+			b.Fatalf("granularity shape: atomic %v machine %v", atomic, machine)
+		}
+	}
+}
+
+// E11 / §5: micro-op interleavings recover the parallel step; atomic do not.
+func BenchmarkE11_MicroOpRecovery(b *testing.B) {
+	a := majRing(b, 5, 1)
+	start := config.Alternating(5, 0)
+	for i := 0; i < b.N; i++ {
+		rep := interleave.CheckRecovery(a, start)
+		if !rep.MicroReaches || rep.AtomicReaches {
+			b.Fatalf("recovery shape broken: %+v", rep)
+		}
+	}
+}
+
+// E12 / §4: ACA subsumes both parallel CA and SCA.
+func BenchmarkE12_ACASubsumption(b *testing.B) {
+	n := 10
+	a := majRing(b, n, 1)
+	x0 := config.Alternating(n, 0)
+	order := make([]int, 3*n)
+	rng := rand.New(rand.NewSource(1))
+	for i := range order {
+		order[i] = rng.Intn(n)
+	}
+	for i := 0; i < b.N; i++ {
+		// Lockstep ACA ≡ parallel: 2 rounds return to start.
+		if !async.RunLockstep(a, x0, 2).Equal(x0) {
+			b.Fatal("lockstep ACA broke the 2-cycle")
+		}
+		// Serial ACA ≡ SCA.
+		want := x0.Clone()
+		a.RunSequential(want, update.MustSequence(n, order), len(order))
+		if !async.RunSerial(a, x0, order).Equal(want) {
+			b.Fatal("serial ACA diverged from SCA")
+		}
+	}
+}
+
+// E13 / ref [19]: census of the parallel MAJORITY phase space.
+func BenchmarkE13_PhaseSpaceCensus(b *testing.B) {
+	a := majRing(b, 16, 1)
+	for i := 0; i < b.N; i++ {
+		c := phasespace.BuildParallel(a).TakeCensus()
+		if c.ProperCycles == 0 || c.CyclesWithIncomingTransients != 0 {
+			b.Fatalf("census shape: %+v", c)
+		}
+	}
+}
+
+// E14 / fairness: random-fair SCA convergence time.
+func BenchmarkE14_FairnessConvergence(b *testing.B) {
+	n := 64
+	a := majRing(b, n, 1)
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < b.N; i++ {
+		c := config.Random(rng, n, 0.5)
+		sched := update.NewRandomFair(n, int64(i))
+		if _, ok := a.ConvergeSequential(c, sched, 100*n*n); !ok {
+			b.Fatal("fair SCA did not converge")
+		}
+	}
+}
+
+// E15 / §4 non-homogeneous: mixed thresholds stay acyclic; one XOR node
+// breaks acyclicity.
+func BenchmarkE15_NonHomogeneous(b *testing.B) {
+	n := 9
+	sp := space.Ring(n, 1)
+	mixed := make([]rule.Rule, n)
+	for i := range mixed {
+		mixed[i] = rule.Threshold{K: 1 + i%3}
+	}
+	withXOR := append([]rule.Rule(nil), mixed...)
+	withXOR[0] = rule.XOR{}
+	aMixed, err := automaton.NewNonHomogeneous(sp, mixed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	aXOR, err := automaton.NewNonHomogeneous(sp, withXOR)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := phasespace.BuildSequential(aMixed).Acyclic(); !ok {
+			b.Fatal("mixed thresholds cycled sequentially")
+		}
+		if _, ok := phasespace.BuildSequential(aXOR).Acyclic(); ok {
+			b.Fatal("XOR-contaminated ring unexpectedly acyclic")
+		}
+	}
+}
+
+// E16 / §4 SDS: distinct maps bounded by acyclic orientations; GoE census.
+func BenchmarkE16_SDSEquivalence(b *testing.B) {
+	sp := space.Ring(6, 1)
+	a := automaton.MustNew(sp, rule.Majority(1))
+	for i := 0; i < b.N; i++ {
+		count, _ := sds.DistinctMaps(a)
+		if uint64(count) > sds.AcyclicOrientations(sp) {
+			b.Fatal("ref [6] bound violated")
+		}
+		s := sds.MustNew(a, []int{0, 1, 2, 3, 4, 5})
+		if len(s.GardenOfEden()) == 0 {
+			b.Fatal("no Garden-of-Eden states")
+		}
+	}
+}
+
+// E17 / energy: Lyapunov descent along sequential runs.
+func BenchmarkE17_EnergyLyapunov(b *testing.B) {
+	n := 128
+	a := majRing(b, n, 1)
+	nw, err := energy.FromAutomaton(a)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := config.Random(rng, n, 0.5)
+		sched := update.NewRandomFair(n, int64(i))
+		prev := nw.Sequential2E(c)
+		for step := 0; step < 4*n; step++ {
+			if a.UpdateNode(c, sched.Next()) {
+				cur := nw.Sequential2E(c)
+				if cur >= prev {
+					b.Fatal("energy failed to decrease")
+				}
+				prev = cur
+			}
+		}
+	}
+}
+
+// E18 / HPC scaling: packed kernel throughput (see also BenchmarkSim* in
+// internal/sim for the scalar-vs-packed ablation).
+func BenchmarkE18_PackedScaling(b *testing.B) {
+	n := 1 << 22
+	rng := rand.New(rand.NewSource(1))
+	s := sim.NewMajorityRing(n, 1, config.Random(rng, n, 0.5))
+	b.SetBytes(int64(n / 8))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.StepParallel(0)
+	}
+}
+
+// E19 / extension: the 256-rule census separating Theorem 1's hypotheses.
+func BenchmarkE19_ECACensus(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		c := wolfram.TakeCensus(6)
+		if len(c.Thresholds) != 5 || len(c.MonotoneButCyclic) == 0 {
+			b.Fatalf("census shape: thresholds %v, monotone-but-cyclic %v",
+				c.Thresholds, c.MonotoneButCyclic)
+		}
+	}
+}
+
+// E20 / extension: block-sequential interpolation.
+func BenchmarkE20_BlockSequential(b *testing.B) {
+	n := 12
+	a := majRing(b, n, 1)
+	for i := 0; i < b.N; i++ {
+		if p := a.BlockMaxPeriod(automaton.ContiguousBlocks(n, 1)); p != 1 {
+			b.Fatalf("sequential sweep period %d", p)
+		}
+		if p := a.BlockMaxPeriod(automaton.ContiguousBlocks(n, n)); p != 2 {
+			b.Fatalf("parallel block period %d", p)
+		}
+		if p := a.BlockMaxPeriod(automaton.ParityBlocks(n)); p != 1 {
+			b.Fatalf("parity sweep period %d", p)
+		}
+	}
+}
+
+// E21 / extension: packed 2-D torus kernel — checkerboard 2-cycle at scale.
+func BenchmarkE21_TorusAtScale(b *testing.B) {
+	sp := space.Torus(256, 256)
+	part, ok := space.Bipartition(sp)
+	if !ok {
+		b.Fatal("torus not bipartite")
+	}
+	x0 := config.FromParts(part)
+	s := sim.NewMajorityTorus(256, 256, x0)
+	b.SetBytes(256 * 256 / 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Step()
+	}
+}
+
+// E22 / extension: weighted threshold networks + Hopfield recall.
+func BenchmarkE22_HopfieldRecall(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	n := 96
+	h := threshnet.NewHopfield(n)
+	patterns := make([]threshnet.Pattern, 4)
+	for i := range patterns {
+		patterns[i] = threshnet.RandomPattern(rng, n)
+		h.Store(patterns[i])
+	}
+	probe := patterns[0].Corrupt(rng, n/10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		got, ok := h.Recall(probe, int64(i), 200)
+		if !ok || got.Hamming(patterns[0]) != 0 {
+			b.Fatal("recall failed")
+		}
+	}
+}
+
+// E23 / extension: density classification — GKL vs threshold majority.
+func BenchmarkE23_DensityClassification(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		gkl := density.Benchmark("gkl", density.GKL(), 3, 149, 20, int64(i), 600)
+		maj := density.Benchmark("maj", rule.Majority(1), 1, 149, 20, int64(i), 600)
+		if gkl.Accuracy() <= maj.Accuracy() {
+			b.Fatalf("GKL %.2f did not beat majority %.2f", gkl.Accuracy(), maj.Accuracy())
+		}
+	}
+}
+
+// E24 / extension: light-cone propagation bound.
+func BenchmarkE24_LightCone(b *testing.B) {
+	n := 64
+	a := automaton.MustNew(space.Ring(n, 2), rule.XOR{})
+	x0 := config.New(n)
+	for i := 0; i < b.N; i++ {
+		trace := a.LightCone(x0, n/2, 12)
+		if automaton.ConeSpeed(trace) != 2 {
+			b.Fatal("additive cone speed should equal the radius")
+		}
+	}
+}
+
+// E25 / extension: bootstrap percolation confluence + threshold sweep.
+func BenchmarkE25_BootstrapPercolation(b *testing.B) {
+	sp := space.Torus(24, 24)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < b.N; i++ {
+		seeds := config.Random(rng, sp.N(), 0.1)
+		final := bootstrap.Closure(sp, 2, seeds)
+		if final.Ones() < seeds.Ones() {
+			b.Fatal("closure shrank the seed set")
+		}
+	}
+}
+
+// E26 / extension: de Bruijn surjectivity/injectivity census.
+func BenchmarkE26_DeBruijnCensus(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sur, inj := 0, 0
+		for code := 0; code < 256; code++ {
+			g := debruijn.MustNew(rule.Elementary(uint8(code)), 1)
+			s, j := g.Classify()
+			if s {
+				sur++
+			}
+			if j {
+				inj++
+			}
+		}
+		if sur != 30 || inj != 6 {
+			b.Fatalf("census %d/%d, want 30/6", sur, inj)
+		}
+	}
+}
+
+// Ablation: dense phase-space classification vs orbit-by-orbit Brent.
+func BenchmarkAblation_DenseVsBrent(b *testing.B) {
+	a := majRing(b, 14, 1)
+	b.Run("dense", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			p := phasespace.BuildParallel(a)
+			if p.MaxPeriod() != 2 {
+				b.Fatal("bad max period")
+			}
+		}
+	})
+	b.Run("brent", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			maxPeriod := 0
+			config.Space(14, func(_ uint64, c config.Config) {
+				res := a.Converge(c.Clone(), 100)
+				if res.Period > maxPeriod {
+					maxPeriod = res.Period
+				}
+			})
+			if maxPeriod != 2 {
+				b.Fatal("bad max period")
+			}
+		}
+	})
+}
+
+// Ablation: goroutine-chunked synchronous step vs single-threaded scalar.
+func BenchmarkAblation_StepWorkers(b *testing.B) {
+	n := 1 << 18
+	a := majRing(b, n, 2)
+	src := config.Alternating(n, 0)
+	dst := config.New(n)
+	for _, workers := range []int{1, 2, 4, 8} {
+		workers := workers
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.SetBytes(int64(n / 8))
+			for i := 0; i < b.N; i++ {
+				a.StepParallel(dst, src, workers)
+			}
+		})
+	}
+}

@@ -1,0 +1,61 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestEveryExperimentReproduces runs the complete harness end to end and
+// fails if any section reports FAILED — the repository-level regression
+// test for the whole reproduction. Heavier sections are skipped in -short
+// mode.
+func TestEveryExperimentReproduces(t *testing.T) {
+	slow := map[string]bool{"E18": true, "E21": true, "E23": true}
+	for _, e := range experiments {
+		e := e
+		t.Run(e.id, func(t *testing.T) {
+			if testing.Short() && slow[e.id] {
+				t.Skip("slow experiment skipped in -short mode")
+			}
+			var b strings.Builder
+			if err := e.run(&b, false); err != nil {
+				t.Fatalf("%s errored: %v", e.id, err)
+			}
+			out := b.String()
+			if strings.Contains(out, "FAILED") {
+				t.Fatalf("%s reported FAILED:\n%s", e.id, out)
+			}
+			if !strings.Contains(out, "REPRODUCED") {
+				t.Fatalf("%s produced no verdict:\n%s", e.id, out)
+			}
+		})
+	}
+}
+
+// TestMarkdownModeProducesTables checks the -md rendering path.
+func TestMarkdownModeProducesTables(t *testing.T) {
+	var b strings.Builder
+	if err := e01(&b, true); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "| config |") {
+		t.Errorf("markdown table missing:\n%s", b.String())
+	}
+}
+
+// TestExperimentIDsUniqueAndOrdered guards the registry.
+func TestExperimentIDsUniqueAndOrdered(t *testing.T) {
+	seen := map[string]bool{}
+	for _, e := range experiments {
+		if seen[e.id] {
+			t.Fatalf("duplicate experiment id %s", e.id)
+		}
+		seen[e.id] = true
+		if e.title == "" || e.run == nil {
+			t.Fatalf("experiment %s incomplete", e.id)
+		}
+	}
+	if len(experiments) < 24 {
+		t.Fatalf("registry has %d experiments, want ≥ 24", len(experiments))
+	}
+}

@@ -1,0 +1,167 @@
+// Command ca-phase enumerates and classifies the complete phase space
+// (configuration space) of a small cellular automaton, in both the parallel
+// and the sequential update discipline, and can export Graphviz DOT —
+// regenerating the paper's Figure 1 mechanically:
+//
+//	ca-phase -n 2 -space complete -rule xor -dot parallel   > fig1a.dot
+//	ca-phase -n 2 -space complete -rule xor -dot sequential > fig1b.dot
+//	ca-phase -n 10 -rule majority
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/automaton"
+	"repro/internal/config"
+	"repro/internal/phasespace"
+	"repro/internal/render"
+	"repro/internal/rule"
+	"repro/internal/space"
+)
+
+func main() {
+	var (
+		n        = flag.Int("n", 8, "number of cells")
+		r        = flag.Int("r", 1, "neighborhood radius")
+		ruleSpec = flag.String("rule", "majority", "rule: majority | threshold:K | xor | eca:CODE")
+		spSpec   = flag.String("space", "ring", "space: ring | line | complete | hypercube:D | torus:WxH")
+		dot      = flag.String("dot", "", "emit DOT instead of analysis: parallel | sequential")
+		verbose  = flag.Bool("v", false, "list cycles and pseudo-fixed points")
+		noMemory = flag.Bool("memoryless", false, "exclude each node from its own neighborhood (memoryless CA)")
+	)
+	flag.Parse()
+	if err := run(*n, *r, *ruleSpec, *spSpec, *dot, *verbose, *noMemory); err != nil {
+		fmt.Fprintln(os.Stderr, "ca-phase:", err)
+		os.Exit(1)
+	}
+}
+
+func run(n, r int, ruleSpec, spSpec, dot string, verbose, noMemory bool) error {
+	sp, err := parseSpace(spSpec, n, r)
+	if err != nil {
+		return err
+	}
+	if noMemory {
+		sp = space.Memoryless(sp)
+	}
+	rl, err := parseRule(ruleSpec, r)
+	if err != nil {
+		return err
+	}
+	a, err := automaton.New(sp, rl)
+	if err != nil {
+		return err
+	}
+	name := fmt.Sprintf("%s on %s", rl.Name(), sp.Name())
+
+	switch dot {
+	case "parallel":
+		return phasespace.BuildParallel(a).WriteDOT(os.Stdout, name)
+	case "sequential":
+		return phasespace.BuildSequential(a).WriteDOT(os.Stdout, name, false)
+	case "":
+	default:
+		return fmt.Errorf("unknown -dot mode %q", dot)
+	}
+
+	p := phasespace.BuildParallel(a)
+	c := p.TakeCensus()
+	fmt.Printf("# %s\n\n== parallel phase space ==\n", name)
+	tab := render.NewTable("quantity", "value")
+	tab.AddRow("configurations", c.Configs)
+	tab.AddRow("fixed points", c.FixedPoints)
+	tab.AddRow("proper cycles", c.ProperCycles)
+	tab.AddRow("cycle states", c.CycleStates)
+	tab.AddRow("max period", c.MaxPeriod)
+	tab.AddRow("transients", c.Transients)
+	tab.AddRow("max transient length", c.MaxTransientLen)
+	tab.AddRow("garden-of-eden states", c.GardenOfEden)
+	tab.AddRow("cycles with incoming transients", c.CyclesWithIncomingTransients)
+	if err := tab.Write(os.Stdout); err != nil {
+		return err
+	}
+	if verbose {
+		for _, cyc := range p.ProperCycles() {
+			parts := make([]string, len(cyc))
+			for i, x := range cyc {
+				parts[i] = config.FromIndex(x, sp.N()).String()
+			}
+			fmt.Printf("cycle: %s\n", strings.Join(parts, " -> "))
+		}
+	}
+
+	if sp.N() <= phasespace.MaxSequentialNodes {
+		s := phasespace.BuildSequential(a)
+		fmt.Printf("\n== sequential phase space ==\n")
+		stab := render.NewTable("quantity", "value")
+		witness, acyclic := s.Acyclic()
+		stab.AddRow("acyclic (no update sequence can cycle)", acyclic)
+		stab.AddRow("fixed points", len(s.FixedPoints()))
+		stab.AddRow("pseudo-fixed points", len(s.PseudoFixedPoints()))
+		stab.AddRow("unreachable states", len(s.Unreachable()))
+		stab.AddRow("temporal 2-cycles", len(s.TwoCycles()))
+		if err := stab.Write(os.Stdout); err != nil {
+			return err
+		}
+		if verbose && !acyclic {
+			parts := make([]string, len(witness))
+			for i, x := range witness {
+				parts[i] = config.FromIndex(x, sp.N()).String()
+			}
+			fmt.Printf("witness cycle: %s\n", strings.Join(parts, " -> "))
+		}
+	}
+	return nil
+}
+
+func parseSpace(spec string, n, r int) (space.Space, error) {
+	switch {
+	case spec == "ring":
+		return space.Ring(n, r), nil
+	case spec == "line":
+		return space.Line(n, r), nil
+	case spec == "complete":
+		return space.CompleteGraph(n), nil
+	case strings.HasPrefix(spec, "hypercube:"):
+		d, err := strconv.Atoi(strings.TrimPrefix(spec, "hypercube:"))
+		if err != nil {
+			return nil, fmt.Errorf("bad hypercube spec %q", spec)
+		}
+		return space.Hypercube(d), nil
+	case strings.HasPrefix(spec, "torus:"):
+		var w, h int
+		if _, err := fmt.Sscanf(strings.TrimPrefix(spec, "torus:"), "%dx%d", &w, &h); err != nil {
+			return nil, fmt.Errorf("bad torus spec %q", spec)
+		}
+		return space.Torus(w, h), nil
+	default:
+		return nil, fmt.Errorf("unknown space %q", spec)
+	}
+}
+
+func parseRule(spec string, r int) (rule.Rule, error) {
+	switch {
+	case spec == "majority":
+		return rule.Majority(r), nil
+	case spec == "xor":
+		return rule.XOR{}, nil
+	case strings.HasPrefix(spec, "threshold:"):
+		k, err := strconv.Atoi(strings.TrimPrefix(spec, "threshold:"))
+		if err != nil {
+			return nil, fmt.Errorf("bad threshold spec %q", spec)
+		}
+		return rule.Threshold{K: k}, nil
+	case strings.HasPrefix(spec, "eca:"):
+		code, err := strconv.Atoi(strings.TrimPrefix(spec, "eca:"))
+		if err != nil || code < 0 || code > 255 {
+			return nil, fmt.Errorf("bad elementary rule spec %q", spec)
+		}
+		return rule.Elementary(uint8(code)), nil
+	default:
+		return nil, fmt.Errorf("unknown rule %q", spec)
+	}
+}

@@ -1,0 +1,70 @@
+package main
+
+import "testing"
+
+func TestParseSpace(t *testing.T) {
+	cases := []struct {
+		spec    string
+		wantN   int
+		wantErr bool
+	}{
+		{"ring", 8, false},
+		{"line", 8, false},
+		{"complete", 8, false},
+		{"hypercube:3", 8, false},
+		{"torus:4x3", 12, false},
+		{"hypercube:x", 0, true},
+		{"torus:4", 0, true},
+		{"nope", 0, true},
+	}
+	for _, c := range cases {
+		sp, err := parseSpace(c.spec, 8, 1)
+		if c.wantErr {
+			if err == nil {
+				t.Errorf("parseSpace(%q) accepted", c.spec)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("parseSpace(%q): %v", c.spec, err)
+			continue
+		}
+		if sp.N() != c.wantN {
+			t.Errorf("parseSpace(%q).N() = %d, want %d", c.spec, sp.N(), c.wantN)
+		}
+	}
+}
+
+func TestParseRule(t *testing.T) {
+	if r, err := parseRule("majority", 2); err != nil || r.Name() != "threshold(k=3)" {
+		t.Errorf("majority r=2: %v %v", r, err)
+	}
+	if _, err := parseRule("threshold:2", 1); err != nil {
+		t.Errorf("threshold:2: %v", err)
+	}
+	if _, err := parseRule("eca:110", 1); err != nil {
+		t.Errorf("eca:110: %v", err)
+	}
+	for _, bad := range []string{"eca:300", "eca:x", "threshold:x", "bogus"} {
+		if _, err := parseRule(bad, 1); err == nil {
+			t.Errorf("parseRule(%q) accepted", bad)
+		}
+	}
+}
+
+func TestRunSmoke(t *testing.T) {
+	// Full analysis path on a tiny automaton (stdout noise is acceptable in
+	// tests; correctness of the numbers is covered by the phasespace suite).
+	if err := run(4, 1, "majority", "ring", "", false, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(4, 1, "xor", "ring", "", true, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(2, 1, "xor", "complete", "sequential", false, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(4, 1, "majority", "ring", "bogus", false, false); err == nil {
+		t.Fatal("bogus dot mode accepted")
+	}
+}

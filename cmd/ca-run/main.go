@@ -1,0 +1,170 @@
+// Command ca-run simulates a 1-D threshold (or elementary/XOR) cellular
+// automaton and prints an ASCII space-time diagram.
+//
+// Usage examples:
+//
+//	ca-run -n 32 -rule majority -start alternating -steps 8
+//	ca-run -n 32 -rule xor -mode sequential -order random -steps 64 -seed 7
+//	ca-run -n 64 -rule eca:110 -start random -density 0.3 -steps 40
+//	ca-run -n 16 -rule majority -mode async -steps 200 -seed 3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/async"
+	"repro/internal/automaton"
+	"repro/internal/config"
+	"repro/internal/render"
+	"repro/internal/rule"
+	"repro/internal/space"
+	"repro/internal/update"
+)
+
+func main() {
+	var (
+		n        = flag.Int("n", 32, "number of cells")
+		r        = flag.Int("r", 1, "neighborhood radius")
+		ruleSpec = flag.String("rule", "majority", "rule: majority | threshold:K | xor | eca:CODE")
+		mode     = flag.String("mode", "parallel", "update mode: parallel | sequential | async")
+		order    = flag.String("order", "roundrobin", "sequential order: roundrobin | random | randomfair")
+		start    = flag.String("start", "alternating", "start: alternating | zero | one | random | <bitstring>")
+		density  = flag.Float64("density", 0.5, "density of 1s for -start random")
+		steps    = flag.Int("steps", 16, "global steps (sweeps for sequential; events/n for async)")
+		seed     = flag.Int64("seed", 1, "random seed")
+		line     = flag.Bool("line", false, "use a bounded line instead of a ring")
+	)
+	flag.Parse()
+
+	if err := run(*n, *r, *ruleSpec, *mode, *order, *start, *density, *steps, *seed, *line); err != nil {
+		fmt.Fprintln(os.Stderr, "ca-run:", err)
+		os.Exit(1)
+	}
+}
+
+func run(n, r int, ruleSpec, mode, order, start string, density float64, steps int, seed int64, line bool) error {
+	rl, err := parseRule(ruleSpec, r)
+	if err != nil {
+		return err
+	}
+	var sp space.Space
+	if line {
+		sp = space.Line(n, r)
+	} else {
+		sp = space.Ring(n, r)
+	}
+	a, err := automaton.New(sp, rl)
+	if err != nil {
+		return err
+	}
+	x0, err := parseStart(start, n, density, seed)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("# %s on %s, mode=%s\n", rl.Name(), sp.Name(), mode)
+
+	switch mode {
+	case "parallel":
+		return render.SpaceTime(os.Stdout, a, x0, steps)
+	case "sequential":
+		sched, err := parseOrder(order, n, seed)
+		if err != nil {
+			return err
+		}
+		c := x0.Clone()
+		fmt.Printf("t=  0 %s\n", render.Row(c))
+		for t := 1; t <= steps; t++ {
+			a.RunSequential(c, sched, n) // one sweep-equivalent per row
+			fmt.Printf("t=%3d %s\n", t, render.Row(c))
+		}
+		return nil
+	case "async":
+		e := async.NewEngine(a, x0, async.UniformLatency(0, 1.5), seed)
+		rng := rand.New(rand.NewSource(seed + 1))
+		tnow := 0.0
+		for i := 0; i < steps*n; i++ {
+			tnow += rng.Float64()
+			e.ScheduleUpdate(tnow, rng.Intn(n))
+		}
+		row := 0
+		e.OnUpdate = func(tm float64, node int, old, new uint8) {
+			if old != new {
+				fmt.Printf("t=%7.2f node %3d %s\n", tm, node, render.Row(e.Config()))
+				row++
+			}
+		}
+		fmt.Printf("t=   0.00 init     %s\n", render.Row(x0))
+		e.Run(1 << 30)
+		fmt.Printf("# %d update events, %d state changes\n", e.Updates(), row)
+		return nil
+	default:
+		return fmt.Errorf("unknown mode %q", mode)
+	}
+}
+
+func parseRule(spec string, r int) (rule.Rule, error) {
+	switch {
+	case spec == "majority":
+		return rule.Majority(r), nil
+	case spec == "xor":
+		return rule.XOR{}, nil
+	case strings.HasPrefix(spec, "threshold:"):
+		k, err := strconv.Atoi(strings.TrimPrefix(spec, "threshold:"))
+		if err != nil {
+			return nil, fmt.Errorf("bad threshold spec %q", spec)
+		}
+		return rule.Threshold{K: k}, nil
+	case strings.HasPrefix(spec, "eca:"):
+		code, err := strconv.Atoi(strings.TrimPrefix(spec, "eca:"))
+		if err != nil || code < 0 || code > 255 {
+			return nil, fmt.Errorf("bad elementary rule spec %q", spec)
+		}
+		return rule.Elementary(uint8(code)), nil
+	default:
+		return nil, fmt.Errorf("unknown rule %q", spec)
+	}
+}
+
+func parseStart(start string, n int, density float64, seed int64) (config.Config, error) {
+	switch start {
+	case "alternating":
+		return config.Alternating(n, 0), nil
+	case "zero":
+		return config.New(n), nil
+	case "one":
+		c := config.New(n)
+		for i := 0; i < n; i++ {
+			c.Set(i, 1)
+		}
+		return c, nil
+	case "random":
+		return config.Random(rand.New(rand.NewSource(seed)), n, density), nil
+	default:
+		c, err := config.Parse(start)
+		if err != nil {
+			return config.Config{}, fmt.Errorf("bad start %q: %v", start, err)
+		}
+		if c.N() != n {
+			return config.Config{}, fmt.Errorf("start string has %d cells, want %d", c.N(), n)
+		}
+		return c, nil
+	}
+}
+
+func parseOrder(order string, n int, seed int64) (update.Schedule, error) {
+	switch order {
+	case "roundrobin":
+		return update.NewRoundRobin(n), nil
+	case "random":
+		return update.NewRandom(n, seed), nil
+	case "randomfair":
+		return update.NewRandomFair(n, seed), nil
+	default:
+		return nil, fmt.Errorf("unknown order %q", order)
+	}
+}

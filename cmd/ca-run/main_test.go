@@ -1,0 +1,73 @@
+package main
+
+import "testing"
+
+func TestParseRule(t *testing.T) {
+	if r, err := parseRule("majority", 1); err != nil || r.Name() != "threshold(k=2)" {
+		t.Errorf("majority: %v %v", r, err)
+	}
+	if r, err := parseRule("xor", 1); err != nil || r.Name() != "xor" {
+		t.Errorf("xor: %v %v", r, err)
+	}
+	if r, err := parseRule("eca:90", 1); err != nil || r.Name() != "eca-90" {
+		t.Errorf("eca:90: %v %v", r, err)
+	}
+	for _, bad := range []string{"eca:256", "eca:-1", "threshold:z", "??"} {
+		if _, err := parseRule(bad, 1); err == nil {
+			t.Errorf("parseRule(%q) accepted", bad)
+		}
+	}
+}
+
+func TestParseStart(t *testing.T) {
+	if c, err := parseStart("alternating", 6, 0.5, 1); err != nil || c.String() != "010101" {
+		t.Errorf("alternating: %v %v", c, err)
+	}
+	if c, err := parseStart("zero", 4, 0.5, 1); err != nil || c.Ones() != 0 {
+		t.Errorf("zero: %v %v", c, err)
+	}
+	if c, err := parseStart("one", 4, 0.5, 1); err != nil || c.Ones() != 4 {
+		t.Errorf("one: %v %v", c, err)
+	}
+	if c, err := parseStart("random", 100, 0.3, 7); err != nil || c.Ones() == 0 || c.Ones() == 100 {
+		t.Errorf("random: %v %v", c, err)
+	}
+	if c, err := parseStart("0110", 4, 0.5, 1); err != nil || c.String() != "0110" {
+		t.Errorf("literal: %v %v", c, err)
+	}
+	if _, err := parseStart("0110", 5, 0.5, 1); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := parseStart("01x0", 4, 0.5, 1); err == nil {
+		t.Error("bad literal accepted")
+	}
+}
+
+func TestParseOrder(t *testing.T) {
+	for _, good := range []string{"roundrobin", "random", "randomfair"} {
+		if _, err := parseOrder(good, 4, 1); err != nil {
+			t.Errorf("parseOrder(%q): %v", good, err)
+		}
+	}
+	if _, err := parseOrder("bogus", 4, 1); err == nil {
+		t.Error("bogus order accepted")
+	}
+}
+
+func TestRunSmokeAllModes(t *testing.T) {
+	if err := run(8, 1, "majority", "parallel", "roundrobin", "alternating", 0.5, 2, 1, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(8, 1, "majority", "sequential", "randomfair", "random", 0.5, 2, 1, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(6, 1, "majority", "async", "roundrobin", "alternating", 0.5, 2, 1, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(6, 1, "eca:110", "parallel", "roundrobin", "random", 0.5, 2, 1, true); err == nil {
+		t.Fatal("3-input table rule on a truncated line should fail arity validation")
+	}
+	if err := run(6, 1, "majority", "nosuchmode", "roundrobin", "zero", 0.5, 2, 1, false); err == nil {
+		t.Fatal("unknown mode accepted")
+	}
+}

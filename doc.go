@@ -1,0 +1,18 @@
+// Package repro is a complete, from-scratch reproduction of
+//
+//	P. Tošić, G. Agha: "Concurrency vs. Sequential Interleavings in 1-D
+//	Threshold Cellular Automata", IPDPS (IPPS) 2004,
+//
+// as a reusable Go library. It implements classical parallel cellular
+// automata, sequential CA (SCA) under arbitrary update schedules, and the
+// paper's proposed genuinely asynchronous CA (ACA) with communication
+// delays, together with full phase-space enumeration and classification,
+// the Lyapunov (energy) theory explaining the results, the §1.1
+// interleaving register machine, SDS/SyDS over arbitrary graphs, and a
+// word-packed high-performance simulator.
+//
+// The root package is a thin facade over the internal packages; see
+// README.md for the architecture and EXPERIMENTS.md for the paper-vs-
+// measured record of every reproduced result. The runnable entry points
+// live in cmd/ (ca-run, ca-phase, ca-experiments) and examples/.
+package repro

@@ -1,0 +1,64 @@
+// Density classification: what the paper's threshold CA can and cannot
+// compute. Local MAJORITY — the paper's central rule — always converges
+// (Proposition 1) but freezes into striped fixed points, failing the global
+// task; the non-totalistic GKL rule (outside Theorem 1's monotone-symmetric
+// class) propagates information and classifies ~80–90% of near-critical
+// instances.
+//
+// Run with: go run ./examples/density_task
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+
+	"repro/internal/automaton"
+	"repro/internal/config"
+	"repro/internal/density"
+	"repro/internal/render"
+	"repro/internal/rule"
+	"repro/internal/space"
+)
+
+func main() {
+	const n = 79
+	rng := rand.New(rand.NewSource(12))
+	x0 := config.Random(rng, n, 0.60) // moderate 1-majority
+	for 2*x0.Ones() == n {
+		x0 = config.Random(rng, n, 0.60)
+	}
+	fmt.Printf("initial configuration: %d/%d ones (majority of 1s → should reach all-1s)\n\n", x0.Ones(), n)
+
+	fmt.Println("=== local MAJORITY r=1 (the paper's rule): freezes into stripes ===")
+	maj := automaton.MustNew(space.Ring(n, 1), rule.Majority(1))
+	if err := render.SpaceTime(os.Stdout, maj, x0, 12); err != nil {
+		log.Fatal(err)
+	}
+	res := maj.Converge(x0.Clone(), 1000)
+	fmt.Printf("→ settled: %s, period %d, final density %d/%d (NOT a consensus)\n\n",
+		res.Outcome, res.Period, res.Final.Ones(), n)
+
+	fmt.Println("=== GKL r=3: information travels, consensus is reached ===")
+	gkl := automaton.MustNew(space.Ring(n, 3), density.GKL())
+	if err := render.SpaceTime(os.Stdout, gkl, x0, 24); err != nil {
+		log.Fatal(err)
+	}
+	verdictGKL := density.ClassifyRun(gkl, x0, 1000)
+	fmt.Printf("→ GKL verdict: %s\n\n", verdictGKL)
+
+	fmt.Println("=== benchmark near the critical density (n=149) ===")
+	for _, spec := range []struct {
+		name   string
+		r      rule.Rule
+		radius int
+	}{
+		{"GKL", density.GKL(), 3},
+		{"majority r=1", rule.Majority(1), 1},
+		{"majority r=3", rule.Majority(3), 3},
+	} {
+		result := density.Benchmark(spec.name, spec.r, spec.radius, 149, 40, 3, 600)
+		fmt.Printf("  %s\n", result)
+	}
+}

@@ -1,0 +1,107 @@
+// Associative memory from the paper's threshold-network roots: the
+// convergence theory behind Theorem 1 (Goles & Martínez, paper ref [8]) is
+// exactly what makes Hopfield networks work — sequential threshold updates
+// descend an energy landscape and must stop at a fixed point, so stored
+// patterns become recallable attractors.
+//
+// This example stores 8×8 glyphs in a Hebbian network, corrupts them, and
+// watches sequential threshold dynamics pull the probes back.
+//
+// Run with: go run ./examples/hopfield
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/threshnet"
+)
+
+const side = 8
+
+// glyph parses an 8×8 drawing into a ±1 pattern.
+func glyph(rows [side]string) threshnet.Pattern {
+	p := make(threshnet.Pattern, side*side)
+	for y, row := range rows {
+		for x := 0; x < side; x++ {
+			if row[x] == '#' {
+				p[y*side+x] = 1
+			} else {
+				p[y*side+x] = -1
+			}
+		}
+	}
+	return p
+}
+
+func draw(p threshnet.Pattern) {
+	for y := 0; y < side; y++ {
+		fmt.Print("    ")
+		for x := 0; x < side; x++ {
+			if p[y*side+x] == 1 {
+				fmt.Print("#")
+			} else {
+				fmt.Print(".")
+			}
+		}
+		fmt.Println()
+	}
+}
+
+func main() {
+	patterns := map[string]threshnet.Pattern{
+		"cross": glyph([side]string{
+			"...##...",
+			"...##...",
+			"...##...",
+			"########",
+			"########",
+			"...##...",
+			"...##...",
+			"...##...",
+		}),
+		"frame": glyph([side]string{
+			"########",
+			"#......#",
+			"#......#",
+			"#......#",
+			"#......#",
+			"#......#",
+			"#......#",
+			"########",
+		}),
+		"stripes": glyph([side]string{
+			"##..##..",
+			"##..##..",
+			"##..##..",
+			"##..##..",
+			"##..##..",
+			"##..##..",
+			"##..##..",
+			"##..##..",
+		}),
+	}
+
+	h := threshnet.NewHopfield(side * side)
+	for _, p := range patterns {
+		h.Store(p)
+	}
+	fmt.Printf("stored %d glyphs in a %d-neuron Hebbian threshold network\n", len(patterns), side*side)
+
+	rng := rand.New(rand.NewSource(7))
+	for name, p := range patterns {
+		probe := p.Corrupt(rng, 12) // flip 12 of 64 cells
+		fmt.Printf("\n=== %s: probe corrupted in %d cells ===\n", name, probe.Hamming(p))
+		fmt.Println("  probe:")
+		draw(probe)
+		before := h.Energy2(probe)
+		recalled, ok := h.Recall(probe, 1, 100)
+		fmt.Printf("  energy %d -> %d, converged=%v, residual errors=%d\n",
+			before, h.Energy2(recalled), ok, recalled.Hamming(p))
+		fmt.Println("  recalled:")
+		draw(recalled)
+	}
+
+	fmt.Println("\nsequential threshold dynamics can only descend in energy (Theorem 1's")
+	fmt.Println("mechanism), so every recall terminates — no schedule can make it cycle.")
+}

@@ -1,0 +1,338 @@
+// Package async implements the paper's §4 proposal: genuinely asynchronous
+// cellular automata (ACA), where asynchrony applies not only to the local
+// computations (as in sequential CA) but also to *communication* — there is
+// no global clock, and a node learns a neighbor's state only when the
+// message carrying it arrives.
+//
+// The engine is a deterministic discrete-event simulator. Each node holds
+// its true state plus a *view* of every neighbor — the most recently
+// delivered value. An update event recomputes the node's state from its
+// views (and its own true state), then sends the new state to each neighbor
+// with a per-message latency. Ties in event time are broken by insertion
+// order, so runs are exactly reproducible from a seed.
+//
+// Two adapters make the paper's subsumption claim executable:
+//
+//   - Lockstep: all nodes update at integer times with latency ½. Every node
+//     then sees exactly the previous round's states — the ACA trajectory
+//     coincides with the classical parallel CA (bounded asynchrony ⊇
+//     synchrony).
+//   - Serial: one node updates per unit time with zero latency. The ACA
+//     trajectory coincides with the SCA under the same order.
+//
+// With nonzero random latencies, stale reads reintroduce the synchronous
+// effects — e.g. MAJORITY two-cycles reappear in runs where no sequential
+// CA could ever revisit a configuration (Theorem 1).
+package async
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/automaton"
+	"repro/internal/config"
+)
+
+// eventKind discriminates the two event types.
+type eventKind uint8
+
+const (
+	evUpdate eventKind = iota
+	evDeliver
+)
+
+type event struct {
+	time float64
+	seq  uint64 // tie-break: FIFO among equal times
+	kind eventKind
+	node int   // update: the updating node; deliver: the receiver
+	from int   // deliver only: the sender
+	val  uint8 // deliver only: the carried state
+}
+
+type eventQueue []event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].time != q[j].time {
+		return q[i].time < q[j].time
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x interface{}) { *q = append(*q, x.(event)) }
+func (q *eventQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	*q = old[:n-1]
+	return it
+}
+
+// Latency computes the message delay from node `from` to node `to`; it may
+// consult the engine's RNG for random latencies. It must return a value ≥ 0.
+type Latency func(rng *rand.Rand, from, to int) float64
+
+// ConstantLatency returns a Latency of fixed delay d.
+func ConstantLatency(d float64) Latency {
+	return func(_ *rand.Rand, _, _ int) float64 { return d }
+}
+
+// UniformLatency returns a Latency drawn uniformly from [lo, hi).
+func UniformLatency(lo, hi float64) Latency {
+	return func(rng *rand.Rand, _, _ int) float64 { return lo + rng.Float64()*(hi-lo) }
+}
+
+// Engine is the asynchronous executor for one automaton.
+type Engine struct {
+	a       *automaton.Automaton
+	rng     *rand.Rand
+	latency Latency
+	queue   eventQueue
+	seq     uint64
+
+	state config.Config // true states
+	views [][]uint8     // views[i][k] = last delivered state of neighborhood slot k of node i
+	now   float64
+
+	// OnUpdate, when non-nil, observes every update event: time, node,
+	// previous and new state (which may be equal).
+	OnUpdate func(t float64, node int, old, new uint8)
+
+	updates uint64
+}
+
+// NewEngine builds an asynchronous engine over automaton a starting from
+// x0, with message latencies drawn from lat and randomness seeded by seed.
+// Initial views are consistent: every node initially sees x0 exactly.
+// The automaton's space must have symmetric neighborhoods (every built-in
+// space does): after updating, a node notifies exactly the neighbors it
+// reads, which are then assumed to read it back.
+func NewEngine(a *automaton.Automaton, x0 config.Config, lat Latency, seed int64) *Engine {
+	n := a.N()
+	if x0.N() != n {
+		panic(fmt.Sprintf("async: config size %d for %d nodes", x0.N(), n))
+	}
+	e := &Engine{
+		a:       a,
+		rng:     rand.New(rand.NewSource(seed)),
+		latency: lat,
+		state:   x0.Clone(),
+	}
+	e.views = make([][]uint8, n)
+	for i := 0; i < n; i++ {
+		nb := a.Space().Neighborhood(i)
+		e.views[i] = make([]uint8, len(nb))
+		for k, j := range nb {
+			e.views[i][k] = x0.Get(j)
+		}
+	}
+	return e
+}
+
+// Now returns the current simulation time.
+func (e *Engine) Now() float64 { return e.now }
+
+// Updates returns the number of update events executed so far.
+func (e *Engine) Updates() uint64 { return e.updates }
+
+// Config returns a copy of the true global state.
+func (e *Engine) Config() config.Config { return e.state.Clone() }
+
+// View returns node i's current belief about neighborhood slot k.
+func (e *Engine) View(i, k int) uint8 { return e.views[i][k] }
+
+// ScheduleUpdate enqueues an update of node at absolute time t ≥ Now().
+func (e *Engine) ScheduleUpdate(t float64, node int) {
+	if t < e.now {
+		panic(fmt.Sprintf("async: scheduling update at %v before now %v", t, e.now))
+	}
+	if node < 0 || node >= e.a.N() {
+		panic(fmt.Sprintf("async: node %d out of range", node))
+	}
+	e.push(event{time: t, kind: evUpdate, node: node})
+}
+
+func (e *Engine) push(ev event) {
+	ev.seq = e.seq
+	e.seq++
+	heap.Push(&e.queue, ev)
+}
+
+// StepEvent processes the single earliest event. It reports false when the
+// queue is empty.
+func (e *Engine) StepEvent() bool {
+	if e.queue.Len() == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.queue).(event)
+	e.now = ev.time
+	switch ev.kind {
+	case evDeliver:
+		// Record the delivered value in the receiver's view of the sender.
+		nb := e.a.Space().Neighborhood(ev.node)
+		for k, j := range nb {
+			if j == ev.from {
+				e.views[ev.node][k] = ev.val
+			}
+		}
+	case evUpdate:
+		i := ev.node
+		// A node always knows its own true state; neighbor slots come from
+		// the views.
+		nb := e.a.Space().Neighborhood(i)
+		in := make([]uint8, len(nb))
+		copy(in, e.views[i])
+		for k, j := range nb {
+			if j == i {
+				in[k] = e.state.Get(i)
+			}
+		}
+		old := e.state.Get(i)
+		next := e.a.RuleAt(i).Next(in)
+		e.state.Set(i, next)
+		e.updates++
+		if e.OnUpdate != nil {
+			e.OnUpdate(e.now, i, old, next)
+		}
+		// Communicate the (possibly unchanged) state to every neighbor that
+		// reads this node.
+		for _, j := range nb {
+			if j == i {
+				continue
+			}
+			d := e.latency(e.rng, i, j)
+			if d < 0 {
+				panic("async: negative latency")
+			}
+			e.push(event{time: e.now + d, kind: evDeliver, node: j, from: i, val: next})
+		}
+	}
+	return true
+}
+
+// Run processes events until the queue is empty or maxEvents have been
+// handled, returning the number handled.
+func (e *Engine) Run(maxEvents int) int {
+	handled := 0
+	for handled < maxEvents && e.StepEvent() {
+		handled++
+	}
+	return handled
+}
+
+// --- Subsumption adapters ---
+
+// RunLockstep schedules every node at times 1..rounds with latency ½ and
+// runs to completion: the ACA emulation of the classical parallel CA.
+// It returns the final configuration.
+func RunLockstep(a *automaton.Automaton, x0 config.Config, rounds int) config.Config {
+	e := NewEngine(a, x0, ConstantLatency(0.5), 1)
+	for t := 1; t <= rounds; t++ {
+		for i := 0; i < a.N(); i++ {
+			e.ScheduleUpdate(float64(t), i)
+		}
+	}
+	for e.StepEvent() {
+	}
+	return e.Config()
+}
+
+// RunSerial schedules the given node order one per unit time with zero
+// latency: the ACA emulation of a sequential CA run. It returns the final
+// configuration.
+func RunSerial(a *automaton.Automaton, x0 config.Config, order []int) config.Config {
+	e := NewEngine(a, x0, ConstantLatency(0), 1)
+	for k, node := range order {
+		e.ScheduleUpdate(float64(k+1), node)
+	}
+	for e.StepEvent() {
+	}
+	return e.Config()
+}
+
+// SelfTimedOptions configures RunSelfTimed.
+type SelfTimedOptions struct {
+	// Period is each node's mean inter-update interval (default 1).
+	Period float64
+	// Jitter is the half-width of the uniform perturbation applied to each
+	// interval, as a fraction of Period in [0, 1). Jitter 0 degenerates to
+	// lockstep-like timing (up to tie-breaking); larger values desynchronize
+	// the nodes.
+	Jitter float64
+	// Latency generates per-message delays (default ConstantLatency(0.1)).
+	Latency Latency
+	// Horizon is the simulation end time; updates are scheduled up to it.
+	Horizon float64
+	// Seed drives all randomness.
+	Seed int64
+	// Observe, when non-nil, is installed as the engine's OnUpdate hook
+	// before the run starts.
+	Observe func(t float64, node int, old, new uint8)
+}
+
+// RunSelfTimed is the turnkey "genuinely asynchronous" run of §4: every
+// node maintains its own clock, firing roughly every Period with Jitter,
+// and learns neighbor states only through delayed messages. It returns the
+// engine after the horizon so callers can inspect the final state and
+// statistics.
+func RunSelfTimed(a *automaton.Automaton, x0 config.Config, opts SelfTimedOptions) *Engine {
+	if opts.Period <= 0 {
+		opts.Period = 1
+	}
+	if opts.Jitter < 0 || opts.Jitter >= 1 {
+		panic(fmt.Sprintf("async: jitter %v out of [0,1)", opts.Jitter))
+	}
+	if opts.Latency == nil {
+		opts.Latency = ConstantLatency(0.1)
+	}
+	if opts.Horizon <= 0 {
+		opts.Horizon = 100 * opts.Period
+	}
+	e := NewEngine(a, x0, opts.Latency, opts.Seed)
+	e.OnUpdate = opts.Observe
+	clockRng := rand.New(rand.NewSource(opts.Seed ^ 0x5deece66d))
+	for i := 0; i < a.N(); i++ {
+		t := opts.Period * (1 + opts.Jitter*(2*clockRng.Float64()-1))
+		for t <= opts.Horizon {
+			e.ScheduleUpdate(t, i)
+			t += opts.Period * (1 + opts.Jitter*(2*clockRng.Float64()-1))
+		}
+	}
+	for e.StepEvent() {
+	}
+	return e
+}
+
+// TraceRevisits runs an engine with the caller's schedule already enqueued
+// and reports every revisit of a previously seen *changed-away-from* global
+// configuration: evidence of cyclic behavior that Theorem 1 rules out for
+// any sequential execution. It returns the number of such revisits among
+// the first maxEvents events.
+func (e *Engine) TraceRevisits(maxEvents int) int {
+	seen := map[uint64]bool{}
+	if e.state.N() > 63 {
+		panic("async: TraceRevisits needs ≤ 63 nodes")
+	}
+	last := e.state.Index()
+	seen[last] = true
+	revisits := 0
+	prev := e.OnUpdate
+	defer func() { e.OnUpdate = prev }()
+	e.OnUpdate = func(t float64, node int, old, new uint8) {
+		if prev != nil {
+			prev(t, node, old, new)
+		}
+		if old == new {
+			return
+		}
+		cur := e.state.Index()
+		if seen[cur] {
+			revisits++
+		}
+		seen[cur] = true
+	}
+	e.Run(maxEvents)
+	return revisits
+}

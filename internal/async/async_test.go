@@ -1,0 +1,308 @@
+package async
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/automaton"
+	"repro/internal/config"
+	"repro/internal/rule"
+	"repro/internal/space"
+	"repro/internal/update"
+)
+
+func majRing(t testing.TB, n, r int) *automaton.Automaton {
+	t.Helper()
+	return automaton.MustNew(space.Ring(n, r), rule.Majority(r))
+}
+
+func TestLockstepEqualsParallelCA(t *testing.T) {
+	// The ACA with lockstep schedule and half-step latency must replay the
+	// synchronous CA exactly, configuration by configuration.
+	for _, n := range []int{4, 7, 10} {
+		a := majRing(t, n, 1)
+		rng := rand.New(rand.NewSource(int64(n)))
+		for trial := 0; trial < 10; trial++ {
+			x0 := config.Random(rng, n, 0.5)
+			rounds := 6
+			got := RunLockstep(a, x0, rounds)
+			want := x0.Clone()
+			tmp := config.New(n)
+			for r := 0; r < rounds; r++ {
+				a.Step(tmp, want)
+				want, tmp = tmp, want
+			}
+			if !got.Equal(want) {
+				t.Errorf("n=%d trial=%d: lockstep ACA %s, parallel CA %s",
+					n, trial, got.String(), want.String())
+			}
+		}
+	}
+}
+
+func TestLockstepSustainsMajorityTwoCycle(t *testing.T) {
+	// The Lemma 1(i) oscillation survives in a *bona fide* asynchronous
+	// executor when timing happens to be synchronous: after an even number
+	// of rounds the alternating configuration returns.
+	n := 8
+	a := majRing(t, n, 1)
+	x0 := config.Alternating(n, 0)
+	even := RunLockstep(a, x0, 4)
+	odd := RunLockstep(a, x0, 5)
+	if !even.Equal(x0) {
+		t.Errorf("after 4 lockstep rounds: %s, want %s", even.String(), x0.String())
+	}
+	if !odd.Equal(config.Alternating(n, 1)) {
+		t.Errorf("after 5 lockstep rounds: %s, want %s", odd.String(), config.Alternating(n, 1).String())
+	}
+}
+
+func TestSerialEqualsSequentialCA(t *testing.T) {
+	for _, n := range []int{5, 9} {
+		a := majRing(t, n, 1)
+		rng := rand.New(rand.NewSource(int64(n) * 7))
+		for trial := 0; trial < 10; trial++ {
+			x0 := config.Random(rng, n, 0.5)
+			// A random update order, 4n micro-steps.
+			order := make([]int, 4*n)
+			for i := range order {
+				order[i] = rng.Intn(n)
+			}
+			got := RunSerial(a, x0, order)
+			want := x0.Clone()
+			sched := update.MustSequence(n, order)
+			a.RunSequential(want, sched, len(order))
+			if !got.Equal(want) {
+				t.Errorf("n=%d trial=%d: serial ACA %s, SCA %s", n, trial, got.String(), want.String())
+			}
+		}
+	}
+}
+
+func TestRandomLatencyACARevisitsConfigurations(t *testing.T) {
+	// With lockstep scheduling (an admissible asynchronous timing!) the
+	// MAJORITY ring oscillates forever, revisiting configurations — a
+	// behavior Theorem 1 proves impossible for every sequential CA. This is
+	// the §4 claim that ACA nondeterminism strictly subsumes SCA.
+	n := 8
+	a := majRing(t, n, 1)
+	e := NewEngine(a, config.Alternating(n, 0), ConstantLatency(0.5), 3)
+	for tt := 1; tt <= 20; tt++ {
+		for i := 0; i < n; i++ {
+			e.ScheduleUpdate(float64(tt), i)
+		}
+	}
+	revisits := e.TraceRevisits(1 << 20)
+	if revisits == 0 {
+		t.Error("synchrondifferent-timing ACA never revisited a configuration")
+	}
+}
+
+func TestZeroLatencyFairACAConverges(t *testing.T) {
+	// With zero latency the ACA is an SCA in disguise: on MAJORITY it must
+	// converge (no revisits ever, Theorem 1) regardless of random timing.
+	n := 9
+	a := majRing(t, n, 1)
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 10; trial++ {
+		x0 := config.Random(rng, n, 0.5)
+		e := NewEngine(a, x0, ConstantLatency(0), int64(trial))
+		// Random serialized times: node k-th event at distinct times.
+		tnow := 0.0
+		for step := 0; step < 50*n; step++ {
+			tnow += 0.5 + rng.Float64()
+			e.ScheduleUpdate(tnow, rng.Intn(n))
+		}
+		if rev := e.TraceRevisits(1 << 20); rev != 0 {
+			t.Errorf("trial %d: zero-latency ACA revisited %d configurations", trial, rev)
+		}
+		final := e.Config()
+		// The reached configuration need not be a fixed point (finite
+		// schedule), but the run must never have cycled; additionally a
+		// long fair suffix should have fixed it:
+		sched := update.NewRandomFair(n, int64(trial))
+		a.RunSequential(final, sched, 10*n*n)
+		if !a.FixedPoint(final) {
+			t.Errorf("trial %d: fair continuation did not reach a fixed point", trial)
+		}
+	}
+}
+
+func TestStaleViewsDivergeFromTrueStates(t *testing.T) {
+	// With large latency, a node keeps acting on stale values: verify the
+	// view/state distinction is real.
+	n := 4
+	a := majRing(t, n, 1)
+	e2 := NewEngine(a, config.MustParse("0111"), ConstantLatency(100), 1)
+	e2.ScheduleUpdate(1, 0) // node 0 reads views (0's own true state, stale 1s)
+	e2.StepEvent()
+	// Node 0 sees (left=node3: 1, self: 0, right=node1: 1) -> majority 1.
+	if e2.Config().Get(0) != 1 {
+		t.Error("node 0 should flip to 1")
+	}
+	// Deliveries are still in flight; node 1's view of node 0 is stale (0).
+	nb1 := a.Space().Neighborhood(1) // (0,1,2)
+	for k, j := range nb1 {
+		if j == 0 && e2.View(1, k) != 0 {
+			t.Error("node 1's view of node 0 should still be the stale 0")
+		}
+	}
+}
+
+func TestDeliveryUpdatesView(t *testing.T) {
+	n := 4
+	a := majRing(t, n, 1)
+	e := NewEngine(a, config.MustParse("0111"), ConstantLatency(1), 1)
+	e.ScheduleUpdate(1, 0)
+	// Process the update plus its two deliveries (at time 2).
+	for e.StepEvent() {
+	}
+	nb1 := a.Space().Neighborhood(1)
+	for k, j := range nb1 {
+		if j == 0 && e.View(1, k) != 1 {
+			t.Error("delivery did not refresh node 1's view")
+		}
+	}
+	if e.Updates() != 1 {
+		t.Errorf("Updates = %d, want 1", e.Updates())
+	}
+}
+
+func TestOnUpdateObserver(t *testing.T) {
+	n := 5
+	a := majRing(t, n, 1)
+	e := NewEngine(a, config.MustParse("01000"), ConstantLatency(0.1), 1)
+	var events []int
+	e.OnUpdate = func(tm float64, node int, old, new uint8) {
+		events = append(events, node)
+	}
+	e.ScheduleUpdate(1, 1)
+	e.ScheduleUpdate(2, 2)
+	e.Run(1 << 10)
+	if len(events) != 2 || events[0] != 1 || events[1] != 2 {
+		t.Errorf("observed %v", events)
+	}
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	a := majRing(t, 4, 1)
+	e := NewEngine(a, config.New(4), ConstantLatency(1), 1)
+	e.ScheduleUpdate(5, 0)
+	e.StepEvent()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("scheduling in the past did not panic")
+		}
+	}()
+	e.ScheduleUpdate(1, 0)
+}
+
+func TestDeterministicReplay(t *testing.T) {
+	n := 7
+	a := majRing(t, n, 1)
+	run := func() string {
+		e := NewEngine(a, config.Alternating(n, 0), UniformLatency(0, 2), 42)
+		rng := rand.New(rand.NewSource(7))
+		tnow := 0.0
+		for i := 0; i < 100; i++ {
+			tnow += rng.Float64()
+			e.ScheduleUpdate(tnow, rng.Intn(n))
+		}
+		e.Run(1 << 20)
+		return e.Config().String()
+	}
+	if run() != run() {
+		t.Error("same-seed ACA runs diverged")
+	}
+}
+
+func TestUniformLatencyRange(t *testing.T) {
+	lat := UniformLatency(1, 3)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 100; i++ {
+		d := lat(rng, 0, 1)
+		if d < 1 || d >= 3 {
+			t.Fatalf("latency %f outside [1,3)", d)
+		}
+	}
+}
+
+func BenchmarkACAEvents(b *testing.B) {
+	n := 64
+	a := majRing(b, n, 1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e := NewEngine(a, config.Alternating(n, 0), UniformLatency(0, 1), int64(i))
+		for t := 1; t <= 10; t++ {
+			for node := 0; node < n; node++ {
+				e.ScheduleUpdate(float64(t), node)
+			}
+		}
+		e.Run(1 << 20)
+	}
+}
+
+func TestRunSelfTimedDefaults(t *testing.T) {
+	n := 8
+	a := majRing(t, n, 1)
+	e := RunSelfTimed(a, config.Alternating(n, 0), SelfTimedOptions{Horizon: 20, Seed: 3})
+	if e.Updates() == 0 {
+		t.Fatal("no updates executed")
+	}
+	if e.Now() <= 0 || e.Now() > 21 {
+		t.Fatalf("clock ended at %v", e.Now())
+	}
+}
+
+func TestRunSelfTimedObserver(t *testing.T) {
+	n := 6
+	a := majRing(t, n, 1)
+	events := 0
+	RunSelfTimed(a, config.Alternating(n, 0), SelfTimedOptions{
+		Horizon: 10, Seed: 1,
+		Observe: func(tm float64, node int, old, new uint8) { events++ },
+	})
+	if events == 0 {
+		t.Fatal("observer saw nothing")
+	}
+}
+
+func TestRunSelfTimedJitterDesynchronizes(t *testing.T) {
+	// With zero jitter and sub-period latency the engine behaves like the
+	// synchronous CA and sustains the majority 2-cycle; strong jitter with
+	// near-zero latency behaves sequentially and must converge. Compare the
+	// number of state changes late in the run.
+	n := 12
+	a := majRing(t, n, 1)
+	lateChanges := func(jitter, latency float64) int {
+		changes := 0
+		RunSelfTimed(a, config.Alternating(n, 0), SelfTimedOptions{
+			Period: 1, Jitter: jitter, Latency: ConstantLatency(latency),
+			Horizon: 60, Seed: 11,
+			Observe: func(tm float64, node int, old, new uint8) {
+				if tm > 40 && old != new {
+					changes++
+				}
+			},
+		})
+		return changes
+	}
+	sync := lateChanges(0, 0.5)
+	async := lateChanges(0.49, 0.001)
+	if sync == 0 {
+		t.Fatal("lockstep-like ACA should keep oscillating late in the run")
+	}
+	if async != 0 {
+		t.Fatalf("heavily jittered near-instant ACA still changing %d times late in the run", async)
+	}
+}
+
+func TestRunSelfTimedValidation(t *testing.T) {
+	a := majRing(t, 4, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("jitter ≥ 1 accepted")
+		}
+	}()
+	RunSelfTimed(a, config.New(4), SelfTimedOptions{Jitter: 1.5})
+}

@@ -1,0 +1,236 @@
+// Package automaton implements the paper's machines: classical parallel
+// (perfectly synchronous, concurrent) cellular automata and their sequential
+// counterparts (SCA), over any cellular space and Boolean local rule —
+// homogeneous or, for the §4 extension, with a distinct rule per node.
+//
+// The parallel engine applies the global map F: all nodes read the current
+// configuration and commit simultaneously. The sequential engine performs
+// one single-node update per micro-step, driven by an update.Schedule; a
+// "sweep" of n micro-steps is the sequential analogue of one parallel step
+// (the paper's suggestion for defining a sequential "computational step").
+//
+// Orbit utilities classify eventual behavior (fixed point, cycle with
+// period, still transient) — the Definition 3 taxonomy — using either a
+// bounded step-out or Brent's cycle-finding algorithm for long orbits.
+package automaton
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/config"
+	"repro/internal/rule"
+	"repro/internal/space"
+	"repro/internal/update"
+)
+
+// Automaton couples a cellular space with a local rule per node. Build one
+// with New (homogeneous, classical CA) or NewNonHomogeneous (§4 extension).
+type Automaton struct {
+	space space.Space
+	rules []rule.Rule // one per node; shared value when homogeneous
+	homog rule.Rule   // nil if non-homogeneous
+	// scratch per automaton for single-threaded paths; parallel paths
+	// allocate per-worker scratch.
+	scratch []uint8
+}
+
+// New returns a classical (homogeneous) automaton: every node updates with
+// the same rule r over its ordered neighborhood in s. If the rule has a
+// fixed arity it must match every node's neighborhood size.
+func New(s space.Space, r rule.Rule) (*Automaton, error) {
+	if a := r.Arity(); a >= 0 {
+		for i := 0; i < s.N(); i++ {
+			if s.Degree(i) != a {
+				return nil, fmt.Errorf("automaton: rule %s arity %d but node %d has degree %d",
+					r.Name(), a, i, s.Degree(i))
+			}
+		}
+	}
+	rules := make([]rule.Rule, s.N())
+	for i := range rules {
+		rules[i] = r
+	}
+	return &Automaton{space: s, rules: rules, homog: r, scratch: make([]uint8, maxDegree(s))}, nil
+}
+
+// MustNew is New that panics on error.
+func MustNew(s space.Space, r rule.Rule) *Automaton {
+	a, err := New(s, r)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// NewNonHomogeneous returns an automaton with a distinct rule per node
+// (len(rules) must equal s.N()); the §4 "non-homogeneous CA" extension.
+func NewNonHomogeneous(s space.Space, rules []rule.Rule) (*Automaton, error) {
+	if len(rules) != s.N() {
+		return nil, fmt.Errorf("automaton: %d rules for %d nodes", len(rules), s.N())
+	}
+	for i, r := range rules {
+		if a := r.Arity(); a >= 0 && a != s.Degree(i) {
+			return nil, fmt.Errorf("automaton: rule %s arity %d but node %d has degree %d",
+				r.Name(), a, i, s.Degree(i))
+		}
+	}
+	cp := append([]rule.Rule(nil), rules...)
+	return &Automaton{space: s, rules: cp, scratch: make([]uint8, maxDegree(s))}, nil
+}
+
+func maxDegree(s space.Space) int {
+	m := 0
+	for i := 0; i < s.N(); i++ {
+		if d := s.Degree(i); d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// Space returns the underlying cellular space.
+func (a *Automaton) Space() space.Space { return a.space }
+
+// Rule returns the shared rule of a homogeneous automaton, or nil.
+func (a *Automaton) Rule() rule.Rule { return a.homog }
+
+// RuleAt returns node i's rule.
+func (a *Automaton) RuleAt(i int) rule.Rule { return a.rules[i] }
+
+// N returns the number of nodes.
+func (a *Automaton) N() int { return a.space.N() }
+
+// Homogeneous reports whether all nodes share one rule value.
+func (a *Automaton) Homogeneous() bool { return a.homog != nil }
+
+// NodeNext computes node i's next state as a function of configuration c
+// without mutating anything: the atomic operation whose interleavings the
+// paper studies.
+func (a *Automaton) NodeNext(c config.Config, i int) uint8 {
+	nb := a.space.Neighborhood(i)
+	view := a.scratch[:len(nb)]
+	c.Gather(nb, view)
+	return a.rules[i].Next(view)
+}
+
+// nodeNextInto is NodeNext with caller-provided scratch, safe for
+// concurrent use across distinct scratch buffers.
+func (a *Automaton) nodeNextInto(c config.Config, i int, scratch []uint8) uint8 {
+	nb := a.space.Neighborhood(i)
+	view := scratch[:len(nb)]
+	c.Gather(nb, view)
+	return a.rules[i].Next(view)
+}
+
+// Step applies one synchronous (parallel) global step: dst ← F(src).
+// dst and src must have length N and should not share storage (the whole
+// point of the synchronous semantics is that reads precede all writes).
+func (a *Automaton) Step(dst, src config.Config) {
+	n := a.N()
+	if dst.N() != n || src.N() != n {
+		panic(fmt.Sprintf("automaton: Step sizes %d/%d for %d nodes", dst.N(), src.N(), n))
+	}
+	for i := 0; i < n; i++ {
+		dst.Set(i, a.NodeNext(src, i))
+	}
+}
+
+// StepParallel is Step executed by workers goroutines over node chunks —
+// the logical simultaneity of the classical CA realized as actual hardware
+// parallelism. workers ≤ 0 selects GOMAXPROCS. The result is bit-identical
+// to Step.
+func (a *Automaton) StepParallel(dst, src config.Config, workers int) {
+	n := a.N()
+	if dst.N() != n || src.N() != n {
+		panic(fmt.Sprintf("automaton: StepParallel sizes %d/%d for %d nodes", dst.N(), src.N(), n))
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		a.Step(dst, src)
+		return
+	}
+	// Chunk on 64-node boundaries so no two workers write the same
+	// bitvec word.
+	const align = 64
+	chunk := (n/workers + align) &^ (align - 1)
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			scratch := make([]uint8, len(a.scratch))
+			for i := lo; i < hi; i++ {
+				dst.Set(i, a.nodeNextInto(src, i, scratch))
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// UpdateNode performs one sequential micro-step: recompute node i from c
+// and write it back in place. It returns true if the node's state changed.
+func (a *Automaton) UpdateNode(c config.Config, i int) bool {
+	old := c.Get(i)
+	next := a.NodeNext(c, i)
+	if next == old {
+		return false
+	}
+	c.Set(i, next)
+	return true
+}
+
+// RunSequential performs steps sequential micro-steps on c in place, drawing
+// node indices from sched. It returns the number of micro-steps that changed
+// the configuration.
+func (a *Automaton) RunSequential(c config.Config, sched update.Schedule, steps int) (changes int) {
+	for k := 0; k < steps; k++ {
+		if a.UpdateNode(c, sched.Next()) {
+			changes++
+		}
+	}
+	return changes
+}
+
+// Sweep applies one full pass of the permutation perm sequentially to c in
+// place (the SDS notion of a global sequential step) and reports whether
+// anything changed.
+func (a *Automaton) Sweep(c config.Config, perm []int) bool {
+	changed := false
+	for _, i := range perm {
+		if a.UpdateNode(c, i) {
+			changed = true
+		}
+	}
+	return changed
+}
+
+// SequentialMap computes the SDS global map of one full sweep of perm as a
+// function: dst ← F_perm(src) with dst not aliased to src.
+func (a *Automaton) SequentialMap(dst, src config.Config, perm []int) {
+	dst.CopyFrom(src)
+	a.Sweep(dst, perm)
+}
+
+// FixedPoint reports whether c is a fixed point of the global map: every
+// node's recomputation reproduces its current state. A configuration is a
+// parallel FP iff it is a sequential FP (single-node updates all no-ops),
+// a fact the phase-space tests rely on.
+func (a *Automaton) FixedPoint(c config.Config) bool {
+	for i := 0; i < a.N(); i++ {
+		if a.NodeNext(c, i) != c.Get(i) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,392 @@
+package automaton
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/config"
+	"repro/internal/rule"
+	"repro/internal/space"
+	"repro/internal/update"
+)
+
+func majRing(t testing.TB, n, r int) *Automaton {
+	t.Helper()
+	a, err := New(space.Ring(n, r), rule.Majority(r))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestNewArityValidation(t *testing.T) {
+	// XOR and thresholds are arity-agnostic; a 3-input table on a radius-2
+	// ring must be rejected.
+	if _, err := New(space.Ring(7, 2), rule.Elementary(110)); err == nil {
+		t.Error("arity mismatch accepted")
+	}
+	if _, err := New(space.Ring(7, 1), rule.Elementary(110)); err != nil {
+		t.Errorf("matching arity rejected: %v", err)
+	}
+}
+
+func TestStepMajoritySmoothing(t *testing.T) {
+	a := majRing(t, 8, 1)
+	src := config.MustParse("00011000")
+	dst := config.New(8)
+	a.Step(dst, src)
+	// A 2-block of 1s in a sea of 0s is stable under 3-majority.
+	if dst.String() != "00011000" {
+		t.Errorf("step = %s", dst.String())
+	}
+	// A lone 1 dies.
+	src = config.MustParse("00010000")
+	a.Step(dst, src)
+	if dst.Ones() != 0 {
+		t.Errorf("lone 1 survived: %s", dst.String())
+	}
+}
+
+func TestStepXORTwoNode(t *testing.T) {
+	// The paper's Fig 1(a) machine: two nodes, each reading both states.
+	s := space.CompleteGraph(2)
+	a := MustNew(s, rule.XOR{})
+	steps := map[string]string{
+		"00": "00", "01": "11", "10": "11", "11": "00",
+	}
+	for in, want := range steps {
+		src := config.MustParse(in)
+		dst := config.New(2)
+		a.Step(dst, src)
+		if dst.String() != want {
+			t.Errorf("F(%s) = %s, want %s", in, dst.String(), want)
+		}
+	}
+}
+
+func TestLemma1iTwoCycle(t *testing.T) {
+	// Alternating configurations form a parallel 2-cycle for MAJORITY on
+	// even rings (Lemma 1(i)).
+	for _, n := range []int{4, 6, 8, 10, 12} {
+		a := majRing(t, n, 1)
+		x := config.Alternating(n, 0)
+		if !a.IsTwoCycle(x) {
+			t.Errorf("n=%d: alternating configuration is not a 2-cycle", n)
+		}
+		// And its image is the other phase.
+		fx := config.New(n)
+		a.Step(fx, x)
+		if !fx.Equal(config.Alternating(n, 1)) {
+			t.Errorf("n=%d: F(alt0) = %s", n, fx.String())
+		}
+	}
+}
+
+func TestOddRingAlternatingNotTwoCycle(t *testing.T) {
+	// On odd rings the alternating pattern has a defect and is not a clean
+	// 2-cycle certificate; IsTwoCycle must not claim one blindly.
+	a := majRing(t, 7, 1)
+	x := config.Alternating(7, 0)
+	fx := config.New(7)
+	a.Step(fx, x)
+	if fx.Equal(config.Alternating(7, 1)) {
+		t.Error("odd ring should break the alternation")
+	}
+}
+
+func TestStepParallelMatchesStep(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, n := range []int{64, 100, 1000} {
+		a := majRing(t, n, 2)
+		src := config.Random(rng, n, 0.5)
+		want := config.New(n)
+		a.Step(want, src)
+		for _, workers := range []int{1, 2, 3, 8} {
+			got := config.New(n)
+			a.StepParallel(got, src, workers)
+			if !got.Equal(want) {
+				t.Errorf("n=%d workers=%d differs from sequential step", n, workers)
+			}
+		}
+	}
+}
+
+func TestUpdateNodeChangeReporting(t *testing.T) {
+	a := majRing(t, 5, 1)
+	c := config.MustParse("00100")
+	if !a.UpdateNode(c, 2) {
+		t.Error("lone 1 update should change")
+	}
+	if c.Get(2) != 0 {
+		t.Error("lone 1 should die")
+	}
+	if a.UpdateNode(c, 2) {
+		t.Error("second update should be a no-op")
+	}
+}
+
+func TestFixedPoint(t *testing.T) {
+	a := majRing(t, 6, 1)
+	for s, want := range map[string]bool{
+		"000000": true,
+		"111111": true,
+		"000111": true, // blocks of ≥2 are majority-stable
+		"010101": false,
+		"010000": false,
+	} {
+		if got := a.FixedPoint(config.MustParse(s)); got != want {
+			t.Errorf("FixedPoint(%s) = %v, want %v", s, got, want)
+		}
+	}
+}
+
+func TestSweepReachesFixedPoint(t *testing.T) {
+	a := majRing(t, 9, 1)
+	c := config.MustParse("010101010")
+	perm := []int{0, 1, 2, 3, 4, 5, 6, 7, 8}
+	for i := 0; i < 10 && a.Sweep(c, perm); i++ {
+	}
+	if !a.FixedPoint(c) {
+		t.Errorf("sweeps did not reach a fixed point: %s", c.String())
+	}
+}
+
+func TestSequentialMapDoesNotMutateSource(t *testing.T) {
+	a := majRing(t, 6, 1)
+	src := config.MustParse("010101")
+	dst := config.New(6)
+	a.SequentialMap(dst, src, []int{0, 1, 2, 3, 4, 5})
+	if src.String() != "010101" {
+		t.Error("SequentialMap mutated src")
+	}
+	if dst.Equal(src) {
+		t.Error("sequential sweep of alternating config should change it")
+	}
+}
+
+func TestConvergeFixedPoint(t *testing.T) {
+	a := majRing(t, 8, 1)
+	res := a.Converge(config.MustParse("00110011"), 100)
+	if res.Outcome != FixedPointOutcome || res.Period != 1 || res.Transient != 0 {
+		t.Errorf("stable blocks: %+v", res)
+	}
+	res = a.Converge(config.MustParse("01000010"), 100)
+	if res.Outcome != FixedPointOutcome {
+		t.Errorf("sparse config should die: %+v", res)
+	}
+	if !res.Final.Quiescent() {
+		t.Errorf("sparse config should converge to 0^n, got %s", res.Final.String())
+	}
+}
+
+func TestConvergeTwoCycle(t *testing.T) {
+	a := majRing(t, 8, 1)
+	res := a.Converge(config.Alternating(8, 0), 100)
+	if res.Outcome != CycleOutcome || res.Period != 2 || res.Transient != 0 {
+		t.Errorf("alternating: %+v", res)
+	}
+}
+
+func TestConvergeTransientLength(t *testing.T) {
+	// XOR on a 4-ring: pick a configuration with a known transient.
+	a := MustNew(space.CompleteGraph(2), rule.XOR{})
+	res := a.Converge(config.MustParse("01"), 100)
+	// 01 -> 11 -> 00 -> 00: transient 2 to the FP.
+	if res.Outcome != FixedPointOutcome || res.Transient != 2 {
+		t.Errorf("XOR pair: %+v", res)
+	}
+}
+
+func TestConvergeUnresolved(t *testing.T) {
+	// Parity rule on a 5-ring has long cycles; budget of 1 step must report
+	// Unresolved rather than lying.
+	a := MustNew(space.Ring(5, 1), rule.XOR{})
+	res := a.Converge(config.MustParse("10000"), 1)
+	if res.Outcome != Unresolved {
+		t.Errorf("tiny budget should be Unresolved, got %+v", res)
+	}
+}
+
+func TestProposition1PeriodAtMostTwoExhaustive(t *testing.T) {
+	// Proposition 1 (Goles–Olivos): finite symmetric threshold CA orbits end
+	// in FPs or 2-cycles. Exhaustive over all configurations for assorted
+	// rules and rings.
+	for _, n := range []int{4, 5, 6, 7, 8, 9, 10} {
+		for k := 0; k <= 4; k++ {
+			a := MustNew(space.Ring(n, 1), rule.Threshold{K: k})
+			config.Space(n, func(idx uint64, c config.Config) {
+				res := a.Converge(c.Clone(), 4*n+16)
+				if res.Outcome == Unresolved {
+					t.Fatalf("n=%d k=%d idx=%d unresolved", n, k, idx)
+				}
+				if res.Period > 2 {
+					t.Errorf("n=%d k=%d idx=%d period %d > 2", n, k, idx, res.Period)
+				}
+			})
+		}
+	}
+}
+
+func TestXORCanHavePeriodGreaterTwo(t *testing.T) {
+	// Sanity check that the period-≤2 property is special to thresholds:
+	// parity CA have longer cycles (e.g. on a 5-ring).
+	a := MustNew(space.Ring(5, 1), rule.XOR{})
+	found := false
+	config.Space(5, func(_ uint64, c config.Config) {
+		res := a.Converge(c.Clone(), 1000)
+		if res.Period > 2 {
+			found = true
+		}
+	})
+	if !found {
+		t.Error("expected some XOR orbit with period > 2")
+	}
+}
+
+func TestConvergeSequentialMajority(t *testing.T) {
+	for _, n := range []int{5, 8, 13} {
+		a := majRing(t, n, 1)
+		rng := rand.New(rand.NewSource(int64(n)))
+		for trial := 0; trial < 20; trial++ {
+			c := config.Random(rng, n, 0.5)
+			sched := update.NewRandomFair(n, int64(trial))
+			_, ok := a.ConvergeSequential(c, sched, 100*n*n)
+			if !ok {
+				t.Fatalf("n=%d trial=%d: sequential majority did not converge", n, trial)
+			}
+			if !a.FixedPoint(c) {
+				t.Fatalf("n=%d trial=%d: reported FP is not fixed", n, trial)
+			}
+		}
+	}
+}
+
+func TestRunSequentialCountsChanges(t *testing.T) {
+	a := majRing(t, 4, 1)
+	c := config.MustParse("0000")
+	if ch := a.RunSequential(c, update.NewRoundRobin(4), 8); ch != 0 {
+		t.Errorf("quiescent majority made %d changes", ch)
+	}
+}
+
+func TestNonHomogeneous(t *testing.T) {
+	// Three nodes on a ring: two majority nodes and one parity node.
+	s := space.Ring(3, 1)
+	rules := []rule.Rule{rule.Majority(1), rule.Majority(1), rule.XOR{}}
+	a, err := NewNonHomogeneous(s, rules)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Homogeneous() {
+		t.Error("mixed-rule automaton claims homogeneity")
+	}
+	if a.RuleAt(2).Name() != "xor" {
+		t.Error("RuleAt broken")
+	}
+	// 111: majority nodes stay 1, parity node computes 1^1^1 = 1 -> FP.
+	if !a.FixedPoint(config.MustParse("111")) {
+		t.Error("111 should be fixed")
+	}
+	if _, err := NewNonHomogeneous(s, rules[:2]); err == nil {
+		t.Error("wrong rule count accepted")
+	}
+}
+
+func TestNodeNextMatchesStepQuick(t *testing.T) {
+	a := majRing(t, 11, 2)
+	f := func(raw uint16) bool {
+		c := config.FromIndex(uint64(raw)&(1<<11-1), 11)
+		dst := config.New(11)
+		a.Step(dst, c)
+		for i := 0; i < 11; i++ {
+			if a.NodeNext(c, i) != dst.Get(i) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestComplementConjugacyQuick(t *testing.T) {
+	// MAJORITY is self-dual: F(¬x) = ¬F(x). The engine must preserve this.
+	a := majRing(t, 9, 1)
+	f := func(raw uint16) bool {
+		c := config.FromIndex(uint64(raw)&(1<<9-1), 9)
+		f1 := config.New(9)
+		a.Step(f1, c.Complement())
+		f2 := config.New(9)
+		a.Step(f2, c)
+		return f1.Equal(f2.Complement())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLocalCaseAnalysisMajority(t *testing.T) {
+	revisitable, ok := LocalCaseAnalysis(rule.Majority(1))
+	if !ok {
+		t.Errorf("Lemma 1(ii) local analysis failed: revisitable windows %v", revisitable)
+	}
+}
+
+func TestLocalCaseAnalysisAllThresholds(t *testing.T) {
+	// Theorem 1, via the same local argument, for every k-of-3 threshold.
+	for k := 0; k <= 4; k++ {
+		if _, ok := LocalCaseAnalysis(rule.Threshold{K: k}); !ok {
+			t.Errorf("threshold k=%d: local analysis found potential revisits", k)
+		}
+	}
+}
+
+func TestLocalCaseAnalysisXORFails(t *testing.T) {
+	// XOR sequential CA do cycle; the local analysis must detect potential
+	// revisits (it is exact enough to separate the classes).
+	if _, ok := LocalCaseAnalysis(rule.XOR{}); ok {
+		t.Error("XOR local analysis claims cycle-freeness")
+	}
+}
+
+func TestOrbitVisitSequence(t *testing.T) {
+	a := MustNew(space.CompleteGraph(2), rule.XOR{})
+	var seen []string
+	a.Orbit(config.MustParse("01"), 3, func(t int, c config.Config) bool {
+		seen = append(seen, c.String())
+		return true
+	})
+	want := []string{"01", "11", "00", "00"}
+	if len(seen) != len(want) {
+		t.Fatalf("orbit %v", seen)
+	}
+	for i := range want {
+		if seen[i] != want[i] {
+			t.Fatalf("orbit %v, want %v", seen, want)
+		}
+	}
+}
+
+func BenchmarkStepScalarRing4096(b *testing.B) {
+	a := majRing(b, 4096, 1)
+	src := config.Alternating(4096, 0)
+	dst := config.New(4096)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		a.Step(dst, src)
+		dst, src = src, dst
+	}
+}
+
+func BenchmarkStepParallelRing65536(b *testing.B) {
+	a := majRing(b, 65536, 1)
+	src := config.Alternating(65536, 0)
+	dst := config.New(65536)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		a.StepParallel(dst, src, 0)
+		dst, src = src, dst
+	}
+}

@@ -1,0 +1,190 @@
+package automaton
+
+import (
+	"fmt"
+
+	"repro/internal/config"
+)
+
+// Block-sequential updating interpolates between the paper's two
+// disciplines: the nodes are partitioned into an ordered sequence of
+// blocks; within a block all nodes read the same pre-block configuration
+// and commit simultaneously (a miniature parallel CA), and the blocks fire
+// in order (a miniature SCA). One block containing every node is the
+// classical parallel CA; n singleton blocks are a sequential sweep.
+//
+// For threshold automata the discipline localizes the paper's dichotomy:
+// a block that is an independent set of the underlying graph updates
+// without any internal read/write conflict, so it is equivalent to updating
+// its nodes sequentially — and if *every* block is independent, the
+// Lyapunov argument of Theorem 1 applies and no cycle is possible. Cycles
+// can reappear exactly when some block contains adjacent nodes (see
+// experiment E20).
+
+// ValidateBlocks checks that blocks is an ordered partition of 0..n−1.
+func ValidateBlocks(n int, blocks [][]int) error {
+	seen := make([]bool, n)
+	count := 0
+	for bi, b := range blocks {
+		if len(b) == 0 {
+			return fmt.Errorf("automaton: block %d is empty", bi)
+		}
+		for _, i := range b {
+			if i < 0 || i >= n {
+				return fmt.Errorf("automaton: block %d contains out-of-range node %d", bi, i)
+			}
+			if seen[i] {
+				return fmt.Errorf("automaton: node %d appears in more than one block", i)
+			}
+			seen[i] = true
+			count++
+		}
+	}
+	if count != n {
+		return fmt.Errorf("automaton: blocks cover %d of %d nodes", count, n)
+	}
+	return nil
+}
+
+// BlockSweep applies one block-sequential global step to c in place and
+// reports whether any node changed. Blocks must satisfy ValidateBlocks.
+func (a *Automaton) BlockSweep(c config.Config, blocks [][]int) bool {
+	changed := false
+	// Scratch for the block's simultaneously computed next states.
+	var next []uint8
+	for _, b := range blocks {
+		if cap(next) < len(b) {
+			next = make([]uint8, len(b))
+		}
+		next = next[:len(b)]
+		for k, i := range b {
+			next[k] = a.NodeNext(c, i)
+		}
+		for k, i := range b {
+			if c.Get(i) != next[k] {
+				changed = true
+			}
+			c.Set(i, next[k])
+		}
+	}
+	return changed
+}
+
+// BlockMap computes dst ← F_blocks(src) without mutating src.
+func (a *Automaton) BlockMap(dst, src config.Config, blocks [][]int) {
+	dst.CopyFrom(src)
+	a.BlockSweep(dst, blocks)
+}
+
+// ContiguousBlocks partitions 0..n−1 into ⌈n/size⌉ consecutive runs, the
+// natural interpolation knob for experiment E20 (size 1 = sequential sweep,
+// size n = parallel step).
+func ContiguousBlocks(n, size int) [][]int {
+	if size < 1 || size > n {
+		panic(fmt.Sprintf("automaton: invalid block size %d for %d nodes", size, n))
+	}
+	var blocks [][]int
+	for lo := 0; lo < n; lo += size {
+		hi := lo + size
+		if hi > n {
+			hi = n
+		}
+		b := make([]int, 0, hi-lo)
+		for i := lo; i < hi; i++ {
+			b = append(b, i)
+		}
+		blocks = append(blocks, b)
+	}
+	return blocks
+}
+
+// ParityBlocks partitions 0..n−1 into the even nodes followed by the odd
+// nodes — the classical odd-even (red-black) sweep. On a radius-1 ring with
+// even n both blocks are independent sets, so block-sequential threshold
+// dynamics cannot cycle under this schedule.
+func ParityBlocks(n int) [][]int {
+	var even, odd []int
+	for i := 0; i < n; i++ {
+		if i%2 == 0 {
+			even = append(even, i)
+		} else {
+			odd = append(odd, i)
+		}
+	}
+	if len(odd) == 0 {
+		return [][]int{even}
+	}
+	return [][]int{even, odd}
+}
+
+// BlocksIndependent reports whether every block is an independent set of
+// the automaton's neighborhood graph (no block contains two distinct
+// adjacent nodes) — the hypothesis under which block-sequential threshold
+// dynamics provably cannot cycle.
+func (a *Automaton) BlocksIndependent(blocks [][]int) bool {
+	for _, b := range blocks {
+		inBlock := map[int]bool{}
+		for _, i := range b {
+			inBlock[i] = true
+		}
+		for _, i := range b {
+			for _, j := range a.space.Neighborhood(i) {
+				if j != i && inBlock[j] {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// BlockMaxPeriod iterates the deterministic block-sequential map over the
+// full configuration space (n ≤ 20) and returns the longest cycle period.
+func (a *Automaton) BlockMaxPeriod(blocks [][]int) int {
+	n := a.N()
+	if n > 20 {
+		panic(fmt.Sprintf("automaton: refusing block phase space for %d nodes", n))
+	}
+	if err := ValidateBlocks(n, blocks); err != nil {
+		panic(err)
+	}
+	total := uint64(1) << uint(n)
+	table := make([]uint32, total)
+	dst := config.New(n)
+	config.Space(n, func(idx uint64, c config.Config) {
+		a.BlockMap(dst, c, blocks)
+		table[idx] = uint32(dst.Index())
+	})
+	// Longest cycle of the functional graph.
+	state := make([]uint8, total)
+	maxPeriod := 0
+	var path []uint32
+	for start := uint64(0); start < total; start++ {
+		if state[start] != 0 {
+			continue
+		}
+		path = path[:0]
+		x := uint32(start)
+		for state[x] == 0 {
+			state[x] = 1
+			path = append(path, x)
+			x = table[x]
+		}
+		if state[x] == 1 {
+			period := 0
+			for i := len(path) - 1; i >= 0; i-- {
+				period++
+				if path[i] == x {
+					break
+				}
+			}
+			if period > maxPeriod {
+				maxPeriod = period
+			}
+		}
+		for _, v := range path {
+			state[v] = 2
+		}
+	}
+	return maxPeriod
+}

@@ -1,0 +1,171 @@
+package automaton
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/rule"
+	"repro/internal/space"
+)
+
+func TestValidateBlocks(t *testing.T) {
+	good := [][]int{{0, 2}, {1, 3}}
+	if err := ValidateBlocks(4, good); err != nil {
+		t.Errorf("valid blocks rejected: %v", err)
+	}
+	bad := map[string][][]int{
+		"empty block":  {{0, 1}, {}, {2, 3}},
+		"duplicate":    {{0, 1}, {1, 2, 3}},
+		"missing":      {{0, 1}, {2}},
+		"out of range": {{0, 1}, {2, 7}},
+	}
+	for name, blocks := range bad {
+		if err := ValidateBlocks(4, blocks); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}
+
+func TestContiguousBlocks(t *testing.T) {
+	blocks := ContiguousBlocks(7, 3)
+	if len(blocks) != 3 {
+		t.Fatalf("blocks %v", blocks)
+	}
+	if err := ValidateBlocks(7, blocks); err != nil {
+		t.Fatal(err)
+	}
+	if len(blocks[2]) != 1 || blocks[2][0] != 6 {
+		t.Errorf("last block %v", blocks[2])
+	}
+	// size n = single block.
+	if got := ContiguousBlocks(5, 5); len(got) != 1 || len(got[0]) != 5 {
+		t.Errorf("full block %v", got)
+	}
+}
+
+func TestParityBlocks(t *testing.T) {
+	blocks := ParityBlocks(6)
+	if err := ValidateBlocks(6, blocks); err != nil {
+		t.Fatal(err)
+	}
+	if len(blocks) != 2 || len(blocks[0]) != 3 || blocks[0][1] != 2 {
+		t.Errorf("parity blocks %v", blocks)
+	}
+	if got := ParityBlocks(1); len(got) != 1 {
+		t.Errorf("singleton parity blocks %v", got)
+	}
+}
+
+func TestBlockSweepSingleBlockEqualsParallelStep(t *testing.T) {
+	a := majRing(t, 10, 1)
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 20; trial++ {
+		src := config.Random(rng, 10, 0.5)
+		want := config.New(10)
+		a.Step(want, src)
+		got := src.Clone()
+		a.BlockSweep(got, ContiguousBlocks(10, 10))
+		if !got.Equal(want) {
+			t.Fatalf("single-block sweep differs from parallel step")
+		}
+	}
+}
+
+func TestBlockSweepSingletonsEqualSequentialSweep(t *testing.T) {
+	a := majRing(t, 9, 1)
+	rng := rand.New(rand.NewSource(2))
+	perm := []int{0, 1, 2, 3, 4, 5, 6, 7, 8}
+	for trial := 0; trial < 20; trial++ {
+		src := config.Random(rng, 9, 0.5)
+		want := src.Clone()
+		a.Sweep(want, perm)
+		got := src.Clone()
+		a.BlockSweep(got, ContiguousBlocks(9, 1))
+		if !got.Equal(want) {
+			t.Fatalf("singleton block sweep differs from sequential sweep")
+		}
+	}
+}
+
+func TestBlockSweepChangeReporting(t *testing.T) {
+	a := majRing(t, 6, 1)
+	fp := config.MustParse("000000")
+	if a.BlockSweep(fp, ParityBlocks(6)) {
+		t.Error("sweep of a fixed point reported change")
+	}
+	c := config.MustParse("010000")
+	if !a.BlockSweep(c, ParityBlocks(6)) {
+		t.Error("sweep that kills a lone 1 reported no change")
+	}
+}
+
+func TestBlockMapDoesNotMutateSource(t *testing.T) {
+	a := majRing(t, 6, 1)
+	src := config.Alternating(6, 0)
+	dst := config.New(6)
+	a.BlockMap(dst, src, ParityBlocks(6))
+	if !src.Equal(config.Alternating(6, 0)) {
+		t.Error("BlockMap mutated src")
+	}
+}
+
+func TestBlocksIndependent(t *testing.T) {
+	a := majRing(t, 8, 1)
+	if !a.BlocksIndependent(ParityBlocks(8)) {
+		t.Error("parity blocks on an even ring are independent sets")
+	}
+	if a.BlocksIndependent(ContiguousBlocks(8, 2)) {
+		t.Error("adjacent pairs are not independent")
+	}
+	if !a.BlocksIndependent(ContiguousBlocks(8, 1)) {
+		t.Error("singletons are trivially independent")
+	}
+	// On an odd ring, the parity split puts two adjacent nodes (0 and n−1…
+	// both even? n=7: evens {0,2,4,6}; 6 and 0 are adjacent) together.
+	a7 := majRing(t, 7, 1)
+	if a7.BlocksIndependent(ParityBlocks(7)) {
+		t.Error("parity blocks on an odd ring contain adjacent evens")
+	}
+}
+
+func TestBlockMaxPeriodInterpolation(t *testing.T) {
+	// The E20 phenomenon on a 12-ring MAJORITY CA:
+	//   block size 1 (sequential)   → no cycles (max period 1),
+	//   block size n (parallel)     → 2-cycles,
+	//   independent parity blocks   → no cycles,
+	//   adjacent pair blocks        → cycles may exist or not; measure ≥1.
+	a := majRing(t, 12, 1)
+	if p := a.BlockMaxPeriod(ContiguousBlocks(12, 1)); p != 1 {
+		t.Errorf("sequential sweep max period %d, want 1", p)
+	}
+	if p := a.BlockMaxPeriod(ContiguousBlocks(12, 12)); p != 2 {
+		t.Errorf("parallel max period %d, want 2", p)
+	}
+	if p := a.BlockMaxPeriod(ParityBlocks(12)); p != 1 {
+		t.Errorf("independent parity blocks max period %d, want 1", p)
+	}
+}
+
+func TestIndependentBlocksNeverCycleAcrossSizes(t *testing.T) {
+	// The locality claim: whenever every block is independent, the
+	// block-sequential threshold map has only fixed points as attractors.
+	for _, n := range []int{6, 8, 10} {
+		a := majRing(t, n, 1)
+		blocks := ParityBlocks(n)
+		if !a.BlocksIndependent(blocks) {
+			t.Fatalf("n=%d: parity blocks not independent", n)
+		}
+		if p := a.BlockMaxPeriod(blocks); p != 1 {
+			t.Errorf("n=%d: independent-block sweep has period-%d cycle", n, p)
+		}
+	}
+}
+
+func TestBlockMaxPeriodXORBaseline(t *testing.T) {
+	// Sanity: parity rule has long cycles even block-sequentially.
+	a := MustNew(space.Ring(5, 1), rule.XOR{})
+	if p := a.BlockMaxPeriod(ContiguousBlocks(5, 1)); p < 2 {
+		t.Errorf("sequential XOR max period %d, want ≥ 2", p)
+	}
+}

@@ -1,0 +1,89 @@
+package automaton
+
+import (
+	"fmt"
+
+	"repro/internal/config"
+)
+
+// Light cones mechanize the paper's §4 remark that classical CA are models
+// of *bounded asynchrony*: a change at node i can influence node j no
+// sooner — and no later, in the worst case — than after about d(i,j)/r
+// parallel steps. We measure this directly as the spread of the difference
+// pattern between a reference orbit and a perturbed orbit.
+
+// ConeStep records the difference front at one time step.
+type ConeStep struct {
+	T       int
+	Hamming int // number of differing nodes
+	MinDist int // smallest ring distance from the perturbation site to a difference
+	MaxDist int // largest such distance; the cone's radius
+}
+
+// LightCone perturbs node flip of x0, runs both parallel orbits for steps
+// global steps and reports the difference front per step (entry 0 is the
+// initial single-node perturbation). The automaton's space must be a ring
+// for the distance accounting (node indices are compared cyclically).
+func (a *Automaton) LightCone(x0 config.Config, flip, steps int) []ConeStep {
+	n := a.N()
+	if x0.N() != n {
+		panic(fmt.Sprintf("automaton: LightCone config size %d for %d nodes", x0.N(), n))
+	}
+	ref := x0.Clone()
+	pert := x0.Clone()
+	pert.Set(flip, 1-pert.Get(flip))
+	out := make([]ConeStep, 0, steps+1)
+	tmpR := config.New(n)
+	tmpP := config.New(n)
+	for t := 0; t <= steps; t++ {
+		out = append(out, coneStep(t, ref, pert, flip))
+		a.Step(tmpR, ref)
+		a.Step(tmpP, pert)
+		ref, tmpR = tmpR, ref
+		pert, tmpP = tmpP, pert
+	}
+	return out
+}
+
+func coneStep(t int, ref, pert config.Config, site int) ConeStep {
+	n := ref.N()
+	cs := ConeStep{T: t, MinDist: -1, MaxDist: -1}
+	for i := 0; i < n; i++ {
+		if ref.Get(i) == pert.Get(i) {
+			continue
+		}
+		cs.Hamming++
+		d := i - site
+		if d < 0 {
+			d = -d
+		}
+		if n-d < d {
+			d = n - d
+		}
+		if cs.MinDist == -1 || d < cs.MinDist {
+			cs.MinDist = d
+		}
+		if d > cs.MaxDist {
+			cs.MaxDist = d
+		}
+	}
+	return cs
+}
+
+// ConeSpeed estimates the propagation speed of a difference front from a
+// LightCone trace: the maximum over steps of MaxDist/T among steps where
+// the difference survived. A radius-r CA can never exceed speed r; additive
+// rules like XOR attain it exactly.
+func ConeSpeed(trace []ConeStep) float64 {
+	best := 0.0
+	for _, cs := range trace {
+		if cs.T == 0 || cs.Hamming == 0 {
+			continue
+		}
+		v := float64(cs.MaxDist) / float64(cs.T)
+		if v > best {
+			best = v
+		}
+	}
+	return best
+}

@@ -1,0 +1,101 @@
+package automaton
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/rule"
+	"repro/internal/space"
+)
+
+func TestLightConeXORSpeedEqualsRadius(t *testing.T) {
+	// Additive rules propagate differences at exactly the CA speed limit:
+	// the cone radius grows by r every step (until it wraps the ring).
+	for _, r := range []int{1, 2, 3} {
+		n := 64
+		a := MustNew(space.Ring(n, r), rule.XOR{})
+		x0 := config.New(n) // quiescent background
+		steps := (n/2 - 1) / r
+		trace := a.LightCone(x0, n/2, steps)
+		for _, cs := range trace {
+			if cs.Hamming == 0 {
+				t.Fatalf("r=%d t=%d: XOR difference died", r, cs.T)
+			}
+			if cs.MaxDist != r*cs.T && cs.T > 0 {
+				t.Fatalf("r=%d t=%d: cone radius %d, want %d", r, cs.T, cs.MaxDist, r*cs.T)
+			}
+		}
+		if v := ConeSpeed(trace); v != float64(r) {
+			t.Errorf("r=%d: cone speed %f, want %d", r, v, r)
+		}
+	}
+}
+
+func TestLightConeNeverExceedsRadius(t *testing.T) {
+	// Bounded asynchrony (§4): NO rule can propagate influence faster than
+	// r nodes per step. Check across assorted rules on random backgrounds.
+	rng := rand.New(rand.NewSource(6))
+	n := 48
+	for _, spec := range []struct {
+		r  int
+		rl rule.Rule
+	}{
+		{1, rule.Majority(1)}, {1, rule.Elementary(110)}, {1, rule.Elementary(30)},
+		{2, rule.Majority(2)}, {3, rule.Majority(3)},
+	} {
+		a := MustNew(space.Ring(n, spec.r), spec.rl)
+		for trial := 0; trial < 5; trial++ {
+			x0 := config.Random(rng, n, 0.5)
+			trace := a.LightCone(x0, rng.Intn(n), 6)
+			for _, cs := range trace {
+				if cs.Hamming > 0 && cs.MaxDist > spec.r*cs.T && cs.T > 0 {
+					t.Fatalf("%s r=%d: influence traveled %d > %d at t=%d",
+						spec.rl.Name(), spec.r, cs.MaxDist, spec.r*cs.T, cs.T)
+				}
+			}
+			if v := ConeSpeed(trace); v > float64(spec.r) {
+				t.Fatalf("%s: speed %f exceeds radius %d", spec.rl.Name(), v, spec.r)
+			}
+		}
+	}
+}
+
+func TestLightConeMajorityDamps(t *testing.T) {
+	// On a uniform background a single flipped cell is a lone minority:
+	// MAJORITY erases it in one step and the orbits merge.
+	n := 32
+	a := majRing(t, n, 1)
+	trace := a.LightCone(config.New(n), 10, 4)
+	if trace[0].Hamming != 1 || trace[0].MaxDist != 0 {
+		t.Fatalf("t=0 front %+v", trace[0])
+	}
+	if trace[1].Hamming != 0 {
+		t.Fatalf("majority failed to erase a lone perturbation: %+v", trace[1])
+	}
+	if ConeSpeed(trace) != 0 {
+		t.Error("damped perturbation should have zero speed")
+	}
+}
+
+func TestLightConeRule30Chaotic(t *testing.T) {
+	// Rule 30 differences survive and spread on random backgrounds — the
+	// standard "chaotic" behavior; speed positive but ≤ 1.
+	n := 64
+	a := MustNew(space.Ring(n, 1), rule.Elementary(30))
+	rng := rand.New(rand.NewSource(30))
+	survived := false
+	for trial := 0; trial < 5; trial++ {
+		trace := a.LightCone(config.Random(rng, n, 0.5), n/2, 10)
+		last := trace[len(trace)-1]
+		if last.Hamming > 0 {
+			survived = true
+			if v := ConeSpeed(trace); v <= 0 || v > 1 {
+				t.Fatalf("rule 30 speed %f out of (0,1]", v)
+			}
+		}
+	}
+	if !survived {
+		t.Error("rule 30 perturbations all died; expected chaotic spreading")
+	}
+}

@@ -1,0 +1,114 @@
+package automaton
+
+import (
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/rule"
+	"repro/internal/space"
+)
+
+// The paper's Definition 2 distinguishes CA with memory (2r+1 inputs) from
+// memoryless CA (2r inputs). These tests exercise the memoryless variant
+// end to end.
+
+func TestMemorylessXOREqualsRule90(t *testing.T) {
+	// Memoryless parity of the two radius-1 neighbors is exactly Wolfram
+	// rule 90 (f(l,c,r) = l ⊕ r): the two automata must generate identical
+	// global maps.
+	n := 10
+	aML := MustNew(space.Memoryless(space.Ring(n, 1)), rule.XOR{})
+	a90 := MustNew(space.Ring(n, 1), rule.Elementary(90))
+	d1, d2 := config.New(n), config.New(n)
+	config.Space(n, func(_ uint64, c config.Config) {
+		aML.Step(d1, c)
+		a90.Step(d2, c)
+		if !d1.Equal(d2) {
+			t.Fatalf("memoryless XOR and rule 90 differ on %s: %s vs %s",
+				c.String(), d1.String(), d2.String())
+		}
+	})
+}
+
+func TestMemorylessNeighborhoodSize(t *testing.T) {
+	s := space.Memoryless(space.Ring(8, 2))
+	if d, ok := space.Regular(s); !ok || d != 4 {
+		t.Fatalf("memoryless r=2 degree = (%d,%v), want (4,true)", d, ok)
+	}
+	for i := 0; i < 8; i++ {
+		for _, j := range s.Neighborhood(i) {
+			if j == i {
+				t.Fatalf("node %d still in its own memoryless neighborhood", i)
+			}
+		}
+	}
+}
+
+func TestMemorylessThresholdSequentiallyAcyclicViaEnergy(t *testing.T) {
+	// Memoryless threshold CA keep w_ii = 0 ≥ 0, so the Lyapunov argument
+	// and hence sequential acyclicity still apply; verify by exhaustion on
+	// small rings for both 1-of-2 (OR) and 2-of-2 (AND) neighbor rules.
+	for _, k := range []int{1, 2} {
+		for _, n := range []int{4, 6, 8} {
+			a := MustNew(space.Memoryless(space.Ring(n, 1)), rule.Threshold{K: k})
+			// exhaustive union-graph check through the sequential engine:
+			// walk all configs and all single updates, assert no SCC cycle
+			// via the simple invariant that repeated greedy updates always
+			// terminate (energy argument), checked for every start.
+			config.Space(n, func(_ uint64, c config.Config) {
+				x := c.Clone()
+				sched := a.GreedyActiveSchedule(x)
+				steps := 0
+				for !a.FixedPoint(x) {
+					a.UpdateNode(x, sched.Next())
+					steps++
+					if steps > 4*n*n {
+						t.Fatalf("k=%d n=%d: no convergence from %s", k, n, c.String())
+					}
+				}
+			})
+		}
+	}
+}
+
+func TestMemorylessBipartiteTwoCycle(t *testing.T) {
+	// On a bipartite space, memoryless neighbor-threshold CA flip the
+	// bipartition configuration wholesale: part-0 nodes see only 1s, part-1
+	// nodes only 0s.
+	sp := space.Memoryless(space.Ring(8, 1))
+	for _, k := range []int{1, 2} {
+		a := MustNew(sp, rule.Threshold{K: k})
+		x := config.Alternating(8, 0)
+		if !a.IsTwoCycle(x) {
+			t.Errorf("k=%d: alternating configuration not a memoryless 2-cycle", k)
+		}
+	}
+}
+
+func TestGreedyActiveScheduleConverges(t *testing.T) {
+	a := majRing(t, 16, 1)
+	c := config.Alternating(16, 0)
+	sched := a.GreedyActiveSchedule(c)
+	steps := 0
+	for !a.FixedPoint(c) {
+		a.UpdateNode(c, sched.Next())
+		steps++
+		if steps > 16*16*10 {
+			t.Fatal("greedy adversary made the threshold SCA diverge")
+		}
+	}
+	// After fixation the schedule falls back to round-robin and never lies.
+	for i := 0; i < 32; i++ {
+		node := sched.Next()
+		if a.UpdateNode(c, node) {
+			t.Fatal("update changed a fixed point")
+		}
+	}
+}
+
+func TestGreedyActiveScheduleName(t *testing.T) {
+	a := majRing(t, 4, 1)
+	if a.GreedyActiveSchedule(config.New(4)).Name() != "greedy-active" {
+		t.Error("schedule name wrong")
+	}
+}

@@ -1,0 +1,252 @@
+package automaton
+
+import (
+	"fmt"
+
+	"repro/internal/config"
+	"repro/internal/rule"
+	"repro/internal/update"
+)
+
+// Outcome classifies where an orbit ended up: the Definition 3 taxonomy of
+// configurations, observed from a starting point.
+type Outcome int
+
+const (
+	// Unresolved means the step budget ran out before periodicity appeared.
+	Unresolved Outcome = iota
+	// FixedPointOutcome means the orbit reached a configuration with F(x)=x.
+	FixedPointOutcome
+	// CycleOutcome means the orbit entered a cycle of period ≥ 2.
+	CycleOutcome
+)
+
+// String implements fmt.Stringer.
+func (o Outcome) String() string {
+	switch o {
+	case FixedPointOutcome:
+		return "fixed-point"
+	case CycleOutcome:
+		return "cycle"
+	default:
+		return "unresolved"
+	}
+}
+
+// OrbitResult reports the eventual behavior of one orbit.
+type OrbitResult struct {
+	Outcome   Outcome
+	Transient int           // steps before entering the periodic part
+	Period    int           // 1 for fixed points, ≥ 2 for cycles, 0 if unresolved
+	Final     config.Config // a configuration on the periodic part (or last seen)
+}
+
+// Converge iterates the parallel global map from x0 for at most maxSteps,
+// returning the orbit's classification. It detects periodicity with Brent's
+// algorithm (O(1) extra space beyond two configurations), then recomputes
+// the exact transient length. Proposition 1 predicts Period ∈ {1, 2} for
+// finite symmetric threshold automata, which the tests assert.
+func (a *Automaton) Converge(x0 config.Config, maxSteps int) OrbitResult {
+	n := a.N()
+	if x0.N() != n {
+		panic(fmt.Sprintf("automaton: Converge config size %d for %d nodes", x0.N(), n))
+	}
+	// Brent: find period lam of the eventually-periodic sequence.
+	power, lam := 1, 1
+	tortoise := x0.Clone()
+	hare := config.New(n)
+	a.Step(hare, tortoise)
+	steps := 1
+	for !tortoise.Equal(hare) {
+		if steps >= maxSteps {
+			return OrbitResult{Outcome: Unresolved, Final: hare}
+		}
+		if power == lam {
+			tortoise.CopyFrom(hare)
+			power *= 2
+			lam = 0
+		}
+		next := config.New(n)
+		a.Step(next, hare)
+		hare = next
+		lam++
+		steps++
+	}
+	// Find transient length mu: advance two pointers lam apart.
+	mu := 0
+	t1 := x0.Clone()
+	t2 := x0.Clone()
+	tmp := config.New(n)
+	for i := 0; i < lam; i++ {
+		a.Step(tmp, t2)
+		t2, tmp = tmp, t2
+	}
+	for !t1.Equal(t2) {
+		a.Step(tmp, t1)
+		t1, tmp = tmp, t1
+		a.Step(tmp, t2)
+		t2, tmp = tmp, t2
+		mu++
+	}
+	out := OrbitResult{Transient: mu, Period: lam, Final: t1}
+	if lam == 1 {
+		out.Outcome = FixedPointOutcome
+	} else {
+		out.Outcome = CycleOutcome
+	}
+	return out
+}
+
+// ConvergeSequential runs sequential micro-steps under sched until the
+// configuration is a fixed point of the global map, or until maxMicroSteps
+// is exhausted. It returns the micro-step count at which the fixed point was
+// first confirmed, mutating c in place, and whether a fixed point was
+// reached. With any fair schedule, Theorem 1 guarantees termination for
+// monotone symmetric rules; the stability check here is exact (FixedPoint),
+// not heuristic.
+func (a *Automaton) ConvergeSequential(c config.Config, sched update.Schedule, maxMicroSteps int) (steps int, ok bool) {
+	n := a.N()
+	quietStreak := 0
+	for steps = 0; steps < maxMicroSteps; steps++ {
+		if a.UpdateNode(c, sched.Next()) {
+			quietStreak = 0
+			continue
+		}
+		quietStreak++
+		// Only bother with the O(n·deg) exact check after a long quiet run;
+		// for fair schedules a streak of the fairness bound already implies
+		// fixedness, but the exact check keeps correctness schedule-agnostic.
+		if quietStreak >= n && a.FixedPoint(c) {
+			return steps + 1, true
+		}
+	}
+	return steps, a.FixedPoint(c)
+}
+
+// GreedyActiveSchedule returns a state-dependent schedule over live
+// configuration c: each call picks the lowest-index node whose update would
+// change c right now, falling back to round-robin when c is a fixed point.
+// It is the natural "adversary" for convergence-time measurements — it
+// never wastes a step on a stable node — and, per Theorem 1, even this
+// schedule cannot make a threshold SCA cycle.
+func (a *Automaton) GreedyActiveSchedule(c config.Config) update.Schedule {
+	rr := 0
+	return update.Func{
+		Label: "greedy-active",
+		F: func() int {
+			for i := 0; i < a.N(); i++ {
+				if a.NodeNext(c, i) != c.Get(i) {
+					return i
+				}
+			}
+			i := rr
+			rr++
+			if rr == a.N() {
+				rr = 0
+			}
+			return i
+		},
+	}
+}
+
+// Orbit invokes visit for x0, F(x0), F²(x0), … until visit returns false or
+// maxSteps global steps elapsed. The Config passed to visit is reused.
+func (a *Automaton) Orbit(x0 config.Config, maxSteps int, visit func(t int, c config.Config) bool) {
+	cur := x0.Clone()
+	next := config.New(a.N())
+	for t := 0; t <= maxSteps; t++ {
+		if !visit(t, cur) {
+			return
+		}
+		a.Step(next, cur)
+		cur, next = next, cur
+	}
+}
+
+// IsTwoCycle reports whether x is a configuration on a proper temporal
+// 2-cycle of the parallel map: F(x) ≠ x and F(F(x)) = x. This is the
+// certificate Lemma 1(i) and Corollary 1 exhibit.
+func (a *Automaton) IsTwoCycle(x config.Config) bool {
+	n := a.N()
+	fx := config.New(n)
+	ffx := config.New(n)
+	a.Step(fx, x)
+	if fx.Equal(x) {
+		return false
+	}
+	a.Step(ffx, fx)
+	return ffx.Equal(x)
+}
+
+// LocalCaseAnalysis reproduces the proof technique of Lemma 1(ii)
+// mechanically, and size-independently, for a radius-1 rule: it explores,
+// over all 8 possible 1-neighborhoods (3-bit windows), the reachability
+// relation "window w can become window w′ after one sequential update of
+// any of its three cells, under any consistent context", and reports
+// whether any window can return to a previous value after having changed —
+// the local necessary condition for a sequential cycle.
+//
+// For the center cell the new value is determined by the window itself; for
+// the border cells the update also depends on one cell outside the window,
+// so both possible outside values are considered (the "any consistent
+// context" quantifier). If no window is locally revisitable, no sequential
+// cycle can exist on any line or ring with n ≥ 4, which is exactly how the
+// paper argues Lemma 1(ii).
+func LocalCaseAnalysis(r rule.Rule) (revisitable []uint8, ok bool) {
+	// windows are 3-bit values w = l | c<<1 | rr<<2 (LSB = left cell).
+	// succ[w] = set of windows reachable in one single-cell update.
+	var succ [8]map[uint8]bool
+	for w := uint8(0); w < 8; w++ {
+		succ[w] = map[uint8]bool{}
+		l, c, rr := w&1, w>>1&1, w>>2&1
+		// Center update: neighborhood is exactly (l, c, rr).
+		nc := r.Next([]uint8{l, c, rr})
+		succ[w][l|nc<<1|rr<<2] = true
+		// Left-cell update: neighborhood is (outside, l, c) for both outside
+		// values; the window keeps (l', c, rr).
+		for _, o := range []uint8{0, 1} {
+			nl := r.Next([]uint8{o, l, c})
+			succ[w][nl|c<<1|rr<<2] = true
+		}
+		// Right-cell update: neighborhood is (c, rr, outside).
+		for _, o := range []uint8{0, 1} {
+			nr := r.Next([]uint8{c, rr, o})
+			succ[w][l|c<<1|nr<<2] = true
+		}
+	}
+	// A window is revisitable if some window w reaches, through a path that
+	// leaves w at least once, back to w.
+	for w := uint8(0); w < 8; w++ {
+		// BFS over windows ≠ w starting from proper successors of w.
+		var stack []uint8
+		visited := map[uint8]bool{}
+		for s := range succ[w] {
+			if s != w {
+				stack = append(stack, s)
+			}
+		}
+		for len(stack) > 0 {
+			u := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if visited[u] {
+				continue
+			}
+			visited[u] = true
+			for v := range succ[u] {
+				if v == w {
+					revisitable = append(revisitable, w)
+					stack = nil
+					visited[w] = true // mark; break out
+					break
+				}
+				if !visited[v] {
+					stack = append(stack, v)
+				}
+			}
+			if visited[w] {
+				break
+			}
+		}
+	}
+	return revisitable, len(revisitable) == 0
+}

@@ -1,0 +1,406 @@
+// Package bitvec provides dense bit vectors backed by 64-bit words.
+//
+// A Vector holds n Boolean cells packed 64 per word. It is the storage
+// substrate for cellular-automaton configurations (package config) and for
+// the word-packed synchronous simulator (package sim). Operations that the
+// simulator needs on its hot path — rotation with ring wrap, bulk Boolean
+// combination, population count — are provided at word granularity so that a
+// synchronous MAJORITY step can process 64 cells per machine instruction.
+package bitvec
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+const (
+	// WordBits is the number of cells stored per word.
+	WordBits = 64
+	wordMask = WordBits - 1
+	wordLog  = 6
+)
+
+// Vector is a fixed-length sequence of bits. The zero value is an empty
+// vector of length 0. Vectors of different lengths are never equal and must
+// not be combined with the bulk Boolean operations.
+type Vector struct {
+	n     int
+	words []uint64
+}
+
+// New returns a zeroed vector of n bits. It panics if n is negative.
+func New(n int) *Vector {
+	if n < 0 {
+		panic(fmt.Sprintf("bitvec: negative length %d", n))
+	}
+	return &Vector{n: n, words: make([]uint64, wordsFor(n))}
+}
+
+func wordsFor(n int) int { return (n + wordMask) / WordBits }
+
+// FromBits returns a vector whose i-th bit is bits[i].
+func FromBits(bits []uint8) *Vector {
+	v := New(len(bits))
+	for i, b := range bits {
+		if b != 0 {
+			v.Set(i)
+		}
+	}
+	return v
+}
+
+// FromUint returns an n-bit vector holding the low n bits of u
+// (bit i of u becomes cell i). It panics if n > 64.
+func FromUint(u uint64, n int) *Vector {
+	if n > WordBits {
+		panic(fmt.Sprintf("bitvec: FromUint length %d exceeds 64", n))
+	}
+	v := New(n)
+	if n > 0 {
+		v.words[0] = u & lowMask(n)
+	}
+	return v
+}
+
+func lowMask(n int) uint64 {
+	if n >= WordBits {
+		return ^uint64(0)
+	}
+	return (uint64(1) << uint(n)) - 1
+}
+
+// Parse builds a vector from a string of '0' and '1' runes, most-significant
+// cell first is NOT assumed: s[i] is cell i. Whitespace is ignored.
+func Parse(s string) (*Vector, error) {
+	clean := strings.Map(func(r rune) rune {
+		switch r {
+		case ' ', '\t', '\n', '_':
+			return -1
+		}
+		return r
+	}, s)
+	v := New(len(clean))
+	for i, r := range clean {
+		switch r {
+		case '0':
+		case '1':
+			v.Set(i)
+		default:
+			return nil, fmt.Errorf("bitvec: invalid rune %q at position %d", r, i)
+		}
+	}
+	return v, nil
+}
+
+// MustParse is Parse that panics on malformed input; for tests and literals.
+func MustParse(s string) *Vector {
+	v, err := Parse(s)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+// Len returns the number of bits.
+func (v *Vector) Len() int { return v.n }
+
+// Words exposes the backing words. The caller must not grow the slice; bits
+// at positions ≥ Len() are kept zero by all Vector operations and callers
+// writing words directly must preserve that invariant (see Normalize).
+func (v *Vector) Words() []uint64 { return v.words }
+
+// Normalize clears any stray bits above Len(). Callers that write the
+// backing words directly should call it before handing the vector back to
+// code that relies on canonical form (Equal, Hash, Count).
+func (v *Vector) Normalize() {
+	if v.n&wordMask != 0 && len(v.words) > 0 {
+		v.words[len(v.words)-1] &= lowMask(v.n & wordMask)
+	}
+}
+
+// Get reports whether bit i is set.
+func (v *Vector) Get(i int) bool {
+	v.check(i)
+	return v.words[i>>wordLog]&(1<<uint(i&wordMask)) != 0
+}
+
+// Bit returns bit i as 0 or 1.
+func (v *Vector) Bit(i int) uint8 {
+	v.check(i)
+	return uint8(v.words[i>>wordLog] >> uint(i&wordMask) & 1)
+}
+
+// Set sets bit i to 1.
+func (v *Vector) Set(i int) {
+	v.check(i)
+	v.words[i>>wordLog] |= 1 << uint(i&wordMask)
+}
+
+// Clear sets bit i to 0.
+func (v *Vector) Clear(i int) {
+	v.check(i)
+	v.words[i>>wordLog] &^= 1 << uint(i&wordMask)
+}
+
+// Flip toggles bit i.
+func (v *Vector) Flip(i int) {
+	v.check(i)
+	v.words[i>>wordLog] ^= 1 << uint(i&wordMask)
+}
+
+// SetTo sets bit i to b.
+func (v *Vector) SetTo(i int, b bool) {
+	if b {
+		v.Set(i)
+	} else {
+		v.Clear(i)
+	}
+}
+
+// SetBit sets bit i to the low bit of b.
+func (v *Vector) SetBit(i int, b uint8) { v.SetTo(i, b&1 != 0) }
+
+func (v *Vector) check(i int) {
+	if i < 0 || i >= v.n {
+		panic(fmt.Sprintf("bitvec: index %d out of range [0,%d)", i, v.n))
+	}
+}
+
+// Count returns the number of set bits.
+func (v *Vector) Count() int {
+	c := 0
+	for _, w := range v.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// CountRange returns the number of set bits in [lo, hi).
+func (v *Vector) CountRange(lo, hi int) int {
+	if lo < 0 || hi > v.n || lo > hi {
+		panic(fmt.Sprintf("bitvec: bad range [%d,%d) for length %d", lo, hi, v.n))
+	}
+	c := 0
+	for i := lo; i < hi; i++ { // simple loop; range counting is off the hot path
+		if v.Get(i) {
+			c++
+		}
+	}
+	return c
+}
+
+// Clone returns an independent copy.
+func (v *Vector) Clone() *Vector {
+	w := &Vector{n: v.n, words: make([]uint64, len(v.words))}
+	copy(w.words, v.words)
+	return w
+}
+
+// CopyFrom overwrites v with src. Lengths must match.
+func (v *Vector) CopyFrom(src *Vector) {
+	if v.n != src.n {
+		panic(fmt.Sprintf("bitvec: CopyFrom length mismatch %d != %d", v.n, src.n))
+	}
+	copy(v.words, src.words)
+}
+
+// Equal reports whether v and o have identical length and contents.
+func (v *Vector) Equal(o *Vector) bool {
+	if v.n != o.n {
+		return false
+	}
+	for i, w := range v.words {
+		if w != o.words[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Zero reports whether all bits are clear.
+func (v *Vector) Zero() bool {
+	for _, w := range v.words {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Fill sets every bit to b.
+func (v *Vector) Fill(b bool) {
+	var w uint64
+	if b {
+		w = ^uint64(0)
+	}
+	for i := range v.words {
+		v.words[i] = w
+	}
+	v.Normalize()
+}
+
+// Reset clears every bit.
+func (v *Vector) Reset() { v.Fill(false) }
+
+// Uint returns the vector as a uint64. It panics if Len() > 64.
+func (v *Vector) Uint() uint64 {
+	if v.n > WordBits {
+		panic(fmt.Sprintf("bitvec: Uint on length %d > 64", v.n))
+	}
+	if len(v.words) == 0 {
+		return 0
+	}
+	return v.words[0]
+}
+
+// Hash returns a 64-bit FNV-1a style hash of the contents, suitable for
+// map-free cycle detection sets. Vectors that are Equal hash identically.
+func (v *Vector) Hash() uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset) ^ uint64(v.n)*prime
+	for _, w := range v.words {
+		// mix each word byte-free: fold the word in, then scramble.
+		h ^= w
+		h *= prime
+		h ^= h >> 29
+	}
+	return h
+}
+
+// String renders the vector as a '0'/'1' string, cell 0 first.
+func (v *Vector) String() string {
+	var b strings.Builder
+	b.Grow(v.n)
+	for i := 0; i < v.n; i++ {
+		if v.Get(i) {
+			b.WriteByte('1')
+		} else {
+			b.WriteByte('0')
+		}
+	}
+	return b.String()
+}
+
+// Bits returns the contents as a []uint8 of 0s and 1s.
+func (v *Vector) Bits() []uint8 {
+	out := make([]uint8, v.n)
+	for i := range out {
+		out[i] = v.Bit(i)
+	}
+	return out
+}
+
+// And sets v = a AND b. All three must share a length; v may alias a or b.
+func (v *Vector) And(a, b *Vector) { v.binop(a, b, func(x, y uint64) uint64 { return x & y }) }
+
+// Or sets v = a OR b.
+func (v *Vector) Or(a, b *Vector) { v.binop(a, b, func(x, y uint64) uint64 { return x | y }) }
+
+// Xor sets v = a XOR b.
+func (v *Vector) Xor(a, b *Vector) { v.binop(a, b, func(x, y uint64) uint64 { return x ^ y }) }
+
+// AndNot sets v = a AND NOT b.
+func (v *Vector) AndNot(a, b *Vector) { v.binop(a, b, func(x, y uint64) uint64 { return x &^ y }) }
+
+func (v *Vector) binop(a, b *Vector, f func(x, y uint64) uint64) {
+	if v.n != a.n || v.n != b.n {
+		panic(fmt.Sprintf("bitvec: length mismatch %d/%d/%d", v.n, a.n, b.n))
+	}
+	for i := range v.words {
+		v.words[i] = f(a.words[i], b.words[i])
+	}
+}
+
+// Not sets v = NOT a (within length).
+func (v *Vector) Not(a *Vector) {
+	if v.n != a.n {
+		panic(fmt.Sprintf("bitvec: length mismatch %d/%d", v.n, a.n))
+	}
+	for i := range v.words {
+		v.words[i] = ^a.words[i]
+	}
+	v.Normalize()
+}
+
+// RotateInto writes into dst the cyclic rotation of v by k positions:
+// dst bit i = v bit (i+k mod n). Positive k looks "rightward" (toward higher
+// indices); negative k looks leftward. dst must have v's length and must not
+// alias v.
+func (v *Vector) RotateInto(dst *Vector, k int) {
+	n := v.n
+	if dst.n != n {
+		panic(fmt.Sprintf("bitvec: RotateInto length mismatch %d/%d", dst.n, n))
+	}
+	if n == 0 {
+		return
+	}
+	if &dst.words[0] == &v.words[0] {
+		panic("bitvec: RotateInto must not alias its receiver")
+	}
+	k %= n
+	if k < 0 {
+		k += n
+	}
+	if k == 0 {
+		dst.CopyFrom(v)
+		return
+	}
+	// General case: for each destination word, gather from up to two source
+	// words at bit offset k.
+	wordShift := k >> wordLog
+	bitShift := uint(k & wordMask)
+	nw := len(v.words)
+	// Treat v as an n-bit ring. Source bit index for dst bit i is (i+k) mod n.
+	// Work bit-block-wise: for destination word d, its source bits start at
+	// global bit (d*64 + k) mod n.
+	for d := 0; d < nw; d++ {
+		start := d + wordShift
+		w0 := v.ringWord(start, n)
+		var w uint64
+		if bitShift == 0 {
+			w = w0
+		} else {
+			w1 := v.ringWord(start+1, n)
+			w = w0>>bitShift | w1<<(WordBits-bitShift)
+		}
+		dst.words[d] = w
+	}
+	dst.Normalize()
+}
+
+// ringWord returns 64 consecutive ring bits starting at global bit index
+// w*64 (mod n), used by RotateInto. For vectors whose length is not a
+// multiple of 64 it stitches the wraparound seam bit-by-bit only at the last
+// partial word, keeping whole-word speed elsewhere.
+func (v *Vector) ringWord(w, n int) uint64 {
+	nw := len(v.words)
+	if n&wordMask == 0 {
+		// Length is word-aligned: ring wrap is pure modular word indexing.
+		return v.words[((w%nw)+nw)%nw]
+	}
+	// Unaligned length: assemble the 64 bits individually. This path is only
+	// taken for rings whose size is not a multiple of 64; the packed
+	// simulator prefers aligned sizes, and correctness matters more here.
+	base := (w * WordBits) % n
+	if base < 0 {
+		base += n
+	}
+	var out uint64
+	for b := 0; b < WordBits; b++ {
+		idx := base + b
+		if idx >= n {
+			idx -= n
+			if idx >= n { // n < 64 can wrap more than once
+				idx %= n
+			}
+		}
+		if v.Get(idx) {
+			out |= 1 << uint(b)
+		}
+	}
+	return out
+}

@@ -1,0 +1,558 @@
+package bitvec
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewLenAndZero(t *testing.T) {
+	for _, n := range []int{0, 1, 5, 63, 64, 65, 128, 200} {
+		v := New(n)
+		if v.Len() != n {
+			t.Errorf("New(%d).Len() = %d", n, v.Len())
+		}
+		if !v.Zero() {
+			t.Errorf("New(%d) not zero", n)
+		}
+		if v.Count() != 0 {
+			t.Errorf("New(%d).Count() = %d", n, v.Count())
+		}
+	}
+}
+
+func TestNewNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(-1) did not panic")
+		}
+	}()
+	New(-1)
+}
+
+func TestSetGetClearFlip(t *testing.T) {
+	v := New(130)
+	for _, i := range []int{0, 1, 63, 64, 65, 127, 128, 129} {
+		if v.Get(i) {
+			t.Fatalf("bit %d set in fresh vector", i)
+		}
+		v.Set(i)
+		if !v.Get(i) {
+			t.Fatalf("bit %d not set after Set", i)
+		}
+		if v.Bit(i) != 1 {
+			t.Fatalf("Bit(%d) = %d, want 1", i, v.Bit(i))
+		}
+		v.Flip(i)
+		if v.Get(i) {
+			t.Fatalf("bit %d still set after Flip", i)
+		}
+		v.Flip(i)
+		v.Clear(i)
+		if v.Get(i) {
+			t.Fatalf("bit %d set after Clear", i)
+		}
+	}
+}
+
+func TestSetToAndSetBit(t *testing.T) {
+	v := New(10)
+	v.SetTo(3, true)
+	if !v.Get(3) {
+		t.Error("SetTo(3,true) failed")
+	}
+	v.SetTo(3, false)
+	if v.Get(3) {
+		t.Error("SetTo(3,false) failed")
+	}
+	v.SetBit(4, 1)
+	if !v.Get(4) {
+		t.Error("SetBit(4,1) failed")
+	}
+	v.SetBit(4, 2) // low bit of 2 is 0
+	if v.Get(4) {
+		t.Error("SetBit(4,2) should clear")
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	v := New(10)
+	for _, f := range []func(){
+		func() { v.Get(10) },
+		func() { v.Get(-1) },
+		func() { v.Set(10) },
+		func() { v.Clear(-1) },
+		func() { v.Flip(10) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic for out-of-range access")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestParseAndString(t *testing.T) {
+	cases := []string{"", "0", "1", "0101", "1111111", "010 101", "01_10"}
+	want := []string{"", "0", "1", "0101", "1111111", "010101", "0110"}
+	for i, s := range cases {
+		v, err := Parse(s)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", s, err)
+		}
+		if v.String() != want[i] {
+			t.Errorf("Parse(%q).String() = %q, want %q", s, v.String(), want[i])
+		}
+	}
+	if _, err := Parse("012"); err == nil {
+		t.Error("Parse(\"012\") should fail")
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustParse on bad input did not panic")
+		}
+	}()
+	MustParse("01x")
+}
+
+func TestFromBitsRoundTrip(t *testing.T) {
+	in := []uint8{1, 0, 1, 1, 0, 0, 1}
+	v := FromBits(in)
+	out := v.Bits()
+	if len(out) != len(in) {
+		t.Fatalf("Bits len = %d, want %d", len(out), len(in))
+	}
+	for i := range in {
+		if in[i] != out[i] {
+			t.Errorf("bit %d: got %d want %d", i, out[i], in[i])
+		}
+	}
+}
+
+func TestFromUintAndUint(t *testing.T) {
+	v := FromUint(0b1011, 6)
+	if v.String() != "110100" {
+		t.Errorf("FromUint(0b1011,6) = %q", v.String())
+	}
+	if v.Uint() != 0b1011 {
+		t.Errorf("Uint() = %b", v.Uint())
+	}
+	// Masking of high bits:
+	v2 := FromUint(^uint64(0), 3)
+	if v2.Count() != 3 {
+		t.Errorf("FromUint(all ones, 3).Count() = %d", v2.Count())
+	}
+}
+
+func TestFromUintTooLongPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("FromUint with n>64 did not panic")
+		}
+	}()
+	FromUint(0, 65)
+}
+
+func TestUintTooLongPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Uint on long vector did not panic")
+		}
+	}()
+	New(65).Uint()
+}
+
+func TestCount(t *testing.T) {
+	v := New(200)
+	idx := []int{0, 1, 64, 127, 128, 199}
+	for _, i := range idx {
+		v.Set(i)
+	}
+	if v.Count() != len(idx) {
+		t.Errorf("Count = %d, want %d", v.Count(), len(idx))
+	}
+	if got := v.CountRange(0, 2); got != 2 {
+		t.Errorf("CountRange(0,2) = %d, want 2", got)
+	}
+	if got := v.CountRange(64, 128); got != 2 {
+		t.Errorf("CountRange(64,128) = %d, want 2", got)
+	}
+	if got := v.CountRange(5, 5); got != 0 {
+		t.Errorf("empty CountRange = %d", got)
+	}
+}
+
+func TestCountRangePanics(t *testing.T) {
+	v := New(10)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad CountRange did not panic")
+		}
+	}()
+	v.CountRange(5, 11)
+}
+
+func TestCloneIndependence(t *testing.T) {
+	v := MustParse("0101")
+	w := v.Clone()
+	w.Flip(0)
+	if v.Get(0) {
+		t.Error("Clone shares storage with original")
+	}
+	if !w.Get(0) {
+		t.Error("Clone flip lost")
+	}
+}
+
+func TestCopyFrom(t *testing.T) {
+	v := New(70)
+	src := New(70)
+	src.Set(69)
+	v.CopyFrom(src)
+	if !v.Get(69) {
+		t.Error("CopyFrom did not copy")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("CopyFrom length mismatch did not panic")
+		}
+	}()
+	v.CopyFrom(New(71))
+}
+
+func TestEqual(t *testing.T) {
+	a := MustParse("0110")
+	b := MustParse("0110")
+	c := MustParse("0111")
+	d := MustParse("01100")
+	if !a.Equal(b) {
+		t.Error("equal vectors not Equal")
+	}
+	if a.Equal(c) {
+		t.Error("different vectors Equal")
+	}
+	if a.Equal(d) {
+		t.Error("different-length vectors Equal")
+	}
+}
+
+func TestFillAndReset(t *testing.T) {
+	v := New(67)
+	v.Fill(true)
+	if v.Count() != 67 {
+		t.Errorf("Fill(true) Count = %d, want 67", v.Count())
+	}
+	// high bits of last word must stay clear
+	if v.words[1]>>3 != 0 {
+		t.Error("Fill(true) set bits beyond Len")
+	}
+	v.Reset()
+	if !v.Zero() {
+		t.Error("Reset did not clear")
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	v := New(3)
+	v.words[0] = ^uint64(0) // simulate raw word write
+	v.Normalize()
+	if v.Count() != 3 {
+		t.Errorf("after Normalize Count = %d, want 3", v.Count())
+	}
+}
+
+func TestHashEqualVectors(t *testing.T) {
+	a := MustParse("010110")
+	b := MustParse("010110")
+	if a.Hash() != b.Hash() {
+		t.Error("equal vectors hash differently")
+	}
+	// Different lengths with same raw bits should differ (length folded in).
+	c := FromUint(0b1101, 4)
+	d := FromUint(0b1101, 5)
+	if c.Hash() == d.Hash() {
+		t.Error("length not folded into hash")
+	}
+}
+
+func TestBinaryOps(t *testing.T) {
+	a := MustParse("0101_1100")
+	b := MustParse("0011_1010")
+	n := a.Len()
+	and, or, xor, andnot, not := New(n), New(n), New(n), New(n), New(n)
+	and.And(a, b)
+	or.Or(a, b)
+	xor.Xor(a, b)
+	andnot.AndNot(a, b)
+	not.Not(a)
+	for i := 0; i < n; i++ {
+		ab, bb := a.Get(i), b.Get(i)
+		if and.Get(i) != (ab && bb) {
+			t.Errorf("And bit %d wrong", i)
+		}
+		if or.Get(i) != (ab || bb) {
+			t.Errorf("Or bit %d wrong", i)
+		}
+		if xor.Get(i) != (ab != bb) {
+			t.Errorf("Xor bit %d wrong", i)
+		}
+		if andnot.Get(i) != (ab && !bb) {
+			t.Errorf("AndNot bit %d wrong", i)
+		}
+		if not.Get(i) != !ab {
+			t.Errorf("Not bit %d wrong", i)
+		}
+	}
+}
+
+func TestBinopAliasing(t *testing.T) {
+	a := MustParse("0101")
+	b := MustParse("0011")
+	a.Xor(a, b) // receiver aliases first operand
+	if a.String() != "0110" {
+		t.Errorf("aliased Xor = %q, want 0110", a.String())
+	}
+}
+
+func TestBinopLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("length-mismatched And did not panic")
+		}
+	}()
+	New(4).And(New(4), New(5))
+}
+
+func TestNotClearsTail(t *testing.T) {
+	a := New(3)
+	v := New(3)
+	v.Not(a)
+	if v.Count() != 3 {
+		t.Errorf("Not count = %d, want 3", v.Count())
+	}
+	if v.words[0] != 0b111 {
+		t.Errorf("Not left stray bits: %b", v.words[0])
+	}
+}
+
+// naiveRotate is the reference implementation for RotateInto.
+func naiveRotate(v *Vector, k int) *Vector {
+	n := v.Len()
+	out := New(n)
+	if n == 0 {
+		return out
+	}
+	for i := 0; i < n; i++ {
+		src := ((i+k)%n + n) % n
+		out.SetTo(i, v.Get(src))
+	}
+	return out
+}
+
+func TestRotateIntoSmall(t *testing.T) {
+	v := MustParse("1000")
+	dst := New(4)
+	v.RotateInto(dst, 1)
+	if dst.String() != "0001" {
+		t.Errorf("rotate by 1 = %q, want 0001", dst.String())
+	}
+	v.RotateInto(dst, -1)
+	if dst.String() != "0100" {
+		t.Errorf("rotate by -1 = %q, want 0100", dst.String())
+	}
+	v.RotateInto(dst, 4)
+	if dst.String() != "1000" {
+		t.Errorf("rotate by n = %q, want original", dst.String())
+	}
+	v.RotateInto(dst, 5)
+	if dst.String() != "0001" {
+		t.Errorf("rotate by n+1 = %q, want 0001", dst.String())
+	}
+}
+
+func TestRotateIntoAliasingPanics(t *testing.T) {
+	v := New(4)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("aliased RotateInto did not panic")
+		}
+	}()
+	v.RotateInto(v, 1)
+}
+
+func TestRotateIntoMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	sizes := []int{1, 2, 3, 7, 63, 64, 65, 100, 128, 129, 192, 200}
+	for _, n := range sizes {
+		v := New(n)
+		for i := 0; i < n; i++ {
+			if rng.Intn(2) == 1 {
+				v.Set(i)
+			}
+		}
+		for _, k := range []int{0, 1, -1, 2, n - 1, n, n + 1, 63, 64, 65, -63, -64, -65, 3 * n} {
+			dst := New(n)
+			v.RotateInto(dst, k)
+			want := naiveRotate(v, k)
+			if !dst.Equal(want) {
+				t.Errorf("n=%d k=%d: got %s want %s", n, k, dst, want)
+			}
+		}
+	}
+}
+
+func TestRotatePropertyQuick(t *testing.T) {
+	f := func(words []uint64, kRaw int16, nRaw uint8) bool {
+		n := int(nRaw)%190 + 1
+		v := New(n)
+		for i := 0; i < n && i/64 < len(words); i++ {
+			if words[i/64]>>(uint(i)%64)&1 == 1 {
+				v.Set(i)
+			}
+		}
+		k := int(kRaw)
+		dst := New(n)
+		v.RotateInto(dst, k)
+		return dst.Equal(naiveRotate(v, k))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRotateComposition(t *testing.T) {
+	// Rotating by a then b equals rotating by a+b.
+	f := func(u uint64, aRaw, bRaw uint8) bool {
+		n := 100
+		v := New(n)
+		for i := 0; i < 64; i++ {
+			if u>>uint(i)&1 == 1 {
+				v.Set(i)
+			}
+		}
+		a, b := int(aRaw), int(bRaw)
+		t1, t2, t3 := New(n), New(n), New(n)
+		v.RotateInto(t1, a)
+		t1.RotateInto(t2, b)
+		v.RotateInto(t3, a+b)
+		return t2.Equal(t3)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestXorInvolutionQuick(t *testing.T) {
+	f := func(a, b uint64) bool {
+		x := FromUint(a, 64)
+		y := FromUint(b, 64)
+		z := New(64)
+		z.Xor(x, y)
+		z.Xor(z, y)
+		return z.Equal(x)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDeMorganQuick(t *testing.T) {
+	f := func(a, b uint64, nRaw uint8) bool {
+		n := int(nRaw)%64 + 1
+		x := FromUint(a, n)
+		y := FromUint(b, n)
+		lhs, rhs, tmp := New(n), New(n), New(n)
+		// NOT(x AND y) == NOT x OR NOT y
+		tmp.And(x, y)
+		lhs.Not(tmp)
+		nx, ny := New(n), New(n)
+		nx.Not(x)
+		ny.Not(y)
+		rhs.Or(nx, ny)
+		return lhs.Equal(rhs)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkRotateAligned(b *testing.B) {
+	v := New(1 << 16)
+	dst := New(1 << 16)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		v.RotateInto(dst, 1)
+	}
+}
+
+func BenchmarkRotateUnaligned(b *testing.B) {
+	v := New(1<<16 - 3)
+	dst := New(1<<16 - 3)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		v.RotateInto(dst, 1)
+	}
+}
+
+func BenchmarkCount(b *testing.B) {
+	v := New(1 << 16)
+	v.Fill(true)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if v.Count() != 1<<16 {
+			b.Fatal("bad count")
+		}
+	}
+}
+
+func FuzzParseRoundTrip(f *testing.F) {
+	f.Add("0101")
+	f.Add("")
+	f.Add("1")
+	f.Add("0 1_1")
+	f.Fuzz(func(t *testing.T, s string) {
+		v, err := Parse(s)
+		if err != nil {
+			return // malformed input rejected is fine
+		}
+		// String() of a parsed vector must re-parse to an equal vector.
+		w, err := Parse(v.String())
+		if err != nil {
+			t.Fatalf("round trip failed to parse: %v", err)
+		}
+		if !v.Equal(w) {
+			t.Fatalf("round trip changed value: %s vs %s", v, w)
+		}
+	})
+}
+
+func FuzzRotateAgainstNaive(f *testing.F) {
+	f.Add(uint64(0xdeadbeef), 3, 70)
+	f.Add(uint64(1), -1, 64)
+	f.Fuzz(func(t *testing.T, bits uint64, k int, nRaw int) {
+		n := nRaw%200 + 1
+		if n < 1 {
+			n = 1 - n
+		}
+		if k > 1<<20 || k < -(1<<20) {
+			return
+		}
+		v := New(n)
+		for i := 0; i < n && i < 64; i++ {
+			if bits>>uint(i)&1 == 1 {
+				v.Set(i)
+			}
+		}
+		dst := New(n)
+		v.RotateInto(dst, k)
+		if !dst.Equal(naiveRotate(v, k)) {
+			t.Fatalf("rotation mismatch n=%d k=%d", n, k)
+		}
+	})
+}

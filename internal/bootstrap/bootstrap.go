@@ -1,0 +1,169 @@
+// Package bootstrap implements bootstrap percolation: the *irreversible*
+// cousin of the paper's threshold CA. A node activates (0 → 1) when at
+// least K of its neighbors are active, and never deactivates.
+//
+// The contrast with the paper's reversible MAJORITY dynamics is exactly the
+// point. Irreversible growth is monotone along orbits, so:
+//
+//   - even the PARALLEL dynamics cannot cycle — every orbit is a chain in
+//     the subset order and stops at a fixed point (no Lemma 1(i) 2-cycles);
+//   - the final active set is the same for every update discipline —
+//     parallel, any sequential order, any block-sequential mix. The
+//     interleaving semantics that fails for majority CA holds *perfectly*
+//     here: this is the confluence frontier the paper's §4 asks about.
+//
+// The package provides the growth rule for the generic engines, a
+// queue-driven O(V+E) closure algorithm, and the 2-D percolation sweep
+// (probability of full activation vs initial density) of experiment E25.
+package bootstrap
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/automaton"
+	"repro/internal/config"
+	"repro/internal/space"
+)
+
+// GrowthRule is the irreversible K-neighbor activation rule. It consumes a
+// full ordered neighborhood; SelfIndex locates the node's own state within
+// it (space constructors put self in the middle for 1-D rings and tori
+// built by space.Torus use slot 2; FromEdges graphs use slot 0).
+type GrowthRule struct {
+	K         int
+	SelfIndex int
+}
+
+// Arity implements rule.Rule; the growth rule accepts any neighborhood size.
+func (g GrowthRule) Arity() int { return -1 }
+
+// Next implements rule.Rule.
+func (g GrowthRule) Next(nb []uint8) uint8 {
+	if g.SelfIndex < 0 || g.SelfIndex >= len(nb) {
+		panic(fmt.Sprintf("bootstrap: self index %d out of neighborhood size %d", g.SelfIndex, len(nb)))
+	}
+	if nb[g.SelfIndex] == 1 {
+		return 1
+	}
+	active := 0
+	for i, b := range nb {
+		if i != g.SelfIndex && b == 1 {
+			active++
+		}
+	}
+	if active >= g.K {
+		return 1
+	}
+	return 0
+}
+
+// Name implements rule.Rule.
+func (g GrowthRule) Name() string { return fmt.Sprintf("bootstrap(k=%d)", g.K) }
+
+// SelfIndexFor returns the position of each node's own index within its
+// neighborhood for spaces with a uniform convention, or -1 if the position
+// varies between nodes.
+func SelfIndexFor(s space.Space) int {
+	pos := -1
+	for i := 0; i < s.N(); i++ {
+		p := -1
+		for k, j := range s.Neighborhood(i) {
+			if j == i {
+				p = k
+				break
+			}
+		}
+		if p == -1 {
+			return -1
+		}
+		if pos == -1 {
+			pos = p
+		} else if pos != p {
+			return -1
+		}
+	}
+	return pos
+}
+
+// Closure computes the final active set from the seed set via the classic
+// queue algorithm: each newly active node increments its neighbors'
+// counters; a counter reaching K activates the neighbor. O(V + E) total —
+// the efficient substitute for sweeping a CA until stable. The result is
+// independent of processing order (confluence), which the tests verify
+// against both the parallel and randomized sequential CA engines.
+func Closure(s space.Space, k int, seeds config.Config) config.Config {
+	n := s.N()
+	if seeds.N() != n {
+		panic(fmt.Sprintf("bootstrap: seed config size %d for %d nodes", seeds.N(), n))
+	}
+	active := seeds.Clone()
+	count := make([]int, n)
+	queue := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		if active.Get(i) == 1 {
+			queue = append(queue, i)
+		}
+	}
+	for len(queue) > 0 {
+		u := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		for _, v := range s.Neighborhood(u) {
+			if v == u || active.Get(v) == 1 {
+				continue
+			}
+			count[v]++
+			if count[v] >= k {
+				active.Set(v, 1)
+				queue = append(queue, v)
+			}
+		}
+	}
+	return active
+}
+
+// Automaton builds the growth CA over s for use with the generic engines.
+func Automaton(s space.Space, k int) (*automaton.Automaton, error) {
+	self := SelfIndexFor(s)
+	if self == -1 {
+		return nil, fmt.Errorf("bootstrap: space %s has no uniform self position", s.Name())
+	}
+	return automaton.New(s, GrowthRule{K: k, SelfIndex: self})
+}
+
+// Spans reports whether the closure of seeds activates every node.
+func Spans(s space.Space, k int, seeds config.Config) bool {
+	return Closure(s, k, seeds).Ones() == s.N()
+}
+
+// PercolationPoint is one row of the E25 sweep.
+type PercolationPoint struct {
+	P            float64 // initial activation probability
+	Trials       int
+	SpanFraction float64 // fraction of trials that fully activated
+	MeanFinal    float64 // mean final density across trials
+}
+
+// PercolationSweep samples, for each initial density in ps, the probability
+// that K-neighbor bootstrap percolation on s activates everything.
+func PercolationSweep(s space.Space, k int, ps []float64, trials int, seed int64) []PercolationPoint {
+	rng := rand.New(rand.NewSource(seed))
+	n := s.N()
+	out := make([]PercolationPoint, 0, len(ps))
+	for _, p := range ps {
+		pt := PercolationPoint{P: p, Trials: trials}
+		var finalSum float64
+		for t := 0; t < trials; t++ {
+			seeds := config.Random(rng, n, p)
+			final := Closure(s, k, seeds)
+			if final.Ones() == n {
+				pt.SpanFraction++
+			}
+			finalSum += final.Density()
+		}
+		pt.SpanFraction /= float64(trials)
+		pt.MeanFinal = finalSum / float64(trials)
+		out = append(out, pt)
+	}
+	return out
+}

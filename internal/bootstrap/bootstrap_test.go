@@ -1,0 +1,231 @@
+package bootstrap
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/automaton"
+	"repro/internal/config"
+	"repro/internal/rule"
+	"repro/internal/space"
+	"repro/internal/update"
+)
+
+func TestGrowthRuleBasics(t *testing.T) {
+	g := GrowthRule{K: 2, SelfIndex: 1}
+	if g.Next([]uint8{0, 1, 0}) != 1 {
+		t.Error("active node must stay active")
+	}
+	if g.Next([]uint8{1, 0, 1}) != 1 {
+		t.Error("two active neighbors must activate")
+	}
+	if g.Next([]uint8{1, 0, 0}) != 0 {
+		t.Error("one active neighbor must not activate at k=2")
+	}
+	if _, ok := rule.IsThreshold(rule.Materialize(g, 3), 3); ok {
+		t.Error("growth rule is not symmetric (self is special), must not be a threshold")
+	}
+	if !rule.IsMonotone(rule.Materialize(g, 3), 3) {
+		t.Error("growth rule must be monotone")
+	}
+}
+
+func TestSelfIndexFor(t *testing.T) {
+	if got := SelfIndexFor(space.Ring(8, 1)); got != 1 {
+		t.Errorf("ring self index %d, want 1", got)
+	}
+	if got := SelfIndexFor(space.Ring(9, 2)); got != 2 {
+		t.Errorf("r=2 ring self index %d, want 2", got)
+	}
+	if got := SelfIndexFor(space.Torus(4, 4)); got != 2 {
+		t.Errorf("torus self index %d, want 2", got)
+	}
+	if got := SelfIndexFor(space.CompleteGraph(5)); got != 0 {
+		t.Errorf("complete self index %d, want 0", got)
+	}
+	// Bounded lines truncate borders: self position varies.
+	if got := SelfIndexFor(space.Line(6, 1)); got != -1 {
+		t.Errorf("line self index %d, want -1", got)
+	}
+}
+
+func TestClosureSimpleRing(t *testing.T) {
+	// k=1 on a ring: any single seed activates everything.
+	s := space.Ring(10, 1)
+	seeds := config.New(10)
+	seeds.Set(3, 1)
+	final := Closure(s, 1, seeds)
+	if final.Ones() != 10 {
+		t.Errorf("k=1 single seed activated %d/10", final.Ones())
+	}
+	// k=2 on a ring: a single seed is frozen (each neighbor sees only one).
+	final2 := Closure(s, 2, seeds)
+	if final2.Ones() != 1 {
+		t.Errorf("k=2 single seed grew to %d", final2.Ones())
+	}
+	// k=2: two adjacent seeds activate the node between... on a ring,
+	// neighbors of a gap flanked by two active nodes activate:
+	seeds2 := config.New(10)
+	seeds2.Set(2, 1)
+	seeds2.Set(4, 1)
+	final3 := Closure(s, 2, seeds2)
+	if final3.Get(3) != 1 {
+		t.Error("node between two seeds should activate at k=2")
+	}
+	if final3.Ones() != 3 {
+		t.Errorf("k=2 pair with gap grew to %d, want 3", final3.Ones())
+	}
+}
+
+func TestClosureMatchesParallelCA(t *testing.T) {
+	// The queue closure must equal the CA run to fixed point, on rings and
+	// tori, across thresholds.
+	rng := rand.New(rand.NewSource(1))
+	cases := []struct {
+		s space.Space
+		k int
+	}{
+		{space.Ring(24, 1), 1}, {space.Ring(24, 1), 2},
+		{space.Ring(20, 2), 2}, {space.Ring(20, 2), 3},
+		{space.Torus(6, 5), 2}, {space.Torus(6, 5), 3},
+		{space.Hypercube(4), 2},
+	}
+	for _, c := range cases {
+		a, err := Automaton(c.s, c.k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for trial := 0; trial < 10; trial++ {
+			seeds := config.Random(rng, c.s.N(), 0.25)
+			res := a.Converge(seeds.Clone(), 4*c.s.N())
+			if res.Period != 1 {
+				t.Fatalf("%s k=%d: irreversible growth cycled (period %d)", c.s.Name(), c.k, res.Period)
+			}
+			want := Closure(c.s, c.k, seeds)
+			if !res.Final.Equal(want) {
+				t.Fatalf("%s k=%d trial %d: closure differs from CA fixed point", c.s.Name(), c.k, trial)
+			}
+		}
+	}
+}
+
+func TestOrderIndependenceConfluence(t *testing.T) {
+	// THE contrast with the paper's majority CA: for irreversible growth,
+	// every sequential order reaches the same fixed point as the parallel
+	// dynamics. (For majority, order changes the outcome.)
+	rng := rand.New(rand.NewSource(2))
+	s := space.Ring(16, 1)
+	a, err := Automaton(s, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 10; trial++ {
+		seeds := config.Random(rng, 16, 0.3)
+		want := Closure(s, 2, seeds)
+		for seq := 0; seq < 5; seq++ {
+			c := seeds.Clone()
+			sched := update.NewRandomFair(16, int64(seq*100+trial))
+			a.RunSequential(c, sched, 16*16*4)
+			if !c.Equal(want) {
+				t.Fatalf("trial %d seq %d: sequential order changed the closure", trial, seq)
+			}
+		}
+	}
+}
+
+func TestMajorityIsNotConfluent(t *testing.T) {
+	// Negative control for the confluence claim: reversible majority CA
+	// reach different fixed points under different sequential orders.
+	rng := rand.New(rand.NewSource(3))
+	s := space.Ring(16, 1)
+	a, err := Automaton(s, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = a
+	maj, err := automaton.New(s, rule.Majority(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	differs := false
+	for trial := 0; trial < 30 && !differs; trial++ {
+		x0 := config.Random(rng, 16, 0.5)
+		var first config.Config
+		for seq := 0; seq < 6; seq++ {
+			c := x0.Clone()
+			sched := update.NewRandomFair(16, int64(seq*31+trial))
+			for i := 0; i < 16*16*6 && !maj.FixedPoint(c); i++ {
+				maj.UpdateNode(c, sched.Next())
+			}
+			if seq == 0 {
+				first = c
+			} else if !c.Equal(first) {
+				differs = true
+			}
+		}
+	}
+	if !differs {
+		t.Error("majority SCA outcomes never differed across orders; expected order sensitivity")
+	}
+}
+
+func TestMonotoneOrbit(t *testing.T) {
+	// Along the parallel orbit the active set only grows.
+	s := space.Torus(8, 8)
+	a, err := Automaton(s, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(4))
+	x := config.Random(rng, 64, 0.2)
+	next := config.New(64)
+	for step := 0; step < 64; step++ {
+		a.Step(next, x)
+		for i := 0; i < 64; i++ {
+			if x.Get(i) == 1 && next.Get(i) == 0 {
+				t.Fatalf("step %d: node %d deactivated", step, i)
+			}
+		}
+		if next.Equal(x) {
+			break
+		}
+		x.CopyFrom(next)
+	}
+}
+
+func TestPercolationSweepMonotoneInP(t *testing.T) {
+	// Spanning probability grows with initial density, from ~0 to ~1.
+	s := space.Torus(16, 16)
+	ps := []float64{0.02, 0.08, 0.2, 0.4}
+	points := PercolationSweep(s, 2, ps, 40, 7)
+	if len(points) != len(ps) {
+		t.Fatalf("%d points", len(points))
+	}
+	if points[0].SpanFraction > 0.3 {
+		t.Errorf("p=%.2f spans with prob %.2f; expected rare", ps[0], points[0].SpanFraction)
+	}
+	if points[len(points)-1].SpanFraction < 0.9 {
+		t.Errorf("p=%.2f spans with prob %.2f; expected almost sure", ps[3], points[3].SpanFraction)
+	}
+	for i := 1; i < len(points); i++ {
+		if points[i].SpanFraction+0.15 < points[i-1].SpanFraction {
+			t.Errorf("span probability dropped from %.2f to %.2f between p=%.2f and p=%.2f",
+				points[i-1].SpanFraction, points[i].SpanFraction, ps[i-1], ps[i])
+		}
+		if points[i].MeanFinal < points[i].P-0.05 {
+			t.Errorf("final density below initial at p=%.2f", ps[i])
+		}
+	}
+}
+
+func TestSpans(t *testing.T) {
+	s := space.Ring(8, 1)
+	all := config.New(8)
+	all.Vector().Fill(true)
+	if !Spans(s, 2, all) {
+		t.Error("full seeding must span")
+	}
+	if Spans(s, 2, config.New(8)) {
+		t.Error("empty seeding must not span")
+	}
+}

@@ -1,0 +1,37 @@
+package bootstrap_test
+
+import (
+	"fmt"
+
+	"repro/internal/bootstrap"
+	"repro/internal/config"
+	"repro/internal/space"
+)
+
+// Irreversible 2-neighbor growth on a ring: seeds flanking a gap fill it,
+// then freeze — and the result is the same for every update order.
+func Example() {
+	s := space.Ring(10, 1)
+	seeds := config.New(10)
+	seeds.Set(2, 1)
+	seeds.Set(4, 1)
+	final := bootstrap.Closure(s, 2, seeds)
+	fmt.Println("closure:", final)
+	fmt.Println("spans:  ", bootstrap.Spans(s, 2, seeds))
+	// Output:
+	// closure: 0011100000
+	// spans:   false
+}
+
+// The 2-D percolation sweep: spanning probability rises sharply with the
+// initial density.
+func ExamplePercolationSweep() {
+	torus := space.Torus(12, 12)
+	points := bootstrap.PercolationSweep(torus, 2, []float64{0.02, 0.30}, 50, 1)
+	for _, pt := range points {
+		fmt.Printf("p=%.2f  P(span)=%.1f\n", pt.P, pt.SpanFraction)
+	}
+	// Output:
+	// p=0.02  P(span)=0.0
+	// p=0.30  P(span)=1.0
+}

@@ -1,0 +1,160 @@
+package debruijn
+
+import (
+	"testing"
+
+	"repro/internal/automaton"
+	"repro/internal/phasespace"
+	"repro/internal/rule"
+	"repro/internal/space"
+)
+
+func TestKnownReversibleECA(t *testing.T) {
+	// The six reversible elementary CA: identity (204), the two shifts
+	// (170, 240) and their complemented variants (51, 15, 85).
+	reversible := map[uint8]bool{15: true, 51: true, 85: true, 170: true, 204: true, 240: true}
+	for code := 0; code < 256; code++ {
+		g := MustNew(rule.Elementary(uint8(code)), 1)
+		_, inj := g.Classify()
+		if inj != reversible[uint8(code)] {
+			t.Errorf("rule %d: injective=%v, literature says %v", code, inj, reversible[uint8(code)])
+		}
+	}
+}
+
+func TestSurjectiveECACountIs30(t *testing.T) {
+	// The classical enumeration: exactly 30 of the 256 elementary CA are
+	// surjective on the two-way infinite line.
+	count := 0
+	for code := 0; code < 256; code++ {
+		g := MustNew(rule.Elementary(uint8(code)), 1)
+		if g.Surjective() {
+			count++
+		}
+	}
+	if count != 30 {
+		t.Errorf("surjective ECA count = %d, want 30", count)
+	}
+}
+
+func TestSurjectiveImpliesBalanced(t *testing.T) {
+	for code := 0; code < 256; code++ {
+		g := MustNew(rule.Elementary(uint8(code)), 1)
+		if g.Surjective() && !g.Balanced() {
+			t.Errorf("rule %d surjective but unbalanced", code)
+		}
+	}
+}
+
+func TestKnownSurjectiveRules(t *testing.T) {
+	// Additive rules with a nonzero end coefficient are surjective.
+	for _, code := range []uint8{90, 150, 170, 240, 60, 102} {
+		if !MustNew(rule.Elementary(code), 1).Surjective() {
+			t.Errorf("additive rule %d should be surjective", code)
+		}
+	}
+	// The paper's protagonists are not: majority loses information.
+	if MustNew(rule.Elementary(232), 1).Surjective() {
+		t.Error("majority should not be surjective")
+	}
+	if MustNew(rule.Elementary(0), 1).Surjective() {
+		t.Error("constant rule should not be surjective")
+	}
+}
+
+func TestAdditiveButNotInjective(t *testing.T) {
+	// Rule 90 (l ⊕ r) is 4-to-1 on the line: surjective, not injective.
+	g := MustNew(rule.Elementary(90), 1)
+	sur, inj := g.Classify()
+	if !sur || inj {
+		t.Errorf("rule 90: surjective=%v injective=%v, want true,false", sur, inj)
+	}
+}
+
+func TestInjectiveRulesAreRingBijections(t *testing.T) {
+	// An injective 1-D CA restricts to a bijection on every ring (spatially
+	// periodic configurations); the dense phase space must show in-degree
+	// exactly 1 everywhere.
+	for _, code := range []uint8{15, 51, 85, 170, 204, 240} {
+		for _, n := range []int{5, 8} {
+			a := automaton.MustNew(space.Ring(n, 1), rule.Elementary(code))
+			p := phasespace.BuildParallel(a)
+			for _, d := range p.InDegrees() {
+				if d != 1 {
+					t.Fatalf("rule %d on %d-ring: in-degree %d ≠ 1", code, n, d)
+				}
+			}
+		}
+	}
+}
+
+func TestNonSurjectiveHaveRingGardensOfEden(t *testing.T) {
+	// Moore–Myhill: non-surjective ⇒ Garden-of-Eden configurations exist;
+	// on large enough rings they are visible in the dense phase space.
+	for _, code := range []uint8{232, 128, 254, 110} {
+		g := MustNew(rule.Elementary(code), 1)
+		if g.Surjective() {
+			t.Fatalf("rule %d unexpectedly surjective", code)
+		}
+		a := automaton.MustNew(space.Ring(10, 1), rule.Elementary(code))
+		if len(phasespace.BuildParallel(a).GardenOfEden()) == 0 {
+			t.Errorf("rule %d: no Garden-of-Eden states on the 10-ring", code)
+		}
+	}
+}
+
+func TestRadius2Shifts(t *testing.T) {
+	// Radius-2 pure shift (output = leftmost input) is injective; verify
+	// the machinery beyond radius 1.
+	shift := rule.FromFunc("shift2", 5, func(nb []uint8) uint8 { return nb[0] })
+	g := MustNew(shift, 2)
+	sur, inj := g.Classify()
+	if !sur || !inj {
+		t.Errorf("radius-2 shift: surjective=%v injective=%v", sur, inj)
+	}
+	// Radius-2 majority is neither.
+	gm := MustNew(rule.Majority(2), 2)
+	sur, inj = gm.Classify()
+	if sur || inj {
+		t.Errorf("radius-2 majority: surjective=%v injective=%v", sur, inj)
+	}
+	// Radius-2 parity is surjective, not injective.
+	gx := MustNew(rule.XOR{}, 2)
+	sur, inj = gx.Classify()
+	if !sur || inj {
+		t.Errorf("radius-2 parity: surjective=%v injective=%v", sur, inj)
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(rule.Majority(1), 0); err == nil {
+		t.Error("radius 0 accepted")
+	}
+	if _, err := New(rule.Majority(1), 4); err == nil {
+		t.Error("radius 4 accepted")
+	}
+	if _, err := New(rule.Elementary(110), 2); err == nil {
+		t.Error("arity mismatch accepted")
+	}
+}
+
+func TestBalancedCounts(t *testing.T) {
+	balanced := 0
+	for code := 0; code < 256; code++ {
+		if MustNew(rule.Elementary(uint8(code)), 1).Balanced() {
+			balanced++
+		}
+	}
+	// C(8,4) = 70 rules have exactly four 1-outputs.
+	if balanced != 70 {
+		t.Errorf("balanced ECA count = %d, want 70", balanced)
+	}
+}
+
+func BenchmarkClassifyAllECA(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for code := 0; code < 256; code++ {
+			MustNew(rule.Elementary(uint8(code)), 1).Classify()
+		}
+	}
+}

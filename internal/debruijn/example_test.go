@@ -1,0 +1,29 @@
+package debruijn_test
+
+import (
+	"fmt"
+
+	"repro/internal/debruijn"
+	"repro/internal/rule"
+)
+
+// Deciding global properties of the infinite-line dynamics from the finite
+// de Bruijn graph: majority forgets, parity covers, the shift is lossless.
+func Example() {
+	for _, spec := range []struct {
+		name string
+		code uint8
+	}{
+		{"majority", 232},
+		{"parity  ", 150},
+		{"shift   ", 170},
+	} {
+		g := debruijn.MustNew(rule.Elementary(spec.code), 1)
+		sur, inj := g.Classify()
+		fmt.Printf("%s surjective=%-5v injective=%v\n", spec.name, sur, inj)
+	}
+	// Output:
+	// majority surjective=false injective=false
+	// parity   surjective=true  injective=false
+	// shift    surjective=true  injective=true
+}

@@ -1,0 +1,164 @@
+// Package density implements the density-classification task — the classic
+// benchmark of the CA literature the paper cites (Wolfram, refs [20-22]) —
+// as an application of the repository's engines: given a random initial
+// configuration, a CA should converge to all-1s when the initial density
+// of 1s exceeds ½ and to all-0s otherwise.
+//
+// Two contestants are provided:
+//
+//   - The Gacs–Kurdyumov–Levin (GKL) rule, the standard hand-designed
+//     radius-3 classifier (~80% accuracy near density ½). GKL reads
+//     different neighbors depending on the cell's own state and is
+//     therefore *not* symmetric — it lies outside the paper's threshold
+//     class, and its sequential behavior is not covered by Theorem 1.
+//   - Plain local MAJORITY (radius 1 or 3), which famously fails the task:
+//     it freezes into striped block fixed points instead of reaching
+//     consensus; its convergence (to the *wrong* answers) is exactly what
+//     Proposition 1 guarantees.
+//
+// The comparison quantifies the paper's point from another angle: the
+// threshold CA the paper studies are simple enough to have fully
+// classifiable dynamics — and correspondingly weak as global computers.
+package density
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/automaton"
+	"repro/internal/config"
+	"repro/internal/rule"
+	"repro/internal/space"
+)
+
+// GKL returns the Gacs–Kurdyumov–Levin rule as a radius-3 table rule
+// (7 ordered inputs: offsets −3..−1, self, +1..+3):
+//
+//	if s_i = 0: next = majority(s_i, s_{i−1}, s_{i−3})
+//	if s_i = 1: next = majority(s_i, s_{i+1}, s_{i+3})
+func GKL() *rule.Table {
+	return rule.FromFunc("gkl", 7, func(nb []uint8) uint8 {
+		// nb indices: 0:−3 1:−2 2:−1 3:self 4:+1 5:+2 6:+3
+		self := nb[3]
+		var a, b uint8
+		if self == 0 {
+			a, b = nb[2], nb[0] // −1, −3
+		} else {
+			a, b = nb[4], nb[6] // +1, +3
+		}
+		if int(self)+int(a)+int(b) >= 2 {
+			return 1
+		}
+		return 0
+	})
+}
+
+// Verdict classifies the outcome of one run.
+type Verdict int
+
+const (
+	// Correct: the orbit reached the consensus fixed point matching the
+	// initial majority.
+	Correct Verdict = iota
+	// Wrong: the orbit reached the opposite consensus.
+	Wrong
+	// Unsettled: no consensus within the step budget (blocked stripes,
+	// cycles, or slow transients).
+	Unsettled
+)
+
+// String implements fmt.Stringer.
+func (v Verdict) String() string {
+	switch v {
+	case Correct:
+		return "correct"
+	case Wrong:
+		return "wrong"
+	default:
+		return "unsettled"
+	}
+}
+
+// ClassifyRun runs automaton a from x0 for at most maxSteps parallel steps
+// and scores the density-classification outcome. Initial densities of
+// exactly ½ are rejected (the task is undefined there).
+func ClassifyRun(a *automaton.Automaton, x0 config.Config, maxSteps int) Verdict {
+	n := x0.N()
+	ones := x0.Ones()
+	if 2*ones == n {
+		panic("density: initial density exactly 1/2")
+	}
+	wantOne := 2*ones > n
+	res := a.Converge(x0.Clone(), maxSteps)
+	if res.Outcome != automaton.FixedPointOutcome {
+		return Unsettled
+	}
+	switch res.Final.Ones() {
+	case n:
+		if wantOne {
+			return Correct
+		}
+		return Wrong
+	case 0:
+		if !wantOne {
+			return Correct
+		}
+		return Wrong
+	default:
+		return Unsettled // converged, but not to a consensus state
+	}
+}
+
+// Result tallies a benchmark sweep.
+type Result struct {
+	Rule      string
+	N         int
+	Trials    int
+	Correct   int
+	Wrong     int
+	Unsettled int
+}
+
+// Accuracy returns the fraction of correct classifications.
+func (r Result) Accuracy() float64 {
+	if r.Trials == 0 {
+		return 0
+	}
+	return float64(r.Correct) / float64(r.Trials)
+}
+
+// String renders one summary line.
+func (r Result) String() string {
+	return fmt.Sprintf("%s n=%d trials=%d correct=%d wrong=%d unsettled=%d acc=%.2f",
+		r.Rule, r.N, r.Trials, r.Correct, r.Wrong, r.Unsettled, r.Accuracy())
+}
+
+// Benchmark scores a rule on trials random initial configurations with
+// densities drawn near ½ (each cell i.i.d. fair-coin, rejecting exact ties).
+// The ring size n and the rule's radius must be compatible.
+func Benchmark(name string, r rule.Rule, radius, n, trials int, seed int64, maxSteps int) Result {
+	a, err := automaton.New(space.Ring(n, radius), r)
+	if err != nil {
+		panic(err)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	res := Result{Rule: name, N: n, Trials: trials}
+	for t := 0; t < trials; t++ {
+		var x0 config.Config
+		for {
+			x0 = config.Random(rng, n, 0.5)
+			if 2*x0.Ones() != n {
+				break
+			}
+		}
+		switch ClassifyRun(a, x0, maxSteps) {
+		case Correct:
+			res.Correct++
+		case Wrong:
+			res.Wrong++
+		default:
+			res.Unsettled++
+		}
+	}
+	return res
+}

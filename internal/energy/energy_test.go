@@ -1,0 +1,232 @@
+package energy
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/automaton"
+	"repro/internal/config"
+	"repro/internal/rule"
+	"repro/internal/space"
+	"repro/internal/update"
+)
+
+func majNet(t testing.TB, n, r int) (*automaton.Automaton, *Network) {
+	t.Helper()
+	a := automaton.MustNew(space.Ring(n, r), rule.Majority(r))
+	nw, err := FromAutomaton(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a, nw
+}
+
+func TestFromAutomatonRejectsNonThreshold(t *testing.T) {
+	a := automaton.MustNew(space.Ring(5, 1), rule.XOR{})
+	if _, err := FromAutomaton(a); err == nil {
+		t.Error("XOR automaton accepted as threshold network")
+	}
+}
+
+func TestFromAutomatonAcceptsNonHomogeneousThresholds(t *testing.T) {
+	s := space.Ring(5, 1)
+	rules := []rule.Rule{
+		rule.Threshold{K: 1}, rule.Threshold{K: 2}, rule.Threshold{K: 3},
+		rule.Threshold{K: 2}, rule.Threshold{K: 0},
+	}
+	a, err := automaton.NewNonHomogeneous(s, rules)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := FromAutomaton(a); err != nil {
+		t.Errorf("mixed thresholds rejected: %v", err)
+	}
+}
+
+func TestFieldMatchesRule(t *testing.T) {
+	a, nw := majNet(t, 9, 1)
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 50; trial++ {
+		c := config.Random(rng, 9, 0.5)
+		for i := 0; i < 9; i++ {
+			want := a.NodeNext(c, i)
+			got := uint8(0)
+			if nw.Field(c, i) >= 0 {
+				got = 1
+			}
+			if got != want {
+				t.Fatalf("node %d of %s: field says %d, rule says %d", i, c.String(), got, want)
+			}
+		}
+	}
+}
+
+func TestSequentialEnergyStrictDecrease(t *testing.T) {
+	// Every state-changing sequential update must decrease 2E by ≥ 1.
+	a, nw := majNet(t, 11, 1)
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 30; trial++ {
+		c := config.Random(rng, 11, 0.5)
+		sched := update.NewRandomFair(11, int64(trial))
+		for step := 0; step < 500; step++ {
+			before := nw.Sequential2E(c)
+			i := sched.Next()
+			changed := a.UpdateNode(c, i)
+			after := nw.Sequential2E(c)
+			if changed && after >= before {
+				t.Fatalf("trial %d step %d: energy rose %d -> %d on change", trial, step, before, after)
+			}
+			if !changed && after != before {
+				t.Fatalf("trial %d step %d: energy moved on no-op", trial, step)
+			}
+		}
+	}
+}
+
+func TestFlipDeltaExact(t *testing.T) {
+	a, nw := majNet(t, 10, 2)
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 100; trial++ {
+		c := config.Random(rng, 10, 0.5)
+		i := rng.Intn(10)
+		predicted := nw.FlipDelta2E(c, i)
+		before := nw.Sequential2E(c)
+		a.UpdateNode(c, i)
+		actual := nw.Sequential2E(c) - before
+		if predicted != actual {
+			t.Fatalf("trial %d node %d: predicted Δ2E=%d, actual %d", trial, i, predicted, actual)
+		}
+	}
+}
+
+func TestFlipDeltaStrictlyNegativeOnChange(t *testing.T) {
+	// The Theorem 1 mechanism: Δ2E ≤ −1 whenever the update changes state.
+	_, nw := majNet(t, 9, 1)
+	config.Space(9, func(_ uint64, c config.Config) {
+		for i := 0; i < 9; i++ {
+			d := nw.FlipDelta2E(c, i)
+			if d > 0 {
+				t.Fatalf("config %s node %d: Δ2E = %d > 0", c.String(), i, d)
+			}
+			// CA with memory have w_ii = 1, so changes cost at least 2.
+			if d != 0 && d > -2 {
+				t.Fatalf("config %s node %d: Δ2E = %d, want ≤ −2", c.String(), i, d)
+			}
+		}
+	})
+}
+
+func TestBilinearNonIncreasingAlongParallelOrbits(t *testing.T) {
+	for _, spec := range []struct {
+		n, r int
+	}{{8, 1}, {12, 1}, {10, 2}} {
+		a, nw := majNet(t, spec.n, spec.r)
+		rng := rand.New(rand.NewSource(int64(spec.n)))
+		for trial := 0; trial < 20; trial++ {
+			x := config.Random(rng, spec.n, 0.5)
+			y := config.New(spec.n)
+			a.Step(y, x)
+			prev := nw.Bilinear2E(x, y)
+			for step := 0; step < 60; step++ {
+				z := config.New(spec.n)
+				a.Step(z, y)
+				cur := nw.Bilinear2E(y, z)
+				if cur > prev {
+					t.Fatalf("n=%d r=%d trial %d step %d: bilinear energy rose %d -> %d",
+						spec.n, spec.r, trial, step, prev, cur)
+				}
+				x, y = y, z
+				prev = cur
+			}
+		}
+	}
+}
+
+func TestBilinearSymmetry(t *testing.T) {
+	// W is symmetric, so E₂(x,y) = E₂(y,x).
+	_, nw := majNet(t, 10, 1)
+	rng := rand.New(rand.NewSource(13))
+	f := func(a, b uint16) bool {
+		x := config.FromIndex(uint64(a)&(1<<10-1), 10)
+		y := config.FromIndex(uint64(b)&(1<<10-1), 10)
+		return nw.Bilinear2E(x, y) == nw.Bilinear2E(y, x)
+	}
+	_ = rng
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBilinearStallImpliesPeriodTwo(t *testing.T) {
+	// When E₂ stalls along the orbit, x^{t+2} must equal x^t.
+	a, nw := majNet(t, 12, 1)
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 30; trial++ {
+		x := config.Random(rng, 12, 0.5)
+		y := config.New(12)
+		a.Step(y, x)
+		prev := nw.Bilinear2E(x, y)
+		for step := 0; step < 100; step++ {
+			z := config.New(12)
+			a.Step(z, y)
+			cur := nw.Bilinear2E(y, z)
+			if cur == prev && !z.Equal(x) {
+				t.Fatalf("trial %d: energy stalled at %d but x^{t+2} ≠ x^t", trial, cur)
+			}
+			if cur == prev {
+				break // settled into FP or 2-cycle: Proposition 1 confirmed
+			}
+			x, y = y, z
+			prev = cur
+		}
+	}
+}
+
+func TestBoundsContainAllEnergies(t *testing.T) {
+	_, nw := majNet(t, 10, 1)
+	lo, hi := nw.Bounds()
+	config.Space(10, func(_ uint64, c config.Config) {
+		e := nw.Sequential2E(c)
+		if e < lo || e > hi {
+			t.Fatalf("config %s energy %d outside [%d,%d]", c.String(), e, lo, hi)
+		}
+	})
+}
+
+func TestBoundsGiveConvergenceBudget(t *testing.T) {
+	// Any sequential run makes at most (hi−lo) state-changing updates.
+	a, nw := majNet(t, 12, 1)
+	lo, hi := nw.Bounds()
+	budget := int(hi - lo)
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 10; trial++ {
+		c := config.Random(rng, 12, 0.5)
+		changes := 0
+		sched := update.NewRandomFair(12, int64(trial))
+		for step := 0; step < 10000; step++ {
+			if a.UpdateNode(c, sched.Next()) {
+				changes++
+			}
+		}
+		if changes > budget {
+			t.Fatalf("trial %d: %d changes exceeds energy budget %d", trial, changes, budget)
+		}
+	}
+}
+
+func TestEnergyQuiescentIsZero(t *testing.T) {
+	_, nw := majNet(t, 8, 1)
+	if e := nw.Sequential2E(config.New(8)); e != 0 {
+		t.Errorf("2E(0^n) = %d, want 0", e)
+	}
+}
+
+func BenchmarkSequential2E(b *testing.B) {
+	_, nw := majNet(b, 1024, 1)
+	c := config.Alternating(1024, 0)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		nw.Sequential2E(c)
+	}
+}

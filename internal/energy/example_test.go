@@ -1,0 +1,35 @@
+package energy_test
+
+import (
+	"fmt"
+
+	"repro/internal/automaton"
+	"repro/internal/config"
+	"repro/internal/energy"
+	"repro/internal/rule"
+	"repro/internal/space"
+)
+
+// Why Theorem 1 holds: each state-changing sequential update strictly
+// decreases the Lyapunov energy, so no configuration can ever recur.
+func Example() {
+	a := automaton.MustNew(space.Ring(8, 1), rule.Majority(1))
+	nw, err := energy.FromAutomaton(a)
+	if err != nil {
+		panic(err)
+	}
+	c := config.Alternating(8, 0)
+	fmt.Println("start 2E:", nw.Sequential2E(c))
+	for _, node := range []int{0, 2, 4, 6} {
+		a.UpdateNode(c, node)
+		fmt.Printf("after node %d: 2E = %d\n", node, nw.Sequential2E(c))
+	}
+	fmt.Println("fixed point:", a.FixedPoint(c), c)
+	// Output:
+	// start 2E: 8
+	// after node 0: 2E = 6
+	// after node 2: 2E = 4
+	// after node 4: 2E = 2
+	// after node 6: 2E = 0
+	// fixed point: true 11111111
+}

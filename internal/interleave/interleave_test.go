@@ -1,0 +1,248 @@
+package interleave
+
+import (
+	"testing"
+
+	"repro/internal/automaton"
+	"repro/internal/config"
+	"repro/internal/rule"
+	"repro/internal/space"
+)
+
+// --- §1.1 register VM ---
+
+func TestSection11AtomicGivesOnlyThree(t *testing.T) {
+	progs := []Program{IncrementProgram(1), IncrementProgram(2)}
+	out := AtomicOrders(0, progs)
+	vals := Values(out)
+	if len(vals) != 1 || vals[0] != 3 {
+		t.Errorf("atomic outcomes %v, want exactly {3}", vals)
+	}
+	// Both orders produce 3.
+	if out[3] != 2 {
+		t.Errorf("atomic multiplicity %d, want 2", out[3])
+	}
+}
+
+func TestSection11MachineLevelGivesOneTwoThree(t *testing.T) {
+	progs := []Program{IncrementProgram(1), IncrementProgram(2)}
+	out := Interleavings(0, progs)
+	vals := Values(out)
+	want := []int64{1, 2, 3}
+	if len(vals) != 3 {
+		t.Fatalf("machine-level outcomes %v, want %v", vals, want)
+	}
+	for i := range want {
+		if vals[i] != want[i] {
+			t.Fatalf("machine-level outcomes %v, want %v", vals, want)
+		}
+	}
+	// All C(6,3)=20 interleavings accounted for.
+	total := 0
+	for _, c := range out {
+		total += c
+	}
+	if total != 20 {
+		t.Errorf("enumerated %d interleavings, want 20", total)
+	}
+}
+
+func TestSection11ParallelOutcomesSubsetOfMachineLevel(t *testing.T) {
+	// The "parallel" (simultaneous) outcomes {1,2} are reachable at machine
+	// granularity but not at atomic granularity — the paper's point.
+	progs := []Program{IncrementProgram(1), IncrementProgram(2)}
+	par := SimultaneousWrites(0, progs)
+	machine := Interleavings(0, progs)
+	atomic := AtomicOrders(0, progs)
+	for v := range par {
+		if _, ok := machine[v]; !ok {
+			t.Errorf("parallel outcome %d unreachable at machine granularity", v)
+		}
+		if _, ok := atomic[v]; ok {
+			t.Errorf("parallel outcome %d unexpectedly reachable atomically", v)
+		}
+	}
+	vals := Values(par)
+	if len(vals) != 2 || vals[0] != 1 || vals[1] != 2 {
+		t.Errorf("simultaneous outcomes %v, want {1,2}", vals)
+	}
+}
+
+func TestInterleavingsThreePrograms(t *testing.T) {
+	progs := []Program{IncrementProgram(1), IncrementProgram(2), IncrementProgram(4)}
+	out := Interleavings(0, progs)
+	total := 0
+	for _, c := range out {
+		total += c
+	}
+	if want := int(CountInterleavings([]int{3, 3, 3})); total != want {
+		t.Errorf("enumerated %d interleavings, want %d", total, want)
+	}
+	// Atomic outcome 7 must be present; lost-update outcomes too.
+	if _, ok := out[7]; !ok {
+		t.Error("fully sequential outcome 7 missing")
+	}
+	for _, v := range []int64{1, 2, 4} {
+		if _, ok := out[v]; !ok {
+			t.Errorf("lost-update outcome %d missing", v)
+		}
+	}
+}
+
+func TestCountInterleavings(t *testing.T) {
+	cases := []struct {
+		lens []int
+		want uint64
+	}{
+		{[]int{3, 3}, 20},
+		{[]int{1, 1}, 2},
+		{[]int{2, 2}, 6},
+		{[]int{2, 2, 2}, 90},
+		{[]int{3, 3, 3}, 1680},
+		{[]int{0, 5}, 1},
+	}
+	for _, c := range cases {
+		if got := CountInterleavings(c.lens); got != c.want {
+			t.Errorf("CountInterleavings(%v) = %d, want %d", c.lens, got, c.want)
+		}
+	}
+}
+
+func TestSimultaneousWritesMultiplicities(t *testing.T) {
+	progs := []Program{IncrementProgram(1), IncrementProgram(2), IncrementProgram(3)}
+	out := SimultaneousWrites(5, progs)
+	// Last-write-wins: each of 6,7,8 wins in 2! = 2 write orders.
+	for _, v := range []int64{6, 7, 8} {
+		if out[v] != 2 {
+			t.Errorf("value %d has multiplicity %d, want 2", v, out[v])
+		}
+	}
+}
+
+// --- §5 micro-op CA experiments ---
+
+func xorPair() *automaton.Automaton {
+	return automaton.MustNew(space.CompleteGraph(2), rule.XOR{})
+}
+
+func TestMicroOpsRecoverParallelXORStep(t *testing.T) {
+	a := xorPair()
+	start := config.MustParse("11")
+	rep := CheckRecovery(a, start)
+	// F(11) = 00.
+	if rep.Parallel != 0 {
+		t.Fatalf("F(11) index %d, want 0", rep.Parallel)
+	}
+	if !rep.MicroReaches {
+		t.Error("fetch/commit interleavings cannot reach F(11); §5 says they must")
+	}
+	if rep.AtomicReaches {
+		t.Error("whole-update orders reached 00 from 11; Fig 1(b) forbids this")
+	}
+	// Micro-op interleavings of 2 nodes: 4!/(2!·2!)... order within a
+	// program is fixed: (2k)!/(2!^k) = 24/4 = 6.
+	if rep.MicroSchedules != 6 {
+		t.Errorf("micro schedules %d, want 6", rep.MicroSchedules)
+	}
+	if rep.AtomicSchedules != 2 {
+		t.Errorf("atomic schedules %d, want 2", rep.AtomicSchedules)
+	}
+}
+
+func TestMicroOpsRecoverParallelMajorityCycleStep(t *testing.T) {
+	// On the alternating configuration of a 4-ring, the parallel MAJORITY
+	// step flips every node (the Lemma 1(i) 2-cycle). No atomic sequential
+	// order achieves it; micro-op interleavings do.
+	a := automaton.MustNew(space.Ring(4, 1), rule.Majority(1))
+	start := config.Alternating(4, 0)
+	rep := CheckRecovery(a, start)
+	want := config.Alternating(4, 1).Index()
+	if rep.Parallel != want {
+		t.Fatalf("parallel step = %d, want %d", rep.Parallel, want)
+	}
+	if !rep.MicroReaches {
+		t.Error("micro-op interleavings cannot reproduce the 2-cycle step")
+	}
+	if rep.AtomicReaches {
+		t.Error("atomic updates reproduced the 2-cycle step; Lemma 1(ii) forbids this")
+	}
+}
+
+func TestMicroOutcomesSupersetOfAtomic(t *testing.T) {
+	// Whole-update orders are a special case of micro-op interleavings
+	// (fetch immediately followed by its commit), so atomic outcomes ⊆
+	// micro outcomes.
+	a := automaton.MustNew(space.Ring(5, 1), rule.Majority(1))
+	nodes := []int{0, 1, 2, 3, 4}
+	for _, s := range []string{"01010", "11000", "10101"} {
+		start := config.MustParse(s)
+		micro := MicroOutcomes(a, start, nodes)
+		atomic := AtomicUpdateOutcomes(a, start, nodes)
+		for v := range atomic {
+			if _, ok := micro[v]; !ok {
+				t.Errorf("start %s: atomic outcome %d missing from micro outcomes", s, v)
+			}
+		}
+	}
+}
+
+func TestMicroOutcomesAllFetchFirstEqualsParallel(t *testing.T) {
+	// Independent verification: manually run all fetches then all commits
+	// and compare to Step.
+	a := automaton.MustNew(space.Ring(6, 1), rule.Majority(1))
+	start := config.Alternating(6, 0)
+	fetched := make([]uint8, 6)
+	for i := 0; i < 6; i++ {
+		fetched[i] = a.NodeNext(start, i)
+	}
+	c := start.Clone()
+	for i := 0; i < 6; i++ {
+		c.Set(i, fetched[i])
+	}
+	if c.Index() != ParallelStepIndex(a, start) {
+		t.Error("fetch-all-then-commit-all differs from the parallel step")
+	}
+}
+
+func TestMicroOutcomesSubsetOfNodeCount(t *testing.T) {
+	// Updating only a subset of nodes must leave other nodes untouched.
+	a := automaton.MustNew(space.Ring(5, 1), rule.Majority(1))
+	start := config.MustParse("01010")
+	out := MicroOutcomes(a, start, []int{1, 2})
+	for v := range out {
+		got := config.FromIndex(v, 5)
+		for _, fixed := range []int{0, 3, 4} {
+			if got.Get(fixed) != start.Get(fixed) {
+				t.Errorf("outcome %s changed untouched node %d", got.String(), fixed)
+			}
+		}
+	}
+}
+
+func TestMicroPanicsOnTooManyNodes(t *testing.T) {
+	a := automaton.MustNew(space.Ring(8, 1), rule.Majority(1))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("7 micro-op programs accepted")
+		}
+	}()
+	MicroOutcomes(a, config.New(8), []int{0, 1, 2, 3, 4, 5, 6})
+}
+
+func BenchmarkMicroOutcomes5(b *testing.B) {
+	a := automaton.MustNew(space.Ring(5, 1), rule.Majority(1))
+	start := config.Alternating(5, 0)
+	nodes := []int{0, 1, 2, 3, 4}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		MicroOutcomes(a, start, nodes)
+	}
+}
+
+func BenchmarkInterleavingsTwoPrograms(b *testing.B) {
+	progs := []Program{IncrementProgram(1), IncrementProgram(2)}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Interleavings(0, progs)
+	}
+}

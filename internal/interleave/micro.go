@@ -1,0 +1,157 @@
+package interleave
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/automaton"
+	"repro/internal/config"
+)
+
+// MicroOutcomes explores the §5 refinement for cellular automata: each node
+// in nodes executes the two-phase program FETCH (snapshot its neighborhood
+// and compute its next state) then COMMIT (write that state), exactly once,
+// and all order-preserving interleavings of these micro-operations across
+// nodes are enumerated. The returned set maps each reachable final
+// configuration index to the number of interleavings producing it.
+//
+// n must be ≤ 63 so configurations index into uint64, and len(nodes) should
+// stay small: there are (2k)!/2^k interleavings of k two-op programs.
+func MicroOutcomes(a *automaton.Automaton, start config.Config, nodes []int) map[uint64]int {
+	if start.N() > 63 {
+		panic(fmt.Sprintf("interleave: %d nodes exceed index range", start.N()))
+	}
+	if len(nodes) > 6 {
+		panic(fmt.Sprintf("interleave: %d micro-op programs is too many to enumerate", len(nodes)))
+	}
+	outcomes := map[uint64]int{}
+	k := len(nodes)
+	pc := make([]int, k)        // 0 = before fetch, 1 = fetched, 2 = committed
+	fetched := make([]uint8, k) // computed next state, valid when pc==1
+	cur := start.Clone()
+	var rec func()
+	rec = func() {
+		done := true
+		for p := 0; p < k; p++ {
+			switch pc[p] {
+			case 0:
+				done = false
+				// FETCH: read the current configuration, compute next state.
+				val := a.NodeNext(cur, nodes[p])
+				fetched[p] = val
+				pc[p] = 1
+				rec()
+				pc[p] = 0
+			case 1:
+				done = false
+				// COMMIT: write the fetched value.
+				old := cur.Get(nodes[p])
+				cur.Set(nodes[p], fetched[p])
+				pc[p] = 2
+				rec()
+				pc[p] = 1
+				cur.Set(nodes[p], old)
+			}
+		}
+		if done {
+			outcomes[cur.Index()]++
+		}
+	}
+	rec()
+	return outcomes
+}
+
+// AtomicUpdateOutcomes explores the same node set at whole-update
+// granularity: each node performs fetch+commit as one indivisible action,
+// exactly once, in every order. The map gives each reachable final
+// configuration the number of orders producing it. This is the granularity
+// at which the paper proves interleavings cannot reproduce the parallel
+// step of threshold CA.
+func AtomicUpdateOutcomes(a *automaton.Automaton, start config.Config, nodes []int) map[uint64]int {
+	if start.N() > 63 {
+		panic(fmt.Sprintf("interleave: %d nodes exceed index range", start.N()))
+	}
+	outcomes := map[uint64]int{}
+	k := len(nodes)
+	used := make([]bool, k)
+	cur := start.Clone()
+	var rec func(depth int)
+	rec = func(depth int) {
+		if depth == k {
+			outcomes[cur.Index()]++
+			return
+		}
+		for p := 0; p < k; p++ {
+			if used[p] {
+				continue
+			}
+			used[p] = true
+			old := cur.Get(nodes[p])
+			cur.Set(nodes[p], a.NodeNext(cur, nodes[p]))
+			rec(depth + 1)
+			cur.Set(nodes[p], old)
+			used[p] = false
+		}
+	}
+	rec(0)
+	return outcomes
+}
+
+// ParallelStepIndex returns the index of F(start): the outcome of the
+// perfectly synchronous step over all nodes.
+func ParallelStepIndex(a *automaton.Automaton, start config.Config) uint64 {
+	dst := config.New(start.N())
+	a.Step(dst, start)
+	return dst.Index()
+}
+
+// Keys returns the sorted configuration indices of an outcome set.
+func Keys(outcomes map[uint64]int) []uint64 {
+	out := make([]uint64, 0, len(outcomes))
+	for v := range outcomes {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// RecoveryReport summarizes the §5 experiment on one configuration.
+type RecoveryReport struct {
+	Parallel        uint64 // index of F(start)
+	MicroReaches    bool   // some fetch/commit interleaving reproduces F(start)
+	AtomicReaches   bool   // some whole-update order reproduces F(start)
+	MicroOutcomes   int    // distinct final configurations at micro granularity
+	AtomicOutcomes  int    // distinct final configurations at atomic granularity
+	MicroSchedules  int    // total interleavings enumerated
+	AtomicSchedules int    // total orders enumerated
+}
+
+// CheckRecovery runs both granularities over all nodes of a small automaton
+// and reports whether each can reproduce the parallel step from start.
+func CheckRecovery(a *automaton.Automaton, start config.Config) RecoveryReport {
+	nodes := make([]int, a.N())
+	for i := range nodes {
+		nodes[i] = i
+	}
+	par := ParallelStepIndex(a, start)
+	micro := MicroOutcomes(a, start, nodes)
+	atomic := AtomicUpdateOutcomes(a, start, nodes)
+	rep := RecoveryReport{
+		Parallel:       par,
+		MicroOutcomes:  len(micro),
+		AtomicOutcomes: len(atomic),
+	}
+	if _, ok := micro[par]; ok {
+		rep.MicroReaches = true
+	}
+	if _, ok := atomic[par]; ok {
+		rep.AtomicReaches = true
+	}
+	for _, c := range micro {
+		rep.MicroSchedules += c
+	}
+	for _, c := range atomic {
+		rep.AtomicSchedules += c
+	}
+	return rep
+}

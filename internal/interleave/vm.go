@@ -1,0 +1,217 @@
+// Package interleave implements the paper's two granularity experiments.
+//
+// First (§1.1), the sophomore-class register machine: concurrent programs
+// such as x = x+1 ‖ x = x+2 over one shared variable, executed (a) as atomic
+// high-level instructions in every sequential order, (b) as LOAD/ADD/STORE
+// machine instructions in every order-preserving interleaving, and (c) under
+// the "simultaneous write" semantics of a parallel step. The paper's point:
+// the parallel outcomes are not reachable at granularity (a) but are at (b).
+//
+// Second (§5), the same refinement applied to cellular automata: a node
+// update decomposed into FETCH (read the neighborhood) and COMMIT (write the
+// new state). Some interleaving of these micro-operations reproduces the
+// parallel CA step — e.g. all fetches before all commits — whereas no
+// interleaving of *whole* node updates can (Lemma 1 / Theorem 1).
+package interleave
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Op is a machine instruction of the §1.1 register VM. Each concurrent
+// program has one private register; all programs share one variable.
+type Op struct {
+	Kind OpKind
+	Arg  int64 // addend for AddI
+}
+
+// OpKind enumerates the VM's instruction kinds.
+type OpKind int
+
+const (
+	// Load copies the shared variable into the program's register.
+	Load OpKind = iota
+	// AddI adds the immediate Arg to the register.
+	AddI
+	// Store copies the register into the shared variable.
+	Store
+)
+
+// String implements fmt.Stringer.
+func (k OpKind) String() string {
+	switch k {
+	case Load:
+		return "LOAD"
+	case AddI:
+		return "ADDI"
+	case Store:
+		return "STORE"
+	default:
+		return fmt.Sprintf("op(%d)", int(k))
+	}
+}
+
+// Program is a finite instruction sequence run by one logical processor.
+type Program []Op
+
+// IncrementProgram returns the three-instruction program
+// LOAD; ADDI k; STORE — the machine code of x = x + k.
+func IncrementProgram(k int64) Program {
+	return Program{{Kind: Load}, {Kind: AddI, Arg: k}, {Kind: Store}}
+}
+
+// vmState is the machine state during one interleaved execution.
+type vmState struct {
+	shared int64
+	regs   []int64
+}
+
+func (s *vmState) exec(prog int, op Op) {
+	switch op.Kind {
+	case Load:
+		s.regs[prog] = s.shared
+	case AddI:
+		s.regs[prog] += op.Arg
+	case Store:
+		s.shared = s.regs[prog]
+	default:
+		panic(fmt.Sprintf("interleave: unknown op kind %d", op.Kind))
+	}
+}
+
+// Interleavings enumerates every order-preserving merge of the programs,
+// executes each from shared-variable value init, and returns the multiset
+// of final shared values as a map value→count. The total number of
+// interleavings is the multinomial (Σlen)! / Π len!, so keep programs small.
+func Interleavings(init int64, programs []Program) map[int64]int {
+	outcomes := map[int64]int{}
+	pc := make([]int, len(programs))
+	st := &vmState{shared: init, regs: make([]int64, len(programs))}
+	var rec func()
+	rec = func() {
+		done := true
+		for p := range programs {
+			if pc[p] < len(programs[p]) {
+				done = false
+				op := programs[p][pc[p]]
+				// Save, execute, recurse, restore.
+				savedShared := st.shared
+				savedReg := st.regs[p]
+				st.exec(p, op)
+				pc[p]++
+				rec()
+				pc[p]--
+				st.shared = savedShared
+				st.regs[p] = savedReg
+			}
+		}
+		if done {
+			outcomes[st.shared]++
+		}
+	}
+	rec()
+	return outcomes
+}
+
+// AtomicOrders executes the programs as indivisible units in every
+// permutation of the programs, returning final shared values as value→count.
+// This is granularity (a): high-level instructions treated as atomic.
+func AtomicOrders(init int64, programs []Program) map[int64]int {
+	outcomes := map[int64]int{}
+	k := len(programs)
+	order := make([]int, k)
+	for i := range order {
+		order[i] = i
+	}
+	var rec func(depth int)
+	used := make([]bool, k)
+	run := func(ord []int) int64 {
+		st := &vmState{shared: init, regs: make([]int64, k)}
+		for _, p := range ord {
+			for _, op := range programs[p] {
+				st.exec(p, op)
+			}
+		}
+		return st.shared
+	}
+	var chosen []int
+	rec = func(depth int) {
+		if depth == k {
+			outcomes[run(chosen)]++
+			return
+		}
+		for p := 0; p < k; p++ {
+			if used[p] {
+				continue
+			}
+			used[p] = true
+			chosen = append(chosen, p)
+			rec(depth + 1)
+			chosen = chosen[:len(chosen)-1]
+			used[p] = false
+		}
+	}
+	rec(0)
+	return outcomes
+}
+
+// SimultaneousWrites models the "parallel execution" of the paper's §1.1
+// example: every program reads the initial shared value, computes, and then
+// all stores land in some nondeterministic order (last write wins). The
+// returned map gives each final value the number of write orders producing
+// it.
+func SimultaneousWrites(init int64, programs []Program) map[int64]int {
+	k := len(programs)
+	// Run each program in isolation against the initial value to get its
+	// intended store value.
+	finals := make([]int64, k)
+	for p, prog := range programs {
+		st := &vmState{shared: init, regs: make([]int64, k)}
+		for _, op := range prog {
+			st.exec(p, op)
+		}
+		finals[p] = st.shared
+	}
+	// Last write wins: permutations of writers keyed by final writer.
+	outcomes := map[int64]int{}
+	perms := factorial(k - 1)
+	for _, v := range finals {
+		outcomes[v] += perms
+	}
+	return outcomes
+}
+
+func factorial(n int) int {
+	f := 1
+	for i := 2; i <= n; i++ {
+		f *= i
+	}
+	return f
+}
+
+// Values returns the sorted distinct outcome values of an outcome multiset.
+func Values(outcomes map[int64]int) []int64 {
+	out := make([]int64, 0, len(outcomes))
+	for v := range outcomes {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// CountInterleavings returns the number of order-preserving merges of
+// programs with the given lengths: (Σlen)! / Π(len!).
+func CountInterleavings(lengths []int) uint64 {
+	// Product of binomials C(n₁, n₁)·C(n₁+n₂, n₂)·…, each computed with the
+	// standard incremental update that stays integral at every step.
+	result := uint64(1)
+	seen := 0
+	for _, l := range lengths {
+		for i := 1; i <= l; i++ {
+			seen++
+			result = result * uint64(seen) / uint64(i)
+		}
+	}
+	return result
+}

@@ -1,0 +1,128 @@
+package phasespace
+
+// Sequential-space classification beyond acyclicity: the nondeterministic
+// phase space supports the modal questions the paper's Fig. 1(b) discussion
+// raises — which configurations *can* reach a fixed point under some
+// interleaving (EF fp), and which can be trapped forever in cycles. For the
+// two-node XOR SCA the answers are stark: from 01, 10 and 11 no fixed point
+// is reachable at all, so every maximal sequential computation loops among
+// pseudo-fixed points and 2-cycles.
+
+// SequentialCensus summarizes a sequential phase space.
+type SequentialCensus struct {
+	Nodes            int
+	Configs          uint64
+	FixedPoints      int
+	PseudoFixed      int
+	Unreachable      uint64 // no incoming changing transition
+	TwoCycles        int
+	Acyclic          bool
+	CycleStates      uint64 // configurations on some proper sequential cycle
+	CanReachFixed    uint64 // configurations with EF(fixed point)
+	CannotReachFixed uint64 // configurations from which no interleaving terminates
+}
+
+// TakeCensus computes the full sequential census.
+func (s *Sequential) TakeCensus() SequentialCensus {
+	c := SequentialCensus{
+		Nodes:       s.n,
+		Configs:     s.Size(),
+		FixedPoints: len(s.FixedPoints()),
+		PseudoFixed: len(s.PseudoFixedPoints()),
+		Unreachable: uint64(len(s.Unreachable())),
+		TwoCycles:   len(s.TwoCycles()),
+		CycleStates: uint64(len(s.ProperCycleStates())),
+	}
+	_, c.Acyclic = s.Acyclic()
+	reach := s.CanReachFixedPoint()
+	for _, ok := range reach {
+		if ok {
+			c.CanReachFixed++
+		}
+	}
+	c.CannotReachFixed = c.Configs - c.CanReachFixed
+	return c
+}
+
+// CanReachFixedPoint returns, per configuration, whether SOME sequence of
+// single-node updates leads to a fixed point (the modal EF over the
+// nondeterministic transition relation), computed by backward reachability
+// from the fixed points.
+func (s *Sequential) CanReachFixedPoint() []bool {
+	total := s.Size()
+	// Build reverse adjacency over changing transitions.
+	// To stay memory-lean we do a backward BFS using a forward pass per
+	// frontier expansion: predecessors are found by scanning all edges once
+	// into buckets.
+	preds := make([][]uint32, total)
+	for x := uint64(0); x < total; x++ {
+		base := x * uint64(s.n)
+		for i := 0; i < s.n; i++ {
+			y := uint64(s.succ[base+uint64(i)])
+			if y != x {
+				preds[y] = append(preds[y], uint32(x))
+			}
+		}
+	}
+	reach := make([]bool, total)
+	var queue []uint32
+	for x := uint64(0); x < total; x++ {
+		if s.IsFixedPoint(x) {
+			reach[x] = true
+			queue = append(queue, uint32(x))
+		}
+	}
+	for len(queue) > 0 {
+		y := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		for _, x := range preds[y] {
+			if !reach[x] {
+				reach[x] = true
+				queue = append(queue, x)
+			}
+		}
+	}
+	return reach
+}
+
+// CanCycleForever returns, per configuration, whether some infinite update
+// sequence starting there changes state infinitely often — i.e. whether a
+// proper sequential cycle is reachable (forward) from the configuration.
+func (s *Sequential) CanCycleForever() []bool {
+	total := s.Size()
+	onCycle := make([]bool, total)
+	for _, x := range s.ProperCycleStates() {
+		onCycle[x] = true
+	}
+	// Forward reachability INTO the cycle set = backward reachability from
+	// the cycle set over reversed edges; reuse a reverse scan.
+	preds := make([][]uint32, total)
+	for x := uint64(0); x < total; x++ {
+		base := x * uint64(s.n)
+		for i := 0; i < s.n; i++ {
+			y := uint64(s.succ[base+uint64(i)])
+			if y != x {
+				preds[y] = append(preds[y], uint32(x))
+			}
+		}
+	}
+	can := make([]bool, total)
+	var queue []uint32
+	for x := uint64(0); x < total; x++ {
+		if onCycle[x] {
+			can[x] = true
+			queue = append(queue, uint32(x))
+		}
+	}
+	for len(queue) > 0 {
+		y := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		for _, x := range preds[y] {
+			if !can[x] {
+				can[x] = true
+				queue = append(queue, x)
+			}
+		}
+	}
+	return can
+}

@@ -1,0 +1,145 @@
+package phasespace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/config"
+)
+
+// label renders configuration index x on n nodes as its 0/1 string.
+func label(x uint64, n int) string { return config.FromIndex(x, n).String() }
+
+// WriteDOT renders the parallel phase space in Graphviz DOT format:
+// Fig. 1(a) regenerated mechanically. Fixed points are drawn as double
+// circles; proper cycle states as bold circles.
+func (p *Parallel) WriteDOT(w io.Writer, title string) error {
+	if _, err := fmt.Fprintf(w, "digraph %q {\n  rankdir=LR;\n  node [shape=circle];\n", title); err != nil {
+		return err
+	}
+	p.classify()
+	for x := uint64(0); x < p.Size(); x++ {
+		attr := ""
+		switch {
+		case p.IsFixedPoint(x):
+			attr = " [shape=doublecircle]"
+		case p.period[x] >= 2:
+			attr = " [style=bold]"
+		}
+		if _, err := fmt.Fprintf(w, "  %q%s;\n", label(x, p.n), attr); err != nil {
+			return err
+		}
+	}
+	for x := uint64(0); x < p.Size(); x++ {
+		if _, err := fmt.Fprintf(w, "  %q -> %q;\n", label(x, p.n), label(p.Successor(x), p.n)); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w, "}")
+	return err
+}
+
+// WriteDOT renders the sequential phase space with edges labeled by the
+// updating node (1-based, matching the paper's Fig. 1(b) annotations).
+// Self-loops are drawn dashed; set skipSelfLoops to drop them entirely.
+func (s *Sequential) WriteDOT(w io.Writer, title string, skipSelfLoops bool) error {
+	if _, err := fmt.Fprintf(w, "digraph %q {\n  rankdir=LR;\n  node [shape=circle];\n", title); err != nil {
+		return err
+	}
+	for x := uint64(0); x < s.Size(); x++ {
+		attr := ""
+		if s.IsFixedPoint(x) {
+			attr = " [shape=doublecircle]"
+		} else if s.IsPseudoFixedPoint(x) {
+			attr = " [style=dashed]"
+		}
+		if _, err := fmt.Fprintf(w, "  %q%s;\n", label(x, s.n), attr); err != nil {
+			return err
+		}
+	}
+	var outerErr error
+	s.Edges(func(x uint64, node int, y uint64) {
+		if outerErr != nil {
+			return
+		}
+		if x == y {
+			if skipSelfLoops {
+				return
+			}
+			_, outerErr = fmt.Fprintf(w, "  %q -> %q [label=\"%d\", style=dashed];\n",
+				label(x, s.n), label(y, s.n), node+1)
+			return
+		}
+		_, outerErr = fmt.Fprintf(w, "  %q -> %q [label=\"%d\"];\n",
+			label(x, s.n), label(y, s.n), node+1)
+	})
+	if outerErr != nil {
+		return outerErr
+	}
+	_, err := fmt.Fprintln(w, "}")
+	return err
+}
+
+// Signature is an isomorphism-invariant summary of a parallel phase space:
+// the multiset of (period, basin size) attractor descriptors plus the
+// in-degree distribution. Two structurally isomorphic functional graphs
+// have equal signatures (the converse may fail, but equality is a strong
+// practical test, used to compare e.g. a CA and its complement-conjugate).
+type Signature struct {
+	Attractors []AttractorSig // sorted
+	InDegHist  []uint64       // InDegHist[d] = #configs with in-degree d
+}
+
+// AttractorSig describes one attractor.
+type AttractorSig struct {
+	Period int
+	Basin  uint64
+}
+
+// ComputeSignature builds the signature of a parallel phase space.
+func (p *Parallel) ComputeSignature() Signature {
+	cycles := p.Cycles()
+	basins := p.BasinSizes()
+	sig := Signature{}
+	for i, c := range cycles {
+		sig.Attractors = append(sig.Attractors, AttractorSig{Period: len(c), Basin: basins[i]})
+	}
+	sort.Slice(sig.Attractors, func(i, j int) bool {
+		a, b := sig.Attractors[i], sig.Attractors[j]
+		if a.Period != b.Period {
+			return a.Period < b.Period
+		}
+		return a.Basin < b.Basin
+	})
+	deg := p.InDegrees()
+	maxDeg := int32(0)
+	for _, d := range deg {
+		if d > maxDeg {
+			maxDeg = d
+		}
+	}
+	sig.InDegHist = make([]uint64, maxDeg+1)
+	for _, d := range deg {
+		sig.InDegHist[d]++
+	}
+	return sig
+}
+
+// Equal reports whether two signatures are identical.
+func (s Signature) Equal(o Signature) bool {
+	if len(s.Attractors) != len(o.Attractors) || len(s.InDegHist) != len(o.InDegHist) {
+		return false
+	}
+	for i := range s.Attractors {
+		if s.Attractors[i] != o.Attractors[i] {
+			return false
+		}
+	}
+	for i := range s.InDegHist {
+		if s.InDegHist[i] != o.InDegHist[i] {
+			return false
+		}
+	}
+	return true
+}

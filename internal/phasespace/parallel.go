@@ -1,0 +1,330 @@
+// Package phasespace builds and classifies complete configuration spaces
+// ("phase spaces", paper §2) of parallel and sequential cellular automata.
+//
+// For a parallel CA the phase space is the functional graph of the global
+// map F on all 2^n configurations; for a sequential CA it is the labeled
+// nondeterministic digraph whose edge x →ᵢ y records that updating node i
+// in x yields y (the union over all interleaving choices). The package
+// provides the paper's vocabulary as queries: fixed points, proper temporal
+// cycles, transient configurations, pseudo-fixed points, Garden-of-Eden
+// (unreachable) configurations, attractor basins, and census tables.
+package phasespace
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/automaton"
+	"repro/internal/config"
+)
+
+// MaxParallelNodes bounds full parallel phase-space enumeration (dense
+// successor array of 2^n uint32 entries).
+const MaxParallelNodes = 24
+
+// Parallel is the functional graph of a parallel CA's global map over all
+// 2^n configurations, with classification computed on demand.
+type Parallel struct {
+	n    int
+	succ []uint32 // succ[x] = F(x)
+
+	// lazily computed classification
+	period []int32 // 0 until classified; ≥1 on the periodic part; -1 transient
+	dist   []int32 // transient distance to the periodic part (0 on it)
+	cycles [][]uint64
+}
+
+// BuildParallel enumerates F over the full configuration space of a
+// (n ≤ MaxParallelNodes)-node automaton.
+func BuildParallel(a *automaton.Automaton) *Parallel {
+	n := a.N()
+	if n > MaxParallelNodes {
+		panic(fmt.Sprintf("phasespace: %d nodes exceeds parallel enumeration cap %d", n, MaxParallelNodes))
+	}
+	total := uint64(1) << uint(n)
+	ps := &Parallel{n: n, succ: make([]uint32, total)}
+	dst := config.New(n)
+	config.Space(n, func(idx uint64, c config.Config) {
+		a.Step(dst, c)
+		ps.succ[idx] = uint32(dst.Index())
+	})
+	return ps
+}
+
+// N returns the node count.
+func (p *Parallel) N() int { return p.n }
+
+// Size returns the number of configurations, 2^n.
+func (p *Parallel) Size() uint64 { return uint64(len(p.succ)) }
+
+// Successor returns F(x) as a configuration index.
+func (p *Parallel) Successor(x uint64) uint64 { return uint64(p.succ[x]) }
+
+// classify colors the functional graph: every configuration either lies on
+// a cycle (period recorded) or is transient (distance to the periodic part
+// recorded). Standard iterative functional-graph traversal, O(2^n).
+func (p *Parallel) classify() {
+	if p.period != nil {
+		return
+	}
+	total := len(p.succ)
+	p.period = make([]int32, total) // 0 = unvisited
+	p.dist = make([]int32, total)
+	state := make([]uint8, total) // 0 new, 1 on current path, 2 done
+	var path []uint32
+	for start := 0; start < total; start++ {
+		if state[start] != 0 {
+			continue
+		}
+		path = path[:0]
+		x := uint32(start)
+		for state[x] == 0 {
+			state[x] = 1
+			path = append(path, x)
+			x = p.succ[x]
+		}
+		if state[x] == 1 {
+			// Found a new cycle: it is the suffix of path starting at x.
+			var cycStart int
+			for i, v := range path {
+				if v == x {
+					cycStart = i
+					break
+				}
+			}
+			cyc := path[cycStart:]
+			period := int32(len(cyc))
+			ids := make([]uint64, len(cyc))
+			for i, v := range cyc {
+				p.period[v] = period
+				p.dist[v] = 0
+				state[v] = 2
+				ids[i] = uint64(v)
+			}
+			p.cycles = append(p.cycles, ids)
+			// The prefix is transient with increasing distance to the cycle.
+			for i := cycStart - 1; i >= 0; i-- {
+				v := path[i]
+				p.period[v] = -1
+				p.dist[v] = p.dist[path[i+1]] + 1
+				state[v] = 2
+			}
+		} else {
+			// Ran into already-classified territory: unwind the path.
+			for i := len(path) - 1; i >= 0; i-- {
+				v := path[i]
+				next := p.succ[v]
+				if p.period[next] >= 1 && p.dist[next] == 0 {
+					// next lies on a cycle
+					p.period[v] = -1
+					p.dist[v] = 1
+				} else {
+					p.period[v] = -1
+					p.dist[v] = p.dist[next] + 1
+				}
+				state[v] = 2
+			}
+		}
+	}
+	sort.Slice(p.cycles, func(i, j int) bool { return p.cycles[i][0] < p.cycles[j][0] })
+}
+
+// IsFixedPoint reports whether x satisfies F(x) = x.
+func (p *Parallel) IsFixedPoint(x uint64) bool { return uint64(p.succ[x]) == x }
+
+// Period returns the cycle period of x if x lies on a cycle (1 for fixed
+// points), or 0 if x is transient.
+func (p *Parallel) Period(x uint64) int {
+	p.classify()
+	if p.period[x] < 0 {
+		return 0
+	}
+	return int(p.period[x])
+}
+
+// TransientDistance returns how many steps separate x from the periodic
+// part (0 if x lies on a cycle).
+func (p *Parallel) TransientDistance(x uint64) int {
+	p.classify()
+	return int(p.dist[x])
+}
+
+// FixedPoints returns all fixed-point configuration indices, ascending.
+func (p *Parallel) FixedPoints() []uint64 {
+	var out []uint64
+	for x := range p.succ {
+		if p.IsFixedPoint(uint64(x)) {
+			out = append(out, uint64(x))
+		}
+	}
+	return out
+}
+
+// Cycles returns every cycle as a slice of configuration indices in orbit
+// order (fixed points appear as length-1 cycles). The result is shared;
+// callers must not mutate it.
+func (p *Parallel) Cycles() [][]uint64 {
+	p.classify()
+	return p.cycles
+}
+
+// ProperCycles returns only cycles of period ≥ 2 — the paper's "(proper)
+// temporal cycles" (a FP is the degenerate period-1 case, Definition 3).
+func (p *Parallel) ProperCycles() [][]uint64 {
+	var out [][]uint64
+	for _, c := range p.Cycles() {
+		if len(c) >= 2 {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// MaxPeriod returns the longest cycle period in the phase space.
+func (p *Parallel) MaxPeriod() int {
+	m := 0
+	for _, c := range p.Cycles() {
+		if len(c) > m {
+			m = len(c)
+		}
+	}
+	return m
+}
+
+// InDegrees returns the in-degree of every configuration under F.
+func (p *Parallel) InDegrees() []int32 {
+	deg := make([]int32, len(p.succ))
+	for _, y := range p.succ {
+		deg[y]++
+	}
+	return deg
+}
+
+// GardenOfEden returns all configurations with no predecessor (in-degree 0):
+// states unreachable by any computation, only usable as initial conditions.
+func (p *Parallel) GardenOfEden() []uint64 {
+	deg := p.InDegrees()
+	var out []uint64
+	for x, d := range deg {
+		if d == 0 {
+			out = append(out, uint64(x))
+		}
+	}
+	return out
+}
+
+// Predecessors returns all configurations y with F(y) = x, ascending — the
+// exact preimage set (empty for Garden-of-Eden states).
+func (p *Parallel) Predecessors(x uint64) []uint64 {
+	var out []uint64
+	for y, fx := range p.succ {
+		if uint64(fx) == x {
+			out = append(out, uint64(y))
+		}
+	}
+	return out
+}
+
+// BasinSizes returns, for each cycle (indexed as in Cycles()), the number of
+// configurations whose orbit ends in that cycle, including the cycle states
+// themselves.
+func (p *Parallel) BasinSizes() []uint64 {
+	p.classify()
+	cycleID := make([]int32, len(p.succ))
+	for i := range cycleID {
+		cycleID[i] = -1
+	}
+	for id, cyc := range p.cycles {
+		for _, x := range cyc {
+			cycleID[x] = int32(id)
+		}
+	}
+	sizes := make([]uint64, len(p.cycles))
+	// Resolve each configuration by walking to the periodic part with path
+	// memoization through cycleID.
+	var stack []uint32
+	for x := range p.succ {
+		v := uint32(x)
+		stack = stack[:0]
+		for cycleID[v] == -1 {
+			stack = append(stack, v)
+			v = p.succ[v]
+		}
+		id := cycleID[v]
+		for _, u := range stack {
+			cycleID[u] = id
+		}
+		sizes[id] += uint64(len(stack))
+	}
+	// Add the cycle states themselves (counted once each).
+	for id, cyc := range p.cycles {
+		sizes[id] += uint64(len(cyc))
+	}
+	return sizes
+}
+
+// Census summarizes a parallel phase space: the ref-[19]-style complete
+// characterization counts.
+type Census struct {
+	Nodes           int
+	Configs         uint64
+	FixedPoints     int
+	ProperCycles    int    // number of cycles with period ≥ 2
+	CycleStates     uint64 // configurations on proper cycles
+	MaxPeriod       int
+	Transients      uint64 // configurations not on any cycle
+	GardenOfEden    uint64 // in-degree-0 configurations
+	MaxTransientLen int    // longest distance to the periodic part
+	// CyclesWithIncomingTransients counts proper cycles having at least one
+	// transient predecessor; the paper (citing [19]) observes threshold CA
+	// two-cycles have none.
+	CyclesWithIncomingTransients int
+}
+
+// TakeCensus computes the complete census.
+func (p *Parallel) TakeCensus() Census {
+	p.classify()
+	c := Census{Nodes: p.n, Configs: p.Size()}
+	for x := range p.succ {
+		switch {
+		case p.IsFixedPoint(uint64(x)):
+			c.FixedPoints++
+		case p.period[x] >= 2:
+			c.CycleStates++
+		default:
+			c.Transients++
+			if int(p.dist[x]) > c.MaxTransientLen {
+				c.MaxTransientLen = int(p.dist[x])
+			}
+		}
+	}
+	deg := p.InDegrees()
+	for _, d := range deg {
+		if d == 0 {
+			c.GardenOfEden++
+		}
+	}
+	for _, cyc := range p.cycles {
+		if len(cyc) < 2 {
+			continue
+		}
+		c.ProperCycles++
+		if len(cyc) > c.MaxPeriod {
+			c.MaxPeriod = len(cyc)
+		}
+		incoming := false
+		for _, x := range cyc {
+			if int(deg[x]) > 1 { // one predecessor is the cycle itself
+				incoming = true
+				break
+			}
+		}
+		if incoming {
+			c.CyclesWithIncomingTransients++
+		}
+	}
+	if c.MaxPeriod == 0 && c.FixedPoints > 0 {
+		c.MaxPeriod = 1
+	}
+	return c
+}

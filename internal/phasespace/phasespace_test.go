@@ -1,0 +1,513 @@
+package phasespace
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/automaton"
+	"repro/internal/config"
+	"repro/internal/rule"
+	"repro/internal/space"
+)
+
+// xorPair builds the paper's two-node XOR CA (each node reads both states).
+func xorPair(t testing.TB) *automaton.Automaton {
+	t.Helper()
+	return automaton.MustNew(space.CompleteGraph(2), rule.XOR{})
+}
+
+func majRing(t testing.TB, n, r int) *automaton.Automaton {
+	t.Helper()
+	return automaton.MustNew(space.Ring(n, r), rule.Majority(r))
+}
+
+// idx converts a configuration string (node 0 first) to its index.
+func idx(s string) uint64 { return config.MustParse(s).Index() }
+
+// --- Figure 1(a): parallel two-node XOR CA ---
+
+func TestFig1aParallelXOR(t *testing.T) {
+	p := BuildParallel(xorPair(t))
+	// Successors: 00->00, 01->11, 10->11, 11->00.
+	wantSucc := map[string]string{"00": "00", "01": "11", "10": "11", "11": "00"}
+	for from, to := range wantSucc {
+		if got := p.Successor(idx(from)); got != idx(to) {
+			t.Errorf("F(%s) = %s, want %s", from, label(got, 2), to)
+		}
+	}
+	// 00 is the unique fixed point and the unique cycle (global sink).
+	fps := p.FixedPoints()
+	if len(fps) != 1 || fps[0] != idx("00") {
+		t.Errorf("fixed points %v", fps)
+	}
+	if len(p.ProperCycles()) != 0 {
+		t.Error("parallel XOR pair should have no proper cycles")
+	}
+	// Every configuration reaches 00 in ≤ 2 steps.
+	for x := uint64(0); x < 4; x++ {
+		if d := p.TransientDistance(x); d > 2 {
+			t.Errorf("config %s at distance %d > 2", label(x, 2), d)
+		}
+	}
+	// 01 and 10 are Garden-of-Eden states (in-degree 0).
+	goe := p.GardenOfEden()
+	if len(goe) != 2 || goe[0] != idx("10") || goe[1] != idx("01") {
+		// ascending index order: "10" has index 1, "01" has index 2
+		t.Errorf("Garden of Eden %v", goe)
+	}
+}
+
+// --- Figure 1(b): sequential two-node XOR CA ---
+
+func TestFig1bSequentialXOR(t *testing.T) {
+	s := BuildSequential(xorPair(t))
+	// 00 is still a fixed point...
+	if !s.IsFixedPoint(idx("00")) {
+		t.Error("00 should be a sequential fixed point")
+	}
+	// ...but unreachable from any other configuration.
+	unreach := s.Unreachable()
+	if len(unreach) != 1 || unreach[0] != idx("00") {
+		t.Errorf("unreachable states %v, want exactly 00", unreach)
+	}
+	// 01 and 10 are pseudo-fixed points; 11 is not.
+	pfps := s.PseudoFixedPoints()
+	if len(pfps) != 2 {
+		t.Fatalf("pseudo-FPs %v", pfps)
+	}
+	wantPfp := map[uint64]bool{idx("01"): true, idx("10"): true}
+	for _, x := range pfps {
+		if !wantPfp[x] {
+			t.Errorf("unexpected pseudo-FP %s", label(x, 2))
+		}
+	}
+	// Exactly two temporal two-cycles: {01,11} and {10,11}.
+	tc := s.TwoCycles()
+	if len(tc) != 2 {
+		t.Fatalf("two-cycles %v", tc)
+	}
+	seen := map[[2]uint64]bool{}
+	for _, pair := range tc {
+		seen[pair] = true
+	}
+	want1 := [2]uint64{idx("10"), idx("11")} // indices 1,3
+	want2 := [2]uint64{idx("01"), idx("11")} // indices 2,3
+	if !seen[want1] || !seen[want2] {
+		t.Errorf("two-cycles %v, want {10,11} and {01,11}", tc)
+	}
+	// The sequential space is NOT acyclic (unlike threshold SCA).
+	if _, ok := s.Acyclic(); ok {
+		t.Error("sequential XOR pair should have cycles")
+	}
+	// The union of interleavings cannot reach 00 from 01/10/11 — check via
+	// reachability.
+	for _, from := range []string{"01", "10", "11"} {
+		if s.ReachableFrom(idx(from))[idx("00")] {
+			t.Errorf("00 reachable from %s sequentially; paper says it is not", from)
+		}
+	}
+	// Transition labels: from 01 (node0=0,node1=1), updating node 1 (index
+	// 0) gives 11; updating node 2 (index 1) is a self-loop.
+	if got := s.Successor(idx("01"), 0); got != idx("11") {
+		t.Errorf("01 --node1--> %s, want 11", label(got, 2))
+	}
+	if got := s.Successor(idx("01"), 1); got != idx("01") {
+		t.Errorf("01 --node2--> %s, want self-loop", label(got, 2))
+	}
+}
+
+// --- Lemma 1 ---
+
+func TestLemma1iParallelMajorityHasTwoCycles(t *testing.T) {
+	for _, n := range []int{4, 6, 8, 10, 12, 14} {
+		p := BuildParallel(majRing(t, n, 1))
+		pcs := p.ProperCycles()
+		if len(pcs) == 0 {
+			t.Errorf("n=%d: no proper cycles in parallel MAJORITY", n)
+			continue
+		}
+		for _, c := range pcs {
+			if len(c) != 2 {
+				t.Errorf("n=%d: cycle of period %d (Prop 1 allows only 2)", n, len(c))
+			}
+		}
+		// The alternating pair is among them.
+		alt0, alt1 := config.Alternating(n, 0).Index(), config.Alternating(n, 1).Index()
+		found := false
+		for _, c := range pcs {
+			if (c[0] == alt0 && c[1] == alt1) || (c[0] == alt1 && c[1] == alt0) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("n=%d: alternating 2-cycle missing from %v", n, pcs)
+		}
+	}
+}
+
+func TestLemma1iOddRingsHaveNoParallelCycles(t *testing.T) {
+	// The paper's 2-cycle construction needs an even ring; odd rings of
+	// radius 1 in fact have none at all.
+	for _, n := range []int{3, 5, 7, 9, 11, 13} {
+		p := BuildParallel(majRing(t, n, 1))
+		if pcs := p.ProperCycles(); len(pcs) != 0 {
+			t.Errorf("n=%d: unexpected parallel cycles %v", n, pcs)
+		}
+	}
+}
+
+func TestLemma1iiSequentialMajorityAcyclic(t *testing.T) {
+	for _, n := range []int{3, 4, 5, 6, 8, 10, 12, 14} {
+		s := BuildSequential(majRing(t, n, 1))
+		if w, ok := s.Acyclic(); !ok {
+			t.Errorf("n=%d: sequential MAJORITY has cycle %v", n, w)
+		}
+		if states := s.ProperCycleStates(); len(states) != 0 {
+			t.Errorf("n=%d: SCC analysis found cycle states %v", n, states)
+		}
+	}
+}
+
+// --- Theorem 1 ---
+
+func TestTheorem1AllThresholdSCAsAcyclic(t *testing.T) {
+	for _, n := range []int{3, 4, 5, 6, 8, 10} {
+		for _, th := range rule.AllThresholds(3) {
+			a := automaton.MustNew(space.Ring(n, 1), th)
+			s := BuildSequential(a)
+			if w, ok := s.Acyclic(); !ok {
+				t.Errorf("n=%d k=%d: sequential threshold CA has cycle %v", n, th.K, w)
+			}
+		}
+	}
+}
+
+func TestTheorem1ConverseXORBreaksIt(t *testing.T) {
+	// The monotonicity hypothesis is necessary: symmetric-but-not-monotone
+	// XOR yields sequential cycles on rings.
+	a := automaton.MustNew(space.Ring(4, 1), rule.XOR{})
+	s := BuildSequential(a)
+	if _, ok := s.Acyclic(); ok {
+		t.Error("sequential ring XOR unexpectedly acyclic")
+	}
+}
+
+// --- Lemma 2 (radius 2) ---
+
+func TestLemma2Radius2(t *testing.T) {
+	for _, n := range []int{8, 12, 16} {
+		a := majRing(t, n, 2)
+		p := BuildParallel(a)
+		pcs := p.ProperCycles()
+		if len(pcs) == 0 {
+			t.Errorf("n=%d r=2: no parallel cycles", n)
+		}
+		for _, c := range pcs {
+			if len(c) != 2 {
+				t.Errorf("n=%d r=2: period-%d cycle", n, len(c))
+			}
+		}
+	}
+	for _, n := range []int{5, 6, 8, 10, 12} {
+		s := BuildSequential(majRing(t, n, 2))
+		if w, ok := s.Acyclic(); !ok {
+			t.Errorf("n=%d r=2: sequential cycle %v", n, w)
+		}
+	}
+}
+
+// --- Census (ref [19]) ---
+
+func TestCensusMajorityNoIncomingTransients(t *testing.T) {
+	// Threshold CA 2-cycles have no incoming transients: each cycle state's
+	// only predecessor is its partner.
+	for _, n := range []int{4, 6, 8, 10, 12} {
+		p := BuildParallel(majRing(t, n, 1))
+		c := p.TakeCensus()
+		if c.ProperCycles == 0 {
+			t.Errorf("n=%d: census found no cycles", n)
+		}
+		if c.CyclesWithIncomingTransients != 0 {
+			t.Errorf("n=%d: %d cycles have incoming transients; ref [19] predicts none",
+				n, c.CyclesWithIncomingTransients)
+		}
+		if c.FixedPoints+int(c.CycleStates)+int(c.Transients) != int(c.Configs) {
+			t.Errorf("n=%d: census does not partition the space: %+v", n, c)
+		}
+	}
+}
+
+func TestCensusXORPairCounts(t *testing.T) {
+	p := BuildParallel(xorPair(t))
+	c := p.TakeCensus()
+	if c.FixedPoints != 1 || c.ProperCycles != 0 || c.Transients != 3 || c.GardenOfEden != 2 {
+		t.Errorf("census %+v", c)
+	}
+	if c.MaxTransientLen != 2 {
+		t.Errorf("max transient %d, want 2", c.MaxTransientLen)
+	}
+}
+
+func TestBasinSizesPartition(t *testing.T) {
+	for _, n := range []int{4, 6, 8} {
+		p := BuildParallel(majRing(t, n, 1))
+		sizes := p.BasinSizes()
+		var sum uint64
+		for _, s := range sizes {
+			sum += s
+		}
+		if sum != p.Size() {
+			t.Errorf("n=%d: basins sum to %d of %d", n, sum, p.Size())
+		}
+	}
+}
+
+func TestParallelClassificationConsistency(t *testing.T) {
+	// Period/TransientDistance must agree with direct iteration.
+	a := majRing(t, 8, 1)
+	p := BuildParallel(a)
+	config.Space(8, func(x uint64, c config.Config) {
+		res := a.Converge(c.Clone(), 200)
+		wantPeriod := 0
+		if res.Transient == 0 {
+			wantPeriod = res.Period
+		}
+		if got := p.Period(x); got != wantPeriod {
+			t.Errorf("config %s: Period %d, Converge says %d (transient %d)",
+				c.String(), got, res.Period, res.Transient)
+		}
+		if got := p.TransientDistance(x); got != res.Transient {
+			t.Errorf("config %s: distance %d, Converge says %d", c.String(), got, res.Transient)
+		}
+	})
+}
+
+func TestSequentialFixedPointsMatchParallel(t *testing.T) {
+	// A configuration is sequentially fixed iff it is a parallel FP.
+	a := majRing(t, 7, 1)
+	p := BuildParallel(a)
+	s := BuildSequential(a)
+	pf, sf := p.FixedPoints(), s.FixedPoints()
+	if len(pf) != len(sf) {
+		t.Fatalf("FP counts differ: parallel %d, sequential %d", len(pf), len(sf))
+	}
+	for i := range pf {
+		if pf[i] != sf[i] {
+			t.Errorf("FP lists differ at %d: %d vs %d", i, pf[i], sf[i])
+		}
+	}
+}
+
+func TestReachableFromQuiescent(t *testing.T) {
+	// The quiescent configuration is a majority FP: nothing else reachable.
+	s := BuildSequential(majRing(t, 6, 1))
+	seen := s.ReachableFrom(0)
+	count := 0
+	for _, ok := range seen {
+		if ok {
+			count++
+		}
+	}
+	if count != 1 {
+		t.Errorf("quiescent FP reaches %d configs, want 1", count)
+	}
+}
+
+func TestSignatureSelfConsistency(t *testing.T) {
+	// MAJORITY is self-dual, so its phase space is isomorphic to itself
+	// under complementation; more interestingly, k-of-3 and its conjugate
+	// (4−k)-of-3 have equal signatures.
+	n := 7
+	for k := 0; k <= 4; k++ {
+		a1 := automaton.MustNew(space.Ring(n, 1), rule.Threshold{K: k})
+		a2 := automaton.MustNew(space.Ring(n, 1), rule.Complement(rule.Threshold{K: k}, 3))
+		s1 := BuildParallel(a1).ComputeSignature()
+		s2 := BuildParallel(a2).ComputeSignature()
+		if !s1.Equal(s2) {
+			t.Errorf("k=%d: conjugate signatures differ:\n%v\n%v", k, s1, s2)
+		}
+	}
+}
+
+func TestSignatureDistinguishesRules(t *testing.T) {
+	n := 6
+	maj := BuildParallel(majRing(t, n, 1)).ComputeSignature()
+	xor := BuildParallel(automaton.MustNew(space.Ring(n, 1), rule.XOR{})).ComputeSignature()
+	if maj.Equal(xor) {
+		t.Error("majority and parity signatures should differ")
+	}
+}
+
+func TestWriteDOTParallel(t *testing.T) {
+	p := BuildParallel(xorPair(t))
+	var b strings.Builder
+	if err := p.WriteDOT(&b, "fig1a"); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, frag := range []string{"digraph", `"00" -> "00"`, `"01" -> "11"`, "doublecircle"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("DOT output missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+func TestWriteDOTSequential(t *testing.T) {
+	s := BuildSequential(xorPair(t))
+	var b strings.Builder
+	if err := s.WriteDOT(&b, "fig1b", false); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, frag := range []string{`"01" -> "11" [label="1"]`, "style=dashed"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("DOT output missing %q:\n%s", frag, out)
+		}
+	}
+	// Self-loop suppression:
+	var b2 strings.Builder
+	if err := s.WriteDOT(&b2, "fig1b", true); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(b2.String(), `"01" -> "01"`) {
+		t.Error("skipSelfLoops did not skip")
+	}
+}
+
+func TestAcyclicWitnessIsRealCycle(t *testing.T) {
+	s := BuildSequential(automaton.MustNew(space.Ring(4, 1), rule.XOR{}))
+	w, ok := s.Acyclic()
+	if ok {
+		t.Fatal("expected a cycle")
+	}
+	if len(w) < 2 {
+		t.Fatalf("witness too short: %v", w)
+	}
+	// Each consecutive pair (and the wrap) must be a changing transition.
+	for i := range w {
+		x, y := w[i], w[(i+1)%len(w)]
+		found := false
+		for node := 0; node < s.N(); node++ {
+			if s.Successor(x, node) == y && x != y {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("witness step %d: no single-node update from %d to %d", i, x, y)
+		}
+	}
+}
+
+func TestBuildCapsPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("oversized BuildSequential did not panic")
+		}
+	}()
+	BuildSequential(majRing(t, MaxSequentialNodes+1, 1))
+}
+
+func BenchmarkBuildParallelMaj12(b *testing.B) {
+	a := majRing(b, 12, 1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		BuildParallel(a)
+	}
+}
+
+func BenchmarkSequentialAcyclicMaj10(b *testing.B) {
+	a := majRing(b, 10, 1)
+	s := BuildSequential(a)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, ok := s.Acyclic(); !ok {
+			b.Fatal("unexpected cycle")
+		}
+	}
+}
+
+func TestPredecessors(t *testing.T) {
+	p := BuildParallel(xorPair(t))
+	// F: 00->00, 01->11, 10->11, 11->00.
+	pre00 := p.Predecessors(idx("00"))
+	if len(pre00) != 2 || pre00[0] != idx("00") || pre00[1] != idx("11") {
+		t.Errorf("Predecessors(00) = %v", pre00)
+	}
+	if got := p.Predecessors(idx("01")); len(got) != 0 {
+		t.Errorf("01 should be Garden-of-Eden, got predecessors %v", got)
+	}
+	pre11 := p.Predecessors(idx("11"))
+	if len(pre11) != 2 {
+		t.Errorf("Predecessors(11) = %v", pre11)
+	}
+}
+
+func TestPredecessorsConsistentWithInDegrees(t *testing.T) {
+	p := BuildParallel(majRing(t, 8, 1))
+	deg := p.InDegrees()
+	for x := uint64(0); x < p.Size(); x += 17 {
+		if got := len(p.Predecessors(x)); got != int(deg[x]) {
+			t.Fatalf("config %d: %d predecessors vs in-degree %d", x, got, deg[x])
+		}
+	}
+}
+
+func TestSequentialCensusXORPair(t *testing.T) {
+	s := BuildSequential(xorPair(t))
+	c := s.TakeCensus()
+	if c.FixedPoints != 1 || c.PseudoFixed != 2 || c.TwoCycles != 2 || c.Acyclic {
+		t.Fatalf("census %+v", c)
+	}
+	// Fig 1(b)'s sharpest consequence: only 00 itself can "reach" a fixed
+	// point — from every other configuration no interleaving terminates.
+	if c.CanReachFixed != 1 || c.CannotReachFixed != 3 {
+		t.Errorf("EF(fp) census wrong: %+v", c)
+	}
+	// And all three non-FP configurations can cycle forever.
+	can := s.CanCycleForever()
+	for x := uint64(1); x < 4; x++ {
+		if !can[x] {
+			t.Errorf("config %s should be able to cycle forever", label(x, 2))
+		}
+	}
+	if can[0] {
+		t.Error("the fixed point cannot cycle")
+	}
+}
+
+func TestSequentialCensusMajority(t *testing.T) {
+	s := BuildSequential(majRing(t, 8, 1))
+	c := s.TakeCensus()
+	if !c.Acyclic || c.CycleStates != 0 {
+		t.Fatalf("census %+v", c)
+	}
+	// Theorem 1's flip side: with no cycles, EVERY configuration can reach
+	// a fixed point sequentially.
+	if c.CanReachFixed != c.Configs {
+		t.Errorf("only %d/%d configs can reach a FP", c.CanReachFixed, c.Configs)
+	}
+	can := s.CanCycleForever()
+	for x, v := range can {
+		if v {
+			t.Fatalf("config %d can cycle in an acyclic space", x)
+		}
+	}
+}
+
+func TestCanReachFixedPointConsistency(t *testing.T) {
+	// For any automaton: fixed points can trivially reach themselves.
+	for _, a := range []*automaton.Automaton{
+		majRing(t, 6, 1),
+		automaton.MustNew(space.Ring(5, 1), rule.XOR{}),
+		automaton.MustNew(space.Ring(6, 1), rule.Elementary(110)),
+	} {
+		s := BuildSequential(a)
+		reach := s.CanReachFixedPoint()
+		for _, fp := range s.FixedPoints() {
+			if !reach[fp] {
+				t.Fatalf("%v: FP %d cannot reach itself", a, fp)
+			}
+		}
+	}
+}

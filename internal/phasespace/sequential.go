@@ -1,0 +1,338 @@
+package phasespace
+
+import (
+	"fmt"
+
+	"repro/internal/automaton"
+	"repro/internal/config"
+)
+
+// MaxSequentialNodes bounds full sequential phase-space enumeration (dense
+// n × 2^n successor table).
+const MaxSequentialNodes = 18
+
+// Sequential is the complete nondeterministic phase space of a sequential
+// CA: for every configuration x and node i, the configuration reached by
+// updating node i in x. It is the union, over all interleaving choices, of
+// all possible sequential computations (paper Fig. 1(b) drawn in full).
+type Sequential struct {
+	n    int
+	succ []uint32 // succ[x*n + i] = x with node i updated
+}
+
+// BuildSequential enumerates every single-node update over the full
+// configuration space (n ≤ MaxSequentialNodes).
+func BuildSequential(a *automaton.Automaton) *Sequential {
+	n := a.N()
+	if n > MaxSequentialNodes {
+		panic(fmt.Sprintf("phasespace: %d nodes exceeds sequential enumeration cap %d", n, MaxSequentialNodes))
+	}
+	total := uint64(1) << uint(n)
+	ps := &Sequential{n: n, succ: make([]uint32, total*uint64(n))}
+	config.Space(n, func(idx uint64, c config.Config) {
+		base := idx * uint64(n)
+		for i := 0; i < n; i++ {
+			next := a.NodeNext(c, i)
+			y := idx
+			if next == 1 {
+				y |= 1 << uint(i)
+			} else {
+				y &^= 1 << uint(i)
+			}
+			ps.succ[base+uint64(i)] = uint32(y)
+		}
+	})
+	return ps
+}
+
+// N returns the node count.
+func (s *Sequential) N() int { return s.n }
+
+// Size returns the number of configurations, 2^n.
+func (s *Sequential) Size() uint64 { return uint64(1) << uint(s.n) }
+
+// Successor returns the configuration reached from x by updating node i.
+func (s *Sequential) Successor(x uint64, i int) uint64 {
+	return uint64(s.succ[x*uint64(s.n)+uint64(i)])
+}
+
+// IsFixedPoint reports whether every single-node update leaves x unchanged.
+// This coincides with the parallel notion of fixed point.
+func (s *Sequential) IsFixedPoint(x uint64) bool {
+	base := x * uint64(s.n)
+	for i := 0; i < s.n; i++ {
+		if uint64(s.succ[base+uint64(i)]) != x {
+			return false
+		}
+	}
+	return true
+}
+
+// IsPseudoFixedPoint reports whether x has at least one self-loop (some node
+// update is a no-op) and at least one changing update: the paper's unstable
+// "pseudo-fixed points" of Fig. 1(b), which some sequential computations fix
+// and others leave.
+func (s *Sequential) IsPseudoFixedPoint(x uint64) bool {
+	base := x * uint64(s.n)
+	selfLoop, change := false, false
+	for i := 0; i < s.n; i++ {
+		if uint64(s.succ[base+uint64(i)]) == x {
+			selfLoop = true
+		} else {
+			change = true
+		}
+	}
+	return selfLoop && change
+}
+
+// FixedPoints returns all fixed points, ascending.
+func (s *Sequential) FixedPoints() []uint64 {
+	var out []uint64
+	for x := uint64(0); x < s.Size(); x++ {
+		if s.IsFixedPoint(x) {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// PseudoFixedPoints returns all pseudo-fixed points, ascending.
+func (s *Sequential) PseudoFixedPoints() []uint64 {
+	var out []uint64
+	for x := uint64(0); x < s.Size(); x++ {
+		if s.IsPseudoFixedPoint(x) {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// Acyclic reports whether the sequential phase space is cycle-free in the
+// paper's sense: no sequence of single-node updates ever revisits a
+// configuration it has left. Equivalently, the digraph of *changing*
+// transitions (self-loops removed) has no directed cycle. This finite check
+// quantifies over all infinite update sequences at once, which is how the
+// repository verifies Lemma 1(ii), Theorem 1 and Lemma 2 exhaustively.
+//
+// If the space is not acyclic, a witness cycle of configuration indices is
+// returned (in order, first configuration repeated implicitly).
+func (s *Sequential) Acyclic() (witness []uint64, ok bool) {
+	total := s.Size()
+	// Iterative DFS three-coloring over the changing-transition digraph.
+	colorState := make([]uint8, total) // 0 white, 1 gray, 2 black
+	parentEdge := make([]uint32, total)
+	type frame struct {
+		x    uint32
+		next int // next node choice to explore
+	}
+	var stack []frame
+	for start := uint64(0); start < total; start++ {
+		if colorState[start] != 0 {
+			continue
+		}
+		stack = append(stack[:0], frame{x: uint32(start)})
+		colorState[start] = 1
+		for len(stack) > 0 {
+			f := &stack[len(stack)-1]
+			if f.next == s.n {
+				colorState[f.x] = 2
+				stack = stack[:len(stack)-1]
+				continue
+			}
+			i := f.next
+			f.next++
+			y := s.succ[uint64(f.x)*uint64(s.n)+uint64(i)]
+			if y == f.x {
+				continue // self-loop: not a proper transition
+			}
+			switch colorState[y] {
+			case 0:
+				colorState[y] = 1
+				parentEdge[y] = f.x
+				stack = append(stack, frame{x: y})
+			case 1:
+				// Back edge: reconstruct the cycle y → … → f.x → y.
+				witness = []uint64{uint64(y)}
+				for v := f.x; v != y; v = parentEdge[v] {
+					witness = append(witness, uint64(v))
+				}
+				// reverse into forward order y, …, f.x
+				for l, r := 1, len(witness)-1; l < r; l, r = l+1, r-1 {
+					witness[l], witness[r] = witness[r], witness[l]
+				}
+				return witness, false
+			}
+		}
+	}
+	return nil, true
+}
+
+// ProperCycleStates returns every configuration that lies on some proper
+// sequential cycle (a cycle of changing transitions). It computes strongly
+// connected components of the changing-transition digraph with Tarjan's
+// algorithm (iterative); states in SCCs of size ≥ 2 lie on cycles.
+// (A single state cannot form a proper cycle because self-loops are
+// excluded.)
+func (s *Sequential) ProperCycleStates() []uint64 {
+	total := s.Size()
+	index := make([]int32, total)
+	low := make([]int32, total)
+	onStack := make([]bool, total)
+	for i := range index {
+		index[i] = -1
+	}
+	var sccStack []uint32
+	var out []uint64
+	next := int32(0)
+	type frame struct {
+		x    uint32
+		edge int
+	}
+	var stack []frame
+	for start := uint64(0); start < total; start++ {
+		if index[start] != -1 {
+			continue
+		}
+		stack = append(stack[:0], frame{x: uint32(start)})
+		index[start] = next
+		low[start] = next
+		next++
+		sccStack = append(sccStack, uint32(start))
+		onStack[start] = true
+		for len(stack) > 0 {
+			f := &stack[len(stack)-1]
+			if f.edge < s.n {
+				i := f.edge
+				f.edge++
+				y := s.succ[uint64(f.x)*uint64(s.n)+uint64(i)]
+				if y == f.x {
+					continue
+				}
+				if index[y] == -1 {
+					index[y] = next
+					low[y] = next
+					next++
+					sccStack = append(sccStack, y)
+					onStack[y] = true
+					stack = append(stack, frame{x: y})
+				} else if onStack[y] && index[y] < low[f.x] {
+					low[f.x] = index[y]
+				}
+				continue
+			}
+			// Post-order: pop, propagate lowlink, emit SCC if root.
+			x := f.x
+			stack = stack[:len(stack)-1]
+			if len(stack) > 0 {
+				p := &stack[len(stack)-1]
+				if low[x] < low[p.x] {
+					low[p.x] = low[x]
+				}
+			}
+			if low[x] == index[x] {
+				var scc []uint32
+				for {
+					y := sccStack[len(sccStack)-1]
+					sccStack = sccStack[:len(sccStack)-1]
+					onStack[y] = false
+					scc = append(scc, y)
+					if y == x {
+						break
+					}
+				}
+				if len(scc) >= 2 {
+					for _, y := range scc {
+						out = append(out, uint64(y))
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// ReachableFrom returns a bitmap over configuration indices marking every
+// configuration reachable from x by any (possibly empty) sequence of
+// single-node updates.
+func (s *Sequential) ReachableFrom(x uint64) []bool {
+	seen := make([]bool, s.Size())
+	stack := []uint64{x}
+	seen[x] = true
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		base := v * uint64(s.n)
+		for i := 0; i < s.n; i++ {
+			y := uint64(s.succ[base+uint64(i)])
+			if !seen[y] {
+				seen[y] = true
+				stack = append(stack, y)
+			}
+		}
+	}
+	return seen
+}
+
+// Unreachable returns all configurations with no incoming changing
+// transition: the sequential analogue of Garden-of-Eden states. In
+// Fig. 1(b), configuration 00 is such a state (a fixed point "not reachable
+// from any other configuration").
+func (s *Sequential) Unreachable() []uint64 {
+	total := s.Size()
+	hasPred := make([]bool, total)
+	for x := uint64(0); x < total; x++ {
+		base := x * uint64(s.n)
+		for i := 0; i < s.n; i++ {
+			y := uint64(s.succ[base+uint64(i)])
+			if y != x {
+				hasPred[y] = true
+			}
+		}
+	}
+	var out []uint64
+	for x := uint64(0); x < total; x++ {
+		if !hasPred[x] {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// TwoCycles returns all unordered pairs {x, y} such that some node update
+// takes x to y and some node update takes y back to x (x ≠ y): the temporal
+// two-cycles visible in Fig. 1(b).
+func (s *Sequential) TwoCycles() [][2]uint64 {
+	var out [][2]uint64
+	total := s.Size()
+	for x := uint64(0); x < total; x++ {
+		base := x * uint64(s.n)
+		seen := map[uint64]bool{}
+		for i := 0; i < s.n; i++ {
+			y := uint64(s.succ[base+uint64(i)])
+			if y <= x || seen[y] { // report each pair once
+				continue
+			}
+			seen[y] = true
+			ybase := y * uint64(s.n)
+			for j := 0; j < s.n; j++ {
+				if uint64(s.succ[ybase+uint64(j)]) == x {
+					out = append(out, [2]uint64{x, y})
+					break
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Edges invokes visit(x, i, y) for every transition (including self-loops),
+// for DOT export and integration tests.
+func (s *Sequential) Edges(visit func(x uint64, node int, y uint64)) {
+	total := s.Size()
+	for x := uint64(0); x < total; x++ {
+		base := x * uint64(s.n)
+		for i := 0; i < s.n; i++ {
+			visit(x, i, uint64(s.succ[base+uint64(i)]))
+		}
+	}
+}

@@ -1,0 +1,129 @@
+// Package render produces the textual artifacts of the experiment harness:
+// ASCII space-time diagrams of CA runs and aligned plain-text tables for
+// EXPERIMENTS.md and the cmd/ tools.
+package render
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/automaton"
+	"repro/internal/config"
+)
+
+// SpaceTime writes a space-time diagram of the parallel orbit of a from x0:
+// one row per time step (row 0 = x0), '#' for state 1 and '.' for state 0.
+func SpaceTime(w io.Writer, a *automaton.Automaton, x0 config.Config, steps int) error {
+	var err error
+	a.Orbit(x0, steps, func(t int, c config.Config) bool {
+		_, err = fmt.Fprintf(w, "t=%3d %s\n", t, Row(c))
+		return err == nil
+	})
+	return err
+}
+
+// Row renders one configuration as '#'/'.' glyphs.
+func Row(c config.Config) string {
+	var b strings.Builder
+	b.Grow(c.N())
+	for i := 0; i < c.N(); i++ {
+		if c.Get(i) == 1 {
+			b.WriteByte('#')
+		} else {
+			b.WriteByte('.')
+		}
+	}
+	return b.String()
+}
+
+// Table renders rows as an aligned plain-text table with a header row and a
+// separator line. Cells are left-aligned; column widths fit the content.
+type Table struct {
+	header []string
+	rows   [][]string
+}
+
+// NewTable starts a table with the given column headers.
+func NewTable(header ...string) *Table {
+	return &Table{header: header}
+}
+
+// AddRow appends a row; extra cells are dropped, missing cells padded.
+func (t *Table) AddRow(cells ...interface{}) {
+	row := make([]string, len(t.header))
+	for i := range row {
+		if i < len(cells) {
+			row[i] = fmt.Sprint(cells[i])
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// Write renders the table to w.
+func (t *Table) Write(w io.Writer) error {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) string {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = pad(c, widths[i])
+		}
+		return strings.TrimRight(strings.Join(parts, "  "), " ")
+	}
+	if _, err := fmt.Fprintln(w, line(t.header)); err != nil {
+		return err
+	}
+	seps := make([]string, len(t.header))
+	for i := range seps {
+		seps[i] = strings.Repeat("-", widths[i])
+	}
+	if _, err := fmt.Fprintln(w, line(seps)); err != nil {
+		return err
+	}
+	for _, row := range t.rows {
+		if _, err := fmt.Fprintln(w, line(row)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Markdown renders the table as GitHub-flavored Markdown.
+func (t *Table) Markdown(w io.Writer) error {
+	row := func(cells []string) string {
+		return "| " + strings.Join(cells, " | ") + " |"
+	}
+	if _, err := fmt.Fprintln(w, row(t.header)); err != nil {
+		return err
+	}
+	seps := make([]string, len(t.header))
+	for i := range seps {
+		seps[i] = "---"
+	}
+	if _, err := fmt.Fprintln(w, row(seps)); err != nil {
+		return err
+	}
+	for _, r := range t.rows {
+		if _, err := fmt.Fprintln(w, row(r)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}

@@ -1,0 +1,79 @@
+package render
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/automaton"
+	"repro/internal/config"
+	"repro/internal/rule"
+	"repro/internal/space"
+)
+
+func TestRow(t *testing.T) {
+	if got := Row(config.MustParse("0101")); got != ".#.#" {
+		t.Errorf("Row = %q", got)
+	}
+	if got := Row(config.New(0)); got != "" {
+		t.Errorf("empty Row = %q", got)
+	}
+}
+
+func TestSpaceTimeMajorityOscillation(t *testing.T) {
+	a := automaton.MustNew(space.Ring(6, 1), rule.Majority(1))
+	var b strings.Builder
+	if err := SpaceTime(&b, a, config.Alternating(6, 0), 2); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(b.String(), "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines: %q", lines)
+	}
+	if !strings.HasSuffix(lines[0], ".#.#.#") {
+		t.Errorf("row 0 = %q", lines[0])
+	}
+	if !strings.HasSuffix(lines[1], "#.#.#.") {
+		t.Errorf("row 1 = %q", lines[1])
+	}
+	if !strings.HasSuffix(lines[2], ".#.#.#") {
+		t.Errorf("row 2 = %q (Lemma 1(i) oscillation)", lines[2])
+	}
+}
+
+func TestTablePlain(t *testing.T) {
+	tab := NewTable("n", "cycles", "verdict")
+	tab.AddRow(4, 1, "ok")
+	tab.AddRow(12, 31, "ok")
+	tab.AddRow(6) // short row padded
+	var b strings.Builder
+	if err := tab.Write(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "n ") {
+		t.Errorf("header %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "--") {
+		t.Errorf("separator %q", lines[1])
+	}
+	if !strings.Contains(lines[3], "31") {
+		t.Errorf("row %q", lines[3])
+	}
+}
+
+func TestTableMarkdown(t *testing.T) {
+	tab := NewTable("a", "b")
+	tab.AddRow("x", 1)
+	var b strings.Builder
+	if err := tab.Markdown(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := "| a | b |\n| --- | --- |\n| x | 1 |\n"
+	if b.String() != want {
+		t.Errorf("markdown:\n%q\nwant\n%q", b.String(), want)
+	}
+}

@@ -1,0 +1,158 @@
+package rule_test
+
+import (
+	"testing"
+
+	"repro/internal/automaton"
+	"repro/internal/config"
+	"repro/internal/rule"
+	"repro/internal/space"
+)
+
+// lifeGrid builds a w×h Moore-torus Life automaton and a configuration from
+// row strings ('#' alive).
+func lifeGrid(t *testing.T, w, h int, rows []string) (*automaton.Automaton, config.Config) {
+	t.Helper()
+	a, err := automaton.New(space.MooreTorus(w, h), rule.Life())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := config.New(w * h)
+	for y, row := range rows {
+		for x, ch := range row {
+			if ch == '#' {
+				c.Set(y*w+x, 1)
+			}
+		}
+	}
+	return a, c
+}
+
+func TestLifeRuleTable(t *testing.T) {
+	l := rule.Life()
+	nb := make([]uint8, 9) // self-first Moore neighborhood
+	// Dead cell with exactly 3 live neighbors is born.
+	nb[1], nb[2], nb[3] = 1, 1, 1
+	if l.Next(nb) != 1 {
+		t.Error("B3 birth failed")
+	}
+	// Dead with 2 stays dead.
+	nb[3] = 0
+	if l.Next(nb) != 0 {
+		t.Error("dead with 2 neighbors should stay dead")
+	}
+	// Live with 2 survives; with 1 dies; with 4 dies.
+	nb[0] = 1
+	if l.Next(nb) != 1 {
+		t.Error("S2 survival failed")
+	}
+	nb[2] = 0
+	if l.Next(nb) != 0 {
+		t.Error("live with 1 neighbor should die")
+	}
+	nb[2], nb[3], nb[4] = 1, 1, 1
+	if l.Next(nb) != 0 {
+		t.Error("live with 4 neighbors should die")
+	}
+}
+
+func TestLifeBlinkerPeriodTwo(t *testing.T) {
+	a, c := lifeGrid(t, 6, 6, []string{
+		"......",
+		"......",
+		".###..",
+		"......",
+		"......",
+		"......",
+	})
+	res := a.Converge(c, 10)
+	if res.Outcome.String() != "cycle" || res.Period != 2 {
+		t.Fatalf("blinker: %+v", res)
+	}
+}
+
+func TestLifeBlockStillLife(t *testing.T) {
+	a, c := lifeGrid(t, 6, 6, []string{
+		"......",
+		".##...",
+		".##...",
+		"......",
+		"......",
+		"......",
+	})
+	if !a.FixedPoint(c) {
+		t.Fatal("block should be a still life")
+	}
+}
+
+func TestLifeGliderTranslates(t *testing.T) {
+	// A glider returns to its shape displaced by (1,1) after 4 generations.
+	w, h := 8, 8
+	a, c := lifeGrid(t, w, h, []string{
+		".#......",
+		"..#.....",
+		"###.....",
+		"........",
+		"........",
+		"........",
+		"........",
+		"........",
+	})
+	cur := c.Clone()
+	next := config.New(w * h)
+	for step := 0; step < 4; step++ {
+		a.Step(next, cur)
+		cur, next = next, cur
+	}
+	// Expected: original pattern shifted one right and one down (torus).
+	want := config.New(w * h)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			if c.Get(y*w+x) == 1 {
+				want.Set(((y+1)%h)*w+(x+1)%w, 1)
+			}
+		}
+	}
+	if !cur.Equal(want) {
+		t.Fatalf("glider after 4 steps:\n got %s\nwant %s", cur, want)
+	}
+}
+
+func TestLifePopulationOnEmptyStaysEmpty(t *testing.T) {
+	a, c := lifeGrid(t, 5, 5, []string{".....", ".....", ".....", ".....", "....."})
+	res := a.Converge(c, 5)
+	if res.Outcome.String() != "fixed-point" || !res.Final.Quiescent() {
+		t.Fatal("empty universe should be a quiescent fixed point")
+	}
+}
+
+func TestMooreTorusStructure(t *testing.T) {
+	s := space.MooreTorus(4, 4)
+	if d, ok := space.Regular(s); !ok || d != 9 {
+		t.Fatalf("Moore torus degree (%d,%v)", d, ok)
+	}
+	nb := s.Neighborhood(0)
+	if nb[0] != 0 {
+		t.Fatal("Moore neighborhood must be self-first")
+	}
+	seen := map[int]bool{}
+	for _, j := range nb {
+		seen[j] = true
+	}
+	// Node (0,0)'s neighbors on a 4x4 torus: rows 3,0,1 × cols 3,0,1.
+	for _, want := range []int{0, 1, 3, 4, 5, 7, 12, 13, 15} {
+		if !seen[want] {
+			t.Fatalf("Moore neighborhood of 0 missing %d: %v", want, nb)
+		}
+	}
+}
+
+func TestOuterTotalisticName(t *testing.T) {
+	if rule.Life().Name() != "life(B3/S23)" {
+		t.Error("Life name wrong")
+	}
+	anon := rule.OuterTotalistic{Born: 1 << 2, Survive: 1}
+	if anon.Name() == "" {
+		t.Error("anonymous outer-totalistic needs a generated name")
+	}
+}

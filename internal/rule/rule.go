@@ -1,0 +1,401 @@
+// Package rule implements local update rules for Boolean cellular automata:
+// the CA "software" (paper Definition 2).
+//
+// A rule maps an ordered tuple of neighborhood bits (with the node's own
+// current state among them, for CA with memory) to the node's next state.
+// The paper's protagonists are the symmetric linear threshold rules —
+// "k-of-m" functions, with MAJORITY the canonical member — which are exactly
+// the monotone symmetric Boolean functions. XOR plays the antagonist in the
+// paper's §3.1 motivating example, and the 256 elementary (Wolfram) rules
+// are provided for breadth and for differential testing.
+package rule
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Rule is a Boolean local update rule over a fixed number of inputs.
+//
+// Next receives the neighborhood values in neighborhood order (for 1-D
+// spaces: left-to-right, the node's own state in the middle slot) and
+// returns the node's next state. Implementations must be pure functions.
+type Rule interface {
+	// Arity returns the number of inputs the rule consumes, or -1 if the
+	// rule accepts any arity (symmetric rules such as thresholds do).
+	Arity() int
+	// Next computes the updated state from the ordered neighborhood values.
+	Next(neighborhood []uint8) uint8
+	// Name returns a short description, e.g. "majority(m=3)".
+	Name() string
+}
+
+// Threshold is the symmetric linear threshold rule: the next state is 1
+// exactly when at least K of the inputs are 1. With K = ⌈(m+1)/2⌉ on m
+// inputs this is MAJORITY. K ≤ 0 gives the constant-1 rule and K > m the
+// constant-0 rule, the two trivial monotone symmetric functions.
+//
+// Threshold accepts any arity, so one value works across radii and across
+// irregular spaces (line borders, SDS graphs).
+type Threshold struct {
+	K int
+}
+
+// Arity implements Rule; thresholds are arity-agnostic.
+func (t Threshold) Arity() int { return -1 }
+
+// Next implements Rule.
+func (t Threshold) Next(nb []uint8) uint8 {
+	s := 0
+	for _, b := range nb {
+		s += int(b & 1)
+	}
+	if s >= t.K {
+		return 1
+	}
+	return 0
+}
+
+// Name implements Rule.
+func (t Threshold) Name() string { return fmt.Sprintf("threshold(k=%d)", t.K) }
+
+// Majority returns the MAJORITY rule for a (2r+1)-input neighborhood
+// (radius r with memory): next state 1 iff more than half of the inputs are
+// 1. Since the input count is odd there are no ties.
+func Majority(r int) Threshold {
+	if r < 0 {
+		panic(fmt.Sprintf("rule: negative radius %d", r))
+	}
+	m := 2*r + 1
+	return Threshold{K: m/2 + 1}
+}
+
+// MajorityOf returns MAJORITY for an arbitrary odd input count m.
+func MajorityOf(m int) Threshold {
+	if m < 1 || m%2 == 0 {
+		panic(fmt.Sprintf("rule: majority needs odd input count, got %d", m))
+	}
+	return Threshold{K: m/2 + 1}
+}
+
+// StrictMajorityOf returns the strict-majority threshold for any input
+// count m: next state 1 iff more than half the inputs are 1 (ties on even m
+// resolve to 0). For odd m it coincides with MajorityOf.
+func StrictMajorityOf(m int) Threshold {
+	if m < 1 {
+		panic(fmt.Sprintf("rule: invalid input count %d", m))
+	}
+	return Threshold{K: m/2 + 1}
+}
+
+// XOR is the parity rule: next state is the XOR of all inputs. It is
+// symmetric (totalistic) but not monotone — the paper's §3.1 example of a
+// rule whose sequential and parallel behaviors are merely "comparable",
+// unlike thresholds where parallel strictly dominates.
+type XOR struct{}
+
+// Arity implements Rule; XOR is arity-agnostic.
+func (XOR) Arity() int { return -1 }
+
+// Next implements Rule.
+func (XOR) Next(nb []uint8) uint8 {
+	var x uint8
+	for _, b := range nb {
+		x ^= b & 1
+	}
+	return x
+}
+
+// Name implements Rule.
+func (XOR) Name() string { return "xor" }
+
+// Table is an arbitrary rule given by its full truth table over m ordered
+// inputs: entry i of the table is the output on the input tuple whose bit j
+// (LSB-first) is input j.
+type Table struct {
+	m     int
+	bits  []uint64 // packed truth table, 1 bit per input tuple
+	label string
+}
+
+// NewTable builds a truth-table rule on m inputs from the outputs slice,
+// indexed by the LSB-first encoding of the input tuple; len(outputs) must be
+// 2^m. m is capped at 20 to bound table size.
+func NewTable(label string, m int, outputs []uint8) (*Table, error) {
+	if m < 0 || m > 20 {
+		return nil, fmt.Errorf("rule: table arity %d out of range [0,20]", m)
+	}
+	if len(outputs) != 1<<uint(m) {
+		return nil, fmt.Errorf("rule: table needs %d outputs, got %d", 1<<uint(m), len(outputs))
+	}
+	t := &Table{m: m, bits: make([]uint64, (len(outputs)+63)/64), label: label}
+	for i, o := range outputs {
+		if o&1 != 0 {
+			t.bits[i>>6] |= 1 << uint(i&63)
+		}
+	}
+	return t, nil
+}
+
+// MustTable is NewTable that panics on error.
+func MustTable(label string, m int, outputs []uint8) *Table {
+	t, err := NewTable(label, m, outputs)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// FromFunc materializes any rule of arity m into a truth table, which makes
+// property analysis (IsMonotone etc.) and micro-op simulation cheap.
+func FromFunc(label string, m int, f func(nb []uint8) uint8) *Table {
+	outputs := make([]uint8, 1<<uint(m))
+	nb := make([]uint8, m)
+	for i := range outputs {
+		decode(uint64(i), nb)
+		outputs[i] = f(nb) & 1
+	}
+	return MustTable(label, m, outputs)
+}
+
+// Materialize returns r as a truth table at arity m (r itself if it is
+// already a *Table of that arity).
+func Materialize(r Rule, m int) *Table {
+	if t, ok := r.(*Table); ok && t.m == m {
+		return t
+	}
+	if a := r.Arity(); a >= 0 && a != m {
+		panic(fmt.Sprintf("rule: cannot materialize %s (arity %d) at arity %d", r.Name(), a, m))
+	}
+	return FromFunc(r.Name(), m, r.Next)
+}
+
+func decode(i uint64, nb []uint8) {
+	for j := range nb {
+		nb[j] = uint8(i >> uint(j) & 1)
+	}
+}
+
+// Arity implements Rule.
+func (t *Table) Arity() int { return t.m }
+
+// Next implements Rule.
+func (t *Table) Next(nb []uint8) uint8 {
+	if len(nb) != t.m {
+		panic(fmt.Sprintf("rule: table %s wants %d inputs, got %d", t.label, t.m, len(nb)))
+	}
+	return t.Lookup(encode(nb))
+}
+
+// Lookup returns the output for the LSB-first-encoded input tuple.
+func (t *Table) Lookup(i uint64) uint8 {
+	return uint8(t.bits[i>>6] >> uint(i&63) & 1)
+}
+
+func encode(nb []uint8) uint64 {
+	var i uint64
+	for j, b := range nb {
+		i |= uint64(b&1) << uint(j)
+	}
+	return i
+}
+
+// Name implements Rule.
+func (t *Table) Name() string { return t.label }
+
+// Outputs returns a copy of the truth table as a flat slice.
+func (t *Table) Outputs() []uint8 {
+	out := make([]uint8, 1<<uint(t.m))
+	for i := range out {
+		out[i] = t.Lookup(uint64(i))
+	}
+	return out
+}
+
+// Elementary returns Wolfram elementary rule `code` (0–255) as a 3-input
+// table: inputs are (left, center, right) in neighborhood order. Wolfram's
+// convention numbers the output for pattern (l,c,r) by the bit l*4+c*2+r of
+// the code; our tuples are encoded LSB-first (l is bit 0), so the table is
+// built by translating indices.
+func Elementary(code uint8) *Table {
+	outputs := make([]uint8, 8)
+	for i := 0; i < 8; i++ {
+		l := uint8(i) & 1
+		c := uint8(i) >> 1 & 1
+		r := uint8(i) >> 2 & 1
+		w := l<<2 | c<<1 | r
+		outputs[i] = code >> w & 1
+	}
+	return MustTable(fmt.Sprintf("eca-%d", code), 3, outputs)
+}
+
+// ---- Property analysis ----
+
+// IsSymmetric reports whether r at arity m depends only on the number of 1s
+// among its inputs (totalistic CA, paper §3: "symmetric").
+func IsSymmetric(r Rule, m int) bool {
+	t := Materialize(r, m)
+	// output per popcount must be consistent
+	var byCount [64]int8
+	for i := range byCount {
+		byCount[i] = -1
+	}
+	for i := uint64(0); i < 1<<uint(m); i++ {
+		c := bits.OnesCount64(i)
+		o := int8(t.Lookup(i))
+		if byCount[c] == -1 {
+			byCount[c] = o
+		} else if byCount[c] != o {
+			return false
+		}
+	}
+	return true
+}
+
+// IsMonotone reports whether r at arity m is monotone: flipping any input
+// from 0 to 1 never flips the output from 1 to 0.
+func IsMonotone(r Rule, m int) bool {
+	t := Materialize(r, m)
+	for i := uint64(0); i < 1<<uint(m); i++ {
+		if t.Lookup(i) == 0 {
+			continue
+		}
+		// output 1 at i must persist for every superset of i's bits;
+		// checking single-bit flips suffices by transitivity.
+		for j := 0; j < m; j++ {
+			if i>>uint(j)&1 == 0 {
+				if t.Lookup(i|1<<uint(j)) == 0 {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// IsThreshold reports whether r at arity m equals some k-of-m threshold, and
+// if so returns k. Monotone symmetric Boolean functions are exactly the
+// thresholds (including the constants k=0 and k=m+1); this is the class the
+// paper's Theorem 1 quantifies over.
+func IsThreshold(r Rule, m int) (k int, ok bool) {
+	if !IsSymmetric(r, m) || !IsMonotone(r, m) {
+		return 0, false
+	}
+	t := Materialize(r, m)
+	// find smallest popcount with output 1
+	k = m + 1
+	for i := uint64(0); i < 1<<uint(m); i++ {
+		if t.Lookup(i) == 1 {
+			if c := bits.OnesCount64(i); c < k {
+				k = c
+			}
+		}
+	}
+	return k, true
+}
+
+// IsQuiescent reports whether the all-zero neighborhood maps to 0, i.e. the
+// distinguished quiescent state of Definition 1 is preserved.
+func IsQuiescent(r Rule, m int) bool {
+	nb := make([]uint8, m)
+	return r.Next(nb) == 0
+}
+
+// SelfDual reports whether complementing all inputs complements the output
+// (e.g. MAJORITY on odd arity is self-dual).
+func SelfDual(r Rule, m int) bool {
+	t := Materialize(r, m)
+	all := uint64(1)<<uint(m) - 1
+	for i := uint64(0); i <= all; i++ {
+		if t.Lookup(i) == t.Lookup(all&^i) {
+			return false
+		}
+	}
+	return true
+}
+
+// Complement returns the rule i ↦ 1 − r(¬inputs): the conjugate of r under
+// global 0↔1 exchange. A CA and its complement-conjugate have isomorphic
+// phase spaces under configuration complementation.
+func Complement(r Rule, m int) *Table {
+	t := Materialize(r, m)
+	all := uint64(1)<<uint(m) - 1
+	outputs := make([]uint8, 1<<uint(m))
+	for i := range outputs {
+		outputs[i] = 1 - t.Lookup(all&^uint64(i))
+	}
+	return MustTable("conj("+r.Name()+")", m, outputs)
+}
+
+// Reflect returns the rule with reversed input order (left-right mirror for
+// 1-D neighborhoods). Symmetric rules are fixed points of Reflect.
+func Reflect(r Rule, m int) *Table {
+	t := Materialize(r, m)
+	outputs := make([]uint8, 1<<uint(m))
+	for i := range outputs {
+		var j uint64
+		for b := 0; b < m; b++ {
+			j |= uint64(i) >> uint(b) & 1 << uint(m-1-b)
+		}
+		outputs[i] = t.Lookup(j)
+	}
+	return MustTable("mirror("+r.Name()+")", m, outputs)
+}
+
+// OuterTotalistic is the classical outer-totalistic rule family (Conway's
+// Life and friends): the next state depends on the node's own state and on
+// the *count* of live neighbors. Born and Survive are bitmasks over
+// neighbor counts: a dead cell becomes alive when Born has bit c set, a
+// live cell stays alive when Survive has bit c set, where c is the number
+// of live cells among the inputs other than slot SelfIndex.
+type OuterTotalistic struct {
+	Born, Survive uint32
+	SelfIndex     int
+	Label         string
+}
+
+// Life returns Conway's Game of Life (B3/S23) for self-first neighborhoods
+// such as space.MooreTorus.
+func Life() OuterTotalistic {
+	return OuterTotalistic{Born: 1 << 3, Survive: 1<<2 | 1<<3, SelfIndex: 0, Label: "life(B3/S23)"}
+}
+
+// Arity implements Rule; outer-totalistic rules accept any neighborhood.
+func (o OuterTotalistic) Arity() int { return -1 }
+
+// Next implements Rule.
+func (o OuterTotalistic) Next(nb []uint8) uint8 {
+	if o.SelfIndex < 0 || o.SelfIndex >= len(nb) {
+		panic(fmt.Sprintf("rule: outer-totalistic self index %d out of %d inputs", o.SelfIndex, len(nb)))
+	}
+	count := 0
+	for i, b := range nb {
+		if i != o.SelfIndex && b&1 == 1 {
+			count++
+		}
+	}
+	mask := o.Born
+	if nb[o.SelfIndex]&1 == 1 {
+		mask = o.Survive
+	}
+	return uint8(mask >> uint(count) & 1)
+}
+
+// Name implements Rule.
+func (o OuterTotalistic) Name() string {
+	if o.Label != "" {
+		return o.Label
+	}
+	return fmt.Sprintf("outer-totalistic(B=%b,S=%b)", o.Born, o.Survive)
+}
+
+// AllThresholds returns every k-of-m threshold rule for k = 0..m+1: the
+// complete class of monotone symmetric Boolean rules at arity m (Theorem 1's
+// quantifier range).
+func AllThresholds(m int) []Threshold {
+	out := make([]Threshold, 0, m+2)
+	for k := 0; k <= m+1; k++ {
+		out = append(out, Threshold{K: k})
+	}
+	return out
+}

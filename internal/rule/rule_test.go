@@ -1,0 +1,411 @@
+package rule
+
+import (
+	"math/bits"
+	"testing"
+	"testing/quick"
+)
+
+func TestThresholdBasic(t *testing.T) {
+	maj := Majority(1) // 2-of-3
+	if maj.K != 2 {
+		t.Fatalf("Majority(1).K = %d, want 2", maj.K)
+	}
+	cases := []struct {
+		in   []uint8
+		want uint8
+	}{
+		{[]uint8{0, 0, 0}, 0},
+		{[]uint8{1, 0, 0}, 0},
+		{[]uint8{0, 1, 0}, 0},
+		{[]uint8{1, 1, 0}, 1},
+		{[]uint8{1, 0, 1}, 1},
+		{[]uint8{1, 1, 1}, 1},
+	}
+	for _, c := range cases {
+		if got := maj.Next(c.in); got != c.want {
+			t.Errorf("majority%v = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestThresholdExtremes(t *testing.T) {
+	one := Threshold{K: 0}
+	zero := Threshold{K: 4}
+	for i := 0; i < 8; i++ {
+		in := []uint8{uint8(i) & 1, uint8(i) >> 1 & 1, uint8(i) >> 2 & 1}
+		if one.Next(in) != 1 {
+			t.Errorf("k=0 threshold not constant 1 on %v", in)
+		}
+		if zero.Next(in) != 0 {
+			t.Errorf("k=4 threshold not constant 0 on %v", in)
+		}
+	}
+}
+
+func TestThresholdAnyArity(t *testing.T) {
+	th := Threshold{K: 3}
+	if th.Next([]uint8{1, 1, 1, 0, 0}) != 1 {
+		t.Error("3-of-5 should fire with 3 ones")
+	}
+	if th.Next([]uint8{1, 1}) != 0 {
+		t.Error("3-of-2 can never fire")
+	}
+	if th.Arity() != -1 {
+		t.Error("threshold should be arity-agnostic")
+	}
+}
+
+func TestMajorityRadii(t *testing.T) {
+	for r := 0; r <= 5; r++ {
+		m := 2*r + 1
+		maj := Majority(r)
+		if maj.K != m/2+1 {
+			t.Errorf("Majority(%d).K = %d, want %d", r, maj.K, m/2+1)
+		}
+	}
+}
+
+func TestMajorityOfValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MajorityOf(4) did not panic")
+		}
+	}()
+	MajorityOf(4)
+}
+
+func TestXOR(t *testing.T) {
+	x := XOR{}
+	if x.Next([]uint8{1, 0}) != 1 || x.Next([]uint8{1, 1}) != 0 || x.Next([]uint8{1, 1, 1}) != 1 {
+		t.Error("XOR wrong")
+	}
+}
+
+func TestTableRoundTrip(t *testing.T) {
+	outputs := []uint8{0, 1, 1, 0, 1, 0, 0, 1} // 3-input parity
+	tab := MustTable("parity3", 3, outputs)
+	if tab.Arity() != 3 {
+		t.Fatalf("arity = %d", tab.Arity())
+	}
+	got := tab.Outputs()
+	for i := range outputs {
+		if got[i] != outputs[i] {
+			t.Errorf("output %d: got %d want %d", i, got[i], outputs[i])
+		}
+	}
+	// Against XOR{}:
+	x := XOR{}
+	for i := 0; i < 8; i++ {
+		in := []uint8{uint8(i) & 1, uint8(i) >> 1 & 1, uint8(i) >> 2 & 1}
+		if tab.Next(in) != x.Next(in) {
+			t.Errorf("parity table disagrees with XOR on %v", in)
+		}
+	}
+}
+
+func TestNewTableValidation(t *testing.T) {
+	if _, err := NewTable("bad", 2, []uint8{0, 1}); err == nil {
+		t.Error("wrong output count accepted")
+	}
+	if _, err := NewTable("bad", 21, make([]uint8, 1)); err == nil {
+		t.Error("huge arity accepted")
+	}
+	if _, err := NewTable("ok", 1, []uint8{1, 0}); err != nil {
+		t.Errorf("valid table rejected: %v", err)
+	}
+}
+
+func TestTableNextArityPanics(t *testing.T) {
+	tab := MustTable("t", 2, []uint8{0, 0, 0, 1})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("wrong-arity Next did not panic")
+		}
+	}()
+	tab.Next([]uint8{1})
+}
+
+func TestFromFuncMatchesRule(t *testing.T) {
+	maj := Majority(1)
+	tab := FromFunc("maj3", 3, maj.Next)
+	for i := 0; i < 8; i++ {
+		in := []uint8{uint8(i) & 1, uint8(i) >> 1 & 1, uint8(i) >> 2 & 1}
+		if tab.Next(in) != maj.Next(in) {
+			t.Errorf("materialized majority differs on %v", in)
+		}
+	}
+}
+
+func TestMaterializeIdempotent(t *testing.T) {
+	tab := Elementary(110)
+	if Materialize(tab, 3) != tab {
+		t.Error("Materialize should return the same table")
+	}
+}
+
+func TestMaterializeArityMismatchPanics(t *testing.T) {
+	tab := Elementary(110)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("arity-mismatched Materialize did not panic")
+		}
+	}()
+	Materialize(tab, 5)
+}
+
+func TestElementaryKnownRules(t *testing.T) {
+	// Rule 232 is MAJORITY: verify against Threshold.
+	maj := Majority(1)
+	r232 := Elementary(232)
+	for i := 0; i < 8; i++ {
+		in := []uint8{uint8(i) & 1, uint8(i) >> 1 & 1, uint8(i) >> 2 & 1}
+		if r232.Next(in) != maj.Next(in) {
+			t.Errorf("rule 232 differs from majority on %v", in)
+		}
+	}
+	// Rule 150 is 3-input parity.
+	r150 := Elementary(150)
+	x := XOR{}
+	for i := 0; i < 8; i++ {
+		in := []uint8{uint8(i) & 1, uint8(i) >> 1 & 1, uint8(i) >> 2 & 1}
+		if r150.Next(in) != x.Next(in) {
+			t.Errorf("rule 150 differs from parity on %v", in)
+		}
+	}
+	// Rule 0 constant zero, rule 255 constant one.
+	r0, r255 := Elementary(0), Elementary(255)
+	for i := 0; i < 8; i++ {
+		in := []uint8{uint8(i) & 1, uint8(i) >> 1 & 1, uint8(i) >> 2 & 1}
+		if r0.Next(in) != 0 || r255.Next(in) != 1 {
+			t.Error("constant elementary rules wrong")
+		}
+	}
+	// Rule 204 is identity (center).
+	r204 := Elementary(204)
+	for i := 0; i < 8; i++ {
+		in := []uint8{uint8(i) & 1, uint8(i) >> 1 & 1, uint8(i) >> 2 & 1}
+		if r204.Next(in) != in[1] {
+			t.Errorf("rule 204 not identity on %v", in)
+		}
+	}
+}
+
+func TestIsSymmetric(t *testing.T) {
+	if !IsSymmetric(Majority(1), 3) {
+		t.Error("majority should be symmetric")
+	}
+	if !IsSymmetric(XOR{}, 3) {
+		t.Error("parity should be symmetric")
+	}
+	if IsSymmetric(Elementary(204), 3) { // identity depends on position
+		t.Error("identity rule should not be symmetric")
+	}
+	if !IsSymmetric(Elementary(0), 3) {
+		t.Error("constant rule should be symmetric")
+	}
+}
+
+func TestIsMonotone(t *testing.T) {
+	if !IsMonotone(Majority(1), 3) {
+		t.Error("majority should be monotone")
+	}
+	if IsMonotone(XOR{}, 3) {
+		t.Error("parity should not be monotone")
+	}
+	if !IsMonotone(Elementary(204), 3) {
+		t.Error("identity should be monotone")
+	}
+	for k := 0; k <= 4; k++ {
+		if !IsMonotone(Threshold{K: k}, 3) {
+			t.Errorf("threshold k=%d should be monotone", k)
+		}
+	}
+}
+
+func TestIsThreshold(t *testing.T) {
+	for k := 0; k <= 4; k++ {
+		got, ok := IsThreshold(Threshold{K: k}, 3)
+		if !ok {
+			t.Errorf("threshold k=%d not recognized", k)
+			continue
+		}
+		want := k
+		if k <= 0 {
+			want = 0
+		}
+		if got != want {
+			t.Errorf("threshold k=%d recognized as k=%d", k, got)
+		}
+	}
+	if _, ok := IsThreshold(XOR{}, 3); ok {
+		t.Error("parity recognized as threshold")
+	}
+	if _, ok := IsThreshold(Elementary(204), 3); ok {
+		t.Error("identity recognized as threshold (not symmetric)")
+	}
+}
+
+func TestMonotoneSymmetricIffThreshold(t *testing.T) {
+	// Exhaustive over all 256 3-input rules: monotone ∧ symmetric ⇔ threshold.
+	for code := 0; code < 256; code++ {
+		r := Elementary(uint8(code))
+		_, isTh := IsThreshold(r, 3)
+		both := IsSymmetric(r, 3) && IsMonotone(r, 3)
+		if isTh != both {
+			t.Errorf("rule %d: threshold=%v but monotone∧symmetric=%v", code, isTh, both)
+		}
+	}
+}
+
+func TestIsQuiescent(t *testing.T) {
+	if !IsQuiescent(Majority(1), 3) {
+		t.Error("majority should preserve quiescence")
+	}
+	if IsQuiescent(Threshold{K: 0}, 3) {
+		t.Error("constant-1 rule should not preserve quiescence")
+	}
+	if !IsQuiescent(XOR{}, 3) {
+		t.Error("parity should preserve quiescence")
+	}
+}
+
+func TestSelfDual(t *testing.T) {
+	if !SelfDual(Majority(1), 3) {
+		t.Error("3-input majority should be self-dual")
+	}
+	if SelfDual(Threshold{K: 1}, 3) { // OR is not self-dual
+		t.Error("OR should not be self-dual")
+	}
+}
+
+func TestComplementInvolution(t *testing.T) {
+	r := Elementary(110)
+	cc := Complement(Complement(r, 3), 3)
+	for i := 0; i < 8; i++ {
+		if cc.Lookup(uint64(i)) != r.Lookup(uint64(i)) {
+			t.Fatal("complement conjugation is not an involution")
+		}
+	}
+	// Majority is self-conjugate.
+	maj := Materialize(Majority(1), 3)
+	cm := Complement(maj, 3)
+	for i := 0; i < 8; i++ {
+		if cm.Lookup(uint64(i)) != maj.Lookup(uint64(i)) {
+			t.Fatal("majority should be self-conjugate")
+		}
+	}
+}
+
+func TestReflect(t *testing.T) {
+	// Reflect swaps the roles of left and right inputs.
+	tab := FromFunc("left", 3, func(nb []uint8) uint8 { return nb[0] })
+	ref := Reflect(tab, 3)
+	for i := 0; i < 8; i++ {
+		in := []uint8{uint8(i) & 1, uint8(i) >> 1 & 1, uint8(i) >> 2 & 1}
+		if ref.Next(in) != in[2] {
+			t.Errorf("Reflect(left) should be right on %v", in)
+		}
+	}
+	// Symmetric rules are fixed by reflection.
+	maj := Materialize(Majority(1), 3)
+	rm := Reflect(maj, 3)
+	for i := 0; i < 8; i++ {
+		if rm.Lookup(uint64(i)) != maj.Lookup(uint64(i)) {
+			t.Fatal("majority should be reflection-invariant")
+		}
+	}
+}
+
+func TestAllThresholds(t *testing.T) {
+	ths := AllThresholds(3)
+	if len(ths) != 5 {
+		t.Fatalf("AllThresholds(3) returned %d rules, want 5", len(ths))
+	}
+	for i, th := range ths {
+		if th.K != i {
+			t.Errorf("threshold %d has K=%d", i, th.K)
+		}
+	}
+}
+
+func TestThresholdMonotoneSymmetricQuick(t *testing.T) {
+	f := func(kRaw, mRaw uint8) bool {
+		m := int(mRaw)%6 + 1
+		k := int(kRaw) % (m + 2)
+		th := Threshold{K: k}
+		return IsSymmetric(th, m) && IsMonotone(th, m)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestThresholdCountingQuick(t *testing.T) {
+	// Threshold output == (popcount >= k) for arbitrary inputs.
+	f := func(in uint16, kRaw uint8) bool {
+		m := 9
+		k := int(kRaw) % (m + 2)
+		nb := make([]uint8, m)
+		for j := range nb {
+			nb[j] = uint8(in >> uint(j) & 1)
+		}
+		th := Threshold{K: k}
+		want := uint8(0)
+		if bits.OnesCount16(in&(1<<9-1)) >= k {
+			want = 1
+		}
+		return th.Next(nb) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkThresholdNext(b *testing.B) {
+	maj := Majority(2)
+	nb := []uint8{1, 0, 1, 1, 0}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		maj.Next(nb)
+	}
+}
+
+func BenchmarkTableNext(b *testing.B) {
+	tab := Materialize(Majority(2), 5)
+	nb := []uint8{1, 0, 1, 1, 0}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tab.Next(nb)
+	}
+}
+
+func FuzzTablePropertiesConsistent(f *testing.F) {
+	f.Add(uint8(232))
+	f.Add(uint8(150))
+	f.Fuzz(func(t *testing.T, code uint8) {
+		r := Elementary(code)
+		// Threshold ⇒ monotone ∧ symmetric, and the threshold value must
+		// reproduce the table exactly.
+		if k, ok := IsThreshold(r, 3); ok {
+			if !IsMonotone(r, 3) || !IsSymmetric(r, 3) {
+				t.Fatal("threshold without its defining properties")
+			}
+			th := Threshold{K: k}
+			for i := 0; i < 8; i++ {
+				in := []uint8{uint8(i) & 1, uint8(i) >> 1 & 1, uint8(i) >> 2 & 1}
+				if th.Next(in) != r.Next(in) {
+					t.Fatalf("threshold k=%d does not reproduce rule %d", k, code)
+				}
+			}
+		}
+		// Double complement-conjugation and double reflection are identities.
+		cc := Complement(Complement(r, 3), 3)
+		rr := Reflect(Reflect(r, 3), 3)
+		for i := uint64(0); i < 8; i++ {
+			if cc.Lookup(i) != r.Lookup(i) || rr.Lookup(i) != r.Lookup(i) {
+				t.Fatalf("involution broken for rule %d", code)
+			}
+		}
+	})
+}

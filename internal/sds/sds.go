@@ -1,0 +1,295 @@
+// Package sds implements sequential dynamical systems (SDS) and their
+// synchronous counterparts (SyDS) over arbitrary finite graphs — the
+// framework of Barrett, Mortveit and Reidys (paper refs [2-6]) that the
+// paper's §4 names as the natural home for its extensions beyond regular
+// cellular spaces.
+//
+// An SDS fixes a permutation π of the nodes; its global map F_π is one full
+// sequential sweep in that order. The package provides: the induced global
+// map and its function table; Garden-of-Eden (image-complement) analysis of
+// ref [3]; and the update-order equivalence theory of ref [6] — two
+// permutations induce the same SDS map whenever they differ by swapping
+// consecutive nodes that are non-adjacent in the graph, so the number of
+// distinct SDS maps is bounded by the number of equivalence classes of the
+// induced trace monoid, which equals the number of acyclic orientations
+// a(G) = |χ_G(−1)| of the underlying graph.
+package sds
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/automaton"
+	"repro/internal/config"
+	"repro/internal/space"
+	"repro/internal/update"
+)
+
+// System is an SDS: an automaton plus a fixed sweep permutation.
+type System struct {
+	a    *automaton.Automaton
+	perm []int
+}
+
+// New builds an SDS from an automaton and a permutation of its nodes.
+func New(a *automaton.Automaton, perm []int) (*System, error) {
+	if _, err := update.NewPermutation(perm); err != nil {
+		return nil, err
+	}
+	if len(perm) != a.N() {
+		return nil, fmt.Errorf("sds: permutation of %d nodes for %d-node automaton", len(perm), a.N())
+	}
+	return &System{a: a, perm: append([]int(nil), perm...)}, nil
+}
+
+// MustNew is New that panics on error.
+func MustNew(a *automaton.Automaton, perm []int) *System {
+	s, err := New(a, perm)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Automaton returns the underlying automaton.
+func (s *System) Automaton() *automaton.Automaton { return s.a }
+
+// Perm returns a copy of the sweep permutation.
+func (s *System) Perm() []int { return append([]int(nil), s.perm...) }
+
+// Map computes dst ← F_π(src); dst must not alias src.
+func (s *System) Map(dst, src config.Config) { s.a.SequentialMap(dst, src, s.perm) }
+
+// FunctionTable returns the full global map as a dense table over all 2^n
+// configurations (n ≤ 20).
+func (s *System) FunctionTable() []uint32 {
+	n := s.a.N()
+	if n > 20 {
+		panic(fmt.Sprintf("sds: refusing function table for %d nodes", n))
+	}
+	table := make([]uint32, uint64(1)<<uint(n))
+	dst := config.New(n)
+	config.Space(n, func(idx uint64, c config.Config) {
+		s.Map(dst, c)
+		table[idx] = uint32(dst.Index())
+	})
+	return table
+}
+
+// GardenOfEden returns the configurations with no F_π-preimage: the
+// Garden-of-Eden states of ref [3]. Since F_π is a function on a finite
+// set, these are exactly the non-image points.
+func (s *System) GardenOfEden() []uint64 {
+	table := s.FunctionTable()
+	inImage := make([]bool, len(table))
+	for _, y := range table {
+		inImage[y] = true
+	}
+	var out []uint64
+	for x, ok := range inImage {
+		if !ok {
+			out = append(out, uint64(x))
+		}
+	}
+	return out
+}
+
+// adjacency returns the symmetric adjacency structure of the automaton's
+// space, self-loops excluded.
+func adjacency(sp space.Space) [][]bool {
+	n := sp.N()
+	adj := make([][]bool, n)
+	for i := range adj {
+		adj[i] = make([]bool, n)
+	}
+	for i := 0; i < n; i++ {
+		for _, j := range sp.Neighborhood(i) {
+			if j != i {
+				adj[i][j] = true
+				adj[j][i] = true
+			}
+		}
+	}
+	return adj
+}
+
+// Canonicalize returns the lexicographically least permutation reachable
+// from perm by repeatedly swapping consecutive entries that are non-adjacent
+// in the graph — the normal form of perm in the trace monoid over the
+// graph's dependence relation (ref [6]). Two permutations with equal normal
+// forms always induce the same SDS map.
+func Canonicalize(sp space.Space, perm []int) []int {
+	adj := adjacency(sp)
+	rem := append([]int(nil), perm...)
+	out := make([]int, 0, len(perm))
+	// Greedy lexicographic normal form: repeatedly emit the smallest node
+	// that can be commuted to the front of the remainder, i.e. that is
+	// graph-independent of every node preceding it there.
+	for len(rem) > 0 {
+		best, bestPos := -1, -1
+		for p, v := range rem {
+			movable := true
+			for q := 0; q < p; q++ {
+				if adj[rem[q]][v] {
+					movable = false
+					break
+				}
+			}
+			if movable && (best == -1 || v < best) {
+				best, bestPos = v, p
+			}
+		}
+		out = append(out, best)
+		rem = append(rem[:bestPos], rem[bestPos+1:]...)
+	}
+	return out
+}
+
+// EquivalenceClasses returns the number of distinct trace-monoid normal
+// forms over all n! permutations (n ≤ 8). By Cartier–Foata theory this
+// equals the number of acyclic orientations of the graph.
+func EquivalenceClasses(sp space.Space) int {
+	n := sp.N()
+	if n > 8 {
+		panic(fmt.Sprintf("sds: refusing to enumerate %d! permutations", n))
+	}
+	seen := map[string]bool{}
+	update.Permutations(n, func(perm []int) {
+		canon := Canonicalize(sp, perm)
+		key := fmt.Sprint(canon)
+		seen[key] = true
+	})
+	return len(seen)
+}
+
+// DistinctMaps returns the number of functionally distinct SDS global maps
+// over all n! sweep permutations of the automaton (n ≤ 8), together with
+// one representative permutation per distinct map, sorted by first
+// occurrence in lexicographic permutation order.
+func DistinctMaps(a *automaton.Automaton) (count int, reps [][]int) {
+	n := a.N()
+	if n > 8 {
+		panic(fmt.Sprintf("sds: refusing to enumerate %d! permutations", n))
+	}
+	seen := map[string][]int{}
+	var order []string
+	update.Permutations(n, func(perm []int) {
+		s := MustNew(a, perm)
+		table := s.FunctionTable()
+		key := fmt.Sprint(table)
+		if _, ok := seen[key]; !ok {
+			seen[key] = append([]int(nil), perm...)
+			order = append(order, key)
+		}
+	})
+	for _, k := range order {
+		reps = append(reps, seen[k])
+	}
+	return len(seen), reps
+}
+
+// AcyclicOrientations returns a(G) = |χ_G(−1)|, the number of acyclic
+// orientations of the space's underlying simple graph, via Stanley's
+// theorem and a deletion–contraction evaluation of the chromatic polynomial
+// at −1. Exponential in the worst case; intended for the small graphs of
+// the §4 experiments.
+func AcyclicOrientations(sp space.Space) uint64 {
+	n := sp.N()
+	var edges [][2]int
+	adj := adjacency(sp)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if adj[i][j] {
+				edges = append(edges, [2]int{i, j})
+			}
+		}
+	}
+	v := chromaticAt(n, edges, -1)
+	if v < 0 {
+		v = -v
+	}
+	return uint64(v)
+}
+
+// chromaticAt evaluates the chromatic polynomial of the simple graph
+// (n nodes, edge list) at integer k by deletion–contraction:
+// χ_G = χ_{G−e} − χ_{G/e}, with χ of the empty graph = k^n.
+func chromaticAt(n int, edges [][2]int, k int64) int64 {
+	if len(edges) == 0 {
+		v := int64(1)
+		for i := 0; i < n; i++ {
+			v *= k
+		}
+		return v
+	}
+	e := edges[len(edges)-1]
+	rest := edges[:len(edges)-1]
+	// Deletion: G − e.
+	del := chromaticAt(n, rest, k)
+	// Contraction: merge e[1] into e[0]; relabel n−1 → e[1]'s slot, dedupe.
+	seen := map[[2]int]bool{}
+	var contracted [][2]int
+	relabel := func(v int) int {
+		if v == e[1] {
+			return e[0]
+		}
+		if v == n-1 {
+			return e[1] // keep labels in [0, n−1): move the last node down
+		}
+		return v
+	}
+	// Careful: if e[1] == n−1 no move is needed.
+	for _, f := range rest {
+		a, b := relabel(f[0]), relabel(f[1])
+		if a == b {
+			continue
+		}
+		if a > b {
+			a, b = b, a
+		}
+		if !seen[[2]int{a, b}] {
+			seen[[2]int{a, b}] = true
+			contracted = append(contracted, [2]int{a, b})
+		}
+	}
+	con := chromaticAt(n-1, contracted, k)
+	return del - con
+}
+
+// ChromaticPolynomialAt exposes the chromatic polynomial evaluation for a
+// space's underlying graph (used by tests and the experiment harness).
+func ChromaticPolynomialAt(sp space.Space, k int64) int64 {
+	n := sp.N()
+	adj := adjacency(sp)
+	var edges [][2]int
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if adj[i][j] {
+				edges = append(edges, [2]int{i, j})
+			}
+		}
+	}
+	return chromaticAt(n, edges, k)
+}
+
+// SyDS is the synchronous counterpart over the same graph: one parallel
+// step (it simply delegates to the automaton). Provided so experiment code
+// reads symmetrically.
+func SyDS(a *automaton.Automaton, dst, src config.Config) { a.Step(dst, src) }
+
+// Fixed points of an SDS coincide with those of its automaton and of every
+// other sweep order; FixedPointsShared verifies this and returns them.
+func FixedPointsShared(a *automaton.Automaton) []uint64 {
+	n := a.N()
+	if n > 20 {
+		panic(fmt.Sprintf("sds: refusing to enumerate 2^%d configurations", n))
+	}
+	var out []uint64
+	config.Space(n, func(idx uint64, c config.Config) {
+		if a.FixedPoint(c) {
+			out = append(out, idx)
+		}
+	})
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

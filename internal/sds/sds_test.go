@@ -1,0 +1,275 @@
+package sds
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/automaton"
+	"repro/internal/config"
+	"repro/internal/rule"
+	"repro/internal/space"
+	"repro/internal/update"
+)
+
+func majAutomaton(t testing.TB, sp space.Space) *automaton.Automaton {
+	t.Helper()
+	return automaton.MustNew(sp, rule.Majority(1))
+}
+
+func TestNewValidation(t *testing.T) {
+	a := majAutomaton(t, space.Ring(4, 1))
+	if _, err := New(a, []int{0, 1, 2}); err == nil {
+		t.Error("short permutation accepted")
+	}
+	if _, err := New(a, []int{0, 0, 1, 2}); err == nil {
+		t.Error("non-permutation accepted")
+	}
+	if _, err := New(a, []int{3, 1, 0, 2}); err != nil {
+		t.Errorf("valid permutation rejected: %v", err)
+	}
+}
+
+func TestMapMatchesManualSweep(t *testing.T) {
+	a := majAutomaton(t, space.Ring(5, 1))
+	s := MustNew(a, []int{4, 2, 0, 1, 3})
+	src := config.MustParse("01011")
+	dst := config.New(5)
+	s.Map(dst, src)
+	want := src.Clone()
+	a.Sweep(want, []int{4, 2, 0, 1, 3})
+	if !dst.Equal(want) {
+		t.Errorf("Map %s, manual sweep %s", dst.String(), want.String())
+	}
+	if src.String() != "01011" {
+		t.Error("Map mutated src")
+	}
+}
+
+func TestFunctionTableIsTotal(t *testing.T) {
+	a := majAutomaton(t, space.Ring(5, 1))
+	s := MustNew(a, []int{0, 1, 2, 3, 4})
+	table := s.FunctionTable()
+	if len(table) != 32 {
+		t.Fatalf("table size %d", len(table))
+	}
+	dst := config.New(5)
+	config.Space(5, func(idx uint64, c config.Config) {
+		s.Map(dst, c)
+		if uint64(table[idx]) != dst.Index() {
+			t.Errorf("table[%d] = %d, Map gives %d", idx, table[idx], dst.Index())
+		}
+	})
+}
+
+func TestGardenOfEdenMajorityRing(t *testing.T) {
+	a := majAutomaton(t, space.Ring(6, 1))
+	s := MustNew(a, []int{0, 1, 2, 3, 4, 5})
+	goe := s.GardenOfEden()
+	if len(goe) == 0 {
+		t.Fatal("majority SDS should have Garden-of-Eden states")
+	}
+	// Every GoE state must indeed have no preimage.
+	table := s.FunctionTable()
+	for _, g := range goe {
+		for x, y := range table {
+			if uint64(y) == g {
+				t.Errorf("state %d has preimage %d, not GoE", g, x)
+			}
+		}
+	}
+	// The alternating configuration is a GoE state for the identity sweep:
+	// majority sweeps immediately destroy alternation, and nothing maps to it.
+	found := false
+	alt := config.Alternating(6, 0).Index()
+	for _, g := range goe {
+		if g == alt {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("alternating configuration expected to be Garden-of-Eden")
+	}
+}
+
+func TestFixedPointsSharedAcrossOrders(t *testing.T) {
+	a := majAutomaton(t, space.Ring(5, 1))
+	fps := FixedPointsShared(a)
+	// Every fixed point is fixed by every sweep order.
+	update.Permutations(5, func(perm []int) {
+		s := MustNew(a, perm)
+		dst := config.New(5)
+		for _, x := range fps {
+			c := config.FromIndex(x, 5)
+			s.Map(dst, c)
+			if !dst.Equal(c) {
+				t.Fatalf("FP %d not fixed under sweep %v", x, perm)
+			}
+		}
+	})
+	// And non-FPs are moved by at least one order (here: any order moves a
+	// non-FP at its first changing node… verify weaker: table disagrees
+	// somewhere).
+	s := MustNew(a, []int{0, 1, 2, 3, 4})
+	table := s.FunctionTable()
+	for x := uint64(0); x < 32; x++ {
+		isFP := false
+		for _, f := range fps {
+			if f == x {
+				isFP = true
+			}
+		}
+		if !isFP && uint64(table[x]) == x {
+			// A configuration fixed by this sweep but not a true FP would
+			// contradict the "sequential FP ⇔ parallel FP" fact.
+			t.Errorf("config %d fixed by identity sweep but not a global FP", x)
+		}
+	}
+}
+
+func TestCanonicalizeInvariantUnderAllowedSwap(t *testing.T) {
+	sp := space.Ring(5, 1)
+	// Nodes 0 and 2 are non-adjacent on the 5-ring: swapping them as
+	// consecutive entries preserves the class.
+	p1 := []int{0, 2, 1, 3, 4}
+	p2 := []int{2, 0, 1, 3, 4}
+	c1 := fmt.Sprint(Canonicalize(sp, p1))
+	c2 := fmt.Sprint(Canonicalize(sp, p2))
+	if c1 != c2 {
+		t.Errorf("commuting swap changed canonical form: %s vs %s", c1, c2)
+	}
+	// Nodes 0 and 1 are adjacent: their order is part of the class identity.
+	p3 := []int{0, 1, 2, 3, 4}
+	p4 := []int{1, 0, 2, 3, 4}
+	if fmt.Sprint(Canonicalize(sp, p3)) == fmt.Sprint(Canonicalize(sp, p4)) {
+		t.Error("non-commuting swap did not change canonical form")
+	}
+}
+
+func TestCanonicalFormSameSDSMap(t *testing.T) {
+	// Permutations with equal canonical form must induce identical maps.
+	a := majAutomaton(t, space.Ring(5, 1))
+	sp := a.Space()
+	byCanon := map[string]string{}
+	update.Permutations(5, func(perm []int) {
+		canon := fmt.Sprint(Canonicalize(sp, perm))
+		table := fmt.Sprint(MustNew(a, perm).FunctionTable())
+		if prev, ok := byCanon[canon]; ok {
+			if prev != table {
+				t.Fatalf("same canonical form %s but different maps", canon)
+			}
+		} else {
+			byCanon[canon] = table
+		}
+	})
+}
+
+func TestEquivalenceClassesEqualAcyclicOrientations(t *testing.T) {
+	cases := []struct {
+		name string
+		sp   space.Space
+		want uint64 // known a(G); 0 = just compare the two computations
+	}{
+		{"ring4", space.Ring(4, 1), 14}, // a(C_4) = 2^4 − 2
+		{"ring5", space.Ring(5, 1), 30}, // a(C_5) = 2^5 − 2
+		{"ring6", space.Ring(6, 1), 62}, // a(C_6) = 2^6 − 2
+		{"complete3", space.CompleteGraph(3), 6},
+		{"complete4", space.CompleteGraph(4), 24},
+		{"line4", space.Line(4, 1), 8}, // path P_4: a = 2^3
+	}
+	for _, c := range cases {
+		got := AcyclicOrientations(c.sp)
+		if c.want != 0 && got != c.want {
+			t.Errorf("%s: a(G) = %d, want %d", c.name, got, c.want)
+		}
+		if cl := EquivalenceClasses(c.sp); uint64(cl) != got {
+			t.Errorf("%s: %d trace classes but %d acyclic orientations", c.name, cl, got)
+		}
+	}
+}
+
+func TestDistinctMapsBoundedByClasses(t *testing.T) {
+	for _, n := range []int{4, 5, 6} {
+		sp := space.Ring(n, 1)
+		a := majAutomaton(t, sp)
+		count, reps := DistinctMaps(a)
+		classes := EquivalenceClasses(sp)
+		if count > classes {
+			t.Errorf("n=%d: %d distinct maps exceeds %d classes (ref [6] bound)", n, count, classes)
+		}
+		if len(reps) != count {
+			t.Errorf("n=%d: %d reps for %d maps", n, len(reps), count)
+		}
+		if count < 2 {
+			t.Errorf("n=%d: expected multiple distinct majority SDS maps, got %d", n, count)
+		}
+	}
+}
+
+func TestChromaticPolynomialKnownValues(t *testing.T) {
+	// χ_{C_4}(k) = (k−1)^4 + (k−1); at k=3: 16+2 = 18.
+	if got := ChromaticPolynomialAt(space.Ring(4, 1), 3); got != 18 {
+		t.Errorf("χ_{C4}(3) = %d, want 18", got)
+	}
+	// χ_{K_3}(k) = k(k−1)(k−2); at k=3: 6.
+	if got := ChromaticPolynomialAt(space.CompleteGraph(3), 3); got != 6 {
+		t.Errorf("χ_{K3}(3) = %d, want 6", got)
+	}
+	// Path P_3: k(k−1)^2 at k=2: 2.
+	if got := ChromaticPolynomialAt(space.Line(3, 1), 2); got != 2 {
+		t.Errorf("χ_{P3}(2) = %d, want 2", got)
+	}
+	// Chromatic polynomial of any graph with an edge vanishes at k=1 when
+	// the graph has an edge... only for non-bipartite at k=2; use K_3:
+	if got := ChromaticPolynomialAt(space.CompleteGraph(3), 2); got != 0 {
+		t.Errorf("χ_{K3}(2) = %d, want 0", got)
+	}
+}
+
+func TestSyDSDelegates(t *testing.T) {
+	a := majAutomaton(t, space.Ring(6, 1))
+	src := config.Alternating(6, 0)
+	d1, d2 := config.New(6), config.New(6)
+	SyDS(a, d1, src)
+	a.Step(d2, src)
+	if !d1.Equal(d2) {
+		t.Error("SyDS differs from Step")
+	}
+}
+
+func TestSDSOverIrregularGraph(t *testing.T) {
+	// A star graph: center node 0 with 4 leaves, threshold rule (arity-free).
+	sp, err := space.FromEdges(5, [][2]int{{0, 1}, {0, 2}, {0, 3}, {0, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := automaton.MustNew(sp, rule.Threshold{K: 2})
+	s := MustNew(a, []int{0, 1, 2, 3, 4})
+	dst := config.New(5)
+	s.Map(dst, config.MustParse("01100"))
+	// Center sees (self=0, leaves 1,1,0,0) → 2 ones ≥ 2 → 1. Then each leaf
+	// sees (self, center=1): leaf1: (1,1)→2 ≥2→1; leaf2 same; leaf3: (0,1)→1 <2→0.
+	if dst.String() != "11100" {
+		t.Errorf("star sweep = %s, want 11100", dst.String())
+	}
+	// a(star_5) = |χ(−1)| = |(−1)(−2)^4| = 16.
+	if got := AcyclicOrientations(sp); got != 16 {
+		t.Errorf("a(star) = %d, want 16", got)
+	}
+}
+
+func BenchmarkFunctionTableRing8(b *testing.B) {
+	a := majAutomaton(b, space.Ring(8, 1))
+	s := MustNew(a, []int{0, 1, 2, 3, 4, 5, 6, 7})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.FunctionTable()
+	}
+}
+
+func BenchmarkAcyclicOrientationsRing8(b *testing.B) {
+	sp := space.Ring(8, 1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		AcyclicOrientations(sp)
+	}
+}

@@ -1,0 +1,226 @@
+// Package sim is the high-performance synchronous simulator for 1-D
+// threshold rings: the "massively parallel computer" reading of CA that the
+// paper's introduction invokes (ref [7]).
+//
+// Configurations are bit-packed 64 cells per word. One synchronous step of a
+// radius-r threshold rule is computed from the 2r+1 ring rotations of the
+// configuration with a bit-sliced ripple-carry popcount and a bitwise
+// comparator, so every machine word updates 64 cells at once; for the
+// canonical radius-1 MAJORITY the dedicated kernel
+// (l AND c) OR (l AND r) OR (c AND r) is used. Steps can additionally be
+// chunked across goroutines. A scalar reference engine (package automaton)
+// pins the kernels down by differential testing.
+package sim
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/bitvec"
+	"repro/internal/config"
+)
+
+// maxRadius bounds the bit-sliced popcount to 4 planes (2r+1 ≤ 15).
+const maxRadius = 7
+
+// Ring is a packed synchronous simulator of a k-of-(2r+1) threshold rule on
+// an n-cell ring with circular boundary conditions.
+type Ring struct {
+	n, r, k int
+	cur     *bitvec.Vector
+	next    *bitvec.Vector
+	rots    []*bitvec.Vector // rotations of cur by −r..+r (slot r aliases cur)
+	steps   uint64
+}
+
+// NewRing returns a packed simulator for threshold K-of-(2r+1) (MAJORITY
+// when k = r+1) on n cells, initialized to x0 (which may be nil for the
+// quiescent start).
+func NewRing(n, r, k int, x0 config.Config) *Ring {
+	if n < 3 || r < 1 || r > maxRadius || n <= 2*r {
+		panic(fmt.Sprintf("sim: invalid ring n=%d r=%d", n, r))
+	}
+	if k < 0 || k > 2*r+2 {
+		panic(fmt.Sprintf("sim: threshold k=%d out of range for %d inputs", k, 2*r+1))
+	}
+	s := &Ring{n: n, r: r, k: k, cur: bitvec.New(n), next: bitvec.New(n)}
+	if x0.Vector() != nil {
+		if x0.N() != n {
+			panic(fmt.Sprintf("sim: config size %d for %d cells", x0.N(), n))
+		}
+		s.cur.CopyFrom(x0.Vector())
+	}
+	s.rots = make([]*bitvec.Vector, 2*r+1)
+	for i := range s.rots {
+		if i == r {
+			s.rots[i] = s.cur // offset 0
+		} else {
+			s.rots[i] = bitvec.New(n)
+		}
+	}
+	return s
+}
+
+// NewMajorityRing is NewRing with the MAJORITY threshold r+1.
+func NewMajorityRing(n, r int, x0 config.Config) *Ring {
+	return NewRing(n, r, r+1, x0)
+}
+
+// N returns the cell count.
+func (s *Ring) N() int { return s.n }
+
+// Steps returns the number of synchronous steps taken.
+func (s *Ring) Steps() uint64 { return s.steps }
+
+// Config returns a copy of the current configuration.
+func (s *Ring) Config() config.Config {
+	return config.Wrap(s.cur.Clone())
+}
+
+// SetConfig overwrites the current configuration.
+func (s *Ring) SetConfig(x config.Config) {
+	s.cur.CopyFrom(x.Vector())
+}
+
+// Step advances one synchronous step single-threadedly.
+func (s *Ring) Step() { s.step(1) }
+
+// StepParallel advances one synchronous step with the word-combine loop
+// split over workers goroutines (≤ 0 selects GOMAXPROCS). Identical output
+// to Step.
+func (s *Ring) StepParallel(workers int) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	s.step(workers)
+}
+
+func (s *Ring) step(workers int) {
+	// Materialize the 2r+1 rotations. dst bit i = cur bit (i+d mod n).
+	for d := -s.r; d <= s.r; d++ {
+		if d == 0 {
+			continue
+		}
+		s.cur.RotateInto(s.rots[d+s.r], d)
+	}
+	words := s.cur.Words()
+	nw := len(words)
+	if workers > nw {
+		workers = nw
+	}
+	if workers <= 1 {
+		s.combine(0, nw)
+	} else {
+		var wg sync.WaitGroup
+		chunk := (nw + workers - 1) / workers
+		for lo := 0; lo < nw; lo += chunk {
+			hi := lo + chunk
+			if hi > nw {
+				hi = nw
+			}
+			wg.Add(1)
+			go func(lo, hi int) {
+				defer wg.Done()
+				s.combine(lo, hi)
+			}(lo, hi)
+		}
+		wg.Wait()
+	}
+	s.next.Normalize()
+	s.cur, s.next = s.next, s.cur
+	// keep rots[r] aliased to the (new) cur
+	s.rots[s.r] = s.cur
+	s.steps++
+}
+
+// combine computes next-state words in [lo, hi).
+func (s *Ring) combine(lo, hi int) {
+	out := s.next.Words()
+	if s.r == 1 && s.k == 2 {
+		// Dedicated MAJORITY-of-3 kernel.
+		l := s.rots[0].Words()
+		c := s.rots[1].Words()
+		rr := s.rots[2].Words()
+		for w := lo; w < hi; w++ {
+			lw, cw, rw := l[w], c[w], rr[w]
+			out[w] = lw&cw | lw&rw | cw&rw
+		}
+		return
+	}
+	m := 2*s.r + 1
+	lanes := make([][]uint64, m)
+	for i := range lanes {
+		lanes[i] = s.rots[i].Words()
+	}
+	// Constant-k comparator masks per bit plane (4 planes cover sums ≤ 15).
+	for w := lo; w < hi; w++ {
+		var s0, s1, s2, s3 uint64
+		for i := 0; i < m; i++ {
+			b := lanes[i][w]
+			// ripple-carry add of the one-bit lane b into (s3 s2 s1 s0)
+			c0 := s0 & b
+			s0 ^= b
+			c1 := s1 & c0
+			s1 ^= c0
+			c2 := s2 & c1
+			s2 ^= c1
+			s3 ^= c2
+		}
+		out[w] = geConst([4]uint64{s0, s1, s2, s3}, s.k)
+	}
+}
+
+// geConst returns, bitwise per lane, whether the 4-bit bit-sliced counter is
+// ≥ k (0 ≤ k ≤ 16; k ≥ 16 yields all-zero, k ≤ 0 all-one).
+func geConst(planes [4]uint64, k int) uint64 {
+	if k <= 0 {
+		return ^uint64(0)
+	}
+	if k > 15 {
+		return 0
+	}
+	gt := uint64(0)
+	eq := ^uint64(0)
+	for bit := 3; bit >= 0; bit-- {
+		sv := planes[bit]
+		var kv uint64
+		if k>>uint(bit)&1 == 1 {
+			kv = ^uint64(0)
+		}
+		gt |= eq & sv &^ kv
+		eq &^= sv ^ kv
+	}
+	return gt | eq
+}
+
+// Run advances steps synchronous steps with the given worker count.
+func (s *Ring) Run(steps, workers int) {
+	for i := 0; i < steps; i++ {
+		if workers <= 1 {
+			s.Step()
+		} else {
+			s.StepParallel(workers)
+		}
+	}
+}
+
+// FindPeriod steps the simulator until the configuration repeats with
+// period 1 or 2 (Proposition 1 guarantees this for thresholds) or maxSteps
+// elapse. It returns (transient, period, true) on success.
+func (s *Ring) FindPeriod(maxSteps int) (transient, period int, ok bool) {
+	prev := s.cur.Clone()
+	prev2 := bitvec.New(s.n)
+	for t := 0; t < maxSteps; t++ {
+		prev2.CopyFrom(prev)
+		prev.CopyFrom(s.cur)
+		s.Step()
+		if s.cur.Equal(prev) {
+			return t, 1, true
+		}
+		if t >= 1 && s.cur.Equal(prev2) {
+			return t - 1, 2, true
+		}
+	}
+	return maxSteps, 0, false
+}

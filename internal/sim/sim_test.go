@@ -1,0 +1,274 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/automaton"
+	"repro/internal/config"
+	"repro/internal/rule"
+	"repro/internal/space"
+)
+
+// scalarStep computes one step with the scalar reference engine.
+func scalarStep(t testing.TB, n, r, k int, src config.Config) config.Config {
+	t.Helper()
+	a, err := automaton.New(space.Ring(n, r), rule.Threshold{K: k})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := config.New(n)
+	a.Step(dst, src)
+	return dst
+}
+
+func TestMajorityKernelMatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{64, 128, 65, 100, 1000, 67} {
+		src := config.Random(rng, n, 0.5)
+		s := NewMajorityRing(n, 1, src)
+		s.Step()
+		want := scalarStep(t, n, 1, 2, src)
+		if !s.Config().Equal(want) {
+			t.Errorf("n=%d: packed majority differs from scalar", n)
+		}
+	}
+}
+
+func TestGenericThresholdMatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, spec := range []struct{ n, r, k int }{
+		{64, 2, 3}, {100, 2, 3}, {128, 3, 4}, {96, 2, 1}, {96, 2, 5},
+		{70, 1, 0}, {70, 1, 4}, {512, 4, 5}, {65, 7, 8}, {200, 5, 6},
+	} {
+		src := config.Random(rng, spec.n, 0.5)
+		s := NewRing(spec.n, spec.r, spec.k, src)
+		s.Step()
+		want := scalarStep(t, spec.n, spec.r, spec.k, src)
+		if !s.Config().Equal(want) {
+			t.Errorf("n=%d r=%d k=%d: packed differs from scalar", spec.n, spec.r, spec.k)
+		}
+	}
+}
+
+func TestMultiStepMatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	n := 257
+	src := config.Random(rng, n, 0.4)
+	s := NewMajorityRing(n, 1, src)
+	a := automaton.MustNew(space.Ring(n, 1), rule.Majority(1))
+	want := src.Clone()
+	tmp := config.New(n)
+	for step := 0; step < 20; step++ {
+		s.Step()
+		a.Step(tmp, want)
+		want, tmp = tmp, want
+		if !s.Config().Equal(want) {
+			t.Fatalf("step %d: divergence", step)
+		}
+	}
+	if s.Steps() != 20 {
+		t.Errorf("Steps = %d", s.Steps())
+	}
+}
+
+func TestStepParallelMatchesStep(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for _, n := range []int{64, 1024, 4096 + 64} {
+		src := config.Random(rng, n, 0.5)
+		s1 := NewMajorityRing(n, 1, src)
+		s2 := NewMajorityRing(n, 1, src)
+		for step := 0; step < 5; step++ {
+			s1.Step()
+			s2.StepParallel(4)
+			if !s1.Config().Equal(s2.Config()) {
+				t.Fatalf("n=%d step %d: parallel combine differs", n, step)
+			}
+		}
+	}
+}
+
+func TestTwoCycleOnAlternating(t *testing.T) {
+	n := 1 << 12
+	s := NewMajorityRing(n, 1, config.Alternating(n, 0))
+	s.Step()
+	if !s.Config().Equal(config.Alternating(n, 1)) {
+		t.Fatal("one step should flip the alternation")
+	}
+	s.Step()
+	if !s.Config().Equal(config.Alternating(n, 0)) {
+		t.Fatal("two steps should return (Lemma 1(i) at scale)")
+	}
+}
+
+func TestBlockTwoCycleRadiusR(t *testing.T) {
+	// Corollary 1 at scale: 0^r 1^r blocks oscillate under radius-r MAJORITY
+	// when n is a multiple of 2r.
+	for _, r := range []int{1, 2, 3, 4} {
+		n := 2 * r * 512
+		s := NewMajorityRing(n, r, config.AlternatingBlocks(n, r, 0))
+		s.Step()
+		if !s.Config().Equal(config.AlternatingBlocks(n, r, 1)) {
+			t.Errorf("r=%d: block pattern did not flip", r)
+			continue
+		}
+		s.Step()
+		if !s.Config().Equal(config.AlternatingBlocks(n, r, 0)) {
+			t.Errorf("r=%d: block pattern did not return", r)
+		}
+	}
+}
+
+func TestFindPeriodFixedPoint(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	n := 2048
+	// Sparse random configs die to all-zero quickly.
+	src := config.Random(rng, n, 0.05)
+	s := NewMajorityRing(n, 1, src)
+	transient, period, ok := s.FindPeriod(1000)
+	if !ok || period != 1 {
+		t.Fatalf("sparse config: transient=%d period=%d ok=%v", transient, period, ok)
+	}
+}
+
+func TestFindPeriodTwoCycle(t *testing.T) {
+	n := 512
+	s := NewMajorityRing(n, 1, config.Alternating(n, 0))
+	transient, period, ok := s.FindPeriod(100)
+	if !ok || period != 2 || transient != 0 {
+		t.Fatalf("alternating: transient=%d period=%d ok=%v", transient, period, ok)
+	}
+}
+
+func TestProposition1AtScale(t *testing.T) {
+	// Random large rings always settle into period ≤ 2.
+	rng := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 10; trial++ {
+		n := 1000 + rng.Intn(1000)
+		s := NewMajorityRing(n, 1+rng.Intn(3), config.Random(rng, n, 0.5))
+		_, period, ok := s.FindPeriod(4 * n)
+		if !ok {
+			t.Fatalf("trial %d: did not settle", trial)
+		}
+		if period > 2 {
+			t.Fatalf("trial %d: period %d > 2", trial, period)
+		}
+	}
+}
+
+func TestSetConfigAndConfigCopy(t *testing.T) {
+	s := NewMajorityRing(64, 1, config.Config{})
+	c := s.Config()
+	if c.Ones() != 0 {
+		t.Fatal("default start should be quiescent")
+	}
+	c.Set(0, 1) // must not affect simulator state
+	if s.Config().Ones() != 0 {
+		t.Error("Config() exposed internal storage")
+	}
+	s.SetConfig(config.Alternating(64, 0))
+	if s.Config().Ones() != 32 {
+		t.Error("SetConfig failed")
+	}
+}
+
+func TestGeConst(t *testing.T) {
+	// Exhaustive check of the bitwise comparator over all 4-bit counts.
+	for k := 0; k <= 16; k++ {
+		for v := 0; v < 16; v++ {
+			var planes [4]uint64
+			for b := 0; b < 4; b++ {
+				if v>>uint(b)&1 == 1 {
+					planes[b] = 1 // lane 0 carries the value
+				}
+			}
+			got := geConst(planes, k) & 1
+			want := uint64(0)
+			if v >= k {
+				want = 1
+			}
+			if got != want {
+				t.Errorf("geConst(v=%d, k=%d) = %d, want %d", v, k, got, want)
+			}
+		}
+	}
+}
+
+func TestPackedQuick(t *testing.T) {
+	// Random configs, thresholds and radii against the scalar engine.
+	f := func(seed int64, rRaw, kRaw uint8, nRaw uint16) bool {
+		r := int(rRaw)%4 + 1
+		n := int(nRaw)%200 + 2*r + 1
+		k := int(kRaw) % (2*r + 3)
+		rng := rand.New(rand.NewSource(seed))
+		src := config.Random(rng, n, 0.5)
+		s := NewRing(n, r, k, src)
+		s.Step()
+		a, err := automaton.New(space.Ring(n, r), rule.Threshold{K: k})
+		if err != nil {
+			return false
+		}
+		dst := config.New(n)
+		a.Step(dst, src)
+		return s.Config().Equal(dst)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInvalidParamsPanic(t *testing.T) {
+	for name, f := range map[string]func(){
+		"radius0":   func() { NewRing(64, 0, 1, config.Config{}) },
+		"radiusBig": func() { NewRing(64, 8, 1, config.Config{}) },
+		"tooSmall":  func() { NewRing(4, 2, 3, config.Config{}) },
+		"badK":      func() { NewRing(64, 1, 9, config.Config{}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func benchStep(b *testing.B, n, r, workers int) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(1))
+	s := NewMajorityRing(n, r, config.Random(rng, n, 0.5))
+	b.SetBytes(int64(n / 8))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if workers <= 1 {
+			s.Step()
+		} else {
+			s.StepParallel(workers)
+		}
+	}
+}
+
+func BenchmarkPackedMajorityStep1M(b *testing.B)         { benchStep(b, 1<<20, 1, 1) }
+func BenchmarkPackedMajorityStep1MParallel(b *testing.B) { benchStep(b, 1<<20, 1, 0) }
+func BenchmarkPackedRadius3Step1M(b *testing.B)          { benchStep(b, 1<<20, 3, 1) }
+
+func BenchmarkScalarVsPackedAblation(b *testing.B) {
+	// The ablation DESIGN.md calls out: scalar engine on the same workload.
+	n := 1 << 16
+	rng := rand.New(rand.NewSource(1))
+	src := config.Random(rng, n, 0.5)
+	a := automaton.MustNew(space.Ring(n, 1), rule.Majority(1))
+	dst := config.New(n)
+	cur := src.Clone()
+	b.SetBytes(int64(n / 8))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.Step(dst, cur)
+		cur, dst = dst, cur
+	}
+}

@@ -1,0 +1,216 @@
+package sim
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/bitvec"
+	"repro/internal/config"
+)
+
+// Torus is a packed synchronous simulator of a k-of-5 threshold rule with
+// von Neumann neighborhoods (self + 4 axis neighbors) on a w×h torus —
+// the 2-D cellular spaces of Corollary 1's general form. Cell (x, y) is
+// node y·w + x, matching space.Torus, and each row is stored as a bit
+// vector so one machine word updates 64 cells.
+type Torus struct {
+	w, h, k int
+	rows    []*bitvec.Vector
+	next    []*bitvec.Vector
+	left    *bitvec.Vector // scratch: current row shifted
+	right   *bitvec.Vector
+	steps   uint64
+}
+
+// NewTorus returns a packed k-of-5 simulator on a w×h torus initialized to
+// x0 (zero value Config for the quiescent start). MAJORITY is k = 3.
+func NewTorus(w, h, k int, x0 config.Config) *Torus {
+	if w < 3 || h < 3 {
+		panic(fmt.Sprintf("sim: torus %dx%d too small", w, h))
+	}
+	if k < 0 || k > 6 {
+		panic(fmt.Sprintf("sim: torus threshold k=%d out of range", k))
+	}
+	t := &Torus{w: w, h: h, k: k,
+		rows: make([]*bitvec.Vector, h), next: make([]*bitvec.Vector, h),
+		left: bitvec.New(w), right: bitvec.New(w),
+	}
+	for y := 0; y < h; y++ {
+		t.rows[y] = bitvec.New(w)
+		t.next[y] = bitvec.New(w)
+	}
+	if x0.Vector() != nil {
+		if x0.N() != w*h {
+			panic(fmt.Sprintf("sim: config size %d for %dx%d torus", x0.N(), w, h))
+		}
+		t.SetConfig(x0)
+	}
+	return t
+}
+
+// NewMajorityTorus is NewTorus with the 3-of-5 MAJORITY rule.
+func NewMajorityTorus(w, h int, x0 config.Config) *Torus { return NewTorus(w, h, 3, x0) }
+
+// W and H return the torus dimensions; N the cell count.
+func (t *Torus) W() int { return t.w }
+
+// H returns the height.
+func (t *Torus) H() int { return t.h }
+
+// N returns the number of cells.
+func (t *Torus) N() int { return t.w * t.h }
+
+// Steps returns the synchronous step count so far.
+func (t *Torus) Steps() uint64 { return t.steps }
+
+// SetConfig loads a flat configuration (node y·w + x).
+func (t *Torus) SetConfig(x0 config.Config) {
+	for y := 0; y < t.h; y++ {
+		for x := 0; x < t.w; x++ {
+			t.rows[y].SetBit(x, x0.Get(y*t.w+x))
+		}
+	}
+}
+
+// Config returns a copy of the current configuration, flattened.
+func (t *Torus) Config() config.Config {
+	out := config.New(t.w * t.h)
+	for y := 0; y < t.h; y++ {
+		for x := 0; x < t.w; x++ {
+			out.Set(y*t.w+x, t.rows[y].Bit(x))
+		}
+	}
+	return out
+}
+
+// Step advances one synchronous step single-threadedly.
+func (t *Torus) Step() { t.step(1) }
+
+// StepParallel advances one synchronous step with rows chunked across
+// workers goroutines (≤ 0 selects GOMAXPROCS); output identical to Step.
+func (t *Torus) StepParallel(workers int) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	t.step(workers)
+}
+
+func (t *Torus) step(workers int) {
+	if workers > t.h {
+		workers = t.h
+	}
+	if workers <= 1 {
+		// Reuse the shared scratch vectors on the single-threaded path.
+		for y := 0; y < t.h; y++ {
+			t.stepRow(y, t.left, t.right)
+		}
+	} else {
+		var wg sync.WaitGroup
+		chunk := (t.h + workers - 1) / workers
+		for lo := 0; lo < t.h; lo += chunk {
+			hi := lo + chunk
+			if hi > t.h {
+				hi = t.h
+			}
+			wg.Add(1)
+			go func(lo, hi int) {
+				defer wg.Done()
+				l, r := bitvec.New(t.w), bitvec.New(t.w)
+				for y := lo; y < hi; y++ {
+					t.stepRow(y, l, r)
+				}
+			}(lo, hi)
+		}
+		wg.Wait()
+	}
+	t.rows, t.next = t.next, t.rows
+	t.steps++
+}
+
+// stepRow computes next[y] from rows[y−1], rows[y], rows[y+1].
+func (t *Torus) stepRow(y int, l, r *bitvec.Vector) {
+	up := t.rows[((y-1)+t.h)%t.h].Words()
+	down := t.rows[(y+1)%t.h].Words()
+	cur := t.rows[y]
+	// Left neighbor of x is x−1: lane bit x = row bit (x−1) → rotate by −1.
+	cur.RotateInto(l, -1)
+	cur.RotateInto(r, 1)
+	lw, rw, cw := l.Words(), r.Words(), cur.Words()
+	out := t.next[y].Words()
+	if t.k == 3 {
+		// Dedicated 3-of-5 majority kernel.
+		for wi := range out {
+			out[wi] = majority5(lw[wi], rw[wi], cw[wi], up[wi], down[wi])
+		}
+	} else {
+		for wi := range out {
+			var s0, s1, s2 uint64
+			for _, b := range [5]uint64{lw[wi], rw[wi], cw[wi], up[wi], down[wi]} {
+				c0 := s0 & b
+				s0 ^= b
+				c1 := s1 & c0
+				s1 ^= c0
+				s2 ^= c1
+			}
+			out[wi] = geConst([4]uint64{s0, s1, s2, 0}, t.k)
+		}
+	}
+	t.next[y].Normalize()
+}
+
+// majority5 returns, lane-wise, whether ≥ 3 of the 5 one-bit inputs are 1,
+// via a full bit-sliced adder (sum in 3 planes) and the ≥3 comparator
+// s2 | (s1 & s0) … with 5 inputs the sum is at most 5 = 101₂:
+// sum ≥ 3 ⇔ s2 ∨ (s1 ∧ s0).
+func majority5(a, b, c, d, e uint64) uint64 {
+	var s0, s1, s2 uint64
+	for _, x := range [5]uint64{a, b, c, d, e} {
+		c0 := s0 & x
+		s0 ^= x
+		c1 := s1 & c0
+		s1 ^= c0
+		s2 ^= c1
+	}
+	return s2 | s1&s0
+}
+
+// FindPeriod steps until the configuration repeats with period 1 or 2, or
+// maxSteps elapse.
+func (t *Torus) FindPeriod(maxSteps int) (transient, period int, ok bool) {
+	prev := t.snapshot()
+	var prev2 []uint64
+	for step := 0; step < maxSteps; step++ {
+		prev2 = prev
+		prev = t.snapshot()
+		t.Step()
+		cur := t.snapshot()
+		if equalWords(cur, prev) {
+			return step, 1, true
+		}
+		if step >= 1 && equalWords(cur, prev2) {
+			return step - 1, 2, true
+		}
+	}
+	return maxSteps, 0, false
+}
+
+func (t *Torus) snapshot() []uint64 {
+	var out []uint64
+	for _, r := range t.rows {
+		out = append(out, r.Words()...)
+	}
+	return out
+}
+
+func equalWords(a, b []uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

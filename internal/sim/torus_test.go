@@ -1,0 +1,180 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/automaton"
+	"repro/internal/config"
+	"repro/internal/rule"
+	"repro/internal/space"
+)
+
+// torusScalarStep computes one step with the scalar reference engine on the
+// matching space.Torus.
+func torusScalarStep(t testing.TB, w, h, k int, src config.Config) config.Config {
+	t.Helper()
+	a, err := automaton.New(space.Torus(w, h), rule.Threshold{K: k})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := config.New(w * h)
+	a.Step(dst, src)
+	return dst
+}
+
+func TestTorusMajorityMatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, spec := range []struct{ w, h int }{{8, 8}, {64, 4}, {65, 5}, {100, 7}, {3, 3}} {
+		src := config.Random(rng, spec.w*spec.h, 0.5)
+		s := NewMajorityTorus(spec.w, spec.h, src)
+		s.Step()
+		want := torusScalarStep(t, spec.w, spec.h, 3, src)
+		if !s.Config().Equal(want) {
+			t.Errorf("%dx%d: packed torus majority differs from scalar", spec.w, spec.h)
+		}
+	}
+}
+
+func TestTorusGenericThresholdMatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, k := range []int{0, 1, 2, 4, 5, 6} {
+		w, h := 32, 6
+		src := config.Random(rng, w*h, 0.5)
+		s := NewTorus(w, h, k, src)
+		s.Step()
+		want := torusScalarStep(t, w, h, k, src)
+		if !s.Config().Equal(want) {
+			t.Errorf("k=%d: packed torus differs from scalar", k)
+		}
+	}
+}
+
+func TestTorusMultiStepMatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	w, h := 33, 9
+	src := config.Random(rng, w*h, 0.4)
+	s := NewMajorityTorus(w, h, src)
+	a := automaton.MustNew(space.Torus(w, h), rule.Threshold{K: 3})
+	want := src.Clone()
+	tmp := config.New(w * h)
+	for step := 0; step < 10; step++ {
+		s.Step()
+		a.Step(tmp, want)
+		want, tmp = tmp, want
+		if !s.Config().Equal(want) {
+			t.Fatalf("step %d: divergence", step)
+		}
+	}
+}
+
+func TestTorusStepParallelMatchesStep(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	w, h := 64, 16
+	src := config.Random(rng, w*h, 0.5)
+	s1 := NewMajorityTorus(w, h, src)
+	s2 := NewMajorityTorus(w, h, src)
+	for step := 0; step < 5; step++ {
+		s1.Step()
+		s2.StepParallel(4)
+		if !s1.Config().Equal(s2.Config()) {
+			t.Fatalf("step %d: parallel rows differ", step)
+		}
+	}
+}
+
+func TestTorusCheckerboardTwoCycle(t *testing.T) {
+	// Corollary 1 on the bipartite even×even torus: the checkerboard
+	// bipartition configuration oscillates with period 2.
+	for _, spec := range []struct{ w, h int }{{8, 8}, {64, 32}} {
+		sp := space.Torus(spec.w, spec.h)
+		part, ok := space.Bipartition(sp)
+		if !ok {
+			t.Fatalf("%dx%d torus not bipartite", spec.w, spec.h)
+		}
+		x0 := config.FromParts(part)
+		s := NewMajorityTorus(spec.w, spec.h, x0)
+		s.Step()
+		if !s.Config().Equal(x0.Complement()) {
+			t.Fatalf("%dx%d: checkerboard did not flip", spec.w, spec.h)
+		}
+		s.Step()
+		if !s.Config().Equal(x0) {
+			t.Fatalf("%dx%d: checkerboard did not return", spec.w, spec.h)
+		}
+	}
+}
+
+func TestTorusFindPeriod(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	// Random starts settle into period ≤ 2 (Proposition 1 in 2-D).
+	for trial := 0; trial < 5; trial++ {
+		w, h := 32, 32
+		s := NewMajorityTorus(w, h, config.Random(rng, w*h, 0.5))
+		_, period, ok := s.FindPeriod(4 * w * h)
+		if !ok {
+			t.Fatalf("trial %d: torus did not settle", trial)
+		}
+		if period > 2 {
+			t.Fatalf("trial %d: period %d > 2", trial, period)
+		}
+	}
+	// Checkerboard: immediate period 2.
+	sp := space.Torus(8, 8)
+	part, _ := space.Bipartition(sp)
+	s := NewMajorityTorus(8, 8, config.FromParts(part))
+	transient, period, ok := s.FindPeriod(100)
+	if !ok || period != 2 || transient != 0 {
+		t.Fatalf("checkerboard: transient=%d period=%d ok=%v", transient, period, ok)
+	}
+}
+
+func TestTorusValidation(t *testing.T) {
+	for name, f := range map[string]func(){
+		"tiny":  func() { NewTorus(2, 8, 3, config.Config{}) },
+		"badK":  func() { NewTorus(8, 8, 7, config.Config{}) },
+		"wrong": func() { NewTorus(8, 8, 3, config.New(3)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestMajority5Exhaustive(t *testing.T) {
+	for v := 0; v < 32; v++ {
+		ones := 0
+		var in [5]uint64
+		for b := 0; b < 5; b++ {
+			if v>>uint(b)&1 == 1 {
+				in[b] = 1
+				ones++
+			}
+		}
+		got := majority5(in[0], in[1], in[2], in[3], in[4]) & 1
+		want := uint64(0)
+		if ones >= 3 {
+			want = 1
+		}
+		if got != want {
+			t.Errorf("majority5 of %05b = %d, want %d", v, got, want)
+		}
+	}
+}
+
+func BenchmarkTorusMajorityStep1M(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	w, h := 1024, 1024
+	s := NewMajorityTorus(w, h, config.Random(rng, w*h, 0.5))
+	b.SetBytes(int64(w * h / 8))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Step()
+	}
+}

@@ -1,0 +1,448 @@
+// Package space models cellular spaces: the "hardware" of a cellular
+// automaton in the sense of Garzon (paper Definition 1 — a regular graph plus
+// a finite state set; here the state set is always Boolean and implicit).
+//
+// A Space is a finite graph together with, for every node, an ordered
+// fundamental neighborhood. The ordering matters: rules that are not
+// symmetric (e.g. truth-table rules) interpret neighborhood slots
+// positionally. For CA *with memory* the node itself is included in its own
+// neighborhood (paper Definition 2); all constructors here produce
+// with-memory neighborhoods with the node in the middle slot for 1-D spaces,
+// and node-first for irregular graphs.
+//
+// The paper's default cellular space is the two-way infinite line; all of
+// its finite statements use rings (circular boundary conditions). Both are
+// provided, along with lines, 2-D grids/tori, hypercubes, circulant (Cayley)
+// graphs, and arbitrary finite graphs for the SDS/SyDS extensions of §4.
+package space
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Space is a finite cellular space: N nodes, each with an ordered
+// fundamental neighborhood.
+type Space interface {
+	// N returns the number of nodes.
+	N() int
+	// Neighborhood returns the ordered fundamental neighborhood of node i,
+	// including i itself (with-memory CA). Callers must not mutate the
+	// returned slice.
+	Neighborhood(i int) []int
+	// Degree returns the neighborhood size of node i (including i).
+	Degree(i int) int
+	// Name returns a short human-readable description.
+	Name() string
+}
+
+// Regular reports whether every node of s has the same neighborhood size,
+// and that common size. CA in the classical sense (paper Definition 1) live
+// on regular graphs; SDS (§4) relax this.
+func Regular(s Space) (degree int, ok bool) {
+	n := s.N()
+	if n == 0 {
+		return 0, true
+	}
+	d := s.Degree(0)
+	for i := 1; i < n; i++ {
+		if s.Degree(i) != d {
+			return 0, false
+		}
+	}
+	return d, true
+}
+
+// generic is a Space backed by explicit adjacency lists.
+type generic struct {
+	name string
+	nbhd [][]int
+}
+
+func (g *generic) N() int                   { return len(g.nbhd) }
+func (g *generic) Neighborhood(i int) []int { return g.nbhd[i] }
+func (g *generic) Degree(i int) int         { return len(g.nbhd[i]) }
+func (g *generic) Name() string             { return g.name }
+
+// FromNeighborhoods builds a space from explicit ordered neighborhoods.
+// Each neighborhoods[i] must contain i (with-memory convention) and only
+// valid node indices; duplicates are rejected.
+func FromNeighborhoods(name string, neighborhoods [][]int) (Space, error) {
+	n := len(neighborhoods)
+	for i, nb := range neighborhoods {
+		seen := make(map[int]bool, len(nb))
+		self := false
+		for _, j := range nb {
+			if j < 0 || j >= n {
+				return nil, fmt.Errorf("space: node %d has out-of-range neighbor %d", i, j)
+			}
+			if seen[j] {
+				return nil, fmt.Errorf("space: node %d lists neighbor %d twice", i, j)
+			}
+			seen[j] = true
+			if j == i {
+				self = true
+			}
+		}
+		if !self {
+			return nil, fmt.Errorf("space: node %d does not include itself (with-memory convention)", i)
+		}
+	}
+	return &generic{name: name, nbhd: neighborhoods}, nil
+}
+
+// Ring returns the 1-D cellular space on n nodes with circular boundary
+// conditions and radius r: the neighborhood of node i is
+// (i-r, …, i-1, i, i+1, …, i+r) mod n, ordered left-to-right. This is the
+// paper's finite stand-in for the two-way infinite line. It panics unless
+// n ≥ 1 and 0 ≤ r; neighborhoods wrap, and for n ≤ 2r the wrapped
+// neighborhood would repeat nodes, which is rejected.
+func Ring(n, r int) Space {
+	if n < 1 || r < 0 {
+		panic(fmt.Sprintf("space: invalid ring n=%d r=%d", n, r))
+	}
+	if n <= 2*r && n > 1 {
+		panic(fmt.Sprintf("space: ring of %d nodes too small for radius %d", n, r))
+	}
+	nbhd := make([][]int, n)
+	for i := 0; i < n; i++ {
+		nb := make([]int, 0, 2*r+1)
+		for d := -r; d <= r; d++ {
+			nb = append(nb, ((i+d)%n+n)%n)
+		}
+		nbhd[i] = nb
+	}
+	return &generic{name: fmt.Sprintf("ring(n=%d,r=%d)", n, r), nbhd: nbhd}
+}
+
+// Line returns the 1-D cellular space on n nodes with fixed (non-wrapping)
+// boundaries and radius r. Border nodes have truncated neighborhoods, so a
+// line is generally not a regular space; symmetric rules still apply
+// naturally (they see fewer inputs at the edges).
+func Line(n, r int) Space {
+	if n < 1 || r < 0 {
+		panic(fmt.Sprintf("space: invalid line n=%d r=%d", n, r))
+	}
+	nbhd := make([][]int, n)
+	for i := 0; i < n; i++ {
+		lo, hi := i-r, i+r
+		if lo < 0 {
+			lo = 0
+		}
+		if hi > n-1 {
+			hi = n - 1
+		}
+		nb := make([]int, 0, hi-lo+1)
+		for j := lo; j <= hi; j++ {
+			nb = append(nb, j)
+		}
+		nbhd[i] = nb
+	}
+	return &generic{name: fmt.Sprintf("line(n=%d,r=%d)", n, r), nbhd: nbhd}
+}
+
+// Torus returns the 2-D cellular space on a w×h grid with wraparound
+// boundaries and von Neumann neighborhood (self + 4 axis neighbors).
+// Node (x, y) has index y*w + x.
+func Torus(w, h int) Space {
+	if w < 3 || h < 3 {
+		panic(fmt.Sprintf("space: torus %dx%d too small (need ≥3 per side)", w, h))
+	}
+	n := w * h
+	nbhd := make([][]int, n)
+	idx := func(x, y int) int { return ((y+h)%h)*w + (x+w)%w }
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			i := idx(x, y)
+			nbhd[i] = []int{idx(x, y-1), idx(x-1, y), i, idx(x+1, y), idx(x, y+1)}
+		}
+	}
+	return &generic{name: fmt.Sprintf("torus(%dx%d)", w, h), nbhd: nbhd}
+}
+
+// MooreTorus returns the 2-D cellular space on a w×h torus with Moore
+// neighborhoods (self + 8 surrounding cells). Node (x, y) has index
+// y·w + x; the neighborhood is ordered self-first, then the 8 neighbors
+// row-major from the top-left — the convention outer-totalistic rules
+// (rule.OuterTotalistic) expect.
+func MooreTorus(w, h int) Space {
+	if w < 3 || h < 3 {
+		panic(fmt.Sprintf("space: Moore torus %dx%d too small (need ≥3 per side)", w, h))
+	}
+	n := w * h
+	nbhd := make([][]int, n)
+	idx := func(x, y int) int { return ((y+h)%h)*w + (x+w)%w }
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			i := idx(x, y)
+			nb := make([]int, 0, 9)
+			nb = append(nb, i)
+			for dy := -1; dy <= 1; dy++ {
+				for dx := -1; dx <= 1; dx++ {
+					if dx == 0 && dy == 0 {
+						continue
+					}
+					nb = append(nb, idx(x+dx, y+dy))
+				}
+			}
+			nbhd[i] = nb
+		}
+	}
+	return &generic{name: fmt.Sprintf("moore-torus(%dx%d)", w, h), nbhd: nbhd}
+}
+
+// Grid returns the bounded (non-wrapping) w×h grid with von Neumann
+// neighborhoods; border nodes have truncated neighborhoods.
+func Grid(w, h int) Space {
+	if w < 1 || h < 1 {
+		panic(fmt.Sprintf("space: invalid grid %dx%d", w, h))
+	}
+	n := w * h
+	nbhd := make([][]int, n)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			i := y*w + x
+			nb := []int{}
+			if y > 0 {
+				nb = append(nb, (y-1)*w+x)
+			}
+			if x > 0 {
+				nb = append(nb, y*w+x-1)
+			}
+			nb = append(nb, i)
+			if x < w-1 {
+				nb = append(nb, y*w+x+1)
+			}
+			if y < h-1 {
+				nb = append(nb, (y+1)*w+x)
+			}
+			nbhd[i] = nb
+		}
+	}
+	return &generic{name: fmt.Sprintf("grid(%dx%d)", w, h), nbhd: nbhd}
+}
+
+// Hypercube returns the d-dimensional Boolean hypercube Q_d on 2^d nodes;
+// node i's neighbors are the d indices differing from i in one bit. The
+// paper's Corollary 1 discussion names hypercube CA explicitly.
+func Hypercube(d int) Space {
+	if d < 1 || d > 20 {
+		panic(fmt.Sprintf("space: invalid hypercube dimension %d", d))
+	}
+	n := 1 << uint(d)
+	nbhd := make([][]int, n)
+	for i := 0; i < n; i++ {
+		nb := make([]int, 0, d+1)
+		nb = append(nb, i)
+		for b := 0; b < d; b++ {
+			nb = append(nb, i^(1<<uint(b)))
+		}
+		nbhd[i] = nb
+	}
+	return &generic{name: fmt.Sprintf("hypercube(d=%d)", d), nbhd: nbhd}
+}
+
+// Circulant returns the circulant (Cayley) graph on n nodes with the given
+// positive connection offsets: node i is adjacent to i±o (mod n) for each
+// offset o. Offsets must lie in [1, n/2]. Ring(n, r) equals
+// Circulant(n, 1..r).
+func Circulant(n int, offsets ...int) Space {
+	if n < 3 {
+		panic(fmt.Sprintf("space: circulant needs n≥3, got %d", n))
+	}
+	seen := map[int]bool{}
+	for _, o := range offsets {
+		if o < 1 || o > n/2 {
+			panic(fmt.Sprintf("space: circulant offset %d out of range [1,%d]", o, n/2))
+		}
+		if seen[o] {
+			panic(fmt.Sprintf("space: duplicate circulant offset %d", o))
+		}
+		seen[o] = true
+	}
+	sorted := append([]int(nil), offsets...)
+	sort.Ints(sorted)
+	nbhd := make([][]int, n)
+	for i := 0; i < n; i++ {
+		nb := []int{}
+		// left side, farthest first, then self, then right side.
+		for k := len(sorted) - 1; k >= 0; k-- {
+			nb = append(nb, ((i-sorted[k])%n+n)%n)
+		}
+		nb = append(nb, i)
+		for _, o := range sorted {
+			j := (i + o) % n
+			if j == ((i-o)%n+n)%n && 2*o == n {
+				continue // antipodal offset on even n appears once
+			}
+			nb = append(nb, j)
+		}
+		nbhd[i] = nb
+	}
+	return &generic{name: fmt.Sprintf("circulant(n=%d,offsets=%v)", n, sorted), nbhd: nbhd}
+}
+
+// CompleteGraph returns K_n with full neighborhoods (self first). Useful as
+// the densest threshold-automaton substrate (every node sees every node).
+func CompleteGraph(n int) Space {
+	if n < 1 {
+		panic(fmt.Sprintf("space: invalid complete graph size %d", n))
+	}
+	nbhd := make([][]int, n)
+	for i := 0; i < n; i++ {
+		nb := make([]int, 0, n)
+		nb = append(nb, i)
+		for j := 0; j < n; j++ {
+			if j != i {
+				nb = append(nb, j)
+			}
+		}
+		nbhd[i] = nb
+	}
+	return &generic{name: fmt.Sprintf("complete(n=%d)", n), nbhd: nbhd}
+}
+
+// FromEdges builds a space from an undirected edge list on n nodes; each
+// node's neighborhood is itself followed by its sorted adjacent nodes.
+// Self-loops and duplicate edges are rejected.
+func FromEdges(n int, edges [][2]int) (Space, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("space: invalid node count %d", n)
+	}
+	adj := make([]map[int]bool, n)
+	for i := range adj {
+		adj[i] = map[int]bool{}
+	}
+	for _, e := range edges {
+		u, v := e[0], e[1]
+		if u < 0 || u >= n || v < 0 || v >= n {
+			return nil, fmt.Errorf("space: edge (%d,%d) out of range", u, v)
+		}
+		if u == v {
+			return nil, fmt.Errorf("space: self-loop at %d", u)
+		}
+		if adj[u][v] {
+			return nil, fmt.Errorf("space: duplicate edge (%d,%d)", u, v)
+		}
+		adj[u][v] = true
+		adj[v][u] = true
+	}
+	nbhd := make([][]int, n)
+	for i := 0; i < n; i++ {
+		nb := []int{i}
+		keys := make([]int, 0, len(adj[i]))
+		for j := range adj[i] {
+			keys = append(keys, j)
+		}
+		sort.Ints(keys)
+		nbhd[i] = append(nb, keys...)
+	}
+	return &generic{name: fmt.Sprintf("graph(n=%d,m=%d)", n, len(edges)), nbhd: nbhd}, nil
+}
+
+// Bipartition returns a 2-coloring of the space's underlying graph (edges =
+// neighborhood membership, excluding self) if one exists. Corollary 1's
+// general form: threshold CA over bipartite cellular spaces have temporal
+// 2-cycles, obtained by assigning one part 1 and the other 0.
+func Bipartition(s Space) (part []uint8, ok bool) {
+	n := s.N()
+	part = make([]uint8, n)
+	color := make([]int8, n) // -1 unvisited
+	for i := range color {
+		color[i] = -1
+	}
+	var queue []int
+	for start := 0; start < n; start++ {
+		if color[start] != -1 {
+			continue
+		}
+		color[start] = 0
+		queue = append(queue[:0], start)
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			for _, v := range s.Neighborhood(u) {
+				if v == u {
+					continue
+				}
+				if color[v] == -1 {
+					color[v] = 1 - color[u]
+					queue = append(queue, v)
+				} else if color[v] == color[u] {
+					return nil, false
+				}
+			}
+		}
+	}
+	for i, c := range color {
+		part[i] = uint8(c)
+	}
+	return part, true
+}
+
+// memoryless wraps a Space, removing each node from its own neighborhood:
+// the paper's Definition 2 distinguishes CA *with memory* (the node reads
+// its own state) from *memoryless* CA (it does not); all constructors in
+// this package build with-memory spaces and Memoryless derives the other
+// variant.
+type memoryless struct {
+	inner Space
+	nbhd  [][]int
+}
+
+// Memoryless returns a view of s in which node i's neighborhood excludes i
+// itself. The underlying graph is unchanged.
+func Memoryless(s Space) Space {
+	n := s.N()
+	nbhd := make([][]int, n)
+	for i := 0; i < n; i++ {
+		for _, j := range s.Neighborhood(i) {
+			if j != i {
+				nbhd[i] = append(nbhd[i], j)
+			}
+		}
+	}
+	return &memoryless{inner: s, nbhd: nbhd}
+}
+
+func (m *memoryless) N() int                   { return m.inner.N() }
+func (m *memoryless) Neighborhood(i int) []int { return m.nbhd[i] }
+func (m *memoryless) Degree(i int) int         { return len(m.nbhd[i]) }
+func (m *memoryless) Name() string             { return "memoryless(" + m.inner.Name() + ")" }
+
+// Diameter returns the graph diameter (longest shortest path over the
+// neighborhood graph, self excluded), or -1 if the graph is disconnected.
+// §4 of the paper discusses information propagating at most r nodes per
+// step, i.e. "bounded asynchrony" over distances; diameter quantifies it.
+func Diameter(s Space) int {
+	n := s.N()
+	diam := 0
+	dist := make([]int, n)
+	var queue []int
+	for src := 0; src < n; src++ {
+		for i := range dist {
+			dist[i] = -1
+		}
+		dist[src] = 0
+		queue = append(queue[:0], src)
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			for _, v := range s.Neighborhood(u) {
+				if v != u && dist[v] == -1 {
+					dist[v] = dist[u] + 1
+					queue = append(queue, v)
+				}
+			}
+		}
+		for _, d := range dist {
+			if d == -1 {
+				return -1
+			}
+			if d > diam {
+				diam = d
+			}
+		}
+	}
+	return diam
+}

@@ -1,0 +1,298 @@
+package space
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRingNeighborhoods(t *testing.T) {
+	s := Ring(5, 1)
+	if s.N() != 5 {
+		t.Fatalf("N = %d", s.N())
+	}
+	want := [][]int{
+		{4, 0, 1}, {0, 1, 2}, {1, 2, 3}, {2, 3, 4}, {3, 4, 0},
+	}
+	for i := 0; i < 5; i++ {
+		got := s.Neighborhood(i)
+		if len(got) != 3 {
+			t.Fatalf("node %d degree %d", i, len(got))
+		}
+		for k := range got {
+			if got[k] != want[i][k] {
+				t.Errorf("node %d: got %v want %v", i, got, want[i])
+			}
+		}
+	}
+	if d, ok := Regular(s); !ok || d != 3 {
+		t.Errorf("Regular = (%d,%v), want (3,true)", d, ok)
+	}
+}
+
+func TestRingRadius2(t *testing.T) {
+	s := Ring(7, 2)
+	got := s.Neighborhood(0)
+	want := []int{5, 6, 0, 1, 2}
+	for k := range want {
+		if got[k] != want[k] {
+			t.Fatalf("Ring(7,2) node 0: got %v want %v", got, want)
+		}
+	}
+}
+
+func TestRingTooSmallPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Ring(4,2) should panic (wrapped duplicates)")
+		}
+	}()
+	Ring(4, 2)
+}
+
+func TestRingRadiusZero(t *testing.T) {
+	s := Ring(3, 0)
+	for i := 0; i < 3; i++ {
+		nb := s.Neighborhood(i)
+		if len(nb) != 1 || nb[0] != i {
+			t.Errorf("node %d neighborhood %v, want [%d]", i, nb, i)
+		}
+	}
+}
+
+func TestLineBoundaries(t *testing.T) {
+	s := Line(5, 1)
+	if got := s.Neighborhood(0); len(got) != 2 || got[0] != 0 || got[1] != 1 {
+		t.Errorf("line node 0: %v", got)
+	}
+	if got := s.Neighborhood(4); len(got) != 2 || got[0] != 3 || got[1] != 4 {
+		t.Errorf("line node 4: %v", got)
+	}
+	if got := s.Neighborhood(2); len(got) != 3 {
+		t.Errorf("line node 2: %v", got)
+	}
+	if _, ok := Regular(s); ok {
+		t.Error("line with truncated borders should not be regular")
+	}
+}
+
+func TestTorus(t *testing.T) {
+	s := Torus(4, 3)
+	if s.N() != 12 {
+		t.Fatalf("N = %d", s.N())
+	}
+	if d, ok := Regular(s); !ok || d != 5 {
+		t.Errorf("torus Regular = (%d,%v)", d, ok)
+	}
+	// node (0,0)=0: up=(0,2)=8, left=(3,0)=3, self=0, right=1, down=4
+	got := s.Neighborhood(0)
+	want := []int{8, 3, 0, 1, 4}
+	for k := range want {
+		if got[k] != want[k] {
+			t.Fatalf("torus node 0: got %v want %v", got, want)
+		}
+	}
+}
+
+func TestGridCorners(t *testing.T) {
+	s := Grid(3, 3)
+	if got := s.Neighborhood(0); len(got) != 3 {
+		t.Errorf("grid corner degree %d, want 3", len(got))
+	}
+	if got := s.Neighborhood(4); len(got) != 5 {
+		t.Errorf("grid center degree %d, want 5", len(got))
+	}
+}
+
+func TestHypercube(t *testing.T) {
+	s := Hypercube(3)
+	if s.N() != 8 {
+		t.Fatalf("Q3 has %d nodes", s.N())
+	}
+	if d, ok := Regular(s); !ok || d != 4 {
+		t.Errorf("Q3 Regular = (%d,%v), want (4,true)", d, ok)
+	}
+	got := s.Neighborhood(5) // 101 -> neighbors 100,111,001
+	want := map[int]bool{5: true, 4: true, 7: true, 1: true}
+	for _, v := range got {
+		if !want[v] {
+			t.Errorf("unexpected Q3 neighbor %d of 5", v)
+		}
+	}
+}
+
+func TestCirculantEqualsRing(t *testing.T) {
+	r := Ring(9, 2)
+	c := Circulant(9, 1, 2)
+	for i := 0; i < 9; i++ {
+		a, b := r.Neighborhood(i), c.Neighborhood(i)
+		if len(a) != len(b) {
+			t.Fatalf("node %d: %v vs %v", i, a, b)
+		}
+		for k := range a {
+			if a[k] != b[k] {
+				t.Fatalf("node %d: %v vs %v", i, a, b)
+			}
+		}
+	}
+}
+
+func TestCirculantAntipodal(t *testing.T) {
+	c := Circulant(6, 3) // offset n/2 appears once
+	nb := c.Neighborhood(0)
+	if len(nb) != 2 {
+		t.Fatalf("antipodal circulant degree %d, want 2 (self+1)", len(nb))
+	}
+}
+
+func TestCompleteGraph(t *testing.T) {
+	s := CompleteGraph(4)
+	for i := 0; i < 4; i++ {
+		if s.Degree(i) != 4 {
+			t.Errorf("K4 node %d degree %d", i, s.Degree(i))
+		}
+		if s.Neighborhood(i)[0] != i {
+			t.Errorf("K4 node %d not self-first", i)
+		}
+	}
+}
+
+func TestFromEdges(t *testing.T) {
+	s, err := FromEdges(4, [][2]int{{0, 1}, {1, 2}, {2, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Neighborhood(1); len(got) != 3 || got[0] != 1 || got[1] != 0 || got[2] != 2 {
+		t.Errorf("path node 1: %v", got)
+	}
+	if _, err := FromEdges(3, [][2]int{{0, 0}}); err == nil {
+		t.Error("self-loop accepted")
+	}
+	if _, err := FromEdges(3, [][2]int{{0, 1}, {1, 0}}); err == nil {
+		t.Error("duplicate edge accepted")
+	}
+	if _, err := FromEdges(3, [][2]int{{0, 5}}); err == nil {
+		t.Error("out-of-range edge accepted")
+	}
+}
+
+func TestFromNeighborhoodsValidation(t *testing.T) {
+	if _, err := FromNeighborhoods("x", [][]int{{0, 1}, {1}}); err != nil {
+		t.Errorf("valid neighborhoods rejected: %v", err)
+	}
+	if _, err := FromNeighborhoods("x", [][]int{{1}, {1, 0}}); err == nil {
+		t.Error("missing self accepted")
+	}
+	if _, err := FromNeighborhoods("x", [][]int{{0, 0}}); err == nil {
+		t.Error("duplicate accepted")
+	}
+	if _, err := FromNeighborhoods("x", [][]int{{0, 7}}); err == nil {
+		t.Error("out-of-range accepted")
+	}
+}
+
+func TestBipartitionEvenRing(t *testing.T) {
+	part, ok := Bipartition(Ring(8, 1))
+	if !ok {
+		t.Fatal("even ring should be bipartite")
+	}
+	for i := 0; i < 8; i++ {
+		if part[i] != uint8(i%2) && part[i] != uint8(1-i%2) {
+			t.Errorf("node %d part %d not alternating", i, part[i])
+		}
+	}
+}
+
+func TestBipartitionOddRing(t *testing.T) {
+	if _, ok := Bipartition(Ring(7, 1)); ok {
+		t.Error("odd ring reported bipartite")
+	}
+}
+
+func TestBipartitionHypercubeAndTorus(t *testing.T) {
+	if _, ok := Bipartition(Hypercube(4)); !ok {
+		t.Error("hypercube should be bipartite")
+	}
+	if _, ok := Bipartition(Torus(4, 6)); !ok {
+		t.Error("even torus should be bipartite")
+	}
+	if _, ok := Bipartition(Torus(3, 4)); ok {
+		t.Error("odd-side torus reported bipartite")
+	}
+}
+
+func TestBipartitionRadius2RingNotBipartite(t *testing.T) {
+	// r=2 ring contains triangles (i, i+1, i+2), never bipartite.
+	if _, ok := Bipartition(Ring(8, 2)); ok {
+		t.Error("radius-2 ring reported bipartite")
+	}
+}
+
+func TestDiameter(t *testing.T) {
+	if d := Diameter(Ring(8, 1)); d != 4 {
+		t.Errorf("ring(8,1) diameter %d, want 4", d)
+	}
+	if d := Diameter(Ring(9, 2)); d != 2 {
+		t.Errorf("ring(9,2) diameter %d, want 3", d)
+	}
+	if d := Diameter(Hypercube(5)); d != 5 {
+		t.Errorf("Q5 diameter %d, want 5", d)
+	}
+	if d := Diameter(CompleteGraph(6)); d != 1 {
+		t.Errorf("K6 diameter %d, want 1", d)
+	}
+}
+
+func TestDiameterDisconnected(t *testing.T) {
+	s, err := FromEdges(4, [][2]int{{0, 1}}) // nodes 2,3 isolated
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := Diameter(s); d != -1 {
+		t.Errorf("disconnected diameter %d, want -1", d)
+	}
+}
+
+func TestRingNeighborhoodPropertyQuick(t *testing.T) {
+	// Every ring neighborhood is contiguous mod n and centered on the node.
+	f := func(nRaw, rRaw uint8) bool {
+		r := int(rRaw)%3 + 1
+		n := int(nRaw)%20 + 2*r + 1
+		s := Ring(n, r)
+		for i := 0; i < n; i++ {
+			nb := s.Neighborhood(i)
+			if len(nb) != 2*r+1 {
+				return false
+			}
+			if nb[r] != i {
+				return false
+			}
+			for k := 0; k < len(nb); k++ {
+				if nb[k] != ((i+k-r)%n+n)%n {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBipartitionIsProperColoring(t *testing.T) {
+	spaces := []Space{Ring(10, 1), Hypercube(4), Torus(4, 4)}
+	for _, s := range spaces {
+		part, ok := Bipartition(s)
+		if !ok {
+			t.Errorf("%s should be bipartite", s.Name())
+			continue
+		}
+		for i := 0; i < s.N(); i++ {
+			for _, j := range s.Neighborhood(i) {
+				if j != i && part[i] == part[j] {
+					t.Errorf("%s: edge (%d,%d) monochromatic", s.Name(), i, j)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,182 @@
+// Package stats provides the deterministic randomness and summary
+// statistics used by the experiment harness: a SplitMix64 generator for
+// reproducible workloads, orbit-outcome tallies, histograms, and convergence
+// -time summaries backing the EXPERIMENTS.md tables.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// SplitMix64 is a tiny, fast, reproducible PRNG (Steele et al.), used where
+// experiment workloads must be identical across machines and Go versions
+// (math/rand's stream is version-stable too, but SplitMix64 is trivially
+// portable to other languages for cross-checking).
+type SplitMix64 struct {
+	state uint64
+}
+
+// NewSplitMix64 seeds a generator.
+func NewSplitMix64(seed uint64) *SplitMix64 { return &SplitMix64{state: seed} }
+
+// Next returns the next 64 random bits.
+func (s *SplitMix64) Next() uint64 {
+	s.state += 0x9e3779b97f4a7c15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Intn returns a uniform integer in [0, n).
+func (s *SplitMix64) Intn(n int) int {
+	if n <= 0 {
+		panic(fmt.Sprintf("stats: Intn(%d)", n))
+	}
+	return int(s.Next() % uint64(n))
+}
+
+// Float64 returns a uniform float in [0, 1).
+func (s *SplitMix64) Float64() float64 {
+	return float64(s.Next()>>11) / (1 << 53)
+}
+
+// Bool returns a fair coin flip.
+func (s *SplitMix64) Bool() bool { return s.Next()&1 == 1 }
+
+// Summary holds order statistics of a sample.
+type Summary struct {
+	N                int
+	Min, Max         float64
+	Mean, Stddev     float64
+	Median, P90, P99 float64
+}
+
+// Summarize computes a Summary of xs (which it sorts in place).
+func Summarize(xs []float64) Summary {
+	s := Summary{N: len(xs)}
+	if len(xs) == 0 {
+		return s
+	}
+	sort.Float64s(xs)
+	s.Min, s.Max = xs[0], xs[len(xs)-1]
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	s.Mean = sum / float64(len(xs))
+	var ss float64
+	for _, x := range xs {
+		d := x - s.Mean
+		ss += d * d
+	}
+	if len(xs) > 1 {
+		s.Stddev = math.Sqrt(ss / float64(len(xs)-1))
+	}
+	s.Median = quantile(xs, 0.5)
+	s.P90 = quantile(xs, 0.9)
+	s.P99 = quantile(xs, 0.99)
+	return s
+}
+
+// quantile returns the q-quantile of sorted xs by linear interpolation.
+func quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return math.NaN()
+	}
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(pos)
+	if lo >= len(sorted)-1 {
+		return sorted[len(sorted)-1]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}
+
+// Histogram counts integer observations into unit bins.
+type Histogram struct {
+	counts map[int]uint64
+	total  uint64
+}
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram { return &Histogram{counts: map[int]uint64{}} }
+
+// Observe adds one observation.
+func (h *Histogram) Observe(v int) {
+	h.counts[v]++
+	h.total++
+}
+
+// Count returns the number of observations of v.
+func (h *Histogram) Count(v int) uint64 { return h.counts[v] }
+
+// Total returns the number of observations.
+func (h *Histogram) Total() uint64 { return h.total }
+
+// Keys returns the observed values in ascending order.
+func (h *Histogram) Keys() []int {
+	out := make([]int, 0, len(h.counts))
+	for k := range h.counts {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Fraction returns the empirical probability of v.
+func (h *Histogram) Fraction(v int) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return float64(h.counts[v]) / float64(h.total)
+}
+
+// OutcomeTally accumulates orbit classifications for a sweep of runs:
+// the row format of the E08/E13/E14 tables.
+type OutcomeTally struct {
+	FixedPoints uint64
+	TwoCycles   uint64
+	Longer      uint64
+	Unresolved  uint64
+	Transients  *Histogram
+}
+
+// NewOutcomeTally returns an empty tally.
+func NewOutcomeTally() *OutcomeTally {
+	return &OutcomeTally{Transients: NewHistogram()}
+}
+
+// Record files one orbit result given its period (0 = unresolved) and
+// transient length.
+func (t *OutcomeTally) Record(period, transient int) {
+	switch {
+	case period == 1:
+		t.FixedPoints++
+	case period == 2:
+		t.TwoCycles++
+	case period > 2:
+		t.Longer++
+	default:
+		t.Unresolved++
+	}
+	if period > 0 {
+		t.Transients.Observe(transient)
+	}
+}
+
+// Total returns the number of recorded runs.
+func (t *OutcomeTally) Total() uint64 {
+	return t.FixedPoints + t.TwoCycles + t.Longer + t.Unresolved
+}
+
+// String renders a one-line summary.
+func (t *OutcomeTally) String() string {
+	return fmt.Sprintf("runs=%d fp=%d 2cyc=%d longer=%d unresolved=%d",
+		t.Total(), t.FixedPoints, t.TwoCycles, t.Longer, t.Unresolved)
+}

@@ -1,0 +1,157 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSplitMix64KnownStream(t *testing.T) {
+	// Reference values for seed 0 (from the published SplitMix64 algorithm).
+	s := NewSplitMix64(0)
+	want := []uint64{
+		0xe220a8397b1dcdaf, 0x6e789e6aa1b965f4, 0x06c45d188009454f,
+	}
+	for i, w := range want {
+		if got := s.Next(); got != w {
+			t.Fatalf("output %d = %#x, want %#x", i, got, w)
+		}
+	}
+}
+
+func TestSplitMix64Deterministic(t *testing.T) {
+	a, b := NewSplitMix64(42), NewSplitMix64(42)
+	for i := 0; i < 100; i++ {
+		if a.Next() != b.Next() {
+			t.Fatal("same-seed streams diverged")
+		}
+	}
+}
+
+func TestIntnRangeQuick(t *testing.T) {
+	s := NewSplitMix64(7)
+	f := func(nRaw uint16) bool {
+		n := int(nRaw)%1000 + 1
+		v := s.Intn(n)
+		return v >= 0 && v < n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIntnPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	NewSplitMix64(1).Intn(0)
+}
+
+func TestFloat64Range(t *testing.T) {
+	s := NewSplitMix64(9)
+	for i := 0; i < 1000; i++ {
+		f := s.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 = %f", f)
+		}
+	}
+}
+
+func TestBoolRoughlyFair(t *testing.T) {
+	s := NewSplitMix64(11)
+	heads := 0
+	for i := 0; i < 10000; i++ {
+		if s.Bool() {
+			heads++
+		}
+	}
+	if heads < 4700 || heads > 5300 {
+		t.Errorf("heads = %d of 10000", heads)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{4, 1, 3, 2})
+	if s.N != 4 || s.Min != 1 || s.Max != 4 {
+		t.Fatalf("summary %+v", s)
+	}
+	if s.Mean != 2.5 {
+		t.Errorf("mean %f", s.Mean)
+	}
+	if s.Median != 2.5 {
+		t.Errorf("median %f", s.Median)
+	}
+	if math.Abs(s.Stddev-1.2909944) > 1e-6 {
+		t.Errorf("stddev %f", s.Stddev)
+	}
+}
+
+func TestSummarizeEmptyAndSingle(t *testing.T) {
+	if s := Summarize(nil); s.N != 0 {
+		t.Error("empty summary broken")
+	}
+	s := Summarize([]float64{5})
+	if s.Median != 5 || s.P99 != 5 || s.Stddev != 0 {
+		t.Errorf("single summary %+v", s)
+	}
+}
+
+func TestQuantileInterpolation(t *testing.T) {
+	xs := []float64{0, 10}
+	if q := quantile(xs, 0.5); q != 5 {
+		t.Errorf("median of {0,10} = %f", q)
+	}
+	xs = []float64{1, 2, 3, 4, 5}
+	if q := quantile(xs, 1.0); q != 5 {
+		t.Errorf("p100 = %f", q)
+	}
+	if q := quantile(xs, 0); q != 1 {
+		t.Errorf("p0 = %f", q)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram()
+	for _, v := range []int{1, 2, 2, 3, 3, 3} {
+		h.Observe(v)
+	}
+	if h.Total() != 6 {
+		t.Errorf("total %d", h.Total())
+	}
+	if h.Count(3) != 3 || h.Count(99) != 0 {
+		t.Error("counts wrong")
+	}
+	keys := h.Keys()
+	if len(keys) != 3 || keys[0] != 1 || keys[2] != 3 {
+		t.Errorf("keys %v", keys)
+	}
+	if f := h.Fraction(2); math.Abs(f-2.0/6) > 1e-12 {
+		t.Errorf("fraction %f", f)
+	}
+	if NewHistogram().Fraction(1) != 0 {
+		t.Error("empty fraction")
+	}
+}
+
+func TestOutcomeTally(t *testing.T) {
+	tl := NewOutcomeTally()
+	tl.Record(1, 0)  // FP, no transient
+	tl.Record(2, 5)  // 2-cycle after 5 steps
+	tl.Record(4, 1)  // longer cycle
+	tl.Record(0, 99) // unresolved
+	if tl.FixedPoints != 1 || tl.TwoCycles != 1 || tl.Longer != 1 || tl.Unresolved != 1 {
+		t.Fatalf("tally %+v", tl)
+	}
+	if tl.Total() != 4 {
+		t.Errorf("total %d", tl.Total())
+	}
+	// Unresolved runs don't contribute transients.
+	if tl.Transients.Total() != 3 {
+		t.Errorf("transient observations %d", tl.Transients.Total())
+	}
+	if tl.String() == "" {
+		t.Error("empty String")
+	}
+}

@@ -1,0 +1,186 @@
+package threshnet
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Hopfield is the classical ±1 associative memory: symmetric integer
+// Hebbian weights with zero diagonal, zero thresholds, and the update rule
+// s_i ← sign(Σ_j w_ij·s_j) with ties keeping the current state. Sequential
+// recall strictly decreases the energy −½·Σ w_ij·s_i·s_j on every state
+// change and therefore always converges to a fixed point — the weighted,
+// irregular-graph incarnation of the paper's Theorem 1 phenomenon.
+type Hopfield struct {
+	n int
+	w [][]int64
+}
+
+// NewHopfield returns an n-neuron network with zero weights.
+func NewHopfield(n int) *Hopfield {
+	if n < 1 {
+		panic(fmt.Sprintf("threshnet: invalid Hopfield size %d", n))
+	}
+	w := make([][]int64, n)
+	for i := range w {
+		w[i] = make([]int64, n)
+	}
+	return &Hopfield{n: n, w: w}
+}
+
+// N returns the neuron count.
+func (h *Hopfield) N() int { return h.n }
+
+// Pattern is a ±1 state vector.
+type Pattern []int8
+
+// RandomPattern draws a uniform ±1 pattern.
+func RandomPattern(rng *rand.Rand, n int) Pattern {
+	p := make(Pattern, n)
+	for i := range p {
+		if rng.Intn(2) == 1 {
+			p[i] = 1
+		} else {
+			p[i] = -1
+		}
+	}
+	return p
+}
+
+// Clone copies a pattern.
+func (p Pattern) Clone() Pattern { return append(Pattern(nil), p...) }
+
+// Hamming returns the number of positions where p and q differ.
+func (p Pattern) Hamming(q Pattern) int {
+	if len(p) != len(q) {
+		panic("threshnet: pattern length mismatch")
+	}
+	d := 0
+	for i := range p {
+		if p[i] != q[i] {
+			d++
+		}
+	}
+	return d
+}
+
+// Negate returns the element-wise negation.
+func (p Pattern) Negate() Pattern {
+	out := make(Pattern, len(p))
+	for i, v := range p {
+		out[i] = -v
+	}
+	return out
+}
+
+// Corrupt flips k distinct random positions of a copy of p.
+func (p Pattern) Corrupt(rng *rand.Rand, k int) Pattern {
+	out := p.Clone()
+	idx := rng.Perm(len(p))[:k]
+	for _, i := range idx {
+		out[i] = -out[i]
+	}
+	return out
+}
+
+// validate checks the pattern is ±1-valued with matching length.
+func (h *Hopfield) validate(p Pattern) {
+	if len(p) != h.n {
+		panic(fmt.Sprintf("threshnet: pattern length %d for %d neurons", len(p), h.n))
+	}
+	for i, v := range p {
+		if v != 1 && v != -1 {
+			panic(fmt.Sprintf("threshnet: pattern value %d at %d", v, i))
+		}
+	}
+}
+
+// Store adds pattern p Hebbian-style: w_ij += p_i·p_j for i ≠ j. The
+// diagonal stays zero, keeping the convergence theorem applicable.
+func (h *Hopfield) Store(p Pattern) {
+	h.validate(p)
+	for i := 0; i < h.n; i++ {
+		for j := 0; j < h.n; j++ {
+			if i != j {
+				h.w[i][j] += int64(p[i]) * int64(p[j])
+			}
+		}
+	}
+}
+
+// Field returns the local field Σ_j w_ij·s_j.
+func (h *Hopfield) Field(s Pattern, i int) int64 {
+	var f int64
+	row := h.w[i]
+	for j, v := range s {
+		f += row[j] * int64(v)
+	}
+	return f
+}
+
+// UpdateNeuron applies one asynchronous update (tie keeps state), reporting
+// whether the state changed.
+func (h *Hopfield) UpdateNeuron(s Pattern, i int) bool {
+	f := h.Field(s, i)
+	var next int8
+	switch {
+	case f > 0:
+		next = 1
+	case f < 0:
+		next = -1
+	default:
+		next = s[i]
+	}
+	if next == s[i] {
+		return false
+	}
+	s[i] = next
+	return true
+}
+
+// Energy2 returns −Σ_{i<j} 2·w_ij·s_i·s_j = 2E(s); every state-changing
+// sequential update strictly decreases it.
+func (h *Hopfield) Energy2(s Pattern) int64 {
+	var e int64
+	for i := 0; i < h.n; i++ {
+		row := h.w[i]
+		for j := i + 1; j < h.n; j++ {
+			e -= 2 * row[j] * int64(s[i]) * int64(s[j])
+		}
+	}
+	return e
+}
+
+// IsFixedPoint reports whether no neuron would change.
+func (h *Hopfield) IsFixedPoint(s Pattern) bool {
+	for i := 0; i < h.n; i++ {
+		f := h.Field(s, i)
+		if (f > 0 && s[i] != 1) || (f < 0 && s[i] != -1) {
+			return false
+		}
+	}
+	return true
+}
+
+// Recall runs random-order asynchronous updates from probe until a fixed
+// point is reached or maxSweeps full passes elapse, returning the settled
+// state (the probe slice is not modified).
+func (h *Hopfield) Recall(probe Pattern, seed int64, maxSweeps int) (Pattern, bool) {
+	h.validate(probe)
+	s := probe.Clone()
+	rng := rand.New(rand.NewSource(seed))
+	order := rng.Perm(h.n)
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		changed := false
+		rng.Shuffle(h.n, func(a, b int) { order[a], order[b] = order[b], order[a] })
+		for _, i := range order {
+			if h.UpdateNeuron(s, i) {
+				changed = true
+			}
+		}
+		if !changed && h.IsFixedPoint(s) {
+			return s, true
+		}
+	}
+	return s, h.IsFixedPoint(s)
+}

@@ -1,0 +1,223 @@
+// Package threshnet generalizes the paper's threshold cellular automata to
+// weighted symmetric threshold networks — the "neural networks" setting of
+// the paper's refs [7] (Garzon) and [8] (Goles & Martínez) from which its
+// convergence theory descends. Threshold CA are the special case with unit
+// weights on a regular graph; everything the paper proves about them
+// (sequential acyclicity, parallel period ≤ 2) holds here too, and this
+// package verifies it at the general level.
+//
+// Two models are provided:
+//
+//   - Network: Boolean {0,1} states, arbitrary symmetric integer weights,
+//     half-integral thresholds (stored doubled), non-negative self-weights.
+//     Sequential updates strictly decrease an integer Lyapunov energy;
+//     parallel orbits have eventual period ≤ 2.
+//   - Hopfield: ±1 states with Hebbian weights built from stored patterns
+//     and a tie-keeps-state rule — the classical associative memory.
+//     Sequential recall provably converges; stored patterns (and their
+//     negations) are fixed points when the load is modest.
+package threshnet
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/automaton"
+	"repro/internal/config"
+	"repro/internal/rule"
+)
+
+// Network is a Boolean threshold network with symmetric integer weights.
+// Node i's update rule is x_i ← 1 iff 2·Σ_j w_ij·x_j ≥ Theta2[i]
+// (thresholds are stored doubled so half-integral values stay exact).
+type Network struct {
+	n      int
+	w      [][]int64 // dense symmetric weight matrix
+	theta2 []int64
+}
+
+// NewNetwork returns an n-node network with zero weights and thresholds.
+func NewNetwork(n int) *Network {
+	if n < 1 {
+		panic(fmt.Sprintf("threshnet: invalid size %d", n))
+	}
+	w := make([][]int64, n)
+	for i := range w {
+		w[i] = make([]int64, n)
+	}
+	return &Network{n: n, w: w, theta2: make([]int64, n)}
+}
+
+// N returns the node count.
+func (nw *Network) N() int { return nw.n }
+
+// SetWeight sets w_ij = w_ji = v. Self-weights (i == j) must be ≥ 0 — the
+// hypothesis of the sequential convergence theorem.
+func (nw *Network) SetWeight(i, j int, v int64) {
+	if i == j && v < 0 {
+		panic("threshnet: negative self-weight breaks the Lyapunov argument")
+	}
+	nw.w[i][j] = v
+	nw.w[j][i] = v
+}
+
+// Weight returns w_ij.
+func (nw *Network) Weight(i, j int) int64 { return nw.w[i][j] }
+
+// SetTheta2 sets node i's doubled threshold (odd values avoid ties).
+func (nw *Network) SetTheta2(i int, t2 int64) { nw.theta2[i] = t2 }
+
+// FromThresholdCA builds the unit-weight network of a threshold automaton:
+// w_ij = 1 for j in N(i) (including self for CA with memory) and doubled
+// threshold 2K−1.
+func FromThresholdCA(a *automaton.Automaton) (*Network, error) {
+	nw := NewNetwork(a.N())
+	for i := 0; i < a.N(); i++ {
+		th, ok := a.RuleAt(i).(rule.Threshold)
+		if !ok {
+			return nil, fmt.Errorf("threshnet: node %d rule %s is not a threshold", i, a.RuleAt(i).Name())
+		}
+		nw.theta2[i] = 2*int64(th.K) - 1
+		for _, j := range a.Space().Neighborhood(i) {
+			nw.w[i][j] = 1
+		}
+	}
+	// Validate symmetry: the Lyapunov theorems need j ∈ N(i) ⟺ i ∈ N(j),
+	// and an asymmetric space cannot be represented faithfully here.
+	for i := 0; i < nw.n; i++ {
+		for j := 0; j < nw.n; j++ {
+			if nw.w[i][j] != nw.w[j][i] {
+				return nil, fmt.Errorf("threshnet: asymmetric coupling (%d,%d)", i, j)
+			}
+		}
+	}
+	return nw, nil
+}
+
+// Field2 returns the doubled discriminant 2·Σ_j w_ij·x_j − Theta2[i];
+// node i's update sets x_i ← 1 iff Field2 ≥ 0.
+func (nw *Network) Field2(x config.Config, i int) int64 {
+	var s int64
+	row := nw.w[i]
+	for j := 0; j < nw.n; j++ {
+		if x.Get(j) == 1 {
+			s += row[j]
+		}
+	}
+	return 2*s - nw.theta2[i]
+}
+
+// NodeNext computes node i's next state.
+func (nw *Network) NodeNext(x config.Config, i int) uint8 {
+	if nw.Field2(x, i) >= 0 {
+		return 1
+	}
+	return 0
+}
+
+// UpdateNode performs one sequential update in place, reporting change.
+func (nw *Network) UpdateNode(x config.Config, i int) bool {
+	next := nw.NodeNext(x, i)
+	if next == x.Get(i) {
+		return false
+	}
+	x.Set(i, next)
+	return true
+}
+
+// Step computes one parallel step dst ← F(src).
+func (nw *Network) Step(dst, src config.Config) {
+	for i := 0; i < nw.n; i++ {
+		dst.Set(i, nw.NodeNext(src, i))
+	}
+}
+
+// FixedPoint reports whether x is fixed under every node update.
+func (nw *Network) FixedPoint(x config.Config) bool {
+	for i := 0; i < nw.n; i++ {
+		if nw.NodeNext(x, i) != x.Get(i) {
+			return false
+		}
+	}
+	return true
+}
+
+// Energy4 returns four times the sequential Lyapunov energy
+// E(x) = −½·Σ_{i≠j} w_ij·x_i·x_j + Σ_i (θ_i − ½·w_ii)·x_i, kept integral:
+//
+//	4E(x) = −2·Σ_{i≠j} w_ij·x_i·x_j + Σ_i (2·Theta2[i]·x_i... )
+//
+// Concretely: 4E = −2·Σ_{i≠j} w_ij x_i x_j + Σ_i (2θ2_i − 2w_ii)·x_i / …
+// — see the tests for the exact invariant: every state-changing sequential
+// update strictly decreases this value.
+func (nw *Network) Energy4(x config.Config) int64 {
+	var e int64
+	for i := 0; i < nw.n; i++ {
+		if x.Get(i) == 0 {
+			continue
+		}
+		e += 2*nw.theta2[i] - 2*nw.w[i][i]
+		row := nw.w[i]
+		for j := 0; j < nw.n; j++ {
+			if j != i && x.Get(j) == 1 {
+				e -= 2 * row[j]
+			}
+		}
+	}
+	return e
+}
+
+// Bilinear4 returns four times the two-step Lyapunov form
+// E₂(x,y) = −Σ_ij w_ij·x_i·y_j + Σ_i θ_i·(x_i + y_i): non-increasing along
+// parallel orbits, forcing eventual period ≤ 2.
+func (nw *Network) Bilinear4(x, y config.Config) int64 {
+	var e int64
+	for i := 0; i < nw.n; i++ {
+		xi, yi := int64(x.Get(i)), int64(y.Get(i))
+		e += nw.theta2[i] * (xi + yi) * 2
+		if xi == 1 {
+			row := nw.w[i]
+			for j := 0; j < nw.n; j++ {
+				if y.Get(j) == 1 {
+					e -= 4 * row[j]
+				}
+			}
+		}
+	}
+	return e
+}
+
+// ConvergeSequential runs sequential updates under the node sequence drawn
+// from next() until a fixed point is confirmed or maxSteps elapse.
+func (nw *Network) ConvergeSequential(x config.Config, next func() int, maxSteps int) (steps int, ok bool) {
+	quiet := 0
+	for steps = 0; steps < maxSteps; steps++ {
+		if nw.UpdateNode(x, next()) {
+			quiet = 0
+			continue
+		}
+		quiet++
+		if quiet >= nw.n && nw.FixedPoint(x) {
+			return steps + 1, true
+		}
+	}
+	return steps, nw.FixedPoint(x)
+}
+
+// RandomNetwork builds a random symmetric network: weights uniform in
+// [−wmax, wmax] with density p, zero self-weights, odd doubled thresholds
+// uniform in [−t, t]. Deterministic in seed.
+func RandomNetwork(n int, p float64, wmax, t int64, seed int64) *Network {
+	rng := rand.New(rand.NewSource(seed))
+	nw := NewNetwork(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if rng.Float64() < p {
+				v := rng.Int63n(2*wmax+1) - wmax
+				nw.SetWeight(i, j, v)
+			}
+		}
+		nw.theta2[i] = 2*(rng.Int63n(2*t+1)-t) + 1 // odd: no ties
+	}
+	return nw
+}

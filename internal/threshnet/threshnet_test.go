@@ -1,0 +1,330 @@
+package threshnet
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/automaton"
+	"repro/internal/config"
+	"repro/internal/rule"
+	"repro/internal/space"
+)
+
+func TestFromThresholdCAMatchesAutomaton(t *testing.T) {
+	a := automaton.MustNew(space.Ring(9, 1), rule.Majority(1))
+	nw, err := FromThresholdCA(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		x := config.Random(rng, 9, 0.5)
+		for i := 0; i < 9; i++ {
+			if nw.NodeNext(x, i) != a.NodeNext(x, i) {
+				t.Fatalf("trial %d node %d: network %d vs automaton %d on %s",
+					trial, i, nw.NodeNext(x, i), a.NodeNext(x, i), x)
+			}
+		}
+		// Parallel steps agree too.
+		d1, d2 := config.New(9), config.New(9)
+		nw.Step(d1, x)
+		a.Step(d2, x)
+		if !d1.Equal(d2) {
+			t.Fatalf("trial %d: parallel steps disagree", trial)
+		}
+	}
+}
+
+func TestFromThresholdCARejectsXOR(t *testing.T) {
+	a := automaton.MustNew(space.Ring(5, 1), rule.XOR{})
+	if _, err := FromThresholdCA(a); err == nil {
+		t.Error("XOR automaton accepted")
+	}
+}
+
+func TestNegativeSelfWeightPanics(t *testing.T) {
+	nw := NewNetwork(3)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative self-weight accepted")
+		}
+	}()
+	nw.SetWeight(1, 1, -1)
+}
+
+func TestWeightSymmetry(t *testing.T) {
+	nw := NewNetwork(4)
+	nw.SetWeight(0, 3, -2)
+	if nw.Weight(3, 0) != -2 {
+		t.Error("SetWeight not symmetric")
+	}
+}
+
+func TestEnergyStrictDescentRandomNetworks(t *testing.T) {
+	// The general theorem: for arbitrary symmetric weights (possibly
+	// negative couplings) with non-negative diagonal and odd doubled
+	// thresholds, every state-changing sequential update strictly decreases
+	// the energy — so no sequential cycle exists in ANY such network.
+	for seed := int64(0); seed < 10; seed++ {
+		nw := RandomNetwork(20, 0.4, 3, 4, seed)
+		rng := rand.New(rand.NewSource(seed + 100))
+		x := config.Random(rng, 20, 0.5)
+		prev := nw.Energy4(x)
+		for step := 0; step < 2000; step++ {
+			if nw.UpdateNode(x, rng.Intn(20)) {
+				cur := nw.Energy4(x)
+				if cur >= prev {
+					t.Fatalf("seed %d step %d: energy %d -> %d on change", seed, step, prev, cur)
+				}
+				prev = cur
+			}
+		}
+	}
+}
+
+func TestSequentialConvergenceRandomNetworks(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		nw := RandomNetwork(24, 0.3, 2, 3, seed)
+		rng := rand.New(rand.NewSource(seed))
+		x := config.Random(rng, 24, 0.5)
+		next := func() int { return rng.Intn(24) }
+		if _, ok := nw.ConvergeSequential(x, next, 200000); !ok {
+			t.Fatalf("seed %d: random threshold network did not converge", seed)
+		}
+		if !nw.FixedPoint(x) {
+			t.Fatalf("seed %d: reported FP is not fixed", seed)
+		}
+	}
+}
+
+func TestParallelPeriodAtMostTwoRandomNetworks(t *testing.T) {
+	// Goles–Olivos at the general weighted level: parallel orbits end in
+	// fixed points or 2-cycles.
+	for seed := int64(0); seed < 10; seed++ {
+		n := 14
+		nw := RandomNetwork(n, 0.5, 2, 3, seed)
+		rng := rand.New(rand.NewSource(seed * 7))
+		for trial := 0; trial < 20; trial++ {
+			x := config.Random(rng, n, 0.5)
+			y := config.New(n)
+			nw.Step(y, x)
+			// iterate and test x^{t+2} == x^t eventually
+			settled := false
+			for step := 0; step < 300; step++ {
+				z := config.New(n)
+				nw.Step(z, y)
+				if z.Equal(x) {
+					settled = true
+					break
+				}
+				x, y = y, z
+			}
+			if !settled {
+				t.Fatalf("seed %d trial %d: period > 2 or no convergence", seed, trial)
+			}
+		}
+	}
+}
+
+func TestBilinearNonIncreasingRandomNetworks(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		n := 16
+		nw := RandomNetwork(n, 0.5, 2, 3, seed)
+		rng := rand.New(rand.NewSource(seed))
+		x := config.Random(rng, n, 0.5)
+		y := config.New(n)
+		nw.Step(y, x)
+		prev := nw.Bilinear4(x, y)
+		for step := 0; step < 100; step++ {
+			z := config.New(n)
+			nw.Step(z, y)
+			cur := nw.Bilinear4(y, z)
+			if cur > prev {
+				t.Fatalf("seed %d step %d: bilinear energy rose", seed, step)
+			}
+			x, y, prev = y, z, cur
+		}
+	}
+}
+
+func TestField2OddNoTies(t *testing.T) {
+	nw := RandomNetwork(12, 0.5, 3, 3, 42)
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 100; trial++ {
+		x := config.Random(rng, 12, 0.5)
+		for i := 0; i < 12; i++ {
+			if nw.Field2(x, i) == 0 {
+				t.Fatalf("tie at node %d despite odd thresholds", i)
+			}
+		}
+	}
+}
+
+// --- Hopfield ---
+
+func TestHopfieldStoredPatternsAreFixedPoints(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	n := 64
+	h := NewHopfield(n)
+	patterns := make([]Pattern, 3)
+	for i := range patterns {
+		patterns[i] = RandomPattern(rng, n)
+		h.Store(patterns[i])
+	}
+	for i, p := range patterns {
+		if !h.IsFixedPoint(p) {
+			t.Errorf("stored pattern %d is not a fixed point", i)
+		}
+		// Negations are fixed points too (energy is even in s).
+		if !h.IsFixedPoint(p.Negate()) {
+			t.Errorf("negated pattern %d is not a fixed point", i)
+		}
+	}
+}
+
+func TestHopfieldRecallFromCorruption(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	n := 96
+	h := NewHopfield(n)
+	patterns := make([]Pattern, 4)
+	for i := range patterns {
+		patterns[i] = RandomPattern(rng, n)
+		h.Store(patterns[i])
+	}
+	for i, p := range patterns {
+		probe := p.Corrupt(rng, n/10) // 10% corruption
+		got, ok := h.Recall(probe, int64(i), 100)
+		if !ok {
+			t.Fatalf("pattern %d: recall did not converge", i)
+		}
+		if got.Hamming(p) != 0 {
+			t.Errorf("pattern %d: recalled state differs in %d positions", i, got.Hamming(p))
+		}
+	}
+}
+
+func TestHopfieldEnergyDescent(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	n := 48
+	h := NewHopfield(n)
+	for i := 0; i < 3; i++ {
+		h.Store(RandomPattern(rng, n))
+	}
+	s := RandomPattern(rng, n)
+	prev := h.Energy2(s)
+	for step := 0; step < 5000; step++ {
+		if h.UpdateNeuron(s, rng.Intn(n)) {
+			cur := h.Energy2(s)
+			if cur >= prev {
+				t.Fatalf("step %d: Hopfield energy rose %d -> %d", step, prev, cur)
+			}
+			prev = cur
+		}
+	}
+}
+
+func TestHopfieldConvergesFromAnywhere(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	n := 40
+	h := NewHopfield(n)
+	for i := 0; i < 3; i++ {
+		h.Store(RandomPattern(rng, n))
+	}
+	for trial := 0; trial < 10; trial++ {
+		s, ok := h.Recall(RandomPattern(rng, n), int64(trial), 200)
+		if !ok {
+			t.Fatalf("trial %d: no convergence", trial)
+		}
+		if !h.IsFixedPoint(s) {
+			t.Fatalf("trial %d: settled state is not fixed", trial)
+		}
+	}
+}
+
+func TestHopfieldOverloadDegradesRecall(t *testing.T) {
+	// Load far beyond the ~0.138n capacity: recall of an uncorrupted probe
+	// should fail for at least one stored pattern (they stop being FPs).
+	rng := rand.New(rand.NewSource(13))
+	n := 32
+	h := NewHopfield(n)
+	patterns := make([]Pattern, 16) // load 0.5 ≫ capacity
+	for i := range patterns {
+		patterns[i] = RandomPattern(rng, n)
+		h.Store(patterns[i])
+	}
+	broken := 0
+	for _, p := range patterns {
+		if !h.IsFixedPoint(p) {
+			broken++
+		}
+	}
+	if broken == 0 {
+		t.Error("overloaded Hopfield memory kept every pattern stable; expected degradation")
+	}
+}
+
+func TestPatternHelpers(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	p := RandomPattern(rng, 20)
+	q := p.Corrupt(rng, 5)
+	if d := p.Hamming(q); d != 5 {
+		t.Errorf("corruption distance %d, want 5", d)
+	}
+	if p.Hamming(p.Negate()) != 20 {
+		t.Error("negation should differ everywhere")
+	}
+	c := p.Clone()
+	c[0] = -c[0]
+	if p.Hamming(c) != 1 {
+		t.Error("Clone not independent")
+	}
+}
+
+func TestHopfieldValidation(t *testing.T) {
+	h := NewHopfield(4)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad pattern accepted")
+		}
+	}()
+	h.Store(Pattern{1, -1, 0, 1})
+}
+
+func BenchmarkHopfieldRecall(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	n := 128
+	h := NewHopfield(n)
+	patterns := make([]Pattern, 5)
+	for i := range patterns {
+		patterns[i] = RandomPattern(rng, n)
+		h.Store(patterns[i])
+	}
+	probe := patterns[0].Corrupt(rng, n/8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := h.Recall(probe, int64(i), 100); !ok {
+			b.Fatal("no convergence")
+		}
+	}
+}
+
+func TestFromThresholdCARejectsAsymmetricSpace(t *testing.T) {
+	// A hand-built space where node 0 reads node 2 but not conversely must
+	// be rejected — the Lyapunov theory requires symmetric coupling.
+	sp, err := space.FromNeighborhoods("asym", [][]int{
+		{0, 1, 2}, // node 0 reads 1 and 2
+		{0, 1, 2},
+		{1, 2}, // node 2 does not read 0
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := automaton.New(sp, rule.Threshold{K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := FromThresholdCA(a); err == nil {
+		t.Fatal("asymmetric space accepted as a symmetric threshold network")
+	}
+}

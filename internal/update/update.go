@@ -1,0 +1,364 @@
+// Package update provides node-update schedules for sequential cellular
+// automata (SCA).
+//
+// The paper's sequential model lets "an arbitrary sequence of node indices —
+// not necessarily a (finite or infinite) permutation" drive the computation:
+// at each micro-step exactly one node recomputes its state. A Schedule is a
+// (possibly infinite) source of node indices. The paper's footnote 2 adds a
+// fairness condition for convergence claims: a bound B such that every node
+// appears at least once in every window of B consecutive steps; RandomFair
+// and RoundRobin satisfy it, Adversarial sequences need not.
+package update
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Schedule yields the index of the next node to update. Implementations may
+// be stateful; Next is not required to be safe for concurrent use.
+type Schedule interface {
+	// Next returns the next node index to update, in [0, n) for the n the
+	// schedule was built for.
+	Next() int
+	// Name describes the schedule.
+	Name() string
+}
+
+// Resettable is implemented by schedules that can restart from their initial
+// state, letting one schedule drive many orbits reproducibly.
+type Resettable interface {
+	Reset()
+}
+
+// RoundRobin cycles 0, 1, …, n−1, 0, 1, … — the canonical fair permutation
+// schedule (fairness bound n).
+type RoundRobin struct {
+	n, next int
+}
+
+// NewRoundRobin returns a round-robin schedule over n nodes.
+func NewRoundRobin(n int) *RoundRobin {
+	if n < 1 {
+		panic(fmt.Sprintf("update: invalid node count %d", n))
+	}
+	return &RoundRobin{n: n}
+}
+
+// Next implements Schedule.
+func (r *RoundRobin) Next() int {
+	i := r.next
+	r.next++
+	if r.next == r.n {
+		r.next = 0
+	}
+	return i
+}
+
+// Name implements Schedule.
+func (r *RoundRobin) Name() string { return fmt.Sprintf("round-robin(n=%d)", r.n) }
+
+// Reset implements Resettable.
+func (r *RoundRobin) Reset() { r.next = 0 }
+
+// Permutation repeats a fixed permutation of the nodes forever: the SDS-style
+// schedule of refs [3-6] (fairness bound n).
+type Permutation struct {
+	perm []int
+	pos  int
+}
+
+// NewPermutation returns a schedule cycling through perm, which must be a
+// permutation of 0..n−1.
+func NewPermutation(perm []int) (*Permutation, error) {
+	n := len(perm)
+	if n == 0 {
+		return nil, fmt.Errorf("update: empty permutation")
+	}
+	seen := make([]bool, n)
+	for _, p := range perm {
+		if p < 0 || p >= n || seen[p] {
+			return nil, fmt.Errorf("update: %v is not a permutation of 0..%d", perm, n-1)
+		}
+		seen[p] = true
+	}
+	cp := append([]int(nil), perm...)
+	return &Permutation{perm: cp}, nil
+}
+
+// MustPermutation is NewPermutation that panics on error.
+func MustPermutation(perm []int) *Permutation {
+	p, err := NewPermutation(perm)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Next implements Schedule.
+func (p *Permutation) Next() int {
+	i := p.perm[p.pos]
+	p.pos++
+	if p.pos == len(p.perm) {
+		p.pos = 0
+	}
+	return i
+}
+
+// Name implements Schedule.
+func (p *Permutation) Name() string { return fmt.Sprintf("permutation(%v)", p.perm) }
+
+// Reset implements Resettable.
+func (p *Permutation) Reset() { p.pos = 0 }
+
+// Perm returns a copy of the underlying permutation.
+func (p *Permutation) Perm() []int { return append([]int(nil), p.perm...) }
+
+// Sequence replays a fixed finite sequence of node indices (not necessarily
+// a permutation — the paper's fully general update order), then repeats it.
+type Sequence struct {
+	seq []int
+	pos int
+}
+
+// NewSequence returns a schedule replaying seq cyclically; indices must lie
+// in [0, n).
+func NewSequence(n int, seq []int) (*Sequence, error) {
+	if len(seq) == 0 {
+		return nil, fmt.Errorf("update: empty sequence")
+	}
+	for _, i := range seq {
+		if i < 0 || i >= n {
+			return nil, fmt.Errorf("update: index %d out of range [0,%d)", i, n)
+		}
+	}
+	return &Sequence{seq: append([]int(nil), seq...)}, nil
+}
+
+// MustSequence is NewSequence that panics on error.
+func MustSequence(n int, seq []int) *Sequence {
+	s, err := NewSequence(n, seq)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Next implements Schedule.
+func (s *Sequence) Next() int {
+	i := s.seq[s.pos]
+	s.pos++
+	if s.pos == len(s.seq) {
+		s.pos = 0
+	}
+	return i
+}
+
+// Name implements Schedule.
+func (s *Sequence) Name() string { return fmt.Sprintf("sequence(len=%d)", len(s.seq)) }
+
+// Reset implements Resettable.
+func (s *Sequence) Reset() { s.pos = 0 }
+
+// Random draws each update node uniformly and independently — the classical
+// "asynchronous CA" discipline of Ingerson & Buvel [10] (which the paper
+// classifies as merely sequential, not genuinely asynchronous). It is fair
+// only in expectation; there is no deterministic fairness bound.
+type Random struct {
+	n   int
+	rng *rand.Rand
+}
+
+// NewRandom returns a uniform random schedule over n nodes seeded by seed.
+func NewRandom(n int, seed int64) *Random {
+	if n < 1 {
+		panic(fmt.Sprintf("update: invalid node count %d", n))
+	}
+	return &Random{n: n, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Next implements Schedule.
+func (r *Random) Next() int { return r.rng.Intn(r.n) }
+
+// Name implements Schedule.
+func (r *Random) Name() string { return fmt.Sprintf("random(n=%d)", r.n) }
+
+// RandomFair draws random node orders but guarantees the paper's footnote-2
+// fairness condition with bound B = 2n−1: it shuffles a fresh permutation of
+// the nodes for every round, so consecutive occurrences of any node are at
+// most 2n−1 steps apart.
+type RandomFair struct {
+	n    int
+	rng  *rand.Rand
+	perm []int
+	pos  int
+}
+
+// NewRandomFair returns a random-permutation-per-round schedule.
+func NewRandomFair(n int, seed int64) *RandomFair {
+	if n < 1 {
+		panic(fmt.Sprintf("update: invalid node count %d", n))
+	}
+	rf := &RandomFair{n: n, rng: rand.New(rand.NewSource(seed)), perm: make([]int, n), pos: 0}
+	for i := range rf.perm {
+		rf.perm[i] = i
+	}
+	rf.shuffle()
+	return rf
+}
+
+func (r *RandomFair) shuffle() {
+	r.rng.Shuffle(r.n, func(i, j int) { r.perm[i], r.perm[j] = r.perm[j], r.perm[i] })
+	r.pos = 0
+}
+
+// Next implements Schedule.
+func (r *RandomFair) Next() int {
+	i := r.perm[r.pos]
+	r.pos++
+	if r.pos == r.n {
+		r.shuffle()
+	}
+	return i
+}
+
+// Name implements Schedule.
+func (r *RandomFair) Name() string { return fmt.Sprintf("random-fair(n=%d)", r.n) }
+
+// FairnessBound returns the deterministic bound B such that every node
+// updates at least once in any window of B steps.
+func (r *RandomFair) FairnessBound() int { return 2*r.n - 1 }
+
+// IsFair checks empirically whether the first steps outputs of a schedule
+// satisfy a fairness bound B over n nodes: every node occurs in every
+// B-window. It returns the first violating window start, or −1 if fair.
+// (The schedule is consumed.)
+func IsFair(s Schedule, n, bound, steps int) int {
+	if bound < n {
+		return 0 // a window smaller than n cannot contain all nodes
+	}
+	hist := make([]int, 0, steps)
+	for i := 0; i < steps; i++ {
+		hist = append(hist, s.Next())
+	}
+	counts := make([]int, n)
+	missing := n
+	for i, node := range hist {
+		if counts[node] == 0 {
+			missing--
+		}
+		counts[node]++
+		if i >= bound {
+			old := hist[i-bound]
+			counts[old]--
+			if counts[old] == 0 {
+				missing++
+			}
+		}
+		if i >= bound-1 && missing > 0 {
+			return i - bound + 1
+		}
+	}
+	return -1
+}
+
+// Func adapts an arbitrary generator function to the Schedule interface —
+// the hook for state-dependent (e.g. adversarial or greedy) orders computed
+// by the caller.
+type Func struct {
+	F     func() int
+	Label string
+}
+
+// Next implements Schedule.
+func (f Func) Next() int { return f.F() }
+
+// Name implements Schedule.
+func (f Func) Name() string {
+	if f.Label == "" {
+		return "func"
+	}
+	return f.Label
+}
+
+// Zigzag sweeps 0,1,…,n−1,n−2,…,1,0,1,… — the boustrophedon order common in
+// relaxation solvers; fair with bound 2n−2.
+type Zigzag struct {
+	n, pos, dir int
+}
+
+// NewZigzag returns a zigzag schedule over n ≥ 1 nodes.
+func NewZigzag(n int) *Zigzag {
+	if n < 1 {
+		panic(fmt.Sprintf("update: invalid node count %d", n))
+	}
+	return &Zigzag{n: n, dir: 1}
+}
+
+// Next implements Schedule.
+func (z *Zigzag) Next() int {
+	i := z.pos
+	if z.n == 1 {
+		return 0
+	}
+	z.pos += z.dir
+	if z.pos == z.n {
+		z.pos = z.n - 2
+		z.dir = -1
+	} else if z.pos == -1 {
+		z.pos = 1
+		z.dir = 1
+	}
+	return i
+}
+
+// Name implements Schedule.
+func (z *Zigzag) Name() string { return fmt.Sprintf("zigzag(n=%d)", z.n) }
+
+// Reset implements Resettable.
+func (z *Zigzag) Reset() { z.pos, z.dir = 0, 1 }
+
+// Permutations invokes visit with every permutation of 0..n−1 in
+// lexicographic order (Heap's algorithm is not used so the order is
+// deterministic and documented). The slice passed to visit is reused;
+// copy it to retain. n must be ≤ 10.
+func Permutations(n int, visit func(perm []int)) {
+	if n < 0 || n > 10 {
+		panic(fmt.Sprintf("update: refusing to enumerate %d! permutations", n))
+	}
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	for {
+		visit(perm)
+		// next lexicographic permutation
+		i := n - 2
+		for i >= 0 && perm[i] >= perm[i+1] {
+			i--
+		}
+		if i < 0 {
+			return
+		}
+		j := n - 1
+		for perm[j] <= perm[i] {
+			j--
+		}
+		perm[i], perm[j] = perm[j], perm[i]
+		for l, r := i+1, n-1; l < r; l, r = l+1, r-1 {
+			perm[l], perm[r] = perm[r], perm[l]
+		}
+	}
+}
+
+// Factorial returns n! for n ≤ 20.
+func Factorial(n int) uint64 {
+	if n < 0 || n > 20 {
+		panic(fmt.Sprintf("update: factorial out of range %d", n))
+	}
+	f := uint64(1)
+	for i := 2; i <= n; i++ {
+		f *= uint64(i)
+	}
+	return f
+}

@@ -1,0 +1,242 @@
+package update
+
+import (
+	"testing"
+)
+
+func take(s Schedule, k int) []int {
+	out := make([]int, k)
+	for i := range out {
+		out[i] = s.Next()
+	}
+	return out
+}
+
+func TestRoundRobin(t *testing.T) {
+	s := NewRoundRobin(3)
+	got := take(s, 7)
+	want := []int{0, 1, 2, 0, 1, 2, 0}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("round robin = %v, want %v", got, want)
+		}
+	}
+	s.Reset()
+	if s.Next() != 0 {
+		t.Error("Reset did not restart")
+	}
+}
+
+func TestPermutationSchedule(t *testing.T) {
+	p := MustPermutation([]int{2, 0, 1})
+	got := take(p, 6)
+	want := []int{2, 0, 1, 2, 0, 1}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("perm schedule = %v, want %v", got, want)
+		}
+	}
+	p.Reset()
+	if p.Next() != 2 {
+		t.Error("Reset did not restart")
+	}
+	pp := p.Perm()
+	pp[0] = 99 // must not alias internal state
+	if p.Perm()[0] == 99 {
+		t.Error("Perm exposes internal slice")
+	}
+}
+
+func TestPermutationValidation(t *testing.T) {
+	for _, bad := range [][]int{{}, {0, 0}, {1, 2}, {0, 2}} {
+		if _, err := NewPermutation(bad); err == nil {
+			t.Errorf("NewPermutation(%v) accepted", bad)
+		}
+	}
+	if _, err := NewPermutation([]int{1, 0, 2}); err != nil {
+		t.Errorf("valid permutation rejected: %v", err)
+	}
+}
+
+func TestSequenceSchedule(t *testing.T) {
+	s := MustSequence(4, []int{1, 1, 3})
+	got := take(s, 7)
+	want := []int{1, 1, 3, 1, 1, 3, 1}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("sequence = %v, want %v", got, want)
+		}
+	}
+	if _, err := NewSequence(2, []int{0, 2}); err == nil {
+		t.Error("out-of-range sequence accepted")
+	}
+	if _, err := NewSequence(2, nil); err == nil {
+		t.Error("empty sequence accepted")
+	}
+}
+
+func TestRandomInRangeAndDeterministic(t *testing.T) {
+	a := NewRandom(5, 7)
+	b := NewRandom(5, 7)
+	for i := 0; i < 100; i++ {
+		x, y := a.Next(), b.Next()
+		if x != y {
+			t.Fatal("same seed diverged")
+		}
+		if x < 0 || x >= 5 {
+			t.Fatalf("out of range %d", x)
+		}
+	}
+}
+
+func TestRandomFairCoversEveryRound(t *testing.T) {
+	rf := NewRandomFair(6, 3)
+	for round := 0; round < 50; round++ {
+		seen := make([]bool, 6)
+		for i := 0; i < 6; i++ {
+			seen[rf.Next()] = true
+		}
+		for i, ok := range seen {
+			if !ok {
+				t.Fatalf("round %d missed node %d", round, i)
+			}
+		}
+	}
+}
+
+func TestRandomFairBound(t *testing.T) {
+	n := 5
+	rf := NewRandomFair(n, 11)
+	if rf.FairnessBound() != 2*n-1 {
+		t.Fatalf("FairnessBound = %d", rf.FairnessBound())
+	}
+	if v := IsFair(NewRandomFair(n, 11), n, 2*n-1, 5000); v != -1 {
+		t.Errorf("RandomFair violated its own bound at window %d", v)
+	}
+}
+
+func TestIsFairDetectsUnfairness(t *testing.T) {
+	// A sequence that never updates node 2.
+	s := MustSequence(3, []int{0, 1})
+	if v := IsFair(s, 3, 10, 100); v == -1 {
+		t.Error("IsFair missed a starved node")
+	}
+	// Round robin is fair with bound n.
+	if v := IsFair(NewRoundRobin(4), 4, 4, 100); v != -1 {
+		t.Errorf("round robin reported unfair at %d", v)
+	}
+	// ... but not with bound < n.
+	if v := IsFair(NewRoundRobin(4), 4, 3, 100); v == -1 {
+		t.Error("bound smaller than n cannot be satisfied")
+	}
+}
+
+func TestPermutationsCountAndOrder(t *testing.T) {
+	var all [][]int
+	Permutations(3, func(p []int) {
+		all = append(all, append([]int(nil), p...))
+	})
+	if len(all) != 6 {
+		t.Fatalf("got %d permutations, want 6", len(all))
+	}
+	want := [][]int{{0, 1, 2}, {0, 2, 1}, {1, 0, 2}, {1, 2, 0}, {2, 0, 1}, {2, 1, 0}}
+	for i := range want {
+		for j := range want[i] {
+			if all[i][j] != want[i][j] {
+				t.Fatalf("perm %d = %v, want %v", i, all[i], want[i])
+			}
+		}
+	}
+}
+
+func TestPermutationsUniqueness(t *testing.T) {
+	seen := map[string]bool{}
+	Permutations(4, func(p []int) {
+		key := ""
+		for _, x := range p {
+			key += string(rune('0' + x))
+		}
+		if seen[key] {
+			t.Fatalf("duplicate permutation %v", p)
+		}
+		seen[key] = true
+	})
+	if len(seen) != 24 {
+		t.Fatalf("got %d unique permutations, want 24", len(seen))
+	}
+}
+
+func TestPermutationsEmptyAndRefusal(t *testing.T) {
+	count := 0
+	Permutations(0, func(p []int) { count++ })
+	if count != 1 {
+		t.Errorf("0 nodes should yield exactly the empty permutation, got %d", count)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Permutations(11,·) did not panic")
+		}
+	}()
+	Permutations(11, func([]int) {})
+}
+
+func TestFactorial(t *testing.T) {
+	cases := map[int]uint64{0: 1, 1: 1, 5: 120, 10: 3628800, 20: 2432902008176640000}
+	for n, want := range cases {
+		if got := Factorial(n); got != want {
+			t.Errorf("%d! = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestScheduleNames(t *testing.T) {
+	for _, s := range []Schedule{
+		NewRoundRobin(3), MustPermutation([]int{0, 1}), MustSequence(2, []int{0}),
+		NewRandom(3, 1), NewRandomFair(3, 1),
+	} {
+		if s.Name() == "" {
+			t.Errorf("%T has empty name", s)
+		}
+	}
+}
+
+func TestFuncSchedule(t *testing.T) {
+	i := 0
+	s := Func{F: func() int { i++; return i - 1 }, Label: "count"}
+	got := take(s, 3)
+	if got[0] != 0 || got[1] != 1 || got[2] != 2 {
+		t.Errorf("Func schedule %v", got)
+	}
+	if s.Name() != "count" {
+		t.Errorf("Name = %q", s.Name())
+	}
+	if (Func{F: func() int { return 0 }}).Name() != "func" {
+		t.Error("default name wrong")
+	}
+}
+
+func TestZigzag(t *testing.T) {
+	z := NewZigzag(4)
+	got := take(z, 10)
+	want := []int{0, 1, 2, 3, 2, 1, 0, 1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("zigzag %v, want %v", got, want)
+		}
+	}
+	z.Reset()
+	if z.Next() != 0 {
+		t.Error("Reset failed")
+	}
+	// Fairness bound 2n−2.
+	if v := IsFair(NewZigzag(5), 5, 8, 200); v != -1 {
+		t.Errorf("zigzag unfair at %d", v)
+	}
+	// Degenerate single node.
+	one := NewZigzag(1)
+	for i := 0; i < 3; i++ {
+		if one.Next() != 0 {
+			t.Fatal("zigzag(1) broken")
+		}
+	}
+}

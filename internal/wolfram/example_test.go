@@ -1,0 +1,29 @@
+package wolfram_test
+
+import (
+	"fmt"
+
+	"repro/internal/wolfram"
+)
+
+// Classifying an elementary rule: 232 is the paper's MAJORITY.
+func ExampleClassify() {
+	c := wolfram.Classify(232)
+	fmt.Println("symmetric:", c.Symmetric)
+	fmt.Println("monotone: ", c.Monotone)
+	fmt.Println("threshold k:", c.ThresholdK)
+	// Output:
+	// symmetric: true
+	// monotone:  true
+	// threshold k: 2
+}
+
+// The E19 census: which hypotheses of Theorem 1 are load-bearing.
+func ExampleTakeCensus() {
+	c := wolfram.TakeCensus(5)
+	fmt.Println("thresholds:", c.Thresholds)
+	fmt.Println("monotone but sequentially cyclic:", c.MonotoneButCyclic)
+	// Output:
+	// thresholds: [0 128 232 254 255]
+	// monotone but sequentially cyclic: [170 240]
+}

@@ -1,0 +1,208 @@
+// Package wolfram classifies the 256 elementary cellular automata (ECA) —
+// the radius-1 Boolean rules of refs [20-22] — and uses them to probe the
+// paper's §4 question: *at what point of increasing rule complexity do the
+// possible sequential computations catch up with the concurrent ones?*
+//
+// For each rule code the package decides the structural properties the
+// paper's results hinge on (symmetric/totalistic, monotone, threshold,
+// quiescent-preserving, self-dual), plus two classical CA properties for
+// breadth (additivity over GF(2) and number conservation), and the dynamic
+// property at the heart of the paper: whether the rule's *sequential* phase
+// space is cycle-free on rings.
+//
+// The headline census (experiment E19): among all 256 ECA, sequential
+// acyclicity on rings coincides neither with monotonicity nor with
+// symmetry alone — e.g. the monotone shift rule 170 cycles sequentially —
+// but every monotone *and* symmetric (= threshold) rule is acyclic,
+// exactly the class Theorem 1 identifies.
+package wolfram
+
+import (
+	"fmt"
+
+	"repro/internal/automaton"
+	"repro/internal/config"
+	"repro/internal/phasespace"
+	"repro/internal/rule"
+	"repro/internal/space"
+)
+
+// Class records the structural classification of one elementary rule.
+type Class struct {
+	Code      uint8
+	Symmetric bool // totalistic: output depends only on #1s
+	Monotone  bool
+	// ThresholdK is the k of the equivalent k-of-3 threshold, or −1 when
+	// the rule is not a threshold (i.e. not monotone-symmetric).
+	ThresholdK int
+	Quiescent  bool // f(0,0,0) = 0
+	SelfDual   bool
+	// Additive: f(x ⊕ y) = f(x) ⊕ f(y) — the GF(2)-linear rules (e.g. 90, 150).
+	Additive bool
+	// NumberConserving: the rule preserves the number of 1s on every ring
+	// (verified exhaustively on rings n = 3..9; for radius 1 this window is
+	// conclusive — e.g. rule 184, the traffic rule).
+	NumberConserving bool
+	// Mirror and Conjugate are the codes of the left-right reflected rule
+	// and of the 0↔1 complement-conjugated rule; together they generate the
+	// standard 4-element equivalence class of an ECA.
+	Mirror    uint8
+	Conjugate uint8
+}
+
+// Classify computes the structural class of one rule code.
+func Classify(code uint8) Class {
+	t := rule.Elementary(code)
+	c := Class{
+		Code:       code,
+		Symmetric:  rule.IsSymmetric(t, 3),
+		Monotone:   rule.IsMonotone(t, 3),
+		ThresholdK: -1,
+		Quiescent:  rule.IsQuiescent(t, 3),
+		SelfDual:   rule.SelfDual(t, 3),
+		Additive:   isAdditive(t),
+		Mirror:     CodeOf(rule.Reflect(t, 3)),
+		Conjugate:  CodeOf(rule.Complement(t, 3)),
+	}
+	if k, ok := rule.IsThreshold(t, 3); ok {
+		c.ThresholdK = k
+	}
+	c.NumberConserving = isNumberConserving(t)
+	return c
+}
+
+// ClassifyAll classifies all 256 elementary rules.
+func ClassifyAll() []Class {
+	out := make([]Class, 256)
+	for code := 0; code < 256; code++ {
+		out[code] = Classify(uint8(code))
+	}
+	return out
+}
+
+// CodeOf recovers the Wolfram code of a 3-input table rule.
+func CodeOf(t *rule.Table) uint8 {
+	if t.Arity() != 3 {
+		panic(fmt.Sprintf("wolfram: rule arity %d", t.Arity()))
+	}
+	var code uint8
+	for i := uint64(0); i < 8; i++ {
+		// table index encodes (l, c, r) LSB-first; Wolfram bit is l<<2|c<<1|r.
+		l, c, r := i&1, i>>1&1, i>>2&1
+		if t.Lookup(i) == 1 {
+			code |= 1 << (l<<2 | c<<1 | r)
+		}
+	}
+	return code
+}
+
+// isAdditive reports GF(2)-linearity: f(x ⊕ y) = f(x) ⊕ f(y) for all input
+// pairs (this forces f(0) = 0).
+func isAdditive(t *rule.Table) bool {
+	for x := uint64(0); x < 8; x++ {
+		for y := uint64(0); y < 8; y++ {
+			if t.Lookup(x^y) != t.Lookup(x)^t.Lookup(y) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// isNumberConserving checks density conservation exhaustively on rings of
+// 3..9 cells.
+func isNumberConserving(t *rule.Table) bool {
+	for n := 3; n <= 9; n++ {
+		a, err := automaton.New(space.Ring(n, 1), t)
+		if err != nil {
+			return false
+		}
+		dst := config.New(n)
+		conserves := true
+		config.Space(n, func(_ uint64, c config.Config) {
+			a.Step(dst, c)
+			if dst.Ones() != c.Ones() {
+				conserves = false
+			}
+		})
+		if !conserves {
+			return false
+		}
+	}
+	return true
+}
+
+// SequentiallyAcyclic reports whether rule code's sequential phase space on
+// an n-ring is cycle-free (no update sequence ever revisits a left
+// configuration) — the property Theorem 1 guarantees for thresholds.
+func SequentiallyAcyclic(code uint8, n int) bool {
+	a, err := automaton.New(space.Ring(n, 1), rule.Elementary(code))
+	if err != nil {
+		panic(err)
+	}
+	_, ok := phasespace.BuildSequential(a).Acyclic()
+	return ok
+}
+
+// MaxParallelPeriod returns the longest cycle period in the parallel phase
+// space of rule code on an n-ring.
+func MaxParallelPeriod(code uint8, n int) int {
+	a, err := automaton.New(space.Ring(n, 1), rule.Elementary(code))
+	if err != nil {
+		panic(err)
+	}
+	return phasespace.BuildParallel(a).MaxPeriod()
+}
+
+// Census aggregates the E19 sweep over all 256 rules on one ring size.
+type Census struct {
+	N int // ring size used for the dynamic properties
+
+	Monotone              []uint8 // rules that are monotone
+	Symmetric             []uint8
+	Thresholds            []uint8 // monotone ∧ symmetric
+	Additive              []uint8
+	NumberConservingRules []uint8
+
+	SequentiallyAcyclic []uint8 // cycle-free sequential phase space on the n-ring
+	// MonotoneButCyclic are monotone rules whose SCA nonetheless cycle —
+	// the witnesses that Theorem 1's symmetry hypothesis is essential.
+	MonotoneButCyclic []uint8
+	// AcyclicButNotThreshold are sequentially acyclic rules outside the
+	// threshold class — sequential acyclicity is strictly weaker than
+	// being a threshold rule.
+	AcyclicButNotThreshold []uint8
+}
+
+// TakeCensus sweeps all 256 rules on an n-ring (n ≤ 10 keeps it fast).
+func TakeCensus(n int) Census {
+	c := Census{N: n}
+	for code := 0; code < 256; code++ {
+		cl := Classify(uint8(code))
+		if cl.Monotone {
+			c.Monotone = append(c.Monotone, cl.Code)
+		}
+		if cl.Symmetric {
+			c.Symmetric = append(c.Symmetric, cl.Code)
+		}
+		if cl.ThresholdK >= 0 {
+			c.Thresholds = append(c.Thresholds, cl.Code)
+		}
+		if cl.Additive {
+			c.Additive = append(c.Additive, cl.Code)
+		}
+		if cl.NumberConserving {
+			c.NumberConservingRules = append(c.NumberConservingRules, cl.Code)
+		}
+		acyclic := SequentiallyAcyclic(cl.Code, n)
+		if acyclic {
+			c.SequentiallyAcyclic = append(c.SequentiallyAcyclic, cl.Code)
+			if cl.ThresholdK < 0 {
+				c.AcyclicButNotThreshold = append(c.AcyclicButNotThreshold, cl.Code)
+			}
+		} else if cl.Monotone {
+			c.MonotoneButCyclic = append(c.MonotoneButCyclic, cl.Code)
+		}
+	}
+	return c
+}

@@ -1,0 +1,241 @@
+package wolfram
+
+import (
+	"testing"
+
+	"repro/internal/rule"
+)
+
+func contains(xs []uint8, v uint8) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+func TestClassifyMajority232(t *testing.T) {
+	c := Classify(232)
+	if !c.Symmetric || !c.Monotone || c.ThresholdK != 2 {
+		t.Errorf("rule 232: %+v", c)
+	}
+	if !c.Quiescent || !c.SelfDual {
+		t.Errorf("rule 232 quiescent/self-dual: %+v", c)
+	}
+	if c.Mirror != 232 || c.Conjugate != 232 {
+		t.Errorf("rule 232 should be mirror- and conjugate-invariant: %+v", c)
+	}
+	if c.Additive || c.NumberConserving {
+		t.Errorf("rule 232 misclassified: %+v", c)
+	}
+}
+
+func TestClassifyParity150(t *testing.T) {
+	c := Classify(150)
+	if !c.Symmetric || c.Monotone || c.ThresholdK != -1 || !c.Additive {
+		t.Errorf("rule 150: %+v", c)
+	}
+}
+
+func TestClassifyShift170(t *testing.T) {
+	c := Classify(170) // f(l,c,r) = r
+	if c.Symmetric || !c.Monotone {
+		t.Errorf("rule 170: %+v", c)
+	}
+	if !c.NumberConserving {
+		t.Error("shift must conserve density")
+	}
+	if c.Mirror != 240 { // f = l
+		t.Errorf("mirror of 170 = %d, want 240", c.Mirror)
+	}
+}
+
+func TestKnownEquivalences(t *testing.T) {
+	// Mirror and conjugate of rule 110 are 124 and 137 (standard tables).
+	c := Classify(110)
+	if c.Mirror != 124 {
+		t.Errorf("mirror(110) = %d, want 124", c.Mirror)
+	}
+	if c.Conjugate != 137 {
+		t.Errorf("conjugate(110) = %d, want 137", c.Conjugate)
+	}
+	// Rule 90's class: mirror-invariant, conjugate 165.
+	c90 := Classify(90)
+	if c90.Mirror != 90 || c90.Conjugate != 165 {
+		t.Errorf("rule 90 equivalences: %+v", c90)
+	}
+}
+
+func TestMirrorAndConjugateAreInvolutions(t *testing.T) {
+	for code := 0; code < 256; code++ {
+		c := Classify(uint8(code))
+		if Classify(c.Mirror).Mirror != uint8(code) {
+			t.Fatalf("mirror not involutive at %d", code)
+		}
+		if Classify(c.Conjugate).Conjugate != uint8(code) {
+			t.Fatalf("conjugate not involutive at %d", code)
+		}
+	}
+}
+
+func TestCodeOfRoundTrip(t *testing.T) {
+	for code := 0; code < 256; code++ {
+		if got := CodeOf(rule.Elementary(uint8(code))); got != uint8(code) {
+			t.Fatalf("CodeOf(Elementary(%d)) = %d", code, got)
+		}
+	}
+}
+
+func TestAdditiveRulesExactSet(t *testing.T) {
+	// GF(2)-linear 3-input rules: f = a·l ⊕ b·c ⊕ c·r, 8 in total.
+	want := map[uint8]bool{0: true, 60: true, 90: true, 102: true,
+		150: true, 170: true, 204: true, 240: true}
+	for code := 0; code < 256; code++ {
+		c := Classify(uint8(code))
+		if c.Additive != want[uint8(code)] {
+			t.Errorf("rule %d additive = %v, want %v", code, c.Additive, want[uint8(code)])
+		}
+	}
+}
+
+func TestNumberConservingExactSet(t *testing.T) {
+	// The five radius-1 number-conserving rules: identity, the two shifts,
+	// and the traffic rule with its mirror.
+	want := map[uint8]bool{204: true, 170: true, 240: true, 184: true, 226: true}
+	for code := 0; code < 256; code++ {
+		c := Classify(uint8(code))
+		if c.NumberConserving != want[uint8(code)] {
+			t.Errorf("rule %d number-conserving = %v, want %v", code, c.NumberConserving, want[uint8(code)])
+		}
+	}
+}
+
+func TestThresholdRulesExactSet(t *testing.T) {
+	// k-of-3 thresholds as ECA codes: const-0, AND, MAJ, OR, const-1.
+	want := map[uint8]int{0: 4, 128: 3, 232: 2, 254: 1, 255: 0}
+	for code := 0; code < 256; code++ {
+		c := Classify(uint8(code))
+		k, isTh := want[uint8(code)]
+		if isTh {
+			// Constant-one threshold materializes with k = 0; the constant-
+			// zero rule's minimal k is any value > 3 — IsThreshold reports
+			// m+1 = 4.
+			if c.ThresholdK != k {
+				t.Errorf("rule %d threshold k = %d, want %d", code, c.ThresholdK, k)
+			}
+		} else if c.ThresholdK != -1 {
+			t.Errorf("rule %d spuriously classified as threshold k=%d", code, c.ThresholdK)
+		}
+	}
+}
+
+func TestMonotoneCountIsDedekind3(t *testing.T) {
+	// There are exactly 20 monotone Boolean functions of 3 variables.
+	count := 0
+	for code := 0; code < 256; code++ {
+		if Classify(uint8(code)).Monotone {
+			count++
+		}
+	}
+	if count != 20 {
+		t.Errorf("monotone ECA count = %d, want 20 (Dedekind)", count)
+	}
+}
+
+func TestSymmetricCountIs16(t *testing.T) {
+	count := 0
+	for code := 0; code < 256; code++ {
+		if Classify(uint8(code)).Symmetric {
+			count++
+		}
+	}
+	if count != 16 {
+		t.Errorf("symmetric ECA count = %d, want 16", count)
+	}
+}
+
+func TestSequentialAcyclicityOfKeyRules(t *testing.T) {
+	n := 6
+	// All five thresholds are acyclic (Theorem 1).
+	for _, code := range []uint8{0, 128, 232, 254, 255} {
+		if !SequentiallyAcyclic(code, n) {
+			t.Errorf("threshold rule %d sequentially cyclic", code)
+		}
+	}
+	// Parity cycles (non-monotone).
+	if SequentiallyAcyclic(150, n) {
+		t.Error("rule 150 should cycle sequentially")
+	}
+	// The monotone shift rule 170 cycles: symmetry is essential in Thm 1.
+	if SequentiallyAcyclic(170, n) {
+		t.Error("rule 170 should cycle sequentially despite monotonicity")
+	}
+}
+
+func TestCensusShape(t *testing.T) {
+	c := TakeCensus(5)
+	if len(c.Thresholds) != 5 {
+		t.Errorf("thresholds: %v", c.Thresholds)
+	}
+	if len(c.Monotone) != 20 || len(c.Symmetric) != 16 {
+		t.Errorf("monotone %d symmetric %d", len(c.Monotone), len(c.Symmetric))
+	}
+	// Every threshold rule must be in the acyclic set.
+	for _, th := range c.Thresholds {
+		if !contains(c.SequentiallyAcyclic, th) {
+			t.Errorf("threshold rule %d missing from acyclic set", th)
+		}
+	}
+	// Rule 170 witnesses monotone-but-cyclic.
+	if !contains(c.MonotoneButCyclic, 170) {
+		t.Errorf("rule 170 missing from MonotoneButCyclic: %v", c.MonotoneButCyclic)
+	}
+	// The identity rule 204 is acyclic (every update is a no-op) but not a
+	// threshold: sequential acyclicity is strictly weaker.
+	if !contains(c.AcyclicButNotThreshold, 204) {
+		t.Errorf("rule 204 missing from AcyclicButNotThreshold: %v", c.AcyclicButNotThreshold)
+	}
+	if len(c.NumberConservingRules) != 5 || len(c.Additive) != 8 {
+		t.Errorf("number-conserving %v additive %v", c.NumberConservingRules, c.Additive)
+	}
+}
+
+func TestMaxParallelPeriod(t *testing.T) {
+	// Majority on an even ring: max period 2.
+	if p := MaxParallelPeriod(232, 8); p != 2 {
+		t.Errorf("rule 232 max period %d, want 2", p)
+	}
+	// Shift rule on an n-ring cycles with period dividing n; on 6-ring the
+	// max period is 6.
+	if p := MaxParallelPeriod(170, 6); p != 6 {
+		t.Errorf("rule 170 max period %d, want 6", p)
+	}
+	// Identity: everything is a fixed point.
+	if p := MaxParallelPeriod(204, 6); p != 1 {
+		t.Errorf("rule 204 max period %d, want 1", p)
+	}
+}
+
+func TestCensusAcyclicityConsistentAcrossSizes(t *testing.T) {
+	// Acyclicity verdicts for the five thresholds and the two witnesses
+	// must agree between ring sizes 4 and 7 (the phenomenon is not a
+	// small-size artifact).
+	for _, code := range []uint8{0, 128, 232, 254, 255, 150, 170} {
+		if SequentiallyAcyclic(code, 4) != SequentiallyAcyclic(code, 7) {
+			t.Errorf("rule %d: acyclicity differs between n=4 and n=7", code)
+		}
+	}
+}
+
+func BenchmarkClassifyAll(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		ClassifyAll()
+	}
+}
+
+func BenchmarkCensus6(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		TakeCensus(6)
+	}
+}

@@ -1,0 +1,109 @@
+package repro
+
+import (
+	"io"
+
+	"repro/internal/automaton"
+	"repro/internal/config"
+	"repro/internal/interleave"
+	"repro/internal/phasespace"
+	"repro/internal/render"
+	"repro/internal/rule"
+	"repro/internal/space"
+	"repro/internal/update"
+)
+
+// Re-exported core types, so that typical users need only this package.
+type (
+	// Automaton couples a cellular space with local update rules.
+	Automaton = automaton.Automaton
+	// Config is a global Boolean configuration.
+	Config = config.Config
+	// Space is a finite cellular space (regular graph + neighborhoods).
+	Space = space.Space
+	// Rule is a Boolean local update rule.
+	Rule = rule.Rule
+	// Schedule drives sequential node updates.
+	Schedule = update.Schedule
+	// OrbitResult classifies an orbit's eventual behavior.
+	OrbitResult = automaton.OrbitResult
+	// Census summarizes a parallel phase space.
+	Census = phasespace.Census
+)
+
+// Ring returns the 1-D cellular space on n nodes with circular boundary
+// conditions and radius r — the paper's standard finite space.
+func Ring(n, r int) Space { return space.Ring(n, r) }
+
+// Line returns the bounded 1-D space on n nodes with radius r.
+func Line(n, r int) Space { return space.Line(n, r) }
+
+// Majority returns the MAJORITY rule of radius r (2r+1 inputs).
+func Majority(r int) Rule { return rule.Majority(r) }
+
+// Threshold returns the k-of-m symmetric threshold rule (arity-agnostic).
+func Threshold(k int) Rule { return rule.Threshold{K: k} }
+
+// XOR returns the parity rule.
+func XOR() Rule { return rule.XOR{} }
+
+// Elementary returns Wolfram elementary rule code (radius 1).
+func Elementary(code uint8) Rule { return rule.Elementary(code) }
+
+// New builds a homogeneous automaton over a space and rule.
+func New(s Space, r Rule) (*Automaton, error) { return automaton.New(s, r) }
+
+// MustNew is New that panics on error.
+func MustNew(s Space, r Rule) *Automaton { return automaton.MustNew(s, r) }
+
+// ParseConfig builds a configuration from a '0'/'1' string.
+func ParseConfig(s string) (Config, error) { return config.Parse(s) }
+
+// Alternating returns the 0101… configuration of Lemma 1(i)'s 2-cycle.
+func Alternating(n int, phase uint8) Config { return config.Alternating(n, phase) }
+
+// RoundRobin returns the canonical fair sequential schedule.
+func RoundRobin(n int) Schedule { return update.NewRoundRobin(n) }
+
+// RandomFair returns a seeded random schedule satisfying the paper's
+// footnote-2 fairness condition with bound 2n−1.
+func RandomFair(n int, seed int64) Schedule { return update.NewRandomFair(n, seed) }
+
+// Converge iterates the parallel map from x0 and classifies the orbit
+// (fixed point, cycle + period, or unresolved within maxSteps).
+func Converge(a *Automaton, x0 Config, maxSteps int) OrbitResult {
+	return a.Converge(x0, maxSteps)
+}
+
+// SequentialAcyclic reports whether the automaton's full sequential phase
+// space is cycle-free — true for every monotone symmetric (threshold) rule
+// (Theorem 1), false e.g. for XOR. The automaton must have at most
+// phasespace.MaxSequentialNodes nodes.
+func SequentialAcyclic(a *Automaton) bool {
+	_, ok := phasespace.BuildSequential(a).Acyclic()
+	return ok
+}
+
+// ParallelCensus enumerates the full parallel phase space and returns its
+// census (fixed points, proper cycles, transients, Garden-of-Eden states).
+func ParallelCensus(a *Automaton) Census {
+	return phasespace.BuildParallel(a).TakeCensus()
+}
+
+// HasTwoCycle reports whether x lies on a proper temporal 2-cycle of the
+// parallel map — the Lemma 1(i) / Corollary 1 certificate.
+func HasTwoCycle(a *Automaton, x Config) bool { return a.IsTwoCycle(x) }
+
+// InterleavingGranularity reports whether the parallel step from start can
+// be reproduced by sequential interleavings at (fetch/store) micro-op
+// granularity and at whole-node-update granularity, respectively — the §5
+// experiment. The automaton must have at most 6 nodes.
+func InterleavingGranularity(a *Automaton, start Config) (micro, atomic bool) {
+	rep := interleave.CheckRecovery(a, start)
+	return rep.MicroReaches, rep.AtomicReaches
+}
+
+// SpaceTime writes an ASCII space-time diagram of the parallel orbit.
+func SpaceTime(w io.Writer, a *Automaton, x0 Config, steps int) error {
+	return render.SpaceTime(w, a, x0, steps)
+}

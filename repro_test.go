@@ -1,0 +1,102 @@
+package repro_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro"
+)
+
+func TestFacadeQuickstartFlow(t *testing.T) {
+	// The README quickstart, as a test: parallel MAJORITY ring oscillates,
+	// sequential never cycles.
+	a := repro.MustNew(repro.Ring(8, 1), repro.Majority(1))
+	alt := repro.Alternating(8, 0)
+	if !repro.HasTwoCycle(a, alt) {
+		t.Fatal("alternating configuration should lie on a parallel 2-cycle")
+	}
+	if !repro.SequentialAcyclic(a) {
+		t.Fatal("sequential MAJORITY phase space should be acyclic")
+	}
+	res := repro.Converge(a, alt, 100)
+	if res.Period != 2 {
+		t.Fatalf("Converge period = %d, want 2", res.Period)
+	}
+}
+
+func TestFacadeCensus(t *testing.T) {
+	a := repro.MustNew(repro.Ring(10, 1), repro.Majority(1))
+	c := repro.ParallelCensus(a)
+	if c.ProperCycles == 0 || c.CyclesWithIncomingTransients != 0 {
+		t.Fatalf("census %+v", c)
+	}
+}
+
+func TestFacadeInterleavingGranularity(t *testing.T) {
+	a := repro.MustNew(repro.Ring(4, 1), repro.Majority(1))
+	micro, atomic := repro.InterleavingGranularity(a, repro.Alternating(4, 0))
+	if !micro || atomic {
+		t.Fatalf("micro=%v atomic=%v; want true,false", micro, atomic)
+	}
+}
+
+func TestFacadeXORContrast(t *testing.T) {
+	x := repro.MustNew(repro.Ring(4, 1), repro.XOR())
+	if repro.SequentialAcyclic(x) {
+		t.Fatal("sequential XOR should have cycles")
+	}
+}
+
+func TestFacadeThresholdAndElementary(t *testing.T) {
+	// Rule 232 is MAJORITY; both constructions must agree exhaustively.
+	a1 := repro.MustNew(repro.Ring(7, 1), repro.Majority(1))
+	a2 := repro.MustNew(repro.Ring(7, 1), repro.Elementary(232))
+	c1 := repro.ParallelCensus(a1)
+	c2 := repro.ParallelCensus(a2)
+	if c1 != c2 {
+		t.Fatalf("census mismatch:\n%+v\n%+v", c1, c2)
+	}
+	// Threshold(2) on radius-1 ring is also majority-of-3.
+	a3 := repro.MustNew(repro.Ring(7, 1), repro.Threshold(2))
+	if c3 := repro.ParallelCensus(a3); c3 != c1 {
+		t.Fatalf("threshold census mismatch: %+v vs %+v", c3, c1)
+	}
+}
+
+func TestFacadeScheduleAndParse(t *testing.T) {
+	c, err := repro.ParseConfig("0101")
+	if err != nil || c.N() != 4 {
+		t.Fatalf("ParseConfig: %v", err)
+	}
+	if repro.RoundRobin(3).Next() != 0 {
+		t.Error("RoundRobin broken")
+	}
+	s := repro.RandomFair(5, 1)
+	seen := map[int]bool{}
+	for i := 0; i < 5; i++ {
+		seen[s.Next()] = true
+	}
+	if len(seen) != 5 {
+		t.Error("RandomFair first round incomplete")
+	}
+}
+
+func TestFacadeSpaceTime(t *testing.T) {
+	a := repro.MustNew(repro.Ring(6, 1), repro.Majority(1))
+	var b strings.Builder
+	if err := repro.SpaceTime(&b, a, repro.Alternating(6, 0), 3); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "#.#.#.") {
+		t.Errorf("diagram:\n%s", b.String())
+	}
+}
+
+func TestFacadeLine(t *testing.T) {
+	// Lines work with arity-agnostic rules (truncated borders).
+	a := repro.MustNew(repro.Line(5, 1), repro.Threshold(2))
+	res := repro.Converge(a, repro.Alternating(5, 0), 100)
+	if res.Outcome.String() == "unresolved" {
+		t.Fatal("line threshold CA did not settle")
+	}
+}
