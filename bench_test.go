@@ -489,3 +489,45 @@ func BenchmarkAblation_StepWorkers(b *testing.B) {
 		})
 	}
 }
+
+// Ablation: bit-sliced batch kernel vs scalar reference for full parallel
+// phase-space construction (radius-1 MAJORITY ring, n = 20, 2^20 configs).
+// The packed path must win by ≥ 4× for the configuration-parallel
+// enumeration to pay for its complexity.
+func BenchmarkAblation_PackedVsScalarBuild(b *testing.B) {
+	a := majRing(b, 20, 1)
+	b.Run("packed", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			p := phasespace.BuildParallelWorkers(a, 1)
+			if p.Size() != 1<<20 {
+				b.Fatal("bad size")
+			}
+		}
+	})
+	b.Run("scalar", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			p := phasespace.BuildParallelScalar(a)
+			if p.Size() != 1<<20 {
+				b.Fatal("bad size")
+			}
+		}
+	})
+}
+
+// Ablation: worker scaling of the sharded parallel builder. The generic
+// (non-batchable) XOR rule isolates the sharding lever from the batch
+// kernel.
+func BenchmarkAblation_BuildWorkers(b *testing.B) {
+	a := automaton.MustNew(space.Ring(18, 1), rule.XOR{})
+	for _, workers := range []int{1, 2, 4, 8} {
+		workers := workers
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				p := phasespace.BuildParallelWorkers(a, workers)
+				if p.Size() != 1<<18 {
+					b.Fatal("bad size")
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,94 @@
+// Command ca-bench runs the repository's benchmark suite (the E01–E26
+// experiment benchmarks plus the BenchmarkAblation_* ablations in
+// bench_test.go) and writes the results as machine-readable JSON, one file
+// per run:
+//
+//	ca-bench                         # run everything, write BENCH_<date>.json
+//	ca-bench -bench 'Ablation'       # only the ablations
+//	ca-bench -out results.json       # explicit output path
+//	ca-bench -parse -input raw.txt   # convert an existing `go test -bench` log
+//
+// The tool shells out to `go test -run ^$ -bench <pattern> -benchmem .` in
+// the module root, parses the standard benchmark output lines, and emits
+//
+//	{"date": "...", "go": "...", "results": [{"name": ..., "ns_per_op": ...,
+//	 "bytes_per_op": ..., "allocs_per_op": ...}, ...]}
+//
+// so CI and EXPERIMENTS.md updates can diff performance across commits
+// without scraping free-form text.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"runtime"
+	"time"
+)
+
+func main() {
+	var (
+		bench   = flag.String("bench", ".", "benchmark regexp passed to go test -bench")
+		out     = flag.String("out", "", "output path (default BENCH_<yyyy-mm-dd>.json)")
+		dir     = flag.String("dir", ".", "module directory to benchmark")
+		parse   = flag.Bool("parse", false, "parse an existing benchmark log instead of running go test")
+		input   = flag.String("input", "", "benchmark log to parse (with -parse; default stdin)")
+		timeout = flag.Duration("timeout", 30*time.Minute, "go test timeout")
+	)
+	flag.Parse()
+	if err := run(*bench, *out, *dir, *input, *parse, *timeout); err != nil {
+		fmt.Fprintln(os.Stderr, "ca-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(bench, out, dir, input string, parseOnly bool, timeout time.Duration) error {
+	var raw []byte
+	var err error
+	if parseOnly {
+		if input == "" {
+			raw, err = io.ReadAll(os.Stdin)
+		} else {
+			raw, err = os.ReadFile(input)
+		}
+		if err != nil {
+			return err
+		}
+	} else {
+		cmd := exec.Command("go", "test", "-run", "^$",
+			"-bench", bench, "-benchmem", "-timeout", timeout.String(), ".")
+		cmd.Dir = dir
+		cmd.Stderr = os.Stderr
+		raw, err = cmd.Output()
+		if err != nil {
+			return fmt.Errorf("go test -bench: %w", err)
+		}
+	}
+
+	results := parseBenchLines(string(raw))
+	if len(results) == 0 {
+		return fmt.Errorf("no benchmark result lines found")
+	}
+	report := Report{
+		Date:    time.Now().Format("2006-01-02"),
+		Go:      runtime.Version(),
+		Bench:   bench,
+		Results: results,
+	}
+	if out == "" {
+		out = fmt.Sprintf("BENCH_%s.json", report.Date)
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d benchmark results to %s\n", len(results), out)
+	return nil
+}

@@ -1,0 +1,75 @@
+package main
+
+import (
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Report is the JSON document ca-bench emits.
+type Report struct {
+	Date    string   `json:"date"`
+	Go      string   `json:"go"`
+	Bench   string   `json:"bench"`
+	Results []Result `json:"results"`
+}
+
+// Result is one parsed benchmark line.
+type Result struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
+	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+	MBPerSec    float64 `json:"mb_per_sec,omitempty"`
+}
+
+// benchLine matches standard `go test -bench` output, e.g.
+//
+//	BenchmarkE05_Theorem1-8   100  11045 ns/op  2048 B/op  3 allocs/op
+//	BenchmarkAblation_StepWorkers/workers=4-8  500  2113 ns/op  4096.00 MB/s
+//
+// The name always starts with "Benchmark"; the trailing -N GOMAXPROCS
+// suffix is stripped. Metric fields after ns/op are optional and may
+// appear in any order.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(.*)$`)
+
+var metricField = regexp.MustCompile(`([\d.]+) (B/op|allocs/op|MB/s)`)
+
+// parseBenchLines extracts every benchmark result from raw `go test -bench`
+// output, skipping goos/goarch/cpu headers, PASS/ok trailers and any
+// interleaved test output.
+func parseBenchLines(raw string) []Result {
+	var out []Result
+	for _, line := range strings.Split(raw, "\n") {
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(line))
+		if m == nil {
+			continue
+		}
+		iters, err := strconv.ParseInt(m[2], 10, 64)
+		if err != nil {
+			continue
+		}
+		ns, err := strconv.ParseFloat(m[3], 64)
+		if err != nil {
+			continue
+		}
+		r := Result{Name: m[1], Iterations: iters, NsPerOp: ns}
+		for _, f := range metricField.FindAllStringSubmatch(m[4], -1) {
+			v, err := strconv.ParseFloat(f[1], 64)
+			if err != nil {
+				continue
+			}
+			switch f[2] {
+			case "B/op":
+				r.BytesPerOp = int64(v)
+			case "allocs/op":
+				r.AllocsPerOp = int64(v)
+			case "MB/s":
+				r.MBPerSec = v
+			}
+		}
+		out = append(out, r)
+	}
+	return out
+}

@@ -1,0 +1,90 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+const sampleLog = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkE01_Fig1aParallelXOR-8   	  500000	      2450 ns/op	     128 B/op	       4 allocs/op
+BenchmarkAblation_PackedVsScalarBuild/packed-8         	     100	  11289000 ns/op
+BenchmarkAblation_PackedVsScalarBuild/scalar-8         	       3	 422665110 ns/op
+BenchmarkAblation_StepWorkers/workers=4-8              	    2000	    921000 ns/op	4096.00 MB/s
+BenchmarkNoSuffix 	    1000	      55.5 ns/op
+some interleaved test output
+PASS
+ok  	repro	12.3s
+`
+
+func TestParseBenchLines(t *testing.T) {
+	rs := parseBenchLines(sampleLog)
+	if len(rs) != 5 {
+		t.Fatalf("parsed %d results, want 5", len(rs))
+	}
+	first := rs[0]
+	if first.Name != "BenchmarkE01_Fig1aParallelXOR" {
+		t.Errorf("name %q (GOMAXPROCS suffix should be stripped)", first.Name)
+	}
+	if first.Iterations != 500000 || first.NsPerOp != 2450 || first.BytesPerOp != 128 || first.AllocsPerOp != 4 {
+		t.Errorf("first result %+v", first)
+	}
+	if rs[1].Name != "BenchmarkAblation_PackedVsScalarBuild/packed" {
+		t.Errorf("sub-benchmark name %q", rs[1].Name)
+	}
+	if rs[3].MBPerSec != 4096 {
+		t.Errorf("MB/s %v", rs[3].MBPerSec)
+	}
+	if rs[4].NsPerOp != 55.5 {
+		t.Errorf("fractional ns/op %v", rs[4].NsPerOp)
+	}
+	// The parsed ablation pair carries the speedup evidence.
+	if ratio := rs[2].NsPerOp / rs[1].NsPerOp; ratio < 4 {
+		t.Errorf("sample packed/scalar ratio %.1f < 4", ratio)
+	}
+}
+
+func TestParseBenchLinesEmpty(t *testing.T) {
+	if rs := parseBenchLines("PASS\nok repro 1s\n"); rs != nil {
+		t.Errorf("parsed %v from a result-free log", rs)
+	}
+}
+
+func TestRunParseMode(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "raw.txt")
+	if err := os.WriteFile(in, []byte(sampleLog), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := filepath.Join(dir, "bench.json")
+	if err := run(".", out, dir, in, true, time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Results) != 5 || rep.Go == "" || rep.Date == "" {
+		t.Errorf("report %+v", rep)
+	}
+}
+
+func TestRunParseModeRejectsEmptyLog(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "raw.txt")
+	if err := os.WriteFile(in, []byte("no benchmarks here\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(".", filepath.Join(dir, "x.json"), dir, in, true, time.Minute); err == nil {
+		t.Fatal("empty log accepted")
+	}
+}

@@ -35,6 +35,18 @@ func verdict(ok bool) string {
 	return "FAILED"
 }
 
+// buildWorkers is the phase-space builder worker count every experiment
+// shares; main wires the -workers flag into it (0 = GOMAXPROCS).
+var buildWorkers int
+
+func buildPar(a *automaton.Automaton) *phasespace.Parallel {
+	return phasespace.BuildParallelWorkers(a, buildWorkers)
+}
+
+func buildSeq(a *automaton.Automaton) *phasespace.Sequential {
+	return phasespace.BuildSequentialWorkers(a, buildWorkers)
+}
+
 func xorPair() *automaton.Automaton {
 	return automaton.MustNew(space.CompleteGraph(2), rule.XOR{})
 }
@@ -47,7 +59,7 @@ func cfg(x uint64, n int) string { return config.FromIndex(x, n).String() }
 
 // E01: Figure 1(a).
 func e01(w io.Writer, md bool) error {
-	p := phasespace.BuildParallel(xorPair())
+	p := buildPar(xorPair())
 	t := render.NewTable("config", "F(config)", "class", "in-degree")
 	deg := p.InDegrees()
 	for x := uint64(0); x < 4; x++ {
@@ -69,7 +81,7 @@ func e01(w io.Writer, md bool) error {
 
 // E02: Figure 1(b).
 func e02(w io.Writer, md bool) error {
-	s := phasespace.BuildSequential(xorPair())
+	s := buildSeq(xorPair())
 	t := render.NewTable("config", "update node 1", "update node 2", "class")
 	for x := uint64(0); x < 4; x++ {
 		class := ""
@@ -105,7 +117,7 @@ func e03(w io.Writer, md bool) error {
 	t := render.NewTable("n", "proper cycles", "all period 2", "alternating pair present")
 	allOK := true
 	for n := 4; n <= 16; n += 2 {
-		p := phasespace.BuildParallel(majRing(n, 1))
+		p := buildPar(majRing(n, 1))
 		pcs := p.ProperCycles()
 		period2 := true
 		hasAlt := false
@@ -134,7 +146,7 @@ func e04(w io.Writer, md bool) error {
 	t := render.NewTable("n", "union-graph acyclic", "per-permutation max period (n ≤ 6)")
 	allOK := true
 	for n := 3; n <= 14; n++ {
-		s := phasespace.BuildSequential(majRing(n, 1))
+		s := buildSeq(majRing(n, 1))
 		_, acyclic := s.Acyclic()
 		perPerm := "-"
 		if n <= 6 {
@@ -188,7 +200,7 @@ func e05(w io.Writer, md bool) error {
 		row := []interface{}{th.Name()}
 		for _, n := range []int{4, 6, 8, 10, 12} {
 			a := automaton.MustNew(space.Ring(n, 1), th)
-			_, acyclic := phasespace.BuildSequential(a).Acyclic()
+			_, acyclic := buildSeq(a).Acyclic()
 			allOK = allOK && acyclic
 			row = append(row, acyclic)
 		}
@@ -196,7 +208,7 @@ func e05(w io.Writer, md bool) error {
 	}
 	// Contrast: the non-monotone symmetric rule cycles.
 	xa := automaton.MustNew(space.Ring(6, 1), rule.XOR{})
-	_, xorAcyclic := phasespace.BuildSequential(xa).Acyclic()
+	_, xorAcyclic := buildSeq(xa).Acyclic()
 	allOK = allOK && !xorAcyclic
 	t.AddRow("xor (contrast)", "-", xorAcyclic, "-", "-", "-")
 	if err := emit(t, w, md); err != nil {
@@ -212,8 +224,8 @@ func e06(w io.Writer, md bool) error {
 	allOK := true
 	for _, n := range []int{8, 10, 12, 14} {
 		a := majRing(n, 2)
-		pcs := phasespace.BuildParallel(a).ProperCycles()
-		_, acyclic := phasespace.BuildSequential(a).Acyclic()
+		pcs := buildPar(a).ProperCycles()
+		_, acyclic := buildSeq(a).Acyclic()
 		allOK = allOK && acyclic
 		if n%4 == 0 {
 			allOK = allOK && len(pcs) > 0
@@ -466,7 +478,7 @@ func e13(w io.Writer, md bool) error {
 	t := render.NewTable("n", "configs", "FPs", "proper cycles", "cycle states", "transients", "GoE", "cycles w/ incoming transients")
 	allOK := true
 	for n := 4; n <= 18; n += 2 {
-		c := phasespace.BuildParallel(majRing(n, 1)).TakeCensus()
+		c := buildPar(majRing(n, 1)).TakeCensus()
 		allOK = allOK && c.CyclesWithIncomingTransients == 0 && c.ProperCycles > 0
 		t.AddRow(n, c.Configs, c.FixedPoints, c.ProperCycles, c.CycleStates, c.Transients, c.GardenOfEden, c.CyclesWithIncomingTransients)
 	}
@@ -550,7 +562,7 @@ func e15(w io.Writer, md bool) error {
 		if err != nil {
 			return err
 		}
-		_, acyclic := phasespace.BuildSequential(a).Acyclic()
+		_, acyclic := buildSeq(a).Acyclic()
 		allOK = allOK && acyclic
 		t.AddRow("thresholds k="+desc, n, acyclic)
 	}
@@ -564,7 +576,7 @@ func e15(w io.Writer, md bool) error {
 	if err != nil {
 		return err
 	}
-	_, acyclic := phasespace.BuildSequential(a).Acyclic()
+	_, acyclic := buildSeq(a).Acyclic()
 	allOK = allOK && !acyclic
 	t.AddRow("majority with one XOR node (contrast)", n, acyclic)
 	if err := emit(t, w, md); err != nil {

@@ -10,7 +10,6 @@ import (
 	"repro/internal/config"
 	"repro/internal/debruijn"
 	"repro/internal/density"
-	"repro/internal/phasespace"
 	"repro/internal/render"
 	"repro/internal/rule"
 	"repro/internal/sim"
@@ -377,7 +376,7 @@ func e26(w io.Writer, md bool) error {
 	}
 	// Moore–Myhill: the non-surjective majority has ring Gardens of Eden.
 	a := majRing(10, 1)
-	goe := len(phasespace.BuildParallel(a).GardenOfEden())
+	goe := len(buildPar(a).GardenOfEden())
 	ok := surjective == 30 && injective == 6 && goe > 0
 	_, err := fmt.Fprintf(w, "\nde Bruijn subset/pair automata reproduce the classical enumerations exactly; majority is\nnon-surjective and accordingly shows %d Garden-of-Eden states on the 10-ring (Moore–Myhill) → %s\n",
 		goe, verdict(ok))

@@ -52,10 +52,12 @@ var experiments = []experiment{
 
 func main() {
 	var (
-		only = flag.String("only", "", "run only the experiment with this id (e.g. E04)")
-		md   = flag.Bool("md", false, "emit markdown tables")
+		only    = flag.String("only", "", "run only the experiment with this id (e.g. E04)")
+		md      = flag.Bool("md", false, "emit markdown tables")
+		workers = flag.Int("workers", 0, "phase-space builder worker count (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
+	buildWorkers = *workers
 	ran := 0
 	for _, e := range experiments {
 		if *only != "" && !strings.EqualFold(*only, e.id) {

@@ -32,15 +32,16 @@ func main() {
 		dot      = flag.String("dot", "", "emit DOT instead of analysis: parallel | sequential")
 		verbose  = flag.Bool("v", false, "list cycles and pseudo-fixed points")
 		noMemory = flag.Bool("memoryless", false, "exclude each node from its own neighborhood (memoryless CA)")
+		workers  = flag.Int("workers", 0, "phase-space builder worker count (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
-	if err := run(*n, *r, *ruleSpec, *spSpec, *dot, *verbose, *noMemory); err != nil {
+	if err := run(*n, *r, *ruleSpec, *spSpec, *dot, *verbose, *noMemory, *workers); err != nil {
 		fmt.Fprintln(os.Stderr, "ca-phase:", err)
 		os.Exit(1)
 	}
 }
 
-func run(n, r int, ruleSpec, spSpec, dot string, verbose, noMemory bool) error {
+func run(n, r int, ruleSpec, spSpec, dot string, verbose, noMemory bool, workers int) error {
 	sp, err := parseSpace(spSpec, n, r)
 	if err != nil {
 		return err
@@ -60,15 +61,15 @@ func run(n, r int, ruleSpec, spSpec, dot string, verbose, noMemory bool) error {
 
 	switch dot {
 	case "parallel":
-		return phasespace.BuildParallel(a).WriteDOT(os.Stdout, name)
+		return phasespace.BuildParallelWorkers(a, workers).WriteDOT(os.Stdout, name)
 	case "sequential":
-		return phasespace.BuildSequential(a).WriteDOT(os.Stdout, name, false)
+		return phasespace.BuildSequentialWorkers(a, workers).WriteDOT(os.Stdout, name, false)
 	case "":
 	default:
 		return fmt.Errorf("unknown -dot mode %q", dot)
 	}
 
-	p := phasespace.BuildParallel(a)
+	p := phasespace.BuildParallelWorkers(a, workers)
 	c := p.TakeCensus()
 	fmt.Printf("# %s\n\n== parallel phase space ==\n", name)
 	tab := render.NewTable("quantity", "value")
@@ -95,7 +96,7 @@ func run(n, r int, ruleSpec, spSpec, dot string, verbose, noMemory bool) error {
 	}
 
 	if sp.N() <= phasespace.MaxSequentialNodes {
-		s := phasespace.BuildSequential(a)
+		s := phasespace.BuildSequentialWorkers(a, workers)
 		fmt.Printf("\n== sequential phase space ==\n")
 		stab := render.NewTable("quantity", "value")
 		witness, acyclic := s.Acyclic()

@@ -55,16 +55,16 @@ func TestParseRule(t *testing.T) {
 func TestRunSmoke(t *testing.T) {
 	// Full analysis path on a tiny automaton (stdout noise is acceptable in
 	// tests; correctness of the numbers is covered by the phasespace suite).
-	if err := run(4, 1, "majority", "ring", "", false, false); err != nil {
+	if err := run(4, 1, "majority", "ring", "", false, false, 0); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(4, 1, "xor", "ring", "", true, true); err != nil {
+	if err := run(4, 1, "xor", "ring", "", true, true, 2); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(2, 1, "xor", "complete", "sequential", false, false); err != nil {
+	if err := run(2, 1, "xor", "complete", "sequential", false, false, 1); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(4, 1, "majority", "ring", "bogus", false, false); err == nil {
+	if err := run(4, 1, "majority", "ring", "bogus", false, false, 0); err == nil {
 		t.Fatal("bogus dot mode accepted")
 	}
 }

@@ -178,6 +178,37 @@ func (a *Automaton) StepParallel(dst, src config.Config, workers int) {
 	wg.Wait()
 }
 
+// Stepper evaluates the automaton with private scratch space. The Automaton
+// methods NodeNext and Step share one scratch buffer per automaton and are
+// therefore not safe for concurrent use; a Stepper carries its own buffer,
+// so the sharded phase-space builders hand one Stepper to each worker and
+// evaluate the same automaton from many goroutines at once.
+type Stepper struct {
+	a       *Automaton
+	scratch []uint8
+}
+
+// NewStepper returns a Stepper over a with freshly allocated scratch.
+func (a *Automaton) NewStepper() *Stepper {
+	return &Stepper{a: a, scratch: make([]uint8, len(a.scratch))}
+}
+
+// NodeNext is Automaton.NodeNext using the Stepper's private scratch.
+func (st *Stepper) NodeNext(c config.Config, i int) uint8 {
+	return st.a.nodeNextInto(c, i, st.scratch)
+}
+
+// Step is Automaton.Step using the Stepper's private scratch: dst ← F(src).
+func (st *Stepper) Step(dst, src config.Config) {
+	n := st.a.N()
+	if dst.N() != n || src.N() != n {
+		panic(fmt.Sprintf("automaton: Step sizes %d/%d for %d nodes", dst.N(), src.N(), n))
+	}
+	for i := 0; i < n; i++ {
+		dst.Set(i, st.a.nodeNextInto(src, i, st.scratch))
+	}
+}
+
 // UpdateNode performs one sequential micro-step: recompute node i from c
 // and write it back in place. It returns true if the node's state changed.
 func (a *Automaton) UpdateNode(c config.Config, i int) bool {

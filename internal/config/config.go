@@ -173,16 +173,40 @@ func (c Config) Gather(nodes []int, dst []uint8) []uint8 {
 	return dst
 }
 
-// Space enumerates all 2^n configurations on n ≤ 25 nodes, invoking visit
-// with a reused Config for each index in increasing order. The Config passed
-// to visit is overwritten between calls; clone it to retain it.
+// MaxEnumNodes is the single source of truth for how many nodes a full
+// 2^n configuration-space enumeration may have. Space, SpaceRange and the
+// phase-space builders (phasespace.MaxParallelNodes) all derive their caps
+// from this constant so the limits cannot drift apart. At the current value
+// a dense uint32 successor array weighs 2^26 × 4 B = 256 MiB, the
+// memory/throughput frontier of the configuration-parallel enumerator.
+const MaxEnumNodes = 26
+
+// Space enumerates all 2^n configurations on n ≤ MaxEnumNodes nodes,
+// invoking visit with a reused Config for each index in increasing order.
+// The Config passed to visit is overwritten between calls; clone it to
+// retain it.
 func Space(n int, visit func(idx uint64, c Config)) {
-	if n > 25 {
-		panic(fmt.Sprintf("config: refusing to enumerate 2^%d configurations", n))
+	if n > MaxEnumNodes {
+		panic(fmt.Sprintf("config: refusing to enumerate 2^%d configurations (cap %d)", n, MaxEnumNodes))
+	}
+	SpaceRange(n, 0, uint64(1)<<uint(n), visit)
+}
+
+// SpaceRange enumerates the configuration indices [lo, hi) on
+// n ≤ MaxEnumNodes nodes, invoking visit with a reused Config for each index
+// in increasing order. It is the sharding primitive of the parallel
+// phase-space builders: each worker enumerates its own index range with its
+// own scratch Config. The Config passed to visit is overwritten between
+// calls; clone it to retain it.
+func SpaceRange(n int, lo, hi uint64, visit func(idx uint64, c Config)) {
+	if n > MaxEnumNodes {
+		panic(fmt.Sprintf("config: refusing to enumerate 2^%d configurations (cap %d)", n, MaxEnumNodes))
+	}
+	if total := uint64(1) << uint(n); hi > total {
+		panic(fmt.Sprintf("config: SpaceRange [%d,%d) exceeds 2^%d configurations", lo, hi, n))
 	}
 	c := New(n)
-	total := uint64(1) << uint(n)
-	for idx := uint64(0); idx < total; idx++ {
+	for idx := lo; idx < hi; idx++ {
 		setFromIndex(c, idx)
 		visit(idx, c)
 	}

@@ -178,10 +178,44 @@ func TestSpaceEnumeration(t *testing.T) {
 func TestSpaceRefusesHuge(t *testing.T) {
 	defer func() {
 		if recover() == nil {
-			t.Fatal("Space(26,·) did not panic")
+			t.Fatalf("Space(%d,·) did not panic", MaxEnumNodes+1)
 		}
 	}()
-	Space(26, func(uint64, Config) {})
+	Space(MaxEnumNodes+1, func(uint64, Config) {})
+}
+
+func TestSpaceRangeMatchesSpace(t *testing.T) {
+	n := 5
+	total := uint64(1) << uint(n)
+	// Stitch the full space back together from three uneven shards.
+	var got []uint64
+	for _, r := range [][2]uint64{{0, 7}, {7, 24}, {24, total}} {
+		SpaceRange(n, r[0], r[1], func(idx uint64, c Config) {
+			if c.Index() != idx {
+				t.Errorf("shard config at idx %d has Index %d", idx, c.Index())
+			}
+			got = append(got, idx)
+		})
+	}
+	if uint64(len(got)) != total {
+		t.Fatalf("shards produced %d configs, want %d", len(got), total)
+	}
+	for i, idx := range got {
+		if uint64(i) != idx {
+			t.Fatalf("shard stitching broken at %d: got %d", i, idx)
+		}
+	}
+	// An empty range visits nothing.
+	SpaceRange(n, 9, 9, func(uint64, Config) { t.Fatal("empty range visited") })
+}
+
+func TestSpaceRangeRefusesOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range SpaceRange did not panic")
+		}
+	}()
+	SpaceRange(3, 0, 9, func(uint64, Config) {})
 }
 
 func TestRandomDensity(t *testing.T) {

@@ -1,0 +1,291 @@
+package phasespace
+
+import (
+	"runtime"
+	"sync"
+
+	"repro/internal/automaton"
+	"repro/internal/config"
+	"repro/internal/rule"
+	"repro/internal/sim"
+)
+
+// This file holds the configuration-parallel enumeration engine. Two
+// independent levers make Build* scale:
+//
+//  1. Sharding: the 2^n-configuration index space is split into 64-aligned
+//     chunks processed by independent workers, each with private scratch
+//     (an automaton.Stepper plus a reused Config), so the generic builders
+//     parallelize for *any* rule and cellular space.
+//  2. Batching: when the automaton is a translation-invariant threshold
+//     rule on a circulant (ring-like) space, the bit-sliced batch kernel
+//     (sim.Batch) evaluates 64 configurations per machine word, replacing
+//     64 scalar automaton.Step calls with one pass of word-parallel
+//     popcount/compare plus a 64×64 bit transpose.
+//
+// Differential tests pin both levers to the scalar reference builders.
+
+// shardMinWork is the smallest index-space size worth fanning out to
+// goroutines; below it the builders and classifiers run inline.
+const shardMinWork = 1 << 12
+
+// resolveWorkers maps the workers argument of the *Workers builders to an
+// effective count: ≤ 0 selects GOMAXPROCS.
+func resolveWorkers(workers int) int {
+	if workers <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return workers
+}
+
+// shardRange invokes f over [0, total) split into 64-aligned chunks, one
+// goroutine per chunk, at most workers chunks. Small totals run inline.
+func shardRange(workers int, total uint64, f func(lo, hi uint64)) {
+	if workers > 1 && total >= shardMinWork {
+		chunk := (total + uint64(workers) - 1) / uint64(workers)
+		chunk = (chunk + 63) &^ 63
+		var wg sync.WaitGroup
+		for lo := uint64(0); lo < total; lo += chunk {
+			hi := lo + chunk
+			if hi > total {
+				hi = total
+			}
+			wg.Add(1)
+			go func(lo, hi uint64) {
+				defer wg.Done()
+				f(lo, hi)
+			}(lo, hi)
+		}
+		wg.Wait()
+		return
+	}
+	f(0, total)
+}
+
+// shardSlice invokes f over [0, length) split into contiguous chunks, one
+// goroutine per chunk, at most workers chunks; used to fan work out over a
+// frontier slice. Small slices run inline.
+func shardSlice(workers, length int, f func(lo, hi int)) {
+	if workers > 1 && length >= shardMinWork {
+		chunk := (length + workers - 1) / workers
+		var wg sync.WaitGroup
+		for lo := 0; lo < length; lo += chunk {
+			hi := lo + chunk
+			if hi > length {
+				hi = length
+			}
+			wg.Add(1)
+			go func(lo, hi int) {
+				defer wg.Done()
+				f(lo, hi)
+			}(lo, hi)
+		}
+		wg.Wait()
+		return
+	}
+	f(0, length)
+}
+
+// batchKernel returns a configuration-parallel threshold kernel for a, or
+// nil when the batch preconditions do not hold. The preconditions: a is
+// homogeneous; its space is circulant (node i's ordered neighborhood is
+// node 0's shifted by i mod n, which covers rings with and without memory
+// and all space.Circulant graphs); the rule is a k-of-m threshold at the
+// common arity m ≤ 15; and 6 ≤ n ≤ 63 so 64-aligned index batches exist.
+func batchKernel(a *automaton.Automaton) *sim.Batch {
+	if !a.Homogeneous() {
+		return nil
+	}
+	sp := a.Space()
+	n := sp.N()
+	if n < 6 || n > 63 {
+		return nil
+	}
+	base := sp.Neighborhood(0)
+	m := len(base)
+	if m == 0 || m > 15 {
+		return nil
+	}
+	for i := 1; i < n; i++ {
+		nb := sp.Neighborhood(i)
+		if len(nb) != m {
+			return nil
+		}
+		for j, v := range nb {
+			if v != (base[j]+i)%n {
+				return nil
+			}
+		}
+	}
+	k, ok := thresholdOf(a.Rule(), m)
+	if !ok {
+		return nil
+	}
+	bk, err := sim.NewBatch(n, k, base)
+	if err != nil {
+		return nil
+	}
+	return bk
+}
+
+// thresholdOf recognizes r as a k-of-m threshold. rule.Threshold values are
+// matched structurally; other rules (e.g. eca:232 = MAJORITY) are
+// materialized and tested semantically when the truth table is small.
+func thresholdOf(r rule.Rule, m int) (k int, ok bool) {
+	if t, isT := r.(rule.Threshold); isT {
+		return t.K, true
+	}
+	if ar := r.Arity(); ar >= 0 && ar != m {
+		return 0, false
+	}
+	if m > 10 { // cap the 2^m truth-table materialization in detection
+		return 0, false
+	}
+	return rule.IsThreshold(r, m)
+}
+
+// BuildParallelWorkers enumerates F over the full configuration space with
+// the given worker count (≤ 0 selects GOMAXPROCS), using the batch kernel
+// when it applies and the sharded generic builder otherwise. The successor
+// table is byte-identical to BuildParallelScalar's for every automaton and
+// worker count.
+func BuildParallelWorkers(a *automaton.Automaton, workers int) *Parallel {
+	n := a.N()
+	if n > MaxParallelNodes {
+		panic(errParallelCap(n))
+	}
+	workers = resolveWorkers(workers)
+	total := uint64(1) << uint(n)
+	ps := &Parallel{n: n, succ: make([]uint32, total), workers: workers}
+	if bk := batchKernel(a); bk != nil && total >= sim.BatchLanes {
+		shardRange(workers, total, func(lo, hi uint64) {
+			packParallelRange(a, ps.succ, lo, hi)
+		})
+		return ps
+	}
+	shardRange(workers, total, func(lo, hi uint64) {
+		st := a.NewStepper()
+		dst := config.New(n)
+		config.SpaceRange(n, lo, hi, func(idx uint64, c config.Config) {
+			st.Step(dst, c)
+			ps.succ[idx] = uint32(dst.Index())
+		})
+	})
+	return ps
+}
+
+// packParallelRange fills succ[lo:hi] with the batch kernel; [lo, hi) must
+// be 64-aligned (shardRange guarantees it). Each call allocates its own
+// kernel so concurrent shards never share scratch.
+func packParallelRange(a *automaton.Automaton, succ []uint32, lo, hi uint64) {
+	bk := batchKernel(a)
+	var out [64]uint64
+	for base := lo; base < hi; base += sim.BatchLanes {
+		bk.Succ64(base, &out)
+		for l := uint64(0); l < sim.BatchLanes; l++ {
+			succ[base+l] = uint32(out[l])
+		}
+	}
+}
+
+// BuildParallelScalar is the single-threaded scalar reference builder: one
+// automaton.Step per configuration, no batching. It is the baseline the
+// packed and sharded builders are differentially tested (and benchmarked)
+// against.
+func BuildParallelScalar(a *automaton.Automaton) *Parallel {
+	n := a.N()
+	if n > MaxParallelNodes {
+		panic(errParallelCap(n))
+	}
+	total := uint64(1) << uint(n)
+	ps := &Parallel{n: n, succ: make([]uint32, total), workers: 1}
+	dst := config.New(n)
+	config.Space(n, func(idx uint64, c config.Config) {
+		a.Step(dst, c)
+		ps.succ[idx] = uint32(dst.Index())
+	})
+	return ps
+}
+
+// BuildSequentialWorkers enumerates every single-node update over the full
+// configuration space with the given worker count (≤ 0 selects GOMAXPROCS).
+// Like the parallel builder it prefers the batch kernel — the successor
+// cell planes it computes are exactly the per-node next states of 64
+// configurations — and falls back to sharded scalar enumeration. The
+// successor table is byte-identical to BuildSequentialScalar's.
+func BuildSequentialWorkers(a *automaton.Automaton, workers int) *Sequential {
+	n := a.N()
+	if n > MaxSequentialNodes {
+		panic(errSequentialCap(n))
+	}
+	workers = resolveWorkers(workers)
+	total := uint64(1) << uint(n)
+	ps := &Sequential{n: n, succ: make([]uint32, total*uint64(n))}
+	if bk := batchKernel(a); bk != nil && total >= sim.BatchLanes {
+		shardRange(workers, total, func(lo, hi uint64) {
+			packSequentialRange(a, ps.succ, n, lo, hi)
+		})
+		return ps
+	}
+	shardRange(workers, total, func(lo, hi uint64) {
+		st := a.NewStepper()
+		config.SpaceRange(n, lo, hi, func(idx uint64, c config.Config) {
+			base := idx * uint64(n)
+			for i := 0; i < n; i++ {
+				y := idx
+				if st.NodeNext(c, i) == 1 {
+					y |= 1 << uint(i)
+				} else {
+					y &^= 1 << uint(i)
+				}
+				ps.succ[base+uint64(i)] = uint32(y)
+			}
+		})
+	})
+	return ps
+}
+
+// packSequentialRange fills the single-node-update successors for indices
+// [lo, hi) (64-aligned) from the batch kernel's per-cell next-state planes:
+// updating node i in configuration x replaces bit i of x with the kernel's
+// plane bit.
+func packSequentialRange(a *automaton.Automaton, succ []uint32, n int, lo, hi uint64) {
+	bk := batchKernel(a)
+	planes := make([]uint64, n)
+	for base := lo; base < hi; base += sim.BatchLanes {
+		bk.NodePlanes(base, planes)
+		for l := uint64(0); l < sim.BatchLanes; l++ {
+			x := base + l
+			row := x * uint64(n)
+			for i := 0; i < n; i++ {
+				y := x&^(1<<uint(i)) | (planes[i]>>l&1)<<uint(i)
+				succ[row+uint64(i)] = uint32(y)
+			}
+		}
+	}
+}
+
+// BuildSequentialScalar is the single-threaded scalar reference builder for
+// the sequential phase space, kept as the differential-testing baseline.
+func BuildSequentialScalar(a *automaton.Automaton) *Sequential {
+	n := a.N()
+	if n > MaxSequentialNodes {
+		panic(errSequentialCap(n))
+	}
+	total := uint64(1) << uint(n)
+	ps := &Sequential{n: n, succ: make([]uint32, total*uint64(n))}
+	config.Space(n, func(idx uint64, c config.Config) {
+		base := idx * uint64(n)
+		for i := 0; i < n; i++ {
+			next := a.NodeNext(c, i)
+			y := idx
+			if next == 1 {
+				y |= 1 << uint(i)
+			} else {
+				y &^= 1 << uint(i)
+			}
+			ps.succ[base+uint64(i)] = uint32(y)
+		}
+	})
+	return ps
+}

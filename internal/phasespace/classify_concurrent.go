@@ -1,0 +1,229 @@
+package phasespace
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Sharded functional-graph classification. The serial classifier walks
+// orbit paths one at a time; that is inherently sequential, so the
+// concurrent classifier uses a different O(2^n) decomposition whose phases
+// each parallelize over shards:
+//
+//  1. In-degrees of F, counted with atomic adds.
+//  2. A CSR predecessor table (offsets from a prefix sum over the
+//     in-degrees, slots claimed with atomic cursors) — functional graphs
+//     have exactly one outgoing edge per node, so the table is a flat
+//     2^n-entry array.
+//  3. Kahn peeling: repeatedly strip in-degree-0 nodes; whatever survives
+//     lies on a cycle. Frontier expansion fans out over workers; a node
+//     joins the next frontier exactly when an atomic decrement of its
+//     remaining in-degree reaches zero.
+//  4. Cycle extraction: walk each surviving cycle once (serial — cycles
+//     are disjoint, so this is O(#cycle states) total), canonicalized to
+//     start at the minimal index and sorted as in the serial classifier.
+//  5. Reverse BFS from the cycle states over the CSR table, labeling every
+//     transient with its distance to the periodic part and its attractor
+//     id. Each node has one successor, hence appears in exactly one
+//     predecessor list, so frontier shards never write the same cell — the
+//     phase is race-free without atomics.
+//
+// The result (period, dist, cycles) is identical to the serial
+// classifier's; differential tests enforce that.
+
+// classifyConcurrent classifies the functional graph with the given worker
+// count and additionally fills p.basinID (attractor id per configuration),
+// which BasinSizes reuses.
+func (p *Parallel) classifyConcurrent(workers int) {
+	total := len(p.succ)
+	p.period = make([]int32, total)
+	p.dist = make([]int32, total)
+	p.basinID = make([]int32, total)
+
+	// Phase 1: in-degrees.
+	deg := make([]int32, total)
+	p.inDegreesConcurrent(deg)
+
+	// Phase 2: CSR predecessor table, built before peeling consumes deg.
+	offsets := make([]uint32, total+1)
+	var sum uint32
+	for x := 0; x < total; x++ {
+		offsets[x] = sum
+		sum += uint32(deg[x])
+	}
+	offsets[total] = sum
+	preds := make([]uint32, total)
+	cursor := make([]uint32, total)
+	shardRange(workers, uint64(total), func(lo, hi uint64) {
+		for x := lo; x < hi; x++ {
+			y := p.succ[x]
+			slot := atomic.AddUint32(&cursor[y], 1) - 1
+			preds[offsets[y]+slot] = uint32(x)
+		}
+	})
+
+	// Phase 3: peel transients (Kahn) until only cycle states remain.
+	frontier := p.collectZeroDegree(workers, deg)
+	for len(frontier) > 0 {
+		frontier = p.expandFrontier(workers, frontier, func(v uint32, next *[]uint32) {
+			y := p.succ[v]
+			if atomic.AddInt32(&deg[y], -1) == 0 {
+				*next = append(*next, y)
+			}
+		})
+	}
+
+	// Phase 4: extract cycles from the surviving (deg > 0) states.
+	for start := 0; start < total; start++ {
+		if deg[start] <= 0 || p.period[start] != 0 {
+			continue
+		}
+		var ids []uint64
+		x := uint32(start)
+		for {
+			ids = append(ids, uint64(x))
+			x = p.succ[x]
+			if x == uint32(start) {
+				break
+			}
+		}
+		// Mark periods immediately so the scan skips this cycle's other
+		// states; attractor ids wait until the cycle list is sorted.
+		for _, v := range ids {
+			p.period[v] = int32(len(ids))
+		}
+		canonicalizeCycle(ids)
+		p.cycles = append(p.cycles, ids)
+	}
+	sort.Slice(p.cycles, func(i, j int) bool { return p.cycles[i][0] < p.cycles[j][0] })
+	for id, cyc := range p.cycles {
+		for _, v := range cyc {
+			p.basinID[v] = int32(id)
+		}
+	}
+
+	// Phase 5: reverse BFS from the cycle states; level d of the BFS is
+	// exactly the set of transients at distance d from the periodic part.
+	frontier = frontier[:0]
+	for _, cyc := range p.cycles {
+		for _, v := range cyc {
+			frontier = append(frontier, uint32(v))
+		}
+	}
+	depth := int32(0)
+	for len(frontier) > 0 {
+		depth++
+		d := depth
+		frontier = p.expandFrontier(workers, frontier, func(v uint32, next *[]uint32) {
+			for _, u := range preds[offsets[v]:offsets[v+1]] {
+				if p.period[u] != 0 { // a cycle predecessor on the cycle itself
+					continue
+				}
+				p.period[u] = -1
+				p.dist[u] = d
+				p.basinID[u] = p.basinID[v]
+				*next = append(*next, u)
+			}
+		})
+	}
+}
+
+// inDegreesConcurrent counts in-degrees of F into deg with atomic adds.
+func (p *Parallel) inDegreesConcurrent(deg []int32) {
+	shardRange(p.workers, uint64(len(p.succ)), func(lo, hi uint64) {
+		for x := lo; x < hi; x++ {
+			atomic.AddInt32(&deg[p.succ[x]], 1)
+		}
+	})
+}
+
+// collectZeroDegree gathers all in-degree-0 configurations (the
+// Garden-of-Eden seed frontier for peeling), sharded with per-worker
+// buffers.
+func (p *Parallel) collectZeroDegree(workers int, deg []int32) []uint32 {
+	var mu sync.Mutex
+	var out []uint32
+	shardRange(workers, uint64(len(deg)), func(lo, hi uint64) {
+		var local []uint32
+		for x := lo; x < hi; x++ {
+			if deg[x] == 0 {
+				local = append(local, uint32(x))
+			}
+		}
+		if len(local) > 0 {
+			mu.Lock()
+			out = append(out, local...)
+			mu.Unlock()
+		}
+	})
+	return out
+}
+
+// expandFrontier applies visit to every frontier element, sharded across
+// workers with per-worker next-frontier buffers, and returns the merged
+// next frontier.
+func (p *Parallel) expandFrontier(workers int, frontier []uint32, visit func(v uint32, next *[]uint32)) []uint32 {
+	var mu sync.Mutex
+	var out []uint32
+	shardSlice(workers, len(frontier), func(lo, hi int) {
+		var local []uint32
+		for _, v := range frontier[lo:hi] {
+			visit(v, &local)
+		}
+		if len(local) > 0 {
+			mu.Lock()
+			out = append(out, local...)
+			mu.Unlock()
+		}
+	})
+	return out
+}
+
+// basinSizesConcurrent counts attractor basins from the basinID labels the
+// sharded classifier produced.
+func (p *Parallel) basinSizesConcurrent() []uint64 {
+	sizes := make([]uint64, len(p.cycles))
+	shardRange(p.workers, uint64(len(p.succ)), func(lo, hi uint64) {
+		for x := lo; x < hi; x++ {
+			atomic.AddUint64(&sizes[p.basinID[x]], 1)
+		}
+	})
+	return sizes
+}
+
+// censusScanConcurrent fills the per-configuration census counters with
+// per-shard partial censuses merged under a mutex.
+func (p *Parallel) censusScanConcurrent(c *Census, deg []int32) {
+	var mu sync.Mutex
+	shardRange(p.workers, uint64(len(p.succ)), func(lo, hi uint64) {
+		var fixed int
+		var cycleStates, transients, goe uint64
+		maxTransient := 0
+		for x := lo; x < hi; x++ {
+			switch {
+			case uint64(p.succ[x]) == x:
+				fixed++
+			case p.period[x] >= 2:
+				cycleStates++
+			default:
+				transients++
+				if int(p.dist[x]) > maxTransient {
+					maxTransient = int(p.dist[x])
+				}
+			}
+			if deg[x] == 0 {
+				goe++
+			}
+		}
+		mu.Lock()
+		c.FixedPoints += fixed
+		c.CycleStates += cycleStates
+		c.Transients += transients
+		c.GardenOfEden += goe
+		if maxTransient > c.MaxTransientLen {
+			c.MaxTransientLen = maxTransient
+		}
+		mu.Unlock()
+	})
+}

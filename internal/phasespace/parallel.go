@@ -19,36 +19,37 @@ import (
 )
 
 // MaxParallelNodes bounds full parallel phase-space enumeration (dense
-// successor array of 2^n uint32 entries).
-const MaxParallelNodes = 24
+// successor array of 2^n uint32 entries). It is derived from the single
+// enumeration cap config.MaxEnumNodes so the two limits cannot drift.
+const MaxParallelNodes = config.MaxEnumNodes
+
+func errParallelCap(n int) string {
+	return fmt.Sprintf("phasespace: %d nodes exceeds parallel enumeration cap %d", n, MaxParallelNodes)
+}
+
+func errSequentialCap(n int) string {
+	return fmt.Sprintf("phasespace: %d nodes exceeds sequential enumeration cap %d", n, MaxSequentialNodes)
+}
 
 // Parallel is the functional graph of a parallel CA's global map over all
 // 2^n configurations, with classification computed on demand.
 type Parallel struct {
-	n    int
-	succ []uint32 // succ[x] = F(x)
+	n       int
+	succ    []uint32 // succ[x] = F(x)
+	workers int      // worker count the builder ran with; classification reuses it
 
 	// lazily computed classification
-	period []int32 // 0 until classified; ≥1 on the periodic part; -1 transient
-	dist   []int32 // transient distance to the periodic part (0 on it)
-	cycles [][]uint64
+	period  []int32 // 0 until classified; ≥1 on the periodic part; -1 transient
+	dist    []int32 // transient distance to the periodic part (0 on it)
+	cycles  [][]uint64
+	basinID []int32 // cycle id per configuration; filled by the sharded classifier
 }
 
 // BuildParallel enumerates F over the full configuration space of a
-// (n ≤ MaxParallelNodes)-node automaton.
+// (n ≤ MaxParallelNodes)-node automaton. It is BuildParallelWorkers with
+// the default (GOMAXPROCS) worker count.
 func BuildParallel(a *automaton.Automaton) *Parallel {
-	n := a.N()
-	if n > MaxParallelNodes {
-		panic(fmt.Sprintf("phasespace: %d nodes exceeds parallel enumeration cap %d", n, MaxParallelNodes))
-	}
-	total := uint64(1) << uint(n)
-	ps := &Parallel{n: n, succ: make([]uint32, total)}
-	dst := config.New(n)
-	config.Space(n, func(idx uint64, c config.Config) {
-		a.Step(dst, c)
-		ps.succ[idx] = uint32(dst.Index())
-	})
-	return ps
+	return BuildParallelWorkers(a, 0)
 }
 
 // N returns the node count.
@@ -62,11 +63,22 @@ func (p *Parallel) Successor(x uint64) uint64 { return uint64(p.succ[x]) }
 
 // classify colors the functional graph: every configuration either lies on
 // a cycle (period recorded) or is transient (distance to the periodic part
-// recorded). Standard iterative functional-graph traversal, O(2^n).
+// recorded). Large spaces built with multiple workers use the sharded
+// classifier (classify_concurrent.go); the rest use the serial O(2^n)
+// traversal below. Both produce identical period/dist/cycles.
 func (p *Parallel) classify() {
 	if p.period != nil {
 		return
 	}
+	if p.workers > 1 && len(p.succ) >= shardMinWork {
+		p.classifyConcurrent(p.workers)
+		return
+	}
+	p.classifySerial()
+}
+
+// classifySerial is the single-threaded path-walking classifier.
+func (p *Parallel) classifySerial() {
 	total := len(p.succ)
 	p.period = make([]int32, total) // 0 = unvisited
 	p.dist = make([]int32, total)
@@ -101,6 +113,7 @@ func (p *Parallel) classify() {
 				state[v] = 2
 				ids[i] = uint64(v)
 			}
+			canonicalizeCycle(ids)
 			p.cycles = append(p.cycles, ids)
 			// The prefix is transient with increasing distance to the cycle.
 			for i := cycStart - 1; i >= 0; i-- {
@@ -127,6 +140,25 @@ func (p *Parallel) classify() {
 		}
 	}
 	sort.Slice(p.cycles, func(i, j int) bool { return p.cycles[i][0] < p.cycles[j][0] })
+}
+
+// canonicalizeCycle rotates a cycle (in orbit order) in place so its
+// minimal configuration index comes first. With every cycle canonical, the
+// serial and sharded classifiers emit identical cycle lists.
+func canonicalizeCycle(ids []uint64) {
+	minAt := 0
+	for i, v := range ids {
+		if v < ids[minAt] {
+			minAt = i
+		}
+	}
+	if minAt == 0 {
+		return
+	}
+	rot := make([]uint64, 0, len(ids))
+	rot = append(rot, ids[minAt:]...)
+	rot = append(rot, ids[:minAt]...)
+	copy(ids, rot)
 }
 
 // IsFixedPoint reports whether x satisfies F(x) = x.
@@ -191,9 +223,14 @@ func (p *Parallel) MaxPeriod() int {
 	return m
 }
 
-// InDegrees returns the in-degree of every configuration under F.
+// InDegrees returns the in-degree of every configuration under F. Spaces
+// built with multiple workers count concurrently with atomic adds.
 func (p *Parallel) InDegrees() []int32 {
 	deg := make([]int32, len(p.succ))
+	if p.workers > 1 && len(p.succ) >= shardMinWork {
+		p.inDegreesConcurrent(deg)
+		return deg
+	}
 	for _, y := range p.succ {
 		deg[y]++
 	}
@@ -230,6 +267,11 @@ func (p *Parallel) Predecessors(x uint64) []uint64 {
 // themselves.
 func (p *Parallel) BasinSizes() []uint64 {
 	p.classify()
+	if p.basinID != nil {
+		// The sharded classifier already attributed every configuration to
+		// its attractor; counting is a concurrent scan.
+		return p.basinSizesConcurrent()
+	}
 	cycleID := make([]int32, len(p.succ))
 	for i := range cycleID {
 		cycleID[i] = -1
@@ -281,27 +323,32 @@ type Census struct {
 	CyclesWithIncomingTransients int
 }
 
-// TakeCensus computes the complete census.
+// TakeCensus computes the complete census. Spaces built with multiple
+// workers scan concurrently (per-shard partial censuses merged at the end).
 func (p *Parallel) TakeCensus() Census {
 	p.classify()
 	c := Census{Nodes: p.n, Configs: p.Size()}
-	for x := range p.succ {
-		switch {
-		case p.IsFixedPoint(uint64(x)):
-			c.FixedPoints++
-		case p.period[x] >= 2:
-			c.CycleStates++
-		default:
-			c.Transients++
-			if int(p.dist[x]) > c.MaxTransientLen {
-				c.MaxTransientLen = int(p.dist[x])
+	deg := p.InDegrees()
+	if p.workers > 1 && len(p.succ) >= shardMinWork {
+		p.censusScanConcurrent(&c, deg)
+	} else {
+		for x := range p.succ {
+			switch {
+			case p.IsFixedPoint(uint64(x)):
+				c.FixedPoints++
+			case p.period[x] >= 2:
+				c.CycleStates++
+			default:
+				c.Transients++
+				if int(p.dist[x]) > c.MaxTransientLen {
+					c.MaxTransientLen = int(p.dist[x])
+				}
 			}
 		}
-	}
-	deg := p.InDegrees()
-	for _, d := range deg {
-		if d == 0 {
-			c.GardenOfEden++
+		for _, d := range deg {
+			if d == 0 {
+				c.GardenOfEden++
+			}
 		}
 	}
 	for _, cyc := range p.cycles {

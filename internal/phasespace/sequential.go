@@ -1,15 +1,14 @@
 package phasespace
 
 import (
-	"fmt"
-
 	"repro/internal/automaton"
-	"repro/internal/config"
 )
 
 // MaxSequentialNodes bounds full sequential phase-space enumeration (dense
-// n × 2^n successor table).
-const MaxSequentialNodes = 18
+// n × 2^n successor table; at the cap that is 20 × 2^20 uint32 ≈ 80 MiB,
+// comfortably inside the memory frontier set by config.MaxEnumNodes for the
+// parallel builder's flat 2^n table).
+const MaxSequentialNodes = 20
 
 // Sequential is the complete nondeterministic phase space of a sequential
 // CA: for every configuration x and node i, the configuration reached by
@@ -21,28 +20,10 @@ type Sequential struct {
 }
 
 // BuildSequential enumerates every single-node update over the full
-// configuration space (n ≤ MaxSequentialNodes).
+// configuration space (n ≤ MaxSequentialNodes). It is
+// BuildSequentialWorkers with the default (GOMAXPROCS) worker count.
 func BuildSequential(a *automaton.Automaton) *Sequential {
-	n := a.N()
-	if n > MaxSequentialNodes {
-		panic(fmt.Sprintf("phasespace: %d nodes exceeds sequential enumeration cap %d", n, MaxSequentialNodes))
-	}
-	total := uint64(1) << uint(n)
-	ps := &Sequential{n: n, succ: make([]uint32, total*uint64(n))}
-	config.Space(n, func(idx uint64, c config.Config) {
-		base := idx * uint64(n)
-		for i := 0; i < n; i++ {
-			next := a.NodeNext(c, i)
-			y := idx
-			if next == 1 {
-				y |= 1 << uint(i)
-			} else {
-				y &^= 1 << uint(i)
-			}
-			ps.succ[base+uint64(i)] = uint32(y)
-		}
-	})
-	return ps
+	return BuildSequentialWorkers(a, 0)
 }
 
 // N returns the node count.

@@ -1,0 +1,180 @@
+package sim
+
+import "fmt"
+
+// This file implements the configuration-parallel ("batch") threshold
+// kernel: it evaluates the global map F on 64 *configurations* at once, the
+// dual of the torus/ring kernels which evaluate 64 *cells* at once.
+//
+// The trick: enumerate configuration indices in 64-aligned batches
+// base, base+1, …, base+63 (base ≡ 0 mod 64). Cell i's value in
+// configuration base+b is bit i of base+b. Viewed across the batch — one
+// bit per lane b — cell i's "bit plane" is then either
+//
+//   - one of six fixed pattern words for i < 6 (bit i of b cycles with
+//     period 2^(i+1)): 0xAAAA…, 0xCCCC…, 0xF0F0…, 0xFF00…, 0xFFFF0000…,
+//     0xFFFFFFFF00000000, or
+//   - a constant word (all-0 or all-1) for i ≥ 6, because base+b agrees
+//     with base above bit 5.
+//
+// For a translation-invariant threshold rule — node j fires iff at least k
+// of the cells {j+d mod n : d ∈ offsets} are 1 — each output cell j across
+// the batch is computed from the m = len(offsets) neighbor planes with the
+// same bit-sliced ripple-carry popcount and constant comparator the ring
+// kernel uses, so one pass over n cells yields all 64 successors. A final
+// 64×64 bit-matrix transpose converts the n successor planes back into 64
+// successor indices.
+
+// BatchLanes is the number of configurations a Batch evaluates per call.
+const BatchLanes = 64
+
+// lanePattern[i] is cell i's bit plane across a 64-aligned batch: bit b of
+// lanePattern[i] equals bit i of b.
+var lanePattern = [6]uint64{
+	0xAAAAAAAAAAAAAAAA,
+	0xCCCCCCCCCCCCCCCC,
+	0xF0F0F0F0F0F0F0F0,
+	0xFF00FF00FF00FF00,
+	0xFFFF0000FFFF0000,
+	0xFFFFFFFF00000000,
+}
+
+// Batch is a configuration-parallel evaluator of a translation-invariant
+// k-of-m threshold rule on an n-cell ring-like space (any circulant
+// neighborhood, with or without memory). It is not safe for concurrent use;
+// the sharded builders allocate one Batch per worker.
+type Batch struct {
+	n, k    int
+	offsets []int    // neighborhood offsets, normalized to [0, n)
+	planes  []uint64 // scratch: cell bit-planes of the current batch
+	maj3    bool     // dedicated MAJORITY-of-3 path
+}
+
+// NewBatch returns a batch evaluator for the rule "cell j next-state is 1
+// iff ≥ k of the cells {(j+d) mod n : d ∈ offsets} are 1". Offsets are
+// taken mod n (negative offsets allowed); duplicates are rejected. The
+// bit-sliced counter holds sums ≤ 15, so len(offsets) ≤ 15; n must satisfy
+// 6 ≤ n ≤ 63 so that a batch of 64 indices exists and indices fit a word.
+func NewBatch(n, k int, offsets []int) (*Batch, error) {
+	if n < 6 || n > 63 {
+		return nil, fmt.Errorf("sim: batch kernel needs 6 ≤ n ≤ 63, got %d", n)
+	}
+	m := len(offsets)
+	if m == 0 || m > 15 {
+		return nil, fmt.Errorf("sim: batch kernel supports 1–15 neighborhood offsets, got %d", m)
+	}
+	norm := make([]int, m)
+	seen := make(map[int]bool, m)
+	for i, d := range offsets {
+		d = ((d % n) + n) % n
+		if seen[d] {
+			return nil, fmt.Errorf("sim: duplicate batch offset %d (mod %d)", offsets[i], n)
+		}
+		seen[d] = true
+		norm[i] = d
+	}
+	return &Batch{
+		n:       n,
+		k:       k,
+		offsets: norm,
+		planes:  make([]uint64, n),
+		maj3:    m == 3 && k == 2,
+	}, nil
+}
+
+// N returns the cell count.
+func (b *Batch) N() int { return b.n }
+
+// nextPlanes fills next[0:n] with the successor bit planes of the batch
+// starting at base: bit lane l of next[j] is cell j's next state in
+// configuration base+l. base must be 64-aligned and base+63 < 2^n.
+func (b *Batch) nextPlanes(base uint64, next []uint64) {
+	if base&(BatchLanes-1) != 0 {
+		panic(fmt.Sprintf("sim: batch base %d not 64-aligned", base))
+	}
+	if base+BatchLanes > 1<<uint(b.n) {
+		panic(fmt.Sprintf("sim: batch base %d out of range for n=%d", base, b.n))
+	}
+	for i := 0; i < b.n; i++ {
+		if i < 6 {
+			b.planes[i] = lanePattern[i]
+		} else if base>>uint(i)&1 == 1 {
+			b.planes[i] = ^uint64(0)
+		} else {
+			b.planes[i] = 0
+		}
+	}
+	n := b.n
+	if b.maj3 {
+		d0, d1, d2 := b.offsets[0], b.offsets[1], b.offsets[2]
+		for j := 0; j < n; j++ {
+			p := b.planes[idxMod(j+d0, n)]
+			q := b.planes[idxMod(j+d1, n)]
+			r := b.planes[idxMod(j+d2, n)]
+			next[j] = p&q | p&r | q&r
+		}
+		return
+	}
+	for j := 0; j < n; j++ {
+		var s0, s1, s2, s3 uint64
+		for _, d := range b.offsets {
+			w := b.planes[idxMod(j+d, n)]
+			c0 := s0 & w
+			s0 ^= w
+			c1 := s1 & c0
+			s1 ^= c0
+			c2 := s2 & c1
+			s2 ^= c1
+			s3 ^= c2
+		}
+		next[j] = geConst([4]uint64{s0, s1, s2, s3}, b.k)
+	}
+}
+
+// idxMod reduces j+d with d already in [0, n) and j in [0, n).
+func idxMod(jd, n int) int {
+	if jd >= n {
+		return jd - n
+	}
+	return jd
+}
+
+// Succ64 computes the 64 successor indices of configurations
+// base, …, base+63 into out: out[l] is the index of F(base+l). base must be
+// 64-aligned and base+63 < 2^n.
+func (b *Batch) Succ64(base uint64, out *[64]uint64) {
+	b.nextPlanes(base, out[:b.n])
+	for j := b.n; j < BatchLanes; j++ {
+		out[j] = 0
+	}
+	transpose64(out)
+}
+
+// NodePlanes computes, for each cell j, the batch bit plane of the *cell's*
+// next state (not the full successor index): bit lane l of next[j] is cell
+// j's next state in configuration base+l. next must have length ≥ n. This
+// is the kernel behind the packed sequential (single-node-update)
+// phase-space builder, which combines each cell plane with the identity of
+// the remaining bits.
+func (b *Batch) NodePlanes(base uint64, next []uint64) {
+	if len(next) < b.n {
+		panic(fmt.Sprintf("sim: NodePlanes needs %d plane slots, got %d", b.n, len(next)))
+	}
+	b.nextPlanes(base, next[:b.n])
+}
+
+// transpose64 transposes a 64×64 bit matrix in place with LSB-first
+// orientation: after the call, bit j of row i equals the former bit i of
+// row j. Standard block-swap transpose (Hacker's Delight §7-3), 6 rounds of
+// masked exchanges.
+func transpose64(a *[64]uint64) {
+	m := uint64(0x00000000FFFFFFFF)
+	for j := uint(32); j != 0; j >>= 1 {
+		for k := 0; k < 64; k = (k + int(j) + 1) &^ int(j) {
+			t := (a[k]>>j ^ a[k+int(j)]) & m
+			a[k] ^= t << j
+			a[k+int(j)] ^= t
+		}
+		m ^= m << (j >> 1)
+	}
+}

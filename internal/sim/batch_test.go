@@ -1,0 +1,200 @@
+package sim
+
+import (
+	"math/rand"
+
+	"repro/internal/config"
+	"testing"
+)
+
+// scalarThreshold is the obvious reference for the batch kernel: does
+// configuration x map cell j to 1 under "≥ k of {j+d mod n : d ∈ offsets}"?
+func scalarThreshold(x uint64, n, k int, offsets []int, j int) uint64 {
+	s := 0
+	for _, d := range offsets {
+		if x>>uint(((j+d)%n+n)%n)&1 == 1 {
+			s++
+		}
+	}
+	if s >= k {
+		return 1
+	}
+	return 0
+}
+
+func scalarSucc(x uint64, n, k int, offsets []int) uint64 {
+	var y uint64
+	for j := 0; j < n; j++ {
+		y |= scalarThreshold(x, n, k, offsets, j) << uint(j)
+	}
+	return y
+}
+
+func TestTranspose64RandomMatrix(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var a, orig [64]uint64
+	for i := range a {
+		a[i] = rng.Uint64()
+		orig[i] = a[i]
+	}
+	transpose64(&a)
+	for i := 0; i < 64; i++ {
+		for j := 0; j < 64; j++ {
+			if a[i]>>uint(j)&1 != orig[j]>>uint(i)&1 {
+				t.Fatalf("transpose wrong at (%d,%d)", i, j)
+			}
+		}
+	}
+	// Transposing twice is the identity.
+	transpose64(&a)
+	if a != orig {
+		t.Fatal("double transpose is not the identity")
+	}
+}
+
+func TestBatchSucc64MatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	cases := []struct {
+		n, k    int
+		offsets []int
+	}{
+		{6, 2, []int{-1, 0, 1}},            // MAJORITY r=1 at the minimum batchable n
+		{9, 2, []int{-1, 0, 1}},            // MAJORITY r=1, odd ring
+		{10, 3, []int{-2, -1, 0, 1, 2}},    // MAJORITY r=2
+		{11, 1, []int{-1, 0, 1}},           // OR
+		{11, 3, []int{-1, 0, 1}},           // AND
+		{8, 0, []int{-1, 0, 1}},            // constant 1
+		{8, 4, []int{-1, 0, 1}},            // constant 0 (k = m+1 "never fires")
+		{12, 2, []int{-1, 1}},              // memoryless majority-ish (even arity)
+		{13, 3, []int{-3, -1, 0, 1, 3}},    // circulant offsets {1,3} with memory
+		{16, 4, []int{-2, -1, 0, 1, 2, 5}}, // asymmetric offset set
+	}
+	for _, tc := range cases {
+		b, err := NewBatch(tc.n, tc.k, tc.offsets)
+		if err != nil {
+			t.Fatalf("NewBatch(%d,%d,%v): %v", tc.n, tc.k, tc.offsets, err)
+		}
+		total := uint64(1) << uint(tc.n)
+		var out [64]uint64
+		for trial := 0; trial < 4; trial++ {
+			base := (rng.Uint64() % total) &^ 63
+			b.Succ64(base, &out)
+			for l := uint64(0); l < BatchLanes; l++ {
+				want := scalarSucc(base+l, tc.n, tc.k, tc.offsets)
+				if out[l] != want {
+					t.Fatalf("n=%d k=%d offsets=%v: F(%d) = %d, want %d",
+						tc.n, tc.k, tc.offsets, base+l, out[l], want)
+				}
+			}
+		}
+	}
+}
+
+func TestBatchNodePlanesMatchScalar(t *testing.T) {
+	n, k, offsets := 10, 2, []int{-1, 0, 1}
+	b, err := NewBatch(n, k, offsets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	planes := make([]uint64, n)
+	base := uint64(512)
+	b.NodePlanes(base, planes)
+	for l := uint64(0); l < BatchLanes; l++ {
+		for j := 0; j < n; j++ {
+			want := scalarThreshold(base+l, n, k, offsets, j)
+			if planes[j]>>l&1 != want {
+				t.Fatalf("plane bit (%d, cell %d) = %d, want %d", base+l, j, planes[j]>>l&1, want)
+			}
+		}
+	}
+}
+
+func TestBatchAgainstRingKernel(t *testing.T) {
+	// The configuration-parallel kernel and the cell-parallel ring kernel
+	// must implement the same rule: push one configuration through Ring and
+	// all 64 of its batch-mates through Batch.
+	rng := rand.New(rand.NewSource(3))
+	for _, tc := range []struct{ n, r, k int }{{12, 1, 2}, {17, 2, 3}, {20, 3, 5}} {
+		offsets := make([]int, 0, 2*tc.r+1)
+		for d := -tc.r; d <= tc.r; d++ {
+			offsets = append(offsets, d)
+		}
+		b, err := NewBatch(tc.n, tc.k, offsets)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total := uint64(1) << uint(tc.n)
+		base := (rng.Uint64() % total) &^ 63
+		var out [64]uint64
+		b.Succ64(base, &out)
+		for l := uint64(0); l < BatchLanes; l += 13 {
+			x := base + l
+			s := NewRing(tc.n, tc.r, tc.k, config.FromIndex(x, tc.n))
+			s.Step()
+			if got := s.Config().Index(); got != out[l] {
+				t.Fatalf("n=%d r=%d k=%d x=%d: batch %d, ring %d", tc.n, tc.r, tc.k, x, out[l], got)
+			}
+		}
+	}
+}
+
+func TestNewBatchValidation(t *testing.T) {
+	if _, err := NewBatch(5, 2, []int{-1, 0, 1}); err == nil {
+		t.Error("n=5 (< one batch) accepted")
+	}
+	if _, err := NewBatch(64, 2, []int{-1, 0, 1}); err == nil {
+		t.Error("n=64 (index overflows a word) accepted")
+	}
+	if _, err := NewBatch(10, 2, nil); err == nil {
+		t.Error("empty offsets accepted")
+	}
+	if _, err := NewBatch(10, 8, make([]int, 16)); err == nil {
+		t.Error("16 offsets (counter overflow) accepted")
+	}
+	if _, err := NewBatch(10, 2, []int{1, 11}); err == nil {
+		t.Error("duplicate offsets mod n accepted")
+	}
+}
+
+func TestBatchBasePanics(t *testing.T) {
+	b, err := NewBatch(8, 2, []int{-1, 0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out [64]uint64
+	for _, base := range []uint64{1, 32, 256} { // unaligned, unaligned, out of range
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("base %d accepted", base)
+				}
+			}()
+			b.Succ64(base, &out)
+		}()
+	}
+}
+
+// TestNewRingThresholdRange pins the intended semantics of the threshold
+// bounds: k = 2r+2 is the legal "never fires" edge (constant-0 rule, one
+// past the maximal neighborhood sum 2r+1), anything larger is rejected, as
+// is k < 0.
+func TestNewRingThresholdRange(t *testing.T) {
+	n, r := 12, 1
+	// k = 2r+2 must be accepted and must send every configuration to the
+	// quiescent state in one step.
+	s := NewRing(n, r, 2*r+2, config.FromIndex(0xBAD&((1<<12)-1), n))
+	s.Step()
+	if !s.Config().Quiescent() {
+		t.Error("k=2r+2 ring did not map to the quiescent configuration")
+	}
+	for _, k := range []int{-1, 2*r + 3} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewRing accepted k=%d", k)
+				}
+			}()
+			NewRing(n, r, k, config.FromIndex(0, n))
+		}()
+	}
+}

@@ -41,8 +41,15 @@ func NewRing(n, r, k int, x0 config.Config) *Ring {
 	if n < 3 || r < 1 || r > maxRadius || n <= 2*r {
 		panic(fmt.Sprintf("sim: invalid ring n=%d r=%d", n, r))
 	}
+	// Valid thresholds over m = 2r+1 inputs are k = 0..m+1, mirroring
+	// rule.AllThresholds: k = 0 is the constant-1 rule, k = m+1 = 2r+2 the
+	// constant-0 ("never fires") rule — one past the largest attainable
+	// neighborhood sum, kept so Theorem 1's full quantifier range is
+	// simulable. Anything beyond 2r+2 is semantically identical to 2r+2 and
+	// rejected to surface miscomputed thresholds early (pinned by
+	// TestNewRingThresholdRange).
 	if k < 0 || k > 2*r+2 {
-		panic(fmt.Sprintf("sim: threshold k=%d out of range for %d inputs", k, 2*r+1))
+		panic(fmt.Sprintf("sim: threshold k=%d out of range [0,%d] for %d inputs", k, 2*r+2, 2*r+1))
 	}
 	s := &Ring{n: n, r: r, k: k, cur: bitvec.New(n), next: bitvec.New(n)}
 	if x0.Vector() != nil {
