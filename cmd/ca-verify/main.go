@@ -1,0 +1,124 @@
+// Command ca-verify runs the property-based claim-verification suite of
+// internal/verify: every paper claim (Figure 1, Lemma 1, Theorems 1–2),
+// the metamorphic symmetry properties, and the differential oracles
+// pinning the scalar, packed, and sharded evaluation engines to one
+// another. Results are printed as a table and written as machine-readable
+// JSON (claim id → pass/fail → shrunk counterexample):
+//
+//	ca-verify -seed 1 -rounds 200            # full suite, VERIFY_<date>.json
+//	ca-verify -claims L1II,T1 -rounds 1000   # deep-dive two claims
+//	ca-verify -list                          # enumerate claim ids
+//
+// The process exits 1 when any claim fails, so CI can gate on it.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/render"
+	"repro/internal/verify"
+)
+
+func main() {
+	var (
+		seed    = flag.Int64("seed", 1, "run seed; every claim derives its own stream from it")
+		rounds  = flag.Int("rounds", 200, "sampling budget per claim")
+		workers = flag.Int("workers", 0, "phase-space builder worker count (0 = varied per build)")
+		out     = flag.String("out", "", "report path (default VERIFY_<date>.json in the working directory)")
+		claims  = flag.String("claims", "", "comma-separated claim ids to run (default: all)")
+		list    = flag.Bool("list", false, "list claim ids and exit")
+	)
+	flag.Parse()
+	if *list {
+		listClaims(os.Stdout)
+		return
+	}
+	ok, err := run(os.Stdout, *seed, *rounds, *workers, *out, *claims)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ca-verify:", err)
+		os.Exit(1)
+	}
+	if !ok {
+		os.Exit(1)
+	}
+}
+
+func listClaims(w io.Writer) {
+	tab := render.NewTable("id", "paper item", "claim")
+	for _, c := range verify.Claims() {
+		tab.AddRow(c.ID, c.Paper, c.Title)
+	}
+	tab.Write(w)
+}
+
+// selectClaims resolves the -claims filter against the registry.
+func selectClaims(filter string) ([]verify.Claim, error) {
+	if filter == "" {
+		return verify.Claims(), nil
+	}
+	var out []verify.Claim
+	for _, id := range strings.Split(filter, ",") {
+		id = strings.TrimSpace(id)
+		if id == "" {
+			continue
+		}
+		c, ok := verify.ClaimByID(strings.ToUpper(id))
+		if !ok {
+			return nil, fmt.Errorf("unknown claim id %q (try -list)", id)
+		}
+		out = append(out, c)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("claim filter %q selected nothing", filter)
+	}
+	return out, nil
+}
+
+func run(w io.Writer, seed int64, rounds, workers int, out, filter string) (pass bool, err error) {
+	claims, err := selectClaims(filter)
+	if err != nil {
+		return false, err
+	}
+	rep := verify.Run(claims, seed, rounds, workers)
+
+	tab := render.NewTable("claim", "paper item", "verdict", "ms")
+	for _, r := range rep.Claims {
+		verdict := "PASS"
+		if !r.Pass {
+			verdict = "FAIL"
+		}
+		tab.AddRow(r.ID, r.Paper, verdict, r.DurationMS)
+	}
+	if err := tab.Write(w); err != nil {
+		return false, err
+	}
+	for _, r := range rep.Claims {
+		if !r.Pass {
+			fmt.Fprintf(w, "FAIL %s (%s): %s\n  counterexample: %s\n",
+				r.ID, r.Paper, r.Title, r.Counterexample)
+		}
+	}
+
+	if out == "" {
+		out = rep.Filename()
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		return false, err
+	}
+	defer f.Close()
+	if err := rep.WriteJSON(f); err != nil {
+		return false, err
+	}
+	verdict := "all claims PASS"
+	if !rep.Pass {
+		verdict = "CLAIMS FAILED"
+	}
+	fmt.Fprintf(w, "%s · seed=%d rounds=%d · report written to %s\n",
+		verdict, rep.Seed, rep.Rounds, out)
+	return rep.Pass, nil
+}

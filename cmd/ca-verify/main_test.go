@@ -1,0 +1,85 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/verify"
+)
+
+func TestRunFullSuiteWritesWellFormedReport(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "VERIFY_test.json")
+	var b strings.Builder
+	pass, err := run(&b, 1, 25, 2, out, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pass {
+		t.Fatalf("suite failed:\n%s", b.String())
+	}
+	if !strings.Contains(b.String(), "all claims PASS") {
+		t.Fatalf("missing verdict line:\n%s", b.String())
+	}
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep verify.Report
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	if !rep.Pass || rep.Seed != 1 || rep.Rounds != 25 {
+		t.Fatalf("report header wrong: %+v", rep)
+	}
+	want := map[string]bool{}
+	for _, c := range verify.Claims() {
+		want[c.ID] = true
+	}
+	for _, r := range rep.Claims {
+		if !r.Pass {
+			t.Errorf("claim %s failed: %s", r.ID, r.Counterexample)
+		}
+		delete(want, r.ID)
+	}
+	if len(want) != 0 {
+		t.Fatalf("claims missing from report: %v", want)
+	}
+}
+
+func TestClaimFilter(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "v.json")
+	var b strings.Builder
+	pass, err := run(&b, 1, 5, 1, out, "f1a, l1ii")
+	if err != nil || !pass {
+		t.Fatalf("filtered run failed: pass=%v err=%v", pass, err)
+	}
+	raw, _ := os.ReadFile(out)
+	var rep verify.Report
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Claims) != 2 || rep.Claims[0].ID != "F1A" || rep.Claims[1].ID != "L1II" {
+		t.Fatalf("filter selected %+v", rep.Claims)
+	}
+}
+
+func TestUnknownClaimIDErrors(t *testing.T) {
+	var b strings.Builder
+	if _, err := run(&b, 1, 5, 1, filepath.Join(t.TempDir(), "v.json"), "NOPE"); err == nil {
+		t.Fatal("expected an error for an unknown claim id")
+	}
+}
+
+func TestListClaims(t *testing.T) {
+	var b strings.Builder
+	listClaims(&b)
+	for _, id := range []string{"F1A", "F1B", "L1I", "L1II", "T1", "T2", "ORC-BATCH"} {
+		if !strings.Contains(b.String(), id) {
+			t.Fatalf("-list output missing %s:\n%s", id, b.String())
+		}
+	}
+}

@@ -55,3 +55,39 @@ func ExampleParallel_TakeCensus() {
 	// proper cycles: 1 (max period 2 )
 	// cycles fed by transients: 0
 }
+
+// ExampleSequential_Edges reconstructs the paper's Figure 1 edge by edge
+// for the 2-node XOR automaton. In the parallel phase space (F1a) both
+// mixed configurations funnel into 11, which flips to the sink 00. In the
+// sequential phase space (F1b) the same rule yields two 2-cycles between
+// 11 and the mixed states, and 00 becomes a garden-of-Eden fixed point.
+// Configurations print as node1,node0 bit strings.
+func ExampleSequential_Edges() {
+	a := automaton.MustNew(space.CompleteGraph(2), rule.XOR{})
+
+	p := phasespace.BuildParallel(a)
+	for x := uint64(0); x < p.Size(); x++ {
+		fmt.Printf("F1a  %02b -> %02b\n", x, p.Successor(x))
+	}
+
+	s := phasespace.BuildSequential(a)
+	s.Edges(func(x uint64, node int, y uint64) {
+		if x != y {
+			fmt.Printf("F1b  %02b -(update node %d)-> %02b\n", x, node, y)
+		}
+	})
+	for _, pair := range s.TwoCycles() {
+		fmt.Printf("F1b  2-cycle: %02b <-> %02b\n", pair[0], pair[1])
+	}
+	// Output:
+	// F1a  00 -> 00
+	// F1a  01 -> 11
+	// F1a  10 -> 11
+	// F1a  11 -> 00
+	// F1b  01 -(update node 1)-> 11
+	// F1b  10 -(update node 0)-> 11
+	// F1b  11 -(update node 0)-> 10
+	// F1b  11 -(update node 1)-> 01
+	// F1b  2-cycle: 01 <-> 11
+	// F1b  2-cycle: 10 <-> 11
+}

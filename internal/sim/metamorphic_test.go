@@ -1,0 +1,156 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/automaton"
+	"repro/internal/config"
+	"repro/internal/rule"
+	"repro/internal/space"
+)
+
+// Metamorphic tests for the batch kernel: a translation-invariant threshold
+// rule commutes with ring rotation, and a symmetric rule commutes with
+// reflection. Comparing F(rot(x)) against rot(F(x)) across the scalar
+// stepper and the 64-lane batch kernel catches lane-pattern indexing bugs
+// (e.g. an off-by-one in the plane rotation) that same-input differential
+// tests can miss, because the metamorphic relation exercises two
+// *different* input batches that must stay consistent.
+
+// rotN rotates x by d on n bits: node (i+d) mod n of the result is node i
+// of x.
+func rotN(x uint64, d, n int) uint64 {
+	d = ((d % n) + n) % n
+	if d == 0 {
+		return x
+	}
+	mask := uint64(1)<<uint(n) - 1
+	return (x<<uint(d) | x>>uint(n-d)) & mask
+}
+
+// reflN reverses x on n bits.
+func reflN(x uint64, n int) uint64 {
+	var y uint64
+	for i := 0; i < n; i++ {
+		y |= x >> uint(i) & 1 << uint(n-1-i)
+	}
+	return y
+}
+
+// batchStep computes F(x) through the 64-lane kernel (extracting the one
+// lane holding x), so the metamorphic relations pin the batch data path.
+func batchStep(t *testing.T, b *Batch, x uint64) uint64 {
+	t.Helper()
+	var out [64]uint64
+	base := x &^ 63
+	b.Succ64(base, &out)
+	return out[x-base]
+}
+
+func scalarStepIndex(t *testing.T, a *automaton.Automaton, n int, x uint64) uint64 {
+	t.Helper()
+	src := config.FromIndex(x, n)
+	dst := config.New(n)
+	a.Step(dst, src)
+	return dst.Index()
+}
+
+func TestBatchRotationEquivariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	cases := []struct{ n, r, k int }{
+		{6, 1, 2},  // MAJORITY at the smallest batchable ring
+		{11, 1, 1}, // OR, odd ring
+		{13, 2, 3}, // MAJORITY r=2
+		{17, 3, 5},
+		{20, 1, 3}, // AND
+	}
+	for _, tc := range cases {
+		offsets := make([]int, 0, 2*tc.r+1)
+		for d := -tc.r; d <= tc.r; d++ {
+			offsets = append(offsets, d)
+		}
+		b, err := NewBatch(tc.n, tc.k, offsets)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a := automaton.MustNew(space.Ring(tc.n, tc.r), rule.Threshold{K: tc.k})
+		mask := uint64(1)<<uint(tc.n) - 1
+		for trial := 0; trial < 64; trial++ {
+			x := rng.Uint64() & mask
+			d := 1 + rng.Intn(tc.n-1)
+			// Batch equivariance: batch(rot(x)) == rot(batch(x)).
+			got := batchStep(t, b, rotN(x, d, tc.n))
+			want := rotN(batchStep(t, b, x), d, tc.n)
+			if got != want {
+				t.Fatalf("n=%d r=%d k=%d: batch F(rot_%d(%0*b)) = %0*b, want %0*b",
+					tc.n, tc.r, tc.k, d, tc.n, x, tc.n, got, tc.n, want)
+			}
+			// Cross-engine anchor: the rotated-image batch result must also
+			// equal the scalar stepper on the rotated input.
+			if ref := scalarStepIndex(t, a, tc.n, rotN(x, d, tc.n)); got != ref {
+				t.Fatalf("n=%d r=%d k=%d: batch on rotated input %0*b but scalar %0*b",
+					tc.n, tc.r, tc.k, tc.n, got, tc.n, ref)
+			}
+		}
+	}
+}
+
+func TestBatchReflectionEquivariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	cases := []struct{ n, r, k int }{
+		{7, 1, 2},
+		{12, 2, 4},
+		{19, 3, 7}, // constant-0 edge of the threshold range
+		{16, 1, 0}, // constant-1 edge
+	}
+	for _, tc := range cases {
+		offsets := make([]int, 0, 2*tc.r+1)
+		for d := -tc.r; d <= tc.r; d++ {
+			offsets = append(offsets, d)
+		}
+		b, err := NewBatch(tc.n, tc.k, offsets)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a := automaton.MustNew(space.Ring(tc.n, tc.r), rule.Threshold{K: tc.k})
+		mask := uint64(1)<<uint(tc.n) - 1
+		for trial := 0; trial < 64; trial++ {
+			x := rng.Uint64() & mask
+			got := batchStep(t, b, reflN(x, tc.n))
+			want := reflN(batchStep(t, b, x), tc.n)
+			if got != want {
+				t.Fatalf("n=%d r=%d k=%d: batch F(refl(%0*b)) = %0*b, want %0*b",
+					tc.n, tc.r, tc.k, tc.n, x, tc.n, got, tc.n, want)
+			}
+			if ref := scalarStepIndex(t, a, tc.n, reflN(x, tc.n)); got != ref {
+				t.Fatalf("n=%d r=%d k=%d: batch on reflected input %0*b but scalar %0*b",
+					tc.n, tc.r, tc.k, tc.n, got, tc.n, ref)
+			}
+		}
+	}
+}
+
+// TestRingRotationEquivariance applies the same metamorphic relation to
+// the cell-parallel packed Ring engine, closing the triangle: scalar,
+// batch, and ring kernels all commute with the ring's symmetry group.
+func TestRingRotationEquivariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(37))
+	for _, tc := range []struct{ n, r, k int }{{9, 1, 2}, {70, 2, 3}, {130, 3, 4}} {
+		for trial := 0; trial < 16; trial++ {
+			x := config.Random(rng, tc.n, 0.5)
+			d := 1 + rng.Intn(tc.n-1)
+			rot := config.New(tc.n)
+			x.Vector().RotateInto(rot.Vector(), -d) // dst bit i = src bit i-d: rotation by +d
+			s1 := NewRing(tc.n, tc.r, tc.k, x)
+			s1.Step()
+			s2 := NewRing(tc.n, tc.r, tc.k, rot)
+			s2.Step()
+			want := config.New(tc.n)
+			s1.Config().Vector().RotateInto(want.Vector(), -d)
+			if !s2.Config().Equal(want) {
+				t.Fatalf("n=%d r=%d k=%d d=%d: ring F(rot(x)) != rot(F(x))", tc.n, tc.r, tc.k, d)
+			}
+		}
+	}
+}

@@ -1,0 +1,110 @@
+package update
+
+import (
+	"testing"
+)
+
+// The paper's sequential quantifier ranges over "an arbitrary sequence of
+// node indices — not necessarily a (finite or infinite) permutation". The
+// table below documents exactly which degenerate orders that quantifier
+// admits and how the constructors treat them:
+//
+//   - the empty sequence is NOT a schedule (a Schedule must always yield a
+//     next node), so NewSequence/NewPermutation reject it;
+//   - a single-node infinite repeat IS admitted (maximally unfair: every
+//     other node starves) — the claim suite's duplicate-heavy and
+//     unfair-subset families generalize it;
+//   - duplicate-laden non-permutations ARE admitted by NewSequence, and are
+//     exactly what NewPermutation must reject;
+//   - out-of-range indices are never admitted.
+func TestSequenceDegenerateOrders(t *testing.T) {
+	cases := []struct {
+		name    string
+		n       int
+		seq     []int
+		wantErr bool
+		// inQuantifier records whether the paper's "arbitrary sequence"
+		// quantifier ranges over (an infinite extension of) this order.
+		inQuantifier bool
+	}{
+		{"empty sequence", 3, nil, true, false},
+		{"empty non-nil sequence", 3, []int{}, true, false},
+		{"single-node repeat", 3, []int{1}, false, true},
+		{"two-node flip-flop", 3, []int{0, 2}, false, true},
+		{"duplicate-heavy non-permutation", 4, []int{0, 0, 1, 1, 0, 3, 3}, false, true},
+		{"permutation", 4, []int{2, 0, 3, 1}, false, true},
+		{"index below range", 3, []int{0, -1}, true, false},
+		{"index above range", 3, []int{0, 3}, true, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s, err := NewSequence(tc.n, tc.seq)
+			if (err != nil) != tc.wantErr {
+				t.Fatalf("NewSequence(%d, %v) error = %v, wantErr %v", tc.n, tc.seq, err, tc.wantErr)
+			}
+			if err != nil {
+				return
+			}
+			if !tc.inQuantifier {
+				t.Fatalf("case table inconsistent: accepted order marked outside the quantifier")
+			}
+			// The schedule must replay the sequence cyclically and stay in range.
+			for rep := 0; rep < 3; rep++ {
+				for i, want := range tc.seq {
+					got := s.Next()
+					if got != want {
+						t.Fatalf("replay %d position %d: got %d, want %d", rep, i, got, want)
+					}
+					if got < 0 || got >= tc.n {
+						t.Fatalf("index %d escaped [0,%d)", got, tc.n)
+					}
+				}
+			}
+			// Reset restarts the replay from the beginning.
+			s.Reset()
+			if got := s.Next(); got != tc.seq[0] {
+				t.Fatalf("after Reset: got %d, want %d", got, tc.seq[0])
+			}
+		})
+	}
+}
+
+// TestPermutationRejectsDegenerateOrders pins the boundary between the two
+// constructors: every non-permutation the paper's quantifier admits must
+// go through NewSequence, never NewPermutation.
+func TestPermutationRejectsDegenerateOrders(t *testing.T) {
+	cases := []struct {
+		name string
+		perm []int
+	}{
+		{"empty", nil},
+		{"duplicate entries", []int{0, 0, 1}},
+		{"single-node repeat shape", []int{1, 1}},
+		{"out of range", []int{0, 2}},
+		{"negative", []int{0, -1}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := NewPermutation(tc.perm); err == nil {
+				t.Fatalf("NewPermutation(%v) accepted a non-permutation", tc.perm)
+			}
+		})
+	}
+}
+
+// TestSingleNodeScheduleIsMaximallyUnfair documents the fairness status of
+// the degenerate single-node repeat: it violates every fairness bound B on
+// n ≥ 2 nodes (footnote 2's convergence condition), yet remains a legal
+// update sequence for the paper's cycle-freedom results, which need no
+// fairness at all.
+func TestSingleNodeScheduleIsMaximallyUnfair(t *testing.T) {
+	s := MustSequence(3, []int{1})
+	if at := IsFair(s, 3, 10, 60); at != 0 {
+		// The very first complete window [0,10) already misses nodes 0 and 2.
+		t.Fatalf("IsFair first violation at window start %d, want 0", at)
+	}
+	s2 := MustSequence(1, []int{0})
+	if at := IsFair(s2, 1, 1, 20); at != -1 {
+		t.Fatalf("single-node space: the repeat is trivially fair, got violation at %d", at)
+	}
+}

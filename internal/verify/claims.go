@@ -1,0 +1,269 @@
+package verify
+
+// The claim registry: every verifiable paper statement, each backed by the
+// generators/properties/oracles of this package. Claim ids are stable —
+// EXPERIMENTS.md maps paper items to them and CI artifacts key on them.
+
+// Claims returns the full registry in canonical order.
+func Claims() []Claim {
+	return []Claim{
+		{
+			ID:    "F1A",
+			Title: "parallel 2-node XOR: 00 is the unique FP and a global sink reached in ≤ 2 steps",
+			Paper: "Figure 1(a)",
+			Check: func(*Ctx) *Counterexample { return figure1Parallel() },
+		},
+		{
+			ID:    "F1B",
+			Title: "sequential 2-node XOR: 00 unreachable FP, two pseudo-FPs, two temporal 2-cycles",
+			Paper: "Figure 1(b)",
+			Check: func(*Ctx) *Counterexample { return figure1Sequential() },
+		},
+		{
+			ID:    "L1I",
+			Title: "parallel MAJORITY r=1 on even rings: the alternating pair is a temporal 2-cycle",
+			Paper: "Lemma 1(i)",
+			Check: checkL1i,
+		},
+		{
+			ID:    "L1II",
+			Title: "sequential MAJORITY r=1: cycle-free for every update sequence (exhaustive + sampled)",
+			Paper: "Lemma 1(ii)",
+			Check: checkL1ii,
+		},
+		{
+			ID:    "T1",
+			Title: "every k-of-3 threshold SCA is sequentially cycle-free, for every update order",
+			Paper: "Theorem 1",
+			Check: checkT1,
+		},
+		{
+			ID:    "T2",
+			Title: "radius-2 dichotomy: parallel MAJORITY has block 2-cycles, every k-of-5 SCA is cycle-free",
+			Paper: "Theorem 2 / Lemma 2",
+			Check: checkT2,
+		},
+		{
+			ID:    "EQ-ROT",
+			Title: "rotation equivariance: F∘rot = rot∘F for translation-invariant threshold rings",
+			Paper: "§2 (translation invariance)",
+			Check: checkEquivRotation,
+		},
+		{
+			ID:    "EQ-REFL",
+			Title: "reflection equivariance: F∘refl = refl∘F for symmetric threshold rules",
+			Paper: "§3 (symmetric rules)",
+			Check: checkEquivReflection,
+		},
+		{
+			ID:    "MONO",
+			Title: "monotone sandwich: x ⊆ y ⇒ F(x) ⊆ F(y), preserved sequentially; 0ⁿ/1ⁿ trajectories bound all",
+			Paper: "§3 (monotone rules)",
+			Check: checkMonotone,
+		},
+		{
+			ID:    "ORC-RING",
+			Title: "oracle: packed sim.Ring trajectories ≡ scalar stepper trajectories",
+			Paper: "differential",
+			Check: checkOracleRing,
+		},
+		{
+			ID:    "ORC-BATCH",
+			Title: "oracle: sim.Batch 64-lane successors ≡ scalar stepper successors",
+			Paper: "differential",
+			Check: checkOracleBatch,
+		},
+		{
+			ID:    "ORC-PAR",
+			Title: "oracle: BuildParallelWorkers ≡ BuildParallelScalar (successors, census, cycles)",
+			Paper: "differential",
+			Check: checkOracleParallelBuilders,
+		},
+		{
+			ID:    "ORC-SEQ",
+			Title: "oracle: BuildSequentialWorkers ≡ BuildSequentialScalar (successors, acyclicity)",
+			Paper: "differential",
+			Check: checkOracleSequentialBuilders,
+		},
+	}
+}
+
+// ClaimByID returns the registered claim with the given id, or false.
+func ClaimByID(id string) (Claim, bool) {
+	for _, c := range Claims() {
+		if c.ID == id {
+			return c, true
+		}
+	}
+	return Claim{}, false
+}
+
+// checkL1i verifies the alternating two-cycle witness on every even ring
+// size from 4 up to a rounds-scaled bound (capped at 40 cells).
+func checkL1i(ctx *Ctx) *Counterexample {
+	maxN := 4 + 2*ctx.Rounds
+	if maxN > 40 {
+		maxN = 40
+	}
+	for n := 4; n <= maxN; n += 2 {
+		if cex := ParallelTwoCycle(n, 1); cex != nil {
+			return cex
+		}
+	}
+	return nil
+}
+
+// checkL1ii verifies sequential MAJORITY r=1 cycle-freedom: exhaustively
+// (full phase-space acyclicity, quantifying over all update sequences at
+// once) for n ≤ 11, then by sampled adversarial orders on rings up to 24.
+func checkL1ii(ctx *Ctx) *Counterexample {
+	for n := 3; n <= 11; n++ {
+		if cex := SequentialCycleFreeExhaustive(Case{N: n, R: 1, K: 2}); cex != nil {
+			return cex
+		}
+	}
+	for round := 0; round < ctx.Rounds; round++ {
+		n := 3 + ctx.Rng.Intn(22)
+		if cex := SequentialCycleFreeSampled(ctx.Rng, Case{N: n, R: 1, K: 2}, 1); cex != nil {
+			return cex
+		}
+	}
+	return nil
+}
+
+// checkT1 quantifies over the complete k-of-3 threshold rule space
+// (k = 0..4, the monotone symmetric Boolean functions at radius 1):
+// exhaustive acyclicity for n ≤ 9, sampled orders up to n = 20.
+func checkT1(ctx *Ctx) *Counterexample {
+	for _, cs := range EnumCases(3, 9, 1) {
+		if cex := SequentialCycleFreeExhaustive(cs); cex != nil {
+			return cex
+		}
+	}
+	for round := 0; round < ctx.Rounds; round++ {
+		cs := Case{N: 3 + ctx.Rng.Intn(18), R: 1, K: ctx.Rng.Intn(5)}
+		if cex := SequentialCycleFreeSampled(ctx.Rng, cs, 1); cex != nil {
+			return cex
+		}
+	}
+	return nil
+}
+
+// checkT2 verifies the radius-2 dichotomy: the parallel MAJORITY-of-5 CA
+// has the block 2-cycle σ(2) on rings divisible by 4, while every k-of-5
+// sequential threshold CA is cycle-free (exhaustive n ≤ 9, sampled to 20).
+func checkT2(ctx *Ctx) *Counterexample {
+	maxN := 4 + 4*ctx.Rounds
+	if maxN > 40 {
+		maxN = 40
+	}
+	for n := 8; n <= maxN; n += 4 {
+		if cex := ParallelTwoCycle(n, 2); cex != nil {
+			return cex
+		}
+	}
+	for n := 5; n <= 9; n++ {
+		for k := 0; k <= 6; k++ {
+			if cex := SequentialCycleFreeExhaustive(Case{N: n, R: 2, K: k}); cex != nil {
+				return cex
+			}
+		}
+	}
+	for round := 0; round < ctx.Rounds; round++ {
+		cs := Case{N: 5 + ctx.Rng.Intn(16), R: 2, K: ctx.Rng.Intn(7)}
+		if cex := SequentialCycleFreeSampled(ctx.Rng, cs, 1); cex != nil {
+			return cex
+		}
+	}
+	return nil
+}
+
+func checkEquivRotation(ctx *Ctx) *Counterexample {
+	for round := 0; round < ctx.Rounds; round++ {
+		cs := SampleCase(ctx.Rng, 24, 3)
+		if cex := RotationEquivariance(ctx.Rng, cs, 1); cex != nil {
+			return cex
+		}
+	}
+	return nil
+}
+
+func checkEquivReflection(ctx *Ctx) *Counterexample {
+	for round := 0; round < ctx.Rounds; round++ {
+		cs := SampleCase(ctx.Rng, 24, 3)
+		if cex := ReflectionEquivariance(ctx.Rng, cs, 1); cex != nil {
+			return cex
+		}
+	}
+	return nil
+}
+
+func checkMonotone(ctx *Ctx) *Counterexample {
+	for round := 0; round < ctx.Rounds; round++ {
+		cs := SampleCase(ctx.Rng, 20, 3)
+		if cex := MonotoneSandwich(ctx.Rng, cs, 1); cex != nil {
+			return cex
+		}
+	}
+	return nil
+}
+
+func checkOracleRing(ctx *Ctx) *Counterexample {
+	for round := 0; round < ctx.Rounds; round++ {
+		cs := SampleCase(ctx.Rng, 40, 7)
+		if cex := RingVsScalar(ctx.Rng, cs, 1, 8); cex != nil {
+			return cex
+		}
+	}
+	return nil
+}
+
+func checkOracleBatch(ctx *Ctx) *Counterexample {
+	for round := 0; round < ctx.Rounds; round++ {
+		cs := SampleCase(ctx.Rng, 20, 3)
+		if cs.N < 6 {
+			cs.N += 6 // keep inside the batch kernel's 6 ≤ n ≤ 63 window
+		}
+		if cex := BatchVsScalar(ctx.Rng, cs, 1); cex != nil {
+			return cex
+		}
+	}
+	return nil
+}
+
+// checkOracleParallelBuilders compares full parallel phase spaces across
+// worker counts. Ring sizes 12–14 put 2^n past the sharding threshold so
+// the concurrent classifier and census paths actually engage.
+func checkOracleParallelBuilders(ctx *Ctx) *Counterexample {
+	builds := 2 + ctx.Rounds/50
+	for b := 0; b < builds; b++ {
+		n := 12 + ctx.Rng.Intn(3)
+		r := 1 + ctx.Rng.Intn(2)
+		cs := Case{N: n, R: r, K: ctx.Rng.Intn(2*r + 3)}
+		workers := ctx.Workers
+		if workers <= 1 {
+			workers = 2 + ctx.Rng.Intn(6)
+		}
+		if cex := ParallelBuildersAgree(cs, workers); cex != nil {
+			return cex
+		}
+	}
+	return nil
+}
+
+func checkOracleSequentialBuilders(ctx *Ctx) *Counterexample {
+	builds := 2 + ctx.Rounds/50
+	for b := 0; b < builds; b++ {
+		n := 12 + ctx.Rng.Intn(2)
+		r := 1 + ctx.Rng.Intn(2)
+		cs := Case{N: n, R: r, K: ctx.Rng.Intn(2*r + 3)}
+		workers := ctx.Workers
+		if workers <= 1 {
+			workers = 2 + ctx.Rng.Intn(6)
+		}
+		if cex := SequentialBuildersAgree(cs, workers); cex != nil {
+			return cex
+		}
+	}
+	return nil
+}

@@ -1,0 +1,115 @@
+package verify
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/sim"
+)
+
+// The fuzz targets reuse the claim suite's generators and properties for
+// coverage-guided exploration. Raw fuzz inputs are folded into the valid
+// parameter ranges rather than rejected, so every input exercises a kernel.
+// Seed corpora live in testdata/fuzz/<Target>/ and are checked in, which
+// makes the CI `go test -fuzz` smoke deterministic from the first exec.
+
+// foldCase maps three arbitrary bytes to a valid threshold case with
+// n in [minN, maxN] and r ≤ maxR.
+func foldCase(nb, rb, kb uint8, minN, maxN, maxR int) Case {
+	n := minN + int(nb)%(maxN-minN+1)
+	rCap := (n - 1) / 2
+	if rCap > maxR {
+		rCap = maxR
+	}
+	if rCap < 1 {
+		rCap = 1
+	}
+	r := 1 + int(rb)%rCap
+	k := int(kb) % (2*r + 3)
+	return Case{N: n, R: r, K: k}
+}
+
+// FuzzBatchVsScalar cross-checks one 64-lane batch of the
+// configuration-parallel kernel against the scalar stepper.
+func FuzzBatchVsScalar(f *testing.F) {
+	f.Add(uint8(8), uint8(1), uint8(2), uint64(0))
+	f.Add(uint8(13), uint8(2), uint8(3), uint64(1<<12))
+	f.Add(uint8(20), uint8(3), uint8(0), uint64(0xFFFFF))
+	f.Fuzz(func(t *testing.T, nb, rb, kb uint8, base uint64) {
+		cs := foldCase(nb, rb, kb, 6, 20, 3)
+		bk, err := sim.NewBatch(cs.N, cs.K, ringOffsets(cs.R))
+		if err != nil {
+			t.Fatalf("NewBatch(%+v): %v", cs, err)
+		}
+		base = base % (uint64(1) << uint(cs.N)) &^ 63
+		st := cs.Automaton().NewStepper()
+		var out [64]uint64
+		bk.Succ64(base, &out)
+		for l := uint64(0); l < sim.BatchLanes; l++ {
+			x := base + l
+			if want := stepIndex(st, cs.N, x); out[l] != want {
+				t.Fatalf("%s: batch lane %d of base %d gives %s, scalar %s",
+					cs, l, base,
+					config.FromIndex(out[l], cs.N), config.FromIndex(want, cs.N))
+			}
+		}
+	})
+}
+
+// FuzzSequentialCycleFree checks Lemma 1(ii)/Theorems 1–2 on fuzzer-chosen
+// instances: no threshold SCA trajectory may revisit a configuration it
+// has left, whatever the (arbitrary, non-permutation) update order.
+func FuzzSequentialCycleFree(f *testing.F) {
+	f.Add(uint8(6), uint8(1), uint8(2), uint64(0b101010), []byte{0, 1, 2, 3, 4, 5, 5, 4, 3, 2, 1, 0})
+	f.Add(uint8(9), uint8(2), uint8(3), uint64(0x1FF), []byte{0, 0, 0, 8, 8, 8, 4, 4})
+	f.Add(uint8(12), uint8(1), uint8(0), uint64(0), []byte{11, 7, 3, 7, 11})
+	f.Fuzz(func(t *testing.T, nb, rb, kb uint8, cfg uint64, orderBytes []byte) {
+		cs := foldCase(nb, rb, kb, 3, 16, 2)
+		cfg &= uint64(1)<<uint(cs.N) - 1
+		if len(orderBytes) > 256 {
+			orderBytes = orderBytes[:256]
+		}
+		order := make([]int, len(orderBytes))
+		for i, b := range orderBytes {
+			order[i] = int(b) % cs.N
+		}
+		if step, found := TrajectoryCycle(cs.Automaton(), cfg, order); found {
+			inst := Shrink(Instance{Case: cs, Config: cfg, Order: order}, caseHasTrajectoryCycle)
+			t.Fatalf("%s: proper sequential cycle at micro-step %d; shrunk: config=%s order=%v",
+				cs, step, config.FromIndex(inst.Config, cs.N), inst.Order)
+		}
+	})
+}
+
+// FuzzClassifyConcurrentVsSerial pins the sharded phase-space builder and
+// concurrent classifier to the scalar builder on fuzzer-chosen automata and
+// worker counts. Ring sizes 12–13 put 2^n past the sharding threshold so
+// the concurrent code paths genuinely engage.
+func FuzzClassifyConcurrentVsSerial(f *testing.F) {
+	f.Add(uint8(12), uint8(1), uint8(2), uint8(4))
+	f.Add(uint8(13), uint8(2), uint8(5), uint8(3))
+	f.Add(uint8(12), uint8(1), uint8(0), uint8(7))
+	f.Fuzz(func(t *testing.T, nb, rb, kb, wb uint8) {
+		cs := foldCase(nb, rb, kb, 12, 13, 2)
+		workers := 2 + int(wb)%7
+		if cex := ParallelBuildersAgree(cs, workers); cex != nil {
+			t.Fatalf("parallel builders diverge: %s", cex)
+		}
+	})
+}
+
+// TestFuzzSeedCorpusReplays replays the checked-in corpus through the
+// trajectory detector at unit-test speed, so `go test` (without -fuzz)
+// still covers the corpus inputs.
+func TestFuzzSeedCorpusReplays(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for i := 0; i < 50; i++ {
+		cs := SampleCase(rng, 16, 2)
+		start := SampleConfigIndex(rng, cs.N)
+		_, order := SampleOrder(rng, cs.N, 6*cs.N)
+		if _, found := TrajectoryCycle(cs.Automaton(), start, order); found {
+			t.Fatalf("threshold trajectory cycled: %s start=%d", cs, start)
+		}
+	}
+}

@@ -1,0 +1,212 @@
+package verify
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/automaton"
+	"repro/internal/rule"
+	"repro/internal/space"
+	"repro/internal/update"
+)
+
+// Case is one point of the threshold rule space the paper quantifies over:
+// a k-of-(2r+1) threshold rule on an n-cell ring with memory. The valid
+// ranges mirror sim.NewRing and rule.AllThresholds: n > 2r, 1 ≤ r, and
+// 0 ≤ k ≤ 2r+2 (k = 0 the constant-1 rule, k = 2r+2 the constant-0 rule,
+// k = r+1 MAJORITY).
+type Case struct {
+	N, R, K int
+}
+
+// String renders the case compactly.
+func (c Case) String() string { return fmt.Sprintf("threshold(k=%d)-of-%d on ring(n=%d,r=%d)", c.K, 2*c.R+1, c.N, c.R) }
+
+// Automaton materializes the case as a scalar reference automaton.
+func (c Case) Automaton() *automaton.Automaton {
+	return automaton.MustNew(space.Ring(c.N, c.R), rule.Threshold{K: c.K})
+}
+
+// Majority reports whether the case is the MAJORITY rule (k = r+1).
+func (c Case) Majority() bool { return c.K == c.R+1 }
+
+// Counterexample seeds a Counterexample with the case's parameters.
+func (c Case) counterexample(detail string) *Counterexample {
+	return &Counterexample{
+		N: c.N, R: c.R, K: c.K,
+		Rule:   rule.Threshold{K: c.K}.Name(),
+		Detail: detail,
+	}
+}
+
+// EnumCases enumerates every valid threshold case with minN ≤ n ≤ maxN,
+// 1 ≤ r ≤ maxR, n > 2r, and the full Theorem-1 quantifier range
+// 0 ≤ k ≤ 2r+2. This is the exhaustive rule-space generator for small n.
+func EnumCases(minN, maxN, maxR int) []Case {
+	var out []Case
+	for n := minN; n <= maxN; n++ {
+		for r := 1; r <= maxR && 2*r < n; r++ {
+			for k := 0; k <= 2*r+2; k++ {
+				out = append(out, Case{N: n, R: r, K: k})
+			}
+		}
+	}
+	return out
+}
+
+// SampleCase draws a uniform valid threshold case with n in [3, maxN] and
+// r in [1, maxR] (clamped so n > 2r).
+func SampleCase(rng *rand.Rand, maxN, maxR int) Case {
+	if maxN < 3 {
+		panic(fmt.Sprintf("verify: SampleCase maxN %d < 3", maxN))
+	}
+	n := 3 + rng.Intn(maxN-2)
+	rCap := (n - 1) / 2
+	if rCap > maxR {
+		rCap = maxR
+	}
+	if rCap < 1 {
+		rCap = 1
+	}
+	r := 1 + rng.Intn(rCap)
+	k := rng.Intn(2*r + 3)
+	return Case{N: n, R: r, K: k}
+}
+
+// SampleConfigIndex draws a configuration index over n ≤ 63 nodes with a
+// round-dependent density mix: uniform bits, sparse, dense, and block
+// patterns all occur, so low-entropy corner regions are sampled alongside
+// the uniform bulk.
+func SampleConfigIndex(rng *rand.Rand, n int) uint64 {
+	mask := uint64(1)<<uint(n) - 1
+	switch rng.Intn(4) {
+	case 0: // sparse: few ones
+		var x uint64
+		for i, ones := 0, rng.Intn(n/2+1); i < ones; i++ {
+			x |= 1 << uint(rng.Intn(n))
+		}
+		return x
+	case 1: // dense: few zeros
+		x := mask
+		for i, zeros := 0, rng.Intn(n/2+1); i < zeros; i++ {
+			x &^= 1 << uint(rng.Intn(n))
+		}
+		return x
+	case 2: // contiguous block of ones at a random offset
+		w := 1 + rng.Intn(n)
+		lo := rng.Intn(n)
+		var x uint64
+		for i := 0; i < w; i++ {
+			x |= 1 << uint((lo+i)%n)
+		}
+		return x
+	default: // uniform
+		return rng.Uint64() & mask
+	}
+}
+
+// CornerConfigs returns the deterministic corner configurations every
+// sampled property also visits: all-quiescent, all-ones, and the two
+// alternating phases of Lemma 1(i).
+func CornerConfigs(n int) []uint64 {
+	mask := uint64(1)<<uint(n) - 1
+	alt := uint64(0xAAAAAAAAAAAAAAAA) & mask // 0101… reading node 0 first
+	return []uint64{0, mask, alt, ^alt & mask}
+}
+
+// Materialize drains steps indices from an update.Schedule into a slice,
+// bridging the stateful Schedule interface to the finite explicit orders
+// the property checkers and shrinker consume.
+func Materialize(s update.Schedule, steps int) []int {
+	out := make([]int, steps)
+	for i := range out {
+		out[i] = s.Next()
+	}
+	return out
+}
+
+// OrderFamily is a named generator of adversarial node-update sequences
+// over n nodes. The paper's sequential quantifier ranges over arbitrary
+// index sequences — "not necessarily a (finite or infinite) permutation" —
+// so the families deliberately include unfair and non-permutation orders.
+type OrderFamily struct {
+	Name string
+	Gen  func(rng *rand.Rand, n, steps int) []int
+}
+
+// OrderFamilies returns the adversarial update-sequence generators. Fair
+// families (round-robin, zigzag, random-fair) witness the paper's
+// footnote-2 convergence regime; the rest probe the unrestricted
+// quantifier: i.i.d. random draws, unfair subsets that starve nodes,
+// duplicate-heavy stuttering, reversal pairs, and rotation families.
+func OrderFamilies() []OrderFamily {
+	return []OrderFamily{
+		{"round-robin", func(_ *rand.Rand, n, steps int) []int {
+			return Materialize(update.NewRoundRobin(n), steps)
+		}},
+		{"zigzag", func(_ *rand.Rand, n, steps int) []int {
+			return Materialize(update.NewZigzag(n), steps)
+		}},
+		{"random", func(rng *rand.Rand, n, steps int) []int {
+			return Materialize(update.NewRandom(n, rng.Int63()), steps)
+		}},
+		{"random-fair", func(rng *rand.Rand, n, steps int) []int {
+			return Materialize(update.NewRandomFair(n, rng.Int63()), steps)
+		}},
+		{"unfair-subset", func(rng *rand.Rand, n, steps int) []int {
+			// Hammer a random subset of ⌈n/3⌉+1 nodes; the rest starve.
+			k := n/3 + 1
+			subset := rng.Perm(n)[:k]
+			out := make([]int, steps)
+			for i := range out {
+				out[i] = subset[rng.Intn(k)]
+			}
+			return out
+		}},
+		{"duplicate-heavy", func(rng *rand.Rand, n, steps int) []int {
+			// Each drawn node stutters 1–4 times: non-permutation orders
+			// with long immediate repeats.
+			out := make([]int, 0, steps)
+			for len(out) < steps {
+				node := rng.Intn(n)
+				for rep := 1 + rng.Intn(4); rep > 0 && len(out) < steps; rep-- {
+					out = append(out, node)
+				}
+			}
+			return out
+		}},
+		{"reversal", func(rng *rand.Rand, n, steps int) []int {
+			// A random permutation followed by its reversal, repeated:
+			// the palindromic sweeps of relaxation solvers.
+			perm := rng.Perm(n)
+			out := make([]int, 0, steps)
+			for len(out) < steps {
+				for i := 0; i < n && len(out) < steps; i++ {
+					out = append(out, perm[i])
+				}
+				for i := n - 1; i >= 0 && len(out) < steps; i-- {
+					out = append(out, perm[i])
+				}
+			}
+			return out
+		}},
+		{"rotation", func(rng *rand.Rand, n, steps int) []int {
+			// Round j replays one base permutation rotated by j.
+			perm := rng.Perm(n)
+			out := make([]int, 0, steps)
+			for round := 0; len(out) < steps; round++ {
+				for i := 0; i < n && len(out) < steps; i++ {
+					out = append(out, perm[(i+round)%n])
+				}
+			}
+			return out
+		}},
+	}
+}
+
+// SampleOrder draws one order family and one sequence of the given length.
+func SampleOrder(rng *rand.Rand, n, steps int) (name string, order []int) {
+	fams := OrderFamilies()
+	f := fams[rng.Intn(len(fams))]
+	return f.Name, f.Gen(rng, n, steps)
+}

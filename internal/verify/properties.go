@@ -1,0 +1,304 @@
+package verify
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/automaton"
+	"repro/internal/config"
+	"repro/internal/phasespace"
+	"repro/internal/rule"
+	"repro/internal/space"
+)
+
+// This file holds the reusable property checkers behind the claim registry.
+// Each checker returns nil when the property holds on every generated
+// instance, or a counterexample shrunk to a minimal (config, order) pair.
+
+// rotIndex rotates configuration index x on n nodes by d: node (i+d) mod n
+// of the result holds node i of x.
+func rotIndex(x uint64, d, n int) uint64 {
+	d = ((d % n) + n) % n
+	if d == 0 {
+		return x
+	}
+	mask := uint64(1)<<uint(n) - 1
+	return (x<<uint(d) | x>>uint(n-d)) & mask
+}
+
+// reflIndex reverses configuration index x on n nodes: node n−1−i of the
+// result holds node i of x.
+func reflIndex(x uint64, n int) uint64 {
+	var y uint64
+	for i := 0; i < n; i++ {
+		y |= x >> uint(i) & 1 << uint(n-1-i)
+	}
+	return y
+}
+
+// stepIndex computes F(x) with the scalar stepper.
+func stepIndex(st *automaton.Stepper, n int, x uint64) uint64 {
+	src := config.FromIndex(x, n)
+	dst := config.New(n)
+	st.Step(dst, src)
+	return dst.Index()
+}
+
+// TrajectoryCycle drives start through order one single-node update at a
+// time and reports the first micro-step at which a *changing* update
+// re-enters a configuration the trajectory had previously left — a proper
+// temporal cycle in the paper's sense. It returns (-1, false) when the
+// trajectory is cycle-free.
+func TrajectoryCycle(a *automaton.Automaton, start uint64, order []int) (step int, found bool) {
+	n := a.N()
+	c := config.FromIndex(start, n)
+	visited := map[uint64]bool{start: true}
+	for t, i := range order {
+		if i < 0 || i >= n {
+			panic(fmt.Sprintf("verify: order index %d out of [0,%d)", i, n))
+		}
+		if a.UpdateNode(c, i) {
+			idx := c.Index()
+			if visited[idx] {
+				return t, true
+			}
+			visited[idx] = true
+		}
+	}
+	return -1, false
+}
+
+// caseHasTrajectoryCycle is the shrinker predicate for sequential
+// cycle-freedom: does the instance exhibit a proper cycle?
+func caseHasTrajectoryCycle(inst Instance) bool {
+	_, found := TrajectoryCycle(inst.Case.Automaton(), inst.Config, inst.Order)
+	return found
+}
+
+// SequentialCycleFreeSampled samples rounds (configuration, order) pairs on
+// the case's sequential dynamics and verifies cycle-freedom along every
+// trajectory (Lemma 1(ii) / Theorems 1–2 quantifier, sampled). Failing
+// instances are shrunk before being reported.
+func SequentialCycleFreeSampled(rng *rand.Rand, cs Case, rounds int) *Counterexample {
+	a := cs.Automaton()
+	corners := CornerConfigs(cs.N)
+	for round := 0; round < rounds; round++ {
+		// Corner starts are woven in deterministically on long runs and
+		// probabilistically on short ones, so single-round calls still
+		// sample the configuration space rather than pinning to 0ⁿ.
+		var start uint64
+		switch {
+		case rounds > 2*len(corners) && round < len(corners):
+			start = corners[round]
+		case rng.Intn(8) == 0:
+			start = corners[rng.Intn(len(corners))]
+		default:
+			start = SampleConfigIndex(rng, cs.N)
+		}
+		steps := 4*cs.N + rng.Intn(4*cs.N+1)
+		name, order := SampleOrder(rng, cs.N, steps)
+		if _, found := TrajectoryCycle(a, start, order); found {
+			inst := Shrink(Instance{Case: cs, Config: start, Order: order}, caseHasTrajectoryCycle)
+			cex := cs.counterexample(fmt.Sprintf(
+				"proper sequential cycle under %s order (round %d)", name, round))
+			cex.Config = config.FromIndex(inst.Config, cs.N).String()
+			cex.Order = inst.Order
+			return cex
+		}
+	}
+	return nil
+}
+
+// SequentialCycleFreeExhaustive builds the complete sequential phase space
+// of the case and checks the union digraph of changing transitions is
+// acyclic — the finite certificate that quantifies over all infinite update
+// sequences at once.
+func SequentialCycleFreeExhaustive(cs Case) *Counterexample {
+	witness, ok := phasespace.BuildSequential(cs.Automaton()).Acyclic()
+	if ok {
+		return nil
+	}
+	cex := cs.counterexample(fmt.Sprintf(
+		"sequential phase space has a proper cycle through %d configurations", len(witness)))
+	if len(witness) > 0 {
+		cex.Config = config.FromIndex(witness[0], cs.N).String()
+	}
+	return cex
+}
+
+// ParallelTwoCycle verifies the Lemma 1(i)/Corollary 1 witness: for
+// MAJORITY of radius r on a ring of n divisible by 2r, the block pattern
+// σ = (0^r 1^r)* and its complement form a parallel temporal 2-cycle. The
+// witness is checked with the scalar stepper, so the packed engines are
+// pinned separately by the oracles.
+func ParallelTwoCycle(n, r int) *Counterexample {
+	cs := Case{N: n, R: r, K: r + 1}
+	if n%(2*r) != 0 {
+		return cs.counterexample(fmt.Sprintf("invalid witness request: n=%d not divisible by 2r=%d", n, 2*r))
+	}
+	a := cs.Automaton()
+	st := a.NewStepper()
+	sigma := config.AlternatingBlocks(n, r, 0).Index()
+	tau := config.AlternatingBlocks(n, r, 1).Index()
+	if got := stepIndex(st, n, sigma); got != tau {
+		cex := cs.counterexample(fmt.Sprintf("F(σ) = %s, want complement block pattern",
+			config.FromIndex(got, n)))
+		cex.Config = config.FromIndex(sigma, n).String()
+		return cex
+	}
+	if got := stepIndex(st, n, tau); got != sigma {
+		cex := cs.counterexample(fmt.Sprintf("F²(σ) broken: F(τ) = %s, want σ",
+			config.FromIndex(got, n)))
+		cex.Config = config.FromIndex(tau, n).String()
+		return cex
+	}
+	return nil
+}
+
+// figure1Parallel checks the exact Figure 1(a) facts of the 2-node
+// parallel XOR CA: 00 is the unique fixed point and a global sink reached
+// within 2 steps, and no proper cycles exist.
+func figure1Parallel() *Counterexample {
+	a := automaton.MustNew(space.CompleteGraph(2), rule.XOR{})
+	p := phasespace.BuildParallel(a)
+	fail := func(detail string) *Counterexample {
+		return &Counterexample{N: 2, Rule: "xor", Detail: detail}
+	}
+	if fps := p.FixedPoints(); len(fps) != 1 || fps[0] != 0 {
+		return fail(fmt.Sprintf("fixed points %v, want [00]", fps))
+	}
+	if pc := p.ProperCycles(); len(pc) != 0 {
+		return fail(fmt.Sprintf("%d proper cycles, want none", len(pc)))
+	}
+	for x := uint64(0); x < p.Size(); x++ {
+		if d := p.TransientDistance(x); d > 2 {
+			return fail(fmt.Sprintf("configuration %s is %d steps from the sink, want ≤ 2",
+				config.FromIndex(x, 2), d))
+		}
+	}
+	return nil
+}
+
+// figure1Sequential checks the exact Figure 1(b) facts of the 2-node
+// sequential XOR CA: 00 is an unreachable fixed point, 01 and 10 are
+// unstable pseudo-fixed points, and exactly two temporal 2-cycles exist —
+// so the sequential space is *not* acyclic (XOR is the antagonist showing
+// cycle-freedom is a threshold phenomenon, not a general one).
+func figure1Sequential() *Counterexample {
+	a := automaton.MustNew(space.CompleteGraph(2), rule.XOR{})
+	s := phasespace.BuildSequential(a)
+	fail := func(detail string) *Counterexample {
+		return &Counterexample{N: 2, Rule: "xor", Detail: detail}
+	}
+	if fps := s.FixedPoints(); len(fps) != 1 || fps[0] != 0 {
+		return fail(fmt.Sprintf("fixed points %v, want [00]", fps))
+	}
+	if un := s.Unreachable(); len(un) != 1 || un[0] != 0 {
+		return fail(fmt.Sprintf("unreachable states %v, want [00]", un))
+	}
+	if pfp := s.PseudoFixedPoints(); len(pfp) != 2 {
+		return fail(fmt.Sprintf("%d pseudo-fixed points, want 2", len(pfp)))
+	}
+	if tc := s.TwoCycles(); len(tc) != 2 {
+		return fail(fmt.Sprintf("%d temporal 2-cycles, want 2", len(tc)))
+	}
+	if _, acyclic := s.Acyclic(); acyclic {
+		return fail("sequential XOR space reported acyclic; Figure 1(b) has cycles")
+	}
+	return nil
+}
+
+// RotationEquivariance verifies F(rot_d(x)) = rot_d(F(x)) for the scalar
+// stepper on the case's translation-invariant ring — the symmetry that the
+// metamorphic batch tests lean on.
+func RotationEquivariance(rng *rand.Rand, cs Case, rounds int) *Counterexample {
+	a := cs.Automaton()
+	st := a.NewStepper()
+	for round := 0; round < rounds; round++ {
+		x := SampleConfigIndex(rng, cs.N)
+		d := 1 + rng.Intn(cs.N-1)
+		want := rotIndex(stepIndex(st, cs.N, x), d, cs.N)
+		got := stepIndex(st, cs.N, rotIndex(x, d, cs.N))
+		if got != want {
+			cex := cs.counterexample(fmt.Sprintf(
+				"rotation by %d: F(rot(x)) = %s but rot(F(x)) = %s",
+				d, config.FromIndex(got, cs.N), config.FromIndex(want, cs.N)))
+			cex.Config = config.FromIndex(x, cs.N).String()
+			return cex
+		}
+	}
+	return nil
+}
+
+// ReflectionEquivariance verifies F(refl(x)) = refl(F(x)): threshold rules
+// are symmetric, so mirroring the ring commutes with the global map.
+func ReflectionEquivariance(rng *rand.Rand, cs Case, rounds int) *Counterexample {
+	a := cs.Automaton()
+	st := a.NewStepper()
+	for round := 0; round < rounds; round++ {
+		x := SampleConfigIndex(rng, cs.N)
+		want := reflIndex(stepIndex(st, cs.N, x), cs.N)
+		got := stepIndex(st, cs.N, reflIndex(x, cs.N))
+		if got != want {
+			cex := cs.counterexample(fmt.Sprintf(
+				"reflection: F(refl(x)) = %s but refl(F(x)) = %s",
+				config.FromIndex(got, cs.N), config.FromIndex(want, cs.N)))
+			cex.Config = config.FromIndex(x, cs.N).String()
+			return cex
+		}
+	}
+	return nil
+}
+
+// MonotoneSandwich verifies the monotonicity consequences of threshold
+// rules: x ⊆ y implies F(x) ⊆ F(y) (parallel), the same dominance is
+// preserved along any shared sequential order, and every parallel
+// trajectory stays sandwiched between the trajectories of 0ⁿ and 1ⁿ.
+func MonotoneSandwich(rng *rand.Rand, cs Case, rounds int) *Counterexample {
+	a := cs.Automaton()
+	st := a.NewStepper()
+	n := cs.N
+	mask := uint64(1)<<uint(n) - 1
+	for round := 0; round < rounds; round++ {
+		x := SampleConfigIndex(rng, n)
+		y := x | SampleConfigIndex(rng, n) // x ⊆ y by construction
+		// Parallel one-step dominance.
+		fx, fy := stepIndex(st, n, x), stepIndex(st, n, y)
+		if fx&^fy != 0 {
+			cex := cs.counterexample(fmt.Sprintf(
+				"monotonicity broken: x ⊆ y but F(x) = %s ⊄ F(y) = %s",
+				config.FromIndex(fx, n), config.FromIndex(fy, n)))
+			cex.Config = config.FromIndex(x, n).String()
+			return cex
+		}
+		// Sandwich along the full parallel trajectory: F^t(0) ⊆ F^t(x) ⊆ F^t(1).
+		lo, mid, hi := uint64(0), x, mask
+		for t := 0; t < 2*n; t++ {
+			if lo&^mid != 0 || mid&^hi != 0 {
+				cex := cs.counterexample(fmt.Sprintf(
+					"sandwich broken at step %d: F^t(0)=%s F^t(x)=%s F^t(1)=%s",
+					t, config.FromIndex(lo, n), config.FromIndex(mid, n), config.FromIndex(hi, n)))
+				cex.Config = config.FromIndex(x, n).String()
+				return cex
+			}
+			lo, mid, hi = stepIndex(st, n, lo), stepIndex(st, n, mid), stepIndex(st, n, hi)
+		}
+		// Sequential dominance: one shared order applied to both x and y.
+		_, order := SampleOrder(rng, n, 3*n)
+		cx := config.FromIndex(x, n)
+		cy := config.FromIndex(y, n)
+		for t, i := range order {
+			a.UpdateNode(cx, i)
+			a.UpdateNode(cy, i)
+			if cx.Index()&^cy.Index() != 0 {
+				cex := cs.counterexample(fmt.Sprintf(
+					"sequential dominance broken at micro-step %d: %s ⊄ %s",
+					t, cx, cy))
+				cex.Config = config.FromIndex(x, n).String()
+				cex.Order = order[:t+1]
+				return cex
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,72 @@
+package verify
+
+// Instance is a concrete failing instance handed to the shrinker: a rule
+// case, a start configuration, and an explicit node-update order (empty for
+// properties that do not involve an order).
+type Instance struct {
+	Case   Case
+	Config uint64
+	Order  []int
+}
+
+// Shrink greedily minimizes a failing instance while fails keeps returning
+// true, and returns the smallest instance found. Two reduction passes
+// alternate to a fixed point:
+//
+//   - order reduction: contiguous chunks (halving sizes, ddmin-style) and
+//     then single elements are removed when the failure persists;
+//   - configuration reduction: set bits are cleared one at a time, biased
+//     toward the quiescent configuration.
+//
+// The rule case itself (n, r, k) is preserved: it names *which* claim
+// instance failed, so reducing it would change the statement being
+// falsified. Shrinking is deterministic given the instance.
+func Shrink(inst Instance, fails func(Instance) bool) Instance {
+	if !fails(inst) {
+		return inst // not a failing instance; nothing to shrink
+	}
+	for changed := true; changed; {
+		changed = false
+		if shrinkOrder(&inst, fails) {
+			changed = true
+		}
+		if shrinkConfig(&inst, fails) {
+			changed = true
+		}
+	}
+	return inst
+}
+
+// shrinkOrder removes chunks then single elements from inst.Order.
+func shrinkOrder(inst *Instance, fails func(Instance) bool) (changed bool) {
+	for size := len(inst.Order) / 2; size >= 1; size /= 2 {
+		for i := 0; i+size <= len(inst.Order); {
+			cand := make([]int, 0, len(inst.Order)-size)
+			cand = append(cand, inst.Order[:i]...)
+			cand = append(cand, inst.Order[i+size:]...)
+			if fails(Instance{Case: inst.Case, Config: inst.Config, Order: cand}) {
+				inst.Order = cand
+				changed = true
+			} else {
+				i += size
+			}
+		}
+	}
+	return changed
+}
+
+// shrinkConfig clears set bits of inst.Config one at a time.
+func shrinkConfig(inst *Instance, fails func(Instance) bool) (changed bool) {
+	for b := 0; b < inst.Case.N; b++ {
+		bit := uint64(1) << uint(b)
+		if inst.Config&bit == 0 {
+			continue
+		}
+		cand := inst.Config &^ bit
+		if fails(Instance{Case: inst.Case, Config: cand, Order: inst.Order}) {
+			inst.Config = cand
+			changed = true
+		}
+	}
+	return changed
+}

@@ -1,0 +1,166 @@
+// Package verify is the repository's property-based claim-verification
+// engine. The paper's core results (Lemma 1(ii), Theorems 1–2) are
+// universally quantified over *every* node-update sequence — including
+// unfair, non-permutation orders — so spot-check unit tests cannot certify
+// them. This package closes the gap with three ingredients:
+//
+//   - generators (generators.go): seeded enumeration and sampling of the
+//     monotone symmetric threshold rule space over (n, r, k), random
+//     configuration samplers with corner cases, and adversarial
+//     update-sequence families (permutations, unfair repeats,
+//     duplicate-heavy, reversal/rotation orders) built on internal/update;
+//   - properties (properties.go): cycle-freedom of sequential threshold
+//     dynamics along every sampled order plus exhaustive small-n phase
+//     spaces, the parallel two-cycle witnesses, rotation/reflection
+//     equivariance, and monotone sandwich bounds;
+//   - oracles (oracles.go): differential cross-checks pinning the scalar
+//     stepper, the packed sim.Ring, the configuration-parallel sim.Batch,
+//     and the sharded phasespace builders to one another, with shrinking
+//     (shrink.go) of failing instances to minimal (n, rule, order, config)
+//     counterexamples.
+//
+// The claim registry (claims.go) names each verified paper item (F1A, F1B,
+// L1I, L1II, T1, T2, …) and Run executes the suite reproducibly from a
+// seed, producing a machine-readable Report. cmd/ca-verify is the CLI
+// front end; the Fuzz* targets in this package reuse the same generators
+// for coverage-guided exploration.
+package verify
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"math/rand"
+	"strings"
+	"time"
+)
+
+// Counterexample is a minimal failing instance of a claim, shrunk before
+// being reported. Zero-value fields are omitted from JSON.
+type Counterexample struct {
+	N      int    `json:"n,omitempty"`
+	R      int    `json:"r,omitempty"`
+	K      int    `json:"k,omitempty"`
+	Rule   string `json:"rule,omitempty"`
+	Config string `json:"config,omitempty"` // bitstring, node 0 first
+	Order  []int  `json:"order,omitempty"`  // node-update sequence
+	Detail string `json:"detail"`           // what went wrong
+}
+
+// String renders the counterexample on one line.
+func (c *Counterexample) String() string {
+	var b strings.Builder
+	if c.Rule != "" {
+		fmt.Fprintf(&b, "%s ", c.Rule)
+	}
+	if c.N > 0 {
+		fmt.Fprintf(&b, "n=%d ", c.N)
+	}
+	if c.Config != "" {
+		fmt.Fprintf(&b, "config=%s ", c.Config)
+	}
+	if len(c.Order) > 0 {
+		fmt.Fprintf(&b, "order=%v ", c.Order)
+	}
+	b.WriteString(c.Detail)
+	return b.String()
+}
+
+// Ctx carries the per-claim execution context: a claim-private seeded RNG
+// (so claim subsets and orderings never perturb each other's streams), the
+// sampling budget, and the worker count handed to the sharded builders.
+type Ctx struct {
+	Rng     *rand.Rand
+	Rounds  int
+	Workers int
+}
+
+// Claim is one verifiable paper statement. Check returns nil when the
+// claim holds on every generated instance, or a (shrunk) counterexample.
+type Claim struct {
+	ID    string
+	Title string
+	Paper string // paper item the claim verifies, e.g. "Lemma 1(ii)"
+	Check func(ctx *Ctx) *Counterexample
+}
+
+// Result records one claim's verdict.
+type Result struct {
+	ID             string          `json:"id"`
+	Title          string          `json:"title"`
+	Paper          string          `json:"paper"`
+	Pass           bool            `json:"pass"`
+	Counterexample *Counterexample `json:"counterexample,omitempty"`
+	DurationMS     int64           `json:"duration_ms"`
+}
+
+// Report is the machine-readable output of a verification run
+// (VERIFY_<date>.json).
+type Report struct {
+	Date    string   `json:"date"`
+	Seed    int64    `json:"seed"`
+	Rounds  int      `json:"rounds"`
+	Workers int      `json:"workers"`
+	Pass    bool     `json:"pass"`
+	Claims  []Result `json:"claims"`
+}
+
+// claimSeed derives a per-claim seed from the run seed and the claim id,
+// so that each claim's random stream is independent of which other claims
+// run and in what order.
+func claimSeed(seed int64, id string) int64 {
+	h := fnv.New64a()
+	h.Write([]byte(id))
+	return seed ^ int64(h.Sum64())
+}
+
+// Run executes the given claims with the run-level seed, per-claim rounds
+// budget and builder worker count, and assembles the report. rounds ≤ 0
+// defaults to 200.
+func Run(claims []Claim, seed int64, rounds, workers int) Report {
+	if rounds <= 0 {
+		rounds = 200
+	}
+	rep := Report{
+		Date:    time.Now().UTC().Format("2006-01-02"),
+		Seed:    seed,
+		Rounds:  rounds,
+		Workers: workers,
+		Pass:    true,
+	}
+	for _, cl := range claims {
+		ctx := &Ctx{
+			Rng:     rand.New(rand.NewSource(claimSeed(seed, cl.ID))),
+			Rounds:  rounds,
+			Workers: workers,
+		}
+		start := time.Now()
+		cex := cl.Check(ctx)
+		res := Result{
+			ID:             cl.ID,
+			Title:          cl.Title,
+			Paper:          cl.Paper,
+			Pass:           cex == nil,
+			Counterexample: cex,
+			DurationMS:     time.Since(start).Milliseconds(),
+		}
+		if cex != nil {
+			rep.Pass = false
+		}
+		rep.Claims = append(rep.Claims, res)
+	}
+	return rep
+}
+
+// WriteJSON emits the report as indented JSON.
+func (r Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// Filename returns the canonical report file name, VERIFY_<date>.json.
+func (r Report) Filename() string {
+	return fmt.Sprintf("VERIFY_%s.json", r.Date)
+}
