@@ -27,6 +27,8 @@ import (
 	"os/exec"
 	"runtime"
 	"time"
+
+	"repro/internal/cli"
 )
 
 func main() {
@@ -39,6 +41,10 @@ func main() {
 		timeout = flag.Duration("timeout", 30*time.Minute, "go test timeout")
 	)
 	flag.Parse()
+	cli.Exit2("ca-bench", cli.First(
+		cli.PositiveDuration("-timeout", *timeout),
+		cli.Writable("-out", *out),
+	))
 	if err := run(*bench, *out, *dir, *input, *parse, *timeout); err != nil {
 		fmt.Fprintln(os.Stderr, "ca-bench:", err)
 		os.Exit(1)

@@ -5,14 +5,31 @@
 //	ca-experiments            # run everything
 //	ca-experiments -only E04  # run one experiment
 //	ca-experiments -md        # markdown tables (for EXPERIMENTS.md)
+//
+// The sweep runs under the fault-tolerant campaign runtime: each
+// experiment executes supervised (a panic is retried, then re-run
+// degraded, and only then reported as a failure), its output is buffered
+// so retries never print half a section, SIGINT/SIGTERM cancel between
+// experiments and flush a final checkpoint, and -resume skips the
+// experiments a previous interrupted sweep already completed:
+//
+//	ca-experiments -checkpoint exp.ckpt          # interruptible sweep
+//	ca-experiments -checkpoint exp.ckpt -resume  # continue, skip done
 package main
 
 import (
+	"bytes"
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"strings"
+
+	"repro/internal/cli"
+	"repro/internal/faultinject"
+	"repro/internal/runtime"
 )
 
 type experiment struct {
@@ -52,27 +69,120 @@ var experiments = []experiment{
 
 func main() {
 	var (
-		only    = flag.String("only", "", "run only the experiment with this id (e.g. E04)")
-		md      = flag.Bool("md", false, "emit markdown tables")
-		workers = flag.Int("workers", 0, "phase-space builder worker count (0 = GOMAXPROCS)")
+		only       = flag.String("only", "", "run only the experiment with this id (e.g. E04)")
+		md         = flag.Bool("md", false, "emit markdown tables")
+		workers    = flag.Int("workers", 0, "phase-space builder worker count (0 = GOMAXPROCS)")
+		checkpoint = flag.String("checkpoint", "", "sweep checkpoint path (.gz compresses); flushed after every experiment")
+		resume     = flag.Bool("resume", false, "skip experiments completed by a previous checkpointed sweep")
+		faults     = flag.String("faults", "", "deterministic fault plan to inject per experiment index, e.g. panic:3 (debug)")
 	)
 	flag.Parse()
+	cli.Exit2("ca-experiments", cli.First(
+		cli.NonNegative("-workers", *workers),
+		cli.Writable("-checkpoint", *checkpoint),
+	))
 	buildWorkers = *workers
+	ctx, stop := cli.SignalContext(context.Background())
+	defer stop()
+	err := run(ctx, os.Stdout, *only, *md, *checkpoint, *resume, *faults)
+	switch {
+	case cli.Interrupted(err):
+		fmt.Fprintln(os.Stderr, "ca-experiments: interrupted; checkpoint flushed")
+		os.Exit(cli.InterruptExitCode)
+	case err != nil:
+		fmt.Fprintln(os.Stderr, "ca-experiments:", err)
+		os.Exit(1)
+	}
+}
+
+// sweepKind tags experiment-sweep checkpoints.
+const sweepKind = "experiments/sweep"
+
+func sweepFingerprint(md bool) string {
+	ids := make([]string, len(experiments))
+	for i, e := range experiments {
+		ids[i] = e.id
+	}
+	return runtime.Fingerprint(sweepKind, fmt.Sprint(md), strings.Join(ids, ","))
+}
+
+func run(ctx context.Context, w io.Writer, only string, md bool, checkpoint string, resume bool, faults string) error {
+	plan, err := faultinject.Parse(faults)
+	if err != nil {
+		return err
+	}
+	super := runtime.Options{}
+	if plan != nil {
+		super.Hooks = plan
+	}
+
+	ck := runtime.NewCheckpoint(sweepKind, sweepFingerprint(md), len(experiments), 0)
+	if checkpoint != "" && resume {
+		loaded, err := runtime.LoadCheckpoint(checkpoint)
+		switch {
+		case err == nil:
+			if verr := loaded.Validate(sweepKind, sweepFingerprint(md), len(experiments), 0); verr != nil {
+				return fmt.Errorf("resume %s: %w", checkpoint, verr)
+			}
+			ck = loaded
+		case errors.Is(err, os.ErrNotExist):
+			// Fresh sweep.
+		default:
+			return err
+		}
+	}
+	flush := func() error {
+		if checkpoint == "" {
+			return nil
+		}
+		return ck.Save(checkpoint)
+	}
+
 	ran := 0
-	for _, e := range experiments {
-		if *only != "" && !strings.EqualFold(*only, e.id) {
+	for i, e := range experiments {
+		if only != "" && !strings.EqualFold(only, e.id) {
 			continue
 		}
-		fmt.Printf("## %s — %s\n\n", e.id, e.title)
-		if err := e.run(os.Stdout, *md); err != nil {
-			fmt.Fprintf(os.Stderr, "ca-experiments: %s: %v\n", e.id, err)
-			os.Exit(1)
+		if err := ctx.Err(); err != nil {
+			if ferr := flush(); ferr != nil {
+				return ferr
+			}
+			return err
 		}
-		fmt.Println()
+		if ck.IsDone(i) {
+			fmt.Fprintf(w, "## %s — %s\n\n(skipped: completed in checkpoint %s)\n\n", e.id, e.title, checkpoint)
+			ran++
+			continue
+		}
+		// Buffer the section so a retried experiment never prints a torn
+		// table; only a successful attempt's output is emitted.
+		var section bytes.Buffer
+		err := runtime.Do(ctx, super, i, func() error {
+			section.Reset()
+			return e.run(&section, md)
+		})
+		if err != nil {
+			if ctx.Err() != nil {
+				if ferr := flush(); ferr != nil {
+					return ferr
+				}
+				return ctx.Err()
+			}
+			return fmt.Errorf("%s: %w", e.id, err)
+		}
+		fmt.Fprintf(w, "## %s — %s\n\n", e.id, e.title)
+		if _, err := w.Write(section.Bytes()); err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
+		ck.MarkDone(i)
+		if err := flush(); err != nil {
+			return err
+		}
 		ran++
 	}
 	if ran == 0 {
-		fmt.Fprintf(os.Stderr, "ca-experiments: no experiment matches %q\n", *only)
-		os.Exit(1)
+		return fmt.Errorf("no experiment matches %q", only)
 	}
+	return nil
 }

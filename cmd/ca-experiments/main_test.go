@@ -1,0 +1,70 @@
+package main
+
+import (
+	"context"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestSweepSingleExperiment runs one cheap experiment through the full
+// supervised sweep path, including a fault plan that panics on its index.
+func TestSweepSingleExperiment(t *testing.T) {
+	var b strings.Builder
+	if err := run(context.Background(), &b, "E01", false, "", false, ""); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "## E01") {
+		t.Fatalf("missing section header:\n%s", b.String())
+	}
+
+	// E01 is experiment index 0: panic:0 must be absorbed by the
+	// supervisor and the section printed exactly once.
+	b.Reset()
+	if err := run(context.Background(), &b, "E01", false, "", false, "panic:0"); err != nil {
+		t.Fatalf("faulted sweep failed: %v", err)
+	}
+	if n := strings.Count(b.String(), "## E01"); n != 1 {
+		t.Fatalf("section printed %d times, want 1:\n%s", n, b.String())
+	}
+}
+
+func TestSweepUnknownIDErrors(t *testing.T) {
+	var b strings.Builder
+	if err := run(context.Background(), &b, "E99", false, "", false, ""); err == nil {
+		t.Fatal("unknown experiment id accepted")
+	}
+	if err := run(context.Background(), &b, "E01", false, "", false, "explode:1"); err == nil {
+		t.Fatal("bad fault spec accepted")
+	}
+}
+
+// TestSweepCheckpointSkipsCompleted interrupts a sweep after the first
+// experiment (via a pre-cancelled context on the second pass) and checks
+// that -resume skips the completed section.
+func TestSweepCheckpointSkipsCompleted(t *testing.T) {
+	ckpt := filepath.Join(t.TempDir(), "exp.ckpt.gz")
+
+	var b strings.Builder
+	if err := run(context.Background(), &b, "E01", false, ckpt, false, ""); err != nil {
+		t.Fatal(err)
+	}
+
+	// Resume: E01 is marked done, so it must be skipped, not re-run.
+	b.Reset()
+	if err := run(context.Background(), &b, "E01", false, ckpt, true, ""); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "skipped: completed in checkpoint") {
+		t.Fatalf("resumed sweep re-ran a completed experiment:\n%s", b.String())
+	}
+
+	// A cancelled context flushes the checkpoint and reports the
+	// cancellation instead of running anything.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	b.Reset()
+	if err := run(ctx, &b, "E02", false, ckpt, true, ""); err != context.Canceled {
+		t.Fatalf("cancelled sweep returned %v", err)
+	}
+}

@@ -6,9 +6,21 @@
 //	ca-phase -n 2 -space complete -rule xor -dot parallel   > fig1a.dot
 //	ca-phase -n 2 -space complete -rule xor -dot sequential > fig1b.dot
 //	ca-phase -n 10 -rule majority
+//
+// Large enumerations run under the fault-tolerant campaign runtime:
+// SIGINT/SIGTERM cancel the build, flush a final checkpoint (when
+// -checkpoint is set), and exit 130; -resume continues an interrupted
+// enumeration with successor arrays byte-identical to an uninterrupted
+// run. The parallel build checkpoints to the -checkpoint path itself and
+// the sequential build to that path + ".seq"; -faults injects a
+// deterministic fault plan into the build shards (debug):
+//
+//	ca-phase -n 24 -rule majority -checkpoint phase.ckpt.gz
+//	ca-phase -n 24 -rule majority -checkpoint phase.ckpt.gz -resume
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -16,32 +28,51 @@ import (
 	"strings"
 
 	"repro/internal/automaton"
+	"repro/internal/cli"
 	"repro/internal/config"
+	"repro/internal/faultinject"
 	"repro/internal/phasespace"
 	"repro/internal/render"
 	"repro/internal/rule"
+	"repro/internal/runtime"
 	"repro/internal/space"
 )
 
 func main() {
 	var (
-		n        = flag.Int("n", 8, "number of cells")
-		r        = flag.Int("r", 1, "neighborhood radius")
-		ruleSpec = flag.String("rule", "majority", "rule: majority | threshold:K | xor | eca:CODE")
-		spSpec   = flag.String("space", "ring", "space: ring | line | complete | hypercube:D | torus:WxH")
-		dot      = flag.String("dot", "", "emit DOT instead of analysis: parallel | sequential")
-		verbose  = flag.Bool("v", false, "list cycles and pseudo-fixed points")
-		noMemory = flag.Bool("memoryless", false, "exclude each node from its own neighborhood (memoryless CA)")
-		workers  = flag.Int("workers", 0, "phase-space builder worker count (0 = GOMAXPROCS)")
+		n          = flag.Int("n", 8, "number of cells")
+		r          = flag.Int("r", 1, "neighborhood radius")
+		ruleSpec   = flag.String("rule", "majority", "rule: majority | threshold:K | xor | eca:CODE")
+		spSpec     = flag.String("space", "ring", "space: ring | line | complete | hypercube:D | torus:WxH")
+		dot        = flag.String("dot", "", "emit DOT instead of analysis: parallel | sequential")
+		verbose    = flag.Bool("v", false, "list cycles and pseudo-fixed points")
+		noMemory   = flag.Bool("memoryless", false, "exclude each node from its own neighborhood (memoryless CA)")
+		workers    = flag.Int("workers", 0, "phase-space builder worker count (0 = GOMAXPROCS)")
+		checkpoint = flag.String("checkpoint", "", "build checkpoint path (.gz compresses; sequential build appends .seq)")
+		resume     = flag.Bool("resume", false, "resume an interrupted build from its checkpoint")
+		faults     = flag.String("faults", "", "deterministic fault plan to inject into build shards, e.g. panic:3 (debug)")
 	)
 	flag.Parse()
-	if err := run(*n, *r, *ruleSpec, *spSpec, *dot, *verbose, *noMemory, *workers); err != nil {
+	cli.Exit2("ca-phase", cli.First(
+		cli.Positive("-n", *n),
+		cli.NonNegative("-r", *r),
+		cli.NonNegative("-workers", *workers),
+		cli.Writable("-checkpoint", *checkpoint),
+	))
+	ctx, stop := cli.SignalContext(context.Background())
+	defer stop()
+	err := run(ctx, *n, *r, *ruleSpec, *spSpec, *dot, *verbose, *noMemory, *workers, *checkpoint, *resume, *faults)
+	switch {
+	case cli.Interrupted(err):
+		fmt.Fprintln(os.Stderr, "ca-phase: interrupted; checkpoint flushed")
+		os.Exit(cli.InterruptExitCode)
+	case err != nil:
 		fmt.Fprintln(os.Stderr, "ca-phase:", err)
 		os.Exit(1)
 	}
 }
 
-func run(n, r int, ruleSpec, spSpec, dot string, verbose, noMemory bool, workers int) error {
+func run(ctx context.Context, n, r int, ruleSpec, spSpec, dot string, verbose, noMemory bool, workers int, checkpoint string, resume bool, faults string) error {
 	sp, err := parseSpace(spSpec, n, r)
 	if err != nil {
 		return err
@@ -59,17 +90,48 @@ func run(n, r int, ruleSpec, spSpec, dot string, verbose, noMemory bool, workers
 	}
 	name := fmt.Sprintf("%s on %s", rl.Name(), sp.Name())
 
+	plan, err := faultinject.Parse(faults)
+	if err != nil {
+		return err
+	}
+	opts := phasespace.BuildOptions{
+		Options:    runtime.Options{Workers: workers},
+		Checkpoint: checkpoint,
+		Resume:     resume,
+	}
+	if plan != nil {
+		opts.Hooks = plan
+	}
+	seqOpts := opts
+	if checkpoint != "" {
+		seqOpts.Checkpoint = checkpoint + ".seq"
+	}
+
 	switch dot {
 	case "parallel":
-		return phasespace.BuildParallelWorkers(a, workers).WriteDOT(os.Stdout, name)
+		p, err := phasespace.BuildParallelOpts(ctx, a, opts)
+		if err != nil {
+			return err
+		}
+		return p.WriteDOT(os.Stdout, name)
 	case "sequential":
-		return phasespace.BuildSequentialWorkers(a, workers).WriteDOT(os.Stdout, name, false)
+		s, err := phasespace.BuildSequentialOpts(ctx, a, seqOpts)
+		if err != nil {
+			return err
+		}
+		return s.WriteDOT(os.Stdout, name, false)
 	case "":
 	default:
 		return fmt.Errorf("unknown -dot mode %q", dot)
 	}
 
-	p := phasespace.BuildParallelWorkers(a, workers)
+	p, err := phasespace.BuildParallelOpts(ctx, a, opts)
+	if err != nil {
+		return err
+	}
+	if err := p.ClassifyCtx(ctx); err != nil {
+		return err
+	}
 	c := p.TakeCensus()
 	fmt.Printf("# %s\n\n== parallel phase space ==\n", name)
 	tab := render.NewTable("quantity", "value")
@@ -96,7 +158,10 @@ func run(n, r int, ruleSpec, spSpec, dot string, verbose, noMemory bool, workers
 	}
 
 	if sp.N() <= phasespace.MaxSequentialNodes {
-		s := phasespace.BuildSequentialWorkers(a, workers)
+		s, err := phasespace.BuildSequentialOpts(ctx, a, seqOpts)
+		if err != nil {
+			return err
+		}
 		fmt.Printf("\n== sequential phase space ==\n")
 		stab := render.NewTable("quantity", "value")
 		witness, acyclic := s.Acyclic()

@@ -19,6 +19,7 @@ import (
 
 	"repro/internal/async"
 	"repro/internal/automaton"
+	"repro/internal/cli"
 	"repro/internal/config"
 	"repro/internal/render"
 	"repro/internal/rule"
@@ -40,6 +41,12 @@ func main() {
 		line     = flag.Bool("line", false, "use a bounded line instead of a ring")
 	)
 	flag.Parse()
+	cli.Exit2("ca-run", cli.First(
+		cli.Positive("-n", *n),
+		cli.NonNegative("-r", *r),
+		cli.Positive("-steps", *steps),
+		cli.Probability("-density", *density),
+	))
 
 	if err := run(*n, *r, *ruleSpec, *mode, *order, *start, *density, *steps, *seed, *line); err != nil {
 		fmt.Fprintln(os.Stderr, "ca-run:", err)

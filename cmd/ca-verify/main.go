@@ -9,40 +9,82 @@
 //	ca-verify -claims L1II,T1 -rounds 1000   # deep-dive two claims
 //	ca-verify -list                          # enumerate claim ids
 //
-// The process exits 1 when any claim fails, so CI can gate on it.
+// The campaign runs under the fault-tolerant runtime: SIGINT/SIGTERM
+// cancel it, flush a partial report plus a final checkpoint, and exit
+// 130; -checkpoint/-resume continue an interrupted run with verdicts
+// identical to an uninterrupted one; -faults injects a deterministic
+// fault plan into claim execution to exercise the supervisor:
+//
+//	ca-verify -checkpoint verify.ckpt.gz            # interruptible
+//	ca-verify -checkpoint verify.ckpt.gz -resume    # continue
+//	ca-verify -rounds 20 -faults panic:1            # still exits 0
+//
+// The process exits 1 when any claim fails (2 on flag misuse), so CI can
+// gate on it.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"strings"
 
+	"repro/internal/cli"
+	"repro/internal/faultinject"
 	"repro/internal/render"
+	"repro/internal/runtime"
 	"repro/internal/verify"
 )
 
+type params struct {
+	seed       int64
+	rounds     int
+	workers    int
+	out        string
+	claims     string
+	checkpoint string
+	resume     bool
+	faults     string
+}
+
 func main() {
-	var (
-		seed    = flag.Int64("seed", 1, "run seed; every claim derives its own stream from it")
-		rounds  = flag.Int("rounds", 200, "sampling budget per claim")
-		workers = flag.Int("workers", 0, "phase-space builder worker count (0 = varied per build)")
-		out     = flag.String("out", "", "report path (default VERIFY_<date>.json in the working directory)")
-		claims  = flag.String("claims", "", "comma-separated claim ids to run (default: all)")
-		list    = flag.Bool("list", false, "list claim ids and exit")
-	)
+	var p params
+	flag.Int64Var(&p.seed, "seed", 1, "run seed; every claim derives its own stream from it")
+	flag.IntVar(&p.rounds, "rounds", 200, "sampling budget per claim")
+	flag.IntVar(&p.workers, "workers", 0, "phase-space builder worker count (0 = varied per build)")
+	flag.StringVar(&p.out, "out", "", "report path (default VERIFY_<date>.json in the working directory)")
+	flag.StringVar(&p.claims, "claims", "", "comma-separated claim ids to run (default: all)")
+	flag.StringVar(&p.checkpoint, "checkpoint", "", "campaign checkpoint path (.gz compresses); written after every claim")
+	flag.BoolVar(&p.resume, "resume", false, "resume a checkpointed campaign, reusing completed claim verdicts")
+	flag.StringVar(&p.faults, "faults", "", "deterministic fault plan to inject into claim execution, e.g. panic:1 or delay:0=5ms (debug)")
+	list := flag.Bool("list", false, "list claim ids and exit")
 	flag.Parse()
+
+	cli.Exit2("ca-verify", cli.First(
+		cli.Positive("-rounds", p.rounds),
+		cli.NonNegative("-workers", p.workers),
+		cli.CSVEntries("-claims", p.claims),
+		cli.Writable("-out", p.out),
+		cli.Writable("-checkpoint", p.checkpoint),
+	))
 	if *list {
 		listClaims(os.Stdout)
 		return
 	}
-	ok, err := run(os.Stdout, *seed, *rounds, *workers, *out, *claims)
-	if err != nil {
+
+	ctx, stop := cli.SignalContext(context.Background())
+	defer stop()
+	ok, err := run(ctx, os.Stdout, p)
+	switch {
+	case cli.Interrupted(err):
+		fmt.Fprintln(os.Stderr, "ca-verify: interrupted; partial report and checkpoint flushed")
+		os.Exit(cli.InterruptExitCode)
+	case err != nil:
 		fmt.Fprintln(os.Stderr, "ca-verify:", err)
 		os.Exit(1)
-	}
-	if !ok {
+	case !ok:
 		os.Exit(1)
 	}
 }
@@ -64,7 +106,7 @@ func selectClaims(filter string) ([]verify.Claim, error) {
 	for _, id := range strings.Split(filter, ",") {
 		id = strings.TrimSpace(id)
 		if id == "" {
-			continue
+			return nil, fmt.Errorf("empty claim id in -claims %q", filter)
 		}
 		c, ok := verify.ClaimByID(strings.ToUpper(id))
 		if !ok {
@@ -72,18 +114,36 @@ func selectClaims(filter string) ([]verify.Claim, error) {
 		}
 		out = append(out, c)
 	}
-	if len(out) == 0 {
-		return nil, fmt.Errorf("claim filter %q selected nothing", filter)
-	}
 	return out, nil
 }
 
-func run(w io.Writer, seed int64, rounds, workers int, out, filter string) (pass bool, err error) {
-	claims, err := selectClaims(filter)
+// runClaims is verify.RunCtx behind a seam so tests can observe and
+// interrupt a campaign mid-flight.
+var runClaims = verify.RunCtx
+
+func run(ctx context.Context, w io.Writer, p params) (pass bool, err error) {
+	claims, err := selectClaims(p.claims)
 	if err != nil {
 		return false, err
 	}
-	rep := verify.Run(claims, seed, rounds, workers)
+	plan, err := faultinject.Parse(p.faults)
+	if err != nil {
+		return false, err
+	}
+	var stats runtime.Stats
+	super := runtime.Options{OnEvent: stats.Observe}
+	if plan != nil {
+		super.Hooks = plan
+	}
+
+	rep, runErr := runClaims(ctx, claims, verify.RunOptions{
+		Seed:       p.seed,
+		Rounds:     p.rounds,
+		Workers:    p.workers,
+		Super:      super,
+		Checkpoint: p.checkpoint,
+		Resume:     p.resume,
+	})
 
 	tab := render.NewTable("claim", "paper item", "verdict", "ms")
 	for _, r := range rep.Claims {
@@ -102,7 +162,13 @@ func run(w io.Writer, seed int64, rounds, workers int, out, filter string) (pass
 				r.ID, r.Paper, r.Title, r.Counterexample)
 		}
 	}
+	if plan != nil {
+		s := stats.Snapshot()
+		fmt.Fprintf(w, "fault plan %q: injected=%d retried=%d degraded=%d gave-up=%d\n",
+			plan, plan.Fired(), s.Retries, s.Degraded, s.GaveUp)
+	}
 
+	out := p.out
 	if out == "" {
 		out = rep.Filename()
 	}
@@ -113,6 +179,11 @@ func run(w io.Writer, seed int64, rounds, workers int, out, filter string) (pass
 	defer f.Close()
 	if err := rep.WriteJSON(f); err != nil {
 		return false, err
+	}
+	if runErr != nil {
+		fmt.Fprintf(w, "interrupted after %d/%d claims · partial report written to %s\n",
+			len(rep.Claims), len(claims), out)
+		return false, runErr
 	}
 	verdict := "all claims PASS"
 	if !rep.Pass {

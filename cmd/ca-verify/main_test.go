@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"os"
 	"path/filepath"
@@ -10,11 +11,15 @@ import (
 	"repro/internal/verify"
 )
 
+func testParams(out string) params {
+	return params{seed: 1, rounds: 25, workers: 2, out: out}
+}
+
 func TestRunFullSuiteWritesWellFormedReport(t *testing.T) {
 	dir := t.TempDir()
 	out := filepath.Join(dir, "VERIFY_test.json")
 	var b strings.Builder
-	pass, err := run(&b, 1, 25, 2, out, "")
+	pass, err := run(context.Background(), &b, testParams(out))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -53,7 +58,9 @@ func TestRunFullSuiteWritesWellFormedReport(t *testing.T) {
 func TestClaimFilter(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "v.json")
 	var b strings.Builder
-	pass, err := run(&b, 1, 5, 1, out, "f1a, l1ii")
+	p := testParams(out)
+	p.rounds, p.workers, p.claims = 5, 1, "f1a, l1ii"
+	pass, err := run(context.Background(), &b, p)
 	if err != nil || !pass {
 		t.Fatalf("filtered run failed: pass=%v err=%v", pass, err)
 	}
@@ -69,8 +76,19 @@ func TestClaimFilter(t *testing.T) {
 
 func TestUnknownClaimIDErrors(t *testing.T) {
 	var b strings.Builder
-	if _, err := run(&b, 1, 5, 1, filepath.Join(t.TempDir(), "v.json"), "NOPE"); err == nil {
+	p := testParams(filepath.Join(t.TempDir(), "v.json"))
+	p.claims = "NOPE"
+	if _, err := run(context.Background(), &b, p); err == nil {
 		t.Fatal("expected an error for an unknown claim id")
+	}
+}
+
+func TestEmptyClaimEntryErrors(t *testing.T) {
+	var b strings.Builder
+	p := testParams(filepath.Join(t.TempDir(), "v.json"))
+	p.claims = "F1A,,L1II"
+	if _, err := run(context.Background(), &b, p); err == nil {
+		t.Fatal("expected an error for an empty -claims entry")
 	}
 }
 
@@ -80,6 +98,118 @@ func TestListClaims(t *testing.T) {
 	for _, id := range []string{"F1A", "F1B", "L1I", "L1II", "T1", "T2", "ORC-BATCH"} {
 		if !strings.Contains(b.String(), id) {
 			t.Fatalf("-list output missing %s:\n%s", id, b.String())
+		}
+	}
+}
+
+// TestFaultPlanStillPasses is the in-process twin of the CI smoke test:
+// an injected panic on claim shard 1 must be absorbed by the supervisor
+// with every claim still passing.
+func TestFaultPlanStillPasses(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "v.json")
+	var b strings.Builder
+	p := testParams(out)
+	p.rounds, p.claims, p.faults = 10, "F1A,F1B,L1I", "panic:1,delay:0=1ms"
+	pass, err := run(context.Background(), &b, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pass {
+		t.Fatalf("faulted run failed:\n%s", b.String())
+	}
+	if !strings.Contains(b.String(), "fault plan") {
+		t.Fatalf("missing fault summary line:\n%s", b.String())
+	}
+}
+
+func TestBadFaultSpecErrors(t *testing.T) {
+	var b strings.Builder
+	p := testParams(filepath.Join(t.TempDir(), "v.json"))
+	p.faults = "explode:1"
+	if _, err := run(context.Background(), &b, p); err == nil {
+		t.Fatal("expected an error for an unknown fault kind")
+	}
+}
+
+// TestInterruptedRunFlushesPartialReportAndResumes cancels a campaign
+// after the first claim verdict lands, checks the partial report, then
+// resumes from the checkpoint and compares the final verdicts against an
+// uninterrupted run.
+func TestInterruptedRunFlushesPartialReportAndResumes(t *testing.T) {
+	dir := t.TempDir()
+	ckpt := filepath.Join(dir, "verify.ckpt.gz")
+	claims := "F1A,F1B,L1I,L1II"
+
+	// Uninterrupted baseline.
+	baseOut := filepath.Join(dir, "base.json")
+	var b strings.Builder
+	p := testParams(baseOut)
+	p.rounds, p.claims = 10, claims
+	if pass, err := run(context.Background(), &b, p); err != nil || !pass {
+		t.Fatalf("baseline failed: pass=%v err=%v", pass, err)
+	}
+
+	// Interrupted run: cancel once the second claim is underway.
+	ctx, cancel := context.WithCancel(context.Background())
+	partialOut := filepath.Join(dir, "partial.json")
+	pp := testParams(partialOut)
+	pp.rounds, pp.claims, pp.checkpoint = 10, claims, ckpt
+	done := 0
+	origRun := runClaims
+	runClaims = func(ctx context.Context, cl []verify.Claim, opts verify.RunOptions) (verify.Report, error) {
+		opts.OnResult = func(verify.Result) {
+			done++
+			if done == 2 {
+				cancel()
+			}
+		}
+		return origRun(ctx, cl, opts)
+	}
+	defer func() { runClaims = origRun }()
+	var pb strings.Builder
+	if _, err := run(ctx, &pb, pp); err == nil {
+		t.Fatalf("interrupted run reported no error:\n%s", pb.String())
+	}
+	runClaims = origRun
+	var partial verify.Report
+	raw, err := os.ReadFile(partialOut)
+	if err != nil {
+		t.Fatalf("partial report missing: %v", err)
+	}
+	if err := json.Unmarshal(raw, &partial); err != nil {
+		t.Fatal(err)
+	}
+	if len(partial.Claims) == 0 || len(partial.Claims) >= 4 {
+		t.Fatalf("partial report has %d claims, want 1..3", len(partial.Claims))
+	}
+
+	// Resume and compare verdicts with the baseline.
+	resumeOut := filepath.Join(dir, "resumed.json")
+	rp := testParams(resumeOut)
+	rp.rounds, rp.claims, rp.checkpoint, rp.resume = 10, claims, ckpt, true
+	var rb strings.Builder
+	if pass, err := run(context.Background(), &rb, rp); err != nil || !pass {
+		t.Fatalf("resumed run failed: pass=%v err=%v\n%s", pass, err, rb.String())
+	}
+	var base, resumed verify.Report
+	braw, _ := os.ReadFile(baseOut)
+	rraw, _ := os.ReadFile(resumeOut)
+	if err := json.Unmarshal(braw, &base); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(rraw, &resumed); err != nil {
+		t.Fatal(err)
+	}
+	if len(base.Claims) != len(resumed.Claims) {
+		t.Fatalf("claim counts differ: %d vs %d", len(base.Claims), len(resumed.Claims))
+	}
+	for i := range base.Claims {
+		b, r := base.Claims[i], resumed.Claims[i]
+		b.DurationMS, r.DurationMS = 0, 0
+		bj, _ := json.Marshal(b)
+		rj, _ := json.Marshal(r)
+		if string(bj) != string(rj) {
+			t.Fatalf("verdict %d differs after resume:\n%s\n%s", i, bj, rj)
 		}
 	}
 }

@@ -1,0 +1,126 @@
+// Package cli holds the small shared command-line conventions of the
+// cmd/* tools: upfront flag validation that fails fast with a one-line
+// error and exit status 2 (instead of silent misbehavior or a deep
+// panic), and signal-aware contexts so long-running campaigns flush
+// their checkpoints on Ctrl-C.
+package cli
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+)
+
+// UsageExitCode is the exit status for rejected flags, distinct from
+// runtime failures (1) so scripts can tell misuse from broken claims.
+const UsageExitCode = 2
+
+// InterruptExitCode is the conventional exit status after SIGINT
+// (128+SIGINT); SIGTERM also maps here for simplicity.
+const InterruptExitCode = 130
+
+// Exit2 prints "cmd: err" and exits with UsageExitCode when err is
+// non-nil; mains call it once with First(...) after flag parsing.
+func Exit2(cmd string, err error) {
+	if err == nil {
+		return
+	}
+	fmt.Fprintf(os.Stderr, "%s: %v\n", cmd, err)
+	os.Exit(UsageExitCode)
+}
+
+// First returns the first non-nil error.
+func First(errs ...error) error {
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Positive rejects v ≤ 0.
+func Positive(name string, v int) error {
+	if v <= 0 {
+		return fmt.Errorf("%s must be > 0 (got %d)", name, v)
+	}
+	return nil
+}
+
+// NonNegative rejects v < 0.
+func NonNegative(name string, v int) error {
+	if v < 0 {
+		return fmt.Errorf("%s must be ≥ 0 (got %d)", name, v)
+	}
+	return nil
+}
+
+// PositiveDuration rejects v ≤ 0.
+func PositiveDuration(name string, v time.Duration) error {
+	if v <= 0 {
+		return fmt.Errorf("%s must be > 0 (got %v)", name, v)
+	}
+	return nil
+}
+
+// Probability rejects v outside [0, 1].
+func Probability(name string, v float64) error {
+	if v < 0 || v > 1 {
+		return fmt.Errorf("%s must be in [0, 1] (got %g)", name, v)
+	}
+	return nil
+}
+
+// CSVEntries rejects a comma-separated list with empty entries (e.g.
+// "a,,b" or a trailing comma), which would otherwise be silently
+// skipped. An empty list is fine.
+func CSVEntries(name, csv string) error {
+	if csv == "" {
+		return nil
+	}
+	for _, e := range strings.Split(csv, ",") {
+		if strings.TrimSpace(e) == "" {
+			return fmt.Errorf("%s has an empty entry in %q", name, csv)
+		}
+	}
+	return nil
+}
+
+// Writable verifies that path can be created or appended to, without
+// truncating an existing file; a file created solely for the probe is
+// removed again. An empty path is fine (callers derive a default later).
+func Writable(name, path string) error {
+	if path == "" {
+		return nil
+	}
+	_, statErr := os.Stat(path)
+	existed := statErr == nil
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("%s path %q is not writable: %v", name, path, err)
+	}
+	f.Close()
+	if !existed {
+		os.Remove(path)
+	}
+	return nil
+}
+
+// SignalContext returns a context cancelled on SIGINT or SIGTERM. The
+// returned stop releases the signal handler; a second signal after
+// cancellation kills the process with Go's default behavior, so a stuck
+// flush can still be interrupted.
+func SignalContext(parent context.Context) (context.Context, context.CancelFunc) {
+	return signal.NotifyContext(parent, os.Interrupt, syscall.SIGTERM)
+}
+
+// Interrupted reports whether err stems from context cancellation (the
+// run was interrupted rather than genuinely failing).
+func Interrupted(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}

@@ -1,0 +1,117 @@
+package cli
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestFirst(t *testing.T) {
+	a, b := errors.New("a"), errors.New("b")
+	if First(nil, nil) != nil {
+		t.Fatal("First(nil, nil) != nil")
+	}
+	if First(nil, a, b) != a {
+		t.Fatal("First skipped the first error")
+	}
+}
+
+func TestNumericValidators(t *testing.T) {
+	if err := Positive("-n", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := Positive("-n", 0); err == nil {
+		t.Fatal("Positive accepted 0")
+	}
+	if err := NonNegative("-w", 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := NonNegative("-w", -1); err == nil {
+		t.Fatal("NonNegative accepted -1")
+	}
+	if err := PositiveDuration("-t", time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := PositiveDuration("-t", 0); err == nil {
+		t.Fatal("PositiveDuration accepted 0")
+	}
+	for _, v := range []float64{0, 0.5, 1} {
+		if err := Probability("-d", v); err != nil {
+			t.Fatalf("Probability(%g): %v", v, err)
+		}
+	}
+	for _, v := range []float64{-0.1, 1.1} {
+		if err := Probability("-d", v); err == nil {
+			t.Fatalf("Probability accepted %g", v)
+		}
+	}
+}
+
+func TestCSVEntries(t *testing.T) {
+	for _, ok := range []string{"", "a", "a,b", "a, b"} {
+		if err := CSVEntries("-claims", ok); err != nil {
+			t.Errorf("CSVEntries(%q): %v", ok, err)
+		}
+	}
+	for _, bad := range []string{",", "a,,b", "a,", ",a", "a, ,b"} {
+		if err := CSVEntries("-claims", bad); err == nil {
+			t.Errorf("CSVEntries(%q) accepted", bad)
+		}
+	}
+}
+
+func TestWritable(t *testing.T) {
+	dir := t.TempDir()
+	if err := Writable("-out", ""); err != nil {
+		t.Fatal(err)
+	}
+
+	// A creatable path probes clean: no file left behind.
+	fresh := filepath.Join(dir, "new.json")
+	if err := Writable("-out", fresh); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(fresh); !os.IsNotExist(err) {
+		t.Fatal("probe left the file behind")
+	}
+
+	// An existing file stays intact, contents untouched.
+	existing := filepath.Join(dir, "existing.json")
+	os.WriteFile(existing, []byte("precious"), 0o644)
+	if err := Writable("-out", existing); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := os.ReadFile(existing)
+	if string(got) != "precious" {
+		t.Fatalf("probe damaged the file: %q", got)
+	}
+
+	// A path in a missing directory is rejected.
+	if err := Writable("-out", filepath.Join(dir, "no/such/dir/x.json")); err == nil {
+		t.Fatal("unwritable path accepted")
+	}
+}
+
+func TestInterrupted(t *testing.T) {
+	if !Interrupted(context.Canceled) || !Interrupted(context.DeadlineExceeded) {
+		t.Fatal("context errors not recognized")
+	}
+	if !Interrupted(fmt.Errorf("wrapped: %w", context.Canceled)) {
+		t.Fatal("wrapped cancellation not recognized")
+	}
+	if Interrupted(nil) || Interrupted(errors.New("boom")) {
+		t.Fatal("non-cancellation treated as interrupt")
+	}
+}
+
+func TestSignalContextCancelsCleanly(t *testing.T) {
+	ctx, stop := SignalContext(context.Background())
+	if ctx.Err() != nil {
+		t.Fatal("fresh signal context already cancelled")
+	}
+	stop()
+}

@@ -1,0 +1,257 @@
+// Package faultinject provides seeded, deterministic fault plans for the
+// supervised campaign runtime (internal/runtime). A plan is parsed from a
+// compact spec string — typically a CLI -faults flag — and injected into
+// shard execution through the runtime.Hooks interface. Because plans are
+// pure functions of (spec, shard, attempt), a faulty run is exactly
+// reproducible, and tests can assert that every injected fault was
+// retried or degraded by the supervisor, never silently dropped.
+//
+// Spec grammar (comma-separated faults):
+//
+//	panic:K[xN]        panic on shard K's first N attempts (default 1)
+//	error:K[xN]        return a spurious error on shard K's first N attempts
+//	delay:K=DUR[xN]    sleep DUR (e.g. 5ms) on shard K's first N attempts
+//	seed:S:P           panic on attempt 0 of every shard whose FNV hash with
+//	                   seed S falls below permille P (0..1000) — a seeded
+//	                   pseudo-random panic sprinkle
+//
+// Example: "panic:1,delay:0=2ms,error:3x2,seed:42:125".
+package faultinject
+
+import (
+	"fmt"
+	"hash/fnv"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// Kind classifies an injected fault.
+type Kind int
+
+const (
+	// Panic makes the shard attempt panic with an *Injected value.
+	Panic Kind = iota
+	// Error makes the shard attempt return an *Injected error.
+	Error
+	// Delay sleeps before the shard attempt runs (latency fault).
+	Delay
+	// Seeded is a pseudo-random panic selected per shard by a seed.
+	Seeded
+)
+
+// String names the kind as it appears in specs.
+func (k Kind) String() string {
+	switch k {
+	case Panic:
+		return "panic"
+	case Error:
+		return "error"
+	case Delay:
+		return "delay"
+	case Seeded:
+		return "seed"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Injected is the value panicked or returned by a firing fault; the
+// supervisor surfaces it through runtime.PanicError, so errors.As can
+// recognize injected faults end to end.
+type Injected struct {
+	Kind    Kind
+	Shard   int
+	Attempt int
+}
+
+// Error describes the injected fault.
+func (e *Injected) Error() string {
+	return fmt.Sprintf("faultinject: %s fault on shard %d attempt %d", e.Kind, e.Shard, e.Attempt)
+}
+
+// rule is one parsed fault. fired counts applications (atomic).
+type rule struct {
+	spec     string
+	kind     Kind
+	shard    int
+	count    int
+	delay    time.Duration
+	seed     int64
+	permille int
+	fired    int64
+}
+
+// applies reports whether the rule fires on this (shard, attempt).
+func (r *rule) applies(shard, attempt int) bool {
+	if r.kind == Seeded {
+		return attempt == 0 && shardHash(r.seed, shard)%1000 < uint64(r.permille)
+	}
+	return shard == r.shard && attempt < r.count
+}
+
+func shardHash(seed int64, shard int) uint64 {
+	h := fnv.New64a()
+	var b [16]byte
+	for i := 0; i < 8; i++ {
+		b[i] = byte(seed >> (8 * i))
+		b[8+i] = byte(shard >> (8 * i))
+	}
+	h.Write(b[:])
+	return h.Sum64()
+}
+
+// Plan is a parsed fault plan; it implements runtime.Hooks. A nil *Plan
+// is a valid empty plan.
+type Plan struct {
+	spec  string
+	rules []*rule
+}
+
+// Parse builds a plan from a spec string; "" yields a nil plan (no
+// faults) without error.
+func Parse(spec string) (*Plan, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return nil, nil
+	}
+	p := &Plan{spec: spec}
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			return nil, fmt.Errorf("faultinject: empty fault in spec %q", spec)
+		}
+		r, err := parseRule(part)
+		if err != nil {
+			return nil, err
+		}
+		p.rules = append(p.rules, r)
+	}
+	return p, nil
+}
+
+func parseRule(part string) (*rule, error) {
+	kindStr, rest, ok := strings.Cut(part, ":")
+	if !ok {
+		return nil, fmt.Errorf("faultinject: fault %q is not kind:args", part)
+	}
+	r := &rule{spec: part, count: 1}
+	switch kindStr {
+	case "panic":
+		r.kind = Panic
+	case "error":
+		r.kind = Error
+	case "delay":
+		r.kind = Delay
+	case "seed":
+		r.kind = Seeded
+		seedStr, permStr, ok := strings.Cut(rest, ":")
+		if !ok {
+			return nil, fmt.Errorf("faultinject: seed fault %q is not seed:S:P", part)
+		}
+		seed, err := strconv.ParseInt(seedStr, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("faultinject: bad seed in %q: %v", part, err)
+		}
+		perm, err := strconv.Atoi(permStr)
+		if err != nil || perm < 0 || perm > 1000 {
+			return nil, fmt.Errorf("faultinject: permille in %q must be 0..1000", part)
+		}
+		r.seed, r.permille = seed, perm
+		return r, nil
+	default:
+		return nil, fmt.Errorf("faultinject: unknown fault kind %q in %q", kindStr, part)
+	}
+	// rest = SHARD ['=' DURATION] ['x' COUNT]; the duration is only valid
+	// for delay faults. Durations never contain 'x', so the count suffix
+	// is unambiguous.
+	if i := strings.LastIndexByte(rest, 'x'); i >= 0 {
+		n, err := strconv.Atoi(rest[i+1:])
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("faultinject: bad repeat count in %q", part)
+		}
+		r.count = n
+		rest = rest[:i]
+	}
+	if shardStr, durStr, ok := strings.Cut(rest, "="); ok {
+		if r.kind != Delay {
+			return nil, fmt.Errorf("faultinject: =DURATION is only valid for delay faults (%q)", part)
+		}
+		d, err := time.ParseDuration(durStr)
+		if err != nil || d <= 0 {
+			return nil, fmt.Errorf("faultinject: bad delay duration in %q", part)
+		}
+		r.delay = d
+		rest = shardStr
+	}
+	shard, err := strconv.Atoi(rest)
+	if err != nil || shard < 0 {
+		return nil, fmt.Errorf("faultinject: bad shard index in %q", part)
+	}
+	r.shard = shard
+	if r.kind == Delay && r.delay == 0 {
+		return nil, fmt.Errorf("faultinject: delay fault %q needs =DURATION", part)
+	}
+	return r, nil
+}
+
+// BeforeShard implements runtime.Hooks: it applies every matching fault
+// in plan order — delays sleep, errors return, panics panic. Safe on a
+// nil plan and for concurrent shards.
+func (p *Plan) BeforeShard(shard, attempt int) error {
+	if p == nil {
+		return nil
+	}
+	for _, r := range p.rules {
+		if !r.applies(shard, attempt) {
+			continue
+		}
+		atomic.AddInt64(&r.fired, 1)
+		switch r.kind {
+		case Delay:
+			time.Sleep(r.delay)
+		case Error:
+			return &Injected{Kind: r.kind, Shard: shard, Attempt: attempt}
+		case Panic, Seeded:
+			panic(&Injected{Kind: r.kind, Shard: shard, Attempt: attempt})
+		}
+	}
+	return nil
+}
+
+// Fired returns the total number of fault applications across all rules.
+func (p *Plan) Fired() int64 {
+	if p == nil {
+		return 0
+	}
+	var n int64
+	for _, r := range p.rules {
+		n += atomic.LoadInt64(&r.fired)
+	}
+	return n
+}
+
+// Unfired returns the specs of deterministic (non-seeded) faults that
+// never fired — e.g. because their shard index exceeded the campaign's
+// shard count. Tests use it to prove no planned fault was dropped.
+func (p *Plan) Unfired() []string {
+	if p == nil {
+		return nil
+	}
+	var out []string
+	for _, r := range p.rules {
+		if r.kind != Seeded && atomic.LoadInt64(&r.fired) == 0 {
+			out = append(out, r.spec)
+		}
+	}
+	return out
+}
+
+// String returns the original spec.
+func (p *Plan) String() string {
+	if p == nil {
+		return ""
+	}
+	return p.spec
+}

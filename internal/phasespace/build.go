@@ -1,6 +1,7 @@
 package phasespace
 
 import (
+	"context"
 	"runtime"
 	"sync"
 
@@ -148,44 +149,46 @@ func thresholdOf(r rule.Rule, m int) (k int, ok bool) {
 // the given worker count (≤ 0 selects GOMAXPROCS), using the batch kernel
 // when it applies and the sharded generic builder otherwise. The successor
 // table is byte-identical to BuildParallelScalar's for every automaton and
-// worker count.
+// worker count. It is the thin compatibility wrapper over the supervised
+// campaign path (BuildParallelOpts); pass a context there for
+// cancellation, fault supervision, and checkpoint/resume.
 func BuildParallelWorkers(a *automaton.Automaton, workers int) *Parallel {
-	n := a.N()
-	if n > MaxParallelNodes {
+	if n := a.N(); n > MaxParallelNodes {
 		panic(errParallelCap(n))
 	}
-	workers = resolveWorkers(workers)
-	total := uint64(1) << uint(n)
-	ps := &Parallel{n: n, succ: make([]uint32, total), workers: workers}
-	if bk := batchKernel(a); bk != nil && total >= sim.BatchLanes {
-		shardRange(workers, total, func(lo, hi uint64) {
-			packParallelRange(a, ps.succ, lo, hi)
-		})
-		return ps
+	ps, err := BuildParallelCtx(context.Background(), a, workers)
+	if err != nil {
+		// A background context never cancels and no hooks are installed,
+		// so only an unrecoverable shard failure lands here.
+		panic(err)
 	}
-	shardRange(workers, total, func(lo, hi uint64) {
-		st := a.NewStepper()
-		dst := config.New(n)
-		config.SpaceRange(n, lo, hi, func(idx uint64, c config.Config) {
-			st.Step(dst, c)
-			ps.succ[idx] = uint32(dst.Index())
-		})
-	})
 	return ps
 }
 
-// packParallelRange fills succ[lo:hi] with the batch kernel; [lo, hi) must
-// be 64-aligned (shardRange guarantees it). Each call allocates its own
-// kernel so concurrent shards never share scratch.
-func packParallelRange(a *automaton.Automaton, succ []uint32, lo, hi uint64) {
-	bk := batchKernel(a)
-	var out [64]uint64
-	for base := lo; base < hi; base += sim.BatchLanes {
-		bk.Succ64(base, &out)
-		for l := uint64(0); l < sim.BatchLanes; l++ {
-			succ[base+l] = uint32(out[l])
+// fillParallelRange fills succ[lo:hi], preferring the batch kernel when
+// it applies and the range is 64-aligned (the campaign shard grid
+// guarantees alignment whenever a kernel exists). Each call allocates its
+// own kernel and stepper so concurrent shards never share scratch, and
+// writes only succ[lo:hi] — the idempotence the supervisor's retry and
+// the checkpoint snapshotter both rely on.
+func fillParallelRange(a *automaton.Automaton, succ []uint32, lo, hi uint64) {
+	if bk := batchKernel(a); bk != nil && lo%sim.BatchLanes == 0 && (hi-lo)%sim.BatchLanes == 0 && hi > lo {
+		var out [64]uint64
+		for base := lo; base < hi; base += sim.BatchLanes {
+			bk.Succ64(base, &out)
+			for l := uint64(0); l < sim.BatchLanes; l++ {
+				succ[base+l] = uint32(out[l])
+			}
 		}
+		return
 	}
+	n := a.N()
+	st := a.NewStepper()
+	dst := config.New(n)
+	config.SpaceRange(n, lo, hi, func(idx uint64, c config.Config) {
+		st.Step(dst, c)
+		succ[idx] = uint32(dst.Index())
+	})
 }
 
 // BuildParallelScalar is the single-threaded scalar reference builder: one
@@ -212,57 +215,54 @@ func BuildParallelScalar(a *automaton.Automaton) *Parallel {
 // Like the parallel builder it prefers the batch kernel — the successor
 // cell planes it computes are exactly the per-node next states of 64
 // configurations — and falls back to sharded scalar enumeration. The
-// successor table is byte-identical to BuildSequentialScalar's.
+// successor table is byte-identical to BuildSequentialScalar's. It is the
+// thin compatibility wrapper over the supervised campaign path
+// (BuildSequentialOpts).
 func BuildSequentialWorkers(a *automaton.Automaton, workers int) *Sequential {
-	n := a.N()
-	if n > MaxSequentialNodes {
+	if n := a.N(); n > MaxSequentialNodes {
 		panic(errSequentialCap(n))
 	}
-	workers = resolveWorkers(workers)
-	total := uint64(1) << uint(n)
-	ps := &Sequential{n: n, succ: make([]uint32, total*uint64(n))}
-	if bk := batchKernel(a); bk != nil && total >= sim.BatchLanes {
-		shardRange(workers, total, func(lo, hi uint64) {
-			packSequentialRange(a, ps.succ, n, lo, hi)
-		})
-		return ps
+	ps, err := BuildSequentialCtx(context.Background(), a, workers)
+	if err != nil {
+		panic(err)
 	}
-	shardRange(workers, total, func(lo, hi uint64) {
-		st := a.NewStepper()
-		config.SpaceRange(n, lo, hi, func(idx uint64, c config.Config) {
-			base := idx * uint64(n)
-			for i := 0; i < n; i++ {
-				y := idx
-				if st.NodeNext(c, i) == 1 {
-					y |= 1 << uint(i)
-				} else {
-					y &^= 1 << uint(i)
-				}
-				ps.succ[base+uint64(i)] = uint32(y)
-			}
-		})
-	})
 	return ps
 }
 
-// packSequentialRange fills the single-node-update successors for indices
-// [lo, hi) (64-aligned) from the batch kernel's per-cell next-state planes:
-// updating node i in configuration x replaces bit i of x with the kernel's
-// plane bit.
-func packSequentialRange(a *automaton.Automaton, succ []uint32, n int, lo, hi uint64) {
-	bk := batchKernel(a)
-	planes := make([]uint64, n)
-	for base := lo; base < hi; base += sim.BatchLanes {
-		bk.NodePlanes(base, planes)
-		for l := uint64(0); l < sim.BatchLanes; l++ {
-			x := base + l
-			row := x * uint64(n)
-			for i := 0; i < n; i++ {
-				y := x&^(1<<uint(i)) | (planes[i]>>l&1)<<uint(i)
-				succ[row+uint64(i)] = uint32(y)
+// fillSequentialRange fills the single-node-update successors for indices
+// [lo, hi), from the batch kernel's per-cell next-state planes when the
+// kernel applies and the range is 64-aligned (updating node i in
+// configuration x replaces bit i of x with the kernel's plane bit), and
+// by scalar enumeration otherwise. Writes are confined to rows lo..hi-1.
+func fillSequentialRange(a *automaton.Automaton, succ []uint32, n int, lo, hi uint64) {
+	if bk := batchKernel(a); bk != nil && lo%sim.BatchLanes == 0 && (hi-lo)%sim.BatchLanes == 0 && hi > lo {
+		planes := make([]uint64, n)
+		for base := lo; base < hi; base += sim.BatchLanes {
+			bk.NodePlanes(base, planes)
+			for l := uint64(0); l < sim.BatchLanes; l++ {
+				x := base + l
+				row := x * uint64(n)
+				for i := 0; i < n; i++ {
+					y := x&^(1<<uint(i)) | (planes[i]>>l&1)<<uint(i)
+					succ[row+uint64(i)] = uint32(y)
+				}
 			}
 		}
+		return
 	}
+	st := a.NewStepper()
+	config.SpaceRange(n, lo, hi, func(idx uint64, c config.Config) {
+		base := idx * uint64(n)
+		for i := 0; i < n; i++ {
+			y := idx
+			if st.NodeNext(c, i) == 1 {
+				y |= 1 << uint(i)
+			} else {
+				y &^= 1 << uint(i)
+			}
+			succ[base+uint64(i)] = uint32(y)
+		}
+	})
 }
 
 // BuildSequentialScalar is the single-threaded scalar reference builder for

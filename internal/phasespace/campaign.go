@@ -1,0 +1,252 @@
+package phasespace
+
+import (
+	"context"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"strconv"
+
+	"repro/internal/automaton"
+	"repro/internal/runtime"
+)
+
+// This file hosts the fault-tolerant build campaigns: context-aware,
+// supervised, checkpointable variants of the enumeration engine in
+// build.go. The index space is cut into a fixed 64-aligned shard grid
+// that depends only on the configuration count — never on the worker
+// count — so a checkpoint taken at any parallelism resumes at any other.
+// Each shard is deterministic and idempotent (it writes only its own
+// slice of the successor array), which is what makes retries, degraded
+// re-execution, and resume all byte-identical to an undisturbed run.
+
+// BuildOptions configures a supervised build campaign. The embedded
+// runtime.Options carries the worker count, retry budget, fault hooks,
+// and event sink; the zero value builds with GOMAXPROCS workers and no
+// checkpointing.
+type BuildOptions struct {
+	runtime.Options
+	// Checkpoint is the checkpoint file path ("" disables). Paths ending
+	// in ".gz" are compressed.
+	Checkpoint string
+	// Resume loads an existing checkpoint at Checkpoint (if any) and
+	// skips its completed shards. The checkpoint must match the campaign
+	// (kind, parameters, shard grid) or the build fails.
+	Resume bool
+	// FlushEvery is the number of newly completed shards between
+	// checkpoint flushes; ≤ 0 flushes after every shard.
+	FlushEvery int
+}
+
+// campaignShardTarget aims the fixed grid at about this many shards for
+// large spaces (2^26 configurations → 256 shards of 2^18).
+const campaignShardTarget = 256
+
+// campaignShardSize returns the 64-aligned shard width for a space of
+// total configurations; it is a function of total alone, so the grid is
+// stable across worker counts and resumed runs.
+func campaignShardSize(total uint64) uint64 {
+	s := total / campaignShardTarget
+	if s < 1024 {
+		s = 1024
+	}
+	return (s + 63) &^ 63
+}
+
+func campaignShards(total, size uint64) int {
+	return int((total + size - 1) / size)
+}
+
+// shardBlob is one completed shard's slice of the successor array in the
+// checkpoint payload (Data is little-endian uint32s).
+type shardBlob struct {
+	Shard int    `json:"shard"`
+	Data  []byte `json:"data"`
+}
+
+// buildFingerprint identifies a build campaign by everything that
+// determines its results.
+func buildFingerprint(kind string, a *automaton.Automaton) string {
+	return runtime.Fingerprint(kind, a.Rule().Name(), a.Space().Name(), strconv.Itoa(a.N()))
+}
+
+// snapshotBlobs serializes the done shards' slices of buf, where each
+// configuration occupies rowWords words.
+func snapshotBlobs(buf []uint32, size, rowWords, total uint64, shards int, isDone func(int) bool) (json.RawMessage, error) {
+	blobs := make([]shardBlob, 0, shards)
+	for i := 0; i < shards; i++ {
+		if !isDone(i) {
+			continue
+		}
+		lo, hi := shardBounds(i, size, total)
+		words := buf[lo*rowWords : hi*rowWords]
+		data := make([]byte, 4*len(words))
+		for j, w := range words {
+			binary.LittleEndian.PutUint32(data[4*j:], w)
+		}
+		blobs = append(blobs, shardBlob{Shard: i, Data: data})
+	}
+	return json.Marshal(blobs)
+}
+
+// restoreBlobs copies a checkpoint payload back into buf and verifies
+// that every done shard is covered — a done bit without its data means a
+// corrupt checkpoint, which resume must refuse rather than emit holes.
+func restoreBlobs(ck *runtime.Checkpoint, buf []uint32, size, rowWords, total uint64, shards int) error {
+	var blobs []shardBlob
+	if len(ck.Payload) > 0 {
+		if err := json.Unmarshal(ck.Payload, &blobs); err != nil {
+			return fmt.Errorf("phasespace: checkpoint payload: %w", err)
+		}
+	}
+	covered := make(map[int]bool, len(blobs))
+	for _, b := range blobs {
+		if b.Shard < 0 || b.Shard >= shards {
+			return fmt.Errorf("phasespace: checkpoint payload references shard %d of %d", b.Shard, shards)
+		}
+		lo, hi := shardBounds(b.Shard, size, total)
+		words := buf[lo*rowWords : hi*rowWords]
+		if len(b.Data) != 4*len(words) {
+			return fmt.Errorf("phasespace: checkpoint shard %d holds %d bytes, want %d", b.Shard, len(b.Data), 4*len(words))
+		}
+		for j := range words {
+			words[j] = binary.LittleEndian.Uint32(b.Data[4*j:])
+		}
+		covered[b.Shard] = true
+	}
+	for i := 0; i < shards; i++ {
+		if ck.IsDone(i) && !covered[i] {
+			return fmt.Errorf("phasespace: checkpoint marks shard %d done but has no data for it", i)
+		}
+	}
+	return nil
+}
+
+func shardBounds(i int, size, total uint64) (lo, hi uint64) {
+	lo = uint64(i) * size
+	hi = lo + size
+	if hi > total {
+		hi = total
+	}
+	return lo, hi
+}
+
+// runBuildCampaign drives the shared supervised shard loop of both
+// builders: grid setup, optional checkpoint load/validate/restore, the
+// supervised pool, and checkpoint flushing.
+func runBuildCampaign(ctx context.Context, opts BuildOptions, kind, fingerprint string, total uint64, buf []uint32, rowWords uint64, fill func(lo, hi uint64)) error {
+	size := campaignShardSize(total)
+	shards := campaignShards(total, size)
+	run := func(i int) error {
+		lo, hi := shardBounds(i, size, total)
+		fill(lo, hi)
+		return nil
+	}
+	if opts.Checkpoint == "" {
+		_, err := runtime.Run(ctx, opts.Options, shards, run)
+		return err
+	}
+	ck := runtime.NewCheckpoint(kind, fingerprint, shards, size)
+	if opts.Resume {
+		loaded, err := runtime.LoadCheckpoint(opts.Checkpoint)
+		switch {
+		case err == nil:
+			if err := loaded.Validate(kind, fingerprint, shards, size); err != nil {
+				return fmt.Errorf("phasespace: resume %s: %w", opts.Checkpoint, err)
+			}
+			if err := restoreBlobs(loaded, buf, size, rowWords, total, shards); err != nil {
+				return err
+			}
+			ck = loaded
+		case errors.Is(err, os.ErrNotExist):
+			// No checkpoint yet: a resume flag on a fresh campaign starts
+			// from scratch.
+		default:
+			return err
+		}
+	}
+	camp := runtime.NewCampaign(ck, opts.Checkpoint, opts.FlushEvery, func(isDone func(int) bool) (json.RawMessage, error) {
+		return snapshotBlobs(buf, size, rowWords, total, shards, isDone)
+	})
+	_, err := camp.Run(ctx, opts.Options, run)
+	return err
+}
+
+// BuildParallelOpts enumerates F over the full configuration space under
+// the fault-tolerant campaign runtime: the context cancels the build at
+// shard granularity, panicking shards are retried and degraded per the
+// supervision options, and a checkpoint file (when configured) makes the
+// build resumable. The successor table is byte-identical to
+// BuildParallelScalar's for every option combination.
+func BuildParallelOpts(ctx context.Context, a *automaton.Automaton, opts BuildOptions) (*Parallel, error) {
+	n := a.N()
+	if n > MaxParallelNodes {
+		return nil, errors.New(errParallelCap(n))
+	}
+	workers := resolveWorkers(opts.Workers)
+	total := uint64(1) << uint(n)
+	ps := &Parallel{n: n, succ: make([]uint32, total), workers: workers}
+	if opts.inlineEligible(workers, total) {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		fillParallelRange(a, ps.succ, 0, total)
+		return ps, nil
+	}
+	err := runBuildCampaign(ctx, opts, "phasespace/parallel", buildFingerprint("phasespace/parallel", a),
+		total, ps.succ, 1, func(lo, hi uint64) { fillParallelRange(a, ps.succ, lo, hi) })
+	if err != nil {
+		return nil, err
+	}
+	return ps, nil
+}
+
+// BuildSequentialOpts is BuildParallelOpts for the sequential phase
+// space: every single-node update enumerated under supervision, with the
+// same cancellation, retry, and checkpoint/resume guarantees.
+func BuildSequentialOpts(ctx context.Context, a *automaton.Automaton, opts BuildOptions) (*Sequential, error) {
+	n := a.N()
+	if n > MaxSequentialNodes {
+		return nil, errors.New(errSequentialCap(n))
+	}
+	workers := resolveWorkers(opts.Workers)
+	total := uint64(1) << uint(n)
+	ps := &Sequential{n: n, succ: make([]uint32, total*uint64(n))}
+	if opts.inlineEligible(workers, total) {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		fillSequentialRange(a, ps.succ, n, 0, total)
+		return ps, nil
+	}
+	err := runBuildCampaign(ctx, opts, "phasespace/sequential", buildFingerprint("phasespace/sequential", a),
+		total, ps.succ, uint64(n), func(lo, hi uint64) { fillSequentialRange(a, ps.succ, n, lo, hi) })
+	if err != nil {
+		return nil, err
+	}
+	return ps, nil
+}
+
+// inlineEligible reports whether the build can skip the supervised pool
+// entirely: nothing to observe, nothing to checkpoint, and either a
+// single worker or an index space too small to be worth fanning out.
+// This keeps the many tiny builds issued by property-based verification
+// as cheap as the pre-runtime inline path.
+func (o BuildOptions) inlineEligible(workers int, total uint64) bool {
+	return o.Checkpoint == "" && o.Hooks == nil && o.OnEvent == nil && o.AfterShard == nil &&
+		(workers == 1 || total < shardMinWork)
+}
+
+// BuildParallelCtx is BuildParallelOpts with only a context and a worker
+// count — the ctx-taking twin of BuildParallelWorkers.
+func BuildParallelCtx(ctx context.Context, a *automaton.Automaton, workers int) (*Parallel, error) {
+	return BuildParallelOpts(ctx, a, BuildOptions{Options: runtime.Options{Workers: workers}})
+}
+
+// BuildSequentialCtx is BuildSequentialOpts with only a context and a
+// worker count — the ctx-taking twin of BuildSequentialWorkers.
+func BuildSequentialCtx(ctx context.Context, a *automaton.Automaton, workers int) (*Sequential, error) {
+	return BuildSequentialOpts(ctx, a, BuildOptions{Options: runtime.Options{Workers: workers}})
+}

@@ -1,0 +1,301 @@
+package phasespace
+
+import (
+	"context"
+	"errors"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/automaton"
+	"repro/internal/faultinject"
+	"repro/internal/rule"
+	"repro/internal/runtime"
+	"repro/internal/space"
+)
+
+// campaignAutomaton is large enough (2^14 configurations) that the
+// supervised builders actually fan out and cut multiple shards.
+func campaignAutomaton(t *testing.T) *automaton.Automaton {
+	t.Helper()
+	return automaton.MustNew(space.Ring(14, 1), rule.Majority(1))
+}
+
+func TestCampaignShardGrid(t *testing.T) {
+	cases := []struct {
+		total    uint64
+		wantSize uint64
+	}{
+		{1 << 10, 1024},         // tiny: floor
+		{1 << 14, 1024},         // 16384/256 = 64 < 1024: floor
+		{1 << 20, 4096},         // 2^20/256
+		{1 << 26, 1 << 18},      // design point: 256 shards of 2^18
+		{(1 << 20) + 100, 4096}, // non-power-of-two total still gets an aligned grid
+	}
+	for _, c := range cases {
+		got := campaignShardSize(c.total)
+		if got != c.wantSize {
+			t.Errorf("campaignShardSize(%d) = %d, want %d", c.total, got, c.wantSize)
+		}
+		if got%64 != 0 {
+			t.Errorf("campaignShardSize(%d) = %d is not 64-aligned", c.total, got)
+		}
+		shards := campaignShards(c.total, got)
+		lastLo, lastHi := shardBounds(shards-1, got, c.total)
+		if lastLo >= c.total || lastHi != c.total {
+			t.Errorf("total %d: last shard [%d,%d) does not end the space", c.total, lastLo, lastHi)
+		}
+	}
+}
+
+// TestBuildOptsMatchScalar pins every supervised build path — inline,
+// pooled, checkpointed, faulted — to the scalar reference builder.
+func TestBuildOptsMatchScalar(t *testing.T) {
+	a := campaignAutomaton(t)
+	wantP := BuildParallelScalar(a)
+	wantS := BuildSequentialScalar(a)
+	ctx := context.Background()
+
+	for _, workers := range []int{1, 3} {
+		p, err := BuildParallelCtx(ctx, a, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		equalSucc(t, "parallel", p.succ, wantP.succ)
+		s, err := BuildSequentialCtx(ctx, a, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		equalSucc(t, "sequential", s.succ, wantS.succ)
+	}
+
+	// Checkpointed build, fresh (no resume).
+	ckpt := filepath.Join(t.TempDir(), "b.ckpt.gz")
+	p, err := BuildParallelOpts(ctx, a, BuildOptions{
+		Options: runtime.Options{Workers: 2}, Checkpoint: ckpt,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	equalSucc(t, "checkpointed parallel", p.succ, wantP.succ)
+}
+
+// TestBuildUnderFaultPlanIsByteIdentical injects panics, spurious errors,
+// and delays into build shards and checks the successor table still comes
+// out byte-identical — the supervisor absorbed every fault.
+func TestBuildUnderFaultPlanIsByteIdentical(t *testing.T) {
+	a := campaignAutomaton(t)
+	want := BuildParallelScalar(a)
+	plan, err := faultinject.Parse("panic:0x2,error:2,delay:1=1ms,seed:7:200")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats runtime.Stats
+	p, err := BuildParallelOpts(context.Background(), a, BuildOptions{
+		Options: runtime.Options{
+			Workers: 4,
+			Backoff: time.Microsecond,
+			Hooks:   plan,
+			OnEvent: stats.Observe,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	equalSucc(t, "faulted parallel", p.succ, want.succ)
+	if plan.Fired() == 0 {
+		t.Fatal("fault plan never fired — the build did not go through the supervised path")
+	}
+	if u := plan.Unfired(); len(u) != 0 {
+		t.Fatalf("deterministic faults dropped: %v", u)
+	}
+	if stats.Snapshot().GaveUp != 0 {
+		t.Fatal("supervisor gave up under a recoverable plan")
+	}
+}
+
+// TestKillAndResumeParallelIsByteIdentical is the acceptance test for the
+// checkpoint/resume subsystem: cancel a parallel build partway through,
+// resume it from the checkpoint, and require the successor table to be
+// byte-identical to an undisturbed build — while proving the resumed run
+// actually skipped the checkpointed shards instead of recomputing them.
+func TestKillAndResumeParallelIsByteIdentical(t *testing.T) {
+	a := campaignAutomaton(t)
+	want := BuildParallelScalar(a)
+	ckpt := filepath.Join(t.TempDir(), "kill.ckpt.gz")
+
+	// Phase 1: cancel after a handful of shards complete.
+	ctx, cancel := context.WithCancel(context.Background())
+	var completed int64
+	_, err := BuildParallelOpts(ctx, a, BuildOptions{
+		Options: runtime.Options{
+			Workers: 2,
+			AfterShard: func(int) error {
+				if atomic.AddInt64(&completed, 1) == 3 {
+					cancel()
+				}
+				return nil
+			},
+		},
+		Checkpoint: ckpt,
+	})
+	if err == nil {
+		t.Fatal("cancelled build reported success")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatal(err)
+	}
+
+	ck, err := runtime.LoadCheckpoint(ckpt)
+	if err != nil {
+		t.Fatalf("no checkpoint after cancellation: %v", err)
+	}
+	nDone := ck.CountDone()
+	if nDone == 0 || ck.Complete() {
+		t.Fatalf("checkpoint has %d/%d shards done; want a strict partial", nDone, ck.NumShards)
+	}
+
+	// Phase 2: resume. Count the shards the resumed run executes — it
+	// must be exactly the pending ones.
+	var resumed int64
+	p, err := BuildParallelOpts(context.Background(), a, BuildOptions{
+		Options: runtime.Options{
+			Workers: 4, // different parallelism on purpose: the grid must not care
+			AfterShard: func(int) error {
+				atomic.AddInt64(&resumed, 1)
+				return nil
+			},
+		},
+		Checkpoint: ckpt,
+		Resume:     true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := int(atomic.LoadInt64(&resumed)); got != ck.NumShards-nDone {
+		t.Fatalf("resume ran %d shards, want %d pending", got, ck.NumShards-nDone)
+	}
+	equalSucc(t, "resumed parallel", p.succ, want.succ)
+
+	final, err := runtime.LoadCheckpoint(ckpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !final.Complete() {
+		t.Fatal("resumed build left an incomplete checkpoint")
+	}
+}
+
+// TestKillAndResumeSequentialIsByteIdentical is the sequential twin: the
+// per-node successor matrix (n words per configuration) survives the
+// kill/resume cycle bit for bit.
+func TestKillAndResumeSequentialIsByteIdentical(t *testing.T) {
+	a := campaignAutomaton(t)
+	want := BuildSequentialScalar(a)
+	ckpt := filepath.Join(t.TempDir(), "kill.seq.ckpt")
+
+	ctx, cancel := context.WithCancel(context.Background())
+	var completed int64
+	_, err := BuildSequentialOpts(ctx, a, BuildOptions{
+		Options: runtime.Options{
+			Workers: 2,
+			AfterShard: func(int) error {
+				if atomic.AddInt64(&completed, 1) == 2 {
+					cancel()
+				}
+				return nil
+			},
+		},
+		Checkpoint: ckpt,
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled sequential build: %v", err)
+	}
+
+	s, err := BuildSequentialOpts(context.Background(), a, BuildOptions{
+		Options:    runtime.Options{Workers: 3},
+		Checkpoint: ckpt,
+		Resume:     true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	equalSucc(t, "resumed sequential", s.succ, want.succ)
+}
+
+// TestResumeRefusesForeignCheckpoint: a checkpoint from a different
+// automaton (different fingerprint) must be rejected, not silently mixed
+// into the build.
+func TestResumeRefusesForeignCheckpoint(t *testing.T) {
+	ckpt := filepath.Join(t.TempDir(), "foreign.ckpt")
+	a := campaignAutomaton(t)
+	if _, err := BuildParallelOpts(context.Background(), a, BuildOptions{
+		Options: runtime.Options{Workers: 2}, Checkpoint: ckpt,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	other := automaton.MustNew(space.Ring(14, 1), rule.XOR{})
+	if _, err := BuildParallelOpts(context.Background(), other, BuildOptions{
+		Options: runtime.Options{Workers: 2}, Checkpoint: ckpt, Resume: true,
+	}); err == nil {
+		t.Fatal("foreign checkpoint accepted")
+	}
+	// Resume with a missing checkpoint file is a fresh start, not an error.
+	if _, err := BuildParallelOpts(context.Background(), a, BuildOptions{
+		Options:    runtime.Options{Workers: 2},
+		Checkpoint: filepath.Join(t.TempDir(), "missing.ckpt"),
+		Resume:     true,
+	}); err != nil {
+		t.Fatalf("resume without a checkpoint file: %v", err)
+	}
+}
+
+// TestResumeRefusesDoneShardWithoutData guards the corrupt-checkpoint
+// path: a done bit with no payload blob means holes, and the build must
+// refuse it.
+func TestResumeRefusesDoneShardWithoutData(t *testing.T) {
+	ckpt := filepath.Join(t.TempDir(), "holes.ckpt")
+	a := campaignAutomaton(t)
+	total := uint64(1) << 14
+	size := campaignShardSize(total)
+	shards := campaignShards(total, size)
+	ck := runtime.NewCheckpoint("phasespace/parallel", buildFingerprint("phasespace/parallel", a), shards, size)
+	ck.MarkDone(1) // done, but no blob in the (empty) payload
+	if err := ck.Save(ckpt); err != nil {
+		t.Fatal(err)
+	}
+	_, err := BuildParallelOpts(context.Background(), a, BuildOptions{
+		Options: runtime.Options{Workers: 2}, Checkpoint: ckpt, Resume: true,
+	})
+	if err == nil {
+		t.Fatal("checkpoint with a data-less done shard accepted")
+	}
+}
+
+// TestClassifyCtxCancellation: classification must honor a cancelled
+// context in both the serial and the concurrent path and leave the
+// phase space re-classifiable afterwards.
+func TestClassifyCtxCancellation(t *testing.T) {
+	a := campaignAutomaton(t)
+	for _, workers := range []int{1, 4} {
+		p, err := BuildParallelCtx(context.Background(), a, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		if err := p.ClassifyCtx(ctx); !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: ClassifyCtx on cancelled ctx = %v", workers, err)
+		}
+		// A later classification with a live context must succeed and
+		// agree with a fresh build's census.
+		if err := p.ClassifyCtx(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+		fresh := BuildParallelScalar(a)
+		if got, want := p.TakeCensus(), fresh.TakeCensus(); got != want {
+			t.Fatalf("workers=%d: census after cancelled classify diverged:\n%+v\n%+v", workers, got, want)
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package phasespace
 
 import (
+	"context"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -34,16 +35,29 @@ import (
 
 // classifyConcurrent classifies the functional graph with the given worker
 // count and additionally fills p.basinID (attractor id per configuration),
-// which BasinSizes reuses.
-func (p *Parallel) classifyConcurrent(workers int) {
+// which BasinSizes reuses. Cancellation is checked between phases and
+// between frontier waves (each wave is bounded work); on cancellation the
+// partial classification is discarded and the context error returned.
+func (p *Parallel) classifyConcurrent(ctx context.Context, workers int) error {
 	total := len(p.succ)
 	p.period = make([]int32, total)
 	p.dist = make([]int32, total)
 	p.basinID = make([]int32, total)
 
+	cancelled := func() bool {
+		if ctx.Err() != nil {
+			p.resetClassification()
+			return true
+		}
+		return false
+	}
+
 	// Phase 1: in-degrees.
 	deg := make([]int32, total)
 	p.inDegreesConcurrent(deg)
+	if cancelled() {
+		return ctx.Err()
+	}
 
 	// Phase 2: CSR predecessor table, built before peeling consumes deg.
 	offsets := make([]uint32, total+1)
@@ -63,9 +77,16 @@ func (p *Parallel) classifyConcurrent(workers int) {
 		}
 	})
 
+	if cancelled() {
+		return ctx.Err()
+	}
+
 	// Phase 3: peel transients (Kahn) until only cycle states remain.
 	frontier := p.collectZeroDegree(workers, deg)
 	for len(frontier) > 0 {
+		if cancelled() {
+			return ctx.Err()
+		}
 		frontier = p.expandFrontier(workers, frontier, func(v uint32, next *[]uint32) {
 			y := p.succ[v]
 			if atomic.AddInt32(&deg[y], -1) == 0 {
@@ -76,6 +97,9 @@ func (p *Parallel) classifyConcurrent(workers int) {
 
 	// Phase 4: extract cycles from the surviving (deg > 0) states.
 	for start := 0; start < total; start++ {
+		if start&8191 == 0 && cancelled() {
+			return ctx.Err()
+		}
 		if deg[start] <= 0 || p.period[start] != 0 {
 			continue
 		}
@@ -113,6 +137,9 @@ func (p *Parallel) classifyConcurrent(workers int) {
 	}
 	depth := int32(0)
 	for len(frontier) > 0 {
+		if cancelled() {
+			return ctx.Err()
+		}
 		depth++
 		d := depth
 		frontier = p.expandFrontier(workers, frontier, func(v uint32, next *[]uint32) {
@@ -127,6 +154,7 @@ func (p *Parallel) classifyConcurrent(workers int) {
 			}
 		})
 	}
+	return nil
 }
 
 // inDegreesConcurrent counts in-degrees of F into deg with atomic adds.

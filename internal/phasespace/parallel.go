@@ -11,6 +11,7 @@
 package phasespace
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -67,24 +68,48 @@ func (p *Parallel) Successor(x uint64) uint64 { return uint64(p.succ[x]) }
 // classifier (classify_concurrent.go); the rest use the serial O(2^n)
 // traversal below. Both produce identical period/dist/cycles.
 func (p *Parallel) classify() {
+	// A background context never cancels, so the error is unreachable.
+	_ = p.ClassifyCtx(context.Background())
+}
+
+// ClassifyCtx classifies the functional graph under a cancellable
+// context. Cancellation is honored between classification phases and
+// frontier waves; on cancellation the partial classification is
+// discarded (a later call recomputes from scratch) and the context error
+// returned. Queries like Period or TakeCensus classify lazily with a
+// background context; long-running campaigns call ClassifyCtx first so
+// an interrupt cannot strand them inside an O(2^n) traversal.
+func (p *Parallel) ClassifyCtx(ctx context.Context) error {
 	if p.period != nil {
-		return
+		return nil
+	}
+	if err := ctx.Err(); err != nil {
+		return err
 	}
 	if p.workers > 1 && len(p.succ) >= shardMinWork {
-		p.classifyConcurrent(p.workers)
-		return
+		return p.classifyConcurrent(ctx, p.workers)
 	}
-	p.classifySerial()
+	return p.classifySerial(ctx)
+}
+
+// resetClassification drops a partially computed classification so a
+// cancelled ClassifyCtx leaves the space as if never classified.
+func (p *Parallel) resetClassification() {
+	p.period, p.dist, p.basinID, p.cycles = nil, nil, nil, nil
 }
 
 // classifySerial is the single-threaded path-walking classifier.
-func (p *Parallel) classifySerial() {
+func (p *Parallel) classifySerial(ctx context.Context) error {
 	total := len(p.succ)
 	p.period = make([]int32, total) // 0 = unvisited
 	p.dist = make([]int32, total)
 	state := make([]uint8, total) // 0 new, 1 on current path, 2 done
 	var path []uint32
 	for start := 0; start < total; start++ {
+		if start&8191 == 0 && ctx.Err() != nil {
+			p.resetClassification()
+			return ctx.Err()
+		}
 		if state[start] != 0 {
 			continue
 		}
@@ -140,6 +165,7 @@ func (p *Parallel) classifySerial() {
 		}
 	}
 	sort.Slice(p.cycles, func(i, j int) bool { return p.cycles[i][0] < p.cycles[j][0] })
+	return nil
 }
 
 // canonicalizeCycle rotates a cycle (in orbit order) in place so its

@@ -1,0 +1,165 @@
+package phasespace
+
+import (
+	"sort"
+	"sync"
+	"testing"
+)
+
+// rangeChunks collects the (lo, hi) chunks shardRange hands out and
+// verifies they partition [0, total) exactly: disjoint, complete, ordered.
+func rangeChunks(t *testing.T, workers int, total uint64) [][2]uint64 {
+	t.Helper()
+	var mu sync.Mutex
+	var chunks [][2]uint64
+	shardRange(workers, total, func(lo, hi uint64) {
+		mu.Lock()
+		chunks = append(chunks, [2]uint64{lo, hi})
+		mu.Unlock()
+	})
+	sort.Slice(chunks, func(i, j int) bool { return chunks[i][0] < chunks[j][0] })
+	cursor := uint64(0)
+	for _, c := range chunks {
+		if c[0] != cursor {
+			t.Fatalf("workers=%d total=%d: gap or overlap at %d (chunk starts at %d)", workers, total, cursor, c[0])
+		}
+		if c[1] < c[0] {
+			t.Fatalf("workers=%d total=%d: inverted chunk [%d,%d)", workers, total, c[0], c[1])
+		}
+		cursor = c[1]
+	}
+	if cursor != total {
+		t.Fatalf("workers=%d total=%d: chunks cover [0,%d), want [0,%d)", workers, total, cursor, total)
+	}
+	return chunks
+}
+
+func TestShardRangePartition(t *testing.T) {
+	totals := []uint64{
+		0,                  // empty index space
+		1,                  // single element
+		shardMinWork - 1,   // just below the fan-out threshold
+		shardMinWork,       // exactly at it
+		shardMinWork + 1,   // just above
+		3*shardMinWork + 7, // not a multiple of anything convenient
+	}
+	workersList := []int{1, 2, 3, 7, 64, 100000}
+	for _, total := range totals {
+		for _, workers := range workersList {
+			chunks := rangeChunks(t, workers, total)
+			fanned := workers > 1 && total >= shardMinWork
+			if !fanned && total > 0 && len(chunks) != 1 {
+				t.Errorf("workers=%d total=%d: expected inline single chunk, got %d", workers, total, len(chunks))
+			}
+			if len(chunks) > workers {
+				t.Errorf("workers=%d total=%d: %d chunks exceed the worker bound", workers, total, len(chunks))
+			}
+			// Fanned-out chunks are 64-aligned except possibly the last.
+			if fanned {
+				for i, c := range chunks[:len(chunks)-1] {
+					if c[0]%64 != 0 || c[1]%64 != 0 {
+						t.Errorf("workers=%d total=%d: interior chunk %d [%d,%d) not 64-aligned",
+							workers, total, i, c[0], c[1])
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestShardRangeWorkersExceedTotal(t *testing.T) {
+	// More workers than 64-blocks: the chunk width clamps to 64 and the
+	// number of goroutines to ceil(total/64) — no empty chunks spawned.
+	total := uint64(shardMinWork)
+	chunks := rangeChunks(t, int(total)*2, total)
+	if len(chunks) != shardMinWork/64 {
+		t.Fatalf("got %d chunks, want %d", len(chunks), shardMinWork/64)
+	}
+	for _, c := range chunks {
+		if c[1]-c[0] != 64 {
+			t.Fatalf("chunk [%d,%d) is not one 64-block", c[0], c[1])
+		}
+	}
+}
+
+func TestShardRangeZeroLength(t *testing.T) {
+	calls := 0
+	shardRange(8, 0, func(lo, hi uint64) {
+		calls++
+		if lo != 0 || hi != 0 {
+			t.Fatalf("zero-length range called with [%d,%d)", lo, hi)
+		}
+	})
+	// The inline path invokes f once with an empty range; callers loop
+	// over [lo,hi) so this is a no-op, but it must not panic or spin.
+	if calls != 1 {
+		t.Fatalf("f called %d times for empty range", calls)
+	}
+}
+
+// sliceChunks is rangeChunks for shardSlice.
+func sliceChunks(t *testing.T, workers, length int) [][2]int {
+	t.Helper()
+	var mu sync.Mutex
+	var chunks [][2]int
+	shardSlice(workers, length, func(lo, hi int) {
+		mu.Lock()
+		chunks = append(chunks, [2]int{lo, hi})
+		mu.Unlock()
+	})
+	sort.Slice(chunks, func(i, j int) bool { return chunks[i][0] < chunks[j][0] })
+	cursor := 0
+	for _, c := range chunks {
+		if c[0] != cursor || c[1] < c[0] {
+			t.Fatalf("workers=%d length=%d: bad chunk [%d,%d) at cursor %d", workers, length, c[0], c[1], cursor)
+		}
+		cursor = c[1]
+	}
+	if cursor != length {
+		t.Fatalf("workers=%d length=%d: covered [0,%d)", workers, length, cursor)
+	}
+	return chunks
+}
+
+func TestShardSlicePartition(t *testing.T) {
+	for _, length := range []int{0, 1, shardMinWork - 1, shardMinWork, shardMinWork + 1, 5*shardMinWork + 13} {
+		for _, workers := range []int{1, 2, 5, 64, length + 10} {
+			chunks := sliceChunks(t, workers, length)
+			if len(chunks) > workers {
+				t.Errorf("workers=%d length=%d: %d chunks exceed worker bound", workers, length, len(chunks))
+			}
+			fanned := workers > 1 && length >= shardMinWork
+			if !fanned && length > 0 && len(chunks) != 1 {
+				t.Errorf("workers=%d length=%d: expected inline single chunk, got %d", workers, length, len(chunks))
+			}
+		}
+	}
+}
+
+// TestShardedSumMatchesSerial runs an actual reduction through both
+// helpers at every edge shape and compares with the serial answer —
+// the differential form of the partition property.
+func TestShardedSumMatchesSerial(t *testing.T) {
+	for _, total := range []uint64{0, 1, shardMinWork - 1, shardMinWork, 2*shardMinWork + 321} {
+		want := total * (total - 1) / 2 // sum of [0, total)
+		if total == 0 {
+			want = 0
+		}
+		for _, workers := range []int{1, 4, 1 << 16} {
+			var mu sync.Mutex
+			got := uint64(0)
+			shardRange(workers, total, func(lo, hi uint64) {
+				local := uint64(0)
+				for i := lo; i < hi; i++ {
+					local += i
+				}
+				mu.Lock()
+				got += local
+				mu.Unlock()
+			})
+			if got != want {
+				t.Fatalf("shardRange workers=%d total=%d: sum %d, want %d", workers, total, got, want)
+			}
+		}
+	}
+}

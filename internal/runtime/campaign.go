@@ -1,0 +1,108 @@
+package runtime
+
+import (
+	"context"
+	"encoding/json"
+	"sync"
+)
+
+// Campaign drives a supervised shard run with checkpointing: shards
+// already marked done in the checkpoint are skipped, and after every
+// FlushEvery newly completed shards the checkpoint (bitmap + payload
+// snapshot) is atomically rewritten. A final flush always happens when
+// Run returns — including on cancellation — so an interrupted campaign
+// loses at most the shards in flight, which resume recomputes.
+type Campaign struct {
+	ck         *Checkpoint
+	path       string // "" disables persistence (bitmap still tracked)
+	flushEvery int
+	// snapshot captures the partial results of exactly the shards for
+	// which isDone reports true. It is called under the campaign lock, so
+	// the done-set it sees is consistent and all writes to those shards'
+	// results happened-before the call.
+	snapshot func(isDone func(int) bool) (json.RawMessage, error)
+
+	mu         sync.Mutex
+	sinceFlush int
+}
+
+// NewCampaign wires a checkpoint to its file and payload snapshotter.
+// flushEvery ≤ 0 flushes after every completed shard; snapshot may be nil
+// when the bitmap alone is enough to resume.
+func NewCampaign(ck *Checkpoint, path string, flushEvery int, snapshot func(isDone func(int) bool) (json.RawMessage, error)) *Campaign {
+	if flushEvery <= 0 {
+		flushEvery = 1
+	}
+	return &Campaign{ck: ck, path: path, flushEvery: flushEvery, snapshot: snapshot}
+}
+
+// Checkpoint exposes the underlying checkpoint (e.g. to inspect progress).
+func (c *Campaign) Checkpoint() *Checkpoint { return c.ck }
+
+// Pending returns the shard ids not yet marked done, ascending.
+func (c *Campaign) Pending() []int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out []int
+	for i := 0; i < c.ck.NumShards; i++ {
+		if !c.ck.IsDone(i) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Run executes the pending shards on the supervised pool (see RunShards),
+// marking and flushing completion as shards finish. On return — success,
+// cancellation, or hard failure — the checkpoint has been flushed with
+// everything that completed.
+func (c *Campaign) Run(ctx context.Context, opts Options, run func(shard int) error) (Stats, error) {
+	user := opts.AfterShard
+	opts.AfterShard = func(i int) error {
+		if user != nil {
+			if err := user(i); err != nil {
+				return err
+			}
+		}
+		return c.complete(i)
+	}
+	stats, err := RunShards(ctx, opts, c.Pending(), run)
+	if ferr := c.Flush(); ferr != nil && err == nil {
+		err = ferr
+	}
+	return stats, err
+}
+
+// complete marks a shard done and flushes when the budget says so.
+func (c *Campaign) complete(i int) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ck.MarkDone(i)
+	c.sinceFlush++
+	if c.path == "" || c.sinceFlush < c.flushEvery {
+		return nil
+	}
+	return c.flushLocked()
+}
+
+// Flush forces a checkpoint write (no-op without a path).
+func (c *Campaign) Flush() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.path == "" {
+		return nil
+	}
+	return c.flushLocked()
+}
+
+func (c *Campaign) flushLocked() error {
+	if c.snapshot != nil {
+		p, err := c.snapshot(c.ck.IsDone)
+		if err != nil {
+			return err
+		}
+		c.ck.Payload = p
+	}
+	c.sinceFlush = 0
+	return c.ck.Save(c.path)
+}

@@ -1,0 +1,160 @@
+package runtime
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// resultsSnapshot builds a Campaign snapshot function over a shared
+// results slice guarded by mu.
+func resultsSnapshot(mu *sync.Mutex, results []int) func(isDone func(int) bool) (json.RawMessage, error) {
+	return func(isDone func(int) bool) (json.RawMessage, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		m := map[string]int{}
+		for i, v := range results {
+			if isDone(i) {
+				m[fmt.Sprint(i)] = v
+			}
+		}
+		return json.Marshal(m)
+	}
+}
+
+func TestCampaignRunsOnlyPendingShards(t *testing.T) {
+	ck := NewCheckpoint("k", "fp", 10, 0)
+	ck.MarkDone(2)
+	ck.MarkDone(7)
+	camp := NewCampaign(ck, "", 1, nil)
+	var mu sync.Mutex
+	ran := map[int]int{}
+	_, err := camp.Run(context.Background(), Options{Workers: 3}, func(i int) error {
+		mu.Lock()
+		ran[i]++
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ran) != 8 || ran[2] != 0 || ran[7] != 0 {
+		t.Fatalf("ran = %v, want the 8 pending shards exactly once", ran)
+	}
+	if !ck.Complete() {
+		t.Fatal("campaign finished but checkpoint incomplete")
+	}
+}
+
+func TestCampaignFlushesAndResumes(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "camp.ckpt.gz")
+	const shards = 6
+
+	// First run: cancel after three shards complete. The final flush on
+	// the way out must persist exactly the completed shards and their
+	// payload entries.
+	var mu sync.Mutex
+	results := make([]int, shards)
+	var done int64
+	ctx, cancel := context.WithCancel(context.Background())
+	ck := NewCheckpoint("k", "fp", shards, 0)
+	camp := NewCampaign(ck, path, 1, resultsSnapshot(&mu, results))
+	_, err := camp.Run(ctx, Options{Workers: 1}, func(i int) error {
+		mu.Lock()
+		results[i] = 100 + i
+		mu.Unlock()
+		if atomic.AddInt64(&done, 1) == 3 {
+			cancel()
+		}
+		return nil
+	})
+	if err != nil && !errors.Is(err, context.Canceled) {
+		t.Fatal(err)
+	}
+
+	loaded, err := LoadCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nDone := loaded.CountDone()
+	if nDone == 0 || nDone == shards {
+		t.Fatalf("interrupted campaign completed %d/%d shards", nDone, shards)
+	}
+	var payload map[string]int
+	if err := json.Unmarshal(loaded.Payload, &payload); err != nil {
+		t.Fatal(err)
+	}
+	if len(payload) != nDone {
+		t.Fatalf("payload covers %d shards, bitmap says %d", len(payload), nDone)
+	}
+
+	// Resume: restore the payload, run the rest, verify the final state
+	// matches an uninterrupted run.
+	results2 := make([]int, shards)
+	for k, v := range payload {
+		var i int
+		fmt.Sscan(k, &i)
+		results2[i] = v
+	}
+	camp2 := NewCampaign(loaded, path, 1, resultsSnapshot(&mu, results2))
+	var resumedRan []int
+	if _, err := camp2.Run(context.Background(), Options{Workers: 1}, func(i int) error {
+		mu.Lock()
+		results2[i] = 100 + i
+		resumedRan = append(resumedRan, i)
+		mu.Unlock()
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(resumedRan) != shards-nDone {
+		t.Fatalf("resume ran %d shards, want %d", len(resumedRan), shards-nDone)
+	}
+	for i, v := range results2 {
+		if v != 100+i {
+			t.Fatalf("results2[%d] = %d after resume", i, v)
+		}
+	}
+	final, _ := LoadCheckpoint(path)
+	if !final.Complete() {
+		t.Fatal("resumed campaign left an incomplete checkpoint")
+	}
+}
+
+func TestCampaignFlushEveryBatchesWrites(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "batched.ckpt")
+	ck := NewCheckpoint("k", "fp", 10, 0)
+	saves := 0
+	camp := NewCampaign(ck, path, 4, func(isDone func(int) bool) (json.RawMessage, error) {
+		saves++
+		return json.Marshal(saves)
+	})
+	if _, err := camp.Run(context.Background(), Options{Workers: 1}, func(i int) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	// 10 shards at flushEvery=4 → flushes at 4 and 8, plus the final
+	// flush: 3 snapshots, not 10.
+	if saves != 3 {
+		t.Fatalf("snapshot called %d times, want 3", saves)
+	}
+}
+
+func TestCampaignSnapshotErrorSurfaces(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "err.ckpt")
+	boom := errors.New("snapshot exploded")
+	ck := NewCheckpoint("k", "fp", 3, 0)
+	camp := NewCampaign(ck, path, 1, func(isDone func(int) bool) (json.RawMessage, error) {
+		return nil, boom
+	})
+	_, err := camp.Run(context.Background(), Options{Workers: 1, Retries: -1, Backoff: time.Microsecond},
+		func(i int) error { return nil })
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want %v", err, boom)
+	}
+}

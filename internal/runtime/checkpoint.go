@@ -1,0 +1,161 @@
+package runtime
+
+import (
+	"bytes"
+	"compress/gzip"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"math/bits"
+	"os"
+	"strings"
+)
+
+// Checkpoint is the on-disk snapshot of a partially completed campaign: a
+// completed-shard bitmap plus an opaque payload holding the partial
+// results of exactly the completed shards. Files are JSON, gzipped when
+// the path ends in ".gz".
+//
+// Crash-recovery contract: a checkpoint file is replaced atomically
+// (write-to-temp + rename), so readers always observe a complete,
+// self-consistent snapshot. Shards completed after the last flush are
+// simply re-run on resume — shard execution must be (and, for all
+// campaigns in this repository, is) deterministic and idempotent, which
+// makes resumed output byte-identical to an uninterrupted run.
+type Checkpoint struct {
+	// Kind names the campaign type (e.g. "phasespace/parallel"); resume
+	// refuses a checkpoint of a different kind.
+	Kind string `json:"kind"`
+	// Fingerprint hashes the campaign parameters that determine its
+	// results; resume refuses a checkpoint with a different fingerprint.
+	Fingerprint string `json:"fingerprint"`
+	// NumShards is the fixed shard-grid size of the campaign.
+	NumShards int `json:"num_shards"`
+	// ShardSize is the work-unit width of one shard (0 when shards are
+	// not index ranges, e.g. one shard per verification claim).
+	ShardSize uint64 `json:"shard_size,omitempty"`
+	// Done is the completed-shard bitmap, 64 shards per word.
+	Done []uint64 `json:"done"`
+	// Payload holds campaign-specific partial results covering exactly
+	// the shards marked done.
+	Payload json.RawMessage `json:"payload,omitempty"`
+}
+
+// NewCheckpoint allocates an empty checkpoint for a campaign with the
+// given shard grid.
+func NewCheckpoint(kind, fingerprint string, numShards int, shardSize uint64) *Checkpoint {
+	return &Checkpoint{
+		Kind:        kind,
+		Fingerprint: fingerprint,
+		NumShards:   numShards,
+		ShardSize:   shardSize,
+		Done:        make([]uint64, (numShards+63)/64),
+	}
+}
+
+// MarkDone records shard i as completed.
+func (c *Checkpoint) MarkDone(i int) { c.Done[i>>6] |= 1 << uint(i&63) }
+
+// IsDone reports whether shard i completed before the snapshot.
+func (c *Checkpoint) IsDone(i int) bool { return c.Done[i>>6]&(1<<uint(i&63)) != 0 }
+
+// CountDone returns the number of completed shards.
+func (c *Checkpoint) CountDone() int {
+	n := 0
+	for _, w := range c.Done {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// Complete reports whether every shard completed.
+func (c *Checkpoint) Complete() bool { return c.CountDone() == c.NumShards }
+
+// Validate checks that the checkpoint belongs to a campaign with the
+// given identity, returning a descriptive error on any mismatch.
+func (c *Checkpoint) Validate(kind, fingerprint string, numShards int, shardSize uint64) error {
+	switch {
+	case c.Kind != kind:
+		return fmt.Errorf("checkpoint kind %q does not match campaign %q", c.Kind, kind)
+	case c.Fingerprint != fingerprint:
+		return fmt.Errorf("checkpoint fingerprint %s does not match campaign %s (different parameters?)",
+			c.Fingerprint, fingerprint)
+	case c.NumShards != numShards:
+		return fmt.Errorf("checkpoint has %d shards, campaign has %d", c.NumShards, numShards)
+	case c.ShardSize != shardSize:
+		return fmt.Errorf("checkpoint shard size %d does not match campaign %d", c.ShardSize, shardSize)
+	case len(c.Done) != (numShards+63)/64:
+		return fmt.Errorf("checkpoint bitmap has %d words, want %d", len(c.Done), (numShards+63)/64)
+	}
+	return nil
+}
+
+// Fingerprint hashes the given parameter strings into a short stable
+// campaign identity (FNV-64a over NUL-joined parts).
+func Fingerprint(parts ...string) string {
+	h := fnv.New64a()
+	for _, p := range parts {
+		h.Write([]byte(p))
+		h.Write([]byte{0})
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// Save atomically replaces the checkpoint file at path: the snapshot is
+// written to path+".tmp" and renamed over path, so a crash mid-write
+// never corrupts an existing checkpoint. Paths ending in ".gz" are
+// gzip-compressed.
+func (c *Checkpoint) Save(path string) error {
+	data, err := json.Marshal(c)
+	if err != nil {
+		return err
+	}
+	if strings.HasSuffix(path, ".gz") {
+		var buf bytes.Buffer
+		zw := gzip.NewWriter(&buf)
+		if _, err := zw.Write(data); err != nil {
+			return err
+		}
+		if err := zw.Close(); err != nil {
+			return err
+		}
+		data = buf.Bytes()
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
+}
+
+// LoadCheckpoint reads a checkpoint written by Save, transparently
+// decompressing gzip (detected by magic bytes, not file name).
+func LoadCheckpoint(path string) (*Checkpoint, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if len(data) >= 2 && data[0] == 0x1f && data[1] == 0x8b {
+		zr, err := gzip.NewReader(bytes.NewReader(data))
+		if err != nil {
+			return nil, fmt.Errorf("checkpoint %s: %w", path, err)
+		}
+		defer zr.Close()
+		if data, err = io.ReadAll(zr); err != nil {
+			return nil, fmt.Errorf("checkpoint %s: %w", path, err)
+		}
+	}
+	var c Checkpoint
+	if err := json.Unmarshal(data, &c); err != nil {
+		return nil, fmt.Errorf("checkpoint %s: %w", path, err)
+	}
+	if c.NumShards < 0 || len(c.Done) != (c.NumShards+63)/64 {
+		return nil, fmt.Errorf("checkpoint %s: bitmap has %d words for %d shards", path, len(c.Done), c.NumShards)
+	}
+	return &c, nil
+}

@@ -1,0 +1,164 @@
+package runtime
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestCheckpointBitmapOps(t *testing.T) {
+	for _, shards := range []int{1, 63, 64, 65, 130} {
+		ck := NewCheckpoint("k", "fp", shards, 0)
+		if ck.CountDone() != 0 || ck.Complete() {
+			t.Fatalf("shards=%d: fresh checkpoint not empty", shards)
+		}
+		for i := 0; i < shards; i++ {
+			if ck.IsDone(i) {
+				t.Fatalf("shards=%d: shard %d done before marking", shards, i)
+			}
+			ck.MarkDone(i)
+			if !ck.IsDone(i) {
+				t.Fatalf("shards=%d: shard %d not done after marking", shards, i)
+			}
+			if ck.CountDone() != i+1 {
+				t.Fatalf("shards=%d: CountDone=%d after %d marks", shards, ck.CountDone(), i+1)
+			}
+		}
+		if !ck.Complete() {
+			t.Fatalf("shards=%d: all marked but not Complete", shards)
+		}
+	}
+}
+
+func TestCheckpointSaveLoadRoundtrip(t *testing.T) {
+	for _, name := range []string{"c.ckpt", "c.ckpt.gz"} {
+		path := filepath.Join(t.TempDir(), name)
+		ck := NewCheckpoint("phasespace/parallel", "abc123", 100, 4096)
+		ck.MarkDone(0)
+		ck.MarkDone(64)
+		ck.MarkDone(99)
+		ck.Payload = json.RawMessage(`{"hello":"world"}`)
+		if err := ck.Save(path); err != nil {
+			t.Fatal(err)
+		}
+		got, err := LoadCheckpoint(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Kind != ck.Kind || got.Fingerprint != ck.Fingerprint ||
+			got.NumShards != 100 || got.ShardSize != 4096 {
+			t.Fatalf("%s: header mismatch: %+v", name, got)
+		}
+		if got.CountDone() != 3 || !got.IsDone(64) || got.IsDone(1) {
+			t.Fatalf("%s: bitmap mismatch", name)
+		}
+		if string(got.Payload) != `{"hello":"world"}` {
+			t.Fatalf("%s: payload %s", name, got.Payload)
+		}
+	}
+}
+
+func TestCheckpointGzipIsCompressedAndSniffed(t *testing.T) {
+	dir := t.TempDir()
+	gz := filepath.Join(dir, "c.gz")
+	ck := NewCheckpoint("k", "fp", 10, 0)
+	if err := ck.Save(gz); err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := os.ReadFile(gz)
+	if len(raw) < 2 || raw[0] != 0x1f || raw[1] != 0x8b {
+		t.Fatal("gz-suffixed checkpoint is not gzip data")
+	}
+	// Loading goes by magic bytes, not name: rename and reload.
+	plainName := filepath.Join(dir, "renamed.ckpt")
+	if err := os.Rename(gz, plainName); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadCheckpoint(plainName); err != nil {
+		t.Fatalf("sniffed load failed: %v", err)
+	}
+}
+
+func TestCheckpointSaveIsAtomicReplace(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "c.ckpt")
+	ck := NewCheckpoint("k", "fp", 10, 0)
+	if err := ck.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	ck.MarkDone(3)
+	if err := ck.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path + ".tmp"); !os.IsNotExist(err) {
+		t.Fatal("temp file left behind after save")
+	}
+	got, err := LoadCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.IsDone(3) {
+		t.Fatal("second save did not replace the first")
+	}
+}
+
+func TestCheckpointValidateMismatches(t *testing.T) {
+	ck := NewCheckpoint("kind", "fp", 100, 64)
+	cases := []struct {
+		name                 string
+		kind, fp             string
+		shards               int
+		size                 uint64
+		wantOK               bool
+		wantErroringFragment string
+	}{
+		{"match", "kind", "fp", 100, 64, true, ""},
+		{"kind", "other", "fp", 100, 64, false, "kind"},
+		{"fingerprint", "kind", "zz", 100, 64, false, "fingerprint"},
+		{"shards", "kind", "fp", 99, 64, false, "shards"},
+		{"size", "kind", "fp", 100, 128, false, "shard size"},
+	}
+	for _, c := range cases {
+		err := ck.Validate(c.kind, c.fp, c.shards, c.size)
+		if c.wantOK != (err == nil) {
+			t.Errorf("%s: err = %v", c.name, err)
+			continue
+		}
+		if err != nil && !strings.Contains(err.Error(), c.wantErroringFragment) {
+			t.Errorf("%s: error %q lacks %q", c.name, err, c.wantErroringFragment)
+		}
+	}
+}
+
+func TestLoadCheckpointRejectsGarbage(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := LoadCheckpoint(filepath.Join(dir, "missing")); err == nil {
+		t.Fatal("missing file loaded")
+	}
+	bad := filepath.Join(dir, "bad.json")
+	os.WriteFile(bad, []byte("not json"), 0o644)
+	if _, err := LoadCheckpoint(bad); err == nil {
+		t.Fatal("non-JSON file loaded")
+	}
+	// Bitmap length inconsistent with NumShards.
+	lies := filepath.Join(dir, "lies.json")
+	os.WriteFile(lies, []byte(`{"kind":"k","num_shards":1000,"done":[0]}`), 0o644)
+	if _, err := LoadCheckpoint(lies); err == nil {
+		t.Fatal("inconsistent bitmap accepted")
+	}
+}
+
+func TestFingerprintStableAndSeparating(t *testing.T) {
+	a := Fingerprint("kind", "majority", "ring(8)")
+	if a != Fingerprint("kind", "majority", "ring(8)") {
+		t.Fatal("fingerprint not deterministic")
+	}
+	if a == Fingerprint("kind", "majority", "ring(9)") {
+		t.Fatal("fingerprint ignores parts")
+	}
+	// NUL-joining keeps part boundaries: ("ab","c") ≠ ("a","bc").
+	if Fingerprint("ab", "c") == Fingerprint("a", "bc") {
+		t.Fatal("fingerprint is ambiguous across part boundaries")
+	}
+}

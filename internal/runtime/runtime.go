@@ -1,0 +1,379 @@
+// Package runtime is the repository's fault-tolerant campaign runtime: a
+// supervised execution layer for the sharded, long-running workloads that
+// the rest of the system fans out (phase-space builds, verify campaigns,
+// experiment sweeps).
+//
+// The paper this repository reproduces studies cellular automata under
+// adversarially chosen node-update interleavings; this package applies the
+// same discipline to our own workers. Every shard of a campaign runs under
+// a supervisor that
+//
+//   - honors context cancellation (deadline, Ctrl-C) at shard granularity,
+//   - contains panics instead of killing the process, recording the
+//     failing shard,
+//   - retries a failed shard up to a budget with exponential backoff (for
+//     transient faults), and finally
+//   - degrades to a clean re-execution of the shard with all fault hooks
+//     disabled, so a campaign survives any injected fault plan with
+//     byte-identical results.
+//
+// Deterministic fault injection (internal/faultinject) plugs in through
+// the Hooks interface; checkpoint/resume of partial results is provided by
+// Checkpoint and Campaign in this package.
+package runtime
+
+import (
+	"context"
+	"fmt"
+	goruntime "runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Supervision defaults. Options.Retries == 0 selects DefaultRetries; a
+// negative value disables retries (the degraded attempt still runs).
+const (
+	DefaultRetries = 2
+	DefaultBackoff = time.Millisecond
+	maxBackoff     = 250 * time.Millisecond
+)
+
+// Hooks intercepts shard execution; fault-injection plans implement it.
+// BeforeShard runs at the start of every supervised attempt of a shard
+// (attempt 0 is the first try). It may delay, return a spurious error, or
+// panic — the supervisor treats all three as recoverable faults. The
+// degraded final attempt of a shard bypasses hooks entirely.
+type Hooks interface {
+	BeforeShard(shard, attempt int) error
+}
+
+// EventType classifies supervisor events.
+type EventType int
+
+const (
+	// EventPanic: an attempt of a shard panicked; the value is wrapped in
+	// a *PanicError.
+	EventPanic EventType = iota
+	// EventError: an attempt of a shard returned an error.
+	EventError
+	// EventRetry: the supervisor is about to re-run a failed shard.
+	EventRetry
+	// EventDegraded: the retry budget is exhausted; the shard re-runs with
+	// hooks disabled.
+	EventDegraded
+	// EventGaveUp: even the degraded attempt failed; the campaign aborts
+	// with an error (the process is never killed by a shard panic).
+	EventGaveUp
+)
+
+// String names the event type.
+func (t EventType) String() string {
+	switch t {
+	case EventPanic:
+		return "panic"
+	case EventError:
+		return "error"
+	case EventRetry:
+		return "retry"
+	case EventDegraded:
+		return "degraded"
+	case EventGaveUp:
+		return "gave-up"
+	default:
+		return fmt.Sprintf("event(%d)", int(t))
+	}
+}
+
+// Event is one supervisor observation, delivered to Options.OnEvent.
+type Event struct {
+	Type    EventType
+	Shard   int
+	Attempt int
+	Err     error
+}
+
+// Options configures a supervised run. The zero value is usable: all
+// cores, DefaultRetries, DefaultBackoff, no hooks.
+type Options struct {
+	// Workers is the pool size; ≤ 0 selects GOMAXPROCS.
+	Workers int
+	// Retries is the per-shard supervised retry budget: 0 selects
+	// DefaultRetries, a negative value disables retries. Independent of
+	// the budget, a shard that keeps failing gets one final degraded
+	// (hook-free) attempt before the run errors out.
+	Retries int
+	// Backoff is the base delay before the first retry, doubling per
+	// attempt (capped); 0 selects DefaultBackoff. Backoff sleeps are
+	// interrupted by context cancellation.
+	Backoff time.Duration
+	// Hooks, when non-nil, intercepts every supervised attempt (fault
+	// injection).
+	Hooks Hooks
+	// OnEvent, when non-nil, observes supervisor events. It may be called
+	// concurrently from worker goroutines.
+	OnEvent func(Event)
+	// AfterShard, when non-nil, runs exactly once after a shard's
+	// supervised execution succeeds (outside panic recovery, never
+	// retried). Campaign uses it to mark completion and flush
+	// checkpoints; an error aborts the run.
+	AfterShard func(shard int) error
+}
+
+func (o Options) workerCount() int {
+	if o.Workers <= 0 {
+		return goruntime.GOMAXPROCS(0)
+	}
+	return o.Workers
+}
+
+func (o Options) retryBudget() int {
+	if o.Retries == 0 {
+		return DefaultRetries
+	}
+	if o.Retries < 0 {
+		return 0
+	}
+	return o.Retries
+}
+
+func (o Options) baseBackoff() time.Duration {
+	if o.Backoff <= 0 {
+		return DefaultBackoff
+	}
+	return o.Backoff
+}
+
+func (o Options) emit(e Event) {
+	if o.OnEvent != nil {
+		o.OnEvent(e)
+	}
+}
+
+// Stats tallies supervisor events; plug Observe into Options.OnEvent. All
+// counters are updated atomically and safe for concurrent observation.
+type Stats struct {
+	Shards   int64 // shards handed to the supervisor
+	Panics   int64 // recovered panics across all attempts
+	Errors   int64 // attempts that returned an error
+	Retries  int64 // supervised re-runs
+	Degraded int64 // shards that fell back to the hook-free attempt
+	GaveUp   int64 // shards whose degraded attempt also failed
+}
+
+// Observe folds one event into the counters.
+func (s *Stats) Observe(e Event) {
+	switch e.Type {
+	case EventPanic:
+		atomic.AddInt64(&s.Panics, 1)
+	case EventError:
+		atomic.AddInt64(&s.Errors, 1)
+	case EventRetry:
+		atomic.AddInt64(&s.Retries, 1)
+	case EventDegraded:
+		atomic.AddInt64(&s.Degraded, 1)
+	case EventGaveUp:
+		atomic.AddInt64(&s.GaveUp, 1)
+	}
+}
+
+// Snapshot returns a consistent copy of the counters.
+func (s *Stats) Snapshot() Stats {
+	return Stats{
+		Shards:   atomic.LoadInt64(&s.Shards),
+		Panics:   atomic.LoadInt64(&s.Panics),
+		Errors:   atomic.LoadInt64(&s.Errors),
+		Retries:  atomic.LoadInt64(&s.Retries),
+		Degraded: atomic.LoadInt64(&s.Degraded),
+		GaveUp:   atomic.LoadInt64(&s.GaveUp),
+	}
+}
+
+// Handled reports how many faults the supervisor absorbed (retried or
+// degraded) — the quantity fault-injection tests compare against the
+// number of injected faults.
+func (s *Stats) Handled() int64 {
+	return atomic.LoadInt64(&s.Retries) + atomic.LoadInt64(&s.Degraded)
+}
+
+// PanicError wraps a panic recovered by the supervisor.
+type PanicError struct {
+	Shard int
+	Value any
+}
+
+// Error describes the recovered panic.
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("runtime: shard %d panicked: %v", e.Shard, e.Value)
+}
+
+// Unwrap exposes the panic value when it was itself an error (so
+// errors.As can match injected fault values).
+func (e *PanicError) Unwrap() error {
+	if err, ok := e.Value.(error); ok {
+		return err
+	}
+	return nil
+}
+
+// Do executes one shard under the supervision policy: hooks, panic
+// recovery, retries with backoff, and a final degraded (hook-free)
+// attempt. It returns nil once any attempt succeeds, the context error on
+// cancellation, or a wrapped error when the degraded attempt also fails.
+// f must be idempotent: a retried shard recomputes its results in place.
+func Do(ctx context.Context, opts Options, shard int, f func() error) error {
+	budget := opts.retryBudget()
+	for attempt := 0; attempt <= budget; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		err := attemptOnce(opts, shard, attempt, true, f)
+		if err == nil {
+			return nil
+		}
+		if attempt < budget {
+			opts.emit(Event{Type: EventRetry, Shard: shard, Attempt: attempt + 1, Err: err})
+			if serr := sleepCtx(ctx, backoffDelay(opts.baseBackoff(), attempt)); serr != nil {
+				return serr
+			}
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	opts.emit(Event{Type: EventDegraded, Shard: shard, Attempt: budget + 1})
+	if err := attemptOnce(opts, shard, budget+1, false, f); err != nil {
+		opts.emit(Event{Type: EventGaveUp, Shard: shard, Attempt: budget + 1, Err: err})
+		return fmt.Errorf("runtime: shard %d failed %d supervised attempt(s) and the degraded retry: %w",
+			shard, budget+1, err)
+	}
+	return nil
+}
+
+// attemptOnce runs a single attempt with panic containment; withHooks
+// selects whether fault hooks fire (the degraded attempt disables them).
+func attemptOnce(opts Options, shard, attempt int, withHooks bool, f func() error) (err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			err = &PanicError{Shard: shard, Value: v}
+			opts.emit(Event{Type: EventPanic, Shard: shard, Attempt: attempt, Err: err})
+		}
+	}()
+	if withHooks && opts.Hooks != nil {
+		if err := opts.Hooks.BeforeShard(shard, attempt); err != nil {
+			opts.emit(Event{Type: EventError, Shard: shard, Attempt: attempt, Err: err})
+			return err
+		}
+	}
+	if err := f(); err != nil {
+		opts.emit(Event{Type: EventError, Shard: shard, Attempt: attempt, Err: err})
+		return err
+	}
+	return nil
+}
+
+// Run executes shards 0..numShards-1 on a supervised worker pool and
+// blocks until all complete, the context is cancelled, or a shard fails
+// beyond recovery. See RunShards for semantics.
+func Run(ctx context.Context, opts Options, numShards int, shard func(i int) error) (Stats, error) {
+	ids := make([]int, numShards)
+	for i := range ids {
+		ids[i] = i
+	}
+	return RunShards(ctx, opts, ids, shard)
+}
+
+// RunShards executes the given shard ids on a pool of opts.Workers
+// goroutines, each shard supervised by Do. Shards are claimed from an
+// atomic cursor, so a slow or retried shard never blocks the rest of the
+// pool. The first unrecoverable error (or the context error) cancels the
+// remaining shards and is returned with the accumulated Stats.
+func RunShards(ctx context.Context, opts Options, shards []int, run func(i int) error) (Stats, error) {
+	var stats Stats
+	user := opts.OnEvent
+	opts.OnEvent = func(e Event) {
+		stats.Observe(e)
+		if user != nil {
+			user(e)
+		}
+	}
+	if len(shards) == 0 {
+		return stats, ctx.Err()
+	}
+	workers := opts.workerCount()
+	if workers > len(shards) {
+		workers = len(shards)
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var (
+		next     int64 = -1
+		firstErr error
+		errMu    sync.Mutex
+		wg       sync.WaitGroup
+	)
+	fail := func(err error) {
+		errMu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		errMu.Unlock()
+		cancel()
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				j := int(atomic.AddInt64(&next, 1))
+				if j >= len(shards) || ctx.Err() != nil {
+					return
+				}
+				i := shards[j]
+				atomic.AddInt64(&stats.Shards, 1)
+				if err := Do(ctx, opts, i, func() error { return run(i) }); err != nil {
+					if ctx.Err() == nil {
+						fail(err)
+					}
+					return
+				}
+				if opts.AfterShard != nil {
+					if err := opts.AfterShard(i); err != nil {
+						fail(err)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return stats.Snapshot(), firstErr
+	}
+	return stats.Snapshot(), ctx.Err()
+}
+
+// backoffDelay doubles the base delay per attempt, capped at maxBackoff.
+func backoffDelay(base time.Duration, attempt int) time.Duration {
+	d := base << uint(attempt)
+	if d > maxBackoff || d <= 0 {
+		return maxBackoff
+	}
+	return d
+}
+
+// sleepCtx sleeps for d unless the context is cancelled first.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}

@@ -1,0 +1,277 @@
+package runtime
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// hookFunc adapts a function to the Hooks interface.
+type hookFunc func(shard, attempt int) error
+
+func (f hookFunc) BeforeShard(shard, attempt int) error { return f(shard, attempt) }
+
+func TestDoSucceedsFirstTry(t *testing.T) {
+	calls := 0
+	if err := Do(context.Background(), Options{}, 0, func() error { calls++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 1 {
+		t.Fatalf("f called %d times, want 1", calls)
+	}
+}
+
+func TestDoRetriesPanicThenSucceeds(t *testing.T) {
+	var stats Stats
+	opts := Options{Backoff: time.Microsecond, OnEvent: stats.Observe}
+	calls := 0
+	err := Do(context.Background(), opts, 7, func() error {
+		calls++
+		if calls == 1 {
+			panic("transient")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != 2 {
+		t.Fatalf("f called %d times, want 2", calls)
+	}
+	s := stats.Snapshot()
+	if s.Panics != 1 || s.Retries != 1 || s.Degraded != 0 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestDoDegradesWhenHooksKeepFailing(t *testing.T) {
+	// The hook panics on every supervised attempt; only the degraded
+	// (hook-free) attempt can succeed. The shard body itself never fails.
+	var stats Stats
+	opts := Options{
+		Backoff: time.Microsecond,
+		OnEvent: stats.Observe,
+		Hooks:   hookFunc(func(shard, attempt int) error { panic("hook bomb") }),
+	}
+	ran := false
+	if err := Do(context.Background(), opts, 3, func() error { ran = true; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if !ran {
+		t.Fatal("shard body never ran")
+	}
+	s := stats.Snapshot()
+	if s.Degraded != 1 || s.Panics != int64(DefaultRetries)+1 || s.GaveUp != 0 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestDoGivesUpOnPersistentFailure(t *testing.T) {
+	var stats Stats
+	opts := Options{Backoff: time.Microsecond, OnEvent: stats.Observe}
+	boom := errors.New("permanent")
+	err := Do(context.Background(), opts, 5, func() error { return boom })
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want wrapped %v", err, boom)
+	}
+	s := stats.Snapshot()
+	if s.GaveUp != 1 || s.Degraded != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestDoPersistentPanicBecomesError(t *testing.T) {
+	// A shard that panics on every attempt must surface as an error, not
+	// kill the process; the PanicError records the shard id and unwraps
+	// to the panic value when it is an error.
+	cause := errors.New("root cause")
+	err := Do(context.Background(), Options{Backoff: time.Microsecond, Retries: -1}, 9,
+		func() error { panic(cause) })
+	if err == nil {
+		t.Fatal("persistent panic returned nil")
+	}
+	var pe *PanicError
+	if !errors.As(err, &pe) || pe.Shard != 9 {
+		t.Fatalf("err = %v, want PanicError for shard 9", err)
+	}
+	if !errors.Is(err, cause) {
+		t.Fatalf("err %v does not unwrap to the panic value", err)
+	}
+}
+
+func TestDoHonorsCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	calls := 0
+	err := Do(ctx, Options{}, 0, func() error { calls++; return nil })
+	if err != context.Canceled || calls != 0 {
+		t.Fatalf("err=%v calls=%d, want context.Canceled and 0", err, calls)
+	}
+}
+
+func TestDoBackoffInterruptedByCancel(t *testing.T) {
+	// A huge backoff must not delay cancellation.
+	ctx, cancel := context.WithCancel(context.Background())
+	opts := Options{Backoff: time.Hour}
+	done := make(chan error, 1)
+	started := make(chan struct{})
+	go func() {
+		done <- Do(ctx, opts, 0, func() error {
+			select {
+			case <-started:
+			default:
+				close(started)
+			}
+			return errors.New("fail into backoff")
+		})
+	}()
+	<-started
+	cancel()
+	select {
+	case err := <-done:
+		if err != context.Canceled {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Do did not return after cancellation during backoff")
+	}
+}
+
+func TestRunCoversEveryShardOnce(t *testing.T) {
+	const shards = 100
+	var hits [shards]int64
+	stats, err := Run(context.Background(), Options{Workers: 8}, shards, func(i int) error {
+		atomic.AddInt64(&hits[i], 1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, h := range hits {
+		if h != 1 {
+			t.Fatalf("shard %d ran %d times", i, h)
+		}
+	}
+	if stats.Shards != shards {
+		t.Fatalf("stats.Shards = %d, want %d", stats.Shards, shards)
+	}
+}
+
+func TestRunShardsFirstErrorCancelsRest(t *testing.T) {
+	boom := errors.New("shard 10 is cursed")
+	var ran int64
+	_, err := Run(context.Background(), Options{Workers: 4, Retries: -1, Backoff: time.Microsecond},
+		1000, func(i int) error {
+			atomic.AddInt64(&ran, 1)
+			if i == 10 {
+				return boom
+			}
+			time.Sleep(50 * time.Microsecond)
+			return nil
+		})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want %v", err, boom)
+	}
+	// Cancellation is advisory per shard claim; the point is that the
+	// pool stopped well short of all 1000 shards.
+	if n := atomic.LoadInt64(&ran); n >= 1000 {
+		t.Fatalf("all %d shards ran despite an early hard failure", n)
+	}
+}
+
+func TestRunShardsEmpty(t *testing.T) {
+	stats, err := RunShards(context.Background(), Options{}, nil, func(i int) error {
+		t.Fatal("shard function called for empty shard list")
+		return nil
+	})
+	if err != nil || stats.Shards != 0 {
+		t.Fatalf("stats=%+v err=%v", stats, err)
+	}
+}
+
+func TestRunShardsAfterShardRunsOncePerShard(t *testing.T) {
+	var mu sync.Mutex
+	after := map[int]int{}
+	opts := Options{
+		Workers: 4,
+		Backoff: time.Microsecond,
+		// Every shard panics once, so AfterShard must still run exactly
+		// once per shard — after the supervised retry succeeds.
+		Hooks: hookFunc(func(shard, attempt int) error {
+			if attempt == 0 {
+				panic(fmt.Sprintf("first attempt of %d", shard))
+			}
+			return nil
+		}),
+		AfterShard: func(i int) error {
+			mu.Lock()
+			after[i]++
+			mu.Unlock()
+			return nil
+		},
+	}
+	stats, err := Run(context.Background(), opts, 32, func(i int) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 32; i++ {
+		if after[i] != 1 {
+			t.Fatalf("AfterShard(%d) ran %d times", i, after[i])
+		}
+	}
+	if stats.Retries != 32 {
+		t.Fatalf("stats.Retries = %d, want 32", stats.Retries)
+	}
+}
+
+func TestRunShardsAfterShardErrorAborts(t *testing.T) {
+	boom := errors.New("flush failed")
+	_, err := Run(context.Background(), Options{Workers: 2}, 8, func(i int) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = RunShards(context.Background(), Options{Workers: 2, AfterShard: func(i int) error { return boom }},
+		[]int{0, 1, 2}, func(i int) error { return nil })
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want %v", err, boom)
+	}
+}
+
+func TestStatsHandledCountsRetriesAndDegrades(t *testing.T) {
+	var s Stats
+	s.Observe(Event{Type: EventRetry})
+	s.Observe(Event{Type: EventRetry})
+	s.Observe(Event{Type: EventDegraded})
+	s.Observe(Event{Type: EventPanic})
+	if s.Handled() != 3 {
+		t.Fatalf("Handled() = %d, want 3", s.Handled())
+	}
+}
+
+func TestEventTypeStrings(t *testing.T) {
+	want := map[EventType]string{
+		EventPanic: "panic", EventError: "error", EventRetry: "retry",
+		EventDegraded: "degraded", EventGaveUp: "gave-up",
+	}
+	for typ, s := range want {
+		if typ.String() != s {
+			t.Errorf("%d.String() = %q, want %q", int(typ), typ.String(), s)
+		}
+	}
+}
+
+func TestBackoffDelayCapped(t *testing.T) {
+	if d := backoffDelay(time.Millisecond, 0); d != time.Millisecond {
+		t.Fatalf("attempt 0: %v", d)
+	}
+	if d := backoffDelay(time.Millisecond, 1); d != 2*time.Millisecond {
+		t.Fatalf("attempt 1: %v", d)
+	}
+	if d := backoffDelay(time.Millisecond, 60); d != maxBackoff {
+		t.Fatalf("overflow attempt: %v", d)
+	}
+}

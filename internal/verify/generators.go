@@ -20,7 +20,9 @@ type Case struct {
 }
 
 // String renders the case compactly.
-func (c Case) String() string { return fmt.Sprintf("threshold(k=%d)-of-%d on ring(n=%d,r=%d)", c.K, 2*c.R+1, c.N, c.R) }
+func (c Case) String() string {
+	return fmt.Sprintf("threshold(k=%d)-of-%d on ring(n=%d,r=%d)", c.K, 2*c.R+1, c.N, c.R)
+}
 
 // Automaton materializes the case as a scalar reference automaton.
 func (c Case) Automaton() *automaton.Automaton {

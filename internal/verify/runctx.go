@@ -1,0 +1,193 @@
+package verify
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/runtime"
+)
+
+// RunOptions configures a supervised verification campaign. The zero
+// value of the optional fields matches the historical verify.Run
+// behavior (no checkpoint, default supervision).
+type RunOptions struct {
+	Seed    int64
+	Rounds  int // per-claim sampling budget; ≤ 0 selects 200
+	Workers int // phase-space builder worker count
+
+	// Super supervises claim execution: Retries/Backoff bound how often a
+	// panicking or erroring claim is re-run, Hooks injects faults
+	// (shard index = claim position in the run), OnEvent observes.
+	// Super.Workers is ignored — claims run serially so report order and
+	// checkpoint layout stay deterministic.
+	Super runtime.Options
+
+	// Checkpoint is the campaign checkpoint path ("" disables); Resume
+	// reuses the verdicts of claims completed by a previous interrupted
+	// run with the same seed, rounds, and claim set.
+	Checkpoint string
+	Resume     bool
+
+	// OnResult, when non-nil, observes each claim verdict as it lands
+	// (including verdicts replayed from a resumed checkpoint).
+	OnResult func(Result)
+}
+
+// campaignKind is the checkpoint kind tag for verify campaigns.
+const campaignKind = "verify/claims"
+
+// campaignFingerprint identifies a verify campaign by everything that
+// determines its verdicts. The builder worker count is deliberately
+// excluded: the sharded builders are byte-identical at any parallelism,
+// so a campaign may resume with a different -workers.
+func campaignFingerprint(claims []Claim, seed int64, rounds int) string {
+	ids := make([]string, len(claims))
+	for i, c := range claims {
+		ids[i] = c.ID
+	}
+	return runtime.Fingerprint(campaignKind, strconv.FormatInt(seed, 10),
+		strconv.Itoa(rounds), strings.Join(ids, ","))
+}
+
+// RunCtx executes the claims under the fault-tolerant campaign runtime
+// and assembles the report. Claims run serially (each one parallelizes
+// internally through the sharded builders); between claims the context
+// is honored, so an interrupt returns the partial report — with the
+// checkpoint, when configured, flushed — and the context error. A claim
+// that panics is contained by the supervisor: it is retried up to the
+// budget, then re-run once with fault hooks disabled, and only if that
+// degraded attempt also fails is the claim recorded as a failure (with
+// the panic in the counterexample detail) — the process is never killed
+// and the remaining claims still run.
+func RunCtx(ctx context.Context, claims []Claim, opts RunOptions) (Report, error) {
+	if opts.Rounds <= 0 {
+		opts.Rounds = 200
+	}
+	opts.Super.Workers = 1
+	rep := Report{
+		Date:    time.Now().UTC().Format("2006-01-02"),
+		Seed:    opts.Seed,
+		Rounds:  opts.Rounds,
+		Workers: opts.Workers,
+		Pass:    true,
+	}
+
+	var (
+		ck      *runtime.Checkpoint
+		resumed map[string]Result
+	)
+	if opts.Checkpoint != "" {
+		fp := campaignFingerprint(claims, opts.Seed, opts.Rounds)
+		ck = runtime.NewCheckpoint(campaignKind, fp, len(claims), 0)
+		if opts.Resume {
+			loaded, err := runtime.LoadCheckpoint(opts.Checkpoint)
+			switch {
+			case err == nil:
+				if verr := loaded.Validate(campaignKind, fp, len(claims), 0); verr != nil {
+					return rep, fmt.Errorf("verify: resume %s: %w", opts.Checkpoint, verr)
+				}
+				var prior []Result
+				if len(loaded.Payload) > 0 {
+					if uerr := json.Unmarshal(loaded.Payload, &prior); uerr != nil {
+						return rep, fmt.Errorf("verify: resume %s: %w", opts.Checkpoint, uerr)
+					}
+				}
+				resumed = make(map[string]Result, len(prior))
+				for _, r := range prior {
+					resumed[r.ID] = r
+				}
+				ck = loaded
+			case errors.Is(err, os.ErrNotExist):
+				// Fresh campaign; nothing to resume.
+			default:
+				return rep, err
+			}
+		}
+	}
+
+	flush := func() error {
+		if ck == nil {
+			return nil
+		}
+		payload, err := json.Marshal(rep.Claims)
+		if err != nil {
+			return err
+		}
+		ck.Payload = payload
+		return ck.Save(opts.Checkpoint)
+	}
+	record := func(r Result) {
+		if !r.Pass {
+			rep.Pass = false
+		}
+		rep.Claims = append(rep.Claims, r)
+		if opts.OnResult != nil {
+			opts.OnResult(r)
+		}
+	}
+
+	for i, cl := range claims {
+		if err := ctx.Err(); err != nil {
+			if ferr := flush(); ferr != nil {
+				return rep, ferr
+			}
+			return rep, err
+		}
+		if ck != nil && ck.IsDone(i) {
+			if r, ok := resumed[cl.ID]; ok {
+				record(r)
+				continue
+			}
+			return rep, fmt.Errorf("verify: checkpoint marks claim %s done but holds no verdict for it", cl.ID)
+		}
+
+		var cex *Counterexample
+		start := time.Now()
+		err := runtime.Do(ctx, opts.Super, i, func() error {
+			// A fresh RNG per attempt keeps a retried claim on exactly the
+			// stream an undisturbed run would sample, so supervised
+			// verdicts are byte-identical to unsupervised ones.
+			cctx := &Ctx{
+				Context: ctx,
+				Rng:     rand.New(rand.NewSource(claimSeed(opts.Seed, cl.ID))),
+				Rounds:  opts.Rounds,
+				Workers: opts.Workers,
+			}
+			cex = cl.Check(cctx)
+			return nil
+		})
+		if err != nil {
+			if ctx.Err() != nil {
+				if ferr := flush(); ferr != nil {
+					return rep, ferr
+				}
+				return rep, ctx.Err()
+			}
+			// Even the degraded attempt failed: contain the fault as a
+			// claim failure instead of crashing the campaign.
+			cex = &Counterexample{Detail: fmt.Sprintf("claim execution failed: %v", err)}
+		}
+		record(Result{
+			ID:             cl.ID,
+			Title:          cl.Title,
+			Paper:          cl.Paper,
+			Pass:           cex == nil,
+			Counterexample: cex,
+			DurationMS:     time.Since(start).Milliseconds(),
+		})
+		if ck != nil {
+			ck.MarkDone(i)
+			if err := flush(); err != nil {
+				return rep, err
+			}
+		}
+	}
+	return rep, nil
+}

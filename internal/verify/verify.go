@@ -27,13 +27,13 @@
 package verify
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"hash/fnv"
 	"io"
 	"math/rand"
 	"strings"
-	"time"
 )
 
 // Counterexample is a minimal failing instance of a claim, shrunk before
@@ -69,8 +69,11 @@ func (c *Counterexample) String() string {
 
 // Ctx carries the per-claim execution context: a claim-private seeded RNG
 // (so claim subsets and orderings never perturb each other's streams), the
-// sampling budget, and the worker count handed to the sharded builders.
+// sampling budget, the worker count handed to the sharded builders, and
+// the campaign's cancellation context (background when run outside a
+// campaign) — long claims may poll it to bail out early.
 type Ctx struct {
+	Context context.Context
 	Rng     *rand.Rand
 	Rounds  int
 	Workers int
@@ -117,39 +120,17 @@ func claimSeed(seed int64, id string) int64 {
 
 // Run executes the given claims with the run-level seed, per-claim rounds
 // budget and builder worker count, and assembles the report. rounds ≤ 0
-// defaults to 200.
+// defaults to 200. It is the thin compatibility wrapper over RunCtx: no
+// cancellation, no checkpoint, default supervision (a panicking claim is
+// contained and recorded as a failure instead of crashing the process).
 func Run(claims []Claim, seed int64, rounds, workers int) Report {
-	if rounds <= 0 {
-		rounds = 200
-	}
-	rep := Report{
-		Date:    time.Now().UTC().Format("2006-01-02"),
+	// A background context never cancels and checkpointing is off, so
+	// RunCtx cannot return an error here.
+	rep, _ := RunCtx(context.Background(), claims, RunOptions{
 		Seed:    seed,
 		Rounds:  rounds,
 		Workers: workers,
-		Pass:    true,
-	}
-	for _, cl := range claims {
-		ctx := &Ctx{
-			Rng:     rand.New(rand.NewSource(claimSeed(seed, cl.ID))),
-			Rounds:  rounds,
-			Workers: workers,
-		}
-		start := time.Now()
-		cex := cl.Check(ctx)
-		res := Result{
-			ID:             cl.ID,
-			Title:          cl.Title,
-			Paper:          cl.Paper,
-			Pass:           cex == nil,
-			Counterexample: cex,
-			DurationMS:     time.Since(start).Milliseconds(),
-		}
-		if cex != nil {
-			rep.Pass = false
-		}
-		rep.Claims = append(rep.Claims, res)
-	}
+	})
 	return rep
 }
 
