@@ -458,10 +458,16 @@ func BenchmarkAblation_DenseVsBrent(b *testing.B) {
 		}
 	})
 	b.Run("brent", func(b *testing.B) {
+		// One walker reused across the whole sweep: the orbit loop itself is
+		// allocation-free (see TestOrbitWalkerAllocFree), so this measures
+		// cycle detection, not garbage.
+		w := a.NewOrbitWalker()
+		b.ReportAllocs()
+		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			maxPeriod := 0
 			config.Space(14, func(_ uint64, c config.Config) {
-				res := a.Converge(c.Clone(), 100)
+				res := w.Converge(c, 100)
 				if res.Period > maxPeriod {
 					maxPeriod = res.Period
 				}
@@ -473,18 +479,21 @@ func BenchmarkAblation_DenseVsBrent(b *testing.B) {
 	})
 }
 
-// Ablation: goroutine-chunked synchronous step vs single-threaded scalar.
+// Ablation: worker scaling of the fused packed ring kernel (the production
+// stepping path; internal/sim fuses the cross-word rotation into the combine
+// loop, so each worker streams its word range once). On a single-core box
+// the curve is flat — the interesting comparison is this kernel's absolute
+// ns/op against the per-node automaton path it replaced.
 func BenchmarkAblation_StepWorkers(b *testing.B) {
 	n := 1 << 18
-	a := majRing(b, n, 2)
-	src := config.Alternating(n, 0)
-	dst := config.New(n)
+	rng := rand.New(rand.NewSource(1))
+	s := sim.NewMajorityRing(n, 2, config.Random(rng, n, 0.5))
 	for _, workers := range []int{1, 2, 4, 8} {
 		workers := workers
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
 			b.SetBytes(int64(n / 8))
 			for i := 0; i < b.N; i++ {
-				a.StepParallel(dst, src, workers)
+				s.StepParallel(workers)
 			}
 		})
 	}

@@ -1,0 +1,102 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+// Delta is one benchmark's baseline-vs-current comparison. Pct is the
+// relative ns/op change in percent (positive = slower). Benchmarks present
+// in only one report are carried through with OnlyOld/OnlyNew set and never
+// count as regressions — a renamed benchmark should not fail CI, a slower
+// one should.
+type Delta struct {
+	Name    string  `json:"name"`
+	OldNs   float64 `json:"old_ns_per_op,omitempty"`
+	NewNs   float64 `json:"new_ns_per_op,omitempty"`
+	Pct     float64 `json:"pct,omitempty"`
+	OnlyOld bool    `json:"only_old,omitempty"`
+	OnlyNew bool    `json:"only_new,omitempty"`
+}
+
+// Regressed reports whether the delta exceeds the slowdown threshold (in
+// percent) on a benchmark present in both reports.
+func (d Delta) Regressed(thresholdPct float64) bool {
+	return !d.OnlyOld && !d.OnlyNew && d.Pct > thresholdPct
+}
+
+// compareReports pairs the two reports' results by benchmark name and
+// returns every delta (sorted worst-first) plus the subset regressing past
+// thresholdPct.
+func compareReports(baseline, current *Report, thresholdPct float64) (deltas, regressions []Delta) {
+	old := make(map[string]Result, len(baseline.Results))
+	for _, r := range baseline.Results {
+		old[r.Name] = r
+	}
+	seen := make(map[string]bool, len(current.Results))
+	for _, r := range current.Results {
+		seen[r.Name] = true
+		o, ok := old[r.Name]
+		if !ok {
+			deltas = append(deltas, Delta{Name: r.Name, NewNs: r.NsPerOp, OnlyNew: true})
+			continue
+		}
+		d := Delta{Name: r.Name, OldNs: o.NsPerOp, NewNs: r.NsPerOp}
+		if o.NsPerOp > 0 {
+			d.Pct = (r.NsPerOp - o.NsPerOp) / o.NsPerOp * 100
+		}
+		deltas = append(deltas, d)
+	}
+	for _, r := range baseline.Results {
+		if !seen[r.Name] {
+			deltas = append(deltas, Delta{Name: r.Name, OldNs: r.NsPerOp, OnlyOld: true})
+		}
+	}
+	sort.Slice(deltas, func(i, j int) bool {
+		if deltas[i].Pct != deltas[j].Pct {
+			return deltas[i].Pct > deltas[j].Pct
+		}
+		return deltas[i].Name < deltas[j].Name
+	})
+	for _, d := range deltas {
+		if d.Regressed(thresholdPct) {
+			regressions = append(regressions, d)
+		}
+	}
+	return deltas, regressions
+}
+
+// loadReport reads a ca-bench JSON report.
+func loadReport(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &r, nil
+}
+
+// printDeltas writes the per-benchmark comparison, worst regression first.
+func printDeltas(w io.Writer, deltas []Delta, thresholdPct float64) {
+	for _, d := range deltas {
+		switch {
+		case d.OnlyNew:
+			fmt.Fprintf(w, "  new      %-60s %12.1f ns/op\n", d.Name, d.NewNs)
+		case d.OnlyOld:
+			fmt.Fprintf(w, "  removed  %-60s %12.1f ns/op\n", d.Name, d.OldNs)
+		default:
+			mark := " "
+			if d.Regressed(thresholdPct) {
+				mark = "!"
+			}
+			fmt.Fprintf(w, "%s %+7.1f%%  %-60s %12.1f -> %12.1f ns/op\n",
+				mark, d.Pct, d.Name, d.OldNs, d.NewNs)
+		}
+	}
+}

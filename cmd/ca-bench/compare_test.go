@@ -1,0 +1,83 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func report(results ...Result) *Report {
+	return &Report{Date: "2026-01-01", Go: "go-test", Bench: ".", Results: results}
+}
+
+func TestCompareReportsDetectsSyntheticRegression(t *testing.T) {
+	baseline := report(
+		Result{Name: "BenchmarkA", NsPerOp: 100},
+		Result{Name: "BenchmarkB", NsPerOp: 1000},
+	)
+	// B injected 40% slower: must regress at the 15% threshold.
+	current := report(
+		Result{Name: "BenchmarkA", NsPerOp: 104},
+		Result{Name: "BenchmarkB", NsPerOp: 1400},
+	)
+	deltas, regressions := compareReports(baseline, current, 15)
+	if len(deltas) != 2 {
+		t.Fatalf("got %d deltas, want 2", len(deltas))
+	}
+	if len(regressions) != 1 || regressions[0].Name != "BenchmarkB" {
+		t.Fatalf("regressions = %+v, want exactly BenchmarkB", regressions)
+	}
+	if got := regressions[0].Pct; got < 39.9 || got > 40.1 {
+		t.Errorf("BenchmarkB pct = %.2f, want ~40", got)
+	}
+	// Worst delta sorts first.
+	if deltas[0].Name != "BenchmarkB" {
+		t.Errorf("deltas not sorted worst-first: %+v", deltas)
+	}
+}
+
+func TestCompareReportsImprovementAndNoise(t *testing.T) {
+	baseline := report(
+		Result{Name: "BenchmarkFast", NsPerOp: 200},
+		Result{Name: "BenchmarkSteady", NsPerOp: 500},
+	)
+	current := report(
+		Result{Name: "BenchmarkFast", NsPerOp: 50},    // 4x speedup
+		Result{Name: "BenchmarkSteady", NsPerOp: 555}, // +11%: within threshold
+	)
+	_, regressions := compareReports(baseline, current, 15)
+	if len(regressions) != 0 {
+		t.Fatalf("improvement/noise flagged as regression: %+v", regressions)
+	}
+}
+
+func TestCompareReportsDisjointNames(t *testing.T) {
+	baseline := report(Result{Name: "BenchmarkGone", NsPerOp: 10})
+	current := report(Result{Name: "BenchmarkNew", NsPerOp: 999999})
+	deltas, regressions := compareReports(baseline, current, 15)
+	if len(regressions) != 0 {
+		t.Fatalf("renamed benchmarks must not regress: %+v", regressions)
+	}
+	var onlyOld, onlyNew bool
+	for _, d := range deltas {
+		if d.Name == "BenchmarkGone" && d.OnlyOld {
+			onlyOld = true
+		}
+		if d.Name == "BenchmarkNew" && d.OnlyNew {
+			onlyNew = true
+		}
+	}
+	if !onlyOld || !onlyNew {
+		t.Fatalf("one-sided benchmarks not carried through: %+v", deltas)
+	}
+}
+
+func TestPrintDeltasMarksRegressions(t *testing.T) {
+	baseline := report(Result{Name: "BenchmarkSlow", NsPerOp: 100})
+	current := report(Result{Name: "BenchmarkSlow", NsPerOp: 200})
+	deltas, _ := compareReports(baseline, current, 15)
+	var b strings.Builder
+	printDeltas(&b, deltas, 15)
+	if !strings.Contains(b.String(), "!") || !strings.Contains(b.String(), "+100.0%") {
+		t.Fatalf("regression line not marked:\n%s", b.String())
+	}
+}

@@ -20,6 +20,7 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -33,25 +34,42 @@ import (
 
 func main() {
 	var (
-		bench   = flag.String("bench", ".", "benchmark regexp passed to go test -bench")
-		out     = flag.String("out", "", "output path (default BENCH_<yyyy-mm-dd>.json)")
-		dir     = flag.String("dir", ".", "module directory to benchmark")
-		parse   = flag.Bool("parse", false, "parse an existing benchmark log instead of running go test")
-		input   = flag.String("input", "", "benchmark log to parse (with -parse; default stdin)")
-		timeout = flag.Duration("timeout", 30*time.Minute, "go test timeout")
+		bench     = flag.String("bench", ".", "benchmark regexp passed to go test -bench")
+		out       = flag.String("out", "", "output path (default BENCH_<yyyy-mm-dd>.json)")
+		dir       = flag.String("dir", ".", "module directory to benchmark")
+		parse     = flag.Bool("parse", false, "parse an existing benchmark log instead of running go test")
+		input     = flag.String("input", "", "benchmark log to parse (with -parse; default stdin)")
+		timeout   = flag.Duration("timeout", 30*time.Minute, "go test timeout")
+		benchtime = flag.String("benchtime", "", "go test -benchtime value, e.g. 0.2s or 100x (default: go's)")
+		compare   = flag.String("compare", "", "baseline report JSON to diff against; regressions beyond -threshold fail")
+		threshold = flag.Float64("threshold", 15, "ns/op slowdown percentage treated as a regression (with -compare)")
 	)
+	prof := cli.NewProfile()
 	flag.Parse()
 	cli.Exit2("ca-bench", cli.First(
 		cli.PositiveDuration("-timeout", *timeout),
 		cli.Writable("-out", *out),
 	))
-	if err := run(*bench, *out, *dir, *input, *parse, *timeout); err != nil {
+	stopProf := prof.MustStart("ca-bench")
+	err := run(*bench, *out, *dir, *input, *compare, *benchtime, *parse, *timeout, *threshold)
+	stopProf() // explicit: the os.Exit paths below skip defers
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "ca-bench:", err)
+		if errors.Is(err, errRegression) {
+			os.Exit(regressionExitCode)
+		}
 		os.Exit(1)
 	}
 }
 
-func run(bench, out, dir, input string, parseOnly bool, timeout time.Duration) error {
+// errRegression marks a comparison that found slowdowns past the threshold.
+var errRegression = errors.New("performance regression beyond threshold")
+
+// regressionExitCode distinguishes "benchmarks regressed" from operational
+// failures so CI can report it precisely.
+const regressionExitCode = 3
+
+func run(bench, out, dir, input, compare, benchtime string, parseOnly bool, timeout time.Duration, threshold float64) error {
 	var raw []byte
 	var err error
 	if parseOnly {
@@ -64,8 +82,13 @@ func run(bench, out, dir, input string, parseOnly bool, timeout time.Duration) e
 			return err
 		}
 	} else {
-		cmd := exec.Command("go", "test", "-run", "^$",
-			"-bench", bench, "-benchmem", "-timeout", timeout.String(), ".")
+		args := []string{"test", "-run", "^$",
+			"-bench", bench, "-benchmem", "-timeout", timeout.String()}
+		if benchtime != "" {
+			args = append(args, "-benchtime", benchtime)
+		}
+		args = append(args, ".")
+		cmd := exec.Command("go", args...)
 		cmd.Dir = dir
 		cmd.Stderr = os.Stderr
 		raw, err = cmd.Output()
@@ -96,5 +119,20 @@ func run(bench, out, dir, input string, parseOnly bool, timeout time.Duration) e
 		return err
 	}
 	fmt.Printf("wrote %d benchmark results to %s\n", len(results), out)
+
+	if compare != "" {
+		baseline, err := loadReport(compare)
+		if err != nil {
+			return fmt.Errorf("-compare: %w", err)
+		}
+		deltas, regressions := compareReports(baseline, &report, threshold)
+		fmt.Printf("\ncomparison against %s (threshold %+.0f%% ns/op):\n", compare, threshold)
+		printDeltas(os.Stdout, deltas, threshold)
+		if len(regressions) > 0 {
+			return fmt.Errorf("%w: %d benchmark(s) slower than baseline by more than %.0f%%",
+				errRegression, len(regressions), threshold)
+		}
+		fmt.Println("no regressions beyond threshold")
+	}
 	return nil
 }

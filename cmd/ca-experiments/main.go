@@ -76,15 +76,18 @@ func main() {
 		resume     = flag.Bool("resume", false, "skip experiments completed by a previous checkpointed sweep")
 		faults     = flag.String("faults", "", "deterministic fault plan to inject per experiment index, e.g. panic:3 (debug)")
 	)
+	prof := cli.NewProfile()
 	flag.Parse()
 	cli.Exit2("ca-experiments", cli.First(
 		cli.NonNegative("-workers", *workers),
 		cli.Writable("-checkpoint", *checkpoint),
 	))
+	stopProf := prof.MustStart("ca-experiments")
 	buildWorkers = *workers
 	ctx, stop := cli.SignalContext(context.Background())
 	defer stop()
 	err := run(ctx, os.Stdout, *only, *md, *checkpoint, *resume, *faults)
+	stopProf() // explicit: the os.Exit paths below skip defers
 	switch {
 	case cli.Interrupted(err):
 		fmt.Fprintln(os.Stderr, "ca-experiments: interrupted; checkpoint flushed")

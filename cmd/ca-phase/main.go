@@ -51,7 +51,9 @@ func main() {
 		checkpoint = flag.String("checkpoint", "", "build checkpoint path (.gz compresses; sequential build appends .seq)")
 		resume     = flag.Bool("resume", false, "resume an interrupted build from its checkpoint")
 		faults     = flag.String("faults", "", "deterministic fault plan to inject into build shards, e.g. panic:3 (debug)")
+		memoize    = flag.Bool("memoize", false, "reuse in-process memoized successor tables across builds")
 	)
+	prof := cli.NewProfile()
 	flag.Parse()
 	cli.Exit2("ca-phase", cli.First(
 		cli.Positive("-n", *n),
@@ -59,9 +61,11 @@ func main() {
 		cli.NonNegative("-workers", *workers),
 		cli.Writable("-checkpoint", *checkpoint),
 	))
+	stopProf := prof.MustStart("ca-phase")
 	ctx, stop := cli.SignalContext(context.Background())
 	defer stop()
-	err := run(ctx, *n, *r, *ruleSpec, *spSpec, *dot, *verbose, *noMemory, *workers, *checkpoint, *resume, *faults)
+	err := run(ctx, *n, *r, *ruleSpec, *spSpec, *dot, *verbose, *noMemory, *workers, *checkpoint, *resume, *faults, *memoize)
+	stopProf() // explicit: the os.Exit paths below skip defers
 	switch {
 	case cli.Interrupted(err):
 		fmt.Fprintln(os.Stderr, "ca-phase: interrupted; checkpoint flushed")
@@ -72,7 +76,7 @@ func main() {
 	}
 }
 
-func run(ctx context.Context, n, r int, ruleSpec, spSpec, dot string, verbose, noMemory bool, workers int, checkpoint string, resume bool, faults string) error {
+func run(ctx context.Context, n, r int, ruleSpec, spSpec, dot string, verbose, noMemory bool, workers int, checkpoint string, resume bool, faults string, memoize bool) error {
 	sp, err := parseSpace(spSpec, n, r)
 	if err != nil {
 		return err
@@ -98,6 +102,7 @@ func run(ctx context.Context, n, r int, ruleSpec, spSpec, dot string, verbose, n
 		Options:    runtime.Options{Workers: workers},
 		Checkpoint: checkpoint,
 		Resume:     resume,
+		Memoize:    memoize,
 	}
 	if plan != nil {
 		opts.Hooks = plan

@@ -59,19 +59,19 @@ func TestRunSmoke(t *testing.T) {
 	// Full analysis path on a tiny automaton (stdout noise is acceptable in
 	// tests; correctness of the numbers is covered by the phasespace suite).
 	ctx := context.Background()
-	if err := run(ctx, 4, 1, "majority", "ring", "", false, false, 0, "", false, ""); err != nil {
+	if err := run(ctx, 4, 1, "majority", "ring", "", false, false, 0, "", false, "", false); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(ctx, 4, 1, "xor", "ring", "", true, true, 2, "", false, ""); err != nil {
+	if err := run(ctx, 4, 1, "xor", "ring", "", true, true, 2, "", false, "", false); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(ctx, 2, 1, "xor", "complete", "sequential", false, false, 1, "", false, ""); err != nil {
+	if err := run(ctx, 2, 1, "xor", "complete", "sequential", false, false, 1, "", false, "", false); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(ctx, 4, 1, "majority", "ring", "bogus", false, false, 0, "", false, ""); err == nil {
+	if err := run(ctx, 4, 1, "majority", "ring", "bogus", false, false, 0, "", false, "", false); err == nil {
 		t.Fatal("bogus dot mode accepted")
 	}
-	if err := run(ctx, 4, 1, "majority", "ring", "", false, false, 0, "", false, "explode:1"); err == nil {
+	if err := run(ctx, 4, 1, "majority", "ring", "", false, false, 0, "", false, "explode:1", false); err == nil {
 		t.Fatal("bad fault spec accepted")
 	}
 }
@@ -81,10 +81,10 @@ func TestRunSmoke(t *testing.T) {
 func TestRunSmokeCheckpointed(t *testing.T) {
 	ckpt := t.TempDir() + "/phase.ckpt.gz"
 	ctx := context.Background()
-	if err := run(ctx, 12, 1, "majority", "ring", "", false, false, 2, ckpt, false, ""); err != nil {
+	if err := run(ctx, 12, 1, "majority", "ring", "", false, false, 2, ckpt, false, "", false); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(ctx, 12, 1, "majority", "ring", "", false, false, 2, ckpt, true, ""); err != nil {
+	if err := run(ctx, 12, 1, "majority", "ring", "", false, false, 2, ckpt, true, "", false); err != nil {
 		t.Fatalf("resume over a complete checkpoint failed: %v", err)
 	}
 }

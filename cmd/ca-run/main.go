@@ -40,6 +40,7 @@ func main() {
 		seed     = flag.Int64("seed", 1, "random seed")
 		line     = flag.Bool("line", false, "use a bounded line instead of a ring")
 	)
+	prof := cli.NewProfile()
 	flag.Parse()
 	cli.Exit2("ca-run", cli.First(
 		cli.Positive("-n", *n),
@@ -47,8 +48,11 @@ func main() {
 		cli.Positive("-steps", *steps),
 		cli.Probability("-density", *density),
 	))
+	stopProf := prof.MustStart("ca-run")
 
-	if err := run(*n, *r, *ruleSpec, *mode, *order, *start, *density, *steps, *seed, *line); err != nil {
+	err := run(*n, *r, *ruleSpec, *mode, *order, *start, *density, *steps, *seed, *line)
+	stopProf() // explicit: os.Exit below skips defers
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "ca-run:", err)
 		os.Exit(1)
 	}

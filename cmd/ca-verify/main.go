@@ -60,6 +60,7 @@ func main() {
 	flag.BoolVar(&p.resume, "resume", false, "resume a checkpointed campaign, reusing completed claim verdicts")
 	flag.StringVar(&p.faults, "faults", "", "deterministic fault plan to inject into claim execution, e.g. panic:1 or delay:0=5ms (debug)")
 	list := flag.Bool("list", false, "list claim ids and exit")
+	prof := cli.NewProfile()
 	flag.Parse()
 
 	cli.Exit2("ca-verify", cli.First(
@@ -73,10 +74,12 @@ func main() {
 		listClaims(os.Stdout)
 		return
 	}
+	stopProf := prof.MustStart("ca-verify")
 
 	ctx, stop := cli.SignalContext(context.Background())
 	defer stop()
 	ok, err := run(ctx, os.Stdout, p)
+	stopProf() // explicit: the os.Exit paths below skip defers
 	switch {
 	case cli.Interrupted(err):
 		fmt.Fprintln(os.Stderr, "ca-verify: interrupted; partial report and checkpoint flushed")

@@ -34,6 +34,12 @@ type Automaton struct {
 	// scratch per automaton for single-threaded paths; parallel paths
 	// allocate per-worker scratch.
 	scratch []uint8
+	// walker backs Converge/Orbit with reusable orbit scratch, created
+	// lazily so plain stepping never pays for it.
+	walker *OrbitWalker
+	// comp is the compiled truth-table form (see compile.go), or nil when
+	// the automaton exceeds the compilation caps and runs interpreted.
+	comp *compiled
 }
 
 // New returns a classical (homogeneous) automaton: every node updates with
@@ -52,7 +58,9 @@ func New(s space.Space, r rule.Rule) (*Automaton, error) {
 	for i := range rules {
 		rules[i] = r
 	}
-	return &Automaton{space: s, rules: rules, homog: r, scratch: make([]uint8, maxDegree(s))}, nil
+	a := &Automaton{space: s, rules: rules, homog: r, scratch: make([]uint8, maxDegree(s))}
+	a.comp = compile(a)
+	return a, nil
 }
 
 // MustNew is New that panics on error.
@@ -77,7 +85,9 @@ func NewNonHomogeneous(s space.Space, rules []rule.Rule) (*Automaton, error) {
 		}
 	}
 	cp := append([]rule.Rule(nil), rules...)
-	return &Automaton{space: s, rules: cp, scratch: make([]uint8, maxDegree(s))}, nil
+	a := &Automaton{space: s, rules: cp, scratch: make([]uint8, maxDegree(s))}
+	a.comp = compile(a)
+	return a, nil
 }
 
 func maxDegree(s space.Space) int {
@@ -109,6 +119,9 @@ func (a *Automaton) Homogeneous() bool { return a.homog != nil }
 // without mutating anything: the atomic operation whose interleavings the
 // paper studies.
 func (a *Automaton) NodeNext(c config.Config, i int) uint8 {
+	if a.comp != nil {
+		return a.comp.next(c, i)
+	}
 	nb := a.space.Neighborhood(i)
 	view := a.scratch[:len(nb)]
 	c.Gather(nb, view)
@@ -116,8 +129,12 @@ func (a *Automaton) NodeNext(c config.Config, i int) uint8 {
 }
 
 // nodeNextInto is NodeNext with caller-provided scratch, safe for
-// concurrent use across distinct scratch buffers.
+// concurrent use across distinct scratch buffers. The compiled path reads
+// no shared state at all, so it is taken regardless of scratch.
 func (a *Automaton) nodeNextInto(c config.Config, i int, scratch []uint8) uint8 {
+	if a.comp != nil {
+		return a.comp.next(c, i)
+	}
 	nb := a.space.Neighborhood(i)
 	view := scratch[:len(nb)]
 	c.Gather(nb, view)
@@ -131,6 +148,10 @@ func (a *Automaton) Step(dst, src config.Config) {
 	n := a.N()
 	if dst.N() != n || src.N() != n {
 		panic(fmt.Sprintf("automaton: Step sizes %d/%d for %d nodes", dst.N(), src.N(), n))
+	}
+	if a.comp != nil {
+		a.comp.stepRange(dst, src, 0, n)
+		return
 	}
 	for i := 0; i < n; i++ {
 		dst.Set(i, a.NodeNext(src, i))
@@ -169,6 +190,12 @@ func (a *Automaton) StepParallel(dst, src config.Config, workers int) {
 		wg.Add(1)
 		go func(lo, hi int) {
 			defer wg.Done()
+			if a.comp != nil {
+				// Whole-word writes within a 64-aligned chunk: no scratch,
+				// no write overlap with sibling workers.
+				a.comp.stepRange(dst, src, lo, hi)
+				return
+			}
 			scratch := make([]uint8, len(a.scratch))
 			for i := lo; i < hi; i++ {
 				dst.Set(i, a.nodeNextInto(src, i, scratch))
@@ -203,6 +230,10 @@ func (st *Stepper) Step(dst, src config.Config) {
 	n := st.a.N()
 	if dst.N() != n || src.N() != n {
 		panic(fmt.Sprintf("automaton: Step sizes %d/%d for %d nodes", dst.N(), src.N(), n))
+	}
+	if st.a.comp != nil {
+		st.a.comp.stepRange(dst, src, 0, n)
+		return
 	}
 	for i := 0; i < n; i++ {
 		dst.Set(i, st.a.nodeNextInto(src, i, st.scratch))

@@ -1,0 +1,139 @@
+package automaton
+
+import (
+	"repro/internal/config"
+	"repro/internal/rule"
+)
+
+// This file implements the compiled scalar stepper: at construction time
+// every node's rule is materialized into a truth table (rule.Materialize)
+// and the per-node neighborhoods are flattened into one CSR arena, so a
+// node update becomes "gather neighborhood bits into an LSB-first index,
+// look it up" — no interface dispatch, no []uint8 scratch round-trip, and
+// no per-input rule arithmetic on the hot path. The scalar Step/NodeNext
+// family sits under every orbit walk, the sequential engine, and the
+// generic phase-space builders, so this constant-factor win compounds.
+//
+// Compilation is eager, capped, and all-or-nothing: a node of arity above
+// maxCompiledArity, a total table footprint above maxCompiledTableBytes,
+// or a rule that cannot be materialized (Materialize panics) leaves the
+// automaton uncompiled and every path falls back to the interpreted rule,
+// byte-identically (pinned by TestCompiledMatchesInterpreted).
+
+const (
+	// maxCompiledArity bounds one node's truth table at 2^16 entries (8 KiB).
+	maxCompiledArity = 16
+	// maxCompiledTableBytes bounds the distinct-table footprint per automaton.
+	maxCompiledTableBytes = 4 << 20
+)
+
+// compiled is the truth-table representation of an automaton.
+type compiled struct {
+	nbFlat []int32       // concatenated neighborhoods, CSR layout
+	nbOff  []int32       // nbOff[i]..nbOff[i+1] indexes node i's slice of nbFlat
+	tables []*rule.Table // per-node table; shared pointers when rules coincide
+}
+
+// compile returns the truth-table form of a, or nil when any cap is hit or
+// any rule refuses materialization.
+func compile(a *Automaton) (cp *compiled) {
+	defer func() {
+		// Materialize may panic for rules that reject the node's arity
+		// (e.g. an outer-totalistic self index beyond a small degree);
+		// an uncompilable automaton just stays interpreted.
+		if recover() != nil {
+			cp = nil
+		}
+	}()
+	sp := a.space
+	n := sp.N()
+	c := &compiled{nbOff: make([]int32, n+1), tables: make([]*rule.Table, n)}
+	flat := 0
+	for i := 0; i < n; i++ {
+		d := sp.Degree(i)
+		if d > maxCompiledArity {
+			return nil
+		}
+		flat += d
+	}
+	c.nbFlat = make([]int32, 0, flat)
+	// Tables are deduplicated by (rule value shared?, arity): a homogeneous
+	// automaton needs one table per distinct degree; a non-homogeneous one
+	// gets one table per node, still bounded by the byte cap.
+	byDegree := map[int]*rule.Table{}
+	bytes := 0
+	for i := 0; i < n; i++ {
+		nb := sp.Neighborhood(i)
+		c.nbOff[i] = int32(len(c.nbFlat))
+		for _, v := range nb {
+			c.nbFlat = append(c.nbFlat, int32(v))
+		}
+		m := len(nb)
+		var t *rule.Table
+		if a.homog != nil {
+			t = byDegree[m]
+		}
+		if t == nil {
+			t = rule.Materialize(a.rules[i], m)
+			bytes += tableBytes(m)
+			if bytes > maxCompiledTableBytes {
+				return nil
+			}
+			if a.homog != nil {
+				byDegree[m] = t
+			}
+		}
+		c.tables[i] = t
+	}
+	c.nbOff[n] = int32(len(c.nbFlat))
+	return c
+}
+
+// tableBytes is the packed size of a 2^m-entry truth table.
+func tableBytes(m int) int {
+	words := (1<<uint(m) + 63) / 64
+	return 8 * words
+}
+
+// next is the compiled node update: node i's next state under configuration c.
+// Bits are read straight from the backing words — the bounds-checked
+// bitvec.Bit accessor is a non-inlinable call, and a node update makes one
+// read per neighbor.
+func (cp *compiled) next(c config.Config, i int) uint8 {
+	words := c.Vector().Words()
+	nb := cp.nbFlat[cp.nbOff[i]:cp.nbOff[i+1]]
+	var idx uint64
+	for j, node := range nb {
+		idx |= (words[node>>6] >> uint(node&63) & 1) << uint(j)
+	}
+	return cp.tables[i].Lookup(idx)
+}
+
+// stepRange computes dst bits [lo, hi) from src with whole-word writes: lo
+// must be 64-aligned (Step passes 0; StepParallel chunks on 64-node
+// boundaries), so no two concurrent ranges read-modify-write one word. A
+// partial final word only occurs at hi = n, where the bits above n are
+// zeroed — exactly the normalized form the rest of bitvec expects.
+func (cp *compiled) stepRange(dst, src config.Config, lo, hi int) {
+	if lo&63 != 0 {
+		panic("automaton: compiled stepRange start not 64-aligned")
+	}
+	sw := src.Vector().Words()
+	dw := dst.Vector().Words()
+	var acc uint64
+	for i := lo; i < hi; i++ {
+		nb := cp.nbFlat[cp.nbOff[i]:cp.nbOff[i+1]]
+		var idx uint64
+		for j, node := range nb {
+			idx |= (sw[node>>6] >> uint(node&63) & 1) << uint(j)
+		}
+		acc |= uint64(cp.tables[i].Lookup(idx)) << uint(i&63)
+		if i&63 == 63 {
+			dw[i>>6] = acc
+			acc = 0
+		}
+	}
+	if hi&63 != 0 {
+		dw[hi>>6] = acc
+	}
+}

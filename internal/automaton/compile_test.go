@@ -1,0 +1,130 @@
+package automaton
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/rule"
+	"repro/internal/space"
+)
+
+// interpreted returns a copy of a with compilation disabled, forcing the
+// scratch-and-interface fallback path.
+func interpreted(a *Automaton) *Automaton {
+	b := *a
+	b.comp = nil
+	b.scratch = make([]uint8, len(a.scratch))
+	b.walker = nil
+	return &b
+}
+
+// TestCompiledMatchesInterpreted differentially pins the compiled
+// truth-table stepper against the interpreted rule path for every engine
+// entry point that goes through NodeNext.
+func TestCompiledMatchesInterpreted(t *testing.T) {
+	cases := []struct {
+		name string
+		a    *Automaton
+	}{
+		{"majority-ring", MustNew(space.Ring(17, 1), rule.Threshold{K: 2})},
+		{"threshold-r2", MustNew(space.Ring(20, 2), rule.Threshold{K: 3})},
+		{"xor-ring", MustNew(space.Ring(9, 1), rule.XOR{})},
+		{"eca-110", MustNew(space.Ring(16, 1), rule.Elementary(110))},
+		{"line-border", MustNew(space.Line(15, 1), rule.Threshold{K: 2})},
+		{"life-torus", MustNew(space.MooreTorus(6, 6), rule.Life())},
+	}
+	// A non-homogeneous automaton: alternating threshold and XOR nodes.
+	n := 12
+	rules := make([]rule.Rule, n)
+	for i := range rules {
+		if i%2 == 0 {
+			rules[i] = rule.Threshold{K: 2}
+		} else {
+			rules[i] = rule.XOR{}
+		}
+	}
+	nh, err := NewNonHomogeneous(space.Ring(n, 1), rules)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases = append(cases, struct {
+		name string
+		a    *Automaton
+	}{"non-homogeneous", nh})
+
+	rng := rand.New(rand.NewSource(21))
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			a := c.a
+			if a.comp == nil {
+				t.Fatalf("expected %s to compile", c.name)
+			}
+			ref := interpreted(a)
+			nn := a.N()
+			dst, dstRef := config.New(nn), config.New(nn)
+			for trial := 0; trial < 25; trial++ {
+				x := config.Random(rng, nn, 0.5)
+				for i := 0; i < nn; i++ {
+					if got, want := a.NodeNext(x, i), ref.NodeNext(x, i); got != want {
+						t.Fatalf("NodeNext(%s, %d) = %d, interpreted %d", x, i, got, want)
+					}
+				}
+				a.Step(dst, x)
+				ref.Step(dstRef, x)
+				if !dst.Equal(dstRef) {
+					t.Fatalf("Step diverged on %s", x)
+				}
+			}
+		})
+	}
+}
+
+// TestCompileCapsFallBack checks the all-or-nothing fallback: an automaton
+// over the arity cap must run interpreted and still step correctly.
+func TestCompileCapsFallBack(t *testing.T) {
+	n := maxCompiledArity + 3 // complete-graph degree n-1 > cap
+	a := MustNew(space.CompleteGraph(n), rule.Threshold{K: n / 2})
+	if a.comp != nil {
+		t.Fatalf("degree %d should exceed the compilation cap", n-1)
+	}
+	x := config.Alternating(n, 0)
+	dst := config.New(n)
+	a.Step(dst, x) // must not panic; majority of alternating n (ceil n/2 ones incl. self varies)
+	for i := 0; i < n; i++ {
+		ones := 0
+		for _, j := range a.Space().Neighborhood(i) {
+			ones += int(x.Get(j))
+		}
+		want := uint8(0)
+		if ones >= n/2 {
+			want = 1
+		}
+		if dst.Get(i) != want {
+			t.Fatalf("fallback Step wrong at node %d", i)
+		}
+	}
+}
+
+// BenchmarkCompiledVsInterpreted quantifies the compiled stepper's win on
+// the scalar step that underlies orbit walks and generic phase-space builds.
+func BenchmarkCompiledVsInterpreted(b *testing.B) {
+	n := 1 << 12
+	a := MustNew(space.Ring(n, 2), rule.Threshold{K: 3})
+	rng := rand.New(rand.NewSource(5))
+	x := config.Random(rng, n, 0.5)
+	dst := config.New(n)
+	b.Run("compiled", func(b *testing.B) {
+		b.SetBytes(int64(n / 8))
+		for i := 0; i < b.N; i++ {
+			a.Step(dst, x)
+		}
+	})
+	ref := interpreted(a)
+	b.Run("interpreted", func(b *testing.B) {
+		b.SetBytes(int64(n / 8))
+		for i := 0; i < b.N; i++ {
+			ref.Step(dst, x)
+		}
+	})
+}

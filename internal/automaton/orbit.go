@@ -42,53 +42,162 @@ type OrbitResult struct {
 }
 
 // Converge iterates the parallel global map from x0 for at most maxSteps,
-// returning the orbit's classification. It detects periodicity with Brent's
-// algorithm (O(1) extra space beyond two configurations), then recomputes
-// the exact transient length. Proposition 1 predicts Period ∈ {1, 2} for
-// finite symmetric threshold automata, which the tests assert.
+// returning the orbit's classification. Internally it reuses a per-automaton
+// OrbitWalker, so the orbit sweeps that dominate the Brent-vs-dense ablation
+// allocate nothing in steady state beyond the returned Final clone; like the
+// other Automaton scratch users it is not safe for concurrent use (hand each
+// goroutine its own NewOrbitWalker). Proposition 1 predicts Period ∈ {1, 2}
+// for finite symmetric threshold automata, which the tests assert.
 func (a *Automaton) Converge(x0 config.Config, maxSteps int) OrbitResult {
+	res := a.orbitWalker().Converge(x0, maxSteps)
+	res.Final = res.Final.Clone() // detach from walker scratch
+	return res
+}
+
+// orbitWalker returns the automaton's lazily created shared walker.
+func (a *Automaton) orbitWalker() *OrbitWalker {
+	if a.walker == nil {
+		a.walker = a.NewOrbitWalker()
+	}
+	return a.walker
+}
+
+// OrbitWalker classifies orbits of one automaton with caller-owned reusable
+// scratch: a small ring of preallocated configurations plus, for spaces of
+// ≤ 64 cells, an interning table of visited configurations packed as uint64.
+// After its first use a walker's Converge and Orbit perform zero heap
+// allocations in steady state (pinned by TestOrbitWalkerAllocFree), which is
+// what takes the orbit-by-orbit phase-space sweep from ~14 allocs per
+// configuration to none. A walker is not safe for concurrent use; create
+// one per goroutine.
+type OrbitWalker struct {
+	a        *Automaton
+	st       *Stepper
+	cur, nxt config.Config
+	// Orbit scratch, separate from the Converge scratch so a visit callback
+	// may itself call Converge on the same automaton.
+	ocur, onxt config.Config
+	// Brent scratch for spaces of more than 64 cells.
+	tortoise, hare, t1, t2, tmp config.Config
+	// Interning table for packed spaces: first-visit step per configuration
+	// index. Cleared (buckets retained) per Converge call.
+	seen map[uint64]int32
+}
+
+// NewOrbitWalker returns a walker over a with freshly allocated scratch.
+func (a *Automaton) NewOrbitWalker() *OrbitWalker {
 	n := a.N()
+	w := &OrbitWalker{a: a, st: a.NewStepper(),
+		cur: config.New(n), nxt: config.New(n),
+		ocur: config.New(n), onxt: config.New(n),
+	}
+	if n <= 64 {
+		w.seen = make(map[uint64]int32, 256)
+	} else {
+		w.tortoise = config.New(n)
+		w.hare = config.New(n)
+		w.t1 = config.New(n)
+		w.t2 = config.New(n)
+		w.tmp = config.New(n)
+	}
+	return w
+}
+
+// Orbit invokes visit for x0, F(x0), F²(x0), … until visit returns false
+// or maxSteps global steps elapsed, reusing the walker's scratch: steady
+// state allocates nothing. The Config passed to visit aliases that scratch
+// and must not be retained across calls.
+func (w *OrbitWalker) Orbit(x0 config.Config, maxSteps int, visit func(t int, c config.Config) bool) {
+	w.ocur.CopyFrom(x0)
+	for t := 0; t <= maxSteps; t++ {
+		if !visit(t, w.ocur) {
+			return
+		}
+		w.st.Step(w.onxt, w.ocur)
+		w.ocur, w.onxt = w.onxt, w.ocur
+	}
+}
+
+// Converge is Automaton.Converge on the walker's scratch. The returned
+// Final aliases that scratch and is only valid until the walker's next
+// call; clone it to retain it.
+func (w *OrbitWalker) Converge(x0 config.Config, maxSteps int) OrbitResult {
+	n := w.a.N()
 	if x0.N() != n {
 		panic(fmt.Sprintf("automaton: Converge config size %d for %d nodes", x0.N(), n))
 	}
-	// Brent: find period lam of the eventually-periodic sequence.
+	if w.seen != nil {
+		return w.convergePacked(x0, maxSteps)
+	}
+	return w.convergeBrent(x0, maxSteps)
+}
+
+// convergePacked walks the orbit once, interning every visited
+// configuration as its uint64 index with its first-visit time. The first
+// revisited configuration is the cycle's entry point, its first-visit time
+// the transient length, and the time gap the period — one exact pass,
+// no Brent restart, O(orbit length) reused table space.
+func (w *OrbitWalker) convergePacked(x0 config.Config, maxSteps int) OrbitResult {
+	clear(w.seen)
+	w.cur.CopyFrom(x0)
+	w.seen[w.cur.Index()] = 0
+	for t := 1; t <= maxSteps; t++ {
+		w.st.Step(w.nxt, w.cur)
+		w.cur, w.nxt = w.nxt, w.cur
+		if first, ok := w.seen[w.cur.Index()]; ok {
+			out := OrbitResult{Transient: int(first), Period: t - int(first), Final: w.cur}
+			if out.Period == 1 {
+				out.Outcome = FixedPointOutcome
+			} else {
+				out.Outcome = CycleOutcome
+			}
+			return out
+		}
+		w.seen[w.cur.Index()] = int32(t)
+	}
+	return OrbitResult{Outcome: Unresolved, Final: w.cur}
+}
+
+// convergeBrent detects periodicity with Brent's algorithm (O(1) extra
+// space beyond the walker's fixed scratch), then recomputes the exact
+// transient length. Pointer juggling is replaced by CopyFrom into the
+// preallocated vectors — a word-level copy is noise next to a scalar step,
+// and it keeps the scratch set intact across calls.
+func (w *OrbitWalker) convergeBrent(x0 config.Config, maxSteps int) OrbitResult {
 	power, lam := 1, 1
-	tortoise := x0.Clone()
-	hare := config.New(n)
-	a.Step(hare, tortoise)
+	w.tortoise.CopyFrom(x0)
+	w.st.Step(w.hare, w.tortoise)
 	steps := 1
-	for !tortoise.Equal(hare) {
+	for !w.tortoise.Equal(w.hare) {
 		if steps >= maxSteps {
-			return OrbitResult{Outcome: Unresolved, Final: hare}
+			return OrbitResult{Outcome: Unresolved, Final: w.hare}
 		}
 		if power == lam {
-			tortoise.CopyFrom(hare)
+			w.tortoise.CopyFrom(w.hare)
 			power *= 2
 			lam = 0
 		}
-		next := config.New(n)
-		a.Step(next, hare)
-		hare = next
+		w.st.Step(w.tmp, w.hare)
+		w.hare.CopyFrom(w.tmp)
 		lam++
 		steps++
 	}
 	// Find transient length mu: advance two pointers lam apart.
 	mu := 0
-	t1 := x0.Clone()
-	t2 := x0.Clone()
-	tmp := config.New(n)
+	w.t1.CopyFrom(x0)
+	w.t2.CopyFrom(x0)
 	for i := 0; i < lam; i++ {
-		a.Step(tmp, t2)
-		t2, tmp = tmp, t2
+		w.st.Step(w.tmp, w.t2)
+		w.t2.CopyFrom(w.tmp)
 	}
-	for !t1.Equal(t2) {
-		a.Step(tmp, t1)
-		t1, tmp = tmp, t1
-		a.Step(tmp, t2)
-		t2, tmp = tmp, t2
+	for !w.t1.Equal(w.t2) {
+		w.st.Step(w.tmp, w.t1)
+		w.t1.CopyFrom(w.tmp)
+		w.st.Step(w.tmp, w.t2)
+		w.t2.CopyFrom(w.tmp)
 		mu++
 	}
-	out := OrbitResult{Transient: mu, Period: lam, Final: t1}
+	out := OrbitResult{Transient: mu, Period: lam, Final: w.t1}
 	if lam == 1 {
 		out.Outcome = FixedPointOutcome
 	} else {
@@ -150,17 +259,11 @@ func (a *Automaton) GreedyActiveSchedule(c config.Config) update.Schedule {
 }
 
 // Orbit invokes visit for x0, F(x0), F²(x0), … until visit returns false or
-// maxSteps global steps elapsed. The Config passed to visit is reused.
+// maxSteps global steps elapsed. The Config passed to visit is reused (it
+// aliases the automaton's lazily created OrbitWalker scratch); like Converge
+// it is not safe for concurrent use.
 func (a *Automaton) Orbit(x0 config.Config, maxSteps int, visit func(t int, c config.Config) bool) {
-	cur := x0.Clone()
-	next := config.New(a.N())
-	for t := 0; t <= maxSteps; t++ {
-		if !visit(t, cur) {
-			return
-		}
-		a.Step(next, cur)
-		cur, next = next, cur
-	}
+	a.orbitWalker().Orbit(x0, maxSteps, visit)
 }
 
 // IsTwoCycle reports whether x is a configuration on a proper temporal

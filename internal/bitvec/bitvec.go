@@ -372,6 +372,41 @@ func (v *Vector) RotateInto(dst *Vector, k int) {
 	dst.Normalize()
 }
 
+// ShiftedWord returns word w of the cyclic rotation of v by k positions —
+// bit b of the result is v's bit (w*64 + b + k) mod n — without
+// materializing the rotated vector. It is the cross-word neighbor read the
+// fused simulator kernel is built on: one call replaces indexing into a
+// RotateInto-produced copy, so a threshold step can gather all 2r+1
+// neighbor lanes of an output word with zero intermediate vectors.
+//
+// The result is word-for-word identical to RotateInto(dst, k) followed by
+// dst.Words()[w], including the cleared tail bits of a final partial word
+// (pinned exhaustively by TestShiftedWordMatchesRotateInto).
+func (v *Vector) ShiftedWord(w, k int) uint64 {
+	n := v.n
+	if w < 0 || w >= len(v.words) {
+		panic(fmt.Sprintf("bitvec: ShiftedWord word %d out of range [0,%d)", w, len(v.words)))
+	}
+	k %= n
+	if k < 0 {
+		k += n
+	}
+	var out uint64
+	if k == 0 {
+		out = v.words[w]
+	} else {
+		start := w + k>>wordLog
+		out = v.ringWord(start, n)
+		if bitShift := uint(k & wordMask); bitShift != 0 {
+			out = out>>bitShift | v.ringWord(start+1, n)<<(WordBits-bitShift)
+		}
+	}
+	if w == len(v.words)-1 && n&wordMask != 0 {
+		out &= lowMask(n & wordMask)
+	}
+	return out
+}
+
 // ringWord returns 64 consecutive ring bits starting at global bit index
 // w*64 (mod n), used by RotateInto. For vectors whose length is not a
 // multiple of 64 it stitches the wraparound seam bit-by-bit only at the last

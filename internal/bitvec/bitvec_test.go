@@ -426,6 +426,44 @@ func TestRotatePropertyQuick(t *testing.T) {
 	}
 }
 
+// TestShiftedWordMatchesRotateInto pins ShiftedWord to RotateInto
+// word-for-word, exhaustively over every word index and every shift in
+// [-n-2, n+2], at the word-boundary lengths the fused simulator kernel
+// cares about (one word exactly, one bit under/over, and the two-word
+// analogues) plus a couple of interior sizes.
+func TestShiftedWordMatchesRotateInto(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, n := range []int{63, 64, 65, 127, 128, 1, 3, 66, 191, 256} {
+		v := New(n)
+		for i := 0; i < n; i++ {
+			if rng.Intn(2) == 1 {
+				v.Set(i)
+			}
+		}
+		dst := New(n)
+		for k := -n - 2; k <= n+2; k++ {
+			v.RotateInto(dst, k)
+			want := dst.Words()
+			for w := range want {
+				if got := v.ShiftedWord(w, k); got != want[w] {
+					t.Fatalf("n=%d k=%d word %d: ShiftedWord %#x, RotateInto word %#x",
+						n, k, w, got, want[w])
+				}
+			}
+		}
+	}
+}
+
+func TestShiftedWordOutOfRangePanics(t *testing.T) {
+	v := New(64)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range ShiftedWord did not panic")
+		}
+	}()
+	v.ShiftedWord(1, 0)
+}
+
 func TestRotateComposition(t *testing.T) {
 	// Rotating by a then b equals rotating by a+b.
 	f := func(u uint64, aRaw, bRaw uint8) bool {

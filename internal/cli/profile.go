@@ -1,0 +1,122 @@
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"runtime/trace"
+)
+
+// Profile bundles the standard performance-instrumentation flags every
+// repository command exposes: -cpuprofile, -memprofile, and -trace. The
+// resulting files feed `go tool pprof` / `go tool trace`, which is how the
+// EXPERIMENTS.md performance methodology ties a benchmark regression back
+// to the responsible call path.
+//
+// Usage in a command main:
+//
+//	prof := cli.NewProfile()
+//	flag.Parse()
+//	stop := prof.MustStart("ca-foo")
+//	err := run(...)
+//	stop() // explicit: os.Exit skips defers
+//
+// stop is idempotent, so calling it both deferred and explicitly before an
+// os.Exit path is fine.
+type Profile struct {
+	CPU, Mem, Trace string
+
+	cpuFile, traceFile *os.File
+	stopped            bool
+}
+
+// NewProfile registers the three profiling flags on the default flag set
+// and returns the holder to start them with after flag.Parse.
+func NewProfile() *Profile {
+	p := &Profile{}
+	flag.StringVar(&p.CPU, "cpuprofile", "", "write a CPU profile to `file`")
+	flag.StringVar(&p.Mem, "memprofile", "", "write a heap profile to `file` at exit")
+	flag.StringVar(&p.Trace, "trace", "", "write a runtime execution trace to `file`")
+	return p
+}
+
+// Start begins the requested profiles. The returned stop function flushes
+// and closes them; it must run on every exit path (including before
+// os.Exit, which skips defers) and is safe to call more than once.
+func (p *Profile) Start() (stop func(), err error) {
+	if p.CPU != "" {
+		p.cpuFile, err = os.Create(p.CPU)
+		if err != nil {
+			return nil, fmt.Errorf("-cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(p.cpuFile); err != nil {
+			p.cpuFile.Close()
+			return nil, fmt.Errorf("-cpuprofile: %w", err)
+		}
+	}
+	if p.Trace != "" {
+		p.traceFile, err = os.Create(p.Trace)
+		if err == nil {
+			err = trace.Start(p.traceFile)
+		}
+		if err != nil {
+			if p.cpuFile != nil {
+				pprof.StopCPUProfile()
+				p.cpuFile.Close()
+				p.cpuFile = nil
+			}
+			if p.traceFile != nil {
+				p.traceFile.Close()
+				p.traceFile = nil
+			}
+			return nil, fmt.Errorf("-trace: %w", err)
+		}
+	}
+	return func() { p.stop() }, nil
+}
+
+// MustStart is Start that reports a flag-usage failure (exit code 2) under
+// the given program name, matching the Exit2 convention of the other flag
+// validators.
+func (p *Profile) MustStart(prog string) (stop func()) {
+	stop, err := p.Start()
+	Exit2(prog, err)
+	return stop
+}
+
+// stop finishes every active profile, reporting write failures to stderr
+// rather than masking the command's own exit status.
+func (p *Profile) stop() {
+	if p.stopped {
+		return
+	}
+	p.stopped = true
+	if p.cpuFile != nil {
+		pprof.StopCPUProfile()
+		if err := p.cpuFile.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "cpuprofile:", err)
+		}
+	}
+	if p.traceFile != nil {
+		trace.Stop()
+		if err := p.traceFile.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "trace:", err)
+		}
+	}
+	if p.Mem != "" {
+		f, err := os.Create(p.Mem)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "memprofile:", err)
+			return
+		}
+		runtime.GC() // materialize the final live heap
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "memprofile:", err)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "memprofile:", err)
+		}
+	}
+}

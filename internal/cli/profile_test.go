@@ -1,0 +1,53 @@
+package cli
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestProfileStartStopWritesFiles(t *testing.T) {
+	dir := t.TempDir()
+	p := &Profile{
+		CPU:   filepath.Join(dir, "cpu.pprof"),
+		Mem:   filepath.Join(dir, "mem.pprof"),
+		Trace: filepath.Join(dir, "trace.out"),
+	}
+	stop, err := p.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Generate a little work so the profiles have something to hold.
+	sink := 0
+	for i := 0; i < 1<<16; i++ {
+		sink += i
+	}
+	_ = sink
+	stop()
+	stop() // idempotent
+	for _, f := range []string{p.CPU, p.Mem, p.Trace} {
+		st, err := os.Stat(f)
+		if err != nil {
+			t.Fatalf("profile file %s: %v", f, err)
+		}
+		if st.Size() == 0 {
+			t.Errorf("profile file %s is empty", f)
+		}
+	}
+}
+
+func TestProfileZeroValueIsNoOp(t *testing.T) {
+	p := &Profile{}
+	stop, err := p.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop()
+}
+
+func TestProfileBadPathFails(t *testing.T) {
+	p := &Profile{CPU: filepath.Join(t.TempDir(), "no", "such", "dir", "cpu.pprof")}
+	if _, err := p.Start(); err == nil {
+		t.Fatal("expected error for uncreatable cpuprofile path")
+	}
+}

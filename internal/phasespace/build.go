@@ -4,6 +4,7 @@ import (
 	"context"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/automaton"
 	"repro/internal/config"
@@ -39,23 +40,36 @@ func resolveWorkers(workers int) int {
 	return workers
 }
 
-// shardRange invokes f over [0, total) split into 64-aligned chunks, one
-// goroutine per chunk, at most workers chunks. Small totals run inline.
+// shardOversub is how many chunks each worker's share of an index space is
+// further cut into: workers pull chunks off a shared atomic cursor, so the
+// tail of a skewed chunk no longer serializes the whole range the way the
+// old one-chunk-per-worker split did.
+const shardOversub = 8
+
+// shardRange invokes f over [0, total) split into 64-aligned chunks pulled
+// by workers goroutines from an atomic cursor. Small totals run inline.
 func shardRange(workers int, total uint64, f func(lo, hi uint64)) {
 	if workers > 1 && total >= shardMinWork {
-		chunk := (total + uint64(workers) - 1) / uint64(workers)
+		chunk := (total + uint64(workers*shardOversub) - 1) / uint64(workers*shardOversub)
 		chunk = (chunk + 63) &^ 63
+		var cursor atomic.Uint64
 		var wg sync.WaitGroup
-		for lo := uint64(0); lo < total; lo += chunk {
-			hi := lo + chunk
-			if hi > total {
-				hi = total
-			}
+		for w := 0; w < workers; w++ {
 			wg.Add(1)
-			go func(lo, hi uint64) {
+			go func() {
 				defer wg.Done()
-				f(lo, hi)
-			}(lo, hi)
+				for {
+					lo := cursor.Add(chunk) - chunk
+					if lo >= total {
+						return
+					}
+					hi := lo + chunk
+					if hi > total {
+						hi = total
+					}
+					f(lo, hi)
+				}
+			}()
 		}
 		wg.Wait()
 		return
@@ -63,23 +77,30 @@ func shardRange(workers int, total uint64, f func(lo, hi uint64)) {
 	f(0, total)
 }
 
-// shardSlice invokes f over [0, length) split into contiguous chunks, one
-// goroutine per chunk, at most workers chunks; used to fan work out over a
-// frontier slice. Small slices run inline.
+// shardSlice invokes f over [0, length) split into interleaved chunks
+// pulled by workers goroutines from an atomic cursor; used to fan work out
+// over a frontier slice. Small slices run inline.
 func shardSlice(workers, length int, f func(lo, hi int)) {
 	if workers > 1 && length >= shardMinWork {
-		chunk := (length + workers - 1) / workers
+		chunk := (length + workers*shardOversub - 1) / (workers * shardOversub)
+		var cursor atomic.Int64
 		var wg sync.WaitGroup
-		for lo := 0; lo < length; lo += chunk {
-			hi := lo + chunk
-			if hi > length {
-				hi = length
-			}
+		for w := 0; w < workers; w++ {
 			wg.Add(1)
-			go func(lo, hi int) {
+			go func() {
 				defer wg.Done()
-				f(lo, hi)
-			}(lo, hi)
+				for {
+					lo := int(cursor.Add(int64(chunk))) - chunk
+					if lo >= length {
+						return
+					}
+					hi := lo + chunk
+					if hi > length {
+						hi = length
+					}
+					f(lo, hi)
+				}
+			}()
 		}
 		wg.Wait()
 		return
@@ -87,13 +108,32 @@ func shardSlice(workers, length int, f func(lo, hi int)) {
 	f(0, length)
 }
 
-// batchKernel returns a configuration-parallel threshold kernel for a, or
-// nil when the batch preconditions do not hold. The preconditions: a is
-// homogeneous; its space is circulant (node i's ordered neighborhood is
-// node 0's shifted by i mod n, which covers rings with and without memory
-// and all space.Circulant graphs); the rule is a k-of-m threshold at the
-// common arity m ≤ 15; and 6 ≤ n ≤ 63 so 64-aligned index batches exist.
-func batchKernel(a *automaton.Automaton) *sim.Batch {
+// batchSpec is the outcome of batch-kernel detection: the parameters from
+// which per-worker sim.Batch kernels are constructed. Detection walks every
+// node's neighborhood and (for non-Threshold rules) materializes a truth
+// table, so the builders run it once per build — not once per shard, which
+// is what used to flatten the BuildWorkers scaling curves for small shards.
+type batchSpec struct {
+	n, k    int
+	offsets []int
+}
+
+// kernel constructs a fresh (single-goroutine) batch kernel from the spec.
+func (s *batchSpec) kernel() *sim.Batch {
+	bk, err := sim.NewBatch(s.n, s.k, s.offsets)
+	if err != nil {
+		return nil
+	}
+	return bk
+}
+
+// detectBatch returns the batch-kernel parameters for a, or nil when the
+// batch preconditions do not hold. The preconditions: a is homogeneous; its
+// space is circulant (node i's ordered neighborhood is node 0's shifted by
+// i mod n, which covers rings with and without memory and all
+// space.Circulant graphs); the rule is a k-of-m threshold at the common
+// arity m ≤ 15; and 6 ≤ n ≤ 63 so 64-aligned index batches exist.
+func detectBatch(a *automaton.Automaton) *batchSpec {
 	if !a.Homogeneous() {
 		return nil
 	}
@@ -122,11 +162,19 @@ func batchKernel(a *automaton.Automaton) *sim.Batch {
 	if !ok {
 		return nil
 	}
-	bk, err := sim.NewBatch(n, k, base)
-	if err != nil {
+	if _, err := sim.NewBatch(n, k, base); err != nil {
 		return nil
 	}
-	return bk
+	return &batchSpec{n: n, k: k, offsets: base}
+}
+
+// batchKernel returns a configuration-parallel threshold kernel for a, or
+// nil when detectBatch rejects it.
+func batchKernel(a *automaton.Automaton) *sim.Batch {
+	if s := detectBatch(a); s != nil {
+		return s.kernel()
+	}
+	return nil
 }
 
 // thresholdOf recognizes r as a k-of-m threshold. rule.Threshold values are
@@ -165,29 +213,61 @@ func BuildParallelWorkers(a *automaton.Automaton, workers int) *Parallel {
 	return ps
 }
 
-// fillParallelRange fills succ[lo:hi], preferring the batch kernel when
-// it applies and the range is 64-aligned (the campaign shard grid
-// guarantees alignment whenever a kernel exists). Each call allocates its
-// own kernel and stepper so concurrent shards never share scratch, and
-// writes only succ[lo:hi] — the idempotence the supervisor's retry and
-// the checkpoint snapshotter both rely on.
-func fillParallelRange(a *automaton.Automaton, succ []uint32, lo, hi uint64) {
-	if bk := batchKernel(a); bk != nil && lo%sim.BatchLanes == 0 && (hi-lo)%sim.BatchLanes == 0 && hi > lo {
+// filler carries one build campaign's hoisted kernel detection plus a pool
+// of per-worker scratch (batch kernel, stepper, destination config, cell
+// planes). Kernel detection used to run once per shard — hundreds of times
+// per build — and every shard allocated a fresh stepper and config; now a
+// worker checks out a scratch set per shard and returns it, so shards
+// construct nothing and each still writes only its own succ[lo:hi] slice
+// (the idempotence the supervisor's retry and the checkpoint snapshotter
+// both rely on).
+type filler struct {
+	a    *automaton.Automaton
+	spec *batchSpec
+	pool sync.Pool
+}
+
+// fillScratch is one worker's private evaluation state.
+type fillScratch struct {
+	bk     *sim.Batch // nil when the batch kernel does not apply
+	st     *automaton.Stepper
+	dst    config.Config
+	planes []uint64
+}
+
+// newFiller detects the batch kernel once and prepares the scratch pool.
+func newFiller(a *automaton.Automaton) *filler {
+	f := &filler{a: a, spec: detectBatch(a)}
+	n := a.N()
+	f.pool.New = func() any {
+		s := &fillScratch{st: a.NewStepper(), dst: config.New(n), planes: make([]uint64, n)}
+		if f.spec != nil {
+			s.bk = f.spec.kernel()
+		}
+		return s
+	}
+	return f
+}
+
+// parallelRange fills succ[lo:hi] with full-step successors, preferring the
+// batch kernel when it applies and the range is 64-aligned (the campaign
+// shard grid guarantees alignment whenever a kernel exists).
+func (f *filler) parallelRange(succ []uint32, lo, hi uint64) {
+	s := f.pool.Get().(*fillScratch)
+	defer f.pool.Put(s)
+	if s.bk != nil && lo%sim.BatchLanes == 0 && (hi-lo)%sim.BatchLanes == 0 && hi > lo {
 		var out [64]uint64
 		for base := lo; base < hi; base += sim.BatchLanes {
-			bk.Succ64(base, &out)
+			s.bk.Succ64(base, &out)
 			for l := uint64(0); l < sim.BatchLanes; l++ {
 				succ[base+l] = uint32(out[l])
 			}
 		}
 		return
 	}
-	n := a.N()
-	st := a.NewStepper()
-	dst := config.New(n)
-	config.SpaceRange(n, lo, hi, func(idx uint64, c config.Config) {
-		st.Step(dst, c)
-		succ[idx] = uint32(dst.Index())
+	config.SpaceRange(f.a.N(), lo, hi, func(idx uint64, c config.Config) {
+		s.st.Step(s.dst, c)
+		succ[idx] = uint32(s.dst.Index())
 	})
 }
 
@@ -229,16 +309,19 @@ func BuildSequentialWorkers(a *automaton.Automaton, workers int) *Sequential {
 	return ps
 }
 
-// fillSequentialRange fills the single-node-update successors for indices
+// sequentialRange fills the single-node-update successors for indices
 // [lo, hi), from the batch kernel's per-cell next-state planes when the
 // kernel applies and the range is 64-aligned (updating node i in
 // configuration x replaces bit i of x with the kernel's plane bit), and
 // by scalar enumeration otherwise. Writes are confined to rows lo..hi-1.
-func fillSequentialRange(a *automaton.Automaton, succ []uint32, n int, lo, hi uint64) {
-	if bk := batchKernel(a); bk != nil && lo%sim.BatchLanes == 0 && (hi-lo)%sim.BatchLanes == 0 && hi > lo {
-		planes := make([]uint64, n)
+func (f *filler) sequentialRange(succ []uint32, lo, hi uint64) {
+	n := f.a.N()
+	s := f.pool.Get().(*fillScratch)
+	defer f.pool.Put(s)
+	if s.bk != nil && lo%sim.BatchLanes == 0 && (hi-lo)%sim.BatchLanes == 0 && hi > lo {
+		planes := s.planes
 		for base := lo; base < hi; base += sim.BatchLanes {
-			bk.NodePlanes(base, planes)
+			s.bk.NodePlanes(base, planes)
 			for l := uint64(0); l < sim.BatchLanes; l++ {
 				x := base + l
 				row := x * uint64(n)
@@ -250,12 +333,11 @@ func fillSequentialRange(a *automaton.Automaton, succ []uint32, n int, lo, hi ui
 		}
 		return
 	}
-	st := a.NewStepper()
 	config.SpaceRange(n, lo, hi, func(idx uint64, c config.Config) {
 		base := idx * uint64(n)
 		for i := 0; i < n; i++ {
 			y := idx
-			if st.NodeNext(c, i) == 1 {
+			if s.st.NodeNext(c, i) == 1 {
 				y |= 1 << uint(i)
 			} else {
 				y &^= 1 << uint(i)

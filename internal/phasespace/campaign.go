@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"os"
 	"strconv"
+	"strings"
 
 	"repro/internal/automaton"
 	"repro/internal/runtime"
@@ -38,6 +39,13 @@ type BuildOptions struct {
 	// FlushEvery is the number of newly completed shards between
 	// checkpoint flushes; ≤ 0 flushes after every shard.
 	FlushEvery int
+	// Memoize consults (and feeds) the in-process successor-table memo
+	// keyed by the campaign fingerprint, so rebuilding the same
+	// (kind, rule, space, n) — across campaign resumes or repeated
+	// experiment specs — returns the finished table without enumerating
+	// 2^n configurations again. Memoized results share one read-only
+	// backing array.
+	Memoize bool
 }
 
 // campaignShardTarget aims the fixed grid at about this many shards for
@@ -67,9 +75,21 @@ type shardBlob struct {
 }
 
 // buildFingerprint identifies a build campaign by everything that
-// determines its results.
+// determines its results. Non-homogeneous automata are identified by the
+// concatenation of their per-node rule names.
 func buildFingerprint(kind string, a *automaton.Automaton) string {
-	return runtime.Fingerprint(kind, a.Rule().Name(), a.Space().Name(), strconv.Itoa(a.N()))
+	ruleID := ""
+	if r := a.Rule(); r != nil {
+		ruleID = r.Name()
+	} else {
+		var b strings.Builder
+		for i := 0; i < a.N(); i++ {
+			b.WriteString(a.RuleAt(i).Name())
+			b.WriteByte(';')
+		}
+		ruleID = b.String()
+	}
+	return runtime.Fingerprint(kind, ruleID, a.Space().Name(), strconv.Itoa(a.N()))
 }
 
 // snapshotBlobs serializes the done shards' slices of buf, where each
@@ -187,18 +207,31 @@ func BuildParallelOpts(ctx context.Context, a *automaton.Automaton, opts BuildOp
 	}
 	workers := resolveWorkers(opts.Workers)
 	total := uint64(1) << uint(n)
+	fp := buildFingerprint("phasespace/parallel", a)
+	if opts.Memoize {
+		if tbl := buildMemo.get(fp); tbl != nil {
+			return &Parallel{n: n, succ: tbl, workers: workers}, nil
+		}
+	}
 	ps := &Parallel{n: n, succ: make([]uint32, total), workers: workers}
+	f := newFiller(a)
 	if opts.inlineEligible(workers, total) {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		fillParallelRange(a, ps.succ, 0, total)
+		f.parallelRange(ps.succ, 0, total)
+		if opts.Memoize {
+			buildMemo.put(fp, ps.succ)
+		}
 		return ps, nil
 	}
-	err := runBuildCampaign(ctx, opts, "phasespace/parallel", buildFingerprint("phasespace/parallel", a),
-		total, ps.succ, 1, func(lo, hi uint64) { fillParallelRange(a, ps.succ, lo, hi) })
+	err := runBuildCampaign(ctx, opts, "phasespace/parallel", fp,
+		total, ps.succ, 1, func(lo, hi uint64) { f.parallelRange(ps.succ, lo, hi) })
 	if err != nil {
 		return nil, err
+	}
+	if opts.Memoize {
+		buildMemo.put(fp, ps.succ)
 	}
 	return ps, nil
 }
@@ -213,18 +246,31 @@ func BuildSequentialOpts(ctx context.Context, a *automaton.Automaton, opts Build
 	}
 	workers := resolveWorkers(opts.Workers)
 	total := uint64(1) << uint(n)
+	fp := buildFingerprint("phasespace/sequential", a)
+	if opts.Memoize {
+		if tbl := buildMemo.get(fp); tbl != nil {
+			return &Sequential{n: n, succ: tbl}, nil
+		}
+	}
 	ps := &Sequential{n: n, succ: make([]uint32, total*uint64(n))}
+	f := newFiller(a)
 	if opts.inlineEligible(workers, total) {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		fillSequentialRange(a, ps.succ, n, 0, total)
+		f.sequentialRange(ps.succ, 0, total)
+		if opts.Memoize {
+			buildMemo.put(fp, ps.succ)
+		}
 		return ps, nil
 	}
-	err := runBuildCampaign(ctx, opts, "phasespace/sequential", buildFingerprint("phasespace/sequential", a),
-		total, ps.succ, uint64(n), func(lo, hi uint64) { fillSequentialRange(a, ps.succ, n, lo, hi) })
+	err := runBuildCampaign(ctx, opts, "phasespace/sequential", fp,
+		total, ps.succ, uint64(n), func(lo, hi uint64) { f.sequentialRange(ps.succ, lo, hi) })
 	if err != nil {
 		return nil, err
+	}
+	if opts.Memoize {
+		buildMemo.put(fp, ps.succ)
 	}
 	return ps, nil
 }

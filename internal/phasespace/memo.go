@@ -1,0 +1,56 @@
+package phasespace
+
+import "sync"
+
+// This file implements the in-process successor-table memo: completed
+// parallel/sequential successor arrays keyed by the same campaign
+// fingerprint the checkpoints use (kind + rule + space + n). A campaign
+// driver that rebuilds the same (n, rule, space) phase space — resumed
+// campaigns, repeated experiment specs, verification sweeps — gets the
+// finished table back instead of re-enumerating 2^n configurations.
+//
+// Cached tables are shared, not copied: Parallel and Sequential never
+// mutate succ after construction (everything downstream is a read), so
+// handing the same backing array to several results is safe. The cache is
+// bounded; once full, new tables are simply not retained.
+
+// memoMaxBytes bounds the memo's total retained successor bytes (4 bytes
+// per entry). 256 MiB holds e.g. a full n=26 parallel table.
+const memoMaxBytes = 256 << 20
+
+type succMemo struct {
+	mu    sync.Mutex
+	m     map[string][]uint32
+	bytes int
+}
+
+var buildMemo = succMemo{m: map[string][]uint32{}}
+
+// get returns the cached table for key, or nil.
+func (c *succMemo) get(key string) []uint32 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.m[key]
+}
+
+// put retains tbl under key if the budget allows; first writer wins.
+func (c *succMemo) put(key string, tbl []uint32) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.m[key]; ok {
+		return
+	}
+	if c.bytes+4*len(tbl) > memoMaxBytes {
+		return
+	}
+	c.m[key] = tbl
+	c.bytes += 4 * len(tbl)
+}
+
+// reset empties the memo (test hook).
+func (c *succMemo) reset() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.m = map[string][]uint32{}
+	c.bytes = 0
+}

@@ -1,0 +1,112 @@
+package phasespace
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/automaton"
+	"repro/internal/rule"
+	"repro/internal/space"
+)
+
+func TestBuildMemoize(t *testing.T) {
+	buildMemo.reset()
+	defer buildMemo.reset()
+	a := automaton.MustNew(space.Ring(10, 1), rule.Threshold{K: 2})
+	opts := BuildOptions{Memoize: true}
+	ctx := context.Background()
+
+	p1, err := BuildParallelOpts(ctx, a, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := BuildParallelOpts(ctx, a, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &p1.succ[0] != &p2.succ[0] {
+		t.Error("memoized parallel rebuild did not share the successor table")
+	}
+	want := BuildParallelScalar(a)
+	for x := uint64(0); x < 1<<10; x++ {
+		if p2.Successor(x) != want.Successor(x) {
+			t.Fatalf("memoized table diverges from scalar at %d", x)
+		}
+	}
+
+	s1, err := BuildSequentialOpts(ctx, a, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := BuildSequentialOpts(ctx, a, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &s1.succ[0] != &s2.succ[0] {
+		t.Error("memoized sequential rebuild did not share the successor table")
+	}
+
+	// A different rule must not hit the same entry.
+	b := automaton.MustNew(space.Ring(10, 1), rule.Threshold{K: 3})
+	p3, err := BuildParallelOpts(ctx, b, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &p3.succ[0] == &p1.succ[0] {
+		t.Error("different rules shared one memo entry")
+	}
+	wantB := BuildParallelScalar(b)
+	for x := uint64(0); x < 1<<10; x++ {
+		if p3.Successor(x) != wantB.Successor(x) {
+			t.Fatalf("k=3 memoized table diverges from scalar at %d", x)
+		}
+	}
+}
+
+func TestBuildMemoizeOffByDefault(t *testing.T) {
+	buildMemo.reset()
+	defer buildMemo.reset()
+	a := automaton.MustNew(space.Ring(8, 1), rule.Threshold{K: 2})
+	ctx := context.Background()
+	p1, err := BuildParallelOpts(ctx, a, BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := BuildParallelOpts(ctx, a, BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &p1.succ[0] == &p2.succ[0] {
+		t.Error("non-memoized builds shared a successor table")
+	}
+}
+
+// TestFingerprintNonHomogeneous pins that campaign fingerprints (and hence
+// memoization) work for per-node rule assignments without panicking, and
+// distinguish different assignments.
+func TestFingerprintNonHomogeneous(t *testing.T) {
+	n := 8
+	mk := func(swap bool) *automaton.Automaton {
+		rules := make([]rule.Rule, n)
+		for i := range rules {
+			if (i%2 == 0) != swap {
+				rules[i] = rule.Threshold{K: 2}
+			} else {
+				rules[i] = rule.XOR{}
+			}
+		}
+		a, err := automaton.NewNonHomogeneous(space.Ring(n, 1), rules)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return a
+	}
+	f1 := buildFingerprint("phasespace/parallel", mk(false))
+	f2 := buildFingerprint("phasespace/parallel", mk(true))
+	if f1 == f2 {
+		t.Error("distinct rule assignments produced one fingerprint")
+	}
+	if f1 != buildFingerprint("phasespace/parallel", mk(false)) {
+		t.Error("fingerprint not deterministic")
+	}
+}

@@ -51,8 +51,9 @@ func TestShardRangePartition(t *testing.T) {
 			if !fanned && total > 0 && len(chunks) != 1 {
 				t.Errorf("workers=%d total=%d: expected inline single chunk, got %d", workers, total, len(chunks))
 			}
-			if len(chunks) > workers {
-				t.Errorf("workers=%d total=%d: %d chunks exceed the worker bound", workers, total, len(chunks))
+			if len(chunks) > workers*shardOversub {
+				t.Errorf("workers=%d total=%d: %d chunks exceed the oversubscription bound %d",
+					workers, total, len(chunks), workers*shardOversub)
 			}
 			// Fanned-out chunks are 64-aligned except possibly the last.
 			if fanned {
@@ -125,8 +126,9 @@ func TestShardSlicePartition(t *testing.T) {
 	for _, length := range []int{0, 1, shardMinWork - 1, shardMinWork, shardMinWork + 1, 5*shardMinWork + 13} {
 		for _, workers := range []int{1, 2, 5, 64, length + 10} {
 			chunks := sliceChunks(t, workers, length)
-			if len(chunks) > workers {
-				t.Errorf("workers=%d length=%d: %d chunks exceed worker bound", workers, length, len(chunks))
+			if len(chunks) > workers*shardOversub {
+				t.Errorf("workers=%d length=%d: %d chunks exceed oversubscription bound %d",
+					workers, length, len(chunks), workers*shardOversub)
 			}
 			fanned := workers > 1 && length >= shardMinWork
 			if !fanned && length > 0 && len(chunks) != 1 {

@@ -1,0 +1,199 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/automaton"
+	"repro/internal/config"
+	"repro/internal/rule"
+	"repro/internal/space"
+)
+
+// Differential tests for the fused (rotation-free) step kernel: Step must
+// be byte-identical to the retained pre-fusion kernel (StepReference) and
+// to the scalar automaton reference, over seeded random (n, r, k, x0) for
+// every radius up to maxRadius, at word-aligned and unaligned ring sizes,
+// and at every worker count. The CI race job runs these under -race, which
+// additionally checks that the fused parallel path has no write overlap.
+
+// fusedCases returns a seeded sweep of (n, r, k) triples covering the
+// word-boundary sizes, the dedicated MAJORITY kernel, the generic
+// ripple-carry kernel, and the degenerate constant rules k = 0 and 2r+2.
+func fusedCases(rng *rand.Rand) [][3]int {
+	var cases [][3]int
+	sizes := []int{63, 64, 65, 100, 127, 128, 129, 192, 200, 1000, 1024}
+	for _, n := range sizes {
+		for r := 1; r <= maxRadius; r++ {
+			if n <= 2*r {
+				continue
+			}
+			ks := []int{0, 1, r + 1, 2*r + 1, 2*r + 2, rng.Intn(2*r + 3)}
+			for _, k := range ks {
+				cases = append(cases, [3]int{n, r, k})
+			}
+		}
+	}
+	return cases
+}
+
+func TestFusedMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, c := range fusedCases(rng) {
+		n, r, k := c[0], c[1], c[2]
+		x0 := config.Random(rng, n, 0.5)
+		fused := NewRing(n, r, k, x0)
+		ref := NewRing(n, r, k, x0)
+		for step := 0; step < 6; step++ {
+			fused.Step()
+			ref.StepReference()
+			if !fused.Config().Equal(ref.Config()) {
+				t.Fatalf("n=%d r=%d k=%d step %d: fused diverged from reference kernel",
+					n, r, k, step+1)
+			}
+		}
+	}
+}
+
+func TestFusedParallelMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for _, c := range fusedCases(rng) {
+		n, r, k := c[0], c[1], c[2]
+		x0 := config.Random(rng, n, 0.5)
+		ref := NewRing(n, r, k, x0)
+		ref.StepReference()
+		want := ref.Config()
+		for _, workers := range []int{2, 3, 8} {
+			s := NewRing(n, r, k, x0)
+			s.StepParallel(workers)
+			if !s.Config().Equal(want) {
+				t.Fatalf("n=%d r=%d k=%d workers=%d: parallel fused diverged", n, r, k, workers)
+			}
+		}
+	}
+}
+
+func TestFusedMatchesScalarAutomaton(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for _, c := range fusedCases(rng) {
+		n, r, k := c[0], c[1], c[2]
+		if n > 256 {
+			continue // the scalar engine is the bottleneck; boundary sizes suffice
+		}
+		x0 := config.Random(rng, n, 0.5)
+		a, err := automaton.New(space.Ring(n, r), rule.Threshold{K: k})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := NewRing(n, r, k, x0)
+		cur := x0.Clone()
+		dst := config.New(n)
+		for step := 0; step < 3; step++ {
+			s.Step()
+			a.Step(dst, cur)
+			cur, dst = dst, cur
+			if !s.Config().Equal(cur) {
+				t.Fatalf("n=%d r=%d k=%d step %d: fused diverged from scalar automaton",
+					n, r, k, step+1)
+			}
+		}
+	}
+}
+
+// TestStepAllocFree pins the fused kernel's zero-allocation property: a
+// steady-state synchronous step — MAJORITY and the generic ripple-carry
+// kernel, aligned and unaligned — must not allocate at all.
+func TestStepAllocFree(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	cases := []struct {
+		name    string
+		n, r, k int
+	}{
+		{"majority-aligned", 1 << 12, 1, 2},
+		{"majority-unaligned", 1000, 1, 2},
+		{"generic-aligned", 1 << 12, 2, 3},
+		{"generic-unaligned", 1000, 3, 4},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			s := NewRing(c.n, c.r, c.k, config.Random(rng, c.n, 0.5))
+			s.Step() // warm up
+			if allocs := testing.AllocsPerRun(100, s.Step); allocs != 0 {
+				t.Errorf("steady-state Step allocates %.1f allocs/op, want 0", allocs)
+			}
+		})
+	}
+}
+
+// TestFindPeriodAllocFree pins the reusable-scratch FindPeriod: after the
+// first call the orbit walk (including its Steps) allocates nothing.
+func TestFindPeriodAllocFree(t *testing.T) {
+	n := 1 << 10
+	rng := rand.New(rand.NewSource(15))
+	x0 := config.Random(rng, n, 0.5)
+	s := NewMajorityRing(n, 1, x0)
+	if _, _, ok := s.FindPeriod(4 * n); !ok {
+		t.Fatal("orbit did not settle")
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		s.SetConfig(x0)
+		if _, _, ok := s.FindPeriod(4 * n); !ok {
+			t.Fatal("orbit did not settle")
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state FindPeriod allocates %.1f allocs/op, want 0", allocs)
+	}
+}
+
+// TestTorusFindPeriodAllocFree pins the same property for the 2-D kernel's
+// snapshot scratch.
+func TestTorusFindPeriodAllocFree(t *testing.T) {
+	part, ok := space.Bipartition(space.Torus(8, 8))
+	if !ok {
+		t.Fatal("torus not bipartite")
+	}
+	x0 := config.FromParts(part)
+	s := NewMajorityTorus(8, 8, x0)
+	if _, _, ok := s.FindPeriod(100); !ok {
+		t.Fatal("orbit did not settle")
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		s.SetConfig(x0)
+		if _, _, ok := s.FindPeriod(100); !ok {
+			t.Fatal("orbit did not settle")
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state torus FindPeriod allocates %.1f allocs/op, want 0", allocs)
+	}
+}
+
+// BenchmarkStepFusedVsReference quantifies the fusion win at a packed size.
+func BenchmarkStepFusedVsReference(b *testing.B) {
+	n := 1 << 20
+	rng := rand.New(rand.NewSource(16))
+	for _, r := range []int{1, 2, 4} {
+		x0 := config.Random(rng, n, 0.5)
+		b.Run(benchName("fused-r", r), func(b *testing.B) {
+			s := NewRing(n, r, r+1, x0)
+			b.SetBytes(int64(n / 8))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.Step()
+			}
+		})
+		b.Run(benchName("reference-r", r), func(b *testing.B) {
+			s := NewRing(n, r, r+1, x0)
+			b.SetBytes(int64(n / 8))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.StepReference()
+			}
+		})
+	}
+}
+
+func benchName(prefix string, v int) string {
+	return prefix + "=" + string(rune('0'+v))
+}

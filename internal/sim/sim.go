@@ -3,13 +3,18 @@
 // paper's introduction invokes (ref [7]).
 //
 // Configurations are bit-packed 64 cells per word. One synchronous step of a
-// radius-r threshold rule is computed from the 2r+1 ring rotations of the
-// configuration with a bit-sliced ripple-carry popcount and a bitwise
-// comparator, so every machine word updates 64 cells at once; for the
-// canonical radius-1 MAJORITY the dedicated kernel
-// (l AND c) OR (l AND r) OR (c AND r) is used. Steps can additionally be
-// chunked across goroutines. A scalar reference engine (package automaton)
-// pins the kernels down by differential testing.
+// radius-r threshold rule is computed in a single fused pass over the words:
+// for each output word the 2r+1 neighbor lanes are read directly from the
+// current configuration with cross-word shifts (bitvec.ShiftedWord and its
+// inlined aligned fast path), summed with a bit-sliced ripple-carry popcount
+// and compared against the threshold bitwise, so every machine word updates
+// 64 cells with zero intermediate vectors. For the canonical radius-1
+// MAJORITY the dedicated kernel (l AND c) OR (l AND r) OR (c AND r) is used.
+// Steps can additionally be chunked across goroutines; because the fused
+// kernel has no serial rotation-materialization phase, the whole step
+// parallelizes. The pre-fusion kernel is kept as StepReference and pinned
+// byte-identical by differential tests, alongside a scalar reference engine
+// (package automaton).
 package sim
 
 import (
@@ -30,8 +35,13 @@ type Ring struct {
 	n, r, k int
 	cur     *bitvec.Vector
 	next    *bitvec.Vector
-	rots    []*bitvec.Vector // rotations of cur by −r..+r (slot r aliases cur)
 	steps   uint64
+	// FindPeriod scratch, allocated on first use and reused so the steady
+	// state is allocation-free.
+	prev, prev2 *bitvec.Vector
+	// rots holds the materialized rotations of the pre-fusion reference
+	// kernel (StepReference); allocated lazily, never on the fused path.
+	rots []*bitvec.Vector
 }
 
 // NewRing returns a packed simulator for threshold K-of-(2r+1) (MAJORITY
@@ -57,14 +67,6 @@ func NewRing(n, r, k int, x0 config.Config) *Ring {
 			panic(fmt.Sprintf("sim: config size %d for %d cells", x0.N(), n))
 		}
 		s.cur.CopyFrom(x0.Vector())
-	}
-	s.rots = make([]*bitvec.Vector, 2*r+1)
-	for i := range s.rots {
-		if i == r {
-			s.rots[i] = s.cur // offset 0
-		} else {
-			s.rots[i] = bitvec.New(n)
-		}
 	}
 	return s
 }
@@ -93,9 +95,10 @@ func (s *Ring) SetConfig(x config.Config) {
 // Step advances one synchronous step single-threadedly.
 func (s *Ring) Step() { s.step(1) }
 
-// StepParallel advances one synchronous step with the word-combine loop
+// StepParallel advances one synchronous step with the fused word loop
 // split over workers goroutines (≤ 0 selects GOMAXPROCS). Identical output
-// to Step.
+// to Step. Unlike the pre-fusion kernel there is no serial rotation phase:
+// every byte of work is inside the sharded loop.
 func (s *Ring) StepParallel(workers int) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -104,15 +107,7 @@ func (s *Ring) StepParallel(workers int) {
 }
 
 func (s *Ring) step(workers int) {
-	// Materialize the 2r+1 rotations. dst bit i = cur bit (i+d mod n).
-	for d := -s.r; d <= s.r; d++ {
-		if d == 0 {
-			continue
-		}
-		s.cur.RotateInto(s.rots[d+s.r], d)
-	}
-	words := s.cur.Words()
-	nw := len(words)
+	nw := len(s.cur.Words())
 	if workers > nw {
 		workers = nw
 	}
@@ -134,18 +129,147 @@ func (s *Ring) step(workers int) {
 		}
 		wg.Wait()
 	}
+	s.finishStep()
+}
+
+// finishStep publishes next as the new current configuration.
+func (s *Ring) finishStep() {
 	s.next.Normalize()
 	s.cur, s.next = s.next, s.cur
-	// keep rots[r] aliased to the (new) cur
-	s.rots[s.r] = s.cur
 	s.steps++
 }
 
-// combine computes next-state words in [lo, hi).
+// combine computes next-state words in [lo, hi) with the fused kernel:
+// neighbor lanes are gathered by cross-word shifts directly from cur, so a
+// step is one pass over the words with no materialized rotations. Word-
+// aligned ring sizes take a branch-free two-word read per lane; unaligned
+// sizes fall back to bitvec.ShiftedWord, which stitches the wraparound seam
+// exactly like RotateInto (keeping the fused kernel byte-identical to the
+// reference kernel for every n).
 func (s *Ring) combine(lo, hi int) {
+	src := s.cur.Words()
+	out := s.next.Words()
+	nw := len(src)
+	if s.n&(bitvec.WordBits-1) == 0 {
+		// Aligned fast path: every lane offset |d| ≤ r < 64 touches only the
+		// word itself and one ring-adjacent word (for nw == 1 that neighbor
+		// is the word itself, which degenerates to an in-word rotation).
+		if s.r == 1 && s.k == 2 {
+			// Dedicated MAJORITY-of-3 kernel.
+			for w := lo; w < hi; w++ {
+				cw := src[w]
+				pw, xw := s.adjacent(src, w, nw)
+				l := cw<<1 | pw>>(bitvec.WordBits-1)
+				r := cw>>1 | xw<<(bitvec.WordBits-1)
+				out[w] = l&cw | l&r | cw&r
+			}
+			return
+		}
+		for w := lo; w < hi; w++ {
+			cw := src[w]
+			pw, xw := s.adjacent(src, w, nw)
+			s0, s1, s2, s3 := cw, uint64(0), uint64(0), uint64(0)
+			for d := 1; d <= s.r; d++ {
+				du := uint(d)
+				l := cw<<du | pw>>(bitvec.WordBits-du)
+				r := cw>>du | xw<<(bitvec.WordBits-du)
+				// ripple-carry add of the one-bit lanes l, r into (s3 s2 s1 s0)
+				c0 := s0 & l
+				s0 ^= l
+				c1 := s1 & c0
+				s1 ^= c0
+				c2 := s2 & c1
+				s2 ^= c1
+				s3 ^= c2
+				c0 = s0 & r
+				s0 ^= r
+				c1 = s1 & c0
+				s1 ^= c0
+				c2 = s2 & c1
+				s2 ^= c1
+				s3 ^= c2
+			}
+			out[w] = geConst([4]uint64{s0, s1, s2, s3}, s.k)
+		}
+		return
+	}
+	// Unaligned ring sizes: gather every lane with the seam-aware
+	// cross-word read. Off the packed hot path (the simulator prefers
+	// aligned sizes); correctness and byte-identity matter more here.
+	if s.r == 1 && s.k == 2 {
+		for w := lo; w < hi; w++ {
+			c := src[w]
+			l := s.cur.ShiftedWord(w, -1)
+			r := s.cur.ShiftedWord(w, 1)
+			out[w] = l&c | l&r | c&r
+		}
+		return
+	}
+	for w := lo; w < hi; w++ {
+		var s0, s1, s2, s3 uint64
+		for d := -s.r; d <= s.r; d++ {
+			b := src[w]
+			if d != 0 {
+				b = s.cur.ShiftedWord(w, d)
+			}
+			c0 := s0 & b
+			s0 ^= b
+			c1 := s1 & c0
+			s1 ^= c0
+			c2 := s2 & c1
+			s2 ^= c1
+			s3 ^= c2
+		}
+		out[w] = geConst([4]uint64{s0, s1, s2, s3}, s.k)
+	}
+}
+
+// adjacent returns the ring-previous and ring-next words of word w.
+func (s *Ring) adjacent(src []uint64, w, nw int) (prev, next uint64) {
+	if w == 0 {
+		prev = src[nw-1]
+	} else {
+		prev = src[w-1]
+	}
+	if w == nw-1 {
+		next = src[0]
+	} else {
+		next = src[w+1]
+	}
+	return prev, next
+}
+
+// StepReference advances one synchronous step with the pre-fusion kernel:
+// all 2r+1 ring rotations are materialized serially (bitvec.RotateInto)
+// and then combined word-wise. It is retained as the differential-testing
+// and benchmarking baseline for the fused kernel — TestFusedMatchesReference
+// pins Step byte-identical to it — and as a record of the serial fraction
+// that kept StepParallel from scaling.
+func (s *Ring) StepReference() {
+	if s.rots == nil {
+		s.rots = make([]*bitvec.Vector, 2*s.r+1)
+		for i := range s.rots {
+			if i != s.r {
+				s.rots[i] = bitvec.New(s.n)
+			}
+		}
+	}
+	// Materialize the 2r+1 rotations. dst bit i = cur bit (i+d mod n).
+	s.rots[s.r] = s.cur // offset 0 aliases the current configuration
+	for d := -s.r; d <= s.r; d++ {
+		if d != 0 {
+			s.cur.RotateInto(s.rots[d+s.r], d)
+		}
+	}
+	s.combineReference(0, len(s.cur.Words()))
+	s.finishStep()
+}
+
+// combineReference is the pre-fusion combine loop over materialized
+// rotation vectors.
+func (s *Ring) combineReference(lo, hi int) {
 	out := s.next.Words()
 	if s.r == 1 && s.k == 2 {
-		// Dedicated MAJORITY-of-3 kernel.
 		l := s.rots[0].Words()
 		c := s.rots[1].Words()
 		rr := s.rots[2].Words()
@@ -160,12 +284,10 @@ func (s *Ring) combine(lo, hi int) {
 	for i := range lanes {
 		lanes[i] = s.rots[i].Words()
 	}
-	// Constant-k comparator masks per bit plane (4 planes cover sums ≤ 15).
 	for w := lo; w < hi; w++ {
 		var s0, s1, s2, s3 uint64
 		for i := 0; i < m; i++ {
 			b := lanes[i][w]
-			// ripple-carry add of the one-bit lane b into (s3 s2 s1 s0)
 			c0 := s0 & b
 			s0 ^= b
 			c1 := s1 & c0
@@ -214,18 +336,23 @@ func (s *Ring) Run(steps, workers int) {
 
 // FindPeriod steps the simulator until the configuration repeats with
 // period 1 or 2 (Proposition 1 guarantees this for thresholds) or maxSteps
-// elapse. It returns (transient, period, true) on success.
+// elapse. It returns (transient, period, true) on success. The two history
+// configurations live in reusable Ring scratch, so repeated calls (orbit
+// sweeps, period censuses) allocate nothing after the first.
 func (s *Ring) FindPeriod(maxSteps int) (transient, period int, ok bool) {
-	prev := s.cur.Clone()
-	prev2 := bitvec.New(s.n)
+	if s.prev == nil {
+		s.prev = bitvec.New(s.n)
+		s.prev2 = bitvec.New(s.n)
+	}
+	s.prev.CopyFrom(s.cur)
 	for t := 0; t < maxSteps; t++ {
-		prev2.CopyFrom(prev)
-		prev.CopyFrom(s.cur)
+		s.prev2.CopyFrom(s.prev)
+		s.prev.CopyFrom(s.cur)
 		s.Step()
-		if s.cur.Equal(prev) {
+		if s.cur.Equal(s.prev) {
 			return t, 1, true
 		}
-		if t >= 1 && s.cur.Equal(prev2) {
+		if t >= 1 && s.cur.Equal(s.prev2) {
 			return t - 1, 2, true
 		}
 	}

@@ -18,9 +18,9 @@ type Torus struct {
 	w, h, k int
 	rows    []*bitvec.Vector
 	next    []*bitvec.Vector
-	left    *bitvec.Vector // scratch: current row shifted
-	right   *bitvec.Vector
 	steps   uint64
+	// FindPeriod snapshot scratch, allocated on first use and reused.
+	snapCur, snapPrev, snapPrev2 []uint64
 }
 
 // NewTorus returns a packed k-of-5 simulator on a w×h torus initialized to
@@ -34,7 +34,6 @@ func NewTorus(w, h, k int, x0 config.Config) *Torus {
 	}
 	t := &Torus{w: w, h: h, k: k,
 		rows: make([]*bitvec.Vector, h), next: make([]*bitvec.Vector, h),
-		left: bitvec.New(w), right: bitvec.New(w),
 	}
 	for y := 0; y < h; y++ {
 		t.rows[y] = bitvec.New(w)
@@ -101,9 +100,8 @@ func (t *Torus) step(workers int) {
 		workers = t.h
 	}
 	if workers <= 1 {
-		// Reuse the shared scratch vectors on the single-threaded path.
 		for y := 0; y < t.h; y++ {
-			t.stepRow(y, t.left, t.right)
+			t.stepRow(y)
 		}
 	} else {
 		var wg sync.WaitGroup
@@ -116,9 +114,8 @@ func (t *Torus) step(workers int) {
 			wg.Add(1)
 			go func(lo, hi int) {
 				defer wg.Done()
-				l, r := bitvec.New(t.w), bitvec.New(t.w)
 				for y := lo; y < hi; y++ {
-					t.stepRow(y, l, r)
+					t.stepRow(y)
 				}
 			}(lo, hi)
 		}
@@ -128,25 +125,49 @@ func (t *Torus) step(workers int) {
 	t.steps++
 }
 
-// stepRow computes next[y] from rows[y−1], rows[y], rows[y+1].
-func (t *Torus) stepRow(y int, l, r *bitvec.Vector) {
+// stepRow computes next[y] from rows[y−1], rows[y], rows[y+1]. The
+// horizontal neighbor lanes are read with fused cross-word shifts instead
+// of materializing rotated row copies, so each row is one pass over its
+// words with no scratch vectors (and hence no per-worker allocations on
+// the parallel path). Word-aligned widths take the branch-free two-word
+// read; other widths go through the seam-aware bitvec.ShiftedWord.
+func (t *Torus) stepRow(y int) {
 	up := t.rows[((y-1)+t.h)%t.h].Words()
 	down := t.rows[(y+1)%t.h].Words()
 	cur := t.rows[y]
-	// Left neighbor of x is x−1: lane bit x = row bit (x−1) → rotate by −1.
-	cur.RotateInto(l, -1)
-	cur.RotateInto(r, 1)
-	lw, rw, cw := l.Words(), r.Words(), cur.Words()
+	cw := cur.Words()
+	nw := len(cw)
+	aligned := t.w&(bitvec.WordBits-1) == 0
 	out := t.next[y].Words()
-	if t.k == 3 {
-		// Dedicated 3-of-5 majority kernel.
-		for wi := range out {
-			out[wi] = majority5(lw[wi], rw[wi], cw[wi], up[wi], down[wi])
+	for wi := range out {
+		// Left neighbor of x is x−1: lane bit x = row bit (x−1), i.e. the
+		// row rotated by −1; the right lane is the rotation by +1.
+		var lw, rw uint64
+		if aligned {
+			c := cw[wi]
+			var pw, xw uint64
+			if wi == 0 {
+				pw = cw[nw-1]
+			} else {
+				pw = cw[wi-1]
+			}
+			if wi == nw-1 {
+				xw = cw[0]
+			} else {
+				xw = cw[wi+1]
+			}
+			lw = c<<1 | pw>>(bitvec.WordBits-1)
+			rw = c>>1 | xw<<(bitvec.WordBits-1)
+		} else {
+			lw = cur.ShiftedWord(wi, -1)
+			rw = cur.ShiftedWord(wi, 1)
 		}
-	} else {
-		for wi := range out {
+		if t.k == 3 {
+			// Dedicated 3-of-5 majority kernel.
+			out[wi] = majority5(lw, rw, cw[wi], up[wi], down[wi])
+		} else {
 			var s0, s1, s2 uint64
-			for _, b := range [5]uint64{lw[wi], rw[wi], cw[wi], up[wi], down[wi]} {
+			for _, b := range [5]uint64{lw, rw, cw[wi], up[wi], down[wi]} {
 				c0 := s0 & b
 				s0 ^= b
 				c1 := s1 & c0
@@ -176,31 +197,33 @@ func majority5(a, b, c, d, e uint64) uint64 {
 }
 
 // FindPeriod steps until the configuration repeats with period 1 or 2, or
-// maxSteps elapse.
+// maxSteps elapse. The three history snapshots live in reusable Torus
+// scratch, so repeated calls allocate nothing after the first.
 func (t *Torus) FindPeriod(maxSteps int) (transient, period int, ok bool) {
-	prev := t.snapshot()
-	var prev2 []uint64
+	t.snapPrev = t.snapshotInto(t.snapPrev)
 	for step := 0; step < maxSteps; step++ {
-		prev2 = prev
-		prev = t.snapshot()
+		t.snapPrev2, t.snapPrev = t.snapPrev, t.snapPrev2
+		t.snapPrev = t.snapshotInto(t.snapPrev)
 		t.Step()
-		cur := t.snapshot()
-		if equalWords(cur, prev) {
+		t.snapCur = t.snapshotInto(t.snapCur)
+		if equalWords(t.snapCur, t.snapPrev) {
 			return step, 1, true
 		}
-		if step >= 1 && equalWords(cur, prev2) {
+		if step >= 1 && equalWords(t.snapCur, t.snapPrev2) {
 			return step - 1, 2, true
 		}
 	}
 	return maxSteps, 0, false
 }
 
-func (t *Torus) snapshot() []uint64 {
-	var out []uint64
+// snapshotInto copies the current configuration's words into dst, growing
+// it only on first use.
+func (t *Torus) snapshotInto(dst []uint64) []uint64 {
+	dst = dst[:0]
 	for _, r := range t.rows {
-		out = append(out, r.Words()...)
+		dst = append(dst, r.Words()...)
 	}
-	return out
+	return dst
 }
 
 func equalWords(a, b []uint64) bool {
