@@ -6,6 +6,7 @@
 package repro_test
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -538,5 +539,103 @@ func BenchmarkAblation_BuildWorkers(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// Ablation (tentpole): symmetry-quotient phase-space engine vs the raw
+// enumeration, full pipeline (build + cycle classification + census) on
+// the radius-1 MAJORITY ring. The quotient walks only the ~2^n/2n dihedral
+// symmetry classes and lifts the census back to full-space counts by orbit
+// weighting, so at n = 22 it must be ≥ 5× faster and allocate ≥ 10× less
+// than raw for the engine to pay for itself (EXPERIMENTS.md appendix A;
+// the byte-identical-census differential lives in
+// internal/phasespace/quotient_test.go and the race CI job).
+func BenchmarkAblation_QuotientVsRawParallel(b *testing.B) {
+	for _, n := range []int{20, 22} {
+		a := majRing(b, n, 1)
+		b.Run(fmt.Sprintf("raw/n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				p := phasespace.BuildParallelWorkers(a, 1)
+				if err := p.ClassifyCtx(context.Background()); err != nil {
+					b.Fatal(err)
+				}
+				if c := p.TakeCensus(); c.Configs != uint64(1)<<uint(n) || c.MaxPeriod != 2 {
+					b.Fatalf("census shape: %+v", c)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("quotient/n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				q, err := phasespace.BuildQuotientParallelCtx(context.Background(), a, 1)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := q.ClassifyCtx(context.Background()); err != nil {
+					b.Fatal(err)
+				}
+				if c := q.TakeCensus(); c.Configs != uint64(1)<<uint(n) || c.MaxPeriod != 2 {
+					b.Fatalf("census shape: %+v", c)
+				}
+			}
+		})
+	}
+}
+
+// Ablation: the same raw-vs-quotient comparison for the sequential
+// (node-by-node) phase space, whose raw build writes n successors per
+// configuration. Raw is capped at MaxSequentialNodes = 20; the quotient
+// extends the paired range and MaxQuotientSequentialNodes = 26 beyond it.
+func BenchmarkAblation_QuotientVsRawSequential(b *testing.B) {
+	a18, a20 := majRing(b, 18, 1), majRing(b, 20, 1)
+	for _, tc := range []struct {
+		n int
+		a *automaton.Automaton
+	}{{18, a18}, {20, a20}} {
+		tc := tc
+		b.Run(fmt.Sprintf("raw/n=%d", tc.n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				s := phasespace.BuildSequentialWorkers(tc.a, 1)
+				if _, acyclic := s.Acyclic(); !acyclic {
+					b.Fatal("threshold SCA must be acyclic")
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("quotient/n=%d", tc.n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				q, err := phasespace.BuildQuotientSequentialCtx(context.Background(), tc.a, 1)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if c := q.TakeCensus(); !c.Acyclic {
+					b.Fatal("threshold SCA must be acyclic")
+				}
+			}
+		})
+	}
+}
+
+// Ablation: quotient-only territory — ring sizes past the raw caps
+// (MaxEnumNodes = 26), where the symmetry quotient is the only way to get
+// an exact census at all. n = 28 enumerates ~4.8M symmetry classes
+// standing for 2^28 configurations.
+func BenchmarkAblation_QuotientBeyondRawCap(b *testing.B) {
+	a := majRing(b, 28, 1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		q, err := phasespace.BuildQuotientParallelCtx(context.Background(), a, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := q.ClassifyCtx(context.Background()); err != nil {
+			b.Fatal(err)
+		}
+		c := q.TakeCensus()
+		if c.Configs != 1<<28 || c.FixedPoints == 0 || c.MaxPeriod != 2 {
+			b.Fatalf("census shape: %+v", c)
+		}
 	}
 }

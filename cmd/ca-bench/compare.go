@@ -9,17 +9,25 @@ import (
 )
 
 // Delta is one benchmark's baseline-vs-current comparison. Pct is the
-// relative ns/op change in percent (positive = slower). Benchmarks present
-// in only one report are carried through with OnlyOld/OnlyNew set and never
-// count as regressions — a renamed benchmark should not fail CI, a slower
-// one should.
+// relative ns/op change in percent (positive = slower); allocation metrics
+// (B/op, allocs/op, present when the runs used -benchmem) are diffed and
+// reported alongside but never gate — the regression threshold applies to
+// ns/op only. Benchmarks present in only one report are carried through
+// with OnlyOld/OnlyNew set and never count as regressions — a renamed
+// benchmark should not fail CI, a slower one should.
 type Delta struct {
-	Name    string  `json:"name"`
-	OldNs   float64 `json:"old_ns_per_op,omitempty"`
-	NewNs   float64 `json:"new_ns_per_op,omitempty"`
-	Pct     float64 `json:"pct,omitempty"`
-	OnlyOld bool    `json:"only_old,omitempty"`
-	OnlyNew bool    `json:"only_new,omitempty"`
+	Name      string  `json:"name"`
+	OldNs     float64 `json:"old_ns_per_op,omitempty"`
+	NewNs     float64 `json:"new_ns_per_op,omitempty"`
+	Pct       float64 `json:"pct,omitempty"`
+	OldBytes  int64   `json:"old_bytes_per_op,omitempty"`
+	NewBytes  int64   `json:"new_bytes_per_op,omitempty"`
+	BytesPct  float64 `json:"bytes_pct,omitempty"`
+	OldAllocs int64   `json:"old_allocs_per_op,omitempty"`
+	NewAllocs int64   `json:"new_allocs_per_op,omitempty"`
+	AllocsPct float64 `json:"allocs_pct,omitempty"`
+	OnlyOld   bool    `json:"only_old,omitempty"`
+	OnlyNew   bool    `json:"only_new,omitempty"`
 }
 
 // Regressed reports whether the delta exceeds the slowdown threshold (in
@@ -44,9 +52,20 @@ func compareReports(baseline, current *Report, thresholdPct float64) (deltas, re
 			deltas = append(deltas, Delta{Name: r.Name, NewNs: r.NsPerOp, OnlyNew: true})
 			continue
 		}
-		d := Delta{Name: r.Name, OldNs: o.NsPerOp, NewNs: r.NsPerOp}
+		d := Delta{
+			Name: r.Name,
+			OldNs: o.NsPerOp, NewNs: r.NsPerOp,
+			OldBytes: o.BytesPerOp, NewBytes: r.BytesPerOp,
+			OldAllocs: o.AllocsPerOp, NewAllocs: r.AllocsPerOp,
+		}
 		if o.NsPerOp > 0 {
 			d.Pct = (r.NsPerOp - o.NsPerOp) / o.NsPerOp * 100
+		}
+		if o.BytesPerOp > 0 {
+			d.BytesPct = float64(r.BytesPerOp-o.BytesPerOp) / float64(o.BytesPerOp) * 100
+		}
+		if o.AllocsPerOp > 0 {
+			d.AllocsPct = float64(r.AllocsPerOp-o.AllocsPerOp) / float64(o.AllocsPerOp) * 100
 		}
 		deltas = append(deltas, d)
 	}
@@ -83,6 +102,9 @@ func loadReport(path string) (*Report, error) {
 }
 
 // printDeltas writes the per-benchmark comparison, worst regression first.
+// Rows carry the allocation deltas (when either report recorded them)
+// after the timing delta; only the timing column can carry the regression
+// mark.
 func printDeltas(w io.Writer, deltas []Delta, thresholdPct float64) {
 	for _, d := range deltas {
 		switch {
@@ -95,8 +117,18 @@ func printDeltas(w io.Writer, deltas []Delta, thresholdPct float64) {
 			if d.Regressed(thresholdPct) {
 				mark = "!"
 			}
-			fmt.Fprintf(w, "%s %+7.1f%%  %-60s %12.1f -> %12.1f ns/op\n",
-				mark, d.Pct, d.Name, d.OldNs, d.NewNs)
+			fmt.Fprintf(w, "%s %+7.1f%%  %-60s %12.1f -> %12.1f ns/op%s\n",
+				mark, d.Pct, d.Name, d.OldNs, d.NewNs, allocDelta(d))
 		}
 	}
+}
+
+// allocDelta formats the B/op and allocs/op portions of a comparison row,
+// or "" when neither report recorded allocation metrics.
+func allocDelta(d Delta) string {
+	if d.OldBytes == 0 && d.NewBytes == 0 && d.OldAllocs == 0 && d.NewAllocs == 0 {
+		return ""
+	}
+	return fmt.Sprintf("  %+7.1f%% %d -> %d B/op  %+7.1f%% %d -> %d allocs/op",
+		d.BytesPct, d.OldBytes, d.NewBytes, d.AllocsPct, d.OldAllocs, d.NewAllocs)
 }

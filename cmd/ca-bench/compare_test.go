@@ -81,3 +81,49 @@ func TestPrintDeltasMarksRegressions(t *testing.T) {
 		t.Fatalf("regression line not marked:\n%s", b.String())
 	}
 }
+
+func TestCompareReportsDiffsAllocationMetrics(t *testing.T) {
+	baseline := report(
+		Result{Name: "BenchmarkMem", NsPerOp: 100, BytesPerOp: 4096, AllocsPerOp: 10},
+	)
+	current := report(
+		Result{Name: "BenchmarkMem", NsPerOp: 105, BytesPerOp: 1024, AllocsPerOp: 40},
+	)
+	deltas, regressions := compareReports(baseline, current, 15)
+	if len(deltas) != 1 {
+		t.Fatalf("got %d deltas, want 1", len(deltas))
+	}
+	d := deltas[0]
+	if d.OldBytes != 4096 || d.NewBytes != 1024 || d.OldAllocs != 10 || d.NewAllocs != 40 {
+		t.Fatalf("allocation metrics not carried: %+v", d)
+	}
+	if d.BytesPct > -74.9 || d.BytesPct < -75.1 {
+		t.Errorf("BytesPct = %.2f, want -75", d.BytesPct)
+	}
+	if d.AllocsPct < 299.9 || d.AllocsPct > 300.1 {
+		t.Errorf("AllocsPct = %.2f, want +300", d.AllocsPct)
+	}
+	// A 4x allocs/op regression alone must NOT trip the ns/op threshold.
+	if len(regressions) != 0 {
+		t.Fatalf("allocation-only change flagged as regression: %+v", regressions)
+	}
+	var b strings.Builder
+	printDeltas(&b, deltas, 15)
+	out := b.String()
+	for _, want := range []string{"4096 -> 1024 B/op", "10 -> 40 allocs/op", "-75.0%", "+300.0%"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("printed comparison missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestPrintDeltasOmitsAllocsWhenAbsent(t *testing.T) {
+	baseline := report(Result{Name: "BenchmarkPlain", NsPerOp: 100})
+	current := report(Result{Name: "BenchmarkPlain", NsPerOp: 110})
+	deltas, _ := compareReports(baseline, current, 15)
+	var b strings.Builder
+	printDeltas(&b, deltas, 15)
+	if strings.Contains(b.String(), "B/op") || strings.Contains(b.String(), "allocs/op") {
+		t.Fatalf("allocation columns printed for a timing-only report:\n%s", b.String())
+	}
+}

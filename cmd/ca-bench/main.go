@@ -51,7 +51,9 @@ func main() {
 		cli.Writable("-out", *out),
 	))
 	stopProf := prof.MustStart("ca-bench")
+	stopSig := prof.FlushOnInterrupt("ca-bench")
 	err := run(*bench, *out, *dir, *input, *compare, *benchtime, *parse, *timeout, *threshold)
+	stopSig()
 	stopProf() // explicit: the os.Exit paths below skip defers
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ca-bench:", err)

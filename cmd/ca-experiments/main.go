@@ -84,7 +84,8 @@ func main() {
 	))
 	stopProf := prof.MustStart("ca-experiments")
 	buildWorkers = *workers
-	ctx, stop := cli.SignalContext(context.Background())
+	// Second SIGINT/SIGTERM force-exits but still flushes the profiles.
+	ctx, stop := cli.ForcedSignalContext(context.Background(), stopProf)
 	defer stop()
 	err := run(ctx, os.Stdout, *only, *md, *checkpoint, *resume, *faults)
 	stopProf() // explicit: the os.Exit paths below skip defers

@@ -52,6 +52,7 @@ func main() {
 		resume     = flag.Bool("resume", false, "resume an interrupted build from its checkpoint")
 		faults     = flag.String("faults", "", "deterministic fault plan to inject into build shards, e.g. panic:3 (debug)")
 		memoize    = flag.Bool("memoize", false, "reuse in-process memoized successor tables across builds")
+		quotient   = flag.Bool("quotient", false, "enumerate dihedral symmetry classes (necklace representatives) instead of raw configurations; census tables are lifted to identical full-space counts by orbit weighting")
 	)
 	prof := cli.NewProfile()
 	flag.Parse()
@@ -62,9 +63,10 @@ func main() {
 		cli.Writable("-checkpoint", *checkpoint),
 	))
 	stopProf := prof.MustStart("ca-phase")
-	ctx, stop := cli.SignalContext(context.Background())
+	// Second SIGINT/SIGTERM force-exits but still flushes the profiles.
+	ctx, stop := cli.ForcedSignalContext(context.Background(), stopProf)
 	defer stop()
-	err := run(ctx, *n, *r, *ruleSpec, *spSpec, *dot, *verbose, *noMemory, *workers, *checkpoint, *resume, *faults, *memoize)
+	err := run(ctx, *n, *r, *ruleSpec, *spSpec, *dot, *verbose, *noMemory, *workers, *checkpoint, *resume, *faults, *memoize, *quotient)
 	stopProf() // explicit: the os.Exit paths below skip defers
 	switch {
 	case cli.Interrupted(err):
@@ -76,7 +78,7 @@ func main() {
 	}
 }
 
-func run(ctx context.Context, n, r int, ruleSpec, spSpec, dot string, verbose, noMemory bool, workers int, checkpoint string, resume bool, faults string, memoize bool) error {
+func run(ctx context.Context, n, r int, ruleSpec, spSpec, dot string, verbose, noMemory bool, workers int, checkpoint string, resume bool, faults string, memoize, quotient bool) error {
 	sp, err := parseSpace(spSpec, n, r)
 	if err != nil {
 		return err
@@ -110,6 +112,13 @@ func run(ctx context.Context, n, r int, ruleSpec, spSpec, dot string, verbose, n
 	seqOpts := opts
 	if checkpoint != "" {
 		seqOpts.Checkpoint = checkpoint + ".seq"
+	}
+
+	if quotient {
+		if dot != "" {
+			return fmt.Errorf("-dot export draws raw configurations and is not supported with -quotient")
+		}
+		return runQuotient(ctx, a, name, opts, seqOpts, verbose)
 	}
 
 	switch dot {
@@ -184,6 +193,61 @@ func run(ctx context.Context, n, r int, ruleSpec, spSpec, dot string, verbose, n
 				parts[i] = config.FromIndex(x, sp.N()).String()
 			}
 			fmt.Printf("witness cycle: %s\n", strings.Join(parts, " -> "))
+		}
+	}
+	return nil
+}
+
+// runQuotient is the -quotient analysis path: phase spaces built on
+// dihedral symmetry classes, with censuses lifted to full-space counts by
+// orbit weighting. The tables are row-for-row identical to the raw path's
+// (that is the point — and a cheap differential check), with -v adding the
+// class counts that show how much smaller the enumeration was.
+func runQuotient(ctx context.Context, a *automaton.Automaton, name string, opts, seqOpts phasespace.BuildOptions, verbose bool) error {
+	q, err := phasespace.BuildQuotientParallelOpts(ctx, a, opts)
+	if err != nil {
+		return err
+	}
+	if err := q.ClassifyCtx(ctx); err != nil {
+		return err
+	}
+	c := q.TakeCensus()
+	fmt.Printf("# %s\n\n== parallel phase space ==\n", name)
+	tab := render.NewTable("quantity", "value")
+	tab.AddRow("configurations", c.Configs)
+	tab.AddRow("fixed points", c.FixedPoints)
+	tab.AddRow("proper cycles", c.ProperCycles)
+	tab.AddRow("cycle states", c.CycleStates)
+	tab.AddRow("max period", c.MaxPeriod)
+	tab.AddRow("transients", c.Transients)
+	tab.AddRow("max transient length", c.MaxTransientLen)
+	tab.AddRow("garden-of-eden states", c.GardenOfEden)
+	tab.AddRow("cycles with incoming transients", c.CyclesWithIncomingTransients)
+	if err := tab.Write(os.Stdout); err != nil {
+		return err
+	}
+	if verbose {
+		fmt.Printf("symmetry classes: %d (of %d configurations)\n", q.QuotientSize(), c.Configs)
+	}
+
+	if a.N() <= phasespace.MaxQuotientSequentialNodes {
+		qs, err := phasespace.BuildQuotientSequentialOpts(ctx, a, seqOpts)
+		if err != nil {
+			return err
+		}
+		sc := qs.TakeCensus()
+		fmt.Printf("\n== sequential phase space ==\n")
+		stab := render.NewTable("quantity", "value")
+		stab.AddRow("acyclic (no update sequence can cycle)", sc.Acyclic)
+		stab.AddRow("fixed points", sc.FixedPoints)
+		stab.AddRow("pseudo-fixed points", sc.PseudoFixed)
+		stab.AddRow("unreachable states", sc.Unreachable)
+		stab.AddRow("temporal 2-cycles", sc.TwoCycles)
+		if err := stab.Write(os.Stdout); err != nil {
+			return err
+		}
+		if verbose {
+			fmt.Printf("symmetry classes: %d (of %d configurations)\n", qs.QuotientSize(), sc.Configs)
 		}
 	}
 	return nil

@@ -2,6 +2,8 @@ package main
 
 import (
 	"context"
+	"io"
+	"os"
 	"testing"
 )
 
@@ -59,19 +61,19 @@ func TestRunSmoke(t *testing.T) {
 	// Full analysis path on a tiny automaton (stdout noise is acceptable in
 	// tests; correctness of the numbers is covered by the phasespace suite).
 	ctx := context.Background()
-	if err := run(ctx, 4, 1, "majority", "ring", "", false, false, 0, "", false, "", false); err != nil {
+	if err := run(ctx, 4, 1, "majority", "ring", "", false, false, 0, "", false, "", false, false); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(ctx, 4, 1, "xor", "ring", "", true, true, 2, "", false, "", false); err != nil {
+	if err := run(ctx, 4, 1, "xor", "ring", "", true, true, 2, "", false, "", false, false); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(ctx, 2, 1, "xor", "complete", "sequential", false, false, 1, "", false, "", false); err != nil {
+	if err := run(ctx, 2, 1, "xor", "complete", "sequential", false, false, 1, "", false, "", false, false); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(ctx, 4, 1, "majority", "ring", "bogus", false, false, 0, "", false, "", false); err == nil {
+	if err := run(ctx, 4, 1, "majority", "ring", "bogus", false, false, 0, "", false, "", false, false); err == nil {
 		t.Fatal("bogus dot mode accepted")
 	}
-	if err := run(ctx, 4, 1, "majority", "ring", "", false, false, 0, "", false, "explode:1", false); err == nil {
+	if err := run(ctx, 4, 1, "majority", "ring", "", false, false, 0, "", false, "explode:1", false, false); err == nil {
 		t.Fatal("bad fault spec accepted")
 	}
 }
@@ -81,10 +83,63 @@ func TestRunSmoke(t *testing.T) {
 func TestRunSmokeCheckpointed(t *testing.T) {
 	ckpt := t.TempDir() + "/phase.ckpt.gz"
 	ctx := context.Background()
-	if err := run(ctx, 12, 1, "majority", "ring", "", false, false, 2, ckpt, false, "", false); err != nil {
+	if err := run(ctx, 12, 1, "majority", "ring", "", false, false, 2, ckpt, false, "", false, false); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(ctx, 12, 1, "majority", "ring", "", false, false, 2, ckpt, true, "", false); err != nil {
+	if err := run(ctx, 12, 1, "majority", "ring", "", false, false, 2, ckpt, true, "", false, false); err != nil {
 		t.Fatalf("resume over a complete checkpoint failed: %v", err)
+	}
+}
+
+// captureRun runs the analysis with stdout redirected and returns the
+// printed report.
+func captureRun(t *testing.T, quotient bool, n int, rule string, workers int) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	runErr := run(context.Background(), n, 1, rule, "ring", "", false, false, workers, "", false, "", false, quotient)
+	w.Close()
+	os.Stdout = old
+	out, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if runErr != nil {
+		t.Fatalf("run(quotient=%v, n=%d, %s): %v", quotient, n, rule, runErr)
+	}
+	return string(out)
+}
+
+// TestQuotientOutputMatchesRaw: the -quotient report must be byte-identical
+// to the raw report (both census tables) — the CLI-level form of the
+// orbit-weighting differential.
+func TestQuotientOutputMatchesRaw(t *testing.T) {
+	for _, rule := range []string{"majority", "threshold:1", "eca:232"} {
+		for _, workers := range []int{1, 4} {
+			raw := captureRun(t, false, 12, rule, workers)
+			quot := captureRun(t, true, 12, rule, workers)
+			if raw != quot {
+				t.Errorf("rule %s workers=%d: -quotient output differs from raw:\n--- raw ---\n%s--- quotient ---\n%s", rule, workers, raw, quot)
+			}
+		}
+	}
+}
+
+// TestQuotientRunRejections: -quotient with an unsupported automaton or
+// DOT export must error, not panic.
+func TestQuotientRunRejections(t *testing.T) {
+	ctx := context.Background()
+	if err := run(ctx, 10, 1, "xor", "ring", "", false, false, 1, "", false, "", false, true); err == nil {
+		t.Fatal("-quotient accepted a non-threshold rule")
+	}
+	if err := run(ctx, 10, 1, "majority", "line", "", false, false, 1, "", false, "", false, true); err == nil {
+		t.Fatal("-quotient accepted a non-circulant space")
+	}
+	if err := run(ctx, 10, 1, "majority", "ring", "parallel", false, false, 1, "", false, "", false, true); err == nil {
+		t.Fatal("-quotient accepted -dot export")
 	}
 }

@@ -49,8 +49,10 @@ func main() {
 		cli.Probability("-density", *density),
 	))
 	stopProf := prof.MustStart("ca-run")
+	stopSig := prof.FlushOnInterrupt("ca-run")
 
 	err := run(*n, *r, *ruleSpec, *mode, *order, *start, *density, *steps, *seed, *line)
+	stopSig()
 	stopProf() // explicit: os.Exit below skips defers
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ca-run:", err)

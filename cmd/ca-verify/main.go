@@ -76,7 +76,8 @@ func main() {
 	}
 	stopProf := prof.MustStart("ca-verify")
 
-	ctx, stop := cli.SignalContext(context.Background())
+	// Second SIGINT/SIGTERM force-exits but still flushes the profiles.
+	ctx, stop := cli.ForcedSignalContext(context.Background(), stopProf)
 	defer stop()
 	ok, err := run(ctx, os.Stdout, p)
 	stopProf() // explicit: the os.Exit paths below skip defers

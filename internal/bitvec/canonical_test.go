@@ -1,0 +1,229 @@
+package bitvec
+
+import "testing"
+
+// naiveMinRotation scans all n rotations by re-extracting bits one at a
+// time — deliberately structure-free, the reference the kernels are
+// pinned against.
+func naiveMinRotation(x uint64, n int) uint64 {
+	best := ^uint64(0)
+	for k := 0; k < n; k++ {
+		var r uint64
+		for b := 0; b < n; b++ {
+			r |= (x >> uint((b+k)%n) & 1) << uint(b)
+		}
+		best = min(best, r)
+	}
+	return best
+}
+
+func naiveReverse(x uint64, n int) uint64 {
+	var r uint64
+	for b := 0; b < n; b++ {
+		r |= (x >> uint(n-1-b) & 1) << uint(b)
+	}
+	return r
+}
+
+// naiveCanonicalDihedral takes the minimum over all 2n dihedral images
+// explicitly.
+func naiveCanonicalDihedral(x uint64, n int) uint64 {
+	return min(naiveMinRotation(x, n), naiveMinRotation(naiveReverse(x, n), n))
+}
+
+func naiveOrbitSize(x uint64, n int) int {
+	seen := make(map[uint64]bool)
+	for k := 0; k < n; k++ {
+		seen[RotateWord(x, k, n)] = true
+		seen[RotateWord(naiveReverse(x, n), k, n)] = true
+	}
+	return len(seen)
+}
+
+func TestRotateWordExhaustive(t *testing.T) {
+	for n := 1; n <= 12; n++ {
+		for x := uint64(0); x < 1<<uint(n); x++ {
+			for k := -n; k <= 2*n; k++ {
+				got := RotateWord(x, k, n)
+				var want uint64
+				for b := 0; b < n; b++ {
+					want |= (x >> uint(((b+k)%n+n)%n) & 1) << uint(b)
+				}
+				if got != want {
+					t.Fatalf("RotateWord(%#x, %d, %d) = %#x, want %#x", x, k, n, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestReverseWordExhaustive(t *testing.T) {
+	for n := 1; n <= 14; n++ {
+		for x := uint64(0); x < 1<<uint(n); x++ {
+			if got, want := ReverseWord(x, n), naiveReverse(x, n); got != want {
+				t.Fatalf("ReverseWord(%#x, %d) = %#x, want %#x", x, n, got, want)
+			}
+		}
+	}
+}
+
+// TestMinRotationKernelsAgree pins the rolling kernel, Booth's algorithm,
+// and the naive scan to each other on every word of every small n.
+func TestMinRotationKernelsAgree(t *testing.T) {
+	for n := 1; n <= 14; n++ {
+		for x := uint64(0); x < 1<<uint(n); x++ {
+			want := naiveMinRotation(x, n)
+			if got := MinRotation(x, n); got != want {
+				t.Fatalf("MinRotation(%#x, %d) = %#x, want %#x", x, n, got, want)
+			}
+			canon, shift := BoothMinRotation(x, n)
+			if canon != want {
+				t.Fatalf("BoothMinRotation(%#x, %d) canon = %#x, want %#x", x, n, canon, want)
+			}
+			if RotateWord(x, shift, n) != want {
+				t.Fatalf("BoothMinRotation(%#x, %d) shift %d does not rotate to the minimum", x, n, shift)
+			}
+			if shift < 0 || shift >= n {
+				t.Fatalf("BoothMinRotation(%#x, %d) shift %d out of range", x, n, shift)
+			}
+		}
+	}
+}
+
+// TestBoothShiftMinimal checks Booth returns the smallest minimizing shift.
+func TestBoothShiftMinimal(t *testing.T) {
+	for n := 1; n <= 12; n++ {
+		for x := uint64(0); x < 1<<uint(n); x++ {
+			canon, shift := BoothMinRotation(x, n)
+			for k := 0; k < shift; k++ {
+				if RotateWord(x, k, n) == canon {
+					t.Fatalf("BoothMinRotation(%#x, %d) shift %d not minimal: %d also works", x, n, shift, k)
+				}
+			}
+		}
+	}
+}
+
+func TestCanonicalDihedralExhaustive(t *testing.T) {
+	for n := 1; n <= 14; n++ {
+		for x := uint64(0); x < 1<<uint(n); x++ {
+			want := naiveCanonicalDihedral(x, n)
+			got := CanonicalDihedral(x, n)
+			if got != want {
+				t.Fatalf("CanonicalDihedral(%#x, %d) = %#x, want %#x", x, n, got, want)
+			}
+			// Canonical forms are idempotent and invariant over the orbit.
+			if CanonicalDihedral(got, n) != got {
+				t.Fatalf("CanonicalDihedral(%#x, %d) = %#x is not itself canonical", x, n, got)
+			}
+			if CanonicalDihedral(RotateWord(x, 3, n), n) != got || CanonicalDihedral(ReverseWord(x, n), n) != got {
+				t.Fatalf("CanonicalDihedral(%#x, %d) not constant on the dihedral orbit", x, n)
+			}
+		}
+	}
+}
+
+func TestCanonicalDihedralWideWords(t *testing.T) {
+	// Spot checks at n > 32 where exhaustive scans are out of reach: the
+	// orbit-invariance and idempotence properties plus Booth agreement on
+	// a deterministic pseudorandom sample.
+	s := uint64(0x9e3779b97f4a7c15)
+	for n := 33; n <= 64; n++ {
+		mask := lowMask(n)
+		for i := 0; i < 200; i++ {
+			s ^= s << 13
+			s ^= s >> 7
+			s ^= s << 17
+			x := s & mask
+			canon, _ := BoothMinRotation(x, n)
+			if got := MinRotation(x, n); got != canon {
+				t.Fatalf("n=%d x=%#x: MinRotation %#x != Booth %#x", n, x, got, canon)
+			}
+			c := CanonicalDihedral(x, n)
+			if CanonicalDihedral(RotateWord(x, i%n, n), n) != c || CanonicalDihedral(ReverseWord(x, n), n) != c {
+				t.Fatalf("n=%d x=%#x: CanonicalDihedral not orbit-invariant", n, x)
+			}
+		}
+	}
+}
+
+func TestRotationPeriodAndOrbitSize(t *testing.T) {
+	for n := 1; n <= 12; n++ {
+		for x := uint64(0); x < 1<<uint(n); x++ {
+			p := RotationPeriod(x, n)
+			if n%p != 0 {
+				t.Fatalf("RotationPeriod(%#x, %d) = %d does not divide n", x, n, p)
+			}
+			if RotateWord(x, p, n) != x {
+				t.Fatalf("RotationPeriod(%#x, %d) = %d is not a period", x, n, p)
+			}
+			for q := 1; q < p; q++ {
+				if RotateWord(x, q, n) == x {
+					t.Fatalf("RotationPeriod(%#x, %d) = %d not minimal: %d works", x, n, p, q)
+				}
+			}
+			if got, want := DihedralOrbitSize(x, n), naiveOrbitSize(x, n); got != want {
+				t.Fatalf("DihedralOrbitSize(%#x, %d) = %d, want %d", x, n, got, want)
+			}
+		}
+	}
+}
+
+func TestOrbitSizesSumToFullSpace(t *testing.T) {
+	// Burnside sanity: summing DihedralOrbitSize over one representative
+	// per orbit must tile {0,1}^n exactly.
+	for n := 1; n <= 16; n++ {
+		total := 0
+		for x := uint64(0); x < 1<<uint(n); x++ {
+			if CanonicalDihedral(x, n) == x {
+				total += DihedralOrbitSize(x, n)
+			}
+		}
+		if total != 1<<uint(n) {
+			t.Fatalf("n=%d: orbit sizes over representatives sum to %d, want %d", n, total, 1<<uint(n))
+		}
+	}
+}
+
+func TestCanonicalPanicsOutOfRange(t *testing.T) {
+	for _, n := range []int{0, -1, 65} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("MinRotation(1, %d) did not panic", n)
+				}
+			}()
+			MinRotation(1, n)
+		}()
+	}
+}
+
+func BenchmarkMinRotation(b *testing.B) {
+	x := uint64(0x2b992ddfa232) & lowMask(48)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += MinRotation(x, 48)
+	}
+	benchSink64 = sink
+}
+
+func BenchmarkBoothMinRotation(b *testing.B) {
+	x := uint64(0x2b992ddfa232) & lowMask(48)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		c, _ := BoothMinRotation(x, 48)
+		sink += c
+	}
+	benchSink64 = sink
+}
+
+func BenchmarkCanonicalDihedral(b *testing.B) {
+	x := uint64(0x2b992ddfa232) & lowMask(48)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += CanonicalDihedral(x, 48)
+	}
+	benchSink64 = sink
+}
+
+var benchSink64 uint64

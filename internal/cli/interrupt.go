@@ -1,0 +1,112 @@
+package cli
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"os/signal"
+	"sync"
+	"syscall"
+)
+
+// This file hardens the interrupt path so that -cpuprofile/-memprofile/
+// -trace files are flushed and readable after SIGINT/SIGTERM (the exit-130
+// path), not only after a clean return:
+//
+//   - ForcedSignalContext is SignalContext for context-aware commands,
+//     plus a second-signal escape hatch: signal.NotifyContext swallows
+//     every signal after the first while the main is still unwinding, so a
+//     build phase that ignores cancellation used to strand the process —
+//     and its unflushed profiles — until SIGKILL. Here the second signal
+//     runs a cleanup (the profile stopper) and force-exits 130.
+//   - Profile.FlushOnInterrupt covers commands with no context plumbing at
+//     all (ca-bench shelling out to `go test`, ca-run's render loop): the
+//     first signal flushes the profiles and exits 130 directly.
+//
+// Both are built on injectable signal/exit primitives so the interrupt
+// paths are testable in-process.
+
+// notifyInterrupt and exitProcess are the OS touchpoints of the interrupt
+// handlers, injectable for tests.
+var (
+	notifyInterrupt = func(c chan<- os.Signal) { signal.Notify(c, os.Interrupt, syscall.SIGTERM) }
+	exitProcess     = os.Exit
+)
+
+// ForcedSignalContext returns a context cancelled on the first SIGINT or
+// SIGTERM, like SignalContext. On a second signal — the user insisting
+// while a non-cooperative phase holds the main — it runs cleanup and
+// force-exits with InterruptExitCode, so state that must survive an
+// interrupt (profile and trace files) is flushed even then. The returned
+// stop releases the handler; cleanup runs at most once and only on the
+// forced path (the main's own exit sequence handles the cooperative one).
+func ForcedSignalContext(parent context.Context, cleanup func()) (context.Context, context.CancelFunc) {
+	ctx, cancel := context.WithCancel(parent)
+	ch := make(chan os.Signal, 2)
+	notifyInterrupt(ch)
+	done := make(chan struct{})
+	go func() {
+		select {
+		case <-ch:
+			cancel()
+		case <-done:
+			return
+		}
+		select {
+		case <-ch:
+			// A signal buffered before stop ran must not force an exit:
+			// re-check done with priority.
+			select {
+			case <-done:
+				return
+			default:
+			}
+			if cleanup != nil {
+				cleanup()
+			}
+			exitProcess(InterruptExitCode)
+		case <-done:
+		}
+	}()
+	var once sync.Once
+	stop := func() {
+		once.Do(func() {
+			signal.Stop(ch)
+			close(done)
+		})
+		cancel()
+	}
+	return ctx, stop
+}
+
+// FlushOnInterrupt installs a SIGINT/SIGTERM handler that flushes the
+// profiles and exits with InterruptExitCode — for commands whose run path
+// has no context to cancel. The returned stop uninstalls the handler.
+func (p *Profile) FlushOnInterrupt(prog string) (stop func()) {
+	ch := make(chan os.Signal, 1)
+	notifyInterrupt(ch)
+	done := make(chan struct{})
+	go func() {
+		select {
+		case <-ch:
+			// A signal buffered before stop ran must not force an exit:
+			// re-check done with priority.
+			select {
+			case <-done:
+				return
+			default:
+			}
+			fmt.Fprintf(os.Stderr, "%s: interrupted\n", prog)
+			p.stop()
+			exitProcess(InterruptExitCode)
+		case <-done:
+		}
+	}()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			signal.Stop(ch)
+			close(done)
+		})
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"runtime/trace"
+	"sync"
 )
 
 // Profile bundles the standard performance-instrumentation flags every
@@ -29,6 +30,7 @@ type Profile struct {
 	CPU, Mem, Trace string
 
 	cpuFile, traceFile *os.File
+	mu                 sync.Mutex
 	stopped            bool
 }
 
@@ -87,8 +89,12 @@ func (p *Profile) MustStart(prog string) (stop func()) {
 }
 
 // stop finishes every active profile, reporting write failures to stderr
-// rather than masking the command's own exit status.
+// rather than masking the command's own exit status. The mutex matters on
+// the interrupt path: the signal-handler goroutine (FlushOnInterrupt,
+// ForcedSignalContext's cleanup) can race the main's own stopProf call.
 func (p *Profile) stop() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	if p.stopped {
 		return
 	}

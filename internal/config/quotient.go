@@ -1,0 +1,127 @@
+package config
+
+import (
+	"fmt"
+
+	"repro/internal/bitvec"
+)
+
+// This file enumerates the dihedral symmetry quotient of {0,1}^n: one
+// canonical representative per bracelet (rotation + reflection) class,
+// streamed in increasing numeric order without ever materializing a 2^n
+// table. The quotient has ~2^n/(2n) classes, which is what lets the
+// phase-space engine push past the raw-enumeration cap MaxEnumNodes for
+// rules equivariant under the dihedral group (every symmetric threshold
+// rule on a ring).
+//
+// The generator is the classic FKM (Fredricksen–Kessler–Maiorana)
+// necklace algorithm: a CAT (constant amortized time) recursion over
+// prenecklaces that visits exactly the lexicographically smallest rotation
+// of every rotation class, in increasing order. Configurations map to
+// words MSB-first (string position t ↔ bit n-t), so lex order on strings
+// is numeric order on words and each emitted necklace equals
+// bitvec.MinRotation of itself by construction. Bracelet representatives
+// are the necklaces that are also minimal against reflection:
+// MinRotation(ReverseWord(x)) ≥ x. The recursion also hands back each
+// necklace's rotation period p for free (the FKM visit condition is
+// n mod p == 0), from which the full dihedral orbit size — the Burnside
+// weight the quotient phase space multiplies every per-representative
+// count by — is p for achiral classes and 2p otherwise.
+
+// MaxQuotientNodes is the single source of truth for how many nodes a
+// symmetry-quotient phase-space enumeration may have. The quotient on n
+// nodes has ~2^n/(2n) classes, so n=32 stays within the uint32 ordinal
+// space the phase-space builders use (2^32/64 ≈ 67M representatives) at
+// roughly the memory footprint of a raw build at n=26.
+const MaxQuotientNodes = 32
+
+// QuotientSize returns the number of dihedral (bracelet) classes of
+// {0,1}^n — the node count of a quotient phase space on n cells.
+func QuotientSize(n int) uint64 {
+	var count uint64
+	SpaceQuotient(n, func(rep uint64, orbit int) {
+		count++
+	})
+	return count
+}
+
+// SpaceQuotient enumerates one representative per dihedral (bracelet)
+// class of {0,1}^n in strictly increasing numeric order, invoking visit
+// with the representative word and the size of its full-space orbit
+// (between 1 and 2n; orbit sizes over all classes sum to 2^n). The
+// representative is the numerically smallest element of its class, i.e.
+// rep == bitvec.CanonicalDihedral(rep, n). Memory use is O(n); n above
+// MaxQuotientNodes panics.
+func SpaceQuotient(n int, visit func(rep uint64, orbit int)) {
+	if n <= 0 {
+		panic(fmt.Sprintf("config: quotient enumeration needs n ≥ 1, got %d", n))
+	}
+	if n > MaxQuotientNodes {
+		panic(fmt.Sprintf("config: refusing to enumerate the 2^%d symmetry quotient (cap %d)", n, MaxQuotientNodes))
+	}
+	if n == 1 {
+		visit(0, 1)
+		visit(1, 1)
+		return
+	}
+	// a[1..n] is the prenecklace being built, MSB-first: a[t] is bit n-t of
+	// the word, maintained incrementally in x.
+	a := make([]uint8, n+1)
+	var x uint64
+	var rec func(t, p int)
+	rec = func(t, p int) {
+		if t > n {
+			if n%p == 0 {
+				// x is the lex-min rotation of its class, with rotation
+				// period p. Keep it iff it is also reflection-minimal.
+				rev := bitvec.MinRotation(bitvec.ReverseWord(x, n), n)
+				if rev >= x {
+					orbit := p
+					if rev != x {
+						orbit = 2 * p
+					}
+					visit(x, orbit)
+				}
+			}
+			return
+		}
+		// Extend with the period-preserving copy a[t] = a[t-p] first (keeps
+		// emission order increasing), then with the larger symbol.
+		c := a[t-p]
+		a[t] = c
+		if c == 1 {
+			x |= 1 << uint(n-t)
+		}
+		rec(t+1, p)
+		if c == 1 {
+			x &^= 1 << uint(n-t)
+		}
+		if c == 0 {
+			a[t] = 1
+			x |= 1 << uint(n-t)
+			rec(t+1, t)
+			x &^= 1 << uint(n-t)
+		}
+	}
+	rec(1, 1)
+}
+
+// QuotientRank returns, for a sorted slice of representatives as produced
+// by SpaceQuotient, the ordinal of rep — the quotient analogue of
+// Config.Index. It panics if rep is not a representative in the slice:
+// callers canonicalize first.
+func QuotientRank(reps []uint64, rep uint64) uint32 {
+	lo, hi := 0, len(reps)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if reps[mid] < rep {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo == len(reps) || reps[lo] != rep {
+		panic(fmt.Sprintf("config: %#x is not a quotient representative", rep))
+	}
+	return uint32(lo)
+}

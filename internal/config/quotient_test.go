@@ -1,0 +1,103 @@
+package config
+
+import (
+	"testing"
+
+	"repro/internal/bitvec"
+)
+
+// bruteQuotient builds the bracelet classes of {0,1}^n by canonicalizing
+// every configuration — the 2^n-table construction SpaceQuotient avoids.
+func bruteQuotient(n int) map[uint64]int {
+	classes := make(map[uint64]int)
+	for x := uint64(0); x < 1<<uint(n); x++ {
+		classes[bitvec.CanonicalDihedral(x, n)]++
+	}
+	return classes
+}
+
+func TestSpaceQuotientMatchesBruteForce(t *testing.T) {
+	for n := 1; n <= 16; n++ {
+		want := bruteQuotient(n)
+		got := make(map[uint64]int)
+		prev := uint64(0)
+		first := true
+		SpaceQuotient(n, func(rep uint64, orbit int) {
+			if !first && rep <= prev {
+				t.Fatalf("n=%d: representatives not strictly increasing: %#x after %#x", n, rep, prev)
+			}
+			first, prev = false, rep
+			if rep != bitvec.CanonicalDihedral(rep, n) {
+				t.Fatalf("n=%d: emitted %#x is not canonical", n, rep)
+			}
+			if orbit != bitvec.DihedralOrbitSize(rep, n) {
+				t.Fatalf("n=%d rep=%#x: orbit %d, want %d", n, rep, orbit, bitvec.DihedralOrbitSize(rep, n))
+			}
+			got[rep] = orbit
+		})
+		if len(got) != len(want) {
+			t.Fatalf("n=%d: %d classes, want %d", n, len(got), len(want))
+		}
+		total := 0
+		for rep, orbit := range got {
+			if want[rep] != orbit {
+				t.Fatalf("n=%d rep=%#x: orbit %d, brute force says %d", n, rep, orbit, want[rep])
+			}
+			total += orbit
+		}
+		if total != 1<<uint(n) {
+			t.Fatalf("n=%d: orbits sum to %d, want 2^%d", n, total, n)
+		}
+	}
+}
+
+func TestQuotientSizeKnownValues(t *testing.T) {
+	// Binary bracelet counts, OEIS A000029.
+	want := []uint64{0, 2, 3, 4, 6, 8, 13, 18, 30, 46, 78, 126, 224, 380, 687, 1224, 2250}
+	for n := 1; n < len(want); n++ {
+		if got := QuotientSize(n); got != want[n] {
+			t.Fatalf("QuotientSize(%d) = %d, want %d", n, got, want[n])
+		}
+	}
+}
+
+func TestQuotientRank(t *testing.T) {
+	n := 10
+	var reps []uint64
+	SpaceQuotient(n, func(rep uint64, orbit int) { reps = append(reps, rep) })
+	for i, rep := range reps {
+		if got := QuotientRank(reps, rep); got != uint32(i) {
+			t.Fatalf("QuotientRank(%#x) = %d, want %d", rep, got, i)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("QuotientRank on a non-representative did not panic")
+		}
+	}()
+	// 0b10 is not canonical (its class representative is 0b01).
+	QuotientRank(reps, 2)
+}
+
+func TestSpaceQuotientCapPanics(t *testing.T) {
+	for _, n := range []int{0, MaxQuotientNodes + 1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("SpaceQuotient(%d) did not panic", n)
+				}
+			}()
+			SpaceQuotient(n, func(uint64, int) {})
+		}()
+	}
+}
+
+func BenchmarkSpaceQuotient(b *testing.B) {
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		SpaceQuotient(20, func(rep uint64, orbit int) { sink += rep })
+	}
+	quotientBenchSink = sink
+}
+
+var quotientBenchSink uint64

@@ -128,18 +128,35 @@ func (s *batchSpec) kernel() *sim.Batch {
 }
 
 // detectBatch returns the batch-kernel parameters for a, or nil when the
-// batch preconditions do not hold. The preconditions: a is homogeneous; its
-// space is circulant (node i's ordered neighborhood is node 0's shifted by
-// i mod n, which covers rings with and without memory and all
-// space.Circulant graphs); the rule is a k-of-m threshold at the common
-// arity m ≤ 15; and 6 ≤ n ≤ 63 so 64-aligned index batches exist.
+// batch preconditions do not hold. The preconditions: a is a circulant
+// threshold automaton (detectCirculant) with 6 ≤ n ≤ 63 so 64-aligned
+// index batches exist.
 func detectBatch(a *automaton.Automaton) *batchSpec {
+	s := detectCirculant(a, 6, 63)
+	if s == nil {
+		return nil
+	}
+	if _, err := sim.NewBatch(s.n, s.k, s.offsets); err != nil {
+		return nil
+	}
+	return s
+}
+
+// detectCirculant recognizes a as a homogeneous k-of-m threshold rule on a
+// circulant space (node i's ordered neighborhood is node 0's shifted by
+// i mod n, which covers rings with and without memory and all
+// space.Circulant graphs) with minN ≤ n ≤ maxN and m ≤ 15, returning the
+// kernel parameters or nil. It is the shared precondition of the
+// configuration-parallel batch kernel and the symmetry-quotient engine,
+// which differ only in their n bounds and (for the quotient) a reflection
+// closure requirement on the offsets.
+func detectCirculant(a *automaton.Automaton, minN, maxN int) *batchSpec {
 	if !a.Homogeneous() {
 		return nil
 	}
 	sp := a.Space()
 	n := sp.N()
-	if n < 6 || n > 63 {
+	if n < minN || n > maxN {
 		return nil
 	}
 	base := sp.Neighborhood(0)
@@ -160,9 +177,6 @@ func detectBatch(a *automaton.Automaton) *batchSpec {
 	}
 	k, ok := thresholdOf(a.Rule(), m)
 	if !ok {
-		return nil
-	}
-	if _, err := sim.NewBatch(n, k, base); err != nil {
 		return nil
 	}
 	return &batchSpec{n: n, k: k, offsets: base}
@@ -355,7 +369,7 @@ func BuildSequentialScalar(a *automaton.Automaton) *Sequential {
 		panic(errSequentialCap(n))
 	}
 	total := uint64(1) << uint(n)
-	ps := &Sequential{n: n, succ: make([]uint32, total*uint64(n))}
+	ps := &Sequential{n: n, states: total, succ: make([]uint32, total*uint64(n))}
 	config.Space(n, func(idx uint64, c config.Config) {
 		base := idx * uint64(n)
 		for i := 0; i < n; i++ {

@@ -249,10 +249,10 @@ func BuildSequentialOpts(ctx context.Context, a *automaton.Automaton, opts Build
 	fp := buildFingerprint("phasespace/sequential", a)
 	if opts.Memoize {
 		if tbl := buildMemo.get(fp); tbl != nil {
-			return &Sequential{n: n, succ: tbl}, nil
+			return &Sequential{n: n, states: total, succ: tbl}, nil
 		}
 	}
-	ps := &Sequential{n: n, succ: make([]uint32, total*uint64(n))}
+	ps := &Sequential{n: n, states: total, succ: make([]uint32, total*uint64(n))}
 	f := newFiller(a)
 	if opts.inlineEligible(workers, total) {
 		if err := ctx.Err(); err != nil {

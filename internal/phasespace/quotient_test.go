@@ -1,0 +1,311 @@
+package phasespace
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/automaton"
+	"repro/internal/bitvec"
+	"repro/internal/config"
+	"repro/internal/rule"
+	"repro/internal/space"
+)
+
+// quotientPanel is the rule panel the quotient engine is differentially
+// pinned against the raw builders on: MAJORITY at several radii and sizes,
+// the threshold sweep, the semantic-MAJORITY ECA, and a symmetric
+// circulant. Every entry is dihedral-equivariant by construction.
+func quotientPanel() map[string]*automaton.Automaton {
+	return map[string]*automaton.Automaton{
+		"maj-ring-n9-r1":  automaton.MustNew(space.Ring(9, 1), rule.Majority(1)),
+		"maj-ring-n12-r1": automaton.MustNew(space.Ring(12, 1), rule.Majority(1)),
+		"maj-ring-n11-r2": automaton.MustNew(space.Ring(11, 2), rule.Majority(2)),
+		"or-ring-n10":     automaton.MustNew(space.Ring(10, 1), rule.Threshold{K: 1}),
+		"and-ring-n10":    automaton.MustNew(space.Ring(10, 1), rule.Threshold{K: 3}),
+		"const1-ring-n8":  automaton.MustNew(space.Ring(8, 1), rule.Threshold{K: 0}),
+		"const0-ring-n8":  automaton.MustNew(space.Ring(8, 1), rule.Threshold{K: 4}),
+		"eca232-ring-n9":  automaton.MustNew(space.Ring(9, 1), rule.Elementary(232)),
+		"circulant-n11":   automaton.MustNew(space.Circulant(11, 1, 3), rule.Threshold{K: 2}),
+	}
+}
+
+// TestQuotientParallelCensusMatchesRaw is the headline differential: the
+// quotient build's orbit-weighted census must equal the raw build's, field
+// for field, across the rule panel and worker counts.
+func TestQuotientParallelCensusMatchesRaw(t *testing.T) {
+	for name, a := range quotientPanel() {
+		want := BuildParallelWorkers(a, 1).TakeCensus()
+		for _, workers := range []int{1, 4} {
+			q, err := BuildQuotientParallelCtx(context.Background(), a, workers)
+			if err != nil {
+				t.Fatalf("%s: quotient build: %v", name, err)
+			}
+			if got := q.TakeCensus(); got != want {
+				t.Errorf("%s workers=%d: quotient census %+v\nwant (raw) %+v", name, workers, got, want)
+			}
+		}
+	}
+}
+
+// TestQuotientParallelCensusMatchesRawHeavy pushes the differential to a
+// size where the sharded raw builder uses its full campaign machinery.
+func TestQuotientParallelCensusMatchesRawHeavy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy differential skipped in -short")
+	}
+	a := automaton.MustNew(space.Ring(18, 1), rule.Majority(1))
+	want := BuildParallelWorkers(a, 4).TakeCensus()
+	q, err := BuildQuotientParallelCtx(context.Background(), a, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := q.TakeCensus(); got != want {
+		t.Errorf("n=18 majority: quotient census %+v\nwant (raw) %+v", got, want)
+	}
+}
+
+// TestQuotientSequentialCensusMatchesRaw pins the quotient sequential
+// census to the raw sequential build on the panel (sizes within the raw
+// sequential cap).
+func TestQuotientSequentialCensusMatchesRaw(t *testing.T) {
+	for name, a := range quotientPanel() {
+		if a.N() > MaxSequentialNodes {
+			continue
+		}
+		want := BuildSequentialWorkers(a, 1).TakeCensus()
+		for _, workers := range []int{1, 4} {
+			q, err := BuildQuotientSequentialCtx(context.Background(), a, workers)
+			if err != nil {
+				t.Fatalf("%s: quotient sequential build: %v", name, err)
+			}
+			if got := q.TakeCensus(); got != want {
+				t.Errorf("%s workers=%d: quotient sequential census %+v\nwant (raw) %+v", name, workers, got, want)
+			}
+		}
+	}
+}
+
+// TestQuotientBuildDeterministic: the quotient successor table must be
+// byte-identical across worker counts and memoization.
+func TestQuotientBuildDeterministic(t *testing.T) {
+	a := automaton.MustNew(space.Ring(14, 1), rule.Majority(1))
+	ref, err := BuildQuotientParallelCtx(context.Background(), a, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4} {
+		q, err := BuildQuotientParallelCtx(context.Background(), a, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for r := range ref.graph.succ {
+			if q.graph.succ[r] != ref.graph.succ[r] {
+				t.Fatalf("workers=%d: succ[%d] = %d, want %d", workers, r, q.graph.succ[r], ref.graph.succ[r])
+			}
+		}
+	}
+}
+
+// TestQuotientBasinWeightsMatchRaw aggregates the raw build's per-cycle
+// basin sizes over the quotient's cycle classes and compares them to
+// BasinWeights.
+func TestQuotientBasinWeightsMatchRaw(t *testing.T) {
+	for _, a := range []*automaton.Automaton{
+		automaton.MustNew(space.Ring(11, 1), rule.Majority(1)),
+		automaton.MustNew(space.Ring(10, 1), rule.Threshold{K: 1}),
+		automaton.MustNew(space.Ring(12, 2), rule.Majority(2)),
+	} {
+		n := a.N()
+		raw := BuildParallelWorkers(a, 1)
+		rawSizes := raw.BasinSizes()
+		rawCycles := raw.Cycles()
+		q, err := BuildQuotientParallelCtx(context.Background(), a, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := q.BasinWeights()
+		// Attribute each raw cycle to its quotient cycle via the basin of
+		// the canonical form of any of its states.
+		quotCycleID := make(map[uint32]int)
+		for id, cyc := range q.Cycles() {
+			for _, r := range cyc {
+				quotCycleID[uint32(r)] = id
+			}
+		}
+		want := make([]uint64, len(got))
+		for i, cyc := range rawCycles {
+			rep := bitvec.CanonicalDihedral(cyc[0], n)
+			id, ok := quotCycleID[config.QuotientRank(q.reps, rep)]
+			if !ok {
+				t.Fatalf("raw cycle %d has no quotient cycle through class %#x", i, rep)
+			}
+			want[id] += rawSizes[i]
+		}
+		for id := range want {
+			if got[id] != want[id] {
+				t.Fatalf("n=%d: quotient basin weight[%d] = %d, raw aggregation gives %d", n, id, got[id], want[id])
+			}
+		}
+	}
+}
+
+// TestQuotientMemoKeysDistinctFromRaw asserts the satellite requirement:
+// a quotient build and a raw build of the same (n, rule, space) use
+// different memo keys, so neither can ever return the other's table.
+func TestQuotientMemoKeysDistinctFromRaw(t *testing.T) {
+	buildMemo.reset()
+	defer buildMemo.reset()
+	a := automaton.MustNew(space.Ring(12, 1), rule.Majority(1))
+	fpRaw := buildFingerprint("phasespace/parallel", a)
+	fpQuot := buildFingerprint("phasespace/quotient-parallel", a)
+	fpSeq := buildFingerprint("phasespace/sequential", a)
+	fpQuotSeq := buildFingerprint("phasespace/quotient-sequential", a)
+	keys := map[string]bool{fpRaw: true, fpQuot: true, fpSeq: true, fpQuotSeq: true}
+	if len(keys) != 4 {
+		t.Fatalf("build fingerprints collide: raw=%s quot=%s seq=%s quotSeq=%s", fpRaw, fpQuot, fpSeq, fpQuotSeq)
+	}
+	opts := BuildOptions{Memoize: true}
+	raw, err := BuildParallelOpts(context.Background(), a, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := BuildQuotientParallelOpts(context.Background(), a, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The quotient build ran after the raw table was memoized; had it hit
+	// the raw entry its graph would be full-sized.
+	if got, want := uint64(len(q.graph.succ)), q.QuotientSize(); got != want {
+		t.Fatalf("quotient build returned a %d-entry table, want %d (raw table leaked through the memo?)", got, want)
+	}
+	if tbl := buildMemo.get(fpQuot); tbl == nil {
+		t.Fatal("quotient build did not memoize under its own key")
+	} else if &tbl[0] == &raw.succ[0] {
+		t.Fatal("quotient memo entry aliases the raw successor table")
+	}
+	// A second memoized quotient build must hit the quotient entry.
+	q2, err := BuildQuotientParallelOpts(context.Background(), a, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &q2.graph.succ[0] != &q.graph.succ[0] {
+		t.Fatal("second memoized quotient build did not reuse the quotient memo entry")
+	}
+	if q2.TakeCensus() != raw.TakeCensus() {
+		t.Fatal("memo-hit quotient census diverges from raw census")
+	}
+}
+
+// TestQuotientCheckpointResume: a quotient campaign checkpointed mid-grid
+// must resume to a byte-identical table under the quotient's own
+// checkpoint kind.
+func TestQuotientCheckpointResume(t *testing.T) {
+	a := automaton.MustNew(space.Ring(16, 1), rule.Majority(1))
+	ref, err := BuildQuotientParallelCtx(context.Background(), a, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ckpt := filepath.Join(t.TempDir(), "quotient.ckpt")
+	opts := BuildOptions{Checkpoint: ckpt, FlushEvery: 1}
+	if _, err := BuildQuotientParallelOpts(context.Background(), a, opts); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(ckpt); err != nil {
+		t.Fatalf("checkpoint not written: %v", err)
+	}
+	opts.Resume = true
+	q, err := BuildQuotientParallelOpts(context.Background(), a, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := range ref.graph.succ {
+		if q.graph.succ[r] != ref.graph.succ[r] {
+			t.Fatalf("resumed succ[%d] = %d, want %d", r, q.graph.succ[r], ref.graph.succ[r])
+		}
+	}
+	// A raw campaign must refuse the quotient checkpoint (kind mismatch).
+	if _, err := BuildParallelOpts(context.Background(), a, BuildOptions{Checkpoint: ckpt, Resume: true}); err == nil {
+		t.Fatal("raw build resumed from a quotient checkpoint")
+	}
+}
+
+// oneSidedShift is a circulant but reflection-asymmetric space: node i
+// sees {i, i+1}. The quotient gate must reject it.
+type oneSidedShift struct{ n int }
+
+func (s oneSidedShift) N() int { return s.n }
+func (s oneSidedShift) Neighborhood(i int) []int {
+	return []int{i, (i + 1) % s.n}
+}
+func (s oneSidedShift) Degree(i int) int { return 2 }
+func (s oneSidedShift) Name() string     { return fmt.Sprintf("one-sided-shift(n=%d)", s.n) }
+
+func TestQuotientGateRejections(t *testing.T) {
+	cases := []struct {
+		name string
+		a    *automaton.Automaton
+	}{
+		{"non-circulant line", automaton.MustNew(space.Line(10, 1), rule.Majority(1))},
+		{"non-threshold xor", automaton.MustNew(space.Ring(10, 1), rule.XOR{})},
+		{"reflection-asymmetric", automaton.MustNew(oneSidedShift{n: 10}, rule.Threshold{K: 1})},
+	}
+	for _, tc := range cases {
+		if _, err := BuildQuotientParallelCtx(context.Background(), tc.a, 1); err == nil {
+			t.Errorf("%s: quotient build succeeded, want gate error", tc.name)
+		}
+		if _, err := BuildQuotientSequentialCtx(context.Background(), tc.a, 1); err == nil {
+			t.Errorf("%s: quotient sequential build succeeded, want gate error", tc.name)
+		}
+	}
+	// Over-cap sizes error (not panic) for both semantics.
+	big := automaton.MustNew(space.Ring(config.MaxQuotientNodes+1, 1), rule.Majority(1))
+	if _, err := BuildQuotientParallelCtx(context.Background(), big, 1); err == nil {
+		t.Error("quotient parallel build above MaxQuotientNodes succeeded")
+	}
+	seqBig := automaton.MustNew(space.Ring(MaxQuotientSequentialNodes+1, 1), rule.Majority(1))
+	if _, err := BuildQuotientSequentialCtx(context.Background(), seqBig, 1); err == nil {
+		t.Error("quotient sequential build above MaxQuotientSequentialNodes succeeded")
+	}
+}
+
+// TestQuotientBeyondRawCap builds a quotient space past the raw
+// enumeration cap and checks its internal Burnside accounting: the census
+// partitions all 2^n configurations.
+func TestQuotientBeyondRawCap(t *testing.T) {
+	n := 28
+	if testing.Short() {
+		n = 22 // still past nothing, but keeps -short fast; the full run uses 28
+	}
+	if n <= config.MaxEnumNodes && !testing.Short() {
+		t.Fatalf("test misconfigured: n=%d does not exceed MaxEnumNodes", n)
+	}
+	a := automaton.MustNew(space.Ring(n, 1), rule.Majority(1))
+	q, err := BuildQuotientParallelCtx(context.Background(), a, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var weight uint64
+	for r := uint64(0); r < q.QuotientSize(); r++ {
+		weight += uint64(q.orbit[r])
+	}
+	if weight != q.Size() {
+		t.Fatalf("n=%d: orbit weights sum to %d, want 2^%d", n, weight, n)
+	}
+	c := q.TakeCensus()
+	if got := uint64(c.FixedPoints) + c.CycleStates + c.Transients; got != c.Configs {
+		t.Fatalf("n=%d: census partitions %d of %d configurations", n, got, c.Configs)
+	}
+	if c.MaxPeriod > 2 {
+		t.Fatalf("n=%d: threshold rule census reports period %d > 2", n, c.MaxPeriod)
+	}
+	var basins uint64
+	for _, w := range q.BasinWeights() {
+		basins += w
+	}
+	if basins != c.Configs {
+		t.Fatalf("n=%d: basin weights sum to %d, want %d", n, basins, c.Configs)
+	}
+}

@@ -15,8 +15,9 @@ const MaxSequentialNodes = 20
 // updating node i in x. It is the union, over all interleaving choices, of
 // all possible sequential computations (paper Fig. 1(b) drawn in full).
 type Sequential struct {
-	n    int
-	succ []uint32 // succ[x*n + i] = x with node i updated
+	n      int
+	states uint64   // state count: 2^n for full spaces, the class count for quotient views
+	succ   []uint32 // succ[x*n + i] = x with node i updated
 }
 
 // BuildSequential enumerates every single-node update over the full
@@ -29,8 +30,12 @@ func BuildSequential(a *automaton.Automaton) *Sequential {
 // N returns the node count.
 func (s *Sequential) N() int { return s.n }
 
-// Size returns the number of configurations, 2^n.
-func (s *Sequential) Size() uint64 { return uint64(1) << uint(s.n) }
+// Size returns the number of states: 2^n for a full phase space, the
+// number of symmetry classes for a quotient view. Every classification
+// method below ranges over [0, Size()) and reads nothing but the successor
+// table, which is what lets the quotient engine reuse them on class
+// ordinals unchanged.
+func (s *Sequential) Size() uint64 { return s.states }
 
 // Successor returns the configuration reached from x by updating node i.
 func (s *Sequential) Successor(x uint64, i int) uint64 {

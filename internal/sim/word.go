@@ -1,0 +1,101 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/bitvec"
+)
+
+// Word is a single-configuration evaluator of a translation-invariant
+// k-of-m threshold rule on an n-cell circulant space, for configurations
+// packed into one n-bit word. It is the quotient phase-space engine's step
+// kernel: the symmetry-reduced builders visit necklace representatives one
+// at a time (no 64-aligned batch exists in a quotient enumeration), so the
+// batch kernel's lane trick does not apply — but the same bit-sliced
+// ripple-carry popcount does, with cell bit-planes replaced by rotations
+// of the configuration word itself: bit j of bitvec.RotateWord(x, d, n)
+// is cell (j+d) mod n of x, i.e. exactly neighbor plane d.
+//
+// One Succ call costs m rotations plus the ripple-carry/comparator chain —
+// all-register, allocation-free — against the scalar automaton path's
+// per-cell neighborhood walks.
+type Word struct {
+	n, k    int
+	mask    uint64
+	offsets []int // neighborhood offsets, normalized to [0, n)
+	maj3    bool  // dedicated MAJORITY-of-3 path
+	d0, d1, d2 int
+}
+
+// NewWord returns a single-word evaluator for the rule "cell j next-state
+// is 1 iff ≥ k of the cells {(j+d) mod n : d ∈ offsets} are 1". Offsets
+// are taken mod n (negative offsets allowed); duplicates are rejected. The
+// bit-sliced counter holds sums ≤ 15, so len(offsets) ≤ 15; n must satisfy
+// 2 ≤ n ≤ 63 so that configurations and their indices fit one word.
+func NewWord(n, k int, offsets []int) (*Word, error) {
+	if n < 2 || n > 63 {
+		return nil, fmt.Errorf("sim: word kernel needs 2 ≤ n ≤ 63, got %d", n)
+	}
+	m := len(offsets)
+	if m == 0 || m > 15 {
+		return nil, fmt.Errorf("sim: word kernel supports 1–15 neighborhood offsets, got %d", m)
+	}
+	norm := make([]int, m)
+	seen := make(map[int]bool, m)
+	for i, d := range offsets {
+		d = ((d % n) + n) % n
+		if seen[d] {
+			return nil, fmt.Errorf("sim: duplicate word offset %d (mod %d)", offsets[i], n)
+		}
+		seen[d] = true
+		norm[i] = d
+	}
+	w := &Word{
+		n:       n,
+		k:       k,
+		mask:    1<<uint(n) - 1,
+		offsets: norm,
+		maj3:    m == 3 && k == 2,
+	}
+	if w.maj3 {
+		w.d0, w.d1, w.d2 = norm[0], norm[1], norm[2]
+	}
+	return w, nil
+}
+
+// N returns the cell count.
+func (w *Word) N() int { return w.n }
+
+// Succ returns the parallel (synchronous) successor of configuration x:
+// bit j of the result is 1 iff at least k of x's cells {(j+d) mod n} are 1.
+// x must have no bits set at positions ≥ n.
+func (w *Word) Succ(x uint64) uint64 {
+	n := w.n
+	if w.maj3 {
+		p := bitvec.RotateWord(x, w.d0, n)
+		q := bitvec.RotateWord(x, w.d1, n)
+		r := bitvec.RotateWord(x, w.d2, n)
+		return p&q | p&r | q&r
+	}
+	var s0, s1, s2, s3 uint64
+	for _, d := range w.offsets {
+		v := bitvec.RotateWord(x, d, n)
+		c0 := s0 & v
+		s0 ^= v
+		c1 := s1 & c0
+		s1 ^= c0
+		c2 := s2 & c1
+		s2 ^= c1
+		s3 ^= c2
+	}
+	return geConst([4]uint64{s0, s1, s2, s3}, w.k) & w.mask
+}
+
+// UpdateNode returns the asynchronous successor of x under a single update
+// of cell i, given f = Succ(x): all cells keep their x-value except cell i,
+// which takes its synchronous next state. One Succ evaluation therefore
+// yields all n sequential out-edges of x.
+func (w *Word) UpdateNode(x, f uint64, i int) uint64 {
+	bit := uint64(1) << uint(i)
+	return x&^bit | f&bit
+}

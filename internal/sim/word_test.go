@@ -1,0 +1,134 @@
+package sim
+
+import "testing"
+
+// naiveWordSucc evaluates the threshold rule one cell at a time.
+func naiveWordSucc(x uint64, n, k int, offsets []int) uint64 {
+	var next uint64
+	for j := 0; j < n; j++ {
+		count := 0
+		for _, d := range offsets {
+			if x>>uint(((j+d)%n+n)%n)&1 == 1 {
+				count++
+			}
+		}
+		if count >= k {
+			next |= 1 << uint(j)
+		}
+	}
+	return next
+}
+
+func wordCases(t *testing.T) []struct {
+	n, k    int
+	offsets []int
+} {
+	t.Helper()
+	return []struct {
+		n, k    int
+		offsets []int
+	}{
+		{8, 2, []int{-1, 0, 1}},   // MAJORITY, radius 1
+		{11, 2, []int{-1, 0, 1}},  // odd ring
+		{10, 3, []int{-2, -1, 0, 1, 2}}, // MAJORITY, radius 2
+		{9, 1, []int{-1, 1}},      // OR of strict neighbors
+		{12, 4, []int{-2, -1, 0, 1, 2}}, // supermajority
+		{7, 5, []int{-3, -2, -1, 0, 1, 2, 3}}, // whole-ring threshold
+	}
+}
+
+func TestWordSuccMatchesNaive(t *testing.T) {
+	for _, tc := range wordCases(t) {
+		w, err := NewWord(tc.n, tc.k, tc.offsets)
+		if err != nil {
+			t.Fatalf("NewWord(%d, %d, %v): %v", tc.n, tc.k, tc.offsets, err)
+		}
+		for x := uint64(0); x < 1<<uint(tc.n); x++ {
+			if got, want := w.Succ(x), naiveWordSucc(x, tc.n, tc.k, tc.offsets); got != want {
+				t.Fatalf("n=%d k=%d offsets=%v: Succ(%#x) = %#x, want %#x",
+					tc.n, tc.k, tc.offsets, x, got, want)
+			}
+		}
+	}
+}
+
+// TestWordSuccMatchesBatch pins the single-word kernel against the batch
+// kernel — two independent bit-sliced implementations of the same rule.
+func TestWordSuccMatchesBatch(t *testing.T) {
+	for _, tc := range wordCases(t) {
+		w, err := NewWord(tc.n, tc.k, tc.offsets)
+		if err != nil {
+			t.Fatalf("NewWord: %v", err)
+		}
+		bk, err := NewBatch(tc.n, tc.k, tc.offsets)
+		if err != nil {
+			t.Fatalf("NewBatch: %v", err)
+		}
+		var out [64]uint64
+		for base := uint64(0); base < 1<<uint(tc.n); base += BatchLanes {
+			bk.Succ64(base, &out)
+			for l := 0; l < BatchLanes; l++ {
+				x := base + uint64(l)
+				if got := w.Succ(x); got != out[l] {
+					t.Fatalf("n=%d k=%d offsets=%v: Word.Succ(%#x) = %#x, Batch gives %#x",
+						tc.n, tc.k, tc.offsets, x, got, out[l])
+				}
+			}
+		}
+	}
+}
+
+func TestWordUpdateNode(t *testing.T) {
+	w, err := NewWord(9, 2, []int{-1, 0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for x := uint64(0); x < 1<<9; x++ {
+		f := w.Succ(x)
+		for i := 0; i < 9; i++ {
+			got := w.UpdateNode(x, f, i)
+			want := x&^(1<<uint(i)) | f&(1<<uint(i))
+			if got != want {
+				t.Fatalf("UpdateNode(%#x, %d) = %#x, want %#x", x, i, got, want)
+			}
+			// Only bit i may differ from x.
+			if diff := got ^ x; diff&^(1<<uint(i)) != 0 {
+				t.Fatalf("UpdateNode(%#x, %d) changed bits other than %d", x, i, i)
+			}
+		}
+	}
+}
+
+func TestNewWordValidation(t *testing.T) {
+	cases := []struct {
+		n, k    int
+		offsets []int
+	}{
+		{1, 1, []int{0}},          // n too small
+		{64, 1, []int{0}},         // n too large
+		{8, 1, nil},               // no offsets
+		{8, 1, make([]int, 16)},   // too many offsets (and duplicates)
+		{8, 2, []int{-1, 7}},      // duplicate mod n
+	}
+	for _, tc := range cases {
+		if _, err := NewWord(tc.n, tc.k, tc.offsets); err == nil {
+			t.Fatalf("NewWord(%d, %d, %v) succeeded, want error", tc.n, tc.k, tc.offsets)
+		}
+	}
+}
+
+func BenchmarkWordSucc(b *testing.B) {
+	w, err := NewWord(22, 2, []int{-1, 0, 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var sink uint64
+	x := uint64(0x2b992d) & (1<<22 - 1)
+	for i := 0; i < b.N; i++ {
+		x = w.Succ(x ^ uint64(i)&1)
+		sink += x
+	}
+	wordBenchSink = sink
+}
+
+var wordBenchSink uint64

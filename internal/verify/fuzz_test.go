@@ -4,6 +4,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"repro/internal/bitvec"
 	"repro/internal/config"
 	"repro/internal/sim"
 )
@@ -95,6 +96,48 @@ func FuzzClassifyConcurrentVsSerial(f *testing.F) {
 		workers := 2 + int(wb)%7
 		if cex := ParallelBuildersAgree(cs, workers); cex != nil {
 			t.Fatalf("parallel builders diverge: %s", cex)
+		}
+	})
+}
+
+// FuzzCanonicalDihedral cross-checks the branchless canonicalization
+// kernels (the basis of the symmetry-quotient phase-space engine) against
+// a literal walk over all 2n dihedral images: the canonical form must be
+// the numeric minimum of the orbit, the rotation kernels must agree with
+// Booth's algorithm, and the reported orbit size must match the number of
+// distinct images (the weight Burnside lifting multiplies by).
+func FuzzCanonicalDihedral(f *testing.F) {
+	f.Add(uint64(0b1011001), uint8(7))
+	f.Add(uint64(0x0F0F0F0F0F0F0F0F), uint8(64))
+	f.Add(uint64(1)<<21|uint64(1), uint8(33))
+	f.Fuzz(func(t *testing.T, x uint64, nb uint8) {
+		n := 1 + int(nb)%64
+		x &= ^uint64(0) >> uint(64-n)
+		// Brute-force dihedral orbit: all n rotations of x and of its
+		// reflection.
+		rev := bitvec.ReverseWord(x, n)
+		min := x
+		images := map[uint64]bool{}
+		for k := 0; k < n; k++ {
+			for _, w := range [2]uint64{bitvec.RotateWord(x, k, n), bitvec.RotateWord(rev, k, n)} {
+				images[w] = true
+				if w < min {
+					min = w
+				}
+			}
+		}
+		if got := bitvec.CanonicalDihedral(x, n); got != min {
+			t.Fatalf("CanonicalDihedral(%#x, %d) = %#x, brute-force orbit minimum %#x", x, n, got, min)
+		}
+		booth, shift := bitvec.BoothMinRotation(x, n)
+		if rolled := bitvec.MinRotation(x, n); rolled != booth {
+			t.Fatalf("MinRotation(%#x, %d) = %#x, Booth gives %#x", x, n, rolled, booth)
+		}
+		if got := bitvec.RotateWord(x, shift, n); got != booth {
+			t.Fatalf("Booth shift %d does not reproduce its canon: rotate gives %#x, want %#x", shift, got, booth)
+		}
+		if got, want := bitvec.DihedralOrbitSize(x, n), len(images); got != want {
+			t.Fatalf("DihedralOrbitSize(%#x, %d) = %d, orbit has %d distinct images", x, n, got, want)
 		}
 	})
 }
