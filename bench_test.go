@@ -1,5 +1,5 @@
 // Benchmark harness: one testing.B benchmark per experiment in DESIGN.md's
-// per-experiment index (E01–E26). Each benchmark regenerates the data
+// per-experiment index (E01–E27). Each benchmark regenerates the data
 // behind the corresponding EXPERIMENTS.md row/series and fails fast if the
 // paper-predicted shape breaks (who cycles, who converges, who wins), so
 // `go test -bench=. -benchmem` doubles as the reproduction run.
@@ -26,6 +26,7 @@ import (
 	"repro/internal/space"
 	"repro/internal/stats"
 	"repro/internal/threshnet"
+	"repro/internal/transfer"
 	"repro/internal/update"
 	"repro/internal/wolfram"
 )
@@ -447,6 +448,35 @@ func BenchmarkE26_DeBruijnCensus(b *testing.B) {
 	}
 }
 
+// E27: the analytic transfer-matrix census — exact MAJ-3 ST counts at
+// n = 10^6 (a 208,988-digit fixed-point count), pinned to enumeration at
+// an overlapping size inside the same timed body.
+func BenchmarkE27_AnalyticCensus(b *testing.B) {
+	eng, err := transfer.New(rule.Majority(1), 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	a := majRing(b, 14, 1)
+	want := phasespace.BuildParallel(a).TakeCensus()
+	for i := 0; i < b.N; i++ {
+		small, err := eng.TakeCensus(14)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if small.FixedPoints.Int64() != int64(want.FixedPoints) ||
+			small.GardenOfEden.Uint64() != want.GardenOfEden {
+			b.Fatalf("analytic census diverges from enumeration: %+v vs %+v", small, want)
+		}
+		big, err := eng.TakeCensus(1_000_000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(big.FixedPoints.String()) != 208988 {
+			b.Fatalf("FP(10^6) has %d digits, want 208988", len(big.FixedPoints.String()))
+		}
+	}
+}
+
 // Ablation: dense phase-space classification vs orbit-by-orbit Brent.
 func BenchmarkAblation_DenseVsBrent(b *testing.B) {
 	a := majRing(b, 14, 1)
@@ -637,5 +667,94 @@ func BenchmarkAblation_QuotientBeyondRawCap(b *testing.B) {
 		if c.Configs != 1<<28 || c.FixedPoints == 0 || c.MaxPeriod != 2 {
 			b.Fatalf("census shape: %+v", c)
 		}
+	}
+}
+
+// Ablation: the analytic census engine's one-time cost — building the
+// window-transition transfer matrices and deriving the proven linear
+// recurrences (fixed-point trace, pair trace, GoE subset-automaton walk)
+// for MAJ-3. Everything after this is O(log n) per query.
+func BenchmarkAblation_TransferRecurrence(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		eng, err := transfer.New(rule.Majority(1), 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		c, err := eng.TakeCensus(64)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if c.FixedPoints.Sign() <= 0 {
+			b.Fatalf("census shape: %+v", c)
+		}
+	}
+}
+
+// Ablation: the square-and-multiply recurrence jump alone, on a shared
+// engine, at ring sizes 2^10..2^20. The work is O(log n) polynomial
+// arithmetic on big integers whose size grows with n, so the scaling is
+// quasi-linear in the answer's digit count, not in n's magnitude as a
+// ring size.
+func BenchmarkAblation_TransferJump(b *testing.B) {
+	eng, err := transfer.New(rule.Majority(1), 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := eng.TakeCensus(64); err != nil { // derive outside the timer
+		b.Fatal(err)
+	}
+	for exp := 10; exp <= 20; exp += 2 {
+		n := uint64(1) << uint(exp)
+		b.Run(fmt.Sprintf("n=2^%d", exp), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				c, err := eng.TakeCensus(n)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if c.FixedPoints.Sign() <= 0 || c.GardenOfEden.Sign() <= 0 {
+					b.Fatalf("census shape at n=%d: %+v", n, c)
+				}
+			}
+		})
+	}
+}
+
+// Ablation: enumeration vs analytic on the sizes both can serve — the
+// crossover the -analytic flags exploit. Enumeration is Θ(2^n) per
+// census; the analytic query (recurrences pre-derived, as in any warm
+// process) is microseconds at every n.
+func BenchmarkAblation_TransferVsQuotientCrossover(b *testing.B) {
+	eng, err := transfer.New(rule.Majority(1), 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := eng.TakeCensus(64); err != nil {
+		b.Fatal(err)
+	}
+	for _, n := range []int{12, 16, 20} {
+		a := majRing(b, n, 1)
+		b.Run(fmt.Sprintf("enumerate/n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				c := phasespace.BuildParallelWorkers(a, 1).TakeCensus()
+				if c.FixedPoints == 0 {
+					b.Fatalf("census shape: %+v", c)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("analytic/n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				c, err := eng.TakeCensus(uint64(n))
+				if err != nil {
+					b.Fatal(err)
+				}
+				if c.FixedPoints.Sign() <= 0 {
+					b.Fatalf("census shape: %+v", c)
+				}
+			}
+		})
 	}
 }

@@ -49,7 +49,11 @@ func compareReports(baseline, current *Report, thresholdPct float64) (deltas, re
 		seen[r.Name] = true
 		o, ok := old[r.Name]
 		if !ok {
-			deltas = append(deltas, Delta{Name: r.Name, NewNs: r.NsPerOp, OnlyNew: true})
+			deltas = append(deltas, Delta{
+				Name: r.Name, NewNs: r.NsPerOp,
+				NewBytes: r.BytesPerOp, NewAllocs: r.AllocsPerOp,
+				OnlyNew: true,
+			})
 			continue
 		}
 		d := Delta{
@@ -71,7 +75,11 @@ func compareReports(baseline, current *Report, thresholdPct float64) (deltas, re
 	}
 	for _, r := range baseline.Results {
 		if !seen[r.Name] {
-			deltas = append(deltas, Delta{Name: r.Name, OldNs: r.NsPerOp, OnlyOld: true})
+			deltas = append(deltas, Delta{
+				Name: r.Name, OldNs: r.NsPerOp,
+				OldBytes: r.BytesPerOp, OldAllocs: r.AllocsPerOp,
+				OnlyOld: true,
+			})
 		}
 	}
 	sort.Slice(deltas, func(i, j int) bool {
@@ -109,9 +117,9 @@ func printDeltas(w io.Writer, deltas []Delta, thresholdPct float64) {
 	for _, d := range deltas {
 		switch {
 		case d.OnlyNew:
-			fmt.Fprintf(w, "  new      %-60s %12.1f ns/op\n", d.Name, d.NewNs)
+			fmt.Fprintf(w, "  new      %-60s %12.1f ns/op%s\n", d.Name, d.NewNs, soloAlloc(d.NewBytes, d.NewAllocs))
 		case d.OnlyOld:
-			fmt.Fprintf(w, "  removed  %-60s %12.1f ns/op\n", d.Name, d.OldNs)
+			fmt.Fprintf(w, "  removed  %-60s %12.1f ns/op%s\n", d.Name, d.OldNs, soloAlloc(d.OldBytes, d.OldAllocs))
 		default:
 			mark := " "
 			if d.Regressed(thresholdPct) {
@@ -131,4 +139,13 @@ func allocDelta(d Delta) string {
 	}
 	return fmt.Sprintf("  %+7.1f%% %d -> %d B/op  %+7.1f%% %d -> %d allocs/op",
 		d.BytesPct, d.OldBytes, d.NewBytes, d.AllocsPct, d.OldAllocs, d.NewAllocs)
+}
+
+// soloAlloc formats the single-sided allocation metrics of a new/removed
+// row, or "" when that run recorded none.
+func soloAlloc(bytes, allocs int64) string {
+	if bytes == 0 && allocs == 0 {
+		return ""
+	}
+	return fmt.Sprintf("  %d B/op  %d allocs/op", bytes, allocs)
 }

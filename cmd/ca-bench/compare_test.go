@@ -127,3 +127,40 @@ func TestPrintDeltasOmitsAllocsWhenAbsent(t *testing.T) {
 		t.Fatalf("allocation columns printed for a timing-only report:\n%s", b.String())
 	}
 }
+
+func TestCompareReportsCarriesAllocsOnOneSidedRows(t *testing.T) {
+	baseline := report(
+		Result{Name: "BenchmarkGone", NsPerOp: 10, BytesPerOp: 512, AllocsPerOp: 3},
+	)
+	current := report(
+		Result{Name: "BenchmarkNew", NsPerOp: 20, BytesPerOp: 2048, AllocsPerOp: 7},
+	)
+	deltas, _ := compareReports(baseline, current, 15)
+	for _, d := range deltas {
+		switch {
+		case d.OnlyNew:
+			if d.NewBytes != 2048 || d.NewAllocs != 7 {
+				t.Errorf("new row dropped allocation metrics: %+v", d)
+			}
+		case d.OnlyOld:
+			if d.OldBytes != 512 || d.OldAllocs != 3 {
+				t.Errorf("removed row dropped allocation metrics: %+v", d)
+			}
+		}
+	}
+	var b strings.Builder
+	printDeltas(&b, deltas, 15)
+	out := b.String()
+	for _, want := range []string{"2048 B/op", "7 allocs/op", "512 B/op", "3 allocs/op"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("one-sided row missing %q:\n%s", want, out)
+		}
+	}
+	// Timing-only one-sided rows still omit the allocation columns.
+	deltas, _ = compareReports(report(), report(Result{Name: "BenchmarkPlainNew", NsPerOp: 5}), 15)
+	b.Reset()
+	printDeltas(&b, deltas, 15)
+	if strings.Contains(b.String(), "B/op") {
+		t.Errorf("timing-only new row printed allocation columns:\n%s", b.String())
+	}
+}

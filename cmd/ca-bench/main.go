@@ -1,4 +1,4 @@
-// Command ca-bench runs the repository's benchmark suite (the E01–E26
+// Command ca-bench runs the repository's benchmark suite (the E01–E27
 // experiment benchmarks plus the BenchmarkAblation_* ablations in
 // bench_test.go) and writes the results as machine-readable JSON, one file
 // per run:

@@ -65,6 +65,7 @@ var experiments = []experiment{
 	{"E24", "extension: bounded asynchrony — light cones and propagation speed", e24},
 	{"E25", "extension: irreversible threshold growth (bootstrap percolation) — confluence", e25},
 	{"E26", "extension: surjectivity and reversibility via de Bruijn graphs (ref [18])", e26},
+	{"E27", "analytic census: transfer-matrix exact counts beyond enumeration range", e27},
 }
 
 func main() {
@@ -75,6 +76,7 @@ func main() {
 		checkpoint = flag.String("checkpoint", "", "sweep checkpoint path (.gz compresses); flushed after every experiment")
 		resume     = flag.Bool("resume", false, "skip experiments completed by a previous checkpointed sweep")
 		faults     = flag.String("faults", "", "deterministic fault plan to inject per experiment index, e.g. panic:3 (debug)")
+		analytic   = flag.Bool("analytic", false, "route ST census quantities (FPs, 2-cycles, GoE) through the transfer-matrix engine and cross-check them against enumeration where both apply")
 	)
 	prof := cli.NewProfile()
 	flag.Parse()
@@ -84,6 +86,7 @@ func main() {
 	))
 	stopProf := prof.MustStart("ca-experiments")
 	buildWorkers = *workers
+	analyticMode = *analytic
 	// Second SIGINT/SIGTERM force-exits but still flushes the profiles.
 	ctx, stop := cli.ForcedSignalContext(context.Background(), stopProf)
 	defer stop()

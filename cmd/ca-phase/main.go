@@ -23,6 +23,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"math/big"
 	"os"
 	"strconv"
 	"strings"
@@ -53,6 +54,7 @@ func main() {
 		faults     = flag.String("faults", "", "deterministic fault plan to inject into build shards, e.g. panic:3 (debug)")
 		memoize    = flag.Bool("memoize", false, "reuse in-process memoized successor tables across builds")
 		quotient   = flag.Bool("quotient", false, "enumerate dihedral symmetry classes (necklace representatives) instead of raw configurations; census tables are lifted to identical full-space counts by orbit weighting")
+		analytic   = flag.Bool("analytic", false, "transfer-matrix analytic census: exact fixed-point / 2-cycle / Garden-of-Eden counts in O(log n), no enumeration; ring spaces only, ST quantities only — n is unbounded")
 	)
 	prof := cli.NewProfile()
 	flag.Parse()
@@ -66,7 +68,12 @@ func main() {
 	// Second SIGINT/SIGTERM force-exits but still flushes the profiles.
 	ctx, stop := cli.ForcedSignalContext(context.Background(), stopProf)
 	defer stop()
-	err := run(ctx, *n, *r, *ruleSpec, *spSpec, *dot, *verbose, *noMemory, *workers, *checkpoint, *resume, *faults, *memoize, *quotient)
+	var err error
+	if *analytic {
+		err = runAnalytic(*n, *r, *ruleSpec, *spSpec, *dot, *noMemory, *quotient)
+	} else {
+		err = run(ctx, *n, *r, *ruleSpec, *spSpec, *dot, *verbose, *noMemory, *workers, *checkpoint, *resume, *faults, *memoize, *quotient)
+	}
 	stopProf() // explicit: the os.Exit paths below skip defers
 	switch {
 	case cli.Interrupted(err):
@@ -251,6 +258,54 @@ func runQuotient(ctx context.Context, a *automaton.Automaton, name string, opts,
 		}
 	}
 	return nil
+}
+
+// runAnalytic is the -analytic path: ST quantities (fixed points,
+// temporal 2-cycles, Garden-of-Eden counts) from the transfer-matrix
+// engine, with no phase-space — or even space — construction, so n is
+// bounded only by the O(log n) jump. Counts too wide for a table cell are
+// abbreviated to their leading digits plus the exact digit count.
+func runAnalytic(n, r int, ruleSpec, spSpec, dot string, noMemory, quotient bool) error {
+	switch {
+	case dot != "":
+		return fmt.Errorf("-dot draws the enumerated phase space and is not supported with -analytic")
+	case quotient:
+		return fmt.Errorf("-quotient enumerates symmetry classes; -analytic does not enumerate at all (pick one)")
+	case noMemory:
+		return fmt.Errorf("-memoryless windows are not contiguous-with-center; -analytic needs the full [i-r..i+r] window")
+	case spSpec != "ring":
+		return fmt.Errorf("-analytic supports ring spaces only, got %q", spSpec)
+	}
+	rl, err := parseRule(ruleSpec, r)
+	if err != nil {
+		return err
+	}
+	c, err := phasespace.AnalyticCensusAt(rl, r, uint64(n))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("# %s on ring(n=%d, r=%d)\n\n== analytic census (transfer matrix) ==\n", rl.Name(), n, r)
+	tab := render.NewTable("quantity", "value")
+	tab.AddRow("configurations", abbrevBig(c.Configs))
+	tab.AddRow("fixed points", abbrevBig(c.FixedPoints))
+	tab.AddRow("temporal 2-cycles", abbrevBig(c.TwoCycles))
+	tab.AddRow("2-cycle states", abbrevBig(c.TwoCycleStates))
+	tab.AddRow("garden-of-eden states", abbrevBig(c.GardenOfEden))
+	tab.AddRow("states with preimage", abbrevBig(c.WithPreimage))
+	tab.AddRow("recurrence orders (fp/pair/goe)",
+		fmt.Sprintf("%d/%d/%d", c.Orders[0], c.Orders[1], c.Orders[2]))
+	return tab.Write(os.Stdout)
+}
+
+// abbrevBig renders x in full up to 32 digits, else leading digits plus
+// the exact decimal length (the count itself stays exact in memory; only
+// the display truncates).
+func abbrevBig(x *big.Int) string {
+	s := x.String()
+	if len(s) <= 32 {
+		return s
+	}
+	return fmt.Sprintf("%s… (%d digits)", s[:12], len(s))
 }
 
 func parseSpace(spec string, n, r int) (space.Space, error) {

@@ -7,7 +7,9 @@
 // window and an edge u → v for every (2r+1)-bit neighborhood whose prefix
 // is u and suffix is v, labeled with the rule's output on that
 // neighborhood. Runs of the CA correspond to bi-infinite paths; the label
-// sequence is the successor configuration.
+// sequence is the successor configuration. The window/transition encoding
+// itself lives in Windows (windows.go), shared with the transfer-matrix
+// censuses of internal/transfer.
 //
 //   - Surjectivity: F is surjective iff, in the subset automaton of the
 //     labeled de Bruijn graph started at the full vertex set, no reachable
@@ -34,25 +36,25 @@ import (
 	"repro/internal/rule"
 )
 
-// Graph is the labeled de Bruijn graph of a radius-r rule.
+// maxInjectiveNodes caps the pair-automaton construction: Injective
+// allocates Θ(nodes²) adjacency, so 1024 vertices (r = 5) already means
+// ~10^6 pairs. Larger radii must use the transfer-matrix census instead.
+const maxInjectiveNodes = 1 << 10
+
+// Graph is the labeled de Bruijn graph of a radius-r rule, a thin layer
+// of decision procedures over the shared Windows transition core.
 type Graph struct {
-	r     int
-	nodes int // 2^(2r) windows
-	m     int // 2r+1 neighborhood bits
-	table *rule.Table
+	win *Windows
 }
 
-// New builds the de Bruijn graph for rule rl at radius r (1 ≤ r ≤ 3 keeps
-// the subset construction small: 2^(2r) ≤ 64 vertices).
+// New builds the de Bruijn graph for rule rl at radius r
+// (1 ≤ r ≤ MaxRadius; the window count 2^(2r) is guarded by NewWindows).
 func New(rl rule.Rule, r int) (*Graph, error) {
-	if r < 1 || r > 3 {
-		return nil, fmt.Errorf("debruijn: radius %d out of range [1,3]", r)
+	w, err := NewWindows(rl, r)
+	if err != nil {
+		return nil, err
 	}
-	m := 2*r + 1
-	if a := rl.Arity(); a >= 0 && a != m {
-		return nil, fmt.Errorf("debruijn: rule arity %d but radius %d needs %d", a, r, m)
-	}
-	return &Graph{r: r, nodes: 1 << uint(2*r), m: m, table: rule.Materialize(rl, m)}, nil
+	return &Graph{win: w}, nil
 }
 
 // MustNew is New that panics on error.
@@ -65,36 +67,46 @@ func MustNew(rl rule.Rule, r int) *Graph {
 }
 
 // Nodes returns the number of de Bruijn vertices, 2^(2r).
-func (g *Graph) Nodes() int { return g.nodes }
+func (g *Graph) Nodes() int { return g.win.Count() }
 
-// step returns, for window u (2r bits, LSB = leftmost cell) and appended
-// cell b, the successor window and the emitted output label. The 2r+1-bit
-// neighborhood is u extended by b; the next window drops the leftmost cell.
+// Windows returns the underlying window-transition core.
+func (g *Graph) Windows() *Windows { return g.win }
+
+// step returns, for window u and appended cell b, the successor window
+// and the emitted output label (see Windows.Step).
 func (g *Graph) step(u int, b uint8) (v int, label uint8) {
-	nbhd := uint64(u) | uint64(b&1)<<uint(g.m-1)
-	label = g.table.Lookup(nbhd)
-	v = int(nbhd >> 1)
-	return v, label
+	return g.win.Step(u, b)
 }
 
 // Balanced reports whether the rule maps exactly half of all neighborhoods
 // to each output symbol — a necessary condition for surjectivity.
 func (g *Graph) Balanced() bool {
 	ones := 0
-	for i := uint64(0); i < 1<<uint(g.m); i++ {
-		if g.table.Lookup(i) == 1 {
+	for i := uint64(0); i < 1<<uint(g.win.NeighborhoodBits()); i++ {
+		if g.win.Lookup(i) == 1 {
 			ones++
 		}
 	}
-	return ones == 1<<uint(g.m-1)
+	return ones == 1<<uint(g.win.NeighborhoodBits()-1)
 }
 
 // Surjective decides surjectivity of the global map on the two-way infinite
 // line via the subset construction: starting from the set of all windows,
 // follow each output symbol through label-matching edges; F is surjective
-// iff the empty set is unreachable.
+// iff the empty set is unreachable. Subsets are 2^(2r)-bit sets: a single
+// uint64 for r ≤ 3 (fast path), a []uint64 bitset keyed by its string image
+// beyond that.
 func (g *Graph) Surjective() bool {
-	full := uint64(1)<<uint(g.nodes) - 1
+	if g.win.Count() <= 64 {
+		return g.surjectiveWord()
+	}
+	return g.surjectiveBitset()
+}
+
+// surjectiveWord is the subset construction with single-word subsets,
+// valid for nodes ≤ 64 (r ≤ 3).
+func (g *Graph) surjectiveWord() bool {
+	full := uint64(1)<<uint(g.win.Count()) - 1
 	seen := map[uint64]bool{full: true}
 	stack := []uint64{full}
 	for len(stack) > 0 {
@@ -125,6 +137,64 @@ func (g *Graph) Surjective() bool {
 	return true
 }
 
+// surjectiveBitset is the same subset construction with multi-word
+// bitsets, for 64 < nodes ≤ 2^(2·MaxRadius). Visited subsets are keyed by
+// the raw byte image of the bitset.
+func (g *Graph) surjectiveBitset() bool {
+	n := g.win.Count()
+	words := (n + 63) / 64
+	// Per-(symbol, source) successor sets, precomputed once so the subset
+	// step is a pure bitset union.
+	succ := [2][][]int{make([][]int, n), make([][]int, n)}
+	for u := 0; u < n; u++ {
+		for _, b := range []uint8{0, 1} {
+			v, label := g.step(u, b)
+			succ[label][u] = append(succ[label][u], v)
+		}
+	}
+	key := func(s []uint64) string {
+		buf := make([]byte, 8*len(s))
+		for i, w := range s {
+			for j := 0; j < 8; j++ {
+				buf[8*i+j] = byte(w >> uint(8*j))
+			}
+		}
+		return string(buf)
+	}
+	full := make([]uint64, words)
+	for u := 0; u < n; u++ {
+		full[u/64] |= 1 << uint(u%64)
+	}
+	seen := map[string]bool{key(full): true}
+	stack := [][]uint64{full}
+	for len(stack) > 0 {
+		s := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, want := range []uint8{0, 1} {
+			next := make([]uint64, words)
+			empty := true
+			for w, word := range s {
+				for word != 0 {
+					u := 64*w + bits.TrailingZeros64(word)
+					word &= word - 1
+					for _, v := range succ[want][u] {
+						next[v/64] |= 1 << uint(v%64)
+						empty = false
+					}
+				}
+			}
+			if empty {
+				return false
+			}
+			if k := key(next); !seen[k] {
+				seen[k] = true
+				stack = append(stack, next)
+			}
+		}
+	}
+	return true
+}
+
 // Injective decides injectivity on the two-way infinite line via the pair
 // automaton: two distinct configurations with equal images yield a
 // bi-infinite label-matched path through the product graph that is not
@@ -138,8 +208,16 @@ func (g *Graph) Surjective() bool {
 // standard sufficient-and-necessary condition that no off-diagonal pair is
 // both reachable from and co-reachable to any pair lying on a cycle
 // (including diagonal ones).
+//
+// The pair automaton is Θ(nodes²); Injective panics for radii past
+// maxInjectiveNodes vertices (r > 5) rather than silently allocating
+// gigabytes.
 func (g *Graph) Injective() bool {
-	n := g.nodes
+	n := g.win.Count()
+	if n > maxInjectiveNodes {
+		panic(fmt.Sprintf("debruijn: Injective needs a %d×%d pair automaton (radius %d); cap is %d vertices (radius 5)",
+			n, n, g.win.Radius(), maxInjectiveNodes))
+	}
 	size := n * n
 	adj := make([][]int, size)
 	for u := 0; u < n; u++ {

@@ -1,9 +1,10 @@
-package debruijn
+package debruijn_test
 
 import (
 	"testing"
 
 	"repro/internal/automaton"
+	"repro/internal/debruijn"
 	"repro/internal/phasespace"
 	"repro/internal/rule"
 	"repro/internal/space"
@@ -14,7 +15,7 @@ func TestKnownReversibleECA(t *testing.T) {
 	// (170, 240) and their complemented variants (51, 15, 85).
 	reversible := map[uint8]bool{15: true, 51: true, 85: true, 170: true, 204: true, 240: true}
 	for code := 0; code < 256; code++ {
-		g := MustNew(rule.Elementary(uint8(code)), 1)
+		g := debruijn.MustNew(rule.Elementary(uint8(code)), 1)
 		_, inj := g.Classify()
 		if inj != reversible[uint8(code)] {
 			t.Errorf("rule %d: injective=%v, literature says %v", code, inj, reversible[uint8(code)])
@@ -27,7 +28,7 @@ func TestSurjectiveECACountIs30(t *testing.T) {
 	// surjective on the two-way infinite line.
 	count := 0
 	for code := 0; code < 256; code++ {
-		g := MustNew(rule.Elementary(uint8(code)), 1)
+		g := debruijn.MustNew(rule.Elementary(uint8(code)), 1)
 		if g.Surjective() {
 			count++
 		}
@@ -39,7 +40,7 @@ func TestSurjectiveECACountIs30(t *testing.T) {
 
 func TestSurjectiveImpliesBalanced(t *testing.T) {
 	for code := 0; code < 256; code++ {
-		g := MustNew(rule.Elementary(uint8(code)), 1)
+		g := debruijn.MustNew(rule.Elementary(uint8(code)), 1)
 		if g.Surjective() && !g.Balanced() {
 			t.Errorf("rule %d surjective but unbalanced", code)
 		}
@@ -49,22 +50,22 @@ func TestSurjectiveImpliesBalanced(t *testing.T) {
 func TestKnownSurjectiveRules(t *testing.T) {
 	// Additive rules with a nonzero end coefficient are surjective.
 	for _, code := range []uint8{90, 150, 170, 240, 60, 102} {
-		if !MustNew(rule.Elementary(code), 1).Surjective() {
+		if !debruijn.MustNew(rule.Elementary(code), 1).Surjective() {
 			t.Errorf("additive rule %d should be surjective", code)
 		}
 	}
 	// The paper's protagonists are not: majority loses information.
-	if MustNew(rule.Elementary(232), 1).Surjective() {
+	if debruijn.MustNew(rule.Elementary(232), 1).Surjective() {
 		t.Error("majority should not be surjective")
 	}
-	if MustNew(rule.Elementary(0), 1).Surjective() {
+	if debruijn.MustNew(rule.Elementary(0), 1).Surjective() {
 		t.Error("constant rule should not be surjective")
 	}
 }
 
 func TestAdditiveButNotInjective(t *testing.T) {
 	// Rule 90 (l ⊕ r) is 4-to-1 on the line: surjective, not injective.
-	g := MustNew(rule.Elementary(90), 1)
+	g := debruijn.MustNew(rule.Elementary(90), 1)
 	sur, inj := g.Classify()
 	if !sur || inj {
 		t.Errorf("rule 90: surjective=%v injective=%v, want true,false", sur, inj)
@@ -92,7 +93,7 @@ func TestNonSurjectiveHaveRingGardensOfEden(t *testing.T) {
 	// Moore–Myhill: non-surjective ⇒ Garden-of-Eden configurations exist;
 	// on large enough rings they are visible in the dense phase space.
 	for _, code := range []uint8{232, 128, 254, 110} {
-		g := MustNew(rule.Elementary(code), 1)
+		g := debruijn.MustNew(rule.Elementary(code), 1)
 		if g.Surjective() {
 			t.Fatalf("rule %d unexpectedly surjective", code)
 		}
@@ -107,19 +108,19 @@ func TestRadius2Shifts(t *testing.T) {
 	// Radius-2 pure shift (output = leftmost input) is injective; verify
 	// the machinery beyond radius 1.
 	shift := rule.FromFunc("shift2", 5, func(nb []uint8) uint8 { return nb[0] })
-	g := MustNew(shift, 2)
+	g := debruijn.MustNew(shift, 2)
 	sur, inj := g.Classify()
 	if !sur || !inj {
 		t.Errorf("radius-2 shift: surjective=%v injective=%v", sur, inj)
 	}
 	// Radius-2 majority is neither.
-	gm := MustNew(rule.Majority(2), 2)
+	gm := debruijn.MustNew(rule.Majority(2), 2)
 	sur, inj = gm.Classify()
 	if sur || inj {
 		t.Errorf("radius-2 majority: surjective=%v injective=%v", sur, inj)
 	}
 	// Radius-2 parity is surjective, not injective.
-	gx := MustNew(rule.XOR{}, 2)
+	gx := debruijn.MustNew(rule.XOR{}, 2)
 	sur, inj = gx.Classify()
 	if !sur || inj {
 		t.Errorf("radius-2 parity: surjective=%v injective=%v", sur, inj)
@@ -127,21 +128,87 @@ func TestRadius2Shifts(t *testing.T) {
 }
 
 func TestNewValidation(t *testing.T) {
-	if _, err := New(rule.Majority(1), 0); err == nil {
+	if _, err := debruijn.New(rule.Majority(1), 0); err == nil {
 		t.Error("radius 0 accepted")
 	}
-	if _, err := New(rule.Majority(1), 4); err == nil {
-		t.Error("radius 4 accepted")
+	if _, err := debruijn.New(rule.Majority(debruijn.MaxRadius+1), debruijn.MaxRadius+1); err == nil {
+		t.Errorf("radius %d accepted (cap is %d)", debruijn.MaxRadius+1, debruijn.MaxRadius)
 	}
-	if _, err := New(rule.Elementary(110), 2); err == nil {
+	if _, err := debruijn.New(rule.Elementary(110), 2); err == nil {
 		t.Error("arity mismatch accepted")
+	}
+	// The lifted cap: radius 4..MaxRadius construct fine.
+	for r := 4; r <= debruijn.MaxRadius; r++ {
+		g, err := debruijn.New(rule.Majority(r), r)
+		if err != nil {
+			t.Fatalf("radius %d rejected: %v", r, err)
+		}
+		if g.Nodes() != 1<<uint(2*r) {
+			t.Fatalf("radius %d: %d nodes, want 2^%d", r, g.Nodes(), 2*r)
+		}
+	}
+}
+
+func TestLargeRadiusSurjectivity(t *testing.T) {
+	// Radius 4 exceeds the 64-window single-word fast path, exercising the
+	// bitset subset construction. The pure shift stays surjective and
+	// injective at every radius; majority is neither.
+	shift := rule.FromFunc("shift4", 9, func(nb []uint8) uint8 { return nb[0] })
+	g := debruijn.MustNew(shift, 4)
+	sur, inj := g.Classify()
+	if !sur || !inj {
+		t.Errorf("radius-4 shift: surjective=%v injective=%v, want true,true", sur, inj)
+	}
+	if debruijn.MustNew(rule.Majority(4), 4).Surjective() {
+		t.Error("radius-4 majority should not be surjective")
+	}
+	// Radius-4 parity is additive with nonzero end coefficient: surjective,
+	// not injective (4-to-1 on the line).
+	sur, inj = debruijn.MustNew(rule.XOR{}, 4).Classify()
+	if !sur || inj {
+		t.Errorf("radius-4 parity: surjective=%v injective=%v, want true,false", sur, inj)
+	}
+}
+
+func TestInjectiveGuard(t *testing.T) {
+	// Injective needs a nodes² pair automaton; radius 6 (4096 windows)
+	// must refuse loudly instead of allocating 16M pairs.
+	defer func() {
+		if recover() == nil {
+			t.Error("Injective at radius 6 did not panic")
+		}
+	}()
+	debruijn.MustNew(rule.Majority(6), 6).Injective()
+}
+
+func TestWindowsSharedCore(t *testing.T) {
+	// The debruijn.Windows core must agree with the rule table on every
+	// neighborhood: Step(u, b) emits rule(u | b<<2r) and shifts right.
+	for _, r := range []int{1, 2, 3} {
+		w := debruijn.MustWindows(rule.Majority(r), r)
+		tbl := rule.Materialize(rule.Majority(r), 2*r+1)
+		for u := 0; u < w.Count(); u++ {
+			for _, b := range []uint8{0, 1} {
+				nbhd := uint64(u) | uint64(b)<<uint(2*r)
+				v, label := w.Step(u, b)
+				if label != tbl.Lookup(nbhd) {
+					t.Fatalf("r=%d u=%d b=%d: label %d, want %d", r, u, b, label, tbl.Lookup(nbhd))
+				}
+				if v != int(nbhd>>1) {
+					t.Fatalf("r=%d u=%d b=%d: successor %d, want %d", r, u, b, v, nbhd>>1)
+				}
+			}
+			if w.Center(u) != uint8(u>>uint(r))&1 {
+				t.Fatalf("r=%d u=%d: center %d, want bit %d", r, u, w.Center(u), r)
+			}
+		}
 	}
 }
 
 func TestBalancedCounts(t *testing.T) {
 	balanced := 0
 	for code := 0; code < 256; code++ {
-		if MustNew(rule.Elementary(uint8(code)), 1).Balanced() {
+		if debruijn.MustNew(rule.Elementary(uint8(code)), 1).Balanced() {
 			balanced++
 		}
 	}
@@ -154,7 +221,7 @@ func TestBalancedCounts(t *testing.T) {
 func BenchmarkClassifyAllECA(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		for code := 0; code < 256; code++ {
-			MustNew(rule.Elementary(uint8(code)), 1).Classify()
+			debruijn.MustNew(rule.Elementary(uint8(code)), 1).Classify()
 		}
 	}
 }

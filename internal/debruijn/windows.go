@@ -1,0 +1,90 @@
+package debruijn
+
+import (
+	"fmt"
+
+	"repro/internal/rule"
+)
+
+// MaxRadius bounds the window constructions in this package and in
+// internal/transfer. A radius-r rule has 2^(2r) de Bruijn windows, so
+// r = 8 already means 65 536 vertices; beyond that the subset and pair
+// constructions (and the transfer matrices built on top) are hopeless.
+const MaxRadius = 8
+
+// Windows is the shared window-transition core of the de Bruijn graph of
+// a radius-r rule: the vertex set of all (2r)-bit windows together with
+// the labeled transition relation u --b/label--> v. It is consumed by
+// debruijn.Graph (surjectivity/injectivity decision procedures) and by
+// the transfer matrices of internal/transfer (analytic censuses), so the
+// neighborhood-indexing conventions live in exactly one place:
+//
+//   - window u encodes 2r consecutive cells, LSB = leftmost cell;
+//   - appending cell b forms the (2r+1)-bit neighborhood u | b<<2r;
+//   - the label is the rule output on that neighborhood;
+//   - the successor window drops the leftmost cell (shift right).
+//
+// The center cell of the neighborhood formed by extending u is bit r of
+// u — it is already inside the window, which is what makes fixed-point
+// and two-cycle constraints local to a transition (see Center).
+type Windows struct {
+	r     int
+	m     int // 2r+1 neighborhood bits
+	count int // 2^(2r) windows
+	table *rule.Table
+}
+
+// NewWindows materializes the window-transition core for rule rl at
+// radius r, guarding the window count: 1 ≤ r ≤ MaxRadius keeps the
+// vertex set at 2^(2r) ≤ 65 536.
+func NewWindows(rl rule.Rule, r int) (*Windows, error) {
+	if r < 1 || r > MaxRadius {
+		return nil, fmt.Errorf("debruijn: radius %d out of range [1,%d] (2^(2r) windows; r=%d would need 2^%d vertices)",
+			r, MaxRadius, r, 2*r)
+	}
+	m := 2*r + 1
+	if a := rl.Arity(); a >= 0 && a != m {
+		return nil, fmt.Errorf("debruijn: rule arity %d but radius %d needs %d", a, r, m)
+	}
+	return &Windows{r: r, m: m, count: 1 << uint(2*r), table: rule.Materialize(rl, m)}, nil
+}
+
+// MustWindows is NewWindows that panics on error.
+func MustWindows(rl rule.Rule, r int) *Windows {
+	w, err := NewWindows(rl, r)
+	if err != nil {
+		panic(err)
+	}
+	return w
+}
+
+// Radius returns r.
+func (w *Windows) Radius() int { return w.r }
+
+// NeighborhoodBits returns 2r+1.
+func (w *Windows) NeighborhoodBits() int { return w.m }
+
+// Count returns the number of windows, 2^(2r).
+func (w *Windows) Count() int { return w.count }
+
+// Step returns, for window u (2r bits, LSB = leftmost cell) and appended
+// cell b, the successor window and the emitted output label. The
+// (2r+1)-bit neighborhood is u extended by b at the high bit; the next
+// window drops the leftmost cell.
+func (w *Windows) Step(u int, b uint8) (v int, label uint8) {
+	nbhd := uint64(u) | uint64(b&1)<<uint(w.m-1)
+	label = w.table.Lookup(nbhd)
+	v = int(nbhd >> 1)
+	return v, label
+}
+
+// Center returns the center cell of the neighborhood formed by extending
+// window u with any appended cell: bit r of u. In a run of the CA whose
+// windows pass through u, this is the cell the emitted label overwrites.
+func (w *Windows) Center(u int) uint8 {
+	return uint8(u>>uint(w.r)) & 1
+}
+
+// Lookup exposes the materialized rule table on a raw (2r+1)-bit
+// neighborhood.
+func (w *Windows) Lookup(nbhd uint64) uint8 { return w.table.Lookup(nbhd) }

@@ -1,0 +1,117 @@
+package phasespace
+
+import (
+	"fmt"
+	"strconv"
+
+	"repro/internal/automaton"
+	"repro/internal/rule"
+	"repro/internal/runtime"
+	"repro/internal/transfer"
+)
+
+// Analytic census routing: when a query asks only for the ST quantities
+// (fixed points, temporal 2-cycles, Garden-of-Eden counts) of a
+// homogeneous rule on a contiguous-window ring, the answer does not need
+// the 2^n phase space at all — internal/transfer computes it symbolically
+// in O(log n) after a one-time spectral derivation. This file detects
+// eligibility, routes to the shared transfer engines, and memoizes the
+// resulting censuses under the same fingerprint scheme the enumeration
+// memos and checkpoints use (kind + rule + space + n).
+//
+// The enumeration caps (MaxParallelNodes, MaxQuotientNodes) do not apply:
+// the analytic path answers at n = 10^6 as readily as n = 10. Quantities
+// that require trajectory structure — transient lengths, basin geometry,
+// cycles-with-incoming-transients — stay with the enumerating builders.
+
+// AnalyticCensus is the transfer-matrix census: exact big-integer ST
+// quantities at arbitrary ring size.
+type AnalyticCensus = transfer.Census
+
+// analyticRadius reports whether a is analytic-eligible — homogeneous
+// rule, every node's neighborhood the contiguous window [i−r .. i+r]
+// (mod n, in order) — and returns r.
+func analyticRadius(a *automaton.Automaton) (int, bool) {
+	if !a.Homogeneous() {
+		return 0, false
+	}
+	sp := a.Space()
+	n := sp.N()
+	base := sp.Neighborhood(0)
+	m := len(base)
+	if m < 3 || m%2 == 0 || m > 2*transfer.MaxEngineRadius+1 || n < m {
+		return 0, false
+	}
+	r := m / 2
+	for j, v := range base {
+		if v != (j-r+n)%n {
+			return 0, false
+		}
+	}
+	for i := 1; i < n; i++ {
+		nb := sp.Neighborhood(i)
+		if len(nb) != m {
+			return 0, false
+		}
+		for j, v := range nb {
+			if v != (base[j]+i)%n {
+				return 0, false
+			}
+		}
+	}
+	return r, true
+}
+
+// AnalyticEligible reports whether BuildAnalyticCensus can serve a.
+func AnalyticEligible(a *automaton.Automaton) bool {
+	_, ok := analyticRadius(a)
+	return ok
+}
+
+// analyticKey is the memo fingerprint for one (rule, radius, n) census —
+// the "(rule, r, n)"-keyed powered-matrix memo of ISSUE 6.
+func analyticKey(ruleName string, r int, n uint64) string {
+	return runtime.Fingerprint("phasespace/analytic", ruleName,
+		fmt.Sprintf("ring-r%d", r), strconv.FormatUint(n, 10))
+}
+
+// BuildAnalyticCensus routes a's census to the transfer engine. It fails
+// when a is not analytic-eligible or a transfer construction exceeds its
+// caps (errors.Is(err, transfer.ErrTooLarge)).
+func BuildAnalyticCensus(a *automaton.Automaton) (*AnalyticCensus, error) {
+	r, ok := analyticRadius(a)
+	if !ok {
+		return nil, fmt.Errorf("phasespace: %s on %s is not analytic-eligible (need a homogeneous rule on a contiguous-window ring, r ≤ %d)",
+			describeRule(a), a.Space().Name(), transfer.MaxEngineRadius)
+	}
+	return AnalyticCensusAt(a.Rule(), r, uint64(a.N()))
+}
+
+func describeRule(a *automaton.Automaton) string {
+	if rl := a.Rule(); rl != nil {
+		return rl.Name()
+	}
+	return "non-homogeneous rule"
+}
+
+// AnalyticCensusAt is the direct entry point: the census of rl at radius
+// r on the n-ring, with no automaton or space construction — the path
+// CLI queries at n = 10^6 take. Engines (the expensive spectral data) are
+// shared process-wide via transfer.Cached; finished censuses are
+// memoized per (rule, r, n).
+func AnalyticCensusAt(rl rule.Rule, r int, n uint64) (*AnalyticCensus, error) {
+	key := analyticKey(rl.Name(), r, n)
+	if c := analyticMemo.get(key); c != nil {
+		return c, nil
+	}
+	eng, err := transfer.Cached(rl, r)
+	if err != nil {
+		return nil, err
+	}
+	c, err := eng.TakeCensus(n)
+	if err != nil {
+		return nil, err
+	}
+	analyticMemo.put(key, c)
+	return c, nil
+}

@@ -1,0 +1,195 @@
+package phasespace
+
+import (
+	"context"
+	"errors"
+	"math/big"
+	"testing"
+
+	"repro/internal/automaton"
+	"repro/internal/rule"
+	"repro/internal/space"
+	"repro/internal/transfer"
+)
+
+// compareAnalytic checks the analytic census against an enumerated one.
+// Threshold rules have parallel period ≤ 2, so every proper cycle is a
+// temporal 2-cycle and the full ST family is comparable; for general
+// rules pass thresholdRule=false to compare only FP and GoE.
+func compareAnalytic(t *testing.T, ac *AnalyticCensus, ec Census, thresholdRule bool, label string) {
+	t.Helper()
+	if ac.FixedPoints.Cmp(big.NewInt(int64(ec.FixedPoints))) != 0 {
+		t.Errorf("%s: FP analytic %s, enumerated %d", label, ac.FixedPoints, ec.FixedPoints)
+	}
+	if ac.GardenOfEden.Cmp(new(big.Int).SetUint64(ec.GardenOfEden)) != 0 {
+		t.Errorf("%s: GoE analytic %s, enumerated %d", label, ac.GardenOfEden, ec.GardenOfEden)
+	}
+	if !thresholdRule {
+		return
+	}
+	if ec.MaxPeriod > 2 {
+		t.Fatalf("%s: threshold rule with MaxPeriod %d", label, ec.MaxPeriod)
+	}
+	if ac.TwoCycles.Cmp(big.NewInt(int64(ec.ProperCycles))) != 0 {
+		t.Errorf("%s: 2-cycles analytic %s, enumerated %d", label, ac.TwoCycles, ec.ProperCycles)
+	}
+	if ac.TwoCycleStates.Cmp(new(big.Int).SetUint64(ec.CycleStates)) != 0 {
+		t.Errorf("%s: 2-cycle states analytic %s, enumerated %d", label, ac.TwoCycleStates, ec.CycleStates)
+	}
+}
+
+// TestAnalyticVsRawCensus pins the analytic route to the raw parallel
+// builder on small rings (race-job sized).
+func TestAnalyticVsRawCensus(t *testing.T) {
+	for k := 0; k <= 4; k++ {
+		for n := 3; n <= 14; n++ {
+			a := automaton.MustNew(space.Ring(n, 1), rule.Threshold{K: k})
+			ac, err := BuildAnalyticCensus(a)
+			if err != nil {
+				t.Fatalf("k=%d n=%d: %v", k, n, err)
+			}
+			compareAnalytic(t, ac, BuildParallel(a).TakeCensus(), true,
+				a.Rule().Name())
+		}
+	}
+	// Non-threshold rules exercise orientation; FP/GoE only.
+	for _, code := range []uint8{110, 30, 184} {
+		for n := 4; n <= 12; n++ {
+			a := automaton.MustNew(space.Ring(n, 1), rule.Elementary(code))
+			ac, err := BuildAnalyticCensus(a)
+			if err != nil {
+				t.Fatalf("rule %d n=%d: %v", code, n, err)
+			}
+			compareAnalytic(t, ac, BuildParallel(a).TakeCensus(), false,
+				a.Rule().Name())
+		}
+	}
+}
+
+// TestAnalyticVsQuotientCensus pins the analytic route to the
+// symmetry-quotient engine across the radius-1 panel and a radius-2
+// sample (race-job sized; the full n ≤ 28 sweep is TestSTANPanelFullRange).
+func TestAnalyticVsQuotientCensus(t *testing.T) {
+	ctx := context.Background()
+	for k := 0; k <= 4; k++ {
+		for n := 5; n <= 16; n++ {
+			a := automaton.MustNew(space.Ring(n, 1), rule.Threshold{K: k})
+			q, err := BuildQuotientParallelCtx(ctx, a, 2)
+			if err != nil {
+				t.Fatalf("quotient k=%d n=%d: %v", k, n, err)
+			}
+			ac, err := BuildAnalyticCensus(a)
+			if err != nil {
+				t.Fatalf("analytic k=%d n=%d: %v", k, n, err)
+			}
+			compareAnalytic(t, ac, q.TakeCensus(), true, a.Rule().Name())
+		}
+	}
+	// Radius 2: FP and 2-cycles are in analytic range; GoE exceeds the
+	// monoid cap for mid thresholds and must fail loudly, not wrongly.
+	for k := 0; k <= 6; k++ {
+		a := automaton.MustNew(space.Ring(12, 2), rule.Threshold{K: k})
+		ec := BuildParallel(a).TakeCensus()
+		eng, err := transfer.Cached(rule.Threshold{K: k}, 2)
+		if err != nil {
+			t.Fatalf("r=2 k=%d: %v", k, err)
+		}
+		fp, err := eng.FixedPoints(12)
+		if err != nil {
+			t.Fatalf("r=2 k=%d FP: %v", k, err)
+		}
+		if fp.Cmp(big.NewInt(int64(ec.FixedPoints))) != 0 {
+			t.Errorf("r=2 k=%d: FP analytic %s, enumerated %d", k, fp, ec.FixedPoints)
+		}
+		tc, err := eng.TwoCycles(12)
+		if err != nil {
+			t.Fatalf("r=2 k=%d 2cyc: %v", k, err)
+		}
+		if tc.Cmp(big.NewInt(int64(ec.ProperCycles))) != 0 {
+			t.Errorf("r=2 k=%d: 2-cycles analytic %s, enumerated %d", k, tc, ec.ProperCycles)
+		}
+		goe, err := eng.GardenOfEden(12)
+		if err == nil {
+			if goe.Cmp(new(big.Int).SetUint64(ec.GardenOfEden)) != 0 {
+				t.Errorf("r=2 k=%d: GoE analytic %s, enumerated %d", k, goe, ec.GardenOfEden)
+			}
+		} else if !errors.Is(err, transfer.ErrTooLarge) {
+			t.Errorf("r=2 k=%d GoE: unexpected error %v", k, err)
+		}
+	}
+}
+
+// TestSTANPanelFullRange is the ISSUE 6 acceptance sweep: analytic counts
+// equal quotient-engine censuses for every MAJ-3 panel rule at every
+// enumerable n ≤ 28. Excluded from -short and from the race job (the
+// n = 28 quotient builds are the expensive part).
+func TestSTANPanelFullRange(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-range quotient sweep is not -short sized")
+	}
+	ctx := context.Background()
+	for k := 0; k <= 4; k++ {
+		rl := rule.Threshold{K: k}
+		for n := 3; n <= 28; n++ {
+			a := automaton.MustNew(space.Ring(n, 1), rl)
+			ac, err := BuildAnalyticCensus(a)
+			if err != nil {
+				t.Fatalf("analytic k=%d n=%d: %v", k, n, err)
+			}
+			q, err := BuildQuotientParallelCtx(ctx, a, 0)
+			if err != nil {
+				t.Fatalf("quotient k=%d n=%d: %v", k, n, err)
+			}
+			compareAnalytic(t, ac, q.TakeCensus(), true, a.Rule().Name())
+		}
+	}
+}
+
+func TestAnalyticEligibility(t *testing.T) {
+	if !AnalyticEligible(automaton.MustNew(space.Ring(9, 1), rule.Majority(1))) {
+		t.Error("ring r=1 rejected")
+	}
+	if !AnalyticEligible(automaton.MustNew(space.Ring(11, 2), rule.Majority(2))) {
+		t.Error("ring r=2 rejected")
+	}
+	// A line is not a ring: end neighborhoods are truncated.
+	if AnalyticEligible(automaton.MustNew(space.Line(9, 1), rule.Threshold{K: 1})) {
+		t.Error("line accepted")
+	}
+	// Non-homogeneous automata are rejected.
+	rules := make([]rule.Rule, 9)
+	for i := range rules {
+		rules[i] = rule.Majority(1)
+	}
+	rules[3] = rule.Threshold{K: 1}
+	if nh, err := automaton.NewNonHomogeneous(space.Ring(9, 1), rules); err == nil {
+		if AnalyticEligible(nh) {
+			t.Error("non-homogeneous automaton accepted")
+		}
+	}
+}
+
+func TestAnalyticMemo(t *testing.T) {
+	analyticMemo.reset()
+	transfer.ResetCache()
+	c1, err := AnalyticCensusAt(rule.Majority(1), 1, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := AnalyticCensusAt(rule.Majority(1), 1, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c1 != c2 {
+		t.Error("memoized census not shared on repeat query")
+	}
+	c3, err := AnalyticCensusAt(rule.Majority(1), 1, 1001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c3 == c1 {
+		t.Error("distinct n shared a census")
+	}
+	analyticMemo.reset()
+	transfer.ResetCache()
+}

@@ -54,3 +54,43 @@ func (c *succMemo) reset() {
 	c.m = map[string][]uint32{}
 	c.bytes = 0
 }
+
+// maxAnalyticEntries bounds the analytic census memo. Entries are a few
+// big.Ints each — ~600 KB at n = 10^6 — so 64 entries stay well under the
+// successor memo's budget scale.
+const maxAnalyticEntries = 64
+
+// censusMemo caches finished analytic (transfer-matrix) censuses keyed by
+// the (rule, r, n) fingerprint, mirroring succMemo's contract: shared not
+// copied (census values are never mutated downstream), first writer wins,
+// no retention once full.
+type censusMemo struct {
+	mu sync.Mutex
+	m  map[string]*AnalyticCensus
+}
+
+var analyticMemo = censusMemo{m: map[string]*AnalyticCensus{}}
+
+func (c *censusMemo) get(key string) *AnalyticCensus {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.m[key]
+}
+
+func (c *censusMemo) put(key string, v *AnalyticCensus) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.m[key]; ok {
+		return
+	}
+	if len(c.m) >= maxAnalyticEntries {
+		return
+	}
+	c.m[key] = v
+}
+
+func (c *censusMemo) reset() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.m = map[string]*AnalyticCensus{}
+}

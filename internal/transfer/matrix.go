@@ -1,0 +1,246 @@
+package transfer
+
+import (
+	"fmt"
+	"math/big"
+	"math/bits"
+
+	"repro/internal/debruijn"
+)
+
+// The three transfer-matrix constructions, all over the shared
+// debruijn.Windows transition core (one place owns the window-indexing
+// conventions — satellite of ISSUE 6):
+//
+//   - fixed points: A is the 2^(2r)×2^(2r) window-transition matrix
+//     restricted to transitions whose emitted label equals the center cell
+//     of the neighborhood; FP(n) = trace(A^n), because closed length-n
+//     walks in the restricted de Bruijn graph biject with ring
+//     configurations satisfied cell-by-cell.
+//   - temporal 2-cycles: B is the pair transfer matrix over 2^(4r) window
+//     pairs (u_x, u_y) encoding F(x) = y ∧ F(y) = x on the center track;
+//     FP2(n) = trace(B^n) counts states on temporal cycles of period ≤ 2.
+//   - Garden-of-Eden: y has a preimage iff the Boolean product
+//     M_{y_0}·…·M_{y_{n−1}} of per-symbol window-transition matrices has a
+//     nonzero trace (a closed label-matched walk). The finite monoid those
+//     products generate is a DFA over {0,1}; counting length-n words that
+//     land on trace-zero elements counts Garden-of-Eden states exactly,
+//     and the count vector evolves linearly, so the scalar sequence again
+//     has a linear recurrence (order ≤ monoid size).
+
+// fpEdges returns the sparse out-edges of the fixed-point transfer matrix
+// A: u → v present iff appending some cell b emits label == center(u).
+func fpEdges(win *debruijn.Windows) [][]int32 {
+	s := win.Count()
+	edges := make([][]int32, s)
+	for u := 0; u < s; u++ {
+		want := win.Center(u)
+		for _, b := range []uint8{0, 1} {
+			v, label := win.Step(u, b)
+			if label == want {
+				edges[u] = append(edges[u], int32(v))
+			}
+		}
+	}
+	return edges
+}
+
+// pairEdges returns the sparse out-edges of the pair transfer matrix B
+// over window pairs p = u_x·s + u_y: a joint transition is allowed iff
+// the x-run's label equals the center of the y-window and vice versa —
+// exactly F(x) = y ∧ F(y) = x at the tracked cell.
+func pairEdges(win *debruijn.Windows) [][]int32 {
+	s := win.Count()
+	edges := make([][]int32, s*s)
+	for ux := 0; ux < s; ux++ {
+		for uy := 0; uy < s; uy++ {
+			p := ux*s + uy
+			for _, bx := range []uint8{0, 1} {
+				vx, lx := win.Step(ux, bx)
+				if lx != win.Center(uy) {
+					continue
+				}
+				for _, by := range []uint8{0, 1} {
+					vy, ly := win.Step(uy, by)
+					if ly == win.Center(ux) {
+						edges[p] = append(edges[p], int32(vx*s+vy))
+					}
+				}
+			}
+		}
+	}
+	return edges
+}
+
+// traceSequence computes t_m = trace(A^m) exactly for m = 0..terms−1,
+// given A as sparse out-edges. Dense big-int powering row-by-row:
+// O(terms · dim² · outdeg) word operations for small entries.
+func traceSequence(edges [][]int32, terms int) []*big.Int {
+	dim := len(edges)
+	pow := make([][]*big.Int, dim)
+	for i := range pow {
+		pow[i] = make([]*big.Int, dim)
+		for j := range pow[i] {
+			pow[i][j] = new(big.Int)
+		}
+		pow[i][i].SetInt64(1)
+	}
+	seq := make([]*big.Int, 0, terms)
+	for m := 0; m < terms; m++ {
+		tr := new(big.Int)
+		for i := 0; i < dim; i++ {
+			tr.Add(tr, pow[i][i])
+		}
+		seq = append(seq, tr)
+		if m == terms-1 {
+			break
+		}
+		next := make([][]*big.Int, dim)
+		for i := 0; i < dim; i++ {
+			next[i] = make([]*big.Int, dim)
+			for j := range next[i] {
+				next[i][j] = new(big.Int)
+			}
+			for j, c := range pow[i] {
+				if c.Sign() == 0 {
+					continue
+				}
+				for _, v := range edges[j] {
+					next[i][v].Add(next[i][v], c)
+				}
+			}
+		}
+		pow = next
+	}
+	return seq
+}
+
+// goeAutomaton is the subset-automaton DFA: the monoid of Boolean
+// window-transition matrix products reachable from the identity by
+// right-multiplying per-symbol matrices M_0, M_1.
+type goeAutomaton struct {
+	size    int
+	next    [][2]int32 // next[e][b] = index of e·M_b
+	traceOK []bool     // traceOK[e]: trace(e) ≥ 1 (some preimage walk closes)
+}
+
+// buildGoeAutomaton enumerates the monoid. Elements are s-row Boolean
+// matrices with single-word rows (s ≤ 64, i.e. r ≤ 3); the element count
+// is capped at MaxMonoid — radius-2 rules near majority already reach
+// thousands, and past the cap the DFA (and its recurrence order) is
+// useless for a fast jump anyway.
+func buildGoeAutomaton(win *debruijn.Windows) (*goeAutomaton, error) {
+	s := win.Count()
+	if s > 64 {
+		return nil, fmt.Errorf("%w: Garden-of-Eden automaton needs single-word rows (2^(2r) = %d > 64 windows, radius %d)",
+			ErrTooLarge, s, win.Radius())
+	}
+	// Per-symbol Boolean transition matrices, rows as bitmasks.
+	var msym [2][]uint64
+	msym[0] = make([]uint64, s)
+	msym[1] = make([]uint64, s)
+	for u := 0; u < s; u++ {
+		for _, b := range []uint8{0, 1} {
+			v, label := win.Step(u, b)
+			msym[label][u] |= 1 << uint(v)
+		}
+	}
+	key := func(e []uint64) string {
+		buf := make([]byte, 8*len(e))
+		for i, w := range e {
+			for j := 0; j < 8; j++ {
+				buf[8*i+j] = byte(w >> uint(8*j))
+			}
+		}
+		return string(buf)
+	}
+	mul := func(a, b []uint64) []uint64 {
+		out := make([]uint64, s)
+		for i := 0; i < s; i++ {
+			row := a[i]
+			var acc uint64
+			for row != 0 {
+				j := bits.TrailingZeros64(row)
+				row &= row - 1
+				acc |= b[j]
+			}
+			out[i] = acc
+		}
+		return out
+	}
+	ident := make([]uint64, s)
+	for i := 0; i < s; i++ {
+		ident[i] = 1 << uint(i)
+	}
+	index := map[string]int32{key(ident): 0}
+	elems := [][]uint64{ident}
+	aut := &goeAutomaton{}
+	for head := 0; head < len(elems); head++ {
+		var tr [2]int32
+		for b := 0; b < 2; b++ {
+			prod := mul(elems[head], msym[b])
+			k := key(prod)
+			idx, ok := index[k]
+			if !ok {
+				if len(elems) >= MaxMonoid {
+					return nil, fmt.Errorf("%w: Garden-of-Eden matrix monoid exceeds %d elements (radius %d, rule %s)",
+						ErrTooLarge, MaxMonoid, win.Radius(), "—")
+				}
+				idx = int32(len(elems))
+				index[k] = idx
+				elems = append(elems, prod)
+			}
+			tr[b] = idx
+		}
+		aut.next = append(aut.next, tr)
+	}
+	aut.size = len(elems)
+	aut.traceOK = make([]bool, aut.size)
+	for i, e := range elems {
+		for row := 0; row < s; row++ {
+			if e[row]&(1<<uint(row)) != 0 {
+				aut.traceOK[i] = true
+				break
+			}
+		}
+	}
+	return aut, nil
+}
+
+// goeSequence computes g_m = #{y ∈ {0,1}^m : y has no preimage} exactly
+// for m = 0..terms−1, by iterating the word-count vector over the DFA:
+// cnt_{m+1}[next[e][b]] += cnt_m[e]. Linear evolution ⇒ the sequence has
+// a recurrence of order ≤ the monoid size.
+func goeSequence(aut *goeAutomaton, terms int) []*big.Int {
+	cnt := make([]*big.Int, aut.size)
+	for i := range cnt {
+		cnt[i] = new(big.Int)
+	}
+	cnt[0].SetInt64(1) // the empty word is the identity element
+	seq := make([]*big.Int, 0, terms)
+	for m := 0; m < terms; m++ {
+		g := new(big.Int)
+		for i, c := range cnt {
+			if !aut.traceOK[i] && c.Sign() != 0 {
+				g.Add(g, c)
+			}
+		}
+		seq = append(seq, g)
+		if m == terms-1 {
+			break
+		}
+		next := make([]*big.Int, aut.size)
+		for i := range next {
+			next[i] = new(big.Int)
+		}
+		for i, c := range cnt {
+			if c.Sign() == 0 {
+				continue
+			}
+			next[aut.next[i][0]].Add(next[aut.next[i][0]], c)
+			next[aut.next[i][1]].Add(next[aut.next[i][1]], c)
+		}
+		cnt = next
+	}
+	return seq
+}

@@ -1,0 +1,346 @@
+package transfer
+
+import (
+	"fmt"
+	"math/big"
+	"math/bits"
+)
+
+// The O(log n) jump behind every analytic census: each scalar count
+// sequence (trace of a transfer-matrix power, or a linear functional of
+// the subset-automaton word-count vector) satisfies a linear recurrence
+// whose order is at most the matrix dimension D (Cayley–Hamilton). We
+// recover the *minimal* integer recurrence from an exact prefix:
+//
+//  1. run Berlekamp–Massey on the prefix reduced mod several fixed 62-bit
+//     primes; the true minimal recurrence reduces to a valid mod-p
+//     recurrence, so BM mod p returns order ≤ e, with equality (and the
+//     exact coefficient image) unless p divides the relevant Hankel
+//     determinant — at most finitely many "unlucky" primes;
+//  2. CRT the coefficient vectors from the primes that agree on the
+//     maximal order, and lift symmetrically to signed integers
+//     (the minimal recurrence of an integer sequence with monic
+//     characteristic support is integral by Gauss's lemma);
+//  3. verify the candidate EXACTLY on prefix indices 0..D−1. Because the
+//     degree-D characteristic recurrence annihilates the sequence, any
+//     order-e relation that holds on a window of D consecutive indices
+//     holds for all n — so step 3 is a deterministic proof, not a
+//     probabilistic check. Failures (all primes unlucky) retry with more
+//     primes.
+//
+// Evaluation at huge n is then the Kitamasa jump: compute x^n mod the
+// recurrence polynomial by binary exponentiation-by-squaring — O(e² log n)
+// big-int multiplies — and combine with the initial terms.
+
+// crtPrimes are fixed 62-bit primes (the ten largest below 2^62), plenty
+// for coefficient CRT: their product exceeds 2^600.
+var crtPrimes = []uint64{
+	4611686018427387847, 4611686018427387817, 4611686018427387787,
+	4611686018427387761, 4611686018427387751, 4611686018427387737,
+	4611686018427387733, 4611686018427387709, 4611686018427387701,
+	4611686018427387631,
+}
+
+// maxRecurrenceOrder bounds the verified minimal order: the Kitamasa jump
+// is O(e² log n) big multiplies, so e = 256 at n = 10^6 is already ~10^6
+// multiplies. The MAJ panels sit far below (e ≤ 97).
+const maxRecurrenceOrder = 256
+
+func mulmod(a, b, p uint64) uint64 {
+	hi, lo := bits.Mul64(a, b)
+	_, rem := bits.Div64(hi, lo, p)
+	return rem
+}
+
+func powmod(a, e, p uint64) uint64 {
+	r := uint64(1)
+	a %= p
+	for e > 0 {
+		if e&1 == 1 {
+			r = mulmod(r, a, p)
+		}
+		a = mulmod(a, a, p)
+		e >>= 1
+	}
+	return r
+}
+
+func invmod(a, p uint64) uint64 { return powmod(a, p-2, p) }
+
+// berlekampMassey returns the minimal connection vector c for the
+// sequence s over F_p, in the convention s[n] = Σ_{j} c[j]·s[n-1-j]
+// (mod p) for all n ≥ len(c). The zero sequence yields an empty c.
+func berlekampMassey(s []uint64, p uint64) []uint64 {
+	var ls, cur []uint64
+	lf := 0
+	var ld uint64
+	for i := 0; i < len(s); i++ {
+		var t uint64
+		for j := 0; j < len(cur); j++ {
+			t = (t + mulmod(cur[j], s[i-1-j], p)) % p
+		}
+		d := (s[i] + p - t) % p
+		if d == 0 {
+			continue
+		}
+		if len(cur) == 0 {
+			cur = make([]uint64, i+1)
+			lf = i
+			ld = d
+			continue
+		}
+		k := mulmod(d, invmod(ld, p), p)
+		c := make([]uint64, i-lf-1, i-lf+len(ls))
+		c = append(c, k)
+		for _, x := range ls {
+			c = append(c, (p-mulmod(x, k, p))%p)
+		}
+		for len(c) < len(cur) {
+			c = append(c, 0)
+		}
+		for j := range cur {
+			c[j] = (c[j] + cur[j]) % p
+		}
+		if i-lf+len(ls) >= len(cur) {
+			ls = append([]uint64(nil), cur...)
+			lf = i
+			ld = d
+		}
+		cur = c
+	}
+	for i := range cur {
+		cur[i] %= p
+	}
+	return cur
+}
+
+// recurrence is a verified minimal integer linear recurrence
+// u_{n+e} = Σ_{j=0}^{e-1} coeffs[j]·u_{n+j}, valid for all n ≥ 0,
+// together with the exact prefix it was derived from (so small-n queries
+// are lookups and the Kitamasa jump has its initial terms).
+type recurrence struct {
+	order  int
+	coeffs []*big.Int // length order; may be negative
+	prefix []*big.Int // exact terms u_0..u_{len-1}, len ≥ 2·order
+}
+
+// minimalRecurrence derives and exactly verifies the minimal recurrence of
+// seq, whose annihilator degree is known to be ≤ bound (the transfer-matrix
+// dimension). seq must hold at least 2·bound terms.
+func minimalRecurrence(seq []*big.Int, bound int) (*recurrence, error) {
+	if len(seq) < 2*bound {
+		return nil, fmt.Errorf("transfer: prefix %d too short for annihilator bound %d", len(seq), bound)
+	}
+	allZero := true
+	for _, t := range seq {
+		if t.Sign() != 0 {
+			allZero = false
+			break
+		}
+	}
+	if allZero {
+		return &recurrence{order: 0, prefix: seq}, nil
+	}
+	tmp := new(big.Int)
+	residues := func(p uint64) []uint64 {
+		pb := new(big.Int).SetUint64(p)
+		out := make([]uint64, len(seq))
+		for i, t := range seq {
+			out[i] = tmp.Mod(t, pb).Uint64()
+		}
+		return out
+	}
+	// Cache BM results per prime as we widen the CRT basis.
+	type pmRes struct {
+		p uint64
+		c []uint64 // BM connection vector, order len(c)
+	}
+	var tried []pmRes
+	for nprimes := 3; nprimes <= len(crtPrimes); nprimes++ {
+		for len(tried) < nprimes {
+			p := crtPrimes[len(tried)]
+			tried = append(tried, pmRes{p: p, c: berlekampMassey(residues(p), p)})
+		}
+		e := 0
+		for _, r := range tried {
+			if len(r.c) > e {
+				e = len(r.c)
+			}
+		}
+		if e > maxRecurrenceOrder {
+			return nil, fmt.Errorf("%w: minimal recurrence order %d exceeds cap %d", ErrTooLarge, e, maxRecurrenceOrder)
+		}
+		if e > bound {
+			// BM overshot the provable annihilator degree — possible only
+			// with a too-short prefix, which the guard above excludes.
+			return nil, fmt.Errorf("transfer: BM order %d exceeds annihilator bound %d", e, bound)
+		}
+		// CRT the coefficients across primes that achieved the maximal
+		// order — for those, the BM vector is the exact image of the true
+		// minimal recurrence (the e×e Hankel system is nonsingular mod p).
+		mod := big.NewInt(1)
+		coeffs := make([]*big.Int, e)
+		for j := range coeffs {
+			coeffs[j] = new(big.Int)
+		}
+		for _, r := range tried {
+			if len(r.c) != e {
+				continue // unlucky prime: its Hankel determinant vanished
+			}
+			pb := new(big.Int).SetUint64(r.p)
+			for j := 0; j < e; j++ {
+				// BM convention: s[n] = Σ c[i]·s[n-1-i]; ours:
+				// u_{n+e} = Σ coeffs[j]·u_{n+j} ⇒ coeffs[j] ≡ c[e-1-j].
+				crtCombine(coeffs[j], mod, new(big.Int).SetUint64(r.c[e-1-j]), pb)
+			}
+			mod.Mul(mod, pb)
+		}
+		// Symmetric lift into (−mod/2, mod/2].
+		half := new(big.Int).Rsh(mod, 1)
+		for _, c := range coeffs {
+			if c.Cmp(half) > 0 {
+				c.Sub(c, mod)
+			}
+		}
+		cand := &recurrence{order: e, coeffs: coeffs, prefix: seq}
+		if cand.verify(bound) {
+			return cand, nil
+		}
+		// Lift failed exact verification: either a coefficient exceeded the
+		// CRT modulus or every prime so far was unlucky — widen and retry.
+	}
+	return nil, fmt.Errorf("transfer: no verified minimal recurrence within %d CRT primes", len(crtPrimes))
+}
+
+// crtCombine updates x (a residue mod m) to the unique residue mod m·p
+// that is ≡ x (mod m) and ≡ r (mod p). m must be coprime to p.
+func crtCombine(x, m, r, p *big.Int) {
+	// x + m·t ≡ r (mod p)  ⇒  t = (r − x)·m⁻¹ mod p
+	t := new(big.Int).Sub(r, x)
+	t.Mod(t, p)
+	mi := new(big.Int).ModInverse(new(big.Int).Mod(m, p), p)
+	t.Mul(t, mi)
+	t.Mod(t, p)
+	x.Add(x, t.Mul(t, m))
+}
+
+// verify checks the recurrence exactly on prefix indices 0..bound−1. By
+// Cayley–Hamilton the degree-`bound` characteristic recurrence annihilates
+// the sequence, so an order-e relation verified on `bound` consecutive
+// indices holds for every n ≥ 0: both sequences (the prefix and the
+// candidate's extension) satisfy the same degree-`bound` recurrence and
+// agree on `bound` initial terms.
+func (rc *recurrence) verify(bound int) bool {
+	e := rc.order
+	if len(rc.prefix) < bound+e {
+		return false
+	}
+	acc := new(big.Int)
+	tmp := new(big.Int)
+	for n := 0; n < bound; n++ {
+		acc.SetInt64(0)
+		for j, c := range rc.coeffs {
+			if c.Sign() != 0 {
+				acc.Add(acc, tmp.Mul(c, rc.prefix[n+j]))
+			}
+		}
+		if acc.Cmp(rc.prefix[n+e]) != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// at evaluates u_n: a prefix lookup for small n, otherwise the Kitamasa
+// jump — x^n mod q(x), q(x) = x^e − Σ coeffs[j]·x^j, by binary
+// exponentiation (O(e² log n) big-int multiplies), then u_n = Σ a_j·u_j.
+func (rc *recurrence) at(n uint64) *big.Int {
+	if n < uint64(len(rc.prefix)) {
+		return new(big.Int).Set(rc.prefix[n])
+	}
+	e := rc.order
+	if e == 0 {
+		return new(big.Int)
+	}
+	// Fold coefficients of degree ≥ e down via x^e ≡ Σ coeffs[j]·x^j.
+	reduce := func(res []*big.Int, tmp *big.Int) []*big.Int {
+		for i := len(res) - 1; i >= e; i-- {
+			c := res[i]
+			if c.Sign() != 0 {
+				for j, q := range rc.coeffs {
+					if q.Sign() != 0 {
+						res[i-e+j].Add(res[i-e+j], tmp.Mul(c, q))
+					}
+				}
+			}
+		}
+		return res[:e]
+	}
+	newPoly := func(size int) []*big.Int {
+		if size < e {
+			size = e // so the degree-e truncation in reduce is in range
+		}
+		res := make([]*big.Int, size)
+		for i := range res {
+			res[i] = new(big.Int)
+		}
+		return res
+	}
+	// res ← a² mod q; the symmetric half of the schoolbook products is
+	// doubled instead of recomputed — squarings dominate the jump.
+	sqred := func(a []*big.Int) []*big.Int {
+		res := newPoly(2*len(a) - 1)
+		tmp := new(big.Int)
+		for i, ai := range a {
+			if ai.Sign() == 0 {
+				continue
+			}
+			for j := i + 1; j < len(a); j++ {
+				if a[j].Sign() != 0 {
+					res[i+j].Add(res[i+j], tmp.Mul(ai, a[j]))
+				}
+			}
+		}
+		for _, x := range res {
+			x.Lsh(x, 1)
+		}
+		for i, ai := range a {
+			if ai.Sign() != 0 {
+				res[2*i].Add(res[2*i], tmp.Mul(ai, ai))
+			}
+		}
+		return reduce(res, tmp)
+	}
+	// res ← a·x mod q: a degree shift plus one coefficient fold — e small
+	// multiplies, so left-to-right exponentiation pays only for squarings.
+	xred := func(a []*big.Int) []*big.Int {
+		res := newPoly(len(a) + 1)
+		for j, aj := range a {
+			res[j+1] = aj
+		}
+		res[0] = new(big.Int)
+		return reduce(res, new(big.Int))
+	}
+	// Left-to-right binary exponentiation of x^n mod q.
+	var acc []*big.Int
+	if e == 1 {
+		acc = []*big.Int{new(big.Int).Set(rc.coeffs[0])}
+	} else {
+		acc = newPoly(e)
+		acc[1].SetInt64(1)
+	}
+	for i := bits.Len64(n) - 2; i >= 0; i-- {
+		acc = sqred(acc)
+		if n>>uint(i)&1 == 1 {
+			acc = xred(acc)
+		}
+	}
+	out := new(big.Int)
+	tmp := new(big.Int)
+	for j, aj := range acc {
+		if aj.Sign() != 0 {
+			out.Add(out, tmp.Mul(aj, rc.prefix[j]))
+		}
+	}
+	return out
+}

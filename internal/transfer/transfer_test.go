@@ -1,0 +1,316 @@
+package transfer
+
+import (
+	"errors"
+	"math/big"
+	"testing"
+	"time"
+
+	"repro/internal/rule"
+)
+
+// bruteStep applies the parallel map on the n-ring directly from the
+// rule table, with the package-wide neighborhood convention (bit j of the
+// neighborhood = cell i−r+j, LSB = leftmost).
+func bruteStep(tbl *rule.Table, n, r int, x uint64) uint64 {
+	m := 2*r + 1
+	var y uint64
+	for i := 0; i < n; i++ {
+		var nb uint64
+		for j := 0; j < m; j++ {
+			cell := (i + j - r + n) % n
+			nb |= (x >> uint(cell) & 1) << uint(j)
+		}
+		y |= uint64(tbl.Lookup(nb)) << uint(i)
+	}
+	return y
+}
+
+// bruteCounts enumerates all 2^n ring configurations and counts fixed
+// points, F²-fixed states, and Garden-of-Eden states.
+func bruteCounts(rl rule.Rule, n, r int) (fp, fp2, goe int64) {
+	tbl := rule.Materialize(rl, 2*r+1)
+	size := uint64(1) << uint(n)
+	hasPre := make([]bool, size)
+	for x := uint64(0); x < size; x++ {
+		y := bruteStep(tbl, n, r, x)
+		hasPre[y] = true
+		if y == x {
+			fp++
+		}
+		if bruteStep(tbl, n, r, y) == x {
+			fp2++
+		}
+	}
+	for _, h := range hasPre {
+		if !h {
+			goe++
+		}
+	}
+	return fp, fp2, goe
+}
+
+func checkAgainstBrute(t *testing.T, rl rule.Rule, r, n int) {
+	t.Helper()
+	e := MustNew(rl, r)
+	fp, fp2, goe := bruteCounts(rl, n, r)
+	gotFP, err := e.FixedPoints(uint64(n))
+	if err != nil {
+		t.Fatalf("%s r=%d n=%d: FixedPoints: %v", rl.Name(), r, n, err)
+	}
+	if gotFP.Int64() != fp {
+		t.Errorf("%s r=%d n=%d: FP analytic %s, brute %d", rl.Name(), r, n, gotFP, fp)
+	}
+	gotTC, err := e.TwoCycleStates(uint64(n))
+	if err != nil {
+		t.Fatalf("%s r=%d n=%d: TwoCycleStates: %v", rl.Name(), r, n, err)
+	}
+	if gotTC.Int64() != fp2-fp {
+		t.Errorf("%s r=%d n=%d: 2-cycle states analytic %s, brute %d", rl.Name(), r, n, gotTC, fp2-fp)
+	}
+	gotGoE, err := e.GardenOfEden(uint64(n))
+	if errors.Is(err, ErrTooLarge) {
+		return // monoid past cap; nothing to compare
+	}
+	if err != nil {
+		t.Fatalf("%s r=%d n=%d: GardenOfEden: %v", rl.Name(), r, n, err)
+	}
+	if gotGoE.Int64() != goe {
+		t.Errorf("%s r=%d n=%d: GoE analytic %s, brute %d", rl.Name(), r, n, gotGoE, goe)
+	}
+}
+
+func TestRadius1PanelVsBrute(t *testing.T) {
+	// The complete k-of-3 threshold panel, every ring size up to 13.
+	for k := 0; k <= 4; k++ {
+		for n := 3; n <= 13; n++ {
+			checkAgainstBrute(t, rule.Threshold{K: k}, 1, n)
+		}
+	}
+}
+
+func TestRadius2PanelVsBrute(t *testing.T) {
+	maxN := 12
+	if testing.Short() {
+		maxN = 9
+	}
+	for k := 0; k <= 6; k++ {
+		for n := 5; n <= maxN; n++ {
+			checkAgainstBrute(t, rule.Threshold{K: k}, 2, n)
+		}
+	}
+}
+
+func TestAsymmetricRulesVsBrute(t *testing.T) {
+	// Non-symmetric rules exercise the window orientation conventions that
+	// threshold rules cannot distinguish.
+	for _, code := range []uint8{110, 30, 90, 184, 2} {
+		for n := 3; n <= 11; n++ {
+			checkAgainstBrute(t, rule.Elementary(code), 1, n)
+		}
+	}
+}
+
+func TestSurjectiveRuleHasZeroGoE(t *testing.T) {
+	// The shift (rule 170) is bijective on every ring: its GoE sequence is
+	// identically zero, exercising the order-0 recurrence path.
+	e := MustNew(rule.Elementary(170), 1)
+	for _, n := range []uint64{3, 10, 1000, 1 << 20} {
+		goe, err := e.GardenOfEden(n)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if goe.Sign() != 0 {
+			t.Errorf("shift GoE(%d) = %s, want 0", n, goe)
+		}
+	}
+	// XOR (rule 150) is surjective on the line but 4-to-1 on rings with
+	// 3 | n (its characteristic polynomial 1+x+x² shares a factor with
+	// x^n − 1): GoE is 0 exactly when 3 ∤ n.
+	ex := MustNew(rule.XOR{}, 1)
+	for _, tc := range []struct {
+		n    uint64
+		zero bool
+	}{{3, false}, {4, true}, {10, true}, {12, false}, {999, false}, {1000, true}} {
+		goe, err := ex.GardenOfEden(tc.n)
+		if err != nil {
+			t.Fatalf("n=%d: %v", tc.n, err)
+		}
+		if (goe.Sign() == 0) != tc.zero {
+			t.Errorf("XOR GoE(%d) = %s, want zero=%v", tc.n, goe, tc.zero)
+		}
+	}
+}
+
+func TestCensusInvariants(t *testing.T) {
+	e := MustNew(rule.Majority(1), 1)
+	c, err := e.TakeCensus(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Configs.BitLen() != 1001 {
+		t.Errorf("Configs bit length %d, want 1001", c.Configs.BitLen())
+	}
+	if got := new(big.Int).Lsh(c.TwoCycles, 1); got.Cmp(c.TwoCycleStates) != 0 {
+		t.Errorf("2·TwoCycles = %s ≠ TwoCycleStates = %s", got, c.TwoCycleStates)
+	}
+	sum := new(big.Int).Add(c.WithPreimage, c.GardenOfEden)
+	if sum.Cmp(c.Configs) != 0 {
+		t.Errorf("WithPreimage + GoE = %s ≠ 2^n = %s", sum, c.Configs)
+	}
+	// MAJ-3 at even n ≥ 4 has the alternating 2-cycle (Lemma 1(i)) and
+	// the two homogeneous fixed points among others.
+	if c.FixedPoints.Sign() <= 0 || c.TwoCycles.Sign() <= 0 {
+		t.Errorf("MAJ-3 n=1000: FP=%s 2cyc=%s, both must be positive", c.FixedPoints, c.TwoCycles)
+	}
+}
+
+func TestConsistencyAcrossJumpBoundary(t *testing.T) {
+	// The prefix-lookup and Kitamasa paths must agree where they overlap:
+	// force a jump at indices still inside the stored prefix by comparing
+	// census values computed via a fresh engine prefix against direct
+	// recurrence iteration past the prefix end.
+	e := MustNew(rule.Majority(1), 1)
+	rc, err := e.fixedPointRec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Iterate the recurrence well past the prefix and compare with at().
+	ext := make([]*big.Int, len(rc.prefix), len(rc.prefix)+64)
+	copy(ext, rc.prefix)
+	tmp := new(big.Int)
+	for len(ext) < cap(ext) {
+		n := len(ext) - rc.order
+		acc := new(big.Int)
+		for j, c := range rc.coeffs {
+			acc.Add(acc, tmp.Mul(c, ext[n+j]))
+		}
+		ext = append(ext, acc)
+	}
+	for _, idx := range []int{len(rc.prefix), len(rc.prefix) + 13, len(ext) - 1} {
+		if got := rc.at(uint64(idx)); got.Cmp(ext[idx]) != 0 {
+			t.Errorf("at(%d) = %s, iterated %s", idx, got, ext[idx])
+		}
+	}
+}
+
+func TestRingSizeGuards(t *testing.T) {
+	e := MustNew(rule.Majority(2), 2)
+	if _, err := e.FixedPoints(4); err == nil {
+		t.Error("n=4 < 2r+1=5 accepted at radius 2")
+	}
+	// Radius-3 pair matrix is 4096×4096: past MaxTraceDim.
+	e3 := MustNew(rule.Majority(3), 3)
+	if _, err := e3.TwoCycleStates(7); !errors.Is(err, ErrTooLarge) {
+		t.Errorf("radius-3 pair matrix: err = %v, want ErrTooLarge", err)
+	}
+	// Radius-2 k=3 monoid exceeds MaxMonoid.
+	em := MustNew(rule.Majority(2), 2)
+	if _, err := em.GardenOfEden(10); !errors.Is(err, ErrTooLarge) {
+		t.Errorf("radius-2 majority GoE monoid: err = %v, want ErrTooLarge", err)
+	}
+	// But radius-2 FP and 2-cycles stay available (checked above), and
+	// radius-2 k=0 GoE is fine (tiny monoid).
+	if _, err := MustNew(rule.Threshold{K: 0}, 2).GardenOfEden(10); err != nil {
+		t.Errorf("radius-2 k=0 GoE: %v", err)
+	}
+}
+
+func TestMillionCellCensus(t *testing.T) {
+	// The ISSUE 6 acceptance criterion: exact FP, 2-cycle, and GoE counts
+	// for every MAJ-3 panel rule at n = 10^6, each census comfortably
+	// fast. (The <1 s target is measured in the bench ablations; here we
+	// assert a generous ceiling so CI noise cannot flake the suite.)
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	const n = 1_000_000
+	for k := 0; k <= 4; k++ {
+		e := MustNew(rule.Threshold{K: k}, 1)
+		start := time.Now()
+		c, err := e.TakeCensus(n)
+		if err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		elapsed := time.Since(start)
+		if elapsed > 5*time.Second {
+			t.Errorf("k=%d: census at n=10^6 took %v, want well under 5s", k, elapsed)
+		}
+		sum := new(big.Int).Add(c.WithPreimage, c.GardenOfEden)
+		if sum.Cmp(c.Configs) != 0 {
+			t.Errorf("k=%d: preimage partition broken at n=10^6", k)
+		}
+	}
+}
+
+func TestCachedEngineSharing(t *testing.T) {
+	ResetCache()
+	a, err := Cached(rule.Majority(1), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Cached(rule.Majority(1), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("Cached returned distinct engines for the same (rule, radius)")
+	}
+	c, err := Cached(rule.Threshold{K: 1}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c == a {
+		t.Error("distinct rules shared an engine")
+	}
+	ResetCache()
+}
+
+func TestRecurrenceMachinery(t *testing.T) {
+	// Fibonacci: order 2, coeffs (1, 1).
+	fib := make([]*big.Int, 64)
+	fib[0], fib[1] = big.NewInt(0), big.NewInt(1)
+	for i := 2; i < len(fib); i++ {
+		fib[i] = new(big.Int).Add(fib[i-1], fib[i-2])
+	}
+	rc, err := minimalRecurrence(fib, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rc.order != 2 || rc.coeffs[0].Int64() != 1 || rc.coeffs[1].Int64() != 1 {
+		t.Fatalf("fibonacci recurrence: order %d coeffs %v", rc.order, rc.coeffs)
+	}
+	// F(90) = 2880067194370816120, past the prefix: exercises the jump.
+	want, _ := new(big.Int).SetString("2880067194370816120", 10)
+	if got := rc.at(90); got.Cmp(want) != 0 {
+		t.Errorf("F(90) = %s, want %s", got, want)
+	}
+	// Geometric with negative ratio: u_n = (−3)^n, order 1.
+	geo := make([]*big.Int, 16)
+	geo[0] = big.NewInt(1)
+	for i := 1; i < len(geo); i++ {
+		geo[i] = new(big.Int).Mul(geo[i-1], big.NewInt(-3))
+	}
+	rcg, err := minimalRecurrence(geo, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rcg.order != 1 || rcg.coeffs[0].Int64() != -3 {
+		t.Fatalf("geometric recurrence: order %d coeffs %v", rcg.order, rcg.coeffs)
+	}
+	if got := rcg.at(31); got.Cmp(new(big.Int).Exp(big.NewInt(-3), big.NewInt(31), nil)) != 0 {
+		t.Errorf("(−3)^31 wrong: %s", got)
+	}
+	// The zero sequence: order 0, at() ≡ 0.
+	zero := make([]*big.Int, 8)
+	for i := range zero {
+		zero[i] = new(big.Int)
+	}
+	rcz, err := minimalRecurrence(zero, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rcz.order != 0 || rcz.at(1<<40).Sign() != 0 {
+		t.Errorf("zero sequence: order %d", rcz.order)
+	}
+}

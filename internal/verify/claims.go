@@ -85,6 +85,12 @@ func Claims() []Claim {
 			Paper: "differential",
 			Check: checkOracleSequentialBuilders,
 		},
+		{
+			ID:    "ST-AN",
+			Title: "analytic transfer-matrix census ≡ quotient-engine enumeration (FPs, 2-cycles, GoE)",
+			Paper: "differential",
+			Check: checkAnalyticCensus,
+		},
 	}
 }
 

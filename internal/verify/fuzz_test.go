@@ -1,12 +1,16 @@
 package verify
 
 import (
+	"errors"
 	"math/rand"
 	"testing"
 
 	"repro/internal/bitvec"
 	"repro/internal/config"
+	"repro/internal/phasespace"
+	"repro/internal/rule"
 	"repro/internal/sim"
+	"repro/internal/transfer"
 )
 
 // The fuzz targets reuse the claim suite's generators and properties for
@@ -138,6 +142,61 @@ func FuzzCanonicalDihedral(f *testing.F) {
 		}
 		if got, want := bitvec.DihedralOrbitSize(x, n), len(images); got != want {
 			t.Fatalf("DihedralOrbitSize(%#x, %d) = %d, orbit has %d distinct images", x, n, got, want)
+		}
+	})
+}
+
+// FuzzTransferCensus cross-checks the transfer-matrix analytic census
+// (fixed points, temporal 2-cycles, Garden-of-Eden counts as traces and
+// monoid walks, jumped to n by the recurrence) against full phase-space
+// enumeration on fuzzer-chosen threshold instances. Quantities past a
+// transfer cap (errors.Is ErrTooLarge — e.g. the radius-2 mid-threshold
+// GoE monoid) must fail loudly, never return a number.
+func FuzzTransferCensus(f *testing.F) {
+	f.Add(uint8(8), uint8(1), uint8(2))
+	f.Add(uint8(13), uint8(2), uint8(3))
+	f.Add(uint8(20), uint8(1), uint8(0))
+	f.Add(uint8(11), uint8(2), uint8(5))
+	f.Fuzz(func(t *testing.T, nb, rb, kb uint8) {
+		cs := foldCase(nb, rb, kb, 3, 20, 2)
+		if cs.N < 2*cs.R+1 {
+			cs.R = 1
+		}
+		eng, err := transfer.Cached(rule.Threshold{K: cs.K}, cs.R)
+		if err != nil {
+			t.Fatalf("%s: transfer engine: %v", cs, err)
+		}
+		ec := phasespace.BuildParallelWorkers(cs.Automaton(), 2).TakeCensus()
+		if ec.MaxPeriod > 2 {
+			t.Fatalf("%s: threshold parallel period %d > 2", cs, ec.MaxPeriod)
+		}
+		n := uint64(cs.N)
+		fp, err := eng.FixedPoints(n)
+		if err != nil {
+			t.Fatalf("%s: FixedPoints: %v", cs, err)
+		}
+		if fp.Int64() != int64(ec.FixedPoints) {
+			t.Fatalf("%s: analytic FP %s, enumerated %d", cs, fp, ec.FixedPoints)
+		}
+		tc, err := eng.TwoCycles(n)
+		if err != nil {
+			if errors.Is(err, transfer.ErrTooLarge) {
+				return
+			}
+			t.Fatalf("%s: TwoCycles: %v", cs, err)
+		}
+		if tc.Int64() != int64(ec.ProperCycles) {
+			t.Fatalf("%s: analytic 2-cycles %s, enumerated %d", cs, tc, ec.ProperCycles)
+		}
+		goe, err := eng.GardenOfEden(n)
+		if err != nil {
+			if errors.Is(err, transfer.ErrTooLarge) {
+				return
+			}
+			t.Fatalf("%s: GardenOfEden: %v", cs, err)
+		}
+		if goe.Uint64() != ec.GardenOfEden {
+			t.Fatalf("%s: analytic GoE %s, enumerated %d", cs, goe, ec.GardenOfEden)
 		}
 	})
 }
