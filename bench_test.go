@@ -28,6 +28,7 @@ import (
 	"repro/internal/threshnet"
 	"repro/internal/transfer"
 	"repro/internal/update"
+	"repro/internal/verify"
 	"repro/internal/wolfram"
 )
 
@@ -186,7 +187,10 @@ func BenchmarkE11_MicroOpRecovery(b *testing.B) {
 	a := majRing(b, 5, 1)
 	start := config.Alternating(5, 0)
 	for i := 0; i < b.N; i++ {
-		rep := interleave.CheckRecovery(a, start)
+		rep, err := interleave.CheckRecovery(a, start)
+		if err != nil {
+			b.Fatal(err)
+		}
 		if !rep.MicroReaches || rep.AtomicReaches {
 			b.Fatalf("recovery shape broken: %+v", rep)
 		}
@@ -757,4 +761,65 @@ func BenchmarkAblation_TransferVsQuotientCrossover(b *testing.B) {
 			}
 		})
 	}
+}
+
+// E28 / §5 + POR: the witness pipeline at a ring size whose schedule
+// space (24!/2¹² ≈ 1.5e20) is far beyond enumeration — targeted sleep-set
+// search, ddmin shrink, memoized atomic certification.
+func BenchmarkE28_MicroPORWitness(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		witness, shrunk, cex := verify.MicroPORWitness(12)
+		if cex != nil {
+			b.Fatalf("witness pipeline failed: %s", cex)
+		}
+		if len(witness) != 24 || len(shrunk) >= len(witness) {
+			b.Fatalf("witness shape: %d ops, shrunk %d", len(witness), len(shrunk))
+		}
+	}
+}
+
+// Ablation: sleep-set/persistent-set partial-order reduction vs brute-force
+// enumeration of the fetch/commit interleaving space (MAJORITY 6-ring,
+// alternating start, all 12!/2⁶ ≈ 7.5e6 schedules on the brute side). Each
+// sub-benchmark reports its explored schedule count as a custom metric;
+// the committed BENCH baseline pins the ≥100× reduction alongside the
+// timing gate.
+func BenchmarkAblation_PORPrune(b *testing.B) {
+	a := majRing(b, 6, 1)
+	start := config.Alternating(6, 0)
+	nodes := []int{0, 1, 2, 3, 4, 5}
+	b.Run("brute", func(b *testing.B) {
+		total := 0
+		for i := 0; i < b.N; i++ {
+			out, err := interleave.MicroOutcomes(a, start, nodes)
+			if err != nil {
+				b.Fatal(err)
+			}
+			total = 0
+			for _, c := range out {
+				total += c
+			}
+			if len(out) != 39 {
+				b.Fatalf("outcome set size %d, want 39", len(out))
+			}
+		}
+		b.ReportMetric(float64(total), "schedules/op")
+	})
+	b.Run("por", func(b *testing.B) {
+		var explored uint64
+		for i := 0; i < b.N; i++ {
+			res, err := interleave.PORSearch(a, start, nodes, interleave.POROptions{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			explored = res.Stats.Schedules
+			if len(res.Outcomes) != 39 {
+				b.Fatalf("outcome set size %d, want 39", len(res.Outcomes))
+			}
+			if res.Stats.Schedules*100 > 7484400 {
+				b.Fatalf("POR explored %d schedules; prune factor below 100×", res.Stats.Schedules)
+			}
+		}
+		b.ReportMetric(float64(explored), "schedules/op")
+	})
 }

@@ -14,14 +14,18 @@ type Report struct {
 	Results []Result `json:"results"`
 }
 
-// Result is one parsed benchmark line.
+// Result is one parsed benchmark line. Custom metrics emitted with
+// b.ReportMetric (e.g. the POR ablation's "schedules/op") land in Extra
+// keyed by their unit; they are carried through to the JSON so baselines
+// record them, but only ns/op ever gates a comparison.
 type Result struct {
-	Name        string  `json:"name"`
-	Iterations  int64   `json:"iterations"`
-	NsPerOp     float64 `json:"ns_per_op"`
-	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
-	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
-	MBPerSec    float64 `json:"mb_per_sec,omitempty"`
+	Name        string             `json:"name"`
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  int64              `json:"bytes_per_op,omitempty"`
+	AllocsPerOp int64              `json:"allocs_per_op,omitempty"`
+	MBPerSec    float64            `json:"mb_per_sec,omitempty"`
+	Extra       map[string]float64 `json:"extra,omitempty"`
 }
 
 // benchLine matches standard `go test -bench` output, e.g.
@@ -34,7 +38,7 @@ type Result struct {
 // appear in any order.
 var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(.*)$`)
 
-var metricField = regexp.MustCompile(`([\d.]+) (B/op|allocs/op|MB/s)`)
+var metricField = regexp.MustCompile(`([\d.]+(?:[eE][+-]?\d+)?) ([A-Za-z][^\s]*)`)
 
 // parseBenchLines extracts every benchmark result from raw `go test -bench`
 // output, skipping goos/goarch/cpu headers, PASS/ok trailers and any
@@ -67,6 +71,11 @@ func parseBenchLines(raw string) []Result {
 				r.AllocsPerOp = int64(v)
 			case "MB/s":
 				r.MBPerSec = v
+			default:
+				if r.Extra == nil {
+					r.Extra = map[string]float64{}
+				}
+				r.Extra[f[2]] = v
 			}
 		}
 		out = append(out, r)

@@ -16,6 +16,7 @@ BenchmarkE01_Fig1aParallelXOR-8   	  500000	      2450 ns/op	     128 B/op	     
 BenchmarkAblation_PackedVsScalarBuild/packed-8         	     100	  11289000 ns/op
 BenchmarkAblation_PackedVsScalarBuild/scalar-8         	       3	 422665110 ns/op
 BenchmarkAblation_StepWorkers/workers=4-8              	    2000	    921000 ns/op	4096.00 MB/s
+BenchmarkAblation_PORPrune/por-8                       	     100	   1000000 ns/op	       693.0 schedules/op
 BenchmarkNoSuffix 	    1000	      55.5 ns/op
 some interleaved test output
 PASS
@@ -24,8 +25,8 @@ ok  	repro	12.3s
 
 func TestParseBenchLines(t *testing.T) {
 	rs := parseBenchLines(sampleLog)
-	if len(rs) != 5 {
-		t.Fatalf("parsed %d results, want 5", len(rs))
+	if len(rs) != 6 {
+		t.Fatalf("parsed %d results, want 6", len(rs))
 	}
 	first := rs[0]
 	if first.Name != "BenchmarkE01_Fig1aParallelXOR" {
@@ -40,8 +41,14 @@ func TestParseBenchLines(t *testing.T) {
 	if rs[3].MBPerSec != 4096 {
 		t.Errorf("MB/s %v", rs[3].MBPerSec)
 	}
-	if rs[4].NsPerOp != 55.5 {
-		t.Errorf("fractional ns/op %v", rs[4].NsPerOp)
+	if rs[4].Extra["schedules/op"] != 693 {
+		t.Errorf("custom metric capture %v", rs[4].Extra)
+	}
+	if rs[4].BytesPerOp != 0 || rs[4].MBPerSec != 0 {
+		t.Errorf("custom metric leaked into a builtin field: %+v", rs[4])
+	}
+	if rs[5].NsPerOp != 55.5 {
+		t.Errorf("fractional ns/op %v", rs[5].NsPerOp)
 	}
 	// The parsed ablation pair carries the speedup evidence.
 	if ratio := rs[2].NsPerOp / rs[1].NsPerOp; ratio < 4 {
@@ -73,7 +80,7 @@ func TestRunParseMode(t *testing.T) {
 	if err := json.Unmarshal(data, &rep); err != nil {
 		t.Fatal(err)
 	}
-	if len(rep.Results) != 5 || rep.Go == "" || rep.Date == "" {
+	if len(rep.Results) != 6 || rep.Go == "" || rep.Date == "" {
 		t.Errorf("report %+v", rep)
 	}
 }

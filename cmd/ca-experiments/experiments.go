@@ -405,7 +405,10 @@ func e11(w io.Writer, md bool) error {
 		{"majority ring n=6", majRing(6, 1), config.Alternating(6, 0)},
 	}
 	for _, c := range cases {
-		rep := interleave.CheckRecovery(c.a, c.start)
+		rep, err := interleave.CheckRecovery(c.a, c.start)
+		if err != nil {
+			return err
+		}
 		allOK = allOK && rep.MicroReaches && !rep.AtomicReaches
 		t.AddRow(c.name, c.start.String(), rep.MicroSchedules, rep.MicroReaches, rep.AtomicSchedules, rep.AtomicReaches)
 	}

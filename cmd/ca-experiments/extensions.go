@@ -12,6 +12,7 @@ import (
 	"repro/internal/config"
 	"repro/internal/debruijn"
 	"repro/internal/density"
+	"repro/internal/interleave"
 	"repro/internal/phasespace"
 	"repro/internal/render"
 	"repro/internal/rule"
@@ -20,6 +21,7 @@ import (
 	"repro/internal/threshnet"
 	"repro/internal/transfer"
 	"repro/internal/update"
+	"repro/internal/verify"
 	"repro/internal/wolfram"
 )
 
@@ -456,5 +458,90 @@ func e27(w io.Writer, md bool) error {
 	_ = transfer.MaxEngineRadius // engines cap at this radius; panel above is r=1
 	_, err := fmt.Fprintf(w, "\nexact counts at n = 10^6 in under a second per rule; enumeration overtaken by n = %d.\npartition invariant GoE + with-preimage = 2^n holds exactly at every n → %s\n",
 		crossover, verdict(allOK && crossOK && crossover > 0))
+	return err
+}
+
+// E28: micro-op scheduling under partial-order reduction. Three legs:
+// the POR prune factor against brute-force enumeration where both run,
+// the S5 witness pipeline (find / shrink / certify) on even MAJORITY
+// rings far past the brute-force wall, and the word of the minimal
+// shrunk schedule itself.
+func e28(w io.Writer, md bool) error {
+	allOK := true
+
+	// Leg 1: prune factors where the brute force can still enumerate.
+	// Brute counts every (2k)!/2^k fetch/commit interleaving; the sleep-set
+	// search visits one schedule per Mazurkiewicz trace.
+	pt := render.NewTable("ring", "brute schedules", "POR schedules", "prune factor", "outcome sets")
+	for _, n := range []int{4, 5, 6} {
+		a := majRing(n, 1)
+		start := config.Alternating(n, 0)
+		nodes := make([]int, n)
+		for i := range nodes {
+			nodes[i] = i
+		}
+		brute, err := interleave.MicroOutcomes(a, start, nodes)
+		if err != nil {
+			return err
+		}
+		res, err := interleave.PORSearch(a, start, nodes, interleave.POROptions{})
+		if err != nil {
+			return err
+		}
+		total := 0
+		for _, c := range brute {
+			total += c
+		}
+		same := len(brute) == len(res.Outcomes)
+		for v := range brute {
+			if _, ok := res.Outcomes[v]; !ok {
+				same = false
+			}
+		}
+		factor := float64(total) / float64(res.Stats.Schedules)
+		allOK = allOK && same && (n < 6 || factor >= 100)
+		pt.AddRow(fmt.Sprintf("n=%d", n), total, res.Stats.Schedules,
+			fmt.Sprintf("%.0f×", factor), map[bool]string{true: "identical", false: "DIVERGE"}[same])
+	}
+	if err := emit(pt, w, md); err != nil {
+		return err
+	}
+
+	// Leg 2: the S5 pipeline past the brute wall — targeted witness
+	// search, ddmin shrink, exhaustive atomic certification.
+	wt := render.NewTable("ring", "interleavings (exact)", "witness ops", "shrunk word", "atomic reach |set|", "atomic hits F(x)")
+	var lastShrunk []int
+	for n := 6; n <= 16; n += 2 {
+		witness, shrunk, cex := verify.MicroPORWitness(n)
+		if cex != nil {
+			return fmt.Errorf("E28: S5 witness pipeline failed at n=%d: %s", n, cex)
+		}
+		a := majRing(n, 1)
+		nodes := make([]int, n)
+		for i := range nodes {
+			nodes[i] = i
+		}
+		progs, err := interleave.Programs(a, nodes, interleave.FetchCommit)
+		if err != nil {
+			return err
+		}
+		atomic, err := interleave.AtomicReachable(a, config.Alternating(n, 0), nodes)
+		if err != nil {
+			return err
+		}
+		count := interleave.ScheduleCount(progs)
+		cs := count.String()
+		if len(cs) > 14 {
+			cs = fmt.Sprintf("%s… (%d digits)", cs[:6], len(cs))
+		}
+		wt.AddRow(fmt.Sprintf("n=%d", n), cs, len(witness),
+			fmt.Sprintf("%d of %d", len(shrunk), len(witness)), len(atomic), false)
+		lastShrunk = shrunk
+	}
+	if err := emit(wt, w, md); err != nil {
+		return err
+	}
+
+	_, err := fmt.Fprintf(w, "\nminimal shrunk schedule word at n=16 (program indices; the canonical completion runs the rest in program order):\n  %v\npaper (§5 / Lemma 1): the parallel 2-cycle step needs %d of 16 fetches scheduled before any store —\none atomic update anywhere breaks it, so no whole-update order ever reaches F(x).\nmeasured → %s\n", lastShrunk, len(lastShrunk), verdict(allOK))
 	return err
 }

@@ -66,6 +66,7 @@ var experiments = []experiment{
 	{"E25", "extension: irreversible threshold growth (bootstrap percolation) — confluence", e25},
 	{"E26", "extension: surjectivity and reversibility via de Bruijn graphs (ref [18])", e26},
 	{"E27", "analytic census: transfer-matrix exact counts beyond enumeration range", e27},
+	{"E28", "micro-op scheduling: POR prune factors and the shrunk S5 witness", e28},
 }
 
 func main() {

@@ -40,7 +40,10 @@ func main() {
 	fmt.Println("\n=== §5: the same refinement on cellular automata ===")
 	a := automaton.MustNew(space.Ring(5, 1), rule.Majority(1))
 	start := config.Alternating(5, 0)
-	rep := interleave.CheckRecovery(a, start)
+	rep, err := interleave.CheckRecovery(a, start)
+	if err != nil {
+		panic(err)
+	}
 	fmt.Printf("  MAJORITY 5-ring from %s; parallel step F(x) = %s\n",
 		start, config.FromIndex(rep.Parallel, 5))
 	fmt.Printf("  whole-update interleavings (%4d orders):      reach F(x)? %v\n",
@@ -52,7 +55,10 @@ func main() {
 
 	// The XOR pair of Figure 1, for contrast.
 	x := automaton.MustNew(space.CompleteGraph(2), rule.XOR{})
-	repx := interleave.CheckRecovery(x, config.MustParse("11"))
+	repx, err := interleave.CheckRecovery(x, config.MustParse("11"))
+	if err != nil {
+		panic(err)
+	}
 	fmt.Printf("\n  two-node XOR from 11: atomic reaches F(x)=00? %v; micro-ops? %v\n",
 		repx.AtomicReaches, repx.MicroReaches)
 }

@@ -155,7 +155,10 @@ func TestEndToEndDichotomyPipeline(t *testing.T) {
 		}
 		// Micro-op interleavings recover the cycle step on a small window.
 		if n <= 6 {
-			micro, atomic := repro.InterleavingGranularity(a, x)
+			micro, atomic, err := repro.InterleavingGranularity(a, x)
+			if err != nil {
+				t.Fatal(err)
+			}
 			if !micro || atomic {
 				t.Fatal("granularity result inconsistent")
 			}

@@ -1,6 +1,9 @@
 package interleave
 
 import (
+	"errors"
+	"math"
+	"math/big"
 	"testing"
 
 	"repro/internal/automaton"
@@ -100,10 +103,72 @@ func TestCountInterleavings(t *testing.T) {
 		{[]int{2, 2, 2}, 90},
 		{[]int{3, 3, 3}, 1680},
 		{[]int{0, 5}, 1},
+		{nil, 1},
+		{[]int{7}, 1},
+		{[]int{0, 0, 0}, 1},
 	}
 	for _, c := range cases {
 		if got := CountInterleavings(c.lens); got != c.want {
 			t.Errorf("CountInterleavings(%v) = %d, want %d", c.lens, got, c.want)
+		}
+	}
+}
+
+func TestCountInterleavingsOverflowSaturates(t *testing.T) {
+	// 6 programs of 20 ops: 120!/(20!)^6 ≈ 8.1e83 — far past uint64.
+	lens := []int{20, 20, 20, 20, 20, 20}
+	if got := CountInterleavings(lens); got != math.MaxUint64 {
+		t.Errorf("CountInterleavings(%v) = %d, want saturation at MaxUint64", lens, got)
+	}
+	exact := CountInterleavingsBig(lens)
+	if exact.IsUint64() {
+		t.Fatalf("CountInterleavingsBig(%v) = %s unexpectedly fits uint64", lens, exact)
+	}
+	// Cross-check the incremental binomial product against the closed form
+	// (Σlen)!/Π(len!) computed with big-integer factorials.
+	want := new(big.Int).MulRange(1, 120)
+	f20 := new(big.Int).MulRange(1, 20)
+	for i := 0; i < 6; i++ {
+		want.Quo(want, f20)
+	}
+	if exact.Cmp(want) != 0 {
+		t.Errorf("CountInterleavingsBig(%v) = %s, closed form %s", lens, exact, want)
+	}
+}
+
+func TestInterleavingsEmptyAndSingleProgram(t *testing.T) {
+	// No programs: the single empty interleaving leaves the store alone.
+	out := Interleavings(42, nil)
+	if len(out) != 1 || out[42] != 1 {
+		t.Errorf("Interleavings(42, nil) = %v, want {42:1}", out)
+	}
+	// One program: exactly one interleaving, the program itself.
+	out = Interleavings(0, []Program{IncrementProgram(5)})
+	if len(out) != 1 || out[5] != 1 {
+		t.Errorf("single-program interleavings = %v, want {5:1}", out)
+	}
+	// A zero-length program alongside a real one adds no interleavings.
+	out = Interleavings(0, []Program{{}, IncrementProgram(3)})
+	if len(out) != 1 || out[3] != 1 {
+		t.Errorf("empty+increment interleavings = %v, want {3:1}", out)
+	}
+}
+
+func TestSimultaneousWritesTotalsMatchMultinomial(t *testing.T) {
+	// Last-write-wins assigns each of the k writers (k−1)! winning orders,
+	// so the multiplicity total is k·(k−1)! = k! for every k.
+	for k := 1; k <= 6; k++ {
+		progs := make([]Program, k)
+		for i := range progs {
+			progs[i] = IncrementProgram(int64(i + 1))
+		}
+		out := SimultaneousWrites(0, progs)
+		total := 0
+		for _, c := range out {
+			total += c
+		}
+		if want := factorial(k); total != want {
+			t.Errorf("k=%d: simultaneous multiplicity total %d, want %d", k, total, want)
 		}
 	}
 }
@@ -128,7 +193,10 @@ func xorPair() *automaton.Automaton {
 func TestMicroOpsRecoverParallelXORStep(t *testing.T) {
 	a := xorPair()
 	start := config.MustParse("11")
-	rep := CheckRecovery(a, start)
+	rep, err := CheckRecovery(a, start)
+	if err != nil {
+		t.Fatalf("CheckRecovery: %v", err)
+	}
 	// F(11) = 00.
 	if rep.Parallel != 0 {
 		t.Fatalf("F(11) index %d, want 0", rep.Parallel)
@@ -155,7 +223,10 @@ func TestMicroOpsRecoverParallelMajorityCycleStep(t *testing.T) {
 	// order achieves it; micro-op interleavings do.
 	a := automaton.MustNew(space.Ring(4, 1), rule.Majority(1))
 	start := config.Alternating(4, 0)
-	rep := CheckRecovery(a, start)
+	rep, err := CheckRecovery(a, start)
+	if err != nil {
+		t.Fatalf("CheckRecovery: %v", err)
+	}
 	want := config.Alternating(4, 1).Index()
 	if rep.Parallel != want {
 		t.Fatalf("parallel step = %d, want %d", rep.Parallel, want)
@@ -176,8 +247,14 @@ func TestMicroOutcomesSupersetOfAtomic(t *testing.T) {
 	nodes := []int{0, 1, 2, 3, 4}
 	for _, s := range []string{"01010", "11000", "10101"} {
 		start := config.MustParse(s)
-		micro := MicroOutcomes(a, start, nodes)
-		atomic := AtomicUpdateOutcomes(a, start, nodes)
+		micro, err := MicroOutcomes(a, start, nodes)
+		if err != nil {
+			t.Fatalf("MicroOutcomes(%s): %v", s, err)
+		}
+		atomic, err := AtomicUpdateOutcomes(a, start, nodes)
+		if err != nil {
+			t.Fatalf("AtomicUpdateOutcomes(%s): %v", s, err)
+		}
 		for v := range atomic {
 			if _, ok := micro[v]; !ok {
 				t.Errorf("start %s: atomic outcome %d missing from micro outcomes", s, v)
@@ -208,7 +285,10 @@ func TestMicroOutcomesSubsetOfNodeCount(t *testing.T) {
 	// Updating only a subset of nodes must leave other nodes untouched.
 	a := automaton.MustNew(space.Ring(5, 1), rule.Majority(1))
 	start := config.MustParse("01010")
-	out := MicroOutcomes(a, start, []int{1, 2})
+	out, err := MicroOutcomes(a, start, []int{1, 2})
+	if err != nil {
+		t.Fatalf("MicroOutcomes: %v", err)
+	}
 	for v := range out {
 		got := config.FromIndex(v, 5)
 		for _, fixed := range []int{0, 3, 4} {
@@ -219,14 +299,31 @@ func TestMicroOutcomesSubsetOfNodeCount(t *testing.T) {
 	}
 }
 
-func TestMicroPanicsOnTooManyNodes(t *testing.T) {
+func TestMicroErrTooLargeOnTooManyNodes(t *testing.T) {
 	a := automaton.MustNew(space.Ring(8, 1), rule.Majority(1))
-	defer func() {
-		if recover() == nil {
-			t.Fatal("7 micro-op programs accepted")
-		}
-	}()
-	MicroOutcomes(a, config.New(8), []int{0, 1, 2, 3, 4, 5, 6})
+	out, err := MicroOutcomes(a, config.New(8), []int{0, 1, 2, 3, 4, 5, 6})
+	if !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("7 micro-op programs: err = %v, want ErrTooLarge", err)
+	}
+	if out != nil {
+		t.Fatalf("7 micro-op programs returned outcomes %v alongside the error", out)
+	}
+	// Right at the cap the enumeration still runs.
+	if _, err := MicroOutcomes(a, config.New(8), []int{0, 1, 2, 3, 4, 5}); err != nil {
+		t.Fatalf("6 micro-op programs rejected: %v", err)
+	}
+	// AtomicUpdateOutcomes caps at 10 programs; AtomicReachable takes over.
+	wide := automaton.MustNew(space.Ring(12, 1), rule.Majority(1))
+	all := make([]int, 12)
+	for i := range all {
+		all[i] = i
+	}
+	if _, err := AtomicUpdateOutcomes(wide, config.New(12), all); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("12 atomic programs: err = %v, want ErrTooLarge", err)
+	}
+	if _, err := AtomicReachable(wide, config.New(12), all); err != nil {
+		t.Fatalf("AtomicReachable on 12 programs: %v", err)
+	}
 }
 
 func BenchmarkMicroOutcomes5(b *testing.B) {
@@ -235,7 +332,9 @@ func BenchmarkMicroOutcomes5(b *testing.B) {
 	nodes := []int{0, 1, 2, 3, 4}
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		MicroOutcomes(a, start, nodes)
+		if _, err := MicroOutcomes(a, start, nodes); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

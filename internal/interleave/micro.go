@@ -1,6 +1,7 @@
 package interleave
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
@@ -8,68 +9,52 @@ import (
 	"repro/internal/config"
 )
 
-// MicroOutcomes explores the §5 refinement for cellular automata: each node
-// in nodes executes the two-phase program FETCH (snapshot its neighborhood
-// and compute its next state) then COMMIT (write that state), exactly once,
-// and all order-preserving interleavings of these micro-operations across
-// nodes are enumerated. The returned set maps each reachable final
-// configuration index to the number of interleavings producing it.
+// ErrTooLarge wraps every "construction exceeds an enumeration cap"
+// failure of this package — brute-force interleaving spaces past the
+// schedule cap, POR explorations past the step budget, atomic
+// reachability past the memo cap, automata past the uint64 index range.
+// Callers branch with errors.Is(err, ErrTooLarge), mirroring
+// internal/transfer's cap convention.
+var ErrTooLarge = errors.New("interleave: construction exceeds enumeration caps")
+
+// microNodeCap bounds the brute-force fetch/commit enumeration: k two-op
+// programs have (2k)!/2^k interleavings, which at k = 6 is already 7.5e6.
+// Larger node sets must go through PORSearch instead.
+const microNodeCap = 6
+
+// MicroOutcomes explores the §5 refinement for cellular automata by brute
+// force: each node in nodes executes the two-phase program FETCH (snapshot
+// its neighborhood and compute its next state) then COMMIT (write that
+// state), exactly once, and all order-preserving interleavings of these
+// micro-operations across nodes are enumerated. The returned multiset maps
+// each reachable final configuration index to the number of interleavings
+// producing it.
 //
-// n must be ≤ 63 so configurations index into uint64, and len(nodes) should
-// stay small: there are (2k)!/2^k interleavings of k two-op programs.
-func MicroOutcomes(a *automaton.Automaton, start config.Config, nodes []int) map[uint64]int {
-	if start.N() > 63 {
-		panic(fmt.Sprintf("interleave: %d nodes exceed index range", start.N()))
+// It returns ErrTooLarge when the automaton has more than 63 cells or
+// more than 6 nodes are listed; PORSearch handles larger instances.
+func MicroOutcomes(a *automaton.Automaton, start config.Config, nodes []int) (map[uint64]int, error) {
+	if len(nodes) > microNodeCap {
+		return nil, fmt.Errorf("%w: %d micro-op programs exceed the brute-force cap %d",
+			ErrTooLarge, len(nodes), microNodeCap)
 	}
-	if len(nodes) > 6 {
-		panic(fmt.Sprintf("interleave: %d micro-op programs is too many to enumerate", len(nodes)))
-	}
-	outcomes := map[uint64]int{}
-	k := len(nodes)
-	pc := make([]int, k)        // 0 = before fetch, 1 = fetched, 2 = committed
-	fetched := make([]uint8, k) // computed next state, valid when pc==1
-	cur := start.Clone()
-	var rec func()
-	rec = func() {
-		done := true
-		for p := 0; p < k; p++ {
-			switch pc[p] {
-			case 0:
-				done = false
-				// FETCH: read the current configuration, compute next state.
-				val := a.NodeNext(cur, nodes[p])
-				fetched[p] = val
-				pc[p] = 1
-				rec()
-				pc[p] = 0
-			case 1:
-				done = false
-				// COMMIT: write the fetched value.
-				old := cur.Get(nodes[p])
-				cur.Set(nodes[p], fetched[p])
-				pc[p] = 2
-				rec()
-				pc[p] = 1
-				cur.Set(nodes[p], old)
-			}
-		}
-		if done {
-			outcomes[cur.Index()]++
-		}
-	}
-	rec()
-	return outcomes
+	return BruteOutcomes(a, start, nodes, FetchCommit, 0)
 }
 
 // AtomicUpdateOutcomes explores the same node set at whole-update
 // granularity: each node performs fetch+commit as one indivisible action,
 // exactly once, in every order. The map gives each reachable final
-// configuration the number of orders producing it. This is the granularity
-// at which the paper proves interleavings cannot reproduce the parallel
-// step of threshold CA.
-func AtomicUpdateOutcomes(a *automaton.Automaton, start config.Config, nodes []int) map[uint64]int {
+// configuration the number of the k! orders producing it. This is the
+// granularity at which the paper proves interleavings cannot reproduce the
+// parallel step of threshold CA. AtomicReachable computes the same
+// reachable set without the factorial blow-up when multiplicities are not
+// needed.
+func AtomicUpdateOutcomes(a *automaton.Automaton, start config.Config, nodes []int) (map[uint64]int, error) {
 	if start.N() > 63 {
-		panic(fmt.Sprintf("interleave: %d nodes exceed index range", start.N()))
+		return nil, fmt.Errorf("%w: %d cells exceed the uint64 index range", ErrTooLarge, start.N())
+	}
+	if len(nodes) > 10 {
+		return nil, fmt.Errorf("%w: %d! atomic orders exceed the enumeration cap (use AtomicReachable)",
+			ErrTooLarge, len(nodes))
 	}
 	outcomes := map[uint64]int{}
 	k := len(nodes)
@@ -94,7 +79,7 @@ func AtomicUpdateOutcomes(a *automaton.Automaton, start config.Config, nodes []i
 		}
 	}
 	rec(0)
-	return outcomes
+	return outcomes, nil
 }
 
 // ParallelStepIndex returns the index of F(start): the outcome of the
@@ -105,8 +90,18 @@ func ParallelStepIndex(a *automaton.Automaton, start config.Config) uint64 {
 	return dst.Index()
 }
 
-// Keys returns the sorted configuration indices of an outcome set.
+// Keys returns the sorted configuration indices of an outcome multiset.
 func Keys(outcomes map[uint64]int) []uint64 {
+	out := make([]uint64, 0, len(outcomes))
+	for v := range outcomes {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// SetKeys returns the sorted configuration indices of an outcome set.
+func SetKeys(outcomes map[uint64]bool) []uint64 {
 	out := make([]uint64, 0, len(outcomes))
 	for v := range outcomes {
 		out = append(out, v)
@@ -127,15 +122,24 @@ type RecoveryReport struct {
 }
 
 // CheckRecovery runs both granularities over all nodes of a small automaton
-// and reports whether each can reproduce the parallel step from start.
-func CheckRecovery(a *automaton.Automaton, start config.Config) RecoveryReport {
+// and reports whether each can reproduce the parallel step from start. It
+// returns ErrTooLarge past the brute-force caps (more than 6 nodes); the
+// POR path (PORSearch plus AtomicReachable) answers the same question at
+// larger sizes.
+func CheckRecovery(a *automaton.Automaton, start config.Config) (RecoveryReport, error) {
 	nodes := make([]int, a.N())
 	for i := range nodes {
 		nodes[i] = i
 	}
 	par := ParallelStepIndex(a, start)
-	micro := MicroOutcomes(a, start, nodes)
-	atomic := AtomicUpdateOutcomes(a, start, nodes)
+	micro, err := MicroOutcomes(a, start, nodes)
+	if err != nil {
+		return RecoveryReport{}, err
+	}
+	atomic, err := AtomicUpdateOutcomes(a, start, nodes)
+	if err != nil {
+		return RecoveryReport{}, err
+	}
 	rep := RecoveryReport{
 		Parallel:       par,
 		MicroOutcomes:  len(micro),
@@ -153,5 +157,5 @@ func CheckRecovery(a *automaton.Automaton, start config.Config) RecoveryReport {
 	for _, c := range atomic {
 		rep.AtomicSchedules += c
 	}
-	return rep
+	return rep, nil
 }

@@ -1,0 +1,270 @@
+package interleave
+
+import (
+	"fmt"
+
+	"repro/internal/automaton"
+	"repro/internal/config"
+)
+
+// This file is the micro-operation virtual machine behind the §5
+// experiments: each node update is decomposed into explicit instructions
+// over a shared store (the configuration), and schedules are words over
+// those instructions. Two granularities are modeled:
+//
+//   - FetchCommit: the seed's two-phase split. FETCH snapshots the whole
+//     neighborhood and computes the next state atomically; STORE commits it.
+//   - FineGrained: the paper's machine-level refinement. One LOAD per
+//     neighbor cell (2r+1 on a radius-r ring), then COMPUTE over the
+//     private view, then STORE — so a node may observe a mixture of old
+//     and new neighbor states within a single update.
+//
+// Every instruction carries its shared-store footprint as read/write cell
+// masks, which induces the independence relation driving the partial-order
+// reduction in por.go: two micro-ops commute unless one is a STORE
+// touching a cell the other reads or writes.
+
+// Granularity selects how Programs decomposes a node update.
+type Granularity int
+
+const (
+	// FetchCommit splits an update into an atomic neighborhood
+	// snapshot+compute followed by a commit — 2 micro-ops per node.
+	FetchCommit Granularity = iota
+	// FineGrained splits an update into one LOAD per neighbor, a COMPUTE,
+	// and a STORE — deg(i)+2 micro-ops per node.
+	FineGrained
+)
+
+// String implements fmt.Stringer.
+func (g Granularity) String() string {
+	switch g {
+	case FetchCommit:
+		return "fetch/commit"
+	case FineGrained:
+		return "load/compute/store"
+	default:
+		return fmt.Sprintf("granularity(%d)", int(g))
+	}
+}
+
+// MicroKind enumerates the micro-op VM's instruction kinds.
+type MicroKind uint8
+
+const (
+	// MicroFetch snapshots the node's full neighborhood from the shared
+	// store and computes the next state into the private register.
+	MicroFetch MicroKind = iota
+	// MicroLoad copies one shared cell into one private view slot.
+	MicroLoad
+	// MicroCompute applies the node's rule to the private view, writing
+	// the private register. It touches no shared cell.
+	MicroCompute
+	// MicroStore writes the private register to the node's own cell.
+	MicroStore
+)
+
+// String implements fmt.Stringer.
+func (k MicroKind) String() string {
+	switch k {
+	case MicroFetch:
+		return "FETCH"
+	case MicroLoad:
+		return "LOAD"
+	case MicroCompute:
+		return "COMPUTE"
+	case MicroStore:
+		return "STORE"
+	default:
+		return fmt.Sprintf("microop(%d)", int(k))
+	}
+}
+
+// MicroOp is one instruction of a node-update micro-program, annotated
+// with its shared-store footprint.
+type MicroOp struct {
+	Node int       // owning node
+	Kind MicroKind // instruction kind
+	Cell int       // cell read (MicroLoad) or written (MicroStore); -1 otherwise
+	Slot int       // private view index filled by MicroLoad; -1 otherwise
+
+	reads uint64 // shared cells read, as a bit mask over node indices
+	write uint64 // shared cells written, as a bit mask over node indices
+}
+
+// String renders the op compactly, e.g. "n3:LOAD[4]" or "n3:STORE".
+func (op MicroOp) String() string {
+	if op.Kind == MicroLoad {
+		return fmt.Sprintf("n%d:%s[%d]", op.Node, op.Kind, op.Cell)
+	}
+	return fmt.Sprintf("n%d:%s", op.Node, op.Kind)
+}
+
+// Independent reports whether two micro-ops commute: executing them in
+// either order from any state yields the same state. They conflict exactly
+// when one writes a shared cell the other reads or writes (the
+// IndependentConstraint/NotIndependentConstraint dichotomy of POR
+// checkers). Private-register accesses never conflict across programs;
+// ops of one program are program-ordered and never reordered, so
+// independence is only ever consulted across distinct programs.
+func Independent(x, y MicroOp) bool {
+	return x.write&(y.reads|y.write) == 0 && y.write&x.reads == 0
+}
+
+// cellMask folds cell indices into a uint64 bit mask; cells must be < 64.
+func cellMask(cells ...int) uint64 {
+	var m uint64
+	for _, c := range cells {
+		m |= 1 << uint(c)
+	}
+	return m
+}
+
+// Programs decomposes each listed node's update into its micro-program at
+// the requested granularity. It returns ErrTooLarge when the automaton has
+// more than 63 cells (configuration indices and footprint masks are
+// uint64) and an error for duplicate or out-of-range nodes.
+func Programs(a *automaton.Automaton, nodes []int, g Granularity) ([][]MicroOp, error) {
+	n := a.N()
+	if n > 63 {
+		return nil, fmt.Errorf("%w: %d cells exceed the uint64 index range", ErrTooLarge, n)
+	}
+	seen := make([]bool, n)
+	progs := make([][]MicroOp, len(nodes))
+	for p, node := range nodes {
+		if node < 0 || node >= n {
+			return nil, fmt.Errorf("interleave: node %d out of range [0,%d)", node, n)
+		}
+		if seen[node] {
+			return nil, fmt.Errorf("interleave: duplicate node %d in program set", node)
+		}
+		seen[node] = true
+		nb := a.Space().Neighborhood(node)
+		switch g {
+		case FetchCommit:
+			progs[p] = []MicroOp{
+				{Node: node, Kind: MicroFetch, Cell: -1, Slot: -1, reads: cellMask(nb...)},
+				{Node: node, Kind: MicroStore, Cell: node, Slot: -1, write: cellMask(node)},
+			}
+		case FineGrained:
+			prog := make([]MicroOp, 0, len(nb)+2)
+			for slot, cell := range nb {
+				prog = append(prog, MicroOp{Node: node, Kind: MicroLoad, Cell: cell, Slot: slot, reads: cellMask(cell)})
+			}
+			prog = append(prog,
+				MicroOp{Node: node, Kind: MicroCompute, Cell: -1, Slot: -1},
+				MicroOp{Node: node, Kind: MicroStore, Cell: node, Slot: -1, write: cellMask(node)})
+			progs[p] = prog
+		default:
+			return nil, fmt.Errorf("interleave: unknown granularity %d", int(g))
+		}
+	}
+	return progs, nil
+}
+
+// machine is the micro-op VM state during one (possibly backtracking)
+// exploration: the shared store plus each program's private view and
+// next-state register.
+type machine struct {
+	a     *automaton.Automaton
+	store config.Config
+	views [][]uint8 // per program, one slot per neighbor (FineGrained only)
+	next  []uint8   // per program, the computed next state
+}
+
+func newMachine(a *automaton.Automaton, start config.Config, nodes []int) *machine {
+	m := &machine{
+		a:     a,
+		store: start.Clone(),
+		views: make([][]uint8, len(nodes)),
+		next:  make([]uint8, len(nodes)),
+	}
+	for p, node := range nodes {
+		m.views[p] = make([]uint8, len(a.Space().Neighborhood(node)))
+	}
+	return m
+}
+
+// exec runs program p's micro-op and returns the single byte of state it
+// overwrote, so a depth-first search can undo it in O(1).
+func (m *machine) exec(p int, op MicroOp) (saved uint8) {
+	switch op.Kind {
+	case MicroFetch:
+		saved = m.next[p]
+		m.next[p] = m.a.NodeNext(m.store, op.Node)
+	case MicroLoad:
+		saved = m.views[p][op.Slot]
+		m.views[p][op.Slot] = m.store.Get(op.Cell)
+	case MicroCompute:
+		saved = m.next[p]
+		m.next[p] = m.a.RuleAt(op.Node).Next(m.views[p])
+	case MicroStore:
+		saved = m.store.Get(op.Cell)
+		m.store.Set(op.Cell, m.next[p])
+	default:
+		panic(fmt.Sprintf("interleave: unknown micro-op kind %d", op.Kind))
+	}
+	return saved
+}
+
+// undo reverses exec(p, op) given the byte it saved.
+func (m *machine) undo(p int, op MicroOp, saved uint8) {
+	switch op.Kind {
+	case MicroFetch, MicroCompute:
+		m.next[p] = saved
+	case MicroLoad:
+		m.views[p][op.Slot] = saved
+	case MicroStore:
+		m.store.Set(op.Cell, saved)
+	}
+}
+
+// Step is one scheduled micro-op: program p executes op. A complete
+// schedule is a sequence of Steps in which every program's ops appear
+// exactly once, in program order.
+type Step struct {
+	Prog int
+	Op   MicroOp
+}
+
+// Word projects a schedule onto its program-index word — the order-
+// preserving merge pattern, e.g. [0 1 1 0] — the shrinkable representation
+// the ddmin machinery operates on.
+func Word(schedule []Step) []int {
+	w := make([]int, len(schedule))
+	for i, s := range schedule {
+		w[i] = s.Prog
+	}
+	return w
+}
+
+// ExecuteWord runs a schedule word over the nodes' micro-programs at the
+// given granularity and returns the final configuration index. Each word
+// entry names a program whose next pending micro-op executes; entries for
+// out-of-range or already-finished programs are skipped, and after the
+// word is consumed the remaining micro-ops run to completion in program
+// order (program 0's pending ops first, then program 1's, …). Every word
+// therefore denotes a complete, valid interleaving — the canonical
+// completion makes ddmin chunk removal on words well-defined.
+func ExecuteWord(a *automaton.Automaton, start config.Config, nodes []int, g Granularity, word []int) (uint64, error) {
+	progs, err := Programs(a, nodes, g)
+	if err != nil {
+		return 0, err
+	}
+	m := newMachine(a, start, nodes)
+	pc := make([]int, len(progs))
+	for _, p := range word {
+		if p < 0 || p >= len(progs) || pc[p] >= len(progs[p]) {
+			continue
+		}
+		m.exec(p, progs[p][pc[p]])
+		pc[p]++
+	}
+	for p := range progs {
+		for pc[p] < len(progs[p]) {
+			m.exec(p, progs[p][pc[p]])
+			pc[p]++
+		}
+	}
+	return m.store.Index(), nil
+}

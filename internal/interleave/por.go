@@ -1,0 +1,368 @@
+package interleave
+
+import (
+	"fmt"
+	"math"
+	"math/big"
+
+	"repro/internal/automaton"
+	"repro/internal/config"
+)
+
+// This file makes the micro-op interleaving space searchable at real ring
+// sizes. The brute-force enumerators walk every order-preserving merge —
+// (Σ lenᵖ)! / Π lenᵖ! schedules — which is hopeless beyond a handful of
+// nodes. PORSearch explores the same space under partial-order reduction:
+//
+//   - sleep sets prune interleavings that only permute independent
+//     micro-ops (Independent in microvm.go), so at most one representative
+//     per Mazurkiewicz trace completes;
+//   - singleton persistent sets commit a micro-op immediately whenever its
+//     footprint is disjoint from everything the *other* programs may still
+//     execute (suffix footprint masks make the check O(k) per state) —
+//     COMPUTEs always qualify, LOADs qualify once every conflicting STORE
+//     has retired, STOREs once no one will read the cell again.
+//
+// Sleep sets preserve every reachable final state, so the POR outcome set
+// is exactly the brute-force outcome set (the differential tests and
+// FuzzMicroPOR pin this), while the number of explored schedules drops by
+// orders of magnitude (Ablation_PORPrune).
+
+// PORStats counts the work a PORSearch performed.
+type PORStats struct {
+	Schedules  uint64 // complete interleavings explored
+	Steps      uint64 // micro-op transitions executed
+	Slept      uint64 // branches cut by sleep sets
+	Persistent uint64 // states resolved by a singleton persistent set
+}
+
+// PORResult is the outcome of a partial-order-reduced exploration.
+type PORResult struct {
+	// Outcomes maps each reachable final configuration index to the number
+	// of explored schedules producing it. Reduction preserves the key set
+	// — every brute-force-reachable outcome appears — but not the
+	// brute-force multiplicities, which count equivalent interleavings POR
+	// exists to skip.
+	Outcomes map[uint64]int
+	Stats    PORStats
+	// Witness is the first explored schedule whose outcome equals the
+	// search target, nil when no target was set or none was found.
+	Witness []Step
+}
+
+// POROptions configures PORSearch. The zero value explores exhaustively
+// at FetchCommit granularity with the default step budget.
+type POROptions struct {
+	Granularity Granularity
+	// Target, when non-nil, is a final configuration index to search for;
+	// the first schedule reaching it is recorded as the Witness.
+	Target *uint64
+	// StopAtTarget ends the exploration as soon as a witness is found,
+	// leaving Outcomes partial — the mode for witness search at sizes
+	// where exhaustive exploration is not wanted.
+	StopAtTarget bool
+	// MaxSteps caps executed micro-op transitions; 0 means the default
+	// (50e6). An exploration that exhausts the budget without StopAtTarget
+	// having fired returns ErrTooLarge.
+	MaxSteps uint64
+}
+
+const defaultPORMaxSteps = 50_000_000
+
+// PORSearch explores the micro-op interleavings of the nodes' update
+// programs from start under sleep-set/persistent-set partial-order
+// reduction. See PORResult for the exact guarantee.
+func PORSearch(a *automaton.Automaton, start config.Config, nodes []int, opts POROptions) (*PORResult, error) {
+	progs, err := Programs(a, nodes, opts.Granularity)
+	if err != nil {
+		return nil, err
+	}
+	if len(progs) > 63 {
+		return nil, fmt.Errorf("%w: %d programs exceed the sleep-set mask range", ErrTooLarge, len(progs))
+	}
+	maxSteps := opts.MaxSteps
+	if maxSteps == 0 {
+		maxSteps = defaultPORMaxSteps
+	}
+	e := &explorer{
+		m:        newMachine(a, start, nodes),
+		progs:    progs,
+		pc:       make([]int, len(progs)),
+		remRead:  suffixMasks(progs, func(op MicroOp) uint64 { return op.reads }),
+		remWrite: suffixMasks(progs, func(op MicroOp) uint64 { return op.write }),
+		res:      &PORResult{Outcomes: map[uint64]int{}},
+		opts:     opts,
+		maxSteps: maxSteps,
+	}
+	e.explore(0)
+	if e.outOfBudget && !(opts.StopAtTarget && e.res.Witness != nil) {
+		return nil, fmt.Errorf("%w: POR exploration exceeded %d micro-op transitions", ErrTooLarge, maxSteps)
+	}
+	return e.res, nil
+}
+
+// suffixMasks precomputes, for each program and pc, the union of the given
+// footprint over the program's remaining ops — remaining[p][j] covers ops
+// j..len−1, with the final entry zero (program finished).
+func suffixMasks(progs [][]MicroOp, f func(MicroOp) uint64) [][]uint64 {
+	out := make([][]uint64, len(progs))
+	for p, prog := range progs {
+		s := make([]uint64, len(prog)+1)
+		for j := len(prog) - 1; j >= 0; j-- {
+			s[j] = s[j+1] | f(prog[j])
+		}
+		out[p] = s
+	}
+	return out
+}
+
+type explorer struct {
+	m        *machine
+	progs    [][]MicroOp
+	pc       []int
+	remRead  [][]uint64 // remRead[p][pc[p]]: cells program p may still read
+	remWrite [][]uint64 // remWrite[p][pc[p]]: cells program p may still write
+	stack    []Step
+	res      *PORResult
+	opts     POROptions
+	maxSteps uint64
+
+	stopped     bool // StopAtTarget fired
+	outOfBudget bool // step budget exhausted
+}
+
+// record handles a completed schedule (every program finished).
+func (e *explorer) record() {
+	idx := e.m.store.Index()
+	e.res.Outcomes[idx]++
+	e.res.Stats.Schedules++
+	if e.opts.Target != nil && idx == *e.opts.Target && e.res.Witness == nil {
+		e.res.Witness = append([]Step(nil), e.stack...)
+		if e.opts.StopAtTarget {
+			e.stopped = true
+		}
+	}
+}
+
+// inert reports whether program p's next op commutes with every op any
+// other program may still execute — the soundness condition for firing it
+// alone as a singleton persistent set.
+func (e *explorer) inert(p int, op MicroOp) bool {
+	var othersRead, othersWrite uint64
+	for q := range e.progs {
+		if q == p {
+			continue
+		}
+		othersRead |= e.remRead[q][e.pc[q]]
+		othersWrite |= e.remWrite[q][e.pc[q]]
+	}
+	return op.write&(othersRead|othersWrite) == 0 && op.reads&othersWrite == 0
+}
+
+// step executes program p's next op, recurses, and undoes it. Returns
+// early when the exploration has been stopped.
+func (e *explorer) step(p int, sleep uint64) {
+	op := e.progs[p][e.pc[p]]
+	e.res.Stats.Steps++
+	if e.res.Stats.Steps > e.maxSteps {
+		e.outOfBudget = true
+		e.stopped = true
+		return
+	}
+	saved := e.m.exec(p, op)
+	e.pc[p]++
+	e.stack = append(e.stack, Step{Prog: p, Op: op})
+	e.explore(sleep)
+	e.stack = e.stack[:len(e.stack)-1]
+	e.pc[p]--
+	e.m.undo(p, op, saved)
+}
+
+// explore is the sleep-set DFS. sleep is a bit mask over programs whose
+// pending op must not be fired here: every continuation beginning with a
+// sleeping op is explored from an earlier sibling branch.
+func (e *explorer) explore(sleep uint64) {
+	if e.stopped {
+		return
+	}
+	// Enabled programs; completed schedule if none.
+	var enabled uint64
+	for p := range e.progs {
+		if e.pc[p] < len(e.progs[p]) {
+			enabled |= 1 << uint(p)
+		}
+	}
+	if enabled == 0 {
+		e.record()
+		return
+	}
+	awake := enabled &^ sleep
+	if awake == 0 {
+		// Every continuation is covered by an earlier sibling.
+		e.res.Stats.Slept++
+		return
+	}
+	// Singleton persistent set: an awake program whose next op conflicts
+	// with nothing the others may still do executes alone — no sibling
+	// branches, and the sleep set passes through unchanged because the op
+	// is independent of every sleeping op by construction.
+	for p := range e.progs {
+		if awake&(1<<uint(p)) == 0 {
+			continue
+		}
+		if e.inert(p, e.progs[p][e.pc[p]]) {
+			e.res.Stats.Persistent++
+			e.step(p, sleep)
+			return
+		}
+	}
+	// General case: fire every awake program, accumulating explored
+	// programs into the sibling sleep sets. Non-STORE ops go first so the
+	// leftmost DFS leaf is the read-everything-then-write schedule — the
+	// parallel step — which makes targeted witness search O(Σ len).
+	var done uint64
+	fire := func(p int) {
+		op := e.progs[p][e.pc[p]]
+		var newSleep uint64
+		for q := range e.progs {
+			if (sleep|done)&(1<<uint(q)) != 0 && Independent(e.progs[q][e.pc[q]], op) {
+				newSleep |= 1 << uint(q)
+			}
+		}
+		e.step(p, newSleep)
+		done |= 1 << uint(p)
+	}
+	for pass := 0; pass < 2; pass++ {
+		for p := range e.progs {
+			if awake&(1<<uint(p)) == 0 || e.stopped {
+				continue
+			}
+			isStore := e.progs[p][e.pc[p]].Kind == MicroStore
+			if (pass == 0) != !isStore {
+				continue
+			}
+			fire(p)
+		}
+	}
+}
+
+// BruteOutcomes enumerates every order-preserving interleaving of the
+// nodes' micro-programs at the given granularity — no reduction — and
+// returns the exact multiset of final configuration indices. maxSchedules
+// caps the enumeration (0 means 20e6); a larger space returns ErrTooLarge
+// before any work is done.
+func BruteOutcomes(a *automaton.Automaton, start config.Config, nodes []int, g Granularity, maxSchedules uint64) (map[uint64]int, error) {
+	progs, err := Programs(a, nodes, g)
+	if err != nil {
+		return nil, err
+	}
+	if maxSchedules == 0 {
+		maxSchedules = 20_000_000
+	}
+	if total := ScheduleCount(progs); !total.IsUint64() || total.Uint64() > maxSchedules {
+		return nil, fmt.Errorf("%w: %s interleavings of %d micro-programs exceed the brute-force cap %d",
+			ErrTooLarge, total, len(progs), maxSchedules)
+	}
+	m := newMachine(a, start, nodes)
+	pc := make([]int, len(progs))
+	outcomes := map[uint64]int{}
+	var rec func()
+	rec = func() {
+		done := true
+		for p := range progs {
+			if pc[p] < len(progs[p]) {
+				done = false
+				op := progs[p][pc[p]]
+				saved := m.exec(p, op)
+				pc[p]++
+				rec()
+				pc[p]--
+				m.undo(p, op, saved)
+			}
+		}
+		if done {
+			outcomes[m.store.Index()]++
+		}
+	}
+	rec()
+	return outcomes, nil
+}
+
+// ScheduleCount returns the exact number of order-preserving interleavings
+// of the programs: (Σ lenᵖ)! / Π lenᵖ!.
+func ScheduleCount(progs [][]MicroOp) *big.Int {
+	lengths := make([]int, len(progs))
+	for p, prog := range progs {
+		lengths[p] = len(prog)
+	}
+	return CountInterleavingsBig(lengths)
+}
+
+// AtomicReachable computes the exact set of configurations reachable by
+// executing each node's update once, atomically, in some order — the
+// whole-update granularity the paper proves cannot reproduce the parallel
+// 2-cycle step. Unlike AtomicUpdateOutcomes it memoizes on the
+// (updated-node set, configuration) state, so the k! orders collapse to at
+// most 2^k·|reachable| states and rings far past the factorial wall are
+// certified exhaustively. The memo is capped (ErrTooLarge beyond ~4e6
+// states) to keep the certification predictable.
+func AtomicReachable(a *automaton.Automaton, start config.Config, nodes []int) (map[uint64]bool, error) {
+	if a.N() > 63 {
+		return nil, fmt.Errorf("%w: %d cells exceed the uint64 index range", ErrTooLarge, a.N())
+	}
+	if len(nodes) > 63 {
+		return nil, fmt.Errorf("%w: %d atomic programs exceed the mask range", ErrTooLarge, len(nodes))
+	}
+	const maxStates = 1 << 22
+	type state struct{ mask, idx uint64 }
+	seen := map[state]bool{}
+	outcomes := map[uint64]bool{}
+	cur := start.Clone()
+	full := uint64(1)<<uint(len(nodes)) - 1
+	overflow := false
+	var rec func(mask uint64)
+	rec = func(mask uint64) {
+		if overflow {
+			return
+		}
+		st := state{mask, cur.Index()}
+		if seen[st] {
+			return
+		}
+		if len(seen) >= maxStates {
+			overflow = true
+			return
+		}
+		seen[st] = true
+		if mask == full {
+			outcomes[st.idx] = true
+			return
+		}
+		for p, node := range nodes {
+			if mask&(1<<uint(p)) != 0 {
+				continue
+			}
+			old := cur.Get(node)
+			cur.Set(node, a.NodeNext(cur, node))
+			rec(mask | 1<<uint(p))
+			cur.Set(node, old)
+		}
+	}
+	rec(0)
+	if overflow {
+		return nil, fmt.Errorf("%w: atomic reachability exceeded %d memoized states", ErrTooLarge, maxStates)
+	}
+	return outcomes, nil
+}
+
+// PruneFactor returns the brute-force schedule count divided by the number
+// of schedules an exploration actually completed — the headline reduction
+// of the POR ablation. Infinite when nothing was explored.
+func PruneFactor(progs [][]MicroOp, explored uint64) float64 {
+	if explored == 0 {
+		return math.Inf(1)
+	}
+	total := new(big.Float).SetInt(ScheduleCount(progs))
+	f, _ := new(big.Float).Quo(total, new(big.Float).SetUint64(explored)).Float64()
+	return f
+}

@@ -1,0 +1,305 @@
+package interleave
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/automaton"
+	"repro/internal/config"
+	"repro/internal/rule"
+	"repro/internal/space"
+)
+
+func majRing(n, r int) *automaton.Automaton {
+	return automaton.MustNew(space.Ring(n, r), rule.Majority(r))
+}
+
+func allNodes(n int) []int {
+	nodes := make([]int, n)
+	for i := range nodes {
+		nodes[i] = i
+	}
+	return nodes
+}
+
+func sameKeys(t *testing.T, label string, por map[uint64]int, brute map[uint64]int) {
+	t.Helper()
+	for v := range brute {
+		if _, ok := por[v]; !ok {
+			t.Errorf("%s: brute-force outcome %d missing from POR outcome set", label, v)
+		}
+	}
+	for v := range por {
+		if _, ok := brute[v]; !ok {
+			t.Errorf("%s: POR outcome %d not reachable by brute force", label, v)
+		}
+	}
+}
+
+// The headline differential: the POR-reduced outcome set is identical to
+// the brute-force fetch/commit outcome set for every MAJ-3 panel rule
+// (k-of-3 thresholds, k = 0..4) at every node count the brute path can
+// enumerate, across full rings and proper node subsets.
+func TestPORDifferentialFetchCommitPanel(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for k := 0; k <= 4; k++ {
+		a := automaton.MustNew(space.Ring(5, 1), rule.Threshold{K: k})
+		for size := 0; size <= 5; size++ {
+			nodes := append([]int(nil), rng.Perm(5)[:size]...)
+			for trial := 0; trial < 4; trial++ {
+				start := config.FromIndex(rng.Uint64()&31, 5)
+				brute, err := MicroOutcomes(a, start, nodes)
+				if err != nil {
+					t.Fatalf("k=%d nodes=%v: brute: %v", k, nodes, err)
+				}
+				res, err := PORSearch(a, start, nodes, POROptions{})
+				if err != nil {
+					t.Fatalf("k=%d nodes=%v: POR: %v", k, nodes, err)
+				}
+				sameKeys(t, a.Rule().Name(), res.Outcomes, brute)
+				if res.Stats.Schedules > uint64(sum(brute)) {
+					t.Errorf("k=%d nodes=%v: POR explored %d schedules, brute force only %d",
+						k, nodes, res.Stats.Schedules, sum(brute))
+				}
+			}
+		}
+	}
+}
+
+// The same differential at the brute-force ceiling (6 nodes), where the
+// reduction is already two orders of magnitude. Skipped under -short: the
+// brute side enumerates 12!/2⁶ ≈ 7.5e6 schedules.
+func TestPORDifferentialAtBruteCeiling(t *testing.T) {
+	if testing.Short() {
+		t.Skip("brute side enumerates 7.5e6 schedules")
+	}
+	a := majRing(6, 1)
+	start := config.Alternating(6, 0)
+	nodes := allNodes(6)
+	brute, err := MicroOutcomes(a, start, nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := PORSearch(a, start, nodes, POROptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameKeys(t, "maj-6-ring", res.Outcomes, brute)
+	if factor := float64(sum(brute)) / float64(res.Stats.Schedules); factor < 100 {
+		t.Errorf("POR prune factor %.1f at the brute ceiling, want ≥ 100 (explored %d of %d)",
+			factor, res.Stats.Schedules, sum(brute))
+	}
+}
+
+// Fine-grained differential: LOAD-per-neighbor granularity against its own
+// brute enumeration on a 3-node subset (15!/(5!)³ = 756756 schedules), and
+// the fetch/commit outcome set must embed into the fine-grained one (a
+// coarse schedule is a special fine schedule).
+func TestPORDifferentialFineGrained(t *testing.T) {
+	a := majRing(5, 1)
+	nodes := []int{0, 1, 2}
+	for _, s := range []string{"01010", "11000", "10101"} {
+		start := config.MustParse(s)
+		brute, err := BruteOutcomes(a, start, nodes, FineGrained, 0)
+		if err != nil {
+			t.Fatalf("%s: fine brute: %v", s, err)
+		}
+		res, err := PORSearch(a, start, nodes, POROptions{Granularity: FineGrained})
+		if err != nil {
+			t.Fatalf("%s: fine POR: %v", s, err)
+		}
+		sameKeys(t, "fine "+s, res.Outcomes, brute)
+		coarse, err := MicroOutcomes(a, start, nodes)
+		if err != nil {
+			t.Fatalf("%s: coarse brute: %v", s, err)
+		}
+		for v := range coarse {
+			if _, ok := brute[v]; !ok {
+				t.Errorf("%s: fetch/commit outcome %d unreachable at load/compute/store granularity", s, v)
+			}
+		}
+	}
+}
+
+// AtomicReachable must agree exactly with the factorial enumeration's key
+// set wherever both run.
+func TestAtomicReachableMatchesEnumeration(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, n := range []int{3, 4, 5, 6, 7} {
+		a := majRing(n, 1)
+		for trial := 0; trial < 3; trial++ {
+			start := config.FromIndex(rng.Uint64()&(1<<uint(n)-1), n)
+			nodes := allNodes(n)
+			enum, err := AtomicUpdateOutcomes(a, start, nodes)
+			if err != nil {
+				t.Fatal(err)
+			}
+			reach, err := AtomicReachable(a, start, nodes)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(reach) != len(enum) {
+				t.Fatalf("n=%d start=%s: reachable %d configs, enumeration %d", n, start, len(reach), len(enum))
+			}
+			for v := range enum {
+				if !reach[v] {
+					t.Errorf("n=%d start=%s: enumerated outcome %d missing from reachable set", n, start, v)
+				}
+			}
+		}
+	}
+}
+
+// The S5 witness shape at sizes the brute force cannot reach: POR finds a
+// schedule reproducing the parallel 2-cycle step, the witness replays to
+// the same outcome through ExecuteWord, and atomic reachability certifies
+// no whole-update order gets there.
+func TestPORWitnessBeyondBruteRange(t *testing.T) {
+	for _, n := range []int{8, 10, 12} {
+		a := majRing(n, 1)
+		start := config.Alternating(n, 0)
+		target := ParallelStepIndex(a, start)
+		nodes := allNodes(n)
+		res, err := PORSearch(a, start, nodes, POROptions{Target: &target, StopAtTarget: true})
+		if err != nil {
+			t.Fatalf("n=%d: PORSearch: %v", n, err)
+		}
+		if res.Witness == nil {
+			t.Fatalf("n=%d: no micro-op witness for the parallel 2-cycle step", n)
+		}
+		got, err := ExecuteWord(a, start, nodes, FetchCommit, Word(res.Witness))
+		if err != nil {
+			t.Fatalf("n=%d: ExecuteWord: %v", n, err)
+		}
+		if got != target {
+			t.Errorf("n=%d: witness replays to %d, want parallel step %d", n, got, target)
+		}
+		atomic, err := AtomicReachable(a, start, nodes)
+		if err != nil {
+			t.Fatalf("n=%d: AtomicReachable: %v", n, err)
+		}
+		if atomic[target] {
+			t.Errorf("n=%d: atomic order reaches the parallel 2-cycle step; Lemma 1(ii) forbids this", n)
+		}
+	}
+}
+
+// ExecuteWord's canonical completion: an empty word is the program-order
+// (atomic round-robin) execution; the all-fetch-first word is the parallel
+// step; junk entries are skipped.
+func TestExecuteWordCompletion(t *testing.T) {
+	a := majRing(6, 1)
+	start := config.Alternating(6, 0)
+	nodes := allNodes(6)
+	// Empty word → program 0 runs fetch+store, then program 1, …: the
+	// round-robin sequential sweep.
+	seq := start.Clone()
+	for i := 0; i < 6; i++ {
+		seq.Set(i, a.NodeNext(seq, i))
+	}
+	got, err := ExecuteWord(a, start, nodes, FetchCommit, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != seq.Index() {
+		t.Errorf("empty word executes to %d, want sequential sweep %d", got, seq.Index())
+	}
+	// All fetches first → the parallel step, regardless of trailing junk.
+	word := []int{0, 1, 2, 3, 4, 5, 99, -3, 0, 0, 0}
+	got, err = ExecuteWord(a, start, nodes, FetchCommit, word)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := ParallelStepIndex(a, start); got != want {
+		t.Errorf("fetch-all word executes to %d, want parallel step %d", got, want)
+	}
+}
+
+// Independence is exactly the store-conflict relation.
+func TestIndependenceRelation(t *testing.T) {
+	a := majRing(6, 1)
+	progs, err := Programs(a, allNodes(6), FetchCommit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p := range progs {
+		fetchP, storeP := progs[p][0], progs[p][1]
+		for q := range progs {
+			if p == q {
+				continue
+			}
+			fetchQ, storeQ := progs[q][0], progs[q][1]
+			if !Independent(fetchP, fetchQ) {
+				t.Errorf("fetches of %d and %d conflict; reads never conflict", p, q)
+			}
+			if !Independent(storeP, storeQ) {
+				t.Errorf("stores of distinct nodes %d and %d conflict", p, q)
+			}
+			// Fetch reads p−1, p, p+1; a store conflicts iff it hits one.
+			dist := (p - q + 6) % 6
+			wantConflict := dist <= 1 || dist >= 5
+			if got := !Independent(fetchP, storeQ); got != wantConflict {
+				t.Errorf("fetch n%d vs store n%d: conflict=%v, want %v", p, q, got, wantConflict)
+			}
+		}
+	}
+	// Fine-grained: COMPUTE is independent of everything.
+	fine, err := Programs(a, allNodes(6), FineGrained)
+	if err != nil {
+		t.Fatal(err)
+	}
+	compute := fine[2][3] // LOAD×3, then COMPUTE
+	if compute.Kind != MicroCompute {
+		t.Fatalf("program layout changed: op 3 is %v", compute)
+	}
+	for _, prog := range fine {
+		for _, op := range prog {
+			if op.Node != compute.Node && !Independent(compute, op) {
+				t.Errorf("COMPUTE conflicts with %v", op)
+			}
+		}
+	}
+}
+
+// Program construction rejects duplicates, bad nodes, and oversized rings.
+func TestProgramsValidation(t *testing.T) {
+	a := majRing(6, 1)
+	if _, err := Programs(a, []int{0, 0}, FetchCommit); err == nil {
+		t.Error("duplicate nodes accepted")
+	}
+	if _, err := Programs(a, []int{6}, FetchCommit); err == nil {
+		t.Error("out-of-range node accepted")
+	}
+	huge := automaton.MustNew(space.Ring(64, 1), rule.Majority(1))
+	if _, err := Programs(huge, []int{0}, FetchCommit); !errors.Is(err, ErrTooLarge) {
+		t.Errorf("64-cell ring: err = %v, want ErrTooLarge", err)
+	}
+}
+
+// A step budget too small to finish must surface as ErrTooLarge rather
+// than returning a silently truncated outcome set.
+func TestPORStepBudget(t *testing.T) {
+	a := majRing(6, 1)
+	start := config.Alternating(6, 0)
+	if _, err := PORSearch(a, start, allNodes(6), POROptions{MaxSteps: 10}); !errors.Is(err, ErrTooLarge) {
+		t.Errorf("tiny step budget: err = %v, want ErrTooLarge", err)
+	}
+	// …unless a targeted search already found its witness.
+	target := ParallelStepIndex(a, start)
+	res, err := PORSearch(a, start, allNodes(6), POROptions{Target: &target, StopAtTarget: true, MaxSteps: 50})
+	if err != nil {
+		t.Fatalf("targeted search within budget: %v", err)
+	}
+	if res.Witness == nil {
+		t.Error("targeted search found no witness inside the budget")
+	}
+}
+
+func sum(m map[uint64]int) int {
+	total := 0
+	for _, c := range m {
+		total += c
+	}
+	return total
+}

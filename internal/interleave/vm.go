@@ -12,10 +12,24 @@
 // new state). Some interleaving of these micro-operations reproduces the
 // parallel CA step — e.g. all fetches before all commits — whereas no
 // interleaving of *whole* node updates can (Lemma 1 / Theorem 1).
+//
+// The CA side is built on an explicit micro-op VM (microvm.go): each node
+// update decomposes into LOAD×(2r+1)/COMPUTE/STORE (or the coarser
+// FETCH/STORE pair) over the shared configuration store, with every
+// instruction carrying its read/write cell footprint. The footprints
+// induce an independence relation — two micro-ops commute unless one is a
+// STORE touching a cell the other reads or writes — that drives the
+// sleep-set/persistent-set partial-order reduction of PORSearch (por.go),
+// which makes the interleaving space searchable at ring sizes where the
+// brute-force enumerators (MicroOutcomes, AtomicUpdateOutcomes) return
+// ErrTooLarge, and AtomicReachable certifies the whole-update reachable
+// set exhaustively without the k! blow-up.
 package interleave
 
 import (
 	"fmt"
+	"math"
+	"math/big"
 	"sort"
 )
 
@@ -201,16 +215,29 @@ func Values(outcomes map[int64]int) []int64 {
 }
 
 // CountInterleavings returns the number of order-preserving merges of
-// programs with the given lengths: (Σlen)! / Π(len!).
+// programs with the given lengths: (Σlen)! / Π(len!). Counts past the
+// uint64 range saturate to math.MaxUint64 — use CountInterleavingsBig for
+// the exact value.
 func CountInterleavings(lengths []int) uint64 {
+	exact := CountInterleavingsBig(lengths)
+	if !exact.IsUint64() {
+		return math.MaxUint64
+	}
+	return exact.Uint64()
+}
+
+// CountInterleavingsBig is CountInterleavings with exact big-integer
+// arithmetic, the form the POR ablation divides by.
+func CountInterleavingsBig(lengths []int) *big.Int {
 	// Product of binomials C(n₁, n₁)·C(n₁+n₂, n₂)·…, each computed with the
 	// standard incremental update that stays integral at every step.
-	result := uint64(1)
-	seen := 0
+	result := big.NewInt(1)
+	seen := int64(0)
 	for _, l := range lengths {
-		for i := 1; i <= l; i++ {
+		for i := int64(1); i <= int64(l); i++ {
 			seen++
-			result = result * uint64(seen) / uint64(i)
+			result.Mul(result, big.NewInt(seen))
+			result.Quo(result, big.NewInt(i))
 		}
 	}
 	return result

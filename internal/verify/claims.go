@@ -91,6 +91,18 @@ func Claims() []Claim {
 			Paper: "differential",
 			Check: checkAnalyticCensus,
 		},
+		{
+			ID:    "S11",
+			Title: "register VM: atomic and simultaneous-write outcomes embed into machine-instruction interleavings",
+			Paper: "§1.1",
+			Check: checkS11,
+		},
+		{
+			ID:    "S5",
+			Title: "micro-op CA: POR ≡ brute outcome sets; shrunk fetch/commit witness reaches the parallel 2-cycle no atomic order can",
+			Paper: "§5 / Lemma 1",
+			Check: checkS5,
+		},
 	}
 }
 

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/bitvec"
 	"repro/internal/config"
+	"repro/internal/interleave"
 	"repro/internal/phasespace"
 	"repro/internal/rule"
 	"repro/internal/sim"
@@ -197,6 +198,68 @@ func FuzzTransferCensus(f *testing.F) {
 		}
 		if goe.Uint64() != ec.GardenOfEden {
 			t.Fatalf("%s: analytic GoE %s, enumerated %d", cs, goe, ec.GardenOfEden)
+		}
+	})
+}
+
+// FuzzMicroPOR cross-checks the sleep-set/persistent-set reduced
+// micro-op search against brute-force enumeration on fuzzer-chosen
+// instances: the outcome key sets must coincide exactly (an over-pruning
+// sleep set loses outcomes; an under-constrained independence relation
+// invents them), and any fuzzer-shaped schedule word must canonically
+// complete to an outcome inside the reduced set.
+func FuzzMicroPOR(f *testing.F) {
+	f.Add(uint8(5), uint8(2), uint64(0b01010), uint8(0b11111), []byte{0, 1, 2, 3, 4})
+	f.Add(uint8(4), uint8(0), uint64(0b1100), uint8(0b0101), []byte{1, 1, 0, 0, 1})
+	f.Add(uint8(3), uint8(4), uint64(0b111), uint8(0b011), []byte{})
+	f.Fuzz(func(t *testing.T, nb, kb uint8, cfg uint64, subset uint8, wordBytes []byte) {
+		n := 3 + int(nb)%3 // 3–5 cells keeps the brute side enumerable
+		cs := Case{N: n, R: 1, K: int(kb) % 5}
+		a := cs.Automaton()
+		start := config.FromIndex(cfg&(uint64(1)<<uint(n)-1), n)
+		var nodes []int
+		for i := 0; i < n; i++ {
+			if subset>>uint(i)&1 == 1 {
+				nodes = append(nodes, i)
+			}
+		}
+		brute, err := interleave.MicroOutcomes(a, start, nodes)
+		if err != nil {
+			t.Fatalf("%s nodes=%v: brute: %v", cs, nodes, err)
+		}
+		res, err := interleave.PORSearch(a, start, nodes, interleave.POROptions{})
+		if err != nil {
+			t.Fatalf("%s nodes=%v: POR: %v", cs, nodes, err)
+		}
+		for v := range brute {
+			if _, ok := res.Outcomes[v]; !ok {
+				t.Fatalf("%s nodes=%v start=%s: brute outcome %s pruned away",
+					cs, nodes, start, config.FromIndex(v, n))
+			}
+		}
+		for v := range res.Outcomes {
+			if _, ok := brute[v]; !ok {
+				t.Fatalf("%s nodes=%v start=%s: POR invents outcome %s",
+					cs, nodes, start, config.FromIndex(v, n))
+			}
+		}
+		if len(nodes) == 0 {
+			return
+		}
+		if len(wordBytes) > 128 {
+			wordBytes = wordBytes[:128]
+		}
+		word := make([]int, len(wordBytes))
+		for i, b := range wordBytes {
+			word[i] = int(b) % len(nodes)
+		}
+		got, err := interleave.ExecuteWord(a, start, nodes, interleave.FetchCommit, word)
+		if err != nil {
+			t.Fatalf("%s nodes=%v: ExecuteWord: %v", cs, nodes, err)
+		}
+		if _, ok := res.Outcomes[got]; !ok {
+			t.Fatalf("%s nodes=%v start=%s: word %v executes to %s, outside the POR outcome set",
+				cs, nodes, start, word, config.FromIndex(got, n))
 		}
 	})
 }

@@ -1,0 +1,258 @@
+package verify
+
+// Interleaving-granularity properties: the §1.1 register-VM refinement
+// (claim S11) and the §5 micro-op CA refinement under partial-order
+// reduction (claim S5). Both quantify over adversarial schedules — the
+// register side over random program families, the CA side over
+// fuzzer-shaped schedule words drawn from the same OrderFamilies that
+// attack the sequential claims — and S5 closes with the paper's headline
+// asymmetry: a micro-op witness schedule reaching the parallel 2-cycle
+// step, ddmin-shrunk, on rings where exhaustive whole-update search
+// certifies that no atomic order gets there.
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/automaton"
+	"repro/internal/config"
+	"repro/internal/interleave"
+)
+
+// RegisterVMRefinement runs one adversarial round of the §1.1 claim: for a
+// random family of increment programs, atomic-order outcomes and
+// simultaneous-write outcomes must both embed into the machine-instruction
+// interleaving outcomes, and the interleaving total must equal the
+// multinomial closed form.
+func RegisterVMRefinement(rng *rand.Rand) *Counterexample {
+	k := 2 + rng.Intn(2) // 2–3 programs keeps (3k)!/(3!)^k enumerable
+	progs := make([]interleave.Program, k)
+	lengths := make([]int, k)
+	addends := make([]int, k)
+	for p := range progs {
+		addends[p] = 1 + rng.Intn(9)
+		progs[p] = interleave.IncrementProgram(int64(addends[p]))
+		lengths[p] = len(progs[p])
+	}
+	init := int64(rng.Intn(5))
+	atomic := interleave.AtomicOrders(init, progs)
+	machine := interleave.Interleavings(init, progs)
+	parallel := interleave.SimultaneousWrites(init, progs)
+	for v := range atomic {
+		if _, ok := machine[v]; !ok {
+			return &Counterexample{Detail: fmt.Sprintf(
+				"x+=%v from %d: atomic outcome %d unreachable by machine-instruction interleavings",
+				addends, init, v)}
+		}
+	}
+	for v := range parallel {
+		if _, ok := machine[v]; !ok {
+			return &Counterexample{Detail: fmt.Sprintf(
+				"x+=%v from %d: simultaneous-write outcome %d unreachable by machine-instruction interleavings",
+				addends, init, v)}
+		}
+	}
+	total := 0
+	for _, c := range machine {
+		total += c
+	}
+	if want := interleave.CountInterleavings(lengths); uint64(total) != want {
+		return &Counterexample{Detail: fmt.Sprintf(
+			"x+=%v: enumerated %d interleavings, multinomial closed form %d", addends, total, want)}
+	}
+	// With ≥2 distinct addends the refinement is strict: LOAD/ADD/STORE
+	// reaches lost-update values no atomic order produces.
+	if addends[0] != addends[1] && len(machine) <= len(atomic) {
+		return &Counterexample{Detail: fmt.Sprintf(
+			"x+=%v from %d: machine granularity adds no outcomes over atomic (%d vs %d)",
+			addends, init, len(machine), len(atomic))}
+	}
+	return nil
+}
+
+// MicroPORDifferential checks the partial-order-reduced outcome set
+// against brute force on one instance: the key sets must coincide, the
+// reduced exploration must not exceed the brute schedule count, and every
+// adversarial schedule word (drawn from the OrderFamilies used against
+// the sequential claims, reinterpreted as program-index words) must
+// execute to an outcome inside the POR set.
+func MicroPORDifferential(rng *rand.Rand, cs Case, nodes []int) *Counterexample {
+	a := cs.Automaton()
+	start := config.FromIndex(SampleConfigIndex(rng, cs.N), cs.N)
+	brute, err := interleave.MicroOutcomes(a, start, nodes)
+	if err != nil {
+		cex := cs.counterexample("brute-force micro enumeration failed: " + err.Error())
+		cex.Config = start.String()
+		return cex
+	}
+	res, err := interleave.PORSearch(a, start, nodes, interleave.POROptions{})
+	if err != nil {
+		cex := cs.counterexample("PORSearch failed: " + err.Error())
+		cex.Config = start.String()
+		return cex
+	}
+	for v := range brute {
+		if _, ok := res.Outcomes[v]; !ok {
+			cex := cs.counterexample(fmt.Sprintf(
+				"nodes %v: brute-force outcome %s missing from POR set (sleep set over-pruned)",
+				nodes, config.FromIndex(v, cs.N)))
+			cex.Config = start.String()
+			return cex
+		}
+	}
+	for v := range res.Outcomes {
+		if _, ok := brute[v]; !ok {
+			cex := cs.counterexample(fmt.Sprintf(
+				"nodes %v: POR outcome %s not reachable by brute force", nodes, config.FromIndex(v, cs.N)))
+			cex.Config = start.String()
+			return cex
+		}
+	}
+	bruteTotal := uint64(0)
+	for _, c := range brute {
+		bruteTotal += uint64(c)
+	}
+	if len(nodes) > 0 && res.Stats.Schedules > bruteTotal {
+		cex := cs.counterexample(fmt.Sprintf(
+			"nodes %v: POR explored %d complete schedules, brute force only %d — no reduction",
+			nodes, res.Stats.Schedules, bruteTotal))
+		cex.Config = start.String()
+		return cex
+	}
+	// Adversarial word soundness: any word, however unfair or stuttering,
+	// canonically completes to a full schedule, so its outcome must be in
+	// the outcome set.
+	if len(nodes) > 0 {
+		for trial := 0; trial < 4; trial++ {
+			name, word := SampleOrder(rng, len(nodes), 3*len(nodes))
+			got, err := interleave.ExecuteWord(a, start, nodes, interleave.FetchCommit, word)
+			if err != nil {
+				cex := cs.counterexample(fmt.Sprintf("ExecuteWord(%s word) failed: %v", name, err))
+				cex.Config, cex.Order = start.String(), word
+				return cex
+			}
+			if _, ok := res.Outcomes[got]; !ok {
+				cex := cs.counterexample(fmt.Sprintf(
+					"%s word executes to %s, outside the POR outcome set", name, config.FromIndex(got, cs.N)))
+				cex.Config, cex.Order = start.String(), word
+				return cex
+			}
+		}
+	}
+	return nil
+}
+
+// MicroPORWitness runs the S5 acceptance pipeline on the alternating
+// 2-cycle configuration of the MAJORITY ring of (even) size n:
+//
+//  1. targeted PORSearch finds a fetch/commit schedule whose outcome is
+//     the parallel step F(x) — the other phase of the Lemma 1(i) 2-cycle;
+//  2. memoized exhaustive search certifies no whole-update (atomic) order
+//     reaches F(x), at any n, without the k! blow-up;
+//  3. the witness word is ddmin-shrunk with the claim shrinker and must
+//     still replay to F(x) through its canonical completion.
+//
+// A nil return means all three stages held; the returned word lengths let
+// callers (E28, tests) report the shrink.
+func MicroPORWitness(n int) (witness, shrunk []int, cex *Counterexample) {
+	cs := Case{N: n, R: 1, K: 2} // MAJORITY at radius 1
+	a := cs.Automaton()
+	start := config.Alternating(n, 0)
+	target := interleave.ParallelStepIndex(a, start)
+	nodes := make([]int, n)
+	for i := range nodes {
+		nodes[i] = i
+	}
+	res, err := interleave.PORSearch(a, start, nodes, interleave.POROptions{
+		Target: &target, StopAtTarget: true,
+	})
+	if err != nil {
+		c := cs.counterexample("targeted PORSearch failed: " + err.Error())
+		c.Config = start.String()
+		return nil, nil, c
+	}
+	if res.Witness == nil {
+		c := cs.counterexample("no micro-op schedule reaches the parallel 2-cycle step F(x)")
+		c.Config = start.String()
+		return nil, nil, c
+	}
+	witness = interleave.Word(res.Witness)
+	atomic, err := interleave.AtomicReachable(a, start, nodes)
+	if err != nil {
+		c := cs.counterexample("atomic reachability failed: " + err.Error())
+		c.Config = start.String()
+		return nil, nil, c
+	}
+	if atomic[target] {
+		c := cs.counterexample(fmt.Sprintf(
+			"atomic whole-update order reaches F(x) = %s; Lemma 1(ii) forbids this",
+			config.FromIndex(target, n)))
+		c.Config = start.String()
+		return nil, nil, c
+	}
+	shrunk = ShrinkScheduleWord(a, start, nodes, interleave.FetchCommit, target, witness)
+	got, err := interleave.ExecuteWord(a, start, nodes, interleave.FetchCommit, shrunk)
+	if err != nil || got != target {
+		c := cs.counterexample(fmt.Sprintf(
+			"shrunk witness word %v no longer replays to F(x) (got %d, err %v)", shrunk, got, err))
+		c.Config, c.Order = start.String(), shrunk
+		return witness, shrunk, c
+	}
+	return witness, shrunk, nil
+}
+
+// ShrinkScheduleWord ddmin-minimizes a schedule word while its canonical
+// completion keeps executing to target, reusing the claim shrinker's
+// order-reduction passes. The start configuration is pinned — only the
+// word shrinks — so the result is the minimal scheduled prefix that still
+// forces the target outcome.
+func ShrinkScheduleWord(a *automaton.Automaton, start config.Config, nodes []int,
+	g interleave.Granularity, target uint64, word []int) []int {
+	startIdx := start.Index()
+	inst := Instance{Case: Case{N: start.N(), R: 1, K: 2}, Config: startIdx, Order: word}
+	min := Shrink(inst, func(cand Instance) bool {
+		if cand.Config != startIdx {
+			return false // pin the configuration; shrink the word only
+		}
+		got, err := interleave.ExecuteWord(a, start, nodes, g, cand.Order)
+		return err == nil && got == target
+	})
+	return min.Order
+}
+
+// checkS11 is the claim body for S11: the §1.1 register-VM refinement
+// under random program families.
+func checkS11(ctx *Ctx) *Counterexample {
+	for round := 0; round < ctx.Rounds; round++ {
+		if cex := RegisterVMRefinement(ctx.Rng); cex != nil {
+			return cex
+		}
+	}
+	return nil
+}
+
+// checkS5 is the claim body for S5. The differential leg sweeps every
+// k-of-3 panel rule over random node subsets at brute-enumerable sizes;
+// the witness leg runs the full find/certify/shrink pipeline on even
+// MAJORITY rings, scaled past the brute-force wall by the rounds budget.
+func checkS5(ctx *Ctx) *Counterexample {
+	for round := 0; round < ctx.Rounds; round++ {
+		n := 3 + ctx.Rng.Intn(3) // 3–5 cells: brute side stays enumerable
+		cs := Case{N: n, R: 1, K: ctx.Rng.Intn(5)}
+		size := ctx.Rng.Intn(n + 1)
+		nodes := append([]int(nil), ctx.Rng.Perm(n)[:size]...)
+		if cex := MicroPORDifferential(ctx.Rng, cs, nodes); cex != nil {
+			return cex
+		}
+	}
+	maxN := 6 + 2*(ctx.Rounds/100)
+	if maxN > 14 {
+		maxN = 14
+	}
+	for n := 4; n <= maxN; n += 2 {
+		if _, _, cex := MicroPORWitness(n); cex != nil {
+			return cex
+		}
+	}
+	return nil
+}

@@ -97,10 +97,15 @@ func HasTwoCycle(a *Automaton, x Config) bool { return a.IsTwoCycle(x) }
 // InterleavingGranularity reports whether the parallel step from start can
 // be reproduced by sequential interleavings at (fetch/store) micro-op
 // granularity and at whole-node-update granularity, respectively — the §5
-// experiment. The automaton must have at most 6 nodes.
-func InterleavingGranularity(a *Automaton, start Config) (micro, atomic bool) {
-	rep := interleave.CheckRecovery(a, start)
-	return rep.MicroReaches, rep.AtomicReaches
+// experiment. It returns interleave.ErrTooLarge past the brute-force caps
+// (more than 6 nodes); interleave.PORSearch answers the same question at
+// larger sizes.
+func InterleavingGranularity(a *Automaton, start Config) (micro, atomic bool, err error) {
+	rep, err := interleave.CheckRecovery(a, start)
+	if err != nil {
+		return false, false, err
+	}
+	return rep.MicroReaches, rep.AtomicReaches, nil
 }
 
 // SpaceTime writes an ASCII space-time diagram of the parallel orbit.

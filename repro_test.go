@@ -34,7 +34,10 @@ func TestFacadeCensus(t *testing.T) {
 
 func TestFacadeInterleavingGranularity(t *testing.T) {
 	a := repro.MustNew(repro.Ring(4, 1), repro.Majority(1))
-	micro, atomic := repro.InterleavingGranularity(a, repro.Alternating(4, 0))
+	micro, atomic, err := repro.InterleavingGranularity(a, repro.Alternating(4, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
 	if !micro || atomic {
 		t.Fatalf("micro=%v atomic=%v; want true,false", micro, atomic)
 	}
