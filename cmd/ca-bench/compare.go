@@ -57,7 +57,7 @@ func compareReports(baseline, current *Report, thresholdPct float64) (deltas, re
 			continue
 		}
 		d := Delta{
-			Name: r.Name,
+			Name:  r.Name,
 			OldNs: o.NsPerOp, NewNs: r.NsPerOp,
 			OldBytes: o.BytesPerOp, NewBytes: r.BytesPerOp,
 			OldAllocs: o.AllocsPerOp, NewAllocs: r.AllocsPerOp,

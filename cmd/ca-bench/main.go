@@ -7,6 +7,7 @@
 //	ca-bench -bench 'Ablation'       # only the ablations
 //	ca-bench -out results.json       # explicit output path
 //	ca-bench -parse -input raw.txt   # convert an existing `go test -bench` log
+//	ca-bench -serve-load             # load-test ca-serve, write BENCH_<date>.serve.json
 //
 // The tool shells out to `go test -run ^$ -bench <pattern> -benchmem .` in
 // the module root, parses the standard benchmark output lines, and emits
@@ -43,22 +44,59 @@ func main() {
 		benchtime = flag.String("benchtime", "", "go test -benchtime value, e.g. 0.2s or 100x (default: go's)")
 		compare   = flag.String("compare", "", "baseline report JSON to diff against; regressions beyond -threshold fail")
 		threshold = flag.Float64("threshold", 15, "ns/op slowdown percentage treated as a regression (with -compare)")
+
+		serveLoad     = flag.Bool("serve-load", false, "run the ca-serve load generator instead of go test benchmarks")
+		serveURL      = flag.String("serve-url", "", "ca-serve base URL to load (empty = start a server in-process)")
+		serveFaults   = flag.String("serve-faults", "", "fault plan for the in-process server (with empty -serve-url)")
+		loadConc      = flag.Int("load-concurrency", 8, "concurrent workers in the mixed-load phase")
+		loadReqs      = flag.Int("load-requests", 200, "total requests in the mixed-load phase")
+		loadQPS       = flag.Int("load-qps", 0, "request-start rate limit (0 = unpaced)")
+		loadHot       = flag.Float64("load-hot", 0.8, "fraction of mixed-load requests on the hot key")
+		loadHerd      = flag.Int("load-herd", 64, "thundering-herd size on one cold key (0 = skip)")
+		loadCoalesce  = flag.Int64("load-min-coalesce", -1, "gate: herd must coalesce at least this many waiters (-1 = off)")
+		loadMax5xx    = flag.Int64("load-max-5xx", -1, "gate: budget for 5xx beyond injected faults and shedding (-1 = off)")
+		loadReqFaults = flag.Bool("load-require-faults", false, "gate: the server's fault ledger must be non-empty")
 	)
 	prof := cli.NewProfile()
 	flag.Parse()
 	cli.Exit2("ca-bench", cli.First(
 		cli.PositiveDuration("-timeout", *timeout),
 		cli.Writable("-out", *out),
+		cli.Positive("-load-concurrency", *loadConc),
+		cli.NonNegative("-load-requests", *loadReqs),
+		cli.NonNegative("-load-qps", *loadQPS),
+		cli.NonNegative("-load-herd", *loadHerd),
+		cli.Probability("-load-hot", *loadHot),
 	))
 	stopProf := prof.MustStart("ca-bench")
 	stopSig := prof.FlushOnInterrupt("ca-bench")
-	err := run(*bench, *out, *dir, *input, *compare, *benchtime, *parse, *timeout, *threshold)
+	var err error
+	if *serveLoad {
+		err = runServeLoad(serveLoadOptions{
+			URL:           *serveURL,
+			Faults:        *serveFaults,
+			Concurrency:   *loadConc,
+			Requests:      *loadReqs,
+			QPS:           *loadQPS,
+			HotRatio:      *loadHot,
+			HerdK:         *loadHerd,
+			MinCoalesce:   *loadCoalesce,
+			Max5xx:        *loadMax5xx,
+			RequireFaults: *loadReqFaults,
+			Timeout:       *timeout,
+		}, *out)
+	} else {
+		err = run(*bench, *out, *dir, *input, *compare, *benchtime, *parse, *timeout, *threshold)
+	}
 	stopSig()
 	stopProf() // explicit: the os.Exit paths below skip defers
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ca-bench:", err)
 		if errors.Is(err, errRegression) {
 			os.Exit(regressionExitCode)
+		}
+		if errors.Is(err, errSLO) {
+			os.Exit(sloExitCode)
 		}
 		os.Exit(1)
 	}

@@ -1,0 +1,360 @@
+package main
+
+// Load generation for ca-serve (-serve-load). The generator drives the
+// phase-space server through the three regimes its robustness claims are
+// about — a thundering herd on one cold key (coalescing), an over-cap
+// query (graceful degradation), and a hot/cold mixed workload at fixed
+// concurrency (admission + cache) — and writes a machine-readable report
+// (BENCH_<date>.serve.json) with client-side latency quantiles and the
+// server's own counters. CI gates on the report: coalescing below
+// -load-min-coalesce, unexpected 5xx above -load-max-5xx, or a fault plan
+// that never fired (-load-require-faults) exit with status 4.
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"sync"
+	"time"
+
+	"repro/internal/faultinject"
+	"repro/internal/serve"
+)
+
+// errSLO marks a load run that violated a gate; main maps it to
+// sloExitCode so CI can tell "server out of SLO" from operational failure.
+var errSLO = errors.New("serve-load SLO gate violated")
+
+const sloExitCode = 4
+
+// serveLoadOptions configures one load run.
+type serveLoadOptions struct {
+	URL           string // target server; empty = start one in-process
+	Faults        string // fault plan for the in-process server
+	Concurrency   int
+	Requests      int
+	QPS           int     // request-start rate limit; 0 = unpaced
+	HotRatio      float64 // fraction of mixed-phase requests on the hot key
+	HerdK         int     // herd size; 0 skips the herd phase
+	MinCoalesce   int64   // gate: herd must deduplicate ≥ this many requests; <0 disables
+	Max5xx        int64   // gate: unexpected 5xx budget; <0 disables
+	RequireFaults bool    // gate: the fault ledger must be non-empty
+	Timeout       time.Duration
+}
+
+// ServeLoadReport is the JSON document a load run writes.
+type ServeLoadReport struct {
+	Date      string `json:"date"`
+	URL       string `json:"url"`
+	InProcess bool   `json:"in_process"`
+
+	Herd struct {
+		K         int   `json:"k"`
+		OK        int   `json:"ok"`
+		Injected  int   `json:"injected"`  // responses the fault plan forced
+		Builds    int64 `json:"builds"`    // flight builds the herd caused
+		Coalesced int64 `json:"coalesced"` // waiters that joined the in-flight build
+		Deduped   int64 `json:"deduped"`   // K - builds: requests that did not build
+		Identical bool  `json:"identical_bodies"`
+	} `json:"herd"`
+
+	DegradedProbe struct {
+		N        int  `json:"n"`
+		Status   int  `json:"status"`
+		Degraded bool `json:"degraded"`
+	} `json:"degraded_probe"`
+
+	Load struct {
+		Requests    int                     `json:"requests"`
+		Concurrency int                     `json:"concurrency"`
+		QPS         int                     `json:"qps,omitempty"`
+		HotRatio    float64                 `json:"hot_ratio"`
+		Statuses    map[string]int          `json:"statuses"`
+		Client      serve.HistogramSnapshot `json:"client_latency"`
+	} `json:"load"`
+
+	Server        serve.MetricsSnapshot `json:"server"`
+	Unexpected5xx int64                 `json:"unexpected_5xx"`
+	FaultsFired   int                   `json:"faults_fired"`
+	GateFailures  []string              `json:"gate_failures,omitempty"`
+}
+
+// runServeLoad executes the load phases against opts.URL (or an
+// in-process server) and writes the report to out (default
+// BENCH_<date>.serve.json). A gate violation returns errSLO after the
+// report is written — the report always lands.
+func runServeLoad(opts serveLoadOptions, out string) error {
+	rep := &ServeLoadReport{Date: time.Now().Format("2006-01-02")}
+	base := opts.URL
+	if base == "" {
+		var stop func()
+		var err error
+		base, stop, err = startInProcess(opts.Faults)
+		if err != nil {
+			return err
+		}
+		defer stop()
+		rep.InProcess = true
+	}
+	rep.URL = base
+	client := &http.Client{Timeout: opts.Timeout}
+	if err := waitReady(client, base, 10*time.Second); err != nil {
+		return err
+	}
+
+	nonce := time.Now().UnixNano()
+	var gates []string
+
+	// Phase 1: thundering herd on one cold key. Metrics deltas around the
+	// phase prove the invariant: K misses, one build.
+	if opts.HerdK > 0 {
+		before, err := metrics(client, base)
+		if err != nil {
+			return err
+		}
+		herdURL := fmt.Sprintf("%s/v1/census?n=14&rule=majority&engine=enum&tag=herd-%d", base, nonce)
+		bodies := make([][]byte, opts.HerdK)
+		codes := make([]int, opts.HerdK)
+		injected := make([]bool, opts.HerdK)
+		var wg sync.WaitGroup
+		for i := 0; i < opts.HerdK; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				var hdr http.Header
+				codes[i], bodies[i], hdr = fetch(client, herdURL)
+				injected[i] = hdr.Get("X-Injected-Fault") != ""
+			}(i)
+		}
+		wg.Wait()
+		after, err := metrics(client, base)
+		if err != nil {
+			return err
+		}
+		rep.Herd.K = opts.HerdK
+		rep.Herd.Builds = after.Builds - before.Builds
+		rep.Herd.Coalesced = after.Coalesced - before.Coalesced
+		rep.Herd.Deduped = int64(opts.HerdK) - rep.Herd.Builds
+		// Identity is judged across the 200s; responses the fault plan
+		// forced (marked X-Injected-Fault) are deliberate, not failures.
+		rep.Herd.Identical = true
+		var first []byte
+		for i := 0; i < opts.HerdK; i++ {
+			switch {
+			case injected[i]:
+				rep.Herd.Injected++
+			case codes[i] == http.StatusOK:
+				rep.Herd.OK++
+				if first == nil {
+					first = bodies[i]
+				} else if !bytes.Equal(bodies[i], first) {
+					rep.Herd.Identical = false
+				}
+			}
+		}
+		if rep.Herd.OK+rep.Herd.Injected != opts.HerdK {
+			gates = append(gates, fmt.Sprintf("herd: %d/%d requests OK (%d injected)",
+				rep.Herd.OK, opts.HerdK, rep.Herd.Injected))
+		}
+		if !rep.Herd.Identical {
+			gates = append(gates, "herd: bodies not byte-identical")
+		}
+		if rep.Herd.Builds != 1 {
+			gates = append(gates, fmt.Sprintf("herd: %d builds for one key, want 1", rep.Herd.Builds))
+		}
+		// Gate on deduplicated requests (K - builds) rather than the raw
+		// coalesced counter: a waiter arriving just after the build
+		// completes is a cache hit, not a coalesce, and both satisfy the
+		// one-build invariant the gate is really about.
+		if opts.MinCoalesce >= 0 && rep.Herd.Deduped < opts.MinCoalesce {
+			gates = append(gates, fmt.Sprintf("herd: %d deduplicated of %d < required %d",
+				rep.Herd.Deduped, opts.HerdK, opts.MinCoalesce))
+		}
+	}
+
+	// Phase 2: over-cap probe — must degrade to an analytic 200, never
+	// 5xx. An injected fault landing on the probe is retried: injection is
+	// deterministic in the request sequence, so the next attempt advances
+	// past it.
+	rep.DegradedProbe.N = 150
+	var code int
+	var body []byte
+	for attempt := 0; attempt < 5; attempt++ {
+		var hdr http.Header
+		code, body, hdr = fetch(client, fmt.Sprintf("%s/v1/census?n=%d&rule=majority", base, rep.DegradedProbe.N))
+		if hdr.Get("X-Injected-Fault") == "" {
+			break
+		}
+	}
+	rep.DegradedProbe.Status = code
+	var probe struct {
+		Degraded bool `json:"degraded"`
+	}
+	_ = json.Unmarshal(body, &probe)
+	rep.DegradedProbe.Degraded = probe.Degraded
+	if code != http.StatusOK || !probe.Degraded {
+		gates = append(gates, fmt.Sprintf("degraded probe: status %d degraded=%v, want 200/true", code, probe.Degraded))
+	}
+
+	// Phase 3: mixed hot/cold load at fixed concurrency. Hot requests
+	// revisit one key (cache hits after the first); cold requests carry a
+	// fresh tag each, so every one is a genuine build competing for
+	// admission.
+	rep.Load.Requests = opts.Requests
+	rep.Load.Concurrency = opts.Concurrency
+	rep.Load.QPS = opts.QPS
+	rep.Load.HotRatio = opts.HotRatio
+	rep.Load.Statuses = map[string]int{}
+	var hist serve.Histogram
+	var mu sync.Mutex
+	var pace <-chan time.Time
+	if opts.QPS > 0 {
+		t := time.NewTicker(time.Second / time.Duration(opts.QPS))
+		defer t.Stop()
+		pace = t.C
+	}
+	coldRules := []string{"majority", "xor", "threshold:1", "threshold:3", "eca:110"}
+	work := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < opts.Concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				var u string
+				// Interleaved deterministic mix: request i is hot iff its
+				// residue mod 100 falls under the ratio, so hot and cold
+				// alternate at any request count.
+				if float64(i%100)/100 < opts.HotRatio {
+					u = fmt.Sprintf("%s/v1/census?n=12&rule=majority&tag=hot-%d", base, nonce)
+				} else {
+					u = fmt.Sprintf("%s/v1/census?n=%d&rule=%s&engine=enum&tag=cold-%d-%d",
+						base, 9+i%4, coldRules[i%len(coldRules)], nonce, i)
+				}
+				start := time.Now()
+				code, _, _ := fetch(client, u)
+				hist.Observe(time.Since(start))
+				mu.Lock()
+				rep.Load.Statuses[fmt.Sprintf("%d", code)]++
+				mu.Unlock()
+			}
+		}()
+	}
+	for i := 0; i < opts.Requests; i++ {
+		if pace != nil {
+			<-pace
+		}
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+	rep.Load.Client = hist.Snapshot()
+
+	// Final server-side accounting. Unexpected 5xx excludes what the
+	// server did on purpose: injected faults and load-shedding 503s.
+	final, err := metrics(client, base)
+	if err != nil {
+		return err
+	}
+	rep.Server = *final
+	rep.FaultsFired = len(final.FaultLedger)
+	rep.Unexpected5xx = final.ServerErrors - final.Injected - final.ShedFull - final.ShedWait
+	if rep.Unexpected5xx < 0 {
+		rep.Unexpected5xx = 0
+	}
+	if opts.Max5xx >= 0 && rep.Unexpected5xx > opts.Max5xx {
+		gates = append(gates, fmt.Sprintf("unexpected 5xx: %d > budget %d", rep.Unexpected5xx, opts.Max5xx))
+	}
+	if opts.RequireFaults && rep.FaultsFired == 0 {
+		gates = append(gates, "fault plan configured but never fired")
+	}
+	rep.GateFailures = gates
+
+	if out == "" {
+		out = fmt.Sprintf("BENCH_%s.serve.json", rep.Date)
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote serve-load report to %s (herd builds %d, coalesced %d, unexpected 5xx %d)\n",
+		out, rep.Herd.Builds, rep.Herd.Coalesced, rep.Unexpected5xx)
+	if len(gates) > 0 {
+		return fmt.Errorf("%w: %d gate(s): %v", errSLO, len(gates), gates)
+	}
+	return nil
+}
+
+// startInProcess boots a serve.Server on a loopback port for self-
+// contained load runs (no external ca-serve needed).
+func startInProcess(faults string) (url string, stop func(), err error) {
+	var plan *faultinject.Plan
+	if faults != "" {
+		plan, err = faultinject.Parse(faults)
+		if err != nil {
+			return "", nil, err
+		}
+	}
+	s, err := serve.New(serve.Config{Faults: plan})
+	if err != nil {
+		return "", nil, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", nil, err
+	}
+	hs := &http.Server{Handler: s.Handler()}
+	go hs.Serve(ln)
+	return "http://" + ln.Addr().String(), func() { hs.Close() }, nil
+}
+
+// waitReady polls /readyz until it answers 200.
+func waitReady(client *http.Client, base string, budget time.Duration) error {
+	deadline := time.Now().Add(budget)
+	for {
+		resp, err := client.Get(base + "/readyz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("server at %s not ready after %v (last err %v)", base, budget, err)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+// fetch GETs u and returns status, body and headers; transport errors
+// report as status 0.
+func fetch(client *http.Client, u string) (int, []byte, http.Header) {
+	resp, err := client.Get(u)
+	if err != nil {
+		return 0, nil, nil
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	return resp.StatusCode, body, resp.Header
+}
+
+// metrics fetches and decodes /metrics.
+func metrics(client *http.Client, base string) (*serve.MetricsSnapshot, error) {
+	code, body, _ := fetch(client, base+"/metrics")
+	if code != http.StatusOK {
+		return nil, fmt.Errorf("/metrics answered %d", code)
+	}
+	var m serve.MetricsSnapshot
+	if err := json.Unmarshal(body, &m); err != nil {
+		return nil, fmt.Errorf("/metrics: %v", err)
+	}
+	return &m, nil
+}

@@ -1,0 +1,142 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/faultinject"
+	"repro/internal/serve"
+)
+
+func loadOpts(url string) serveLoadOptions {
+	return serveLoadOptions{
+		URL:         url,
+		Concurrency: 4,
+		Requests:    40,
+		HotRatio:    0.8,
+		HerdK:       16,
+		MinCoalesce: -1,
+		Max5xx:      -1,
+		Timeout:     time.Minute,
+	}
+}
+
+// TestServeLoadAgainstHealthyServer: a clean server passes every phase,
+// and the report records one herd build with coalesced waiters, a
+// degraded over-cap probe, and latency quantiles.
+func TestServeLoadAgainstHealthyServer(t *testing.T) {
+	s, err := serve.New(serve.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	out := filepath.Join(t.TempDir(), "load.json")
+	opts := loadOpts(ts.URL)
+	opts.MinCoalesce = int64(opts.HerdK / 2)
+	opts.Max5xx = 0
+	if err := runServeLoad(opts, out); err != nil {
+		t.Fatalf("load run failed: %v", err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep ServeLoadReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Herd.Builds != 1 || !rep.Herd.Identical || rep.Herd.OK != opts.HerdK {
+		t.Fatalf("herd phase: %+v", rep.Herd)
+	}
+	if rep.Herd.Deduped < opts.MinCoalesce {
+		t.Fatalf("herd deduplicated %d < %d", rep.Herd.Deduped, opts.MinCoalesce)
+	}
+	if rep.DegradedProbe.Status != 200 || !rep.DegradedProbe.Degraded {
+		t.Fatalf("degraded probe: %+v", rep.DegradedProbe)
+	}
+	if rep.Load.Client.Count != int64(opts.Requests) {
+		t.Fatalf("client histogram saw %d of %d requests", rep.Load.Client.Count, opts.Requests)
+	}
+	if rep.Load.Statuses["200"] != opts.Requests {
+		t.Fatalf("mixed load statuses: %v", rep.Load.Statuses)
+	}
+	if rep.Unexpected5xx != 0 {
+		t.Fatalf("unexpected 5xx on a healthy server: %d", rep.Unexpected5xx)
+	}
+	if len(rep.GateFailures) != 0 {
+		t.Fatalf("gate failures on a healthy server: %v", rep.GateFailures)
+	}
+}
+
+// TestServeLoadGatesOnInjectedFaults: with an http fault plan the 5xx
+// budget gate trips (exit path errSLO), injected errors are excluded from
+// Unexpected5xx, and -load-require-faults is satisfiable.
+func TestServeLoadGatesOnInjectedFaults(t *testing.T) {
+	plan, err := faultinject.Parse("http:503:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := serve.New(serve.Config{Faults: plan})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	out := filepath.Join(t.TempDir(), "load.json")
+	opts := loadOpts(ts.URL)
+	opts.HerdK = 0 // herd can't coalesce when every request 503s
+	opts.Requests = 30
+	opts.RequireFaults = true
+	opts.Max5xx = 0
+	err = runServeLoad(opts, out)
+	data, rerr := os.ReadFile(out)
+	if rerr != nil {
+		t.Fatalf("report not written on gate failure: %v", rerr)
+	}
+	var rep ServeLoadReport
+	if uerr := json.Unmarshal(data, &rep); uerr != nil {
+		t.Fatal(uerr)
+	}
+	if rep.FaultsFired == 0 {
+		t.Fatalf("fault plan never fired: %+v", rep.Server)
+	}
+	if rep.Unexpected5xx != 0 {
+		t.Fatalf("injected 503s counted as unexpected: %d", rep.Unexpected5xx)
+	}
+	// The degraded probe can itself be hit by an injected 503, which is a
+	// legitimate gate failure; require-faults must NOT be among failures.
+	for _, g := range rep.GateFailures {
+		if g == "fault plan configured but never fired" {
+			t.Fatalf("require-faults gate tripped despite %d ledger entries", rep.FaultsFired)
+		}
+	}
+	if err != nil && !errors.Is(err, errSLO) {
+		t.Fatalf("gate failure mapped to wrong error: %v", err)
+	}
+}
+
+// TestServeLoadInProcess: with no -serve-url the generator boots its own
+// server and still produces a full report.
+func TestServeLoadInProcess(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "load.json")
+	opts := loadOpts("")
+	opts.HerdK = 8
+	opts.Requests = 10
+	if err := runServeLoad(opts, out); err != nil {
+		t.Fatalf("in-process load run failed: %v", err)
+	}
+	var rep ServeLoadReport
+	data, _ := os.ReadFile(out)
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if !rep.InProcess || rep.Herd.Builds != 1 {
+		t.Fatalf("in-process report: in_process=%v herd=%+v", rep.InProcess, rep.Herd)
+	}
+}

@@ -1,0 +1,136 @@
+// Command ca-serve runs the phase-space query server: a long-lived
+// HTTP/JSON front end over the repository's census, basin, orbit and
+// analytic engines, with a content-addressed result cache, singleflight
+// coalescing, bounded admission, and graceful degradation to the
+// transfer-matrix engine for over-cap queries.
+//
+//	ca-serve                            # listen on :8750
+//	ca-serve -addr :9000 -cache-mb 128  # bigger cache elsewhere
+//	ca-serve -spill /var/tmp/ca         # persist evicted results to disk
+//	ca-serve -faults 'http:503:0.05'    # inject 5% HTTP 503s (testing)
+//
+// Endpoints (all GET, JSON):
+//
+//	/v1/census    ?n=&rule=&space=&semantics=&engine=   exact or analytic census
+//	/v1/analytic  ?n=&rule=                             transfer-matrix census (any n)
+//	/v1/orbit     ?n=&rule=&x0=&max_steps=              one trajectory
+//	/v1/basins    ?n=&rule=&top=[&stream=1]             attractor basins (NDJSON stream opt.)
+//	/v1/verify    ?n=&rule=&semantics=                  paper-claim verification
+//	/healthz /readyz /metrics /faults                   operational probes
+//
+// On SIGINT/SIGTERM the server drains: new queries are refused with 503,
+// in-flight requests finish (bounded by -drain-timeout), the cache is
+// flushed to the spill directory, and a JSON drain report is printed.
+// Exit status: 0 clean drain, 1 runtime or drain failure, 2 flag misuse,
+// 130 forced by a second signal.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"time"
+
+	"repro/internal/cli"
+	"repro/internal/faultinject"
+	"repro/internal/serve"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", ":8750", "listen address")
+		cacheMB      = flag.Int("cache-mb", 64, "result cache budget in MiB")
+		spill        = flag.String("spill", "", "directory for evicted/flushed cache entries (empty = memory only)")
+		maxBuilds    = flag.Int("max-builds", 2, "concurrently running cold builds")
+		queue        = flag.Int("queue", 8, "cold builds allowed to wait for a slot (negative = shed immediately)")
+		timeout      = flag.Duration("timeout", 60*time.Second, "per-request deadline cap (and default)")
+		workers      = flag.Int("workers", 0, "build workers per campaign (0 = GOMAXPROCS)")
+		retries      = flag.Int("retries", 0, "supervised per-shard retry budget (0 = default)")
+		faults       = flag.String("faults", "", "fault plan, e.g. 'http:503:0.05,panic:3,delay:1=2ms'")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "bound on finishing in-flight work after SIGTERM")
+	)
+	flag.Parse()
+	cli.Exit2("ca-serve", cli.First(
+		cli.Positive("-cache-mb", *cacheMB),
+		cli.Positive("-max-builds", *maxBuilds),
+		cli.PositiveDuration("-timeout", *timeout),
+		cli.PositiveDuration("-drain-timeout", *drainTimeout),
+		cli.NonNegative("-workers", *workers),
+		cli.NonNegative("-retries", *retries),
+	))
+	var plan *faultinject.Plan
+	if *faults != "" {
+		p, err := faultinject.Parse(*faults)
+		cli.Exit2("ca-serve", err)
+		plan = p
+	}
+	cfg := serve.Config{
+		Workers:    *workers,
+		Retries:    *retries,
+		CacheBytes: int64(*cacheMB) << 20,
+		SpillDir:   *spill,
+		MaxBuilds:  *maxBuilds,
+		QueueDepth: *queue,
+		MaxTimeout: *timeout,
+		Faults:     plan,
+	}
+	ctx, stop := cli.ForcedSignalContext(context.Background(), nil)
+	code := run(ctx, cfg, *addr, *drainTimeout, nil, os.Stdout, os.Stderr)
+	stop()
+	os.Exit(code)
+}
+
+// run serves until ctx is cancelled, then drains and reports. ready, when
+// non-nil, receives the bound listen address once accepting (tests listen
+// on :0). The returned code is the process exit status.
+func run(ctx context.Context, cfg serve.Config, addr string, drainTimeout time.Duration, ready chan<- string, out, errw io.Writer) int {
+	s, err := serve.New(cfg)
+	if err != nil {
+		fmt.Fprintln(errw, "ca-serve:", err)
+		return 1
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		fmt.Fprintln(errw, "ca-serve:", err)
+		return 1
+	}
+	hs := &http.Server{Handler: s.Handler()}
+	fmt.Fprintf(errw, "ca-serve: listening on %s\n", ln.Addr())
+	if ready != nil {
+		ready <- ln.Addr().String()
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		fmt.Fprintln(errw, "ca-serve:", err)
+		return 1
+	case <-ctx.Done():
+	}
+
+	// Drain: stop accepting and let in-flight handlers finish (Shutdown),
+	// then flush the cache and account for stragglers (Drain). New queries
+	// racing the shutdown are refused by the draining middleware.
+	fmt.Fprintln(errw, "ca-serve: draining")
+	dctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	shutdownErr := hs.Shutdown(dctx)
+	rep := s.Drain(dctx)
+	enc, _ := json.MarshalIndent(rep, "", "  ")
+	fmt.Fprintln(out, string(enc))
+	if shutdownErr != nil && !errors.Is(shutdownErr, http.ErrServerClosed) {
+		fmt.Fprintln(errw, "ca-serve: shutdown:", shutdownErr)
+		return 1
+	}
+	if rep.Dropped > 0 || rep.FlushError != "" {
+		return 1
+	}
+	return 0
+}

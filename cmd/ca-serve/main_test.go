@@ -1,0 +1,186 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/serve"
+)
+
+// startServer runs the full run() loop on a loopback port and returns the
+// base URL, a cancel that triggers the drain, and a channel with the exit
+// code and captured stdout (the drain report).
+func startServer(t *testing.T, cfg serve.Config, drainTimeout time.Duration) (string, context.CancelFunc, chan result) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	ready := make(chan string, 1)
+	done := make(chan result, 1)
+	var out, errw bytes.Buffer
+	go func() {
+		code := run(ctx, cfg, "127.0.0.1:0", drainTimeout, ready, &out, &errw)
+		done <- result{code: code, out: out.String(), errw: errw.String()}
+	}()
+	select {
+	case addr := <-ready:
+		return "http://" + addr, cancel, done
+	case r := <-done:
+		t.Fatalf("server exited before accepting: code %d, stderr %s", r.code, r.errw)
+		return "", cancel, done
+	}
+}
+
+type result struct {
+	code int
+	out  string
+	errw string
+}
+
+func waitExit(t *testing.T, done chan result) result {
+	t.Helper()
+	select {
+	case r := <-done:
+		return r
+	case <-time.After(30 * time.Second):
+		t.Fatal("server did not exit after cancel")
+		return result{}
+	}
+}
+
+// TestServeAnswersAndDrainsClean: the binary's run loop serves a query,
+// drains on cancellation with zero dropped requests, flushes the cache to
+// the spill directory, and exits 0 with a parseable drain report.
+func TestServeAnswersAndDrainsClean(t *testing.T) {
+	dir := t.TempDir()
+	base, cancel, done := startServer(t, serve.Config{SpillDir: dir}, 10*time.Second)
+	resp, err := http.Get(base + "/v1/census?n=10&rule=majority")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("census got %d: %s", resp.StatusCode, body)
+	}
+	if resp, err := http.Get(base + "/healthz"); err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %v %v", resp, err)
+	}
+
+	cancel()
+	r := waitExit(t, done)
+	if r.code != 0 {
+		t.Fatalf("clean drain exited %d; stderr:\n%s", r.code, r.errw)
+	}
+	var rep serve.DrainReport
+	if err := json.Unmarshal([]byte(r.out), &rep); err != nil {
+		t.Fatalf("drain report is not JSON: %v\n%s", err, r.out)
+	}
+	if rep.Dropped != 0 || !rep.CacheFlushed {
+		t.Fatalf("drain report: %+v", rep)
+	}
+	spills, err := filepath.Glob(filepath.Join(dir, "*.ckpt.gz"))
+	if err != nil || len(spills) == 0 {
+		t.Fatalf("no spill files after drain flush (err %v)", err)
+	}
+	// The drained listener is gone.
+	if _, err := http.Get(base + "/healthz"); err == nil {
+		t.Fatal("listener still accepting after exit")
+	}
+}
+
+// TestServeDrainWaitsForInFlight: a request in flight when the signal
+// lands completes with 200 and the report counts zero dropped.
+func TestServeDrainWaitsForInFlight(t *testing.T) {
+	base, cancel, done := startServer(t, serve.Config{}, 20*time.Second)
+	got := make(chan int, 1)
+	go func() {
+		// n=16 enum is a real multi-shard build: slow enough that the
+		// drain overlaps it, fast enough for the drain budget.
+		resp, err := http.Get(base + "/v1/census?n=16&rule=majority&engine=enum&tag=drainwait")
+		if err != nil {
+			got <- -1
+			return
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		got <- resp.StatusCode
+	}()
+	time.Sleep(50 * time.Millisecond)
+	cancel()
+	if code := <-got; code != http.StatusOK {
+		t.Fatalf("in-flight request during drain got %d", code)
+	}
+	r := waitExit(t, done)
+	if r.code != 0 {
+		t.Fatalf("drain with in-flight work exited %d; stderr:\n%s", r.code, r.errw)
+	}
+	var rep serve.DrainReport
+	if err := json.Unmarshal([]byte(r.out), &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Dropped != 0 {
+		t.Fatalf("drain dropped %d in-flight requests", rep.Dropped)
+	}
+}
+
+// TestServeRefusesBadListenAddress: an unbindable address exits 1 and
+// says why on stderr.
+func TestServeRefusesBadListenAddress(t *testing.T) {
+	var out, errw bytes.Buffer
+	code := run(context.Background(), serve.Config{}, "256.0.0.1:0", time.Second, nil, &out, &errw)
+	if code != 1 {
+		t.Fatalf("bad address exited %d", code)
+	}
+	if !strings.Contains(errw.String(), "ca-serve:") {
+		t.Fatalf("no diagnostic on stderr: %q", errw.String())
+	}
+}
+
+// TestServeBadSpillDirFails: a spill path that cannot be created is a
+// startup failure, not a silent memory-only fallback.
+func TestServeBadSpillDirFails(t *testing.T) {
+	file := filepath.Join(t.TempDir(), "occupied")
+	if err := os.WriteFile(file, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errw bytes.Buffer
+	code := run(context.Background(), serve.Config{SpillDir: filepath.Join(file, "sub")},
+		"127.0.0.1:0", time.Second, nil, &out, &errw)
+	if code != 1 {
+		t.Fatalf("bad spill dir exited %d (stderr %q)", code, errw.String())
+	}
+}
+
+// TestServeReportsDegradedOverCap exercises the binary end to end on the
+// degradation path: a query no exact engine can hold comes back 200.
+func TestServeReportsDegradedOverCap(t *testing.T) {
+	base, cancel, done := startServer(t, serve.Config{}, 5*time.Second)
+	defer func() { cancel(); waitExit(t, done) }()
+	resp, err := http.Get(base + fmt.Sprintf("/v1/census?n=%d&rule=threshold:2", 200))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("over-cap census got %d: %s", resp.StatusCode, body)
+	}
+	var parsed struct {
+		Degraded bool   `json:"degraded"`
+		Engine   string `json:"engine"`
+	}
+	if err := json.Unmarshal(body, &parsed); err != nil {
+		t.Fatal(err)
+	}
+	if !parsed.Degraded || parsed.Engine != "analytic" {
+		t.Fatalf("over-cap answer not degraded analytic: %s", body)
+	}
+}

@@ -14,8 +14,15 @@
 //	seed:S:P           panic on attempt 0 of every shard whose FNV hash with
 //	                   seed S falls below permille P (0..1000) — a seeded
 //	                   pseudo-random panic sprinkle
+//	http:STATUS:P      inject an HTTP failure (status 400..599, or the word
+//	                   "timeout") into a serving request path at probability
+//	                   P ∈ [0,1]. Firing is a deterministic function of the
+//	                   request sequence number — an exact-rate spacing, not a
+//	                   coin flip — so a fault-CI run at fixed request count
+//	                   sees a fixed injected-fault count. HTTP rules are
+//	                   consulted through Plan.HTTPFault, never BeforeShard.
 //
-// Example: "panic:1,delay:0=2ms,error:3x2,seed:42:125".
+// Example: "panic:1,delay:0=2ms,error:3x2,seed:42:125,http:503:0.05".
 package faultinject
 
 import (
@@ -39,7 +46,15 @@ const (
 	Delay
 	// Seeded is a pseudo-random panic selected per shard by a seed.
 	Seeded
+	// HTTP injects an error status (or a request timeout) into a serving
+	// request path at a deterministic per-request rate.
+	HTTP
 )
+
+// HTTPTimeout is the status HTTPFault reports for "http:timeout:P" rules:
+// the server is expected to hold the request until its deadline expires
+// and then answer 504, rather than write the status immediately.
+const HTTPTimeout = 0
 
 // String names the kind as it appears in specs.
 func (k Kind) String() string {
@@ -52,6 +67,8 @@ func (k Kind) String() string {
 		return "delay"
 	case Seeded:
 		return "seed"
+	case HTTP:
+		return "http"
 	default:
 		return fmt.Sprintf("kind(%d)", int(k))
 	}
@@ -80,13 +97,18 @@ type rule struct {
 	delay    time.Duration
 	seed     int64
 	permille int
+	status   int // HTTP rules: the injected status (HTTPTimeout for "timeout")
 	fired    int64
 }
 
-// applies reports whether the rule fires on this (shard, attempt).
+// applies reports whether the rule fires on this (shard, attempt). HTTP
+// rules live on the request path (HTTPFault), never on shard execution.
 func (r *rule) applies(shard, attempt int) bool {
-	if r.kind == Seeded {
+	switch r.kind {
+	case Seeded:
 		return attempt == 0 && shardHash(r.seed, shard)%1000 < uint64(r.permille)
+	case HTTP:
+		return false
 	}
 	return shard == r.shard && attempt < r.count
 }
@@ -160,6 +182,30 @@ func parseRule(part string) (*rule, error) {
 		}
 		r.seed, r.permille = seed, perm
 		return r, nil
+	case "http":
+		r.kind = HTTP
+		statusStr, probStr, ok := strings.Cut(rest, ":")
+		if !ok {
+			return nil, fmt.Errorf("faultinject: http fault %q is not http:STATUS:P", part)
+		}
+		if statusStr == "timeout" {
+			r.status = HTTPTimeout
+		} else {
+			status, err := strconv.Atoi(statusStr)
+			if err != nil || status < 400 || status > 599 {
+				return nil, fmt.Errorf("faultinject: http status in %q must be 400..599 or \"timeout\"", part)
+			}
+			r.status = status
+		}
+		prob, err := strconv.ParseFloat(probStr, 64)
+		if err != nil || prob < 0 || prob > 1 {
+			return nil, fmt.Errorf("faultinject: http probability in %q must be in [0, 1]", part)
+		}
+		r.permille = int(prob*1000 + 0.5)
+		if prob > 0 && r.permille == 0 {
+			r.permille = 1 // a positive probability must be able to fire
+		}
+		return r, nil
 	default:
 		return nil, fmt.Errorf("faultinject: unknown fault kind %q in %q", kindStr, part)
 	}
@@ -218,6 +264,56 @@ func (p *Plan) BeforeShard(shard, attempt int) error {
 		}
 	}
 	return nil
+}
+
+// HTTPFault consults the plan's http rules for the request with the given
+// sequence number (callers hand out sequence numbers from an atomic
+// counter, one per request). It returns the status to inject and true when
+// a rule fires; a status of HTTPTimeout asks the server to hold the
+// request until its deadline instead of answering immediately. Firing is
+// exact-rate deterministic: a rule with probability p fires on ⌊p·k⌋ of
+// any k consecutive sequence numbers, evenly spaced, so fault-CI runs are
+// reproducible. The first matching rule wins. Safe on a nil plan and for
+// concurrent requests.
+func (p *Plan) HTTPFault(seq uint64) (status int, fired bool) {
+	if p == nil {
+		return 0, false
+	}
+	for _, r := range p.rules {
+		if r.kind != HTTP || r.permille == 0 {
+			continue
+		}
+		// Exact-rate spacing: fire when the rolling permille accumulator
+		// wraps — seq·p mod 1000 < p selects evenly spaced sequence numbers
+		// at exactly rate p/1000.
+		if (seq*uint64(r.permille))%1000 < uint64(r.permille) {
+			atomic.AddInt64(&r.fired, 1)
+			return r.status, true
+		}
+	}
+	return 0, false
+}
+
+// LedgerEntry is one rule's row in the exported fired/unfired ledger.
+type LedgerEntry struct {
+	Spec  string `json:"spec"`
+	Kind  string `json:"kind"`
+	Fired int64  `json:"fired"`
+}
+
+// Ledger reports every rule with its cumulative fired count, in plan
+// order — the machine-readable form of Fired/Unfired that server fault-CI
+// runs export as JSON to assert every planned fault actually fired
+// (Fired == 0 on a non-seeded rule means a fault the run never exercised).
+func (p *Plan) Ledger() []LedgerEntry {
+	if p == nil {
+		return nil
+	}
+	out := make([]LedgerEntry, len(p.rules))
+	for i, r := range p.rules {
+		out[i] = LedgerEntry{Spec: r.spec, Kind: r.kind.String(), Fired: atomic.LoadInt64(&r.fired)}
+	}
+	return out
 }
 
 // Fired returns the total number of fault applications across all rules.

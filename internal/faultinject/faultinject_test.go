@@ -2,7 +2,9 @@ package faultinject
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
+	"strings"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -20,7 +22,11 @@ func TestParseAccepts(t *testing.T) {
 		"delay:3=250us",
 		"seed:42:125",
 		"seed:-7:0",
-		"panic:1, delay:0=2ms ,error:3x2,seed:42:1000",
+		"http:503:0.05",
+		"http:500:1",
+		"http:429:0",
+		"http:timeout:0.25",
+		"panic:1, delay:0=2ms ,error:3x2,seed:42:1000,http:503:0.1",
 	}
 	for _, spec := range good {
 		if _, err := Parse(spec); err != nil {
@@ -59,6 +65,11 @@ func TestParseRejects(t *testing.T) {
 		"seed:x:10",        // bad seed
 		"seed:1:1001",      // permille out of range
 		"panic:1,,error:2", // empty entry
+		"http:503",         // missing probability
+		"http:200:0.5",     // non-error status
+		"http:nope:0.5",    // bad status
+		"http:503:1.5",     // probability out of range
+		"http:503:-0.1",    // negative probability
 	}
 	for _, spec := range bad {
 		if _, err := Parse(spec); err == nil {
@@ -222,5 +233,114 @@ func TestInjectedErrorString(t *testing.T) {
 	e := &Injected{Kind: Panic, Shard: 3, Attempt: 1}
 	if got := e.Error(); got != "faultinject: panic fault on shard 3 attempt 1" {
 		t.Fatalf("Error() = %q", got)
+	}
+}
+
+// TestHTTPFaultExactRate: an http rule with probability p fires on exactly
+// ⌊p·k⌋ of k consecutive request sequence numbers, deterministically, and
+// never fires through the shard-execution path.
+func TestHTTPFaultExactRate(t *testing.T) {
+	plan, err := Parse("http:503:0.05")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fired := 0
+	var firstSeqs []uint64
+	for seq := uint64(1); seq <= 1000; seq++ {
+		status, ok := plan.HTTPFault(seq)
+		if ok {
+			fired++
+			if status != 503 {
+				t.Fatalf("seq %d: injected status %d, want 503", seq, status)
+			}
+			if len(firstSeqs) < 3 {
+				firstSeqs = append(firstSeqs, seq)
+			}
+		}
+	}
+	if fired != 50 {
+		t.Fatalf("p=0.05 fired %d/1000 times, want exactly 50", fired)
+	}
+	if plan.Fired() != 50 {
+		t.Fatalf("Fired() = %d, want 50", plan.Fired())
+	}
+	// Determinism: the same sequence numbers fire again on a fresh plan.
+	again, _ := Parse("http:503:0.05")
+	for _, seq := range firstSeqs {
+		if _, ok := again.HTTPFault(seq); !ok {
+			t.Fatalf("seq %d fired on the first plan but not a fresh one", seq)
+		}
+	}
+	// HTTP rules are request-path only: BeforeShard must ignore them.
+	if err := again.BeforeShard(0, 0); err != nil {
+		t.Fatalf("BeforeShard tripped an http rule: %v", err)
+	}
+}
+
+// TestHTTPFaultEdgeRates: p=1 fires always, p=0 never, and "timeout" maps
+// to the HTTPTimeout sentinel.
+func TestHTTPFaultEdgeRates(t *testing.T) {
+	always, _ := Parse("http:500:1")
+	never, _ := Parse("http:500:0")
+	timeout, _ := Parse("http:timeout:1")
+	for seq := uint64(1); seq <= 100; seq++ {
+		if _, ok := always.HTTPFault(seq); !ok {
+			t.Fatalf("p=1 did not fire at seq %d", seq)
+		}
+		if _, ok := never.HTTPFault(seq); ok {
+			t.Fatalf("p=0 fired at seq %d", seq)
+		}
+		if status, ok := timeout.HTTPFault(seq); !ok || status != HTTPTimeout {
+			t.Fatalf("timeout rule at seq %d = (%d, %v), want (HTTPTimeout, true)", seq, status, ok)
+		}
+	}
+	// A nil plan never injects.
+	var nilPlan *Plan
+	if _, ok := nilPlan.HTTPFault(1); ok {
+		t.Fatal("nil plan injected a fault")
+	}
+}
+
+// TestLedgerExportsFiredAndUnfired: the ledger is the JSON-exportable
+// fired/unfired record — one row per rule in plan order, with exact fired
+// counts, so fault-CI can assert every planned fault actually fired.
+func TestLedgerExportsFiredAndUnfired(t *testing.T) {
+	plan, err := Parse("error:0,http:503:1,panic:99")
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan.BeforeShard(0, 0) // fires error:0
+	plan.HTTPFault(7)      // fires http:503:1
+	got := plan.Ledger()
+	want := []LedgerEntry{
+		{Spec: "error:0", Kind: "error", Fired: 1},
+		{Spec: "http:503:1", Kind: "http", Fired: 1},
+		{Spec: "panic:99", Kind: "panic", Fired: 0},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("Ledger() has %d rows, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("ledger[%d] = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+	data, err := json.Marshal(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"spec":"panic:99"`) || !strings.Contains(string(data), `"fired":0`) {
+		t.Fatalf("ledger JSON missing unfired row: %s", data)
+	}
+	// The unfired http-less view agrees.
+	if u := plan.Unfired(); len(u) != 1 || u[0] != "panic:99" {
+		t.Fatalf("Unfired() = %v, want [panic:99]", u)
+	}
+	if (&Plan{}).Ledger() != nil && len((&Plan{}).Ledger()) != 0 {
+		t.Fatal("empty plan has a non-empty ledger")
+	}
+	var nilPlan *Plan
+	if nilPlan.Ledger() != nil {
+		t.Fatal("nil plan has a ledger")
 	}
 }

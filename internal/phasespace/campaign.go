@@ -177,12 +177,22 @@ func runBuildCampaign(ctx context.Context, opts BuildOptions, kind, fingerprint 
 				return fmt.Errorf("phasespace: resume %s: %w", opts.Checkpoint, err)
 			}
 			if err := restoreBlobs(loaded, buf, size, rowWords, total, shards); err != nil {
-				return err
+				// A payload that decodes but does not cover its done bits is
+				// corruption in checkpoint clothing: fall back to a clean
+				// rebuild (every shard re-runs, overwriting whatever the
+				// partial restore wrote) rather than refusing to resume.
+				ck = runtime.NewCheckpoint(kind, fingerprint, shards, size)
+			} else {
+				ck = loaded
 			}
-			ck = loaded
 		case errors.Is(err, os.ErrNotExist):
 			// No checkpoint yet: a resume flag on a fresh campaign starts
 			// from scratch.
+		case errors.Is(err, runtime.ErrCorrupt):
+			// A truncated or bit-flipped checkpoint (e.g. a crash midway
+			// through an unsynced write, or disk rot) must not strand the
+			// campaign: rebuild from scratch as if no checkpoint existed.
+			// The first flush atomically replaces the corrupt file.
 		default:
 			return err
 		}

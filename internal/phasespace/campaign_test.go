@@ -3,6 +3,7 @@ package phasespace
 import (
 	"context"
 	"errors"
+	"os"
 	"path/filepath"
 	"sync/atomic"
 	"testing"
@@ -251,10 +252,11 @@ func TestResumeRefusesForeignCheckpoint(t *testing.T) {
 	}
 }
 
-// TestResumeRefusesDoneShardWithoutData guards the corrupt-checkpoint
-// path: a done bit with no payload blob means holes, and the build must
-// refuse it.
-func TestResumeRefusesDoneShardWithoutData(t *testing.T) {
+// TestResumeDoneShardWithoutDataRebuildsCleanly guards the
+// corrupt-checkpoint path: a done bit with no payload blob means holes, so
+// resume must discard the snapshot and rebuild from scratch — and the
+// rebuilt table must still be byte-identical to the scalar reference.
+func TestResumeDoneShardWithoutDataRebuildsCleanly(t *testing.T) {
 	ckpt := filepath.Join(t.TempDir(), "holes.ckpt")
 	a := campaignAutomaton(t)
 	total := uint64(1) << 14
@@ -265,12 +267,86 @@ func TestResumeRefusesDoneShardWithoutData(t *testing.T) {
 	if err := ck.Save(ckpt); err != nil {
 		t.Fatal(err)
 	}
-	_, err := BuildParallelOpts(context.Background(), a, BuildOptions{
-		Options: runtime.Options{Workers: 2}, Checkpoint: ckpt, Resume: true,
+	var ran int64
+	p, err := BuildParallelOpts(context.Background(), a, BuildOptions{
+		Options: runtime.Options{Workers: 2, AfterShard: func(int) error {
+			atomic.AddInt64(&ran, 1)
+			return nil
+		}},
+		Checkpoint: ckpt, Resume: true,
 	})
-	if err == nil {
-		t.Fatal("checkpoint with a data-less done shard accepted")
+	if err != nil {
+		t.Fatalf("resume past a data-less done shard: %v", err)
 	}
+	if got := int(atomic.LoadInt64(&ran)); got != shards {
+		t.Errorf("clean rebuild ran %d shards, want all %d", got, shards)
+	}
+	equalSucc(t, "rebuilt parallel", p.succ, BuildParallelScalar(a).succ)
+}
+
+// TestResumeCorruptCheckpointFallsBackToCleanRebuild: a kill-and-resume
+// cycle whose checkpoint was truncated or bit-flipped on disk (crash
+// mid-write on a non-atomic filesystem, disk rot) must fall back to a
+// clean rebuild instead of failing — with the final table byte-identical
+// to an undisturbed run, and the corrupt file atomically replaced.
+func TestResumeCorruptCheckpointFallsBackToCleanRebuild(t *testing.T) {
+	a := campaignAutomaton(t)
+	want := BuildParallelScalar(a)
+
+	corrupt := func(name string, mangle func([]byte) []byte) {
+		t.Run(name, func(t *testing.T) {
+			ckpt := filepath.Join(t.TempDir(), "kill.ckpt.gz")
+			// Phase 1: kill a checkpointed build partway.
+			ctx, cancel := context.WithCancel(context.Background())
+			var completed int64
+			_, err := BuildParallelOpts(ctx, a, BuildOptions{
+				Options: runtime.Options{Workers: 2, AfterShard: func(int) error {
+					if atomic.AddInt64(&completed, 1) == 3 {
+						cancel()
+					}
+					return nil
+				}},
+				Checkpoint: ckpt,
+			})
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("cancelled build: %v", err)
+			}
+			// Phase 2: corrupt the snapshot on disk.
+			data, err := os.ReadFile(ckpt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(ckpt, mangle(data), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := runtime.LoadCheckpoint(ckpt); !errors.Is(err, runtime.ErrCorrupt) {
+				t.Fatalf("LoadCheckpoint(corrupt) = %v, want ErrCorrupt", err)
+			}
+			// Phase 3: resume must rebuild cleanly and byte-identically.
+			p, err := BuildParallelOpts(context.Background(), a, BuildOptions{
+				Options: runtime.Options{Workers: 4}, Checkpoint: ckpt, Resume: true,
+			})
+			if err != nil {
+				t.Fatalf("resume past corrupt checkpoint: %v", err)
+			}
+			equalSucc(t, "rebuilt after corruption", p.succ, want.succ)
+			// The rebuild's flushes replaced the corrupt file with a
+			// complete, loadable snapshot.
+			final, err := runtime.LoadCheckpoint(ckpt)
+			if err != nil {
+				t.Fatalf("checkpoint after clean rebuild: %v", err)
+			}
+			if !final.Complete() {
+				t.Error("rebuilt checkpoint is incomplete")
+			}
+		})
+	}
+	corrupt("truncated-gzip", func(b []byte) []byte { return b[:len(b)/2] })
+	corrupt("bit-flipped-gzip", func(b []byte) []byte {
+		c := append([]byte(nil), b...)
+		c[len(c)/2] ^= 0x40 // flip a payload bit: gzip CRC must catch it
+		return c
+	})
 }
 
 // TestClassifyCtxCancellation: classification must honor a cancelled

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"compress/gzip"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"hash/fnv"
 	"io"
@@ -11,6 +12,16 @@ import (
 	"os"
 	"strings"
 )
+
+// ErrCorrupt marks a checkpoint file whose bytes exist but cannot be
+// decoded into a self-consistent snapshot — a truncated or bit-flipped
+// gzip stream, malformed JSON, or a done-bitmap that disagrees with the
+// recorded shard grid. Callers distinguish it (errors.Is) from plain I/O
+// errors: a missing file means "no checkpoint yet", an unreadable file is
+// an operational failure worth surfacing, but a corrupt one is recoverable
+// by discarding it and rebuilding from scratch, which is exactly what the
+// phasespace campaigns do on resume.
+var ErrCorrupt = errors.New("runtime: corrupt checkpoint")
 
 // Checkpoint is the on-disk snapshot of a partially completed campaign: a
 // completed-shard bitmap plus an opaque payload holding the partial
@@ -143,19 +154,19 @@ func LoadCheckpoint(path string) (*Checkpoint, error) {
 	if len(data) >= 2 && data[0] == 0x1f && data[1] == 0x8b {
 		zr, err := gzip.NewReader(bytes.NewReader(data))
 		if err != nil {
-			return nil, fmt.Errorf("checkpoint %s: %w", path, err)
+			return nil, fmt.Errorf("checkpoint %s: %w: %w", path, ErrCorrupt, err)
 		}
 		defer zr.Close()
 		if data, err = io.ReadAll(zr); err != nil {
-			return nil, fmt.Errorf("checkpoint %s: %w", path, err)
+			return nil, fmt.Errorf("checkpoint %s: %w: %w", path, ErrCorrupt, err)
 		}
 	}
 	var c Checkpoint
 	if err := json.Unmarshal(data, &c); err != nil {
-		return nil, fmt.Errorf("checkpoint %s: %w", path, err)
+		return nil, fmt.Errorf("checkpoint %s: %w: %w", path, ErrCorrupt, err)
 	}
 	if c.NumShards < 0 || len(c.Done) != (c.NumShards+63)/64 {
-		return nil, fmt.Errorf("checkpoint %s: bitmap has %d words for %d shards", path, len(c.Done), c.NumShards)
+		return nil, fmt.Errorf("checkpoint %s: %w: bitmap has %d words for %d shards", path, ErrCorrupt, len(c.Done), c.NumShards)
 	}
 	return &c, nil
 }

@@ -2,6 +2,7 @@ package runtime
 
 import (
 	"encoding/json"
+	"errors"
 	"os"
 	"path/filepath"
 	"strings"
@@ -146,6 +147,56 @@ func TestLoadCheckpointRejectsGarbage(t *testing.T) {
 	os.WriteFile(lies, []byte(`{"kind":"k","num_shards":1000,"done":[0]}`), 0o644)
 	if _, err := LoadCheckpoint(lies); err == nil {
 		t.Fatal("inconsistent bitmap accepted")
+	}
+}
+
+// TestLoadCheckpointCorruptIsTyped: every undecodable-snapshot failure —
+// truncated gzip, bit-flipped gzip payload, malformed JSON, lying bitmap —
+// is ErrCorrupt (errors.Is), while a merely missing file is not, so
+// callers can discard-and-rebuild on corruption without swallowing real
+// I/O errors.
+func TestLoadCheckpointCorruptIsTyped(t *testing.T) {
+	dir := t.TempDir()
+	good := filepath.Join(dir, "good.ckpt.gz")
+	ck := NewCheckpoint("k", "fp", 8, 64)
+	ck.MarkDone(3)
+	if err := ck.Save(good); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name  string
+		bytes []byte
+	}{
+		{"truncated-gzip", data[:len(data)-7]},
+		{"bit-flipped-gzip", func() []byte {
+			c := append([]byte(nil), data...)
+			c[len(c)/2] ^= 1
+			return c
+		}()},
+		{"malformed-json", []byte(`{"kind":`)},
+		{"lying-bitmap", []byte(`{"kind":"k","num_shards":1000,"done":[0]}`)},
+	}
+	for _, c := range cases {
+		p := filepath.Join(dir, c.name)
+		if err := os.WriteFile(p, c.bytes, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		_, err := LoadCheckpoint(p)
+		if !errors.Is(err, ErrCorrupt) {
+			t.Errorf("%s: LoadCheckpoint = %v, want ErrCorrupt", c.name, err)
+		}
+	}
+
+	if _, err := LoadCheckpoint(filepath.Join(dir, "missing")); errors.Is(err, ErrCorrupt) {
+		t.Error("missing file misreported as corrupt")
+	}
+	if _, err := LoadCheckpoint(good); err != nil {
+		t.Errorf("pristine checkpoint failed to load: %v", err)
 	}
 }
 

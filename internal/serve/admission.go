@@ -1,0 +1,92 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"time"
+)
+
+// This file implements admission control for cold builds: a fixed number
+// of concurrent build slots fronted by a bounded wait queue. Thanks to the
+// coalescer, one queue position covers an entire thundering herd (the
+// leader queues; its waiters don't), so the queue bound is a bound on
+// *distinct* uncached keys in flight. When the queue is full the server
+// sheds load immediately — 503 + Retry-After, the graceful-degradation
+// contract — instead of stacking unbounded goroutines until memory dies.
+
+// ErrQueueFull is returned when the admission queue is at capacity; the
+// HTTP layer maps it to 503 with a Retry-After hint.
+var ErrQueueFull = errors.New("serve: build admission queue is full")
+
+// Admission is the bounded build gate. Zero concurrency or queue values
+// are normalized by NewAdmission.
+type Admission struct {
+	slots    chan struct{}
+	queueMax int64
+	queued   atomic.Int64
+	shedFull atomic.Int64 // rejected: queue at capacity
+	shedWait atomic.Int64 // rejected: caller's context expired while queued
+}
+
+// NewAdmission builds a gate with the given concurrent-build slot count
+// and wait-queue bound (minimums of 1 and 0 respectively).
+func NewAdmission(slots, queue int) *Admission {
+	if slots < 1 {
+		slots = 1
+	}
+	if queue < 0 {
+		queue = 0
+	}
+	return &Admission{slots: make(chan struct{}, slots), queueMax: int64(queue)}
+}
+
+// Acquire obtains a build slot, waiting in the bounded queue if none is
+// free. It returns a release function on success; ErrQueueFull when the
+// queue is at capacity; or ctx.Err() when the context expires while
+// queued.
+func (a *Admission) Acquire(ctx context.Context) (release func(), err error) {
+	select {
+	case a.slots <- struct{}{}:
+		return a.release, nil
+	default:
+	}
+	if a.queued.Add(1) > a.queueMax {
+		a.queued.Add(-1)
+		a.shedFull.Add(1)
+		return nil, ErrQueueFull
+	}
+	defer a.queued.Add(-1)
+	select {
+	case a.slots <- struct{}{}:
+		return a.release, nil
+	case <-ctx.Done():
+		a.shedWait.Add(1)
+		return nil, ctx.Err()
+	}
+}
+
+func (a *Admission) release() { <-a.slots }
+
+// Saturated reports whether the wait queue is at capacity — the readiness
+// probe flips not-ready while true, steering load balancers away before
+// requests have to be shed.
+func (a *Admission) Saturated() bool { return a.queueMax > 0 && a.queued.Load() >= a.queueMax }
+
+// Queued reports the current wait-queue depth.
+func (a *Admission) Queued() int64 { return a.queued.Load() }
+
+// ShedFull and ShedWait report cumulative rejections.
+func (a *Admission) ShedFull() int64 { return a.shedFull.Load() }
+func (a *Admission) ShedWait() int64 { return a.shedWait.Load() }
+
+// RetryAfter estimates how long a shed client should back off: one build
+// interval per queued key, floored at a second. Deliberately coarse — it
+// is a hint, not a promise.
+func (a *Admission) RetryAfter() time.Duration {
+	d := time.Duration(1+a.queued.Load()) * time.Second
+	if d > 30*time.Second {
+		d = 30 * time.Second
+	}
+	return d
+}

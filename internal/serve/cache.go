@@ -1,0 +1,211 @@
+package serve
+
+import (
+	"container/list"
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"repro/internal/runtime"
+)
+
+// This file implements the content-addressed result cache: finished
+// response bodies keyed by the same FNV fingerprint scheme the phasespace
+// checkpoints and memos use (runtime.Fingerprint over the canonical query
+// parameters), held in a byte-budgeted LRU. With a spill directory
+// configured, entries evicted under memory pressure — and everything
+// resident at SIGTERM drain — are persisted through runtime.Checkpoint's
+// atomic tmp+rename gzip path, so a restarted server warms from disk and a
+// corrupt spill file (ErrCorrupt) degrades to a plain miss, never a crash.
+
+// spillKind is the checkpoint kind of one spilled cache entry.
+const spillKind = "serve/result"
+
+// CacheStats is a point-in-time snapshot of the cache counters.
+type CacheStats struct {
+	Entries   int   `json:"entries"`
+	Bytes     int64 `json:"bytes"`
+	MaxBytes  int64 `json:"max_bytes"`
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Evictions int64 `json:"evictions"`
+	Spills    int64 `json:"spills"`
+	DiskHits  int64 `json:"disk_hits"`
+}
+
+type cacheEntry struct {
+	key string
+	val []byte
+}
+
+// Cache is the byte-budgeted LRU of marshalled responses. Values are
+// immutable once inserted: Get hands back the shared slice, so the same
+// bytes answer every hit (the byte-for-byte identity the coalescing
+// invariant tests pin).
+type Cache struct {
+	mu    sync.Mutex
+	max   int64
+	bytes int64
+	ll    *list.List // front = most recently used
+	m     map[string]*list.Element
+	dir   string // spill directory; "" disables disk persistence
+
+	hits, misses, evictions, spills, diskHits int64
+}
+
+// NewCache builds a cache with the given byte budget; spillDir, when
+// non-empty, is created and used to persist evicted and flushed entries.
+func NewCache(maxBytes int64, spillDir string) (*Cache, error) {
+	if spillDir != "" {
+		if err := os.MkdirAll(spillDir, 0o755); err != nil {
+			return nil, err
+		}
+	}
+	return &Cache{max: maxBytes, ll: list.New(), m: make(map[string]*list.Element), dir: spillDir}, nil
+}
+
+// Get returns the cached response for key. A memory miss consults the
+// spill directory; a disk hit is re-admitted to the LRU. The second result
+// reports where the value came from: "hit", "disk", or "" on a miss.
+func (c *Cache) Get(key string) ([]byte, string) {
+	c.mu.Lock()
+	if e, ok := c.m[key]; ok {
+		c.ll.MoveToFront(e)
+		c.hits++
+		val := e.Value.(*cacheEntry).val
+		c.mu.Unlock()
+		return val, "hit"
+	}
+	c.misses++
+	c.mu.Unlock()
+
+	if c.dir == "" {
+		return nil, ""
+	}
+	val, ok := c.loadSpill(key)
+	if !ok {
+		return nil, ""
+	}
+	c.mu.Lock()
+	c.diskHits++
+	c.mu.Unlock()
+	c.Put(key, val)
+	return val, "disk"
+}
+
+// Put inserts val under key, evicting least-recently-used entries past the
+// byte budget (spilling them to disk when configured). Values larger than
+// the whole budget are not retained. Re-inserting an existing key is a
+// no-op refresh: every build of a key is deterministic, so the bytes are
+// the same.
+func (c *Cache) Put(key string, val []byte) {
+	if int64(len(val)) > c.max {
+		return
+	}
+	c.mu.Lock()
+	if e, ok := c.m[key]; ok {
+		c.ll.MoveToFront(e)
+		c.mu.Unlock()
+		return
+	}
+	c.m[key] = c.ll.PushFront(&cacheEntry{key: key, val: val})
+	c.bytes += int64(len(val))
+	var spill []*cacheEntry
+	for c.bytes > c.max {
+		back := c.ll.Back()
+		if back == nil {
+			break
+		}
+		ent := back.Value.(*cacheEntry)
+		c.ll.Remove(back)
+		delete(c.m, ent.key)
+		c.bytes -= int64(len(ent.val))
+		c.evictions++
+		if c.dir != "" {
+			spill = append(spill, ent)
+		}
+	}
+	c.mu.Unlock()
+	for _, ent := range spill {
+		c.saveSpill(ent.key, ent.val)
+	}
+}
+
+// Flush persists every resident entry to the spill directory (no-op
+// without one) — the SIGTERM drain path, so a restarted server reopens
+// warm.
+func (c *Cache) Flush() error {
+	if c.dir == "" {
+		return nil
+	}
+	c.mu.Lock()
+	ents := make([]*cacheEntry, 0, c.ll.Len())
+	for e := c.ll.Front(); e != nil; e = e.Next() {
+		ents = append(ents, e.Value.(*cacheEntry))
+	}
+	c.mu.Unlock()
+	var firstErr error
+	for _, ent := range ents {
+		if err := c.saveSpill(ent.key, ent.val); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// Stats snapshots the counters.
+func (c *Cache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Entries: len(c.m), Bytes: c.bytes, MaxBytes: c.max,
+		Hits: c.hits, Misses: c.misses, Evictions: c.evictions,
+		Spills: c.spills, DiskHits: c.diskHits,
+	}
+}
+
+// spillPath maps a key (a 16-hex-digit fingerprint — already
+// filesystem-safe) to its on-disk checkpoint.
+func (c *Cache) spillPath(key string) string {
+	return filepath.Join(c.dir, key+".ckpt.gz")
+}
+
+// saveSpill persists one entry as a single-shard checkpoint: the response
+// bytes (always JSON) ride in the payload, and the key doubles as the
+// fingerprint so a reload can validate it belongs to this query.
+func (c *Cache) saveSpill(key string, val []byte) error {
+	if !json.Valid(val) {
+		return nil // only JSON bodies are spillable (streamed NDJSON is not cached)
+	}
+	ck := runtime.NewCheckpoint(spillKind, key, 1, 0)
+	ck.MarkDone(0)
+	ck.Payload = json.RawMessage(val)
+	if err := ck.Save(c.spillPath(key)); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	c.spills++
+	c.mu.Unlock()
+	return nil
+}
+
+// loadSpill reads one spilled entry back, treating any corruption —
+// truncated gzip, bit flips, a checkpoint of the wrong kind or key — as a
+// miss (and removing the useless file), never an error.
+func (c *Cache) loadSpill(key string) ([]byte, bool) {
+	path := c.spillPath(key)
+	ck, err := runtime.LoadCheckpoint(path)
+	if err != nil {
+		if errors.Is(err, runtime.ErrCorrupt) {
+			os.Remove(path)
+		}
+		return nil, false
+	}
+	if err := ck.Validate(spillKind, key, 1, 0); err != nil || !ck.IsDone(0) || len(ck.Payload) == 0 {
+		os.Remove(path)
+		return nil, false
+	}
+	return ck.Payload, true
+}

@@ -1,0 +1,448 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/config"
+	"repro/internal/phasespace"
+	"repro/internal/runtime"
+	"repro/internal/transfer"
+)
+
+// This file is the engine router: it maps a validated Request onto the
+// cheapest engine that can answer it — symmetry-quotient enumeration,
+// raw enumeration, or the transfer-matrix analytic census — and renders
+// the answer as a deterministic JSON-ready Response. Graceful degradation
+// lives here: a query over every enumeration cap does not get a 4xx when
+// the analytic engine can still answer its ST quantities; it gets that
+// answer, marked degraded, with the omitted trajectory quantities listed.
+
+// ErrOverCap is returned when a query exceeds every engine's cap and no
+// analytic degradation is possible; the HTTP layer maps it to 422.
+var ErrOverCap = errors.New("serve: query exceeds every available engine's caps")
+
+// Response is the JSON body of every non-streamed answer. Request.Timeout
+// is excluded from the query echo (json:"-"), so the body is a pure
+// function of the cache key — the byte-identity the coalescer relies on.
+type Response struct {
+	Query             *Request      `json:"query"`
+	Engine            string        `json:"engine"`
+	Degraded          bool          `json:"degraded,omitempty"`
+	DegradationReason string        `json:"degradation_reason,omitempty"`
+	OmittedQuantities []string      `json:"omitted_quantities,omitempty"`
+	Census            *CensusDTO    `json:"census,omitempty"`
+	SeqCensus         *SeqCensusDTO `json:"sequential_census,omitempty"`
+	Analytic          *AnalyticDTO  `json:"analytic_census,omitempty"`
+	Orbit             *OrbitDTO     `json:"orbit,omitempty"`
+	Basins            *BasinsDTO    `json:"basins,omitempty"`
+	Claims            []Claim       `json:"claims,omitempty"`
+}
+
+// CensusDTO mirrors phasespace.Census with stable snake_case JSON names.
+type CensusDTO struct {
+	Nodes                        int    `json:"nodes"`
+	Configs                      uint64 `json:"configs"`
+	FixedPoints                  int    `json:"fixed_points"`
+	ProperCycles                 int    `json:"proper_cycles"`
+	CycleStates                  uint64 `json:"cycle_states"`
+	MaxPeriod                    int    `json:"max_period"`
+	Transients                   uint64 `json:"transients"`
+	GardenOfEden                 uint64 `json:"garden_of_eden"`
+	MaxTransientLen              int    `json:"max_transient_len"`
+	CyclesWithIncomingTransients int    `json:"cycles_with_incoming_transients"`
+}
+
+func censusDTO(c phasespace.Census) *CensusDTO {
+	return &CensusDTO{
+		Nodes: c.Nodes, Configs: c.Configs, FixedPoints: c.FixedPoints,
+		ProperCycles: c.ProperCycles, CycleStates: c.CycleStates,
+		MaxPeriod: c.MaxPeriod, Transients: c.Transients,
+		GardenOfEden: c.GardenOfEden, MaxTransientLen: c.MaxTransientLen,
+		CyclesWithIncomingTransients: c.CyclesWithIncomingTransients,
+	}
+}
+
+// SeqCensusDTO mirrors phasespace.SequentialCensus.
+type SeqCensusDTO struct {
+	Nodes            int    `json:"nodes"`
+	Configs          uint64 `json:"configs"`
+	FixedPoints      int    `json:"fixed_points"`
+	PseudoFixed      int    `json:"pseudo_fixed_points"`
+	Unreachable      uint64 `json:"unreachable"`
+	TwoCycles        int    `json:"two_cycles"`
+	Acyclic          bool   `json:"acyclic"`
+	CycleStates      uint64 `json:"cycle_states"`
+	CanReachFixed    uint64 `json:"can_reach_fixed"`
+	CannotReachFixed uint64 `json:"cannot_reach_fixed"`
+}
+
+func seqCensusDTO(c phasespace.SequentialCensus) *SeqCensusDTO {
+	return &SeqCensusDTO{
+		Nodes: c.Nodes, Configs: c.Configs, FixedPoints: c.FixedPoints,
+		PseudoFixed: c.PseudoFixed, Unreachable: c.Unreachable,
+		TwoCycles: c.TwoCycles, Acyclic: c.Acyclic, CycleStates: c.CycleStates,
+		CanReachFixed: c.CanReachFixed, CannotReachFixed: c.CannotReachFixed,
+	}
+}
+
+// AnalyticDTO renders a transfer-matrix census; the big-integer counts are
+// exact decimal strings (n is unbounded, so they routinely exceed uint64).
+type AnalyticDTO struct {
+	N              uint64 `json:"n"`
+	Configs        string `json:"configs"`
+	FixedPoints    string `json:"fixed_points"`
+	TwoCycles      string `json:"two_cycles"`
+	TwoCycleStates string `json:"two_cycle_states"`
+	GardenOfEden   string `json:"garden_of_eden"`
+	WithPreimage   string `json:"with_preimage"`
+	Orders         [3]int `json:"recurrence_orders"`
+}
+
+func analyticDTO(c *transfer.Census) *AnalyticDTO {
+	return &AnalyticDTO{
+		N: c.N, Configs: c.Configs.String(), FixedPoints: c.FixedPoints.String(),
+		TwoCycles: c.TwoCycles.String(), TwoCycleStates: c.TwoCycleStates.String(),
+		GardenOfEden: c.GardenOfEden.String(), WithPreimage: c.WithPreimage.String(),
+		Orders: c.Orders,
+	}
+}
+
+// OrbitDTO is one orbit trace.
+type OrbitDTO struct {
+	X0         uint64 `json:"x0"`
+	Outcome    string `json:"outcome"`
+	Transient  int    `json:"transient"`
+	Period     int    `json:"period"`
+	FinalIndex uint64 `json:"final_index"`
+	Final      string `json:"final"`
+}
+
+// BasinDTO is one attractor with its basin size.
+type BasinDTO struct {
+	Kind   string `json:"kind"` // "fixed-point" or "cycle"
+	Period int    `json:"period"`
+	Rep    uint64 `json:"rep"` // smallest configuration index on the attractor
+	Size   uint64 `json:"size"`
+}
+
+// BasinsDTO lists the top attractors by basin size.
+type BasinsDTO struct {
+	Attractors int        `json:"attractors"`
+	Listed     int        `json:"listed"`
+	Basins     []BasinDTO `json:"basins"`
+}
+
+// Claim is one paper-claim verification outcome. Holds is nil when the
+// routed engine cannot decide the claim (degraded analytic answers cannot
+// see trajectory structure).
+type Claim struct {
+	Name   string `json:"name"`
+	Holds  *bool  `json:"holds,omitempty"`
+	Detail string `json:"detail"`
+}
+
+func claimOf(name string, holds bool, detail string) Claim {
+	return Claim{Name: name, Holds: &holds, Detail: detail}
+}
+
+// buildOpts assembles the supervised-campaign options every enumeration
+// this server runs shares: configured worker/retry/backoff budget, the
+// fault plan's shard hooks, supervisor stats, and the cross-request
+// successor-table memo.
+func (s *Server) buildOpts() phasespace.BuildOptions {
+	o := phasespace.BuildOptions{
+		Options: runtime.Options{
+			Workers: s.cfg.Workers,
+			Retries: s.cfg.Retries,
+			Backoff: s.cfg.Backoff,
+			OnEvent: s.runtimeStats.Observe,
+		},
+		Memoize: true,
+	}
+	if s.plan != nil {
+		o.Hooks = s.plan
+	}
+	return o
+}
+
+// resolve routes req to its engine and computes the full Response. It runs
+// inside the singleflight leader, under the server-lifetime build context.
+func (s *Server) resolve(ctx context.Context, req *Request) (*Response, error) {
+	switch req.Endpoint {
+	case "census", "verify":
+		resp, err := s.censusResponse(ctx, req)
+		if err != nil {
+			return nil, err
+		}
+		if req.Endpoint == "verify" {
+			resp.Claims = verifyClaims(resp)
+		}
+		return resp, nil
+	case "analytic":
+		return s.analyticResponse(req, false, "")
+	case "orbit":
+		return s.orbitResponse(req)
+	case "basins":
+		return s.basinsResponse(ctx, req)
+	default:
+		return nil, fmt.Errorf("serve: unknown endpoint %q", req.Endpoint)
+	}
+}
+
+// enumWithinCaps reports whether raw enumeration can hold req, and
+// quotientWithinCaps the same for the symmetry-quotient engine (which also
+// needs a circulant automaton — checked by attempting the build).
+func enumWithinCaps(req *Request) bool {
+	if req.Semantics == SemSequential {
+		return req.N <= phasespace.MaxSequentialNodes
+	}
+	return req.N <= phasespace.MaxParallelNodes
+}
+
+func quotientWithinCaps(req *Request) bool {
+	if req.Semantics == SemSequential {
+		return req.N <= phasespace.MaxQuotientSequentialNodes
+	}
+	return req.N <= config.MaxQuotientNodes
+}
+
+// censusResponse routes a census query. Explicit engines are honored or
+// fail; auto prefers quotient, falls back to raw enumeration, and degrades
+// to the analytic census when the query is over every enumeration cap.
+func (s *Server) censusResponse(ctx context.Context, req *Request) (*Response, error) {
+	switch req.Engine {
+	case EngineEnum:
+		return s.enumCensus(ctx, req)
+	case EngineQuotient:
+		return s.quotientCensus(ctx, req)
+	case EngineAnalytic:
+		return s.analyticResponse(req, false, "")
+	}
+	// auto
+	if quotientWithinCaps(req) {
+		resp, err := s.quotientCensus(ctx, req)
+		if err == nil {
+			return resp, nil
+		}
+		if ctx.Err() != nil {
+			return nil, err
+		}
+		// Not quotient-eligible (non-circulant rule or space): fall through.
+	}
+	if enumWithinCaps(req) {
+		return s.enumCensus(ctx, req)
+	}
+	reason := fmt.Sprintf("n=%d exceeds the %s enumeration caps; answered analytically (ST quantities only)",
+		req.N, req.Semantics)
+	resp, err := s.analyticResponse(req, true, reason)
+	if err != nil {
+		return nil, fmt.Errorf("%w: n=%d and no analytic fallback (%v)", ErrOverCap, req.N, err)
+	}
+	return resp, nil
+}
+
+func (s *Server) enumCensus(ctx context.Context, req *Request) (*Response, error) {
+	if !enumWithinCaps(req) {
+		return nil, fmt.Errorf("%w: engine=enum at n=%d (%s)", ErrOverCap, req.N, req.Semantics)
+	}
+	a, err := req.Automaton()
+	if err != nil {
+		return nil, err
+	}
+	resp := &Response{Query: req, Engine: EngineEnum}
+	if req.Semantics == SemSequential {
+		sp, err := phasespace.BuildSequentialOpts(ctx, a, s.buildOpts())
+		if err != nil {
+			return nil, err
+		}
+		resp.SeqCensus = seqCensusDTO(sp.TakeCensus())
+		return resp, nil
+	}
+	p, err := phasespace.BuildParallelOpts(ctx, a, s.buildOpts())
+	if err != nil {
+		return nil, err
+	}
+	if err := p.ClassifyCtx(ctx); err != nil {
+		return nil, err
+	}
+	resp.Census = censusDTO(p.TakeCensus())
+	return resp, nil
+}
+
+func (s *Server) quotientCensus(ctx context.Context, req *Request) (*Response, error) {
+	if !quotientWithinCaps(req) {
+		return nil, fmt.Errorf("%w: engine=quotient at n=%d (%s)", ErrOverCap, req.N, req.Semantics)
+	}
+	a, err := req.Automaton()
+	if err != nil {
+		return nil, err
+	}
+	resp := &Response{Query: req, Engine: EngineQuotient}
+	if req.Semantics == SemSequential {
+		qs, err := phasespace.BuildQuotientSequentialOpts(ctx, a, s.buildOpts())
+		if err != nil {
+			return nil, err
+		}
+		resp.SeqCensus = seqCensusDTO(qs.TakeCensus())
+		return resp, nil
+	}
+	q, err := phasespace.BuildQuotientParallelOpts(ctx, a, s.buildOpts())
+	if err != nil {
+		return nil, err
+	}
+	if err := q.ClassifyCtx(ctx); err != nil {
+		return nil, err
+	}
+	resp.Census = censusDTO(q.TakeCensus())
+	return resp, nil
+}
+
+// analyticResponse answers through the transfer-matrix engine: ring spaces
+// with the full contiguous window only, ST quantities only, n unbounded.
+func (s *Server) analyticResponse(req *Request, degraded bool, reason string) (*Response, error) {
+	if req.Space != "ring" || req.Memoryless {
+		return nil, badRequestf("the analytic engine supports plain ring spaces only (space=%s, memoryless=%v)",
+			req.Space, req.Memoryless)
+	}
+	rl, err := req.ParseRule()
+	if err != nil {
+		return nil, err
+	}
+	c, err := phasespace.AnalyticCensusAt(rl, req.R, uint64(req.N))
+	if err != nil {
+		return nil, err
+	}
+	resp := &Response{
+		Query: req, Engine: EngineAnalytic,
+		Degraded: degraded, DegradationReason: reason,
+		Analytic: analyticDTO(c),
+	}
+	if degraded {
+		resp.OmittedQuantities = []string{
+			"proper_cycles", "cycle_states", "max_period", "transients",
+			"max_transient_len", "cycles_with_incoming_transients",
+		}
+		if req.Semantics == SemSequential {
+			// The analytic 2-cycles are parallel temporal cycles; only the
+			// (semantics-independent) fixed points carry over.
+			resp.OmittedQuantities = append(resp.OmittedQuantities,
+				"pseudo_fixed_points", "unreachable", "acyclic",
+				"can_reach_fixed", "cannot_reach_fixed")
+		}
+	}
+	return resp, nil
+}
+
+func (s *Server) orbitResponse(req *Request) (*Response, error) {
+	a, err := req.Automaton()
+	if err != nil {
+		return nil, err
+	}
+	res := a.Converge(config.FromIndex(req.X0, req.N), req.MaxSteps)
+	return &Response{
+		Query: req, Engine: EngineEnum,
+		Orbit: &OrbitDTO{
+			X0: req.X0, Outcome: res.Outcome.String(),
+			Transient: res.Transient, Period: res.Period,
+			FinalIndex: res.Final.Index(), Final: res.Final.String(),
+		},
+	}, nil
+}
+
+// basinsResponse lists the top basins by size. Basin geometry needs the
+// enumerated phase space; over the enumeration cap it degrades to the
+// analytic census with the basin listing in the omitted quantities.
+func (s *Server) basinsResponse(ctx context.Context, req *Request) (*Response, error) {
+	if req.Semantics != SemParallel {
+		return nil, badRequestf("basins are defined for the parallel (synchronous) semantics only")
+	}
+	if req.N > phasespace.MaxParallelNodes {
+		reason := fmt.Sprintf("n=%d exceeds the enumeration cap %d; basin geometry omitted, ST census answered analytically",
+			req.N, phasespace.MaxParallelNodes)
+		resp, err := s.analyticResponse(req, true, reason)
+		if err != nil {
+			return nil, fmt.Errorf("%w: n=%d and no analytic fallback (%v)", ErrOverCap, req.N, err)
+		}
+		resp.OmittedQuantities = append(resp.OmittedQuantities, "basins")
+		return resp, nil
+	}
+	a, err := req.Automaton()
+	if err != nil {
+		return nil, err
+	}
+	p, err := phasespace.BuildParallelOpts(ctx, a, s.buildOpts())
+	if err != nil {
+		return nil, err
+	}
+	if err := p.ClassifyCtx(ctx); err != nil {
+		return nil, err
+	}
+	cycles := p.Cycles()
+	sizes := p.BasinSizes()
+	basins := make([]BasinDTO, len(cycles))
+	for i, cyc := range cycles {
+		rep := cyc[0]
+		for _, x := range cyc {
+			if x < rep {
+				rep = x
+			}
+		}
+		kind := "cycle"
+		if len(cyc) == 1 {
+			kind = "fixed-point"
+		}
+		basins[i] = BasinDTO{Kind: kind, Period: len(cyc), Rep: rep, Size: sizes[i]}
+	}
+	sort.Slice(basins, func(i, j int) bool {
+		if basins[i].Size != basins[j].Size {
+			return basins[i].Size > basins[j].Size
+		}
+		return basins[i].Rep < basins[j].Rep
+	})
+	listed := basins
+	if len(listed) > req.Top {
+		listed = listed[:req.Top]
+	}
+	return &Response{
+		Query: req, Engine: EngineEnum,
+		Basins: &BasinsDTO{Attractors: len(basins), Listed: len(listed), Basins: listed},
+	}, nil
+}
+
+// verifyClaims evaluates the paper's headline structural claims against a
+// computed census. On a degraded analytic answer the trajectory claims are
+// undecidable and reported with Holds == nil.
+func verifyClaims(resp *Response) []Claim {
+	var claims []Claim
+	switch {
+	case resp.Census != nil:
+		c := resp.Census
+		claims = append(claims,
+			claimOf("period-dichotomy", c.MaxPeriod <= 2,
+				fmt.Sprintf("max parallel period %d; Proposition 1 predicts every symmetric threshold orbit ends in a fixed point or 2-cycle", c.MaxPeriod)),
+			claimOf("two-cycles-no-incoming-transients", c.CyclesWithIncomingTransients == 0,
+				fmt.Sprintf("%d of %d proper cycles have transient predecessors; the paper (citing [19]) observes threshold two-cycles have none", c.CyclesWithIncomingTransients, c.ProperCycles)),
+		)
+	case resp.SeqCensus != nil:
+		c := resp.SeqCensus
+		claims = append(claims,
+			claimOf("sequential-acyclic", c.Acyclic,
+				"whether no interleaving of single-node updates can cycle (threshold rules: true; XOR: false)"),
+			claimOf("fixed-points-exist", c.FixedPoints > 0,
+				fmt.Sprintf("%d sequential fixed points", c.FixedPoints)),
+		)
+	case resp.Analytic != nil:
+		claims = append(claims,
+			claimOf("fixed-points-exist", resp.Analytic.FixedPoints != "0",
+				fmt.Sprintf("%s fixed points (analytic)", resp.Analytic.FixedPoints)),
+			Claim{Name: "period-dichotomy",
+				Detail: "undecidable analytically: the transfer engine counts fixed points and 2-cycles but cannot bound longer periods"},
+			Claim{Name: "two-cycles-no-incoming-transients",
+				Detail: "undecidable analytically: basin geometry needs enumeration"},
+		)
+	}
+	return claims
+}

@@ -1,0 +1,121 @@
+package serve
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// This file holds the server's observability counters. Latencies go into
+// fixed log2-microsecond-bucket histograms (bucket b covers [2^(b-1), 2^b)
+// µs), which cost one atomic add per observation, need no locks, and are
+// exactly what the load generator's p50/p95/p99 gates read back. Quantiles
+// interpolated from power-of-two buckets are accurate to a factor of two —
+// plenty for "did the hit path stay in microseconds while builds took
+// seconds" questions, which is the only question a latency gate asks.
+
+// histBuckets spans 1 µs .. ~2^31 µs (≈ 36 minutes) plus an overflow.
+const histBuckets = 33
+
+// Histogram is a lock-free log2 latency histogram.
+type Histogram struct {
+	buckets [histBuckets]atomic.Int64
+	count   atomic.Int64
+	sumUS   atomic.Int64
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	us := d.Microseconds()
+	if us < 0 {
+		us = 0
+	}
+	b := bits.Len64(uint64(us)) // 0µs→0, 1µs→1, 2-3µs→2, ...
+	if b >= histBuckets {
+		b = histBuckets - 1
+	}
+	h.buckets[b].Add(1)
+	h.count.Add(1)
+	h.sumUS.Add(us)
+}
+
+// HistogramSnapshot is the JSON form: counts per bucket plus derived
+// quantiles (upper bucket bounds, µs).
+type HistogramSnapshot struct {
+	Count     int64   `json:"count"`
+	MeanUS    float64 `json:"mean_us"`
+	P50US     int64   `json:"p50_us"`
+	P95US     int64   `json:"p95_us"`
+	P99US     int64   `json:"p99_us"`
+	BucketsUS []int64 `json:"buckets_us,omitempty"` // counts, bucket b ≤ 2^b µs
+}
+
+// Snapshot derives the quantiles. The histogram may be concurrently
+// updated; the snapshot is approximate but internally consistent enough
+// for gating (counts are read once, in order).
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	var counts [histBuckets]int64
+	var total int64
+	for i := range counts {
+		counts[i] = h.buckets[i].Load()
+		total += counts[i]
+	}
+	s := HistogramSnapshot{Count: total}
+	if total == 0 {
+		return s
+	}
+	s.MeanUS = float64(h.sumUS.Load()) / float64(total)
+	q := func(p float64) int64 {
+		target := int64(p*float64(total) + 0.5)
+		if target < 1 {
+			target = 1
+		}
+		var cum int64
+		for b, c := range counts {
+			cum += c
+			if cum >= target {
+				if b == 0 {
+					return 0
+				}
+				return int64(1) << uint(b) // upper bound of bucket b, µs
+			}
+		}
+		return int64(1) << uint(histBuckets-1)
+	}
+	s.P50US, s.P95US, s.P99US = q(0.50), q(0.95), q(0.99)
+	// Trim trailing empty buckets for a compact export.
+	last := 0
+	for i, c := range counts {
+		if c > 0 {
+			last = i
+		}
+	}
+	s.BucketsUS = append([]int64(nil), counts[:last+1]...)
+	return s
+}
+
+// Metrics aggregates the server-wide counters.
+type Metrics struct {
+	Requests     atomic.Int64
+	OK           atomic.Int64 // 2xx responses
+	ClientErrors atomic.Int64 // 4xx
+	ServerErrors atomic.Int64 // 5xx (includes injected and shed)
+	Injected     atomic.Int64 // responses forced by the fault plan
+	Degraded     atomic.Int64 // 200s answered by analytic degradation
+
+	HitLatency   Histogram // cache-hit (and coalesced-hit) serving time
+	BuildLatency Histogram // cold-build serving time
+}
+
+// StatusObserve classifies one response status.
+func (m *Metrics) StatusObserve(status int) {
+	m.Requests.Add(1)
+	switch {
+	case status >= 500:
+		m.ServerErrors.Add(1)
+	case status >= 400:
+		m.ClientErrors.Add(1)
+	default:
+		m.OK.Add(1)
+	}
+}

@@ -1,0 +1,276 @@
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/automaton"
+	"repro/internal/rule"
+	"repro/internal/runtime"
+	"repro/internal/space"
+)
+
+// This file parses and canonicalizes queries. A Request is the full
+// identity of an answer — (endpoint, n, rule, space, semantics, engine,
+// extras) — and Key() folds that identity into the same FNV fingerprint
+// scheme the phasespace memos and checkpoints use, which is what makes the
+// result cache content-addressed: two requests with the same key are the
+// same computation, wherever and whenever they run.
+
+// Semantics names an update discipline.
+const (
+	SemParallel   = "parallel"
+	SemSequential = "sequential"
+)
+
+// Engine names for the engine query parameter; EngineAuto routes by caps
+// and eligibility (see route in engine.go).
+const (
+	EngineAuto     = "auto"
+	EngineEnum     = "enum"
+	EngineQuotient = "quotient"
+	EngineAnalytic = "analytic"
+)
+
+// Request is one parsed, validated query.
+type Request struct {
+	Endpoint   string `json:"endpoint"`
+	N          int    `json:"n"`
+	R          int    `json:"r"`
+	Rule       string `json:"rule"`
+	Space      string `json:"space"`
+	Semantics  string `json:"semantics"`
+	Engine     string `json:"engine"`
+	Memoryless bool   `json:"memoryless,omitempty"`
+	// Tag is an opaque cache-key discriminator: requests that differ only
+	// in tag are computed (and cached) independently. The load generator
+	// uses a fresh tag to force a cold key.
+	Tag string `json:"tag,omitempty"`
+
+	// Orbit extras (endpoint "orbit").
+	X0       uint64 `json:"x0,omitempty"`
+	MaxSteps int    `json:"max_steps,omitempty"`
+
+	// Basin extras (endpoint "basins").
+	Top int `json:"top,omitempty"`
+
+	// Timeout is this request's deadline (already capped by the server
+	// maximum). It is not part of the cache key: the answer does not
+	// depend on how long the client was willing to wait.
+	Timeout time.Duration `json:"-"`
+}
+
+// orbitMaxNodes bounds /v1/orbit: orbits never enumerate 2^n but each step
+// is O(n·deg) and the configuration index must fit uint64.
+const orbitMaxNodes = 64
+
+// badRequestError marks client errors (HTTP 400).
+type badRequestError struct{ msg string }
+
+func (e *badRequestError) Error() string { return e.msg }
+
+func badRequestf(format string, args ...any) error {
+	return &badRequestError{msg: fmt.Sprintf(format, args...)}
+}
+
+// ParseRequest extracts and validates a Request from r's query string.
+// maxTimeout caps (and defaults) the per-request deadline.
+func ParseRequest(endpoint string, r *http.Request, maxTimeout time.Duration) (*Request, error) {
+	q := r.URL.Query()
+	req := &Request{
+		Endpoint:  endpoint,
+		R:         1,
+		Rule:      "majority",
+		Space:     "ring",
+		Semantics: SemParallel,
+		Engine:    EngineAuto,
+		Timeout:   maxTimeout,
+	}
+	intField := func(name string, dst *int) error {
+		if v := q.Get(name); v != "" {
+			i, err := strconv.Atoi(v)
+			if err != nil {
+				return badRequestf("bad %s=%q: not an integer", name, v)
+			}
+			*dst = i
+		}
+		return nil
+	}
+	if err := intField("n", &req.N); err != nil {
+		return nil, err
+	}
+	if err := intField("r", &req.R); err != nil {
+		return nil, err
+	}
+	if req.N < 1 {
+		return nil, badRequestf("n is required and must be ≥ 1 (got %d)", req.N)
+	}
+	if req.R < 0 {
+		return nil, badRequestf("r must be ≥ 0 (got %d)", req.R)
+	}
+	if v := q.Get("rule"); v != "" {
+		req.Rule = v
+	}
+	if v := q.Get("space"); v != "" {
+		req.Space = v
+	}
+	if v := q.Get("semantics"); v != "" {
+		if v != SemParallel && v != SemSequential {
+			return nil, badRequestf("bad semantics=%q: want %s or %s", v, SemParallel, SemSequential)
+		}
+		req.Semantics = v
+	}
+	if v := q.Get("engine"); v != "" {
+		switch v {
+		case EngineAuto, EngineEnum, EngineQuotient, EngineAnalytic:
+			req.Engine = v
+		default:
+			return nil, badRequestf("bad engine=%q: want auto, enum, quotient or analytic", v)
+		}
+	}
+	if v := q.Get("memoryless"); v != "" {
+		b, err := strconv.ParseBool(v)
+		if err != nil {
+			return nil, badRequestf("bad memoryless=%q", v)
+		}
+		req.Memoryless = b
+	}
+	req.Tag = q.Get("tag")
+	if v := q.Get("timeout"); v != "" {
+		d, err := time.ParseDuration(v)
+		if err != nil || d <= 0 {
+			return nil, badRequestf("bad timeout=%q: want a positive duration", v)
+		}
+		if d < maxTimeout {
+			req.Timeout = d
+		}
+	}
+
+	switch endpoint {
+	case "orbit":
+		if req.N > orbitMaxNodes {
+			return nil, badRequestf("orbit supports n ≤ %d (got %d)", orbitMaxNodes, req.N)
+		}
+		if v := q.Get("x0"); v != "" {
+			x, err := strconv.ParseUint(v, 10, 64)
+			if err != nil {
+				return nil, badRequestf("bad x0=%q: not a uint64", v)
+			}
+			req.X0 = x
+		}
+		if req.N < 64 && req.X0 >= uint64(1)<<uint(req.N) {
+			return nil, badRequestf("x0=%d is outside the 2^%d configuration space", req.X0, req.N)
+		}
+		req.MaxSteps = 1 << 20
+		if err := intField("max_steps", &req.MaxSteps); err != nil {
+			return nil, err
+		}
+		if req.MaxSteps < 1 {
+			return nil, badRequestf("max_steps must be ≥ 1")
+		}
+	case "basins":
+		req.Top = 32
+		if err := intField("top", &req.Top); err != nil {
+			return nil, err
+		}
+		if req.Top < 1 {
+			return nil, badRequestf("top must be ≥ 1")
+		}
+	}
+
+	// Parse rule and space now so a 400 comes back immediately instead of
+	// as a failed build.
+	if _, err := req.ParseRule(); err != nil {
+		return nil, &badRequestError{msg: err.Error()}
+	}
+	if endpoint != "analytic" && req.Engine != EngineAnalytic {
+		if _, err := req.Automaton(); err != nil {
+			return nil, &badRequestError{msg: err.Error()}
+		}
+	}
+	return req, nil
+}
+
+// Key is the content address of this request's answer.
+func (r *Request) Key() string {
+	return runtime.Fingerprint("serve/"+r.Endpoint,
+		strconv.Itoa(r.N), strconv.Itoa(r.R), r.Rule, r.Space,
+		r.Semantics, r.Engine, strconv.FormatBool(r.Memoryless), r.Tag,
+		strconv.FormatUint(r.X0, 10), strconv.Itoa(r.MaxSteps), strconv.Itoa(r.Top))
+}
+
+// ParseRule resolves the rule spec (same grammar as the ca-phase CLI).
+func (r *Request) ParseRule() (rule.Rule, error) {
+	spec := r.Rule
+	switch {
+	case spec == "majority":
+		return rule.Majority(r.R), nil
+	case spec == "xor":
+		return rule.XOR{}, nil
+	case strings.HasPrefix(spec, "threshold:"):
+		k, err := strconv.Atoi(strings.TrimPrefix(spec, "threshold:"))
+		if err != nil {
+			return nil, badRequestf("bad threshold spec %q", spec)
+		}
+		return rule.Threshold{K: k}, nil
+	case strings.HasPrefix(spec, "eca:"):
+		code, err := strconv.Atoi(strings.TrimPrefix(spec, "eca:"))
+		if err != nil || code < 0 || code > 255 {
+			return nil, badRequestf("bad elementary rule spec %q", spec)
+		}
+		return rule.Elementary(uint8(code)), nil
+	default:
+		return nil, badRequestf("unknown rule %q", spec)
+	}
+}
+
+// ParseSpace resolves the space spec (same grammar as the ca-phase CLI).
+func (r *Request) ParseSpace() (space.Space, error) {
+	spec := r.Space
+	var sp space.Space
+	switch {
+	case spec == "ring":
+		sp = space.Ring(r.N, r.R)
+	case spec == "line":
+		sp = space.Line(r.N, r.R)
+	case spec == "complete":
+		sp = space.CompleteGraph(r.N)
+	case strings.HasPrefix(spec, "hypercube:"):
+		d, err := strconv.Atoi(strings.TrimPrefix(spec, "hypercube:"))
+		if err != nil {
+			return nil, badRequestf("bad hypercube spec %q", spec)
+		}
+		sp = space.Hypercube(d)
+	case strings.HasPrefix(spec, "torus:"):
+		var w, h int
+		if _, err := fmt.Sscanf(strings.TrimPrefix(spec, "torus:"), "%dx%d", &w, &h); err != nil {
+			return nil, badRequestf("bad torus spec %q", spec)
+		}
+		sp = space.Torus(w, h)
+	default:
+		return nil, badRequestf("unknown space %q", spec)
+	}
+	if sp.N() != r.N {
+		return nil, badRequestf("space %q has %d nodes but n=%d was requested", spec, sp.N(), r.N)
+	}
+	if r.Memoryless {
+		sp = space.Memoryless(sp)
+	}
+	return sp, nil
+}
+
+// Automaton constructs the automaton this request describes.
+func (r *Request) Automaton() (*automaton.Automaton, error) {
+	sp, err := r.ParseSpace()
+	if err != nil {
+		return nil, err
+	}
+	rl, err := r.ParseRule()
+	if err != nil {
+		return nil, err
+	}
+	return automaton.New(sp, rl)
+}

@@ -1,0 +1,474 @@
+// Package serve is the phase-space-as-a-service layer: a long-running
+// HTTP/JSON front end over the repository's enumeration, quotient, and
+// transfer-matrix engines. Its job is to stay up and honest under load —
+// every expensive answer is content-addressed and cached, concurrent
+// misses on one key coalesce into a single build, cold builds pass a
+// bounded admission queue that sheds with 503 + Retry-After instead of
+// queueing unboundedly, over-cap queries degrade to analytic answers
+// marked as such, shard faults are retried by the supervised campaign
+// runtime, and SIGTERM drains in-flight requests and flushes the cache
+// before exit.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/faultinject"
+	"repro/internal/runtime"
+	"repro/internal/transfer"
+)
+
+// Config configures a Server. The zero value is normalized by New.
+type Config struct {
+	// Workers is the per-build worker count (0 = GOMAXPROCS).
+	Workers int
+	// Retries is the supervised per-shard retry budget (0 = default).
+	Retries int
+	// Backoff is the supervised retry backoff base (0 = default).
+	Backoff time.Duration
+	// CacheBytes is the result-cache byte budget (0 = 64 MiB).
+	CacheBytes int64
+	// SpillDir, when non-empty, persists evicted/flushed cache entries.
+	SpillDir string
+	// MaxBuilds bounds concurrently running cold builds (0 = 2).
+	MaxBuilds int
+	// QueueDepth bounds cold builds waiting for a slot (0 = 8, negative =
+	// no queue: a busy server sheds immediately).
+	QueueDepth int
+	// MaxTimeout caps (and defaults) per-request deadlines (0 = 60s).
+	MaxTimeout time.Duration
+	// Faults, when non-nil, injects deterministic request-path (http:...)
+	// and build-shard (panic/error/delay/seed) faults.
+	Faults *faultinject.Plan
+}
+
+// Server is one ca-serve instance.
+type Server struct {
+	cfg    Config
+	cache  *Cache
+	flight *Flight
+	adm    *Admission
+	m      *Metrics
+	plan   *faultinject.Plan
+
+	runtimeStats runtime.Stats
+
+	// baseCtx outlives every request: detached builds and queued admission
+	// waits run under it, so it is cancelled only after drain.
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+
+	seq       atomic.Uint64 // request sequence number (fault-plan clock)
+	inflight  sync.WaitGroup
+	inflightN atomic.Int64
+	draining  atomic.Bool
+	dropped   atomic.Int64 // in-flight requests still running at drain deadline
+}
+
+// New builds a Server from cfg (normalizing zero values).
+func New(cfg Config) (*Server, error) {
+	if cfg.CacheBytes <= 0 {
+		cfg.CacheBytes = 64 << 20
+	}
+	if cfg.MaxBuilds <= 0 {
+		cfg.MaxBuilds = 2
+	}
+	if cfg.QueueDepth == 0 {
+		cfg.QueueDepth = 8
+	}
+	if cfg.MaxTimeout <= 0 {
+		cfg.MaxTimeout = 60 * time.Second
+	}
+	cache, err := NewCache(cfg.CacheBytes, cfg.SpillDir)
+	if err != nil {
+		return nil, err
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	return &Server{
+		cfg:        cfg,
+		cache:      cache,
+		flight:     &Flight{},
+		adm:        NewAdmission(cfg.MaxBuilds, cfg.QueueDepth),
+		m:          &Metrics{},
+		plan:       cfg.Faults,
+		baseCtx:    ctx,
+		baseCancel: cancel,
+	}, nil
+}
+
+// Cache exposes the result cache (tests and the drain path flush it).
+func (s *Server) Cache() *Cache { return s.cache }
+
+// FlightStats exposes the coalescer counters.
+func (s *Server) FlightStats() (builds, coalesced int64) {
+	return s.flight.Builds(), s.flight.Coalesced()
+}
+
+// errorBody is the JSON error envelope.
+type errorBody struct {
+	Error  string `json:"error"`
+	Status int    `json:"status"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, errorBody{Error: err.Error(), Status: status})
+}
+
+// Handler returns the full route table wrapped in the request middleware.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	for _, ep := range []string{"census", "analytic", "orbit", "basins", "verify"} {
+		endpoint := ep
+		mux.HandleFunc("/v1/"+endpoint, func(w http.ResponseWriter, r *http.Request) {
+			s.serveQuery(w, r, endpoint)
+		})
+	}
+	mux.HandleFunc("/healthz", s.serveHealthz)
+	mux.HandleFunc("/readyz", s.serveReadyz)
+	mux.HandleFunc("/metrics", s.serveMetrics)
+	mux.HandleFunc("/faults", s.serveFaults)
+	return s.middleware(mux)
+}
+
+// middleware wraps every request with sequence numbering, deterministic
+// fault injection, drain refusal, in-flight tracking, panic containment,
+// and status/latency metrics. Probe endpoints bypass injection and drain
+// refusal: an injected 503 on /healthz would defeat its purpose.
+func (s *Server) middleware(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		probe := r.URL.Path == "/healthz" || r.URL.Path == "/readyz" ||
+			r.URL.Path == "/metrics" || r.URL.Path == "/faults"
+		if probe {
+			next.ServeHTTP(w, r)
+			return
+		}
+		seq := s.seq.Add(1)
+		sw := &statusWriter{ResponseWriter: w}
+		s.inflight.Add(1)
+		s.inflightN.Add(1)
+		defer func() {
+			if v := recover(); v != nil {
+				if !sw.wrote {
+					writeError(sw, http.StatusInternalServerError,
+						fmt.Errorf("serve: handler panicked: %v", v))
+				}
+			}
+			s.m.StatusObserve(sw.status())
+			s.inflightN.Add(-1)
+			s.inflight.Done()
+		}()
+
+		if s.draining.Load() {
+			sw.Header().Set("Retry-After", "1")
+			writeError(sw, http.StatusServiceUnavailable, errors.New("serve: draining"))
+			return
+		}
+		if status, fired := s.plan.HTTPFault(seq); fired {
+			s.m.Injected.Add(1)
+			if status == faultinject.HTTPTimeout {
+				// A "timeout" fault stalls the request until the client's
+				// deadline (bounded by a second so drains stay prompt).
+				stall := time.Second
+				select {
+				case <-r.Context().Done():
+				case <-time.After(stall):
+				}
+				sw.Header().Set("X-Injected-Fault", "http:timeout")
+				writeError(sw, http.StatusGatewayTimeout, errors.New("serve: injected timeout"))
+				return
+			}
+			sw.Header().Set("X-Injected-Fault", "http:"+strconv.Itoa(status))
+			writeError(sw, status, fmt.Errorf("serve: injected fault (status %d)", status))
+			return
+		}
+		next.ServeHTTP(sw, r)
+	})
+}
+
+// statusWriter records the response status for metrics.
+type statusWriter struct {
+	http.ResponseWriter
+	code  int
+	wrote bool
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if !w.wrote {
+		w.code = code
+		w.wrote = true
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if !w.wrote {
+		w.code = http.StatusOK
+		w.wrote = true
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+func (w *statusWriter) status() int {
+	if !w.wrote {
+		return http.StatusOK
+	}
+	return w.code
+}
+
+// Flush forwards streaming flushes to the underlying writer.
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// serveQuery is the shared cacheable-query path: parse, cache lookup,
+// coalesced build under admission control, error mapping.
+func (s *Server) serveQuery(w http.ResponseWriter, r *http.Request, endpoint string) {
+	req, err := ParseRequest(endpoint, r, s.cfg.MaxTimeout)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	key := req.Key()
+	stream := endpoint == "basins" && r.URL.Query().Get("stream") == "1"
+	start := time.Now()
+
+	if body, src := s.cache.Get(key); src != "" {
+		s.m.HitLatency.Observe(time.Since(start))
+		w.Header().Set("X-CA-Cache", src)
+		s.writeBody(w, r, body, stream)
+		return
+	}
+
+	ctx, cancel := context.WithTimeout(r.Context(), req.Timeout)
+	defer cancel()
+	body, err := s.flight.Do(ctx, key, func() ([]byte, error) {
+		// Leader: runs detached under the server's lifetime context, so a
+		// waiter deadline cannot poison the build for everyone else. The
+		// re-check closes the miss→coalesce race where a previous leader
+		// finished between this request's cache miss and its Do call.
+		if body, src := s.cache.Get(key); src != "" {
+			return body, nil
+		}
+		// The admission wait is bounded by the server's own max timeout.
+		admCtx, admCancel := context.WithTimeout(s.baseCtx, s.cfg.MaxTimeout)
+		defer admCancel()
+		release, err := s.adm.Acquire(admCtx)
+		if err != nil {
+			return nil, err
+		}
+		defer release()
+		buildCtx, buildCancel := context.WithTimeout(s.baseCtx, s.cfg.MaxTimeout)
+		defer buildCancel()
+		resp, err := s.resolve(buildCtx, req)
+		if err != nil {
+			return nil, err
+		}
+		if resp.Degraded {
+			s.m.Degraded.Add(1)
+		}
+		b, err := json.Marshal(resp)
+		if err != nil {
+			return nil, err
+		}
+		s.cache.Put(key, b)
+		return b, nil
+	})
+	if err != nil {
+		s.writeQueryError(w, err)
+		return
+	}
+	s.m.BuildLatency.Observe(time.Since(start))
+	w.Header().Set("X-CA-Cache", "build")
+	s.writeBody(w, r, body, stream)
+}
+
+// writeQueryError maps build/queue errors onto statuses: full queue → 503
+// with Retry-After, waiter deadline → 504, over-cap with no fallback →
+// 422, client errors → 400, anything else → 500.
+func (s *Server) writeQueryError(w http.ResponseWriter, err error) {
+	var bad *badRequestError
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		w.Header().Set("Retry-After", strconv.Itoa(int(s.adm.RetryAfter().Seconds())))
+		writeError(w, http.StatusServiceUnavailable, err)
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		writeError(w, http.StatusGatewayTimeout, err)
+	case errors.Is(err, ErrOverCap), errors.Is(err, transfer.ErrTooLarge):
+		writeError(w, http.StatusUnprocessableEntity, err)
+	case errors.As(err, &bad):
+		writeError(w, http.StatusBadRequest, err)
+	default:
+		writeError(w, http.StatusInternalServerError, err)
+	}
+}
+
+// writeBody emits a finished response body — as-is, or re-rendered as a
+// flushed NDJSON stream for basins?stream=1. Streaming re-renders the
+// *cached* JSON (one row per basin, a Flush every streamFlushEvery rows,
+// and a trailing summary row), so the stream is a view over the same
+// content-addressed bytes every other client gets.
+const streamFlushEvery = 64
+
+func (s *Server) writeBody(w http.ResponseWriter, r *http.Request, body []byte, stream bool) {
+	if !stream {
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(body)
+		return
+	}
+	var resp Response
+	if err := json.Unmarshal(body, &resp); err != nil || resp.Basins == nil {
+		// Degraded basin answers have no listing to stream; fall back to
+		// the plain body.
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(body)
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	for i, b := range resp.Basins.Basins {
+		enc.Encode(b)
+		if flusher != nil && (i+1)%streamFlushEvery == 0 {
+			flusher.Flush()
+		}
+	}
+	enc.Encode(map[string]int{"attractors": resp.Basins.Attractors, "listed": resp.Basins.Listed})
+	if flusher != nil {
+		flusher.Flush()
+	}
+}
+
+func (s *Server) serveHealthz(w http.ResponseWriter, _ *http.Request) {
+	if s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) serveReadyz(w http.ResponseWriter, _ *http.Request) {
+	switch {
+	case s.draining.Load():
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+	case s.adm.Saturated():
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "overloaded"})
+	default:
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+	}
+}
+
+// MetricsSnapshot is the /metrics JSON document.
+type MetricsSnapshot struct {
+	Requests     int64 `json:"requests"`
+	OK           int64 `json:"ok"`
+	ClientErrors int64 `json:"client_errors"`
+	ServerErrors int64 `json:"server_errors"`
+	Injected     int64 `json:"injected_faults"`
+	Degraded     int64 `json:"degraded_answers"`
+
+	Builds    int64 `json:"builds"`
+	Coalesced int64 `json:"coalesced"`
+	Queued    int64 `json:"queued"`
+	ShedFull  int64 `json:"shed_queue_full"`
+	ShedWait  int64 `json:"shed_queue_wait"`
+	InFlight  int64 `json:"in_flight"`
+	Draining  bool  `json:"draining"`
+
+	Cache        CacheStats                `json:"cache"`
+	HitLatency   HistogramSnapshot         `json:"hit_latency"`
+	BuildLatency HistogramSnapshot         `json:"build_latency"`
+	Supervisor   runtime.Stats             `json:"supervisor"`
+	FaultLedger  []faultinject.LedgerEntry `json:"fault_ledger,omitempty"`
+}
+
+// Snapshot assembles the full metrics document.
+func (s *Server) Snapshot() MetricsSnapshot {
+	return MetricsSnapshot{
+		Requests:     s.m.Requests.Load(),
+		OK:           s.m.OK.Load(),
+		ClientErrors: s.m.ClientErrors.Load(),
+		ServerErrors: s.m.ServerErrors.Load(),
+		Injected:     s.m.Injected.Load(),
+		Degraded:     s.m.Degraded.Load(),
+		Builds:       s.flight.Builds(),
+		Coalesced:    s.flight.Coalesced(),
+		Queued:       s.adm.Queued(),
+		ShedFull:     s.adm.ShedFull(),
+		ShedWait:     s.adm.ShedWait(),
+		InFlight:     s.inflightN.Load(),
+		Draining:     s.draining.Load(),
+		Cache:        s.cache.Stats(),
+		HitLatency:   s.m.HitLatency.Snapshot(),
+		BuildLatency: s.m.BuildLatency.Snapshot(),
+		Supervisor:   s.runtimeStats.Snapshot(),
+		FaultLedger:  s.plan.Ledger(),
+	}
+}
+
+func (s *Server) serveMetrics(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.Snapshot())
+}
+
+func (s *Server) serveFaults(w http.ResponseWriter, _ *http.Request) {
+	ledger := s.plan.Ledger()
+	if ledger == nil {
+		ledger = []faultinject.LedgerEntry{}
+	}
+	writeJSON(w, http.StatusOK, ledger)
+}
+
+// DrainReport summarizes a graceful shutdown.
+type DrainReport struct {
+	InFlightAtSignal int64      `json:"in_flight_at_signal"`
+	Dropped          int64      `json:"dropped"`
+	CacheFlushed     bool       `json:"cache_flushed"`
+	FlushError       string     `json:"flush_error,omitempty"`
+	Cache            CacheStats `json:"cache"`
+}
+
+// Drain performs the SIGTERM protocol: refuse new queries, wait for every
+// in-flight request (bounded by ctx), then flush the cache to the spill
+// directory. Dropped counts requests still running at the deadline — the
+// zero-drop invariant fault-CI asserts. The caller is responsible for
+// having stopped the listener (http.Server.Shutdown) first.
+func (s *Server) Drain(ctx context.Context) DrainReport {
+	rep := DrainReport{InFlightAtSignal: s.inflightN.Load()}
+	s.draining.Store(true)
+	done := make(chan struct{})
+	go func() {
+		s.inflight.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-ctx.Done():
+		rep.Dropped = s.inflightN.Load()
+		s.dropped.Store(rep.Dropped)
+	}
+	if err := s.cache.Flush(); err != nil {
+		rep.FlushError = err.Error()
+	} else {
+		rep.CacheFlushed = true
+	}
+	rep.Cache = s.cache.Stats()
+	s.baseCancel()
+	return rep
+}

@@ -1,0 +1,82 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// This file implements the request coalescer ("singleflight"): when N
+// requests miss the cache on the same key concurrently, exactly one build
+// runs and all N wait on its result. The build runs in its own goroutine
+// under the *server's* lifetime context, detached from any single
+// request's deadline, so a waiter whose deadline expires mid-build gets
+// its timeout while the build keeps going for the other waiters — and for
+// the cache, which is how a thundering herd on an uncached n=30 quotient
+// build costs one enumeration no matter how many clients pile on.
+
+// flightCall is one in-flight build.
+type flightCall struct {
+	done chan struct{} // closed when val/err are final
+	val  []byte
+	err  error
+}
+
+// Flight coalesces concurrent builds per key. The zero value is ready.
+type Flight struct {
+	mu sync.Mutex
+	m  map[string]*flightCall
+
+	builds    atomic.Int64 // builds started (one per leader)
+	coalesced atomic.Int64 // waiters that joined an existing build
+}
+
+// Builds reports how many builds were started.
+func (f *Flight) Builds() int64 { return f.builds.Load() }
+
+// Coalesced reports how many callers were absorbed into an existing
+// in-flight build instead of starting their own.
+func (f *Flight) Coalesced() int64 { return f.coalesced.Load() }
+
+// Do returns build's result for key, running at most one build per key at
+// a time. The first caller (leader) launches build in a detached
+// goroutine; concurrent callers wait on the same result and receive
+// byte-identical values. ctx bounds only this caller's wait: on expiry the
+// caller gets ctx.Err() while the build runs to completion for everyone
+// else. A panicking build is converted into an error delivered to every
+// waiter, never a crashed server.
+func (f *Flight) Do(ctx context.Context, key string, build func() ([]byte, error)) ([]byte, error) {
+	f.mu.Lock()
+	if f.m == nil {
+		f.m = make(map[string]*flightCall)
+	}
+	c, ok := f.m[key]
+	if ok {
+		f.coalesced.Add(1)
+	} else {
+		c = &flightCall{done: make(chan struct{})}
+		f.m[key] = c
+		f.builds.Add(1)
+		go func() {
+			defer func() {
+				if v := recover(); v != nil {
+					c.val, c.err = nil, fmt.Errorf("serve: build for key %s panicked: %v", key, v)
+				}
+				f.mu.Lock()
+				delete(f.m, key)
+				f.mu.Unlock()
+				close(c.done)
+			}()
+			c.val, c.err = build()
+		}()
+	}
+	f.mu.Unlock()
+
+	select {
+	case <-c.done:
+		return c.val, c.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
