@@ -763,6 +763,122 @@ func BenchmarkAblation_TransferVsQuotientCrossover(b *testing.B) {
 	}
 }
 
+// E29 / extension: graph-ensemble censuses through the CSR graph kernel —
+// one random-regular sample's full dichotomy check (parallel period ≤ 2,
+// sequential acyclic), the E29 row regenerated.
+func BenchmarkE29_GraphEnsembleCensus(b *testing.B) {
+	sp, err := space.RandomRegular(14, 3, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	a := automaton.MustNew(sp, rule.Threshold{K: 2})
+	for i := 0; i < b.N; i++ {
+		c := phasespace.BuildParallelWorkers(a, 1).TakeCensus()
+		if c.MaxPeriod > 2 {
+			b.Fatalf("census shape: %+v", c)
+		}
+		if _, ok := phasespace.BuildSequential(a).Acyclic(); !ok {
+			b.Fatal("sequential threshold CA cycled")
+		}
+	}
+}
+
+// Ablation (tentpole): the CSR bit-sliced graph batch kernel vs the scalar
+// stepper for full successor-map construction beyond the ring — majority on
+// the hypercube Q_4 and threshold-2 on a 16-node random-regular sample.
+// Each op computes all 2^16 successors; the batch path steps 64
+// configurations per word and must deliver ≥ 10× the scalar configs/sec
+// (the committed BENCH baseline and CI -compare gate pin the ratio).
+func BenchmarkAblation_GraphBatch(b *testing.B) {
+	reg, err := space.RandomRegular(16, 3, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		sp   space.Space
+		k    int
+	}{
+		{"q4-majority", space.Hypercube(4), 3},
+		{"regular16-thr2", reg, 2},
+	}
+	for _, tc := range cases {
+		tc := tc
+		n := tc.sp.N()
+		size := uint64(1) << uint(n)
+		a := automaton.MustNew(tc.sp, rule.Threshold{K: tc.k})
+		nbhd := make([][]int, n)
+		rules := make([]sim.GraphRule, n)
+		for i := 0; i < n; i++ {
+			nbhd[i] = tc.sp.Neighborhood(i)
+			rules[i] = sim.GraphRule{K: tc.k}
+		}
+		gk, err := sim.NewGraphBatch(nbhd, rules)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run("batch/"+tc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			var out [64]uint64
+			var sink uint64
+			for i := 0; i < b.N; i++ {
+				for base := uint64(0); base < size; base += 64 {
+					gk.Succ64(base, &out)
+					sink ^= out[0]
+				}
+			}
+			_ = sink
+			b.ReportMetric(float64(size)*float64(b.N)/b.Elapsed().Seconds(), "configs/s")
+		})
+		b.Run("scalar/"+tc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			dst := config.New(n)
+			var sink uint64
+			for i := 0; i < b.N; i++ {
+				config.Space(n, func(_ uint64, c config.Config) {
+					a.Step(dst, c)
+					sink ^= dst.Index()
+				})
+			}
+			_ = sink
+			b.ReportMetric(float64(size)*float64(b.N)/b.Elapsed().Seconds(), "configs/s")
+		})
+	}
+}
+
+// Ablation: the hyperoctahedral quotient on Q_4 vs raw enumeration, full
+// pipeline (build + census). B_4 has order 384 and folds the 65,536
+// configurations to 402 orbit classes — a ~163× state and ~20× allocation
+// reduction, the lever that matters when the successor table is the
+// bottleneck. Canonicalization pays |B_4| group images per scanned config,
+// so raw wall time stays comparable at d = 4; the census is byte-identical
+// (pinned by internal/phasespace/hyperoctahedral_test.go and the C1-HC
+// claim).
+func BenchmarkAblation_HypercubeQuotient(b *testing.B) {
+	a := automaton.MustNew(space.Hypercube(4), rule.Threshold{K: 3})
+	b.Run("raw", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			c := phasespace.BuildParallelWorkers(a, 1).TakeCensus()
+			if c.Configs != 1<<16 || c.MaxPeriod != 2 {
+				b.Fatalf("census shape: %+v", c)
+			}
+		}
+	})
+	b.Run("quotient", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			q, err := phasespace.BuildHyperoctaParallelCtx(context.Background(), a, 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if c := q.TakeCensus(); c.Configs != 1<<16 || c.MaxPeriod != 2 {
+				b.Fatalf("census shape: %+v", c)
+			}
+		}
+	})
+}
+
 // E28 / §5 + POR: the witness pipeline at a ring size whose schedule
 // space (24!/2¹² ≈ 1.5e20) is far beyond enumeration — targeted sleep-set
 // search, ddmin shrink, memoized atomic certification.

@@ -67,6 +67,7 @@ var experiments = []experiment{
 	{"E26", "extension: surjectivity and reversibility via de Bruijn graphs (ref [18])", e26},
 	{"E27", "analytic census: transfer-matrix exact counts beyond enumeration range", e27},
 	{"E28", "micro-op scheduling: POR prune factors and the shrunk S5 witness", e28},
+	{"E29", "graph ensembles: random-regular/power-law censuses and the hyperoctahedral quotient", e29},
 }
 
 func main() {
@@ -78,9 +79,13 @@ func main() {
 		resume     = flag.Bool("resume", false, "skip experiments completed by a previous checkpointed sweep")
 		faults     = flag.String("faults", "", "deterministic fault plan to inject per experiment index, e.g. panic:3 (debug)")
 		analytic   = flag.Bool("analytic", false, "route ST census quantities (FPs, 2-cycles, GoE) through the transfer-matrix engine and cross-check them against enumeration where both apply")
+		graphs     = flag.Bool("graphs", false, "run only the graph-ensemble census campaign (shorthand for -only E29)")
 	)
 	prof := cli.NewProfile()
 	flag.Parse()
+	if *graphs && *only == "" {
+		*only = "E29"
+	}
 	cli.Exit2("ca-experiments", cli.First(
 		cli.NonNegative("-workers", *workers),
 		cli.Writable("-checkpoint", *checkpoint),

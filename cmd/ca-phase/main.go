@@ -44,7 +44,7 @@ func main() {
 		n          = flag.Int("n", 8, "number of cells")
 		r          = flag.Int("r", 1, "neighborhood radius")
 		ruleSpec   = flag.String("rule", "majority", "rule: majority | threshold:K | xor | eca:CODE")
-		spSpec     = flag.String("space", "ring", "space: ring | line | complete | hypercube:D | torus:WxH")
+		spSpec     = flag.String("space", "ring", "space: ring | line | complete | hypercube:D | torus:WxH | graph:regular:D:SEED | graph:powerlaw:M:SEED")
 		dot        = flag.String("dot", "", "emit DOT instead of analysis: parallel | sequential")
 		verbose    = flag.Bool("v", false, "list cycles and pseudo-fixed points")
 		noMemory   = flag.Bool("memoryless", false, "exclude each node from its own neighborhood (memoryless CA)")
@@ -328,6 +328,27 @@ func parseSpace(spec string, n, r int) (space.Space, error) {
 			return nil, fmt.Errorf("bad torus spec %q", spec)
 		}
 		return space.Torus(w, h), nil
+	case strings.HasPrefix(spec, "graph:"):
+		parts := strings.Split(strings.TrimPrefix(spec, "graph:"), ":")
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("bad graph spec %q: want graph:regular:<d>:<seed> or graph:powerlaw:<m>:<seed>", spec)
+		}
+		param, err := strconv.Atoi(parts[1])
+		if err != nil {
+			return nil, fmt.Errorf("bad graph spec %q: parameter %q is not an integer", spec, parts[1])
+		}
+		seed, err := strconv.ParseInt(parts[2], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad graph spec %q: seed %q is not an integer", spec, parts[2])
+		}
+		switch parts[0] {
+		case "regular":
+			return space.RandomRegular(n, param, seed)
+		case "powerlaw":
+			return space.PowerLaw(n, param, seed)
+		default:
+			return nil, fmt.Errorf("bad graph spec %q: unknown family %q (want regular or powerlaw)", spec, parts[0])
+		}
 	default:
 		return nil, fmt.Errorf("unknown space %q", spec)
 	}

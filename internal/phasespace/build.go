@@ -191,6 +191,94 @@ func batchKernel(a *automaton.Automaton) *sim.Batch {
 	return nil
 }
 
+// graphSpec is the outcome of CSR graph-kernel detection: the flattened
+// neighborhoods and per-node rules from which per-worker sim.GraphBatch
+// kernels are constructed. It is the generic fallback behind the ring
+// batchSpec — any space, any rule that is per-node either a k-of-m
+// threshold or a small materializable truth table.
+type graphSpec struct {
+	nbhd  [][]int
+	rules []sim.GraphRule
+}
+
+// kernel constructs a fresh (single-goroutine) CSR batch kernel.
+func (s *graphSpec) kernel() *sim.GraphBatch {
+	gk, err := sim.NewGraphBatch(s.nbhd, s.rules)
+	if err != nil {
+		return nil
+	}
+	return gk
+}
+
+// detectGraphBatch returns the CSR batch-kernel parameters for a, or nil
+// when no per-node path exists. Per node the detector prefers the
+// ripple-carry threshold path (structural for rule.Threshold, semantic via
+// truth-table analysis for small arities) and falls back to materializing
+// the node's rule as a packed truth table when the arity is within
+// sim.MaxGraphTableArity. Rules that refuse materialization (Materialize
+// panics) leave the automaton on the scalar path.
+func detectGraphBatch(a *automaton.Automaton) (spec *graphSpec) {
+	n := a.N()
+	if n < 6 || n > 63 {
+		return nil
+	}
+	defer func() {
+		if recover() != nil {
+			spec = nil
+		}
+	}()
+	sp := a.Space()
+	spec = &graphSpec{nbhd: make([][]int, n), rules: make([]sim.GraphRule, n)}
+	// Homogeneous automata resolve each distinct arity once; the per-node
+	// rule value is shared, so the outcome depends only on the degree.
+	type ruleKey struct {
+		homog bool
+		arity int
+	}
+	cache := map[ruleKey]*sim.GraphRule{}
+	for i := 0; i < n; i++ {
+		nb := sp.Neighborhood(i)
+		spec.nbhd[i] = nb
+		m := len(nb)
+		key := ruleKey{homog: a.Homogeneous(), arity: m}
+		if key.homog {
+			if r := cache[key]; r != nil {
+				spec.rules[i] = *r
+				continue
+			}
+		}
+		r, ok := graphRuleOf(a.RuleAt(i), m)
+		if !ok {
+			return nil
+		}
+		spec.rules[i] = r
+		if key.homog {
+			cache[key] = &r
+		}
+	}
+	return spec
+}
+
+// graphRuleOf resolves one node's rule into a GraphRule: threshold when
+// recognizable, packed truth table otherwise (arity permitting).
+func graphRuleOf(r rule.Rule, m int) (sim.GraphRule, bool) {
+	if k, ok := thresholdOf(r, m); ok {
+		return sim.GraphRule{K: k}, true
+	}
+	if m > sim.MaxGraphTableArity {
+		return sim.GraphRule{}, false
+	}
+	t := rule.Materialize(r, m) // may panic; caught by detectGraphBatch
+	outs := t.Outputs()
+	packed := make([]uint64, (len(outs)+63)/64)
+	for idx, o := range outs {
+		if o&1 == 1 {
+			packed[idx>>6] |= 1 << uint(idx&63)
+		}
+	}
+	return sim.GraphRule{Table: packed}, true
+}
+
 // thresholdOf recognizes r as a k-of-m threshold. rule.Threshold values are
 // matched structurally; other rules (e.g. eca:232 = MAJORITY) are
 // materialized and tested semantically when the truth table is small.
@@ -236,27 +324,37 @@ func BuildParallelWorkers(a *automaton.Automaton, workers int) *Parallel {
 // (the idempotence the supervisor's retry and the checkpoint snapshotter
 // both rely on).
 type filler struct {
-	a    *automaton.Automaton
-	spec *batchSpec
-	pool sync.Pool
+	a     *automaton.Automaton
+	spec  *batchSpec
+	gspec *graphSpec
+	pool  sync.Pool
 }
 
 // fillScratch is one worker's private evaluation state.
 type fillScratch struct {
-	bk     *sim.Batch // nil when the batch kernel does not apply
+	bk     *sim.Batch      // nil when the ring batch kernel does not apply
+	gk     *sim.GraphBatch // nil when the CSR graph kernel does not apply
 	st     *automaton.Stepper
 	dst    config.Config
 	planes []uint64
 }
 
-// newFiller detects the batch kernel once and prepares the scratch pool.
+// newFiller detects the batch kernels once and prepares the scratch pool.
+// The ring kernel wins when both apply (its rotate-gather inner loop is
+// cheaper than a CSR walk); the CSR graph kernel covers everything else
+// with a recognizable per-node rule — hypercubes, tori, arbitrary graphs.
 func newFiller(a *automaton.Automaton) *filler {
 	f := &filler{a: a, spec: detectBatch(a)}
+	if f.spec == nil {
+		f.gspec = detectGraphBatch(a)
+	}
 	n := a.N()
 	f.pool.New = func() any {
 		s := &fillScratch{st: a.NewStepper(), dst: config.New(n), planes: make([]uint64, n)}
 		if f.spec != nil {
 			s.bk = f.spec.kernel()
+		} else if f.gspec != nil {
+			s.gk = f.gspec.kernel()
 		}
 		return s
 	}
@@ -269,15 +367,27 @@ func newFiller(a *automaton.Automaton) *filler {
 func (f *filler) parallelRange(succ []uint32, lo, hi uint64) {
 	s := f.pool.Get().(*fillScratch)
 	defer f.pool.Put(s)
-	if s.bk != nil && lo%sim.BatchLanes == 0 && (hi-lo)%sim.BatchLanes == 0 && hi > lo {
-		var out [64]uint64
-		for base := lo; base < hi; base += sim.BatchLanes {
-			s.bk.Succ64(base, &out)
-			for l := uint64(0); l < sim.BatchLanes; l++ {
-				succ[base+l] = uint32(out[l])
+	if lo%sim.BatchLanes == 0 && (hi-lo)%sim.BatchLanes == 0 && hi > lo {
+		if s.bk != nil {
+			var out [64]uint64
+			for base := lo; base < hi; base += sim.BatchLanes {
+				s.bk.Succ64(base, &out)
+				for l := uint64(0); l < sim.BatchLanes; l++ {
+					succ[base+l] = uint32(out[l])
+				}
 			}
+			return
 		}
-		return
+		if s.gk != nil {
+			var out [64]uint64
+			for base := lo; base < hi; base += sim.BatchLanes {
+				s.gk.Succ64(base, &out)
+				for l := uint64(0); l < sim.BatchLanes; l++ {
+					succ[base+l] = uint32(out[l])
+				}
+			}
+			return
+		}
 	}
 	config.SpaceRange(f.a.N(), lo, hi, func(idx uint64, c config.Config) {
 		s.st.Step(s.dst, c)
@@ -332,10 +442,14 @@ func (f *filler) sequentialRange(succ []uint32, lo, hi uint64) {
 	n := f.a.N()
 	s := f.pool.Get().(*fillScratch)
 	defer f.pool.Put(s)
-	if s.bk != nil && lo%sim.BatchLanes == 0 && (hi-lo)%sim.BatchLanes == 0 && hi > lo {
+	if (s.bk != nil || s.gk != nil) && lo%sim.BatchLanes == 0 && (hi-lo)%sim.BatchLanes == 0 && hi > lo {
 		planes := s.planes
 		for base := lo; base < hi; base += sim.BatchLanes {
-			s.bk.NodePlanes(base, planes)
+			if s.bk != nil {
+				s.bk.NodePlanes(base, planes)
+			} else {
+				s.gk.NodePlanes(base, planes)
+			}
 			for l := uint64(0); l < sim.BatchLanes; l++ {
 				x := base + l
 				row := x * uint64(n)

@@ -1,0 +1,176 @@
+package phasespace
+
+import (
+	"testing"
+
+	"repro/internal/automaton"
+	"repro/internal/rule"
+	"repro/internal/space"
+)
+
+// graphCases spans the shapes the CSR graph kernel claims: hypercubes,
+// tori, lines, random-regular and power-law samples, heterogeneous
+// thresholds, and table rules — everything beyond the ring kernel's
+// circulant precondition.
+func graphCases(t *testing.T) map[string]*automaton.Automaton {
+	t.Helper()
+	rr, err := space.RandomRegular(14, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := space.PowerLaw(14, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mixed, err := automaton.NewNonHomogeneous(space.Ring(8, 1), []rule.Rule{
+		rule.Threshold{K: 1}, rule.Threshold{K: 2}, rule.Threshold{K: 3}, rule.Threshold{K: 2},
+		rule.Threshold{K: 1}, rule.Threshold{K: 2}, rule.Threshold{K: 3}, rule.Threshold{K: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]*automaton.Automaton{
+		"maj-hypercube-q3":    automaton.MustNew(space.Hypercube(3), rule.Threshold{K: 3}),
+		"maj-hypercube-q4":    automaton.MustNew(space.Hypercube(4), rule.MajorityOf(5)),
+		"or-hypercube-q4":     automaton.MustNew(space.Hypercube(4), rule.Threshold{K: 1}),
+		"maj-torus-3x4":       automaton.MustNew(space.Torus(3, 4), rule.MajorityOf(5)),
+		"maj-line-n12":        automaton.MustNew(space.Line(12, 1), rule.Threshold{K: 2}),
+		"maj-random-regular":  automaton.MustNew(rr, rule.Threshold{K: 3}),
+		"thr-power-law":       automaton.MustNew(pl, rule.Threshold{K: 2}),
+		"xor-ring-n10":        automaton.MustNew(space.Ring(10, 1), rule.XOR{}), // table path
+		"mixed-thresholds-n8": mixed,
+		"memoryless-hc-q3":    automaton.MustNew(space.Memoryless(space.Hypercube(3)), rule.Threshold{K: 2}),
+	}
+}
+
+func TestGraphKernelApplicability(t *testing.T) {
+	for name, a := range graphCases(t) {
+		if detectGraphBatch(a) == nil {
+			t.Errorf("%s: graph kernel unexpectedly declined", name)
+		}
+	}
+	declines := map[string]*automaton.Automaton{
+		"tiny-ring-n4":   automaton.MustNew(space.Ring(4, 1), rule.Majority(1)),
+		"life-moore-4x4": automaton.MustNew(space.MooreTorus(4, 4), rule.Life()), // arity 9 > table cap
+	}
+	for name, a := range declines {
+		if detectGraphBatch(a) != nil {
+			t.Errorf("%s: graph kernel unexpectedly accepted", name)
+		}
+	}
+	// The ring kernel keeps priority on circulant threshold shapes: the
+	// filler must pick bk, not gk, so the cheaper rotate-gather loop runs.
+	f := newFiller(automaton.MustNew(space.Ring(10, 1), rule.Majority(1)))
+	if f.spec == nil || f.gspec != nil {
+		t.Error("ring automaton should use the ring kernel, not the graph kernel")
+	}
+	f = newFiller(automaton.MustNew(space.Hypercube(4), rule.MajorityOf(5)))
+	if f.spec != nil || f.gspec == nil {
+		t.Error("hypercube automaton should use the graph kernel")
+	}
+}
+
+// TestGraphKernelVsScalarParallel is the tentpole differential test beyond
+// the ring: the CSR-batched parallel builder must be byte-identical to the
+// scalar reference on every graph shape.
+func TestGraphKernelVsScalarParallel(t *testing.T) {
+	for name, a := range graphCases(t) {
+		batched := BuildParallelWorkers(a, 1)
+		scalar := BuildParallelScalar(a)
+		equalSucc(t, name, batched.succ, scalar.succ)
+	}
+}
+
+func TestGraphKernelVsScalarSequential(t *testing.T) {
+	for name, a := range graphCases(t) {
+		batched := BuildSequentialWorkers(a, 1)
+		scalar := BuildSequentialScalar(a)
+		equalSucc(t, name, batched.succ, scalar.succ)
+	}
+}
+
+// TestGraphKernelShardedMatchesSingleWorker runs the multi-worker build
+// (under -race in CI this doubles as the data-race check for the pooled
+// per-worker GraphBatch scratch).
+func TestGraphKernelShardedMatchesSingleWorker(t *testing.T) {
+	rr, err := space.RandomRegular(15, 4, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shapes := map[string]*automaton.Automaton{
+		"maj-hypercube-q4": automaton.MustNew(space.Hypercube(4), rule.MajorityOf(5)),
+		"maj-rr-n15-d4":    automaton.MustNew(rr, rule.MajorityOf(5)),
+	}
+	for name, a := range shapes {
+		equalSucc(t, name+"/parallel",
+			BuildParallelWorkers(a, 4).succ, BuildParallelWorkers(a, 1).succ)
+		equalSucc(t, name+"/sequential",
+			BuildSequentialWorkers(a, 4).succ, BuildSequentialWorkers(a, 1).succ)
+	}
+}
+
+func TestRandomGraphGeneratorsDeterministic(t *testing.T) {
+	for seed := int64(0); seed < 3; seed++ {
+		a, err := space.RandomRegular(12, 3, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := space.RandomRegular(12, 3, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 12; i++ {
+			na, nb := a.Neighborhood(i), b.Neighborhood(i)
+			if len(na) != len(nb) {
+				t.Fatalf("seed %d node %d: degree %d vs %d", seed, i, len(na), len(nb))
+			}
+			for j := range na {
+				if na[j] != nb[j] {
+					t.Fatalf("seed %d node %d: neighborhoods differ", seed, i)
+				}
+			}
+			if len(na) != 4 { // self + 3
+				t.Fatalf("seed %d node %d: degree %d, want 4", seed, i, len(na))
+			}
+		}
+		p, err := space.PowerLaw(12, 2, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		q, err := space.PowerLaw(12, 2, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 12; i++ {
+			np, nq := p.Neighborhood(i), q.Neighborhood(i)
+			if len(np) != len(nq) {
+				t.Fatalf("power-law seed %d node %d: degree %d vs %d", seed, i, len(np), len(nq))
+			}
+			for j := range np {
+				if np[j] != nq[j] {
+					t.Fatalf("power-law seed %d node %d: neighborhoods differ", seed, i)
+				}
+			}
+		}
+	}
+	// Different seeds should (generically) give different graphs.
+	a, _ := space.RandomRegular(12, 3, 100)
+	b, _ := space.RandomRegular(12, 3, 101)
+	same := true
+	for i := 0; i < 12 && same; i++ {
+		na, nb := a.Neighborhood(i), b.Neighborhood(i)
+		if len(na) != len(nb) {
+			same = false
+			break
+		}
+		for j := range na {
+			if na[j] != nb[j] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Error("seeds 100 and 101 produced identical random-regular graphs")
+	}
+}

@@ -1,0 +1,118 @@
+package phasespace
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/automaton"
+	"repro/internal/rule"
+	"repro/internal/space"
+)
+
+// hyperoctaPanel is the threshold panel on hypercubes the quotient engine
+// is pinned against the raw builders on: strict majority plus the OR/AND
+// and constant edges, with-memory and memoryless, for every feasible d.
+func hyperoctaPanel() map[string]*automaton.Automaton {
+	return map[string]*automaton.Automaton{
+		"maj-q2":        automaton.MustNew(space.Hypercube(2), rule.MajorityOf(3)),
+		"maj-q3":        automaton.MustNew(space.Hypercube(3), rule.Threshold{K: 3}),
+		"maj-q4":        automaton.MustNew(space.Hypercube(4), rule.MajorityOf(5)),
+		"or-q3":         automaton.MustNew(space.Hypercube(3), rule.Threshold{K: 1}),
+		"and-q4":        automaton.MustNew(space.Hypercube(4), rule.Threshold{K: 5}),
+		"const1-q3":     automaton.MustNew(space.Hypercube(3), rule.Threshold{K: 0}),
+		"const0-q3":     automaton.MustNew(space.Hypercube(3), rule.Threshold{K: 5}),
+		"memless-q3":    automaton.MustNew(space.Memoryless(space.Hypercube(3)), rule.Threshold{K: 2}),
+		"memless-or-q4": automaton.MustNew(space.Memoryless(space.Hypercube(4)), rule.Threshold{K: 1}),
+	}
+}
+
+func TestHyperoctaGroupOrderAndOrbits(t *testing.T) {
+	// |B_d| = 2^d·d!, and orbit sizes must partition the full space.
+	wantOrder := map[int]int{1: 2, 2: 8, 3: 48, 4: 384}
+	for d := 1; d <= MaxHyperoctaDim; d++ {
+		g := newHyperoctaGroup(d)
+		if g.Order() != wantOrder[d] {
+			t.Errorf("d=%d: |B_d| = %d, want %d", d, g.Order(), wantOrder[d])
+		}
+		reps, orbit := g.reps()
+		var sum uint64
+		for i, r := range reps {
+			sum += uint64(orbit[i])
+			if g.Canonical(r) != r {
+				t.Errorf("d=%d: rep %#x is not canonical", d, r)
+			}
+		}
+		if want := uint64(1) << uint(1<<uint(d)); sum != want {
+			t.Errorf("d=%d: orbit sizes sum to %d, want %d", d, sum, want)
+		}
+	}
+	// Known class count for Q_4: folding 2^16 configurations by the
+	// 384-element group leaves 402 classes (a ~163× reduction).
+	g := newHyperoctaGroup(4)
+	if reps, _ := g.reps(); len(reps) != 402 {
+		t.Errorf("d=4: %d classes, want 402", len(reps))
+	}
+}
+
+// TestHyperoctaParallelCensusMatchesRaw is the headline cross-check the
+// issue demands: the hyperoctahedral quotient census must be byte-identical
+// (field for field) to the raw enumeration census for all feasible d.
+func TestHyperoctaParallelCensusMatchesRaw(t *testing.T) {
+	for name, a := range hyperoctaPanel() {
+		want := BuildParallelWorkers(a, 1).TakeCensus()
+		for _, workers := range []int{1, 4} {
+			q, err := BuildHyperoctaParallelCtx(context.Background(), a, workers)
+			if err != nil {
+				t.Fatalf("%s: hyperocta build: %v", name, err)
+			}
+			if got := q.TakeCensus(); got != want {
+				t.Errorf("%s workers=%d: quotient census %+v\nwant (raw) %+v", name, workers, got, want)
+			}
+		}
+	}
+}
+
+func TestHyperoctaSequentialCensusMatchesRaw(t *testing.T) {
+	for name, a := range hyperoctaPanel() {
+		want := BuildSequentialWorkers(a, 1).TakeCensus()
+		q, err := BuildHyperoctaSequentialCtx(context.Background(), a, 1)
+		if err != nil {
+			t.Fatalf("%s: hyperocta sequential build: %v", name, err)
+		}
+		if got := q.TakeCensus(); got != want {
+			t.Errorf("%s: quotient sequential census %+v\nwant (raw) %+v", name, got, want)
+		}
+	}
+}
+
+func TestHyperoctaGateRejections(t *testing.T) {
+	cases := map[string]*automaton.Automaton{
+		"ring":      automaton.MustNew(space.Ring(8, 1), rule.Majority(1)),
+		"xor-rule":  automaton.MustNew(space.Hypercube(3), rule.XOR{}),
+		"non-power": automaton.MustNew(space.CompleteGraph(6), rule.Threshold{K: 3}),
+		"q5-capped": automaton.MustNew(space.Hypercube(5), rule.Threshold{K: 3}),
+	}
+	for name, a := range cases {
+		if _, err := BuildHyperoctaParallelCtx(context.Background(), a, 1); err == nil {
+			t.Errorf("%s: hyperocta build unexpectedly accepted", name)
+		}
+	}
+}
+
+// TestHyperoctaStateReduction pins the point of the exercise: the
+// hyperoctahedral fold is far coarser than any dihedral-sized quotient
+// could be on the same space.
+func TestHyperoctaStateReduction(t *testing.T) {
+	a := automaton.MustNew(space.Hypercube(4), rule.MajorityOf(5))
+	q, err := BuildHyperoctaParallelCtx(context.Background(), a, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.QuotientSize() >= q.Size()/100 {
+		t.Errorf("quotient has %d classes for %d configurations — expected ≥ 100× reduction",
+			q.QuotientSize(), q.Size())
+	}
+	if q.GroupOrder() != 384 {
+		t.Errorf("group order %d, want 384", q.GroupOrder())
+	}
+}

@@ -284,14 +284,26 @@ func (s *Server) quotientCensus(ctx context.Context, req *Request) (*Response, e
 	if req.Semantics == SemSequential {
 		qs, err := phasespace.BuildQuotientSequentialOpts(ctx, a, s.buildOpts())
 		if err != nil {
-			return nil, err
+			// Not dihedral-eligible: hypercube spaces fold under the far
+			// larger hyperoctahedral group instead.
+			hs, herr := phasespace.BuildHyperoctaSequentialOpts(ctx, a, s.buildOpts())
+			if herr != nil {
+				return nil, err
+			}
+			resp.SeqCensus = seqCensusDTO(hs.TakeCensus())
+			return resp, nil
 		}
 		resp.SeqCensus = seqCensusDTO(qs.TakeCensus())
 		return resp, nil
 	}
 	q, err := phasespace.BuildQuotientParallelOpts(ctx, a, s.buildOpts())
 	if err != nil {
-		return nil, err
+		hq, herr := phasespace.BuildHyperoctaParallelOpts(ctx, a, s.buildOpts())
+		if herr != nil {
+			return nil, err
+		}
+		resp.Census = censusDTO(hq.TakeCensus())
+		return resp, nil
 	}
 	if err := q.ClassifyCtx(ctx); err != nil {
 		return nil, err

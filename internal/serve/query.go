@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"errors"
 	"fmt"
 	"net/http"
 	"strconv"
@@ -74,6 +75,17 @@ func (e *badRequestError) Error() string { return e.msg }
 
 func badRequestf(format string, args ...any) error {
 	return &badRequestError{msg: fmt.Sprintf(format, args...)}
+}
+
+// unprocessableError marks topology specs that are syntactically present
+// but name a space that cannot be constructed (HTTP 422) — a malformed
+// graph:/hypercube: spec, or generator parameters with no realization.
+type unprocessableError struct{ msg string }
+
+func (e *unprocessableError) Error() string { return e.msg }
+
+func unprocessablef(format string, args ...any) error {
+	return &unprocessableError{msg: fmt.Sprintf(format, args...)}
 }
 
 // ParseRequest extracts and validates a Request from r's query string.
@@ -188,6 +200,10 @@ func ParseRequest(endpoint string, r *http.Request, maxTimeout time.Duration) (*
 	}
 	if endpoint != "analytic" && req.Engine != EngineAnalytic {
 		if _, err := req.Automaton(); err != nil {
+			var unproc *unprocessableError
+			if errors.As(err, &unproc) {
+				return nil, err
+			}
 			return nil, &badRequestError{msg: err.Error()}
 		}
 	}
@@ -240,10 +256,16 @@ func (r *Request) ParseSpace() (space.Space, error) {
 		sp = space.CompleteGraph(r.N)
 	case strings.HasPrefix(spec, "hypercube:"):
 		d, err := strconv.Atoi(strings.TrimPrefix(spec, "hypercube:"))
-		if err != nil {
-			return nil, badRequestf("bad hypercube spec %q", spec)
+		if err != nil || d < 1 || d > 20 {
+			return nil, unprocessablef("bad hypercube spec %q: want hypercube:<d> with 1 ≤ d ≤ 20", spec)
 		}
 		sp = space.Hypercube(d)
+	case strings.HasPrefix(spec, "graph:"):
+		g, err := parseGraphSpec(spec, r.N)
+		if err != nil {
+			return nil, err
+		}
+		sp = g
 	case strings.HasPrefix(spec, "torus:"):
 		var w, h int
 		if _, err := fmt.Sscanf(strings.TrimPrefix(spec, "torus:"), "%dx%d", &w, &h); err != nil {
@@ -260,6 +282,44 @@ func (r *Request) ParseSpace() (space.Space, error) {
 		sp = space.Memoryless(sp)
 	}
 	return sp, nil
+}
+
+// parseGraphSpec resolves the seeded random-graph ensembles:
+//
+//	graph:regular:<d>:<seed>   d-regular pairing-model sample on n nodes
+//	graph:powerlaw:<m>:<seed>  Barabási–Albert sample, m edges per node
+//
+// Both are deterministic in (n, parameters, seed), so the spec is a stable
+// cache key. Malformed or unrealizable specs are unprocessable (422).
+func parseGraphSpec(spec string, n int) (space.Space, error) {
+	parts := strings.Split(strings.TrimPrefix(spec, "graph:"), ":")
+	if len(parts) != 3 {
+		return nil, unprocessablef("bad graph spec %q: want graph:regular:<d>:<seed> or graph:powerlaw:<m>:<seed>", spec)
+	}
+	param, err := strconv.Atoi(parts[1])
+	if err != nil {
+		return nil, unprocessablef("bad graph spec %q: parameter %q is not an integer", spec, parts[1])
+	}
+	seed, err := strconv.ParseInt(parts[2], 10, 64)
+	if err != nil {
+		return nil, unprocessablef("bad graph spec %q: seed %q is not an integer", spec, parts[2])
+	}
+	switch parts[0] {
+	case "regular":
+		sp, err := space.RandomRegular(n, param, seed)
+		if err != nil {
+			return nil, unprocessablef("graph spec %q has no realization: %v", spec, err)
+		}
+		return sp, nil
+	case "powerlaw":
+		sp, err := space.PowerLaw(n, param, seed)
+		if err != nil {
+			return nil, unprocessablef("graph spec %q has no realization: %v", spec, err)
+		}
+		return sp, nil
+	default:
+		return nil, unprocessablef("bad graph spec %q: unknown family %q (want regular or powerlaw)", spec, parts[0])
+	}
 }
 
 // Automaton constructs the automaton this request describes.

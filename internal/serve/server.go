@@ -243,7 +243,12 @@ func (w *statusWriter) Flush() {
 func (s *Server) serveQuery(w http.ResponseWriter, r *http.Request, endpoint string) {
 	req, err := ParseRequest(endpoint, r, s.cfg.MaxTimeout)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		var unproc *unprocessableError
+		if errors.As(err, &unproc) {
+			writeError(w, http.StatusUnprocessableEntity, err)
+		} else {
+			writeError(w, http.StatusBadRequest, err)
+		}
 		return
 	}
 	key := req.Key()
@@ -305,6 +310,7 @@ func (s *Server) serveQuery(w http.ResponseWriter, r *http.Request, endpoint str
 // 422, client errors → 400, anything else → 500.
 func (s *Server) writeQueryError(w http.ResponseWriter, err error) {
 	var bad *badRequestError
+	var unproc *unprocessableError
 	switch {
 	case errors.Is(err, ErrQueueFull):
 		w.Header().Set("Retry-After", strconv.Itoa(int(s.adm.RetryAfter().Seconds())))
@@ -312,6 +318,8 @@ func (s *Server) writeQueryError(w http.ResponseWriter, err error) {
 	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
 		writeError(w, http.StatusGatewayTimeout, err)
 	case errors.Is(err, ErrOverCap), errors.Is(err, transfer.ErrTooLarge):
+		writeError(w, http.StatusUnprocessableEntity, err)
+	case errors.As(err, &unproc):
 		writeError(w, http.StatusUnprocessableEntity, err)
 	case errors.As(err, &bad):
 		writeError(w, http.StatusBadRequest, err)

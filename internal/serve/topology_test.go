@@ -1,0 +1,116 @@
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"testing"
+)
+
+// The graph-topology satellite invariants: hypercube:d and graph:<spec>
+// queries route through the census engines (the CSR batch kernel underneath
+// for 6 ≤ n ≤ 63), hypercube quotient queries fold under the
+// hyperoctahedral group with a census identical to raw enumeration, and
+// malformed or unrealizable topology specs come back 422, not 400 or 500.
+
+func TestHypercubeAndGraphTopologies(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	cases := []struct {
+		name string
+		url  string
+	}{
+		{"hypercube-parallel", "/v1/census?n=16&space=hypercube:4&rule=threshold:3"},
+		{"hypercube-sequential", "/v1/census?n=16&space=hypercube:4&rule=threshold:3&semantics=sequential"},
+		{"random-regular", "/v1/census?n=14&space=graph:regular:3:1&rule=threshold:2"},
+		{"power-law", "/v1/census?n=14&space=graph:powerlaw:2:7&rule=threshold:2"},
+		{"power-law-sequential", "/v1/census?n=12&space=graph:powerlaw:2:7&rule=threshold:2&semantics=sequential"},
+	}
+	for _, tc := range cases {
+		code, body, _ := get(t, ts.URL+tc.url)
+		if code != http.StatusOK {
+			t.Fatalf("%s: status %d, body %s", tc.name, code, body)
+		}
+		r := decode(t, body)
+		if r.Census == nil && r.SeqCensus == nil {
+			t.Errorf("%s: no census in response %s", tc.name, body)
+		}
+	}
+}
+
+// TestHypercubeQuotientMatchesEnum pins the serve-level cross-check: the
+// hyperoctahedral quotient engine and raw enumeration answer a hypercube
+// census identically.
+func TestHypercubeQuotientMatchesEnum(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	for _, sem := range []string{"parallel", "sequential"} {
+		base := fmt.Sprintf("/v1/census?n=16&space=hypercube:4&rule=threshold:3&semantics=%s", sem)
+		code, enumBody, _ := get(t, ts.URL+base+"&engine=enum")
+		if code != http.StatusOK {
+			t.Fatalf("%s enum: status %d, body %s", sem, code, enumBody)
+		}
+		code, quotBody, _ := get(t, ts.URL+base+"&engine=quotient")
+		if code != http.StatusOK {
+			t.Fatalf("%s quotient: status %d, body %s", sem, code, quotBody)
+		}
+		enum, quot := decode(t, enumBody), decode(t, quotBody)
+		if quot.Engine != EngineQuotient {
+			t.Errorf("%s: engine %q, want quotient", sem, quot.Engine)
+		}
+		if sem == "parallel" {
+			if *enum.Census != *quot.Census {
+				t.Errorf("parallel census mismatch:\nenum     %+v\nquotient %+v", enum.Census, quot.Census)
+			}
+		} else if *enum.SeqCensus != *quot.SeqCensus {
+			t.Errorf("sequential census mismatch:\nenum     %+v\nquotient %+v", enum.SeqCensus, quot.SeqCensus)
+		}
+	}
+}
+
+func TestMalformedTopologySpecsGet422(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	cases := []struct {
+		name string
+		url  string
+	}{
+		{"hypercube-no-dim", "/v1/census?n=16&space=hypercube:x"},
+		{"hypercube-zero", "/v1/census?n=1&space=hypercube:0"},
+		{"graph-too-few-parts", "/v1/census?n=14&space=graph:regular:3"},
+		{"graph-bad-family", "/v1/census?n=14&space=graph:smallworld:3:1"},
+		{"graph-bad-param", "/v1/census?n=14&space=graph:regular:x:1"},
+		{"graph-bad-seed", "/v1/census?n=14&space=graph:regular:3:y"},
+		{"graph-unrealizable", "/v1/census?n=13&space=graph:regular:3:1"}, // n·d odd
+		{"powerlaw-m-too-big", "/v1/census?n=10&space=graph:powerlaw:10:1"},
+	}
+	for _, tc := range cases {
+		code, body, _ := get(t, ts.URL+tc.url)
+		if code != http.StatusUnprocessableEntity {
+			t.Errorf("%s: status %d, want 422 (body %s)", tc.name, code, body)
+		}
+	}
+	// A graph spec with a wrong node count stays a plain 400: the spec
+	// itself is fine, the n parameter contradicts it.
+	code, body, _ := get(t, ts.URL+"/v1/census?n=10&space=complete&rule=threshold:3")
+	if code == http.StatusUnprocessableEntity {
+		t.Errorf("plain space mismatch escalated to 422: %s", body)
+	}
+}
+
+// TestGraphSpecsAreStableCacheKeys: the same seeded spec twice must hit the
+// result cache (deterministic generators ⇒ same key, same bytes).
+func TestGraphSpecsAreStableCacheKeys(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	url := ts.URL + "/v1/census?n=14&space=graph:regular:3:5&rule=threshold:2"
+	code, first, _ := get(t, url)
+	if code != http.StatusOK {
+		t.Fatalf("first: status %d, body %s", code, first)
+	}
+	code, second, hdr := get(t, url)
+	if code != http.StatusOK {
+		t.Fatalf("second: status %d", code)
+	}
+	if string(first) != string(second) {
+		t.Error("same graph spec produced different bytes")
+	}
+	if hdr.Get("X-CA-Cache") != "hit" {
+		t.Errorf("second request was not a cache hit (X-CA-Cache=%q)", hdr.Get("X-CA-Cache"))
+	}
+}

@@ -1,0 +1,287 @@
+package sim
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// This file implements the configuration-parallel batch kernel for
+// *arbitrary* cellular spaces: the generalization of batch.go's ring-only
+// kernel to any neighborhood structure, flattened into the same CSR arena
+// layout the compiled scalar stepper uses (automaton/compile.go).
+//
+// The lane trick is topology-independent: enumerating configuration
+// indices in 64-aligned batches base..base+63, cell i's value across the
+// batch is a fixed pattern word for i < 6 and a constant word for i ≥ 6
+// (see batch.go). What the ring kernel exploits — neighbor planes are
+// rotations of the output index — is *not* needed: a CSR walk gathers any
+// node's neighbor planes directly, so each output cell j is computed from
+// its len(N(j)) neighbor planes with
+//
+//   - a bit-sliced carry-save adder tree and constant comparator when
+//     node j's rule is a k-of-m threshold (unit weights, any degree ≤ 63;
+//     the counter width adapts to the degree), or
+//   - a word-parallel truth-table reduction for irregular rules: the 2^m
+//     table entries are broadcast to lane masks and folded by m rounds of
+//     bitwise multiplexing on the neighbor planes (a Shannon expansion
+//     evaluated 64 lanes at a time), for m ≤ MaxGraphTableArity.
+//
+// Both paths produce successors bit-identical to the scalar stepper; the
+// differential suite and FuzzGraphBatch pin it.
+
+// MaxGraphTableArity caps the truth-table path: the mux fold costs
+// Θ(2^m) word operations per node per 64-lane batch, which beats 64
+// scalar gather-and-lookup evaluations only for small m. Thresholds are
+// not subject to this cap (their path is linear in the degree).
+const MaxGraphTableArity = 8
+
+// GraphRule is one node's local rule for the graph batch kernel: either a
+// k-of-m threshold over the node's full ordered neighborhood (Table nil)
+// or an arbitrary truth table over it. Table is packed LSB-first: bit t of
+// Table[t/64] is the output on the input tuple whose bit j is the state of
+// neighborhood slot j — the same orientation rule.Table uses.
+type GraphRule struct {
+	K     int
+	Table []uint64
+}
+
+// GraphBatch is a configuration-parallel evaluator of per-node threshold
+// or truth-table rules over an arbitrary finite cellular space with
+// n ≤ 63 nodes. It is not safe for concurrent use; the sharded builders
+// construct one GraphBatch per worker.
+type GraphBatch struct {
+	n      int
+	nbOff  []int32
+	nbFlat []int32
+	// thresh[i] ≥ 0 selects the ripple-carry path with that threshold;
+	// −1 selects the truth-table path through bcast[i].
+	thresh []int32
+	width  []int8     // counter width (bits) for the threshold path
+	bcast  [][]uint64 // per-node broadcast table: entry t is the 64-lane mask of table bit t
+	planes []uint64   // scratch: cell bit planes of the current batch
+	mux    []uint64   // scratch: truth-table fold
+}
+
+// NewGraphBatch returns a batch evaluator over the given ordered
+// neighborhoods (indices into [0, n), duplicates rejected) and per-node
+// rules (len(rules) must equal len(neighborhoods)). Thresholds accept any
+// degree ≤ 63; truth tables need len(Table) = ⌈2^m/64⌉ for the node's
+// degree m ≤ MaxGraphTableArity. n must satisfy 6 ≤ n ≤ 63 so that
+// 64-aligned index batches exist and indices fit a word.
+func NewGraphBatch(neighborhoods [][]int, rules []GraphRule) (*GraphBatch, error) {
+	n := len(neighborhoods)
+	if n < 6 || n > 63 {
+		return nil, fmt.Errorf("sim: graph batch kernel needs 6 ≤ n ≤ 63, got %d", n)
+	}
+	if len(rules) != n {
+		return nil, fmt.Errorf("sim: %d rules for %d nodes", len(rules), n)
+	}
+	g := &GraphBatch{
+		n:      n,
+		nbOff:  make([]int32, n+1),
+		thresh: make([]int32, n),
+		width:  make([]int8, n),
+		bcast:  make([][]uint64, n),
+		planes: make([]uint64, n),
+	}
+	maxTab := 0
+	for i, nb := range neighborhoods {
+		m := len(nb)
+		seen := make(map[int]bool, m)
+		for _, j := range nb {
+			if j < 0 || j >= n {
+				return nil, fmt.Errorf("sim: node %d has out-of-range neighbor %d", i, j)
+			}
+			if seen[j] {
+				return nil, fmt.Errorf("sim: node %d lists neighbor %d twice", i, j)
+			}
+			seen[j] = true
+		}
+		g.nbOff[i] = int32(len(g.nbFlat))
+		for _, j := range nb {
+			g.nbFlat = append(g.nbFlat, int32(j))
+		}
+		r := rules[i]
+		if r.Table == nil {
+			g.thresh[i] = int32(r.K)
+			g.width[i] = int8(bits.Len(uint(m)))
+			if g.width[i] == 0 {
+				g.width[i] = 1 // degree-0 node: the counter still needs one plane
+			}
+			continue
+		}
+		if m > MaxGraphTableArity {
+			return nil, fmt.Errorf("sim: node %d truth table over %d inputs exceeds the arity cap %d", i, m, MaxGraphTableArity)
+		}
+		entries := 1 << uint(m)
+		if want := (entries + 63) / 64; len(r.Table) != want {
+			return nil, fmt.Errorf("sim: node %d truth table has %d words, want %d", i, len(r.Table), want)
+		}
+		bc := make([]uint64, entries)
+		for t := 0; t < entries; t++ {
+			if r.Table[t>>6]>>uint(t&63)&1 == 1 {
+				bc[t] = ^uint64(0)
+			}
+		}
+		g.bcast[i] = bc
+		g.thresh[i] = -1
+		if entries > maxTab {
+			maxTab = entries
+		}
+	}
+	g.nbOff[n] = int32(len(g.nbFlat))
+	g.mux = make([]uint64, maxTab)
+	return g, nil
+}
+
+// N returns the cell count.
+func (g *GraphBatch) N() int { return g.n }
+
+// nextPlanes fills next[0:n] with the successor bit planes of the batch
+// starting at base: bit lane l of next[j] is cell j's next state in
+// configuration base+l. base must be 64-aligned and base+63 < 2^n.
+func (g *GraphBatch) nextPlanes(base uint64, next []uint64) {
+	if base&(BatchLanes-1) != 0 {
+		panic(fmt.Sprintf("sim: graph batch base %d not 64-aligned", base))
+	}
+	if base+BatchLanes > 1<<uint(g.n) {
+		panic(fmt.Sprintf("sim: graph batch base %d out of range for n=%d", base, g.n))
+	}
+	for i := 0; i < g.n; i++ {
+		if i < 6 {
+			g.planes[i] = lanePattern[i]
+		} else if base>>uint(i)&1 == 1 {
+			g.planes[i] = ^uint64(0)
+		} else {
+			g.planes[i] = 0
+		}
+	}
+	for j := 0; j < g.n; j++ {
+		nb := g.nbFlat[g.nbOff[j]:g.nbOff[j+1]]
+		if k := g.thresh[j]; k >= 0 {
+			next[j] = g.thresholdPlane(nb, int(k), int(g.width[j]))
+		} else {
+			next[j] = g.tablePlane(nb, g.bcast[j])
+		}
+	}
+}
+
+// thresholdPlane counts the neighbor planes into a w-bit bit-sliced
+// counter and compares it against k, 64 lanes at a time. The reduction is
+// a carry-save adder tree: pend[b] buffers up to two planes of weight 2^b,
+// and a third arrival compresses all three with a full adder (5 word ops
+// for one sum plane plus one carry plane of double weight). That amortizes
+// to ~2.5 ops per input plane independent of the counter width, where
+// ripple insertion pays ~3 ops per occupied counter bit per plane —
+// word-level carry chains almost never die early with 64 live lanes.
+func (g *GraphBatch) thresholdPlane(nb []int32, k, w int) uint64 {
+	// A nonzero carry plane of weight 2^b means some lane's count reached
+	// 2^b; counts are ≤ m ≤ 63, so carries above weight 2^5 are identically
+	// zero and the p != 0 guards keep every index below 7.
+	var pend [7][2]uint64
+	var np [7]int
+	for _, node := range nb {
+		p := g.planes[node]
+		for b := 0; p != 0; b++ {
+			if np[b] < 2 {
+				pend[b][np[b]] = p
+				np[b]++
+				break
+			}
+			a, c := pend[b][0], pend[b][1]
+			t := a ^ c
+			pend[b][0] = t ^ p
+			np[b] = 1
+			p = a&c | t&p // full-adder carry: weight 2^(b+1)
+		}
+	}
+	// Resolve the ≤ 2 pending planes per weight into exact counter bits.
+	var s [7]uint64
+	for b := 0; b < w; b++ {
+		switch np[b] {
+		case 1:
+			s[b] = pend[b][0]
+		case 2:
+			a, c := pend[b][0], pend[b][1]
+			s[b] = a ^ c
+			p := a & c
+			for bb := b + 1; p != 0; bb++ {
+				if np[bb] < 2 {
+					pend[bb][np[bb]] = p
+					np[bb]++
+					break
+				}
+				x, y := pend[bb][0], pend[bb][1]
+				t := x ^ y
+				pend[bb][0] = t ^ p
+				np[bb] = 1
+				p = x&y | t&p
+			}
+		}
+	}
+	return geConstW(s[:w], k)
+}
+
+// geConstW returns, bitwise per lane, whether the len(s)-bit bit-sliced
+// counter is ≥ k. k ≤ 0 yields all-one; k beyond the counter range
+// all-zero.
+func geConstW(s []uint64, k int) uint64 {
+	if k <= 0 {
+		return ^uint64(0)
+	}
+	if k >= 1<<uint(len(s)) {
+		return 0
+	}
+	gt := uint64(0)
+	eq := ^uint64(0)
+	for bit := len(s) - 1; bit >= 0; bit-- {
+		sv := s[bit]
+		var kv uint64
+		if k>>uint(bit)&1 == 1 {
+			kv = ^uint64(0)
+		}
+		gt |= eq & sv &^ kv
+		eq &^= sv ^ kv
+	}
+	return gt | eq
+}
+
+// tablePlane folds a node's broadcast truth table over its neighbor
+// planes: m rounds of word-parallel multiplexing, consuming neighborhood
+// slot 0 (the table's LSB) first.
+func (g *GraphBatch) tablePlane(nb []int32, bc []uint64) uint64 {
+	cur := g.mux[:len(bc)]
+	copy(cur, bc)
+	for _, node := range nb {
+		p := g.planes[node]
+		half := len(cur) / 2
+		for t := 0; t < half; t++ {
+			cur[t] = cur[2*t]&^p | cur[2*t+1]&p
+		}
+		cur = cur[:half]
+	}
+	return cur[0]
+}
+
+// Succ64 computes the 64 successor indices of configurations
+// base, …, base+63 into out: out[l] is the index of F(base+l). base must
+// be 64-aligned and base+63 < 2^n.
+func (g *GraphBatch) Succ64(base uint64, out *[64]uint64) {
+	g.nextPlanes(base, out[:g.n])
+	for j := g.n; j < BatchLanes; j++ {
+		out[j] = 0
+	}
+	transpose64(out)
+}
+
+// NodePlanes computes, for each cell j, the batch bit plane of the cell's
+// next state: bit lane l of next[j] is cell j's next state in
+// configuration base+l. next must have length ≥ n. This is the kernel
+// behind the sequential (single-node-update) phase-space builder for
+// graph spaces, exactly as Batch.NodePlanes is for rings.
+func (g *GraphBatch) NodePlanes(base uint64, next []uint64) {
+	if len(next) < g.n {
+		panic(fmt.Sprintf("sim: NodePlanes needs %d plane slots, got %d", g.n, len(next)))
+	}
+	g.nextPlanes(base, next[:g.n])
+}

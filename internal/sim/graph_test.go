@@ -1,0 +1,332 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// scalarGraphCell is the reference evaluator for one cell: count the set
+// neighbors of configuration x and compare against k, or look the tuple up
+// in the packed table.
+func scalarGraphCell(x uint64, nb []int, r GraphRule) uint64 {
+	if r.Table == nil {
+		s := 0
+		for _, j := range nb {
+			if x>>uint(j)&1 == 1 {
+				s++
+			}
+		}
+		if s >= r.K {
+			return 1
+		}
+		return 0
+	}
+	var t uint64
+	for slot, j := range nb {
+		t |= (x >> uint(j) & 1) << uint(slot)
+	}
+	return r.Table[t>>6] >> uint(t&63) & 1
+}
+
+func scalarGraphSucc(x uint64, nbhd [][]int, rules []GraphRule) uint64 {
+	var y uint64
+	for j, nb := range nbhd {
+		y |= scalarGraphCell(x, nb, rules[j]) << uint(j)
+	}
+	return y
+}
+
+// hypercubeNbhd builds Q_d with-memory neighborhoods (self first, then the
+// d bit-flip neighbors), matching space.Hypercube.
+func hypercubeNbhd(d int) [][]int {
+	n := 1 << uint(d)
+	nbhd := make([][]int, n)
+	for i := 0; i < n; i++ {
+		nb := []int{i}
+		for b := 0; b < d; b++ {
+			nb = append(nb, i^(1<<uint(b)))
+		}
+		nbhd[i] = nb
+	}
+	return nbhd
+}
+
+// randomNbhd samples, per node, a random-size random neighborhood (self
+// included, degrees 1..maxDeg).
+func randomNbhd(rng *rand.Rand, n, maxDeg int) [][]int {
+	nbhd := make([][]int, n)
+	for i := 0; i < n; i++ {
+		deg := 1 + rng.Intn(maxDeg)
+		perm := rng.Perm(n)
+		nb := []int{i}
+		for _, j := range perm {
+			if len(nb) >= deg {
+				break
+			}
+			if j != i {
+				nb = append(nb, j)
+			}
+		}
+		nbhd[i] = nb
+	}
+	return nbhd
+}
+
+func uniformRules(n int, r GraphRule) []GraphRule {
+	rules := make([]GraphRule, n)
+	for i := range rules {
+		rules[i] = r
+	}
+	return rules
+}
+
+func checkBatchVsScalar(t *testing.T, name string, nbhd [][]int, rules []GraphRule, rng *rand.Rand) {
+	t.Helper()
+	g, err := NewGraphBatch(nbhd, rules)
+	if err != nil {
+		t.Fatalf("%s: NewGraphBatch: %v", name, err)
+	}
+	n := len(nbhd)
+	total := uint64(1) << uint(n)
+	var out [64]uint64
+	trials := 6
+	if total <= 1<<12 {
+		trials = int(total / BatchLanes) // exhaustive for small spaces
+	}
+	for trial := 0; trial < trials; trial++ {
+		base := (rng.Uint64() % total) &^ 63
+		if total <= 1<<12 {
+			base = uint64(trial) * BatchLanes
+		}
+		g.Succ64(base, &out)
+		for l := uint64(0); l < BatchLanes; l++ {
+			want := scalarGraphSucc(base+l, nbhd, rules)
+			if out[l] != want {
+				t.Fatalf("%s: F(%d) = %d, want %d", name, base+l, out[l], want)
+			}
+		}
+	}
+}
+
+func TestGraphBatchHypercubeMajority(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for d := 3; d <= 5; d++ { // Q_3 (n=8) .. Q_5 (n=32)
+		n := 1 << uint(d)
+		k := (d+1)/2 + 1 // strict majority of d+1 inputs
+		checkBatchVsScalar(t, "hypercube", hypercubeNbhd(d), uniformRules(n, GraphRule{K: k}), rng)
+	}
+}
+
+func TestGraphBatchThresholdEdgeCases(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	n := 10
+	nbhd := randomNbhd(rng, n, 6)
+	for _, k := range []int{0, 1, 3, 6, 7} { // always-fire .. never-fire
+		checkBatchVsScalar(t, "threshold-k", nbhd, uniformRules(n, GraphRule{K: k}), rng)
+	}
+}
+
+func TestGraphBatchHighDegreeThreshold(t *testing.T) {
+	// Complete-graph neighborhoods exercise the widest counters the kernel
+	// supports (degree n ≤ 63 needs up to 6 planes); the ring kernel's
+	// 4-bit counter cannot represent these.
+	rng := rand.New(rand.NewSource(17))
+	n := 18
+	nbhd := make([][]int, n)
+	for i := 0; i < n; i++ {
+		nb := []int{i}
+		for j := 0; j < n; j++ {
+			if j != i {
+				nb = append(nb, j)
+			}
+		}
+		nbhd[i] = nb
+	}
+	for _, k := range []int{1, 9, 10, 17, 18} {
+		checkBatchVsScalar(t, "complete", nbhd, uniformRules(n, GraphRule{K: k}), rng)
+	}
+}
+
+func TestGraphBatchTableRules(t *testing.T) {
+	// Random truth tables per node, arities 1..MaxGraphTableArity.
+	rng := rand.New(rand.NewSource(19))
+	n := 12
+	nbhd := randomNbhd(rng, n, MaxGraphTableArity)
+	rules := make([]GraphRule, n)
+	for i, nb := range nbhd {
+		entries := 1 << uint(len(nb))
+		tab := make([]uint64, (entries+63)/64)
+		for w := range tab {
+			tab[w] = rng.Uint64()
+		}
+		if entries < 64 {
+			tab[0] &= 1<<uint(entries) - 1
+		}
+		rules[i] = GraphRule{Table: tab}
+	}
+	checkBatchVsScalar(t, "tables", nbhd, rules, rng)
+}
+
+func TestGraphBatchMixedRules(t *testing.T) {
+	// Per-node mix: thresholds on some nodes, tables (XOR of the
+	// neighborhood) on others — the heterogeneous case no specialized
+	// kernel covers.
+	rng := rand.New(rand.NewSource(23))
+	n := 11
+	nbhd := randomNbhd(rng, n, 5)
+	rules := make([]GraphRule, n)
+	for i, nb := range nbhd {
+		if i%2 == 0 {
+			rules[i] = GraphRule{K: (len(nb) + 1) / 2}
+			continue
+		}
+		entries := 1 << uint(len(nb))
+		tab := make([]uint64, (entries+63)/64)
+		for v := 0; v < entries; v++ {
+			parity := 0
+			for b := 0; b < len(nb); b++ {
+				parity ^= v >> uint(b) & 1
+			}
+			if parity == 1 {
+				tab[v>>6] |= 1 << uint(v&63)
+			}
+		}
+		rules[i] = GraphRule{Table: tab}
+	}
+	checkBatchVsScalar(t, "mixed", nbhd, rules, rng)
+}
+
+func TestGraphBatchNodePlanes(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	d := 4
+	n := 1 << uint(d)
+	nbhd := hypercubeNbhd(d)
+	rules := uniformRules(n, GraphRule{K: 3})
+	g, err := NewGraphBatch(nbhd, rules)
+	if err != nil {
+		t.Fatal(err)
+	}
+	planes := make([]uint64, n)
+	for trial := 0; trial < 8; trial++ {
+		base := (rng.Uint64() % (1 << uint(n))) &^ 63
+		g.NodePlanes(base, planes)
+		for l := uint64(0); l < BatchLanes; l++ {
+			for j := 0; j < n; j++ {
+				want := scalarGraphCell(base+l, nbhd[j], rules[j])
+				if planes[j]>>l&1 != want {
+					t.Fatalf("plane bit (x=%d, cell %d) = %d, want %d",
+						base+l, j, planes[j]>>l&1, want)
+				}
+			}
+		}
+	}
+}
+
+func TestNewGraphBatchValidation(t *testing.T) {
+	nb6 := make([][]int, 6)
+	for i := range nb6 {
+		nb6[i] = []int{i}
+	}
+	r6 := uniformRules(6, GraphRule{K: 1})
+	// A 9-input table exceeds MaxGraphTableArity even with the right word
+	// count (⌈2^9/64⌉ = 8).
+	bigNb := make([][]int, 10)
+	for i := range bigNb {
+		bigNb[i] = []int{i}
+	}
+	bigNb[0] = []int{0, 1, 2, 3, 4, 5, 6, 7, 8}
+	bigRules := uniformRules(10, GraphRule{K: 1})
+	bigRules[0] = GraphRule{Table: make([]uint64, 8)}
+
+	cases := []struct {
+		name  string
+		nbhd  [][]int
+		rules []GraphRule
+	}{
+		{"too small", nb6[:5], r6[:5]},
+		{"rule count mismatch", nb6, r6[:5]},
+		{"out-of-range neighbor", [][]int{{0, 9}, {1}, {2}, {3}, {4}, {5}}, r6},
+		{"duplicate neighbor", [][]int{{0, 1, 1}, {1}, {2}, {3}, {4}, {5}}, r6},
+		{"table word count", nb6, append([]GraphRule{{Table: []uint64{0, 0}}}, r6[1:]...)},
+		{"table arity cap", bigNb, bigRules},
+	}
+
+	for _, tc := range cases {
+		if _, err := NewGraphBatch(tc.nbhd, tc.rules); err == nil {
+			t.Errorf("%s: NewGraphBatch accepted invalid input", tc.name)
+		}
+	}
+	// n > 63 rejected.
+	huge := make([][]int, 64)
+	for i := range huge {
+		huge[i] = []int{i}
+	}
+	if _, err := NewGraphBatch(huge, uniformRules(64, GraphRule{K: 1})); err == nil {
+		t.Error("NewGraphBatch accepted n=64")
+	}
+}
+
+func TestGraphBatchBasePanics(t *testing.T) {
+	g, err := NewGraphBatch(hypercubeNbhd(3), uniformRules(8, GraphRule{K: 2}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out [64]uint64
+	for _, base := range []uint64{1, 63, 256} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("base %d: no panic", base)
+				}
+			}()
+			if base == 256 {
+				g.Succ64(base, &out) // in range for n=8? 2^8=256 → out of range
+			} else {
+				g.Succ64(base, &out) // unaligned
+			}
+		}()
+	}
+}
+
+func TestGeConstW(t *testing.T) {
+	// Exhaustive over width-w counters: load each lane with a distinct
+	// counter value and check every threshold.
+	for w := 1; w <= 6; w++ {
+		vals := 1 << uint(w)
+		s := make([]uint64, w)
+		for v := 0; v < vals && v < 64; v++ {
+			for b := 0; b < w; b++ {
+				s[b] |= uint64(v >> uint(b) & 1 << uint(v))
+			}
+		}
+		for k := -1; k <= vals+1; k++ {
+			got := geConstW(s, k)
+			for v := 0; v < vals && v < 64; v++ {
+				want := uint64(0)
+				if v >= k {
+					want = 1
+				}
+				if got>>uint(v)&1 != want {
+					t.Fatalf("w=%d k=%d counter=%d: got %d, want %d", w, k, v, got>>uint(v)&1, want)
+				}
+			}
+		}
+	}
+}
+
+func BenchmarkGraphBatchHypercubeQ4(b *testing.B) {
+	n := 16
+	g, err := NewGraphBatch(hypercubeNbhd(4), uniformRules(n, GraphRule{K: 3}))
+	if err != nil {
+		b.Fatal(err)
+	}
+	var out [64]uint64
+	total := uint64(1) << uint(n)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		for base := uint64(0); base < total; base += BatchLanes {
+			g.Succ64(base, &out)
+		}
+	}
+	b.SetBytes(int64(total))
+}

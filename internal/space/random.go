@@ -1,0 +1,119 @@
+package space
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// This file provides the seeded random-graph ensembles the §4 experiments
+// sample: random-regular graphs (every node the same degree — the closest
+// irregular relative of the paper's regular cellular spaces) and power-law
+// graphs (preferential attachment — the heavy-tailed degree regime where
+// hubs exist and regularity fails entirely). Both are deterministic in
+// (parameters, seed) so ensemble campaigns are reproducible and the
+// differential/fuzz suites can pin exact censuses.
+
+// randomRegularAttempts bounds the pairing-model retry loop; for the small
+// d/n the enumeration caps allow, rejection rates are tiny and a failure
+// here means the parameters are degenerate, not unlucky.
+const randomRegularAttempts = 200
+
+// RandomRegular returns a uniformly sampled (pairing/configuration model,
+// conditioned on simplicity) d-regular graph on n nodes, with-memory
+// neighborhoods (self first, then sorted neighbors), deterministic in seed.
+// Requires 0 ≤ d < n and n·d even.
+func RandomRegular(n, d int, seed int64) (Space, error) {
+	if n < 1 || d < 0 || d >= n {
+		return nil, fmt.Errorf("space: random regular needs 0 ≤ d < n, got n=%d d=%d", n, d)
+	}
+	if n*d%2 != 0 {
+		return nil, fmt.Errorf("space: random regular needs n·d even, got n=%d d=%d", n, d)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	// Pairing model: n·d half-edge stubs, shuffled and paired; retry on
+	// self-loops or duplicate edges so the result is a simple graph.
+attempt:
+	for a := 0; a < randomRegularAttempts; a++ {
+		stubs := make([]int, 0, n*d)
+		for v := 0; v < n; v++ {
+			for c := 0; c < d; c++ {
+				stubs = append(stubs, v)
+			}
+		}
+		rng.Shuffle(len(stubs), func(i, j int) { stubs[i], stubs[j] = stubs[j], stubs[i] })
+		seen := make(map[[2]int]bool, n*d/2)
+		edges := make([][2]int, 0, n*d/2)
+		for i := 0; i < len(stubs); i += 2 {
+			u, v := stubs[i], stubs[i+1]
+			if u == v {
+				continue attempt
+			}
+			if u > v {
+				u, v = v, u
+			}
+			if seen[[2]int{u, v}] {
+				continue attempt
+			}
+			seen[[2]int{u, v}] = true
+			edges = append(edges, [2]int{u, v})
+		}
+		sp, err := FromEdges(n, edges)
+		if err != nil {
+			return nil, err
+		}
+		return &generic{
+			name: fmt.Sprintf("random-regular(n=%d,d=%d,seed=%d)", n, d, seed),
+			nbhd: sp.(*generic).nbhd,
+		}, nil
+	}
+	return nil, fmt.Errorf("space: no simple %d-regular graph on %d nodes after %d pairing attempts", d, n, randomRegularAttempts)
+}
+
+// PowerLaw returns a Barabási–Albert preferential-attachment graph on n
+// nodes: a complete core of m+1 nodes, then each new node attaches to m
+// distinct existing nodes chosen with probability proportional to degree.
+// The degree distribution follows a power law, giving the hub-dominated
+// regime absent from regular cellular spaces. With-memory neighborhoods,
+// deterministic in seed. Requires 1 ≤ m < n.
+func PowerLaw(n, m int, seed int64) (Space, error) {
+	if m < 1 || m >= n {
+		return nil, fmt.Errorf("space: power law needs 1 ≤ m < n, got n=%d m=%d", n, m)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	var edges [][2]int
+	// endpoints lists every edge endpoint; sampling it uniformly is
+	// sampling nodes proportional to degree.
+	var endpoints []int
+	core := m + 1
+	for u := 0; u < core; u++ {
+		for v := u + 1; v < core; v++ {
+			edges = append(edges, [2]int{u, v})
+			endpoints = append(endpoints, u, v)
+		}
+	}
+	for v := core; v < n; v++ {
+		chosen := make(map[int]bool, m)
+		var picks []int // in pick order, so the endpoint list is seed-deterministic
+		for len(chosen) < m {
+			u := endpoints[rng.Intn(len(endpoints))]
+			if !chosen[u] {
+				chosen[u] = true
+				picks = append(picks, u)
+			}
+		}
+		// Append endpoints only after all m picks so a node cannot attach
+		// to itself via its own fresh edges.
+		for _, u := range picks {
+			edges = append(edges, [2]int{u, v})
+			endpoints = append(endpoints, u, v)
+		}
+	}
+	sp, err := FromEdges(n, edges)
+	if err != nil {
+		return nil, err
+	}
+	return &generic{
+		name: fmt.Sprintf("power-law(n=%d,m=%d,seed=%d)", n, m, seed),
+		nbhd: sp.(*generic).nbhd,
+	}, nil
+}

@@ -1,0 +1,199 @@
+package threshnet
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/automaton"
+	"repro/internal/config"
+	"repro/internal/rule"
+	"repro/internal/space"
+)
+
+// The sparse-representation satellite invariant: a CSR-sparse Network is
+// observationally identical to the dense one — same fields, same steps,
+// same Lyapunov values, same convergence trajectory — on every weight
+// pattern the package can produce.
+
+// sparseClone rebuilds nw in the forced-sparse representation through the
+// public API only.
+func sparseClone(t *testing.T, nw *Network) *Network {
+	t.Helper()
+	sp := NewSparseNetwork(nw.N())
+	if !sp.Sparse() {
+		t.Fatal("NewSparseNetwork did not produce a sparse network")
+	}
+	for i := 0; i < nw.N(); i++ {
+		sp.SetTheta2(i, nw.theta2[i])
+		for j := i; j < nw.N(); j++ {
+			if v := nw.Weight(i, j); v != 0 {
+				sp.SetWeight(i, j, v)
+			}
+		}
+	}
+	return sp
+}
+
+func randomConfig(rng *rand.Rand, n int) config.Config {
+	x := config.New(n)
+	for i := 0; i < n; i++ {
+		x.Set(i, uint8(rng.Intn(2)))
+	}
+	return x
+}
+
+// checkEquivalent drives dense and sparse through the same operations and
+// demands identical observations.
+func checkEquivalent(t *testing.T, dense, sparse *Network, seed int64) {
+	t.Helper()
+	n := dense.N()
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if dense.Weight(i, j) != sparse.Weight(i, j) {
+				t.Fatalf("Weight(%d,%d): dense %d, sparse %d", i, j, dense.Weight(i, j), sparse.Weight(i, j))
+			}
+		}
+	}
+	for trial := 0; trial < 20; trial++ {
+		x := randomConfig(rng, n)
+		y := randomConfig(rng, n)
+		for i := 0; i < n; i++ {
+			if d, s := dense.Field2(x, i), sparse.Field2(x, i); d != s {
+				t.Fatalf("Field2(node %d): dense %d, sparse %d", i, d, s)
+			}
+		}
+		if d, s := dense.Energy4(x), sparse.Energy4(x); d != s {
+			t.Fatalf("Energy4: dense %d, sparse %d", d, s)
+		}
+		if d, s := dense.Bilinear4(x, y), sparse.Bilinear4(x, y); d != s {
+			t.Fatalf("Bilinear4: dense %d, sparse %d", d, s)
+		}
+		dd, ss := config.New(n), config.New(n)
+		dense.Step(dd, x)
+		sparse.Step(ss, x)
+		if !dd.Equal(ss) {
+			t.Fatalf("Step diverged:\ndense  %s\nsparse %s", dd, ss)
+		}
+		if dense.FixedPoint(x) != sparse.FixedPoint(x) {
+			t.Fatal("FixedPoint disagreement")
+		}
+	}
+	// Identical sequential trajectories under the same update sequence.
+	xd := randomConfig(rng, n)
+	xs := xd.Clone()
+	order := rand.New(rand.NewSource(seed + 1))
+	order2 := rand.New(rand.NewSource(seed + 1))
+	stepsD, okD := dense.ConvergeSequential(xd, func() int { return order.Intn(n) }, 64*n*n)
+	stepsS, okS := sparse.ConvergeSequential(xs, func() int { return order2.Intn(n) }, 64*n*n)
+	if stepsD != stepsS || okD != okS || !xd.Equal(xs) {
+		t.Fatalf("ConvergeSequential diverged: dense (%d,%v) %s vs sparse (%d,%v) %s",
+			stepsD, okD, xd, stepsS, okS, xs)
+	}
+}
+
+func TestSparseMatchesDenseRandomNetworks(t *testing.T) {
+	for _, tc := range []struct {
+		n    int
+		p    float64
+		seed int64
+	}{
+		{12, 0.3, 1},
+		{20, 0.15, 2},
+		{33, 0.08, 3},
+		{48, 0.5, 4}, // dense couplings through the sparse path
+	} {
+		nw := RandomNetwork(tc.n, tc.p, 5, 4, tc.seed)
+		if nw.Sparse() {
+			t.Fatalf("n=%d: RandomNetwork unexpectedly sparse", tc.n)
+		}
+		checkEquivalent(t, nw, sparseClone(t, nw), tc.seed*100)
+	}
+}
+
+func TestSparseMatchesDenseThresholdCA(t *testing.T) {
+	for _, sp := range []space.Space{
+		space.Ring(16, 2),
+		space.Hypercube(4),
+		space.Torus(4, 5),
+	} {
+		a, err := automaton.New(sp, rule.Threshold{K: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		nw, err := FromThresholdCA(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkEquivalent(t, nw, sparseClone(t, nw), int64(sp.N()))
+	}
+}
+
+// TestLargeNetworksGoSparse pins the automatic representation switch and
+// that FromThresholdCA stays correct through it.
+func TestLargeNetworksGoSparse(t *testing.T) {
+	if NewNetwork(DenseMaxNodes).Sparse() {
+		t.Errorf("n=%d should be dense", DenseMaxNodes)
+	}
+	big := NewNetwork(DenseMaxNodes + 1)
+	if !big.Sparse() {
+		t.Fatalf("n=%d should be sparse", DenseMaxNodes+1)
+	}
+	a, err := automaton.New(space.Ring(200, 1), rule.Threshold{K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw, err := FromThresholdCA(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !nw.Sparse() {
+		t.Fatal("200-node CA network should be sparse")
+	}
+	// Spot-check fields against the CA stepper: the network's parallel step
+	// must agree with the automaton's.
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 5; trial++ {
+		x := randomConfig(rng, 200)
+		want := config.New(200)
+		a.Step(want, x)
+		got := config.New(200)
+		nw.Step(got, x)
+		if !got.Equal(want) {
+			t.Fatalf("trial %d: sparse network step disagrees with CA stepper", trial)
+		}
+	}
+}
+
+// TestSparseWeightEditing exercises insert, overwrite, and delete (set to
+// zero) in the CSR rows.
+func TestSparseWeightEditing(t *testing.T) {
+	nw := NewSparseNetwork(10)
+	nw.SetWeight(2, 7, 5)
+	nw.SetWeight(2, 3, -4)
+	nw.SetWeight(2, 9, 1)
+	if got := nw.Weight(2, 7); got != 5 {
+		t.Fatalf("Weight(2,7) = %d, want 5", got)
+	}
+	if got := nw.Weight(7, 2); got != 5 {
+		t.Fatalf("symmetric Weight(7,2) = %d, want 5", got)
+	}
+	nw.SetWeight(2, 7, 8) // overwrite
+	if got := nw.Weight(2, 7); got != 8 {
+		t.Fatalf("after overwrite Weight(2,7) = %d, want 8", got)
+	}
+	nw.SetWeight(2, 3, 0) // delete
+	if got := nw.Weight(2, 3); got != 0 {
+		t.Fatalf("after delete Weight(2,3) = %d, want 0", got)
+	}
+	if got := nw.Weight(3, 2); got != 0 {
+		t.Fatalf("after delete Weight(3,2) = %d, want 0", got)
+	}
+	if len(nw.cols[2]) != 2 {
+		t.Fatalf("row 2 has %d entries, want 2 (7 and 9)", len(nw.cols[2]))
+	}
+	nw.SetWeight(4, 4, 3) // self-weight
+	if got := nw.Weight(4, 4); got != 3 {
+		t.Fatalf("self Weight(4,4) = %d, want 3", got)
+	}
+}

@@ -21,23 +21,46 @@ package threshnet
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 
 	"repro/internal/automaton"
 	"repro/internal/config"
 	"repro/internal/rule"
 )
 
+// DenseMaxNodes is the size up to which NewNetwork stores the full n×n
+// weight matrix. Past it the O(n²) rows dominate memory and every field
+// evaluation walks mostly zeros, so larger networks switch to the
+// compressed sparse-row representation (per-row sorted column/value
+// arrays) whose cost scales with the nonzero couplings instead.
+const DenseMaxNodes = 128
+
 // Network is a Boolean threshold network with symmetric integer weights.
 // Node i's update rule is x_i ← 1 iff 2·Σ_j w_ij·x_j ≥ Theta2[i]
 // (thresholds are stored doubled so half-integral values stay exact).
+//
+// Storage is dense (full matrix) for n ≤ DenseMaxNodes and CSR-sparse
+// beyond; NewSparseNetwork forces the sparse form at any size. The two
+// representations are observationally identical — the equivalence suite
+// pins every accessor and both Lyapunov forms across them.
 type Network struct {
 	n      int
-	w      [][]int64 // dense symmetric weight matrix
+	w      [][]int64 // dense symmetric weight matrix; nil in sparse mode
+	cols   [][]int32 // sparse: sorted column indices per row
+	vals   [][]int64 // sparse: values aligned with cols
 	theta2 []int64
 }
 
-// NewNetwork returns an n-node network with zero weights and thresholds.
+// NewNetwork returns an n-node network with zero weights and thresholds,
+// dense for n ≤ DenseMaxNodes and sparse beyond.
 func NewNetwork(n int) *Network {
+	if n <= DenseMaxNodes {
+		return newDense(n)
+	}
+	return NewSparseNetwork(n)
+}
+
+func newDense(n int) *Network {
 	if n < 1 {
 		panic(fmt.Sprintf("threshnet: invalid size %d", n))
 	}
@@ -48,8 +71,54 @@ func NewNetwork(n int) *Network {
 	return &Network{n: n, w: w, theta2: make([]int64, n)}
 }
 
+// NewSparseNetwork returns an n-node network in the CSR-sparse
+// representation regardless of size: memory and evaluation cost scale with
+// the nonzero couplings, the form large sparse interaction graphs need.
+func NewSparseNetwork(n int) *Network {
+	if n < 1 {
+		panic(fmt.Sprintf("threshnet: invalid size %d", n))
+	}
+	return &Network{
+		n:      n,
+		cols:   make([][]int32, n),
+		vals:   make([][]int64, n),
+		theta2: make([]int64, n),
+	}
+}
+
+// Sparse reports whether the network uses the CSR representation.
+func (nw *Network) Sparse() bool { return nw.w == nil }
+
 // N returns the node count.
 func (nw *Network) N() int { return nw.n }
+
+// setDirected writes one directed entry w_ij = v (no symmetry).
+func (nw *Network) setDirected(i, j int, v int64) {
+	if nw.w != nil {
+		nw.w[i][j] = v
+		return
+	}
+	row := nw.cols[i]
+	p := sort.Search(len(row), func(k int) bool { return row[k] >= int32(j) })
+	if p < len(row) && row[p] == int32(j) {
+		if v == 0 {
+			nw.cols[i] = append(row[:p], row[p+1:]...)
+			nw.vals[i] = append(nw.vals[i][:p], nw.vals[i][p+1:]...)
+			return
+		}
+		nw.vals[i][p] = v
+		return
+	}
+	if v == 0 {
+		return
+	}
+	nw.cols[i] = append(row, 0)
+	copy(nw.cols[i][p+1:], nw.cols[i][p:])
+	nw.cols[i][p] = int32(j)
+	nw.vals[i] = append(nw.vals[i], 0)
+	copy(nw.vals[i][p+1:], nw.vals[i][p:])
+	nw.vals[i][p] = v
+}
 
 // SetWeight sets w_ij = w_ji = v. Self-weights (i == j) must be ≥ 0 — the
 // hypothesis of the sequential convergence theorem.
@@ -57,19 +126,31 @@ func (nw *Network) SetWeight(i, j int, v int64) {
 	if i == j && v < 0 {
 		panic("threshnet: negative self-weight breaks the Lyapunov argument")
 	}
-	nw.w[i][j] = v
-	nw.w[j][i] = v
+	nw.setDirected(i, j, v)
+	if i != j {
+		nw.setDirected(j, i, v)
+	}
 }
 
 // Weight returns w_ij.
-func (nw *Network) Weight(i, j int) int64 { return nw.w[i][j] }
+func (nw *Network) Weight(i, j int) int64 {
+	if nw.w != nil {
+		return nw.w[i][j]
+	}
+	row := nw.cols[i]
+	p := sort.Search(len(row), func(k int) bool { return row[k] >= int32(j) })
+	if p < len(row) && row[p] == int32(j) {
+		return nw.vals[i][p]
+	}
+	return 0
+}
 
 // SetTheta2 sets node i's doubled threshold (odd values avoid ties).
 func (nw *Network) SetTheta2(i int, t2 int64) { nw.theta2[i] = t2 }
 
 // FromThresholdCA builds the unit-weight network of a threshold automaton:
 // w_ij = 1 for j in N(i) (including self for CA with memory) and doubled
-// threshold 2K−1.
+// threshold 2K−1. Networks above DenseMaxNodes come back sparse.
 func FromThresholdCA(a *automaton.Automaton) (*Network, error) {
 	nw := NewNetwork(a.N())
 	for i := 0; i < a.N(); i++ {
@@ -79,29 +160,59 @@ func FromThresholdCA(a *automaton.Automaton) (*Network, error) {
 		}
 		nw.theta2[i] = 2*int64(th.K) - 1
 		for _, j := range a.Space().Neighborhood(i) {
-			nw.w[i][j] = 1
+			nw.setDirected(i, j, 1)
 		}
 	}
 	// Validate symmetry: the Lyapunov theorems need j ∈ N(i) ⟺ i ∈ N(j),
 	// and an asymmetric space cannot be represented faithfully here.
-	for i := 0; i < nw.n; i++ {
-		for j := 0; j < nw.n; j++ {
-			if nw.w[i][j] != nw.w[j][i] {
-				return nil, fmt.Errorf("threshnet: asymmetric coupling (%d,%d)", i, j)
-			}
-		}
+	if err := nw.checkSymmetric(); err != nil {
+		return nil, err
 	}
 	return nw, nil
 }
 
+// checkSymmetric verifies w_ij == w_ji for every stored coupling. In
+// sparse mode it walks only the nonzero entries — a one-sided entry in
+// either row is caught from that row's side.
+func (nw *Network) checkSymmetric() error {
+	if nw.w != nil {
+		for i := 0; i < nw.n; i++ {
+			for j := 0; j < nw.n; j++ {
+				if nw.w[i][j] != nw.w[j][i] {
+					return fmt.Errorf("threshnet: asymmetric coupling (%d,%d)", i, j)
+				}
+			}
+		}
+		return nil
+	}
+	for i := 0; i < nw.n; i++ {
+		for p, j := range nw.cols[i] {
+			if nw.Weight(int(j), i) != nw.vals[i][p] {
+				return fmt.Errorf("threshnet: asymmetric coupling (%d,%d)", i, j)
+			}
+		}
+	}
+	return nil
+}
+
 // Field2 returns the doubled discriminant 2·Σ_j w_ij·x_j − Theta2[i];
-// node i's update sets x_i ← 1 iff Field2 ≥ 0.
+// node i's update sets x_i ← 1 iff Field2 ≥ 0. In sparse mode the sum
+// visits only node i's stored couplings.
 func (nw *Network) Field2(x config.Config, i int) int64 {
 	var s int64
-	row := nw.w[i]
-	for j := 0; j < nw.n; j++ {
-		if x.Get(j) == 1 {
-			s += row[j]
+	if nw.w != nil {
+		row := nw.w[i]
+		for j := 0; j < nw.n; j++ {
+			if x.Get(j) == 1 {
+				s += row[j]
+			}
+		}
+	} else {
+		vals := nw.vals[i]
+		for p, j := range nw.cols[i] {
+			if x.Get(int(j)) == 1 {
+				s += vals[p]
+			}
 		}
 	}
 	return 2*s - nw.theta2[i]
@@ -142,27 +253,38 @@ func (nw *Network) FixedPoint(x config.Config) bool {
 	return true
 }
 
+// rowDot returns Σ_{j≠i} w_ij·x_j over the set bits of x.
+func (nw *Network) rowDot(x config.Config, i int) int64 {
+	var s int64
+	if nw.w != nil {
+		row := nw.w[i]
+		for j := 0; j < nw.n; j++ {
+			if j != i && x.Get(j) == 1 {
+				s += row[j]
+			}
+		}
+		return s
+	}
+	vals := nw.vals[i]
+	for p, j := range nw.cols[i] {
+		if int(j) != i && x.Get(int(j)) == 1 {
+			s += vals[p]
+		}
+	}
+	return s
+}
+
 // Energy4 returns four times the sequential Lyapunov energy
-// E(x) = −½·Σ_{i≠j} w_ij·x_i·x_j + Σ_i (θ_i − ½·w_ii)·x_i, kept integral:
-//
-//	4E(x) = −2·Σ_{i≠j} w_ij·x_i·x_j + Σ_i (2·Theta2[i]·x_i... )
-//
-// Concretely: 4E = −2·Σ_{i≠j} w_ij x_i x_j + Σ_i (2θ2_i − 2w_ii)·x_i / …
-// — see the tests for the exact invariant: every state-changing sequential
-// update strictly decreases this value.
+// E(x) = −½·Σ_{i≠j} w_ij·x_i·x_j + Σ_i (θ_i − ½·w_ii)·x_i, kept integral;
+// every state-changing sequential update strictly decreases it.
 func (nw *Network) Energy4(x config.Config) int64 {
 	var e int64
 	for i := 0; i < nw.n; i++ {
 		if x.Get(i) == 0 {
 			continue
 		}
-		e += 2*nw.theta2[i] - 2*nw.w[i][i]
-		row := nw.w[i]
-		for j := 0; j < nw.n; j++ {
-			if j != i && x.Get(j) == 1 {
-				e -= 2 * row[j]
-			}
-		}
+		e += 2*nw.theta2[i] - 2*nw.Weight(i, i)
+		e -= 2 * nw.rowDot(x, i)
 	}
 	return e
 }
@@ -175,11 +297,21 @@ func (nw *Network) Bilinear4(x, y config.Config) int64 {
 	for i := 0; i < nw.n; i++ {
 		xi, yi := int64(x.Get(i)), int64(y.Get(i))
 		e += nw.theta2[i] * (xi + yi) * 2
-		if xi == 1 {
+		if xi != 1 {
+			continue
+		}
+		if nw.w != nil {
 			row := nw.w[i]
 			for j := 0; j < nw.n; j++ {
 				if y.Get(j) == 1 {
 					e -= 4 * row[j]
+				}
+			}
+		} else {
+			vals := nw.vals[i]
+			for p, j := range nw.cols[i] {
+				if y.Get(int(j)) == 1 {
+					e -= 4 * vals[p]
 				}
 			}
 		}
@@ -206,7 +338,7 @@ func (nw *Network) ConvergeSequential(x config.Config, next func() int, maxSteps
 
 // RandomNetwork builds a random symmetric network: weights uniform in
 // [−wmax, wmax] with density p, zero self-weights, odd doubled thresholds
-// uniform in [−t, t]. Deterministic in seed.
+// uniform in [−t, t]. Deterministic in seed; sparse above DenseMaxNodes.
 func RandomNetwork(n int, p float64, wmax, t int64, seed int64) *Network {
 	rng := rand.New(rand.NewSource(seed))
 	nw := NewNetwork(n)

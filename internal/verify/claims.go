@@ -44,6 +44,18 @@ func Claims() []Claim {
 			Check: checkT2,
 		},
 		{
+			ID:    "C1-HC",
+			Title: "hypercube 2-cycle: the Q_d bipartition pattern is a parallel 2-cycle for every 2 ≤ K ≤ d; quotient census agrees",
+			Paper: "Corollary 1 (hypercube analogue)",
+			Check: checkC1HC,
+		},
+		{
+			ID:    "S4B-SEQ",
+			Title: "sequential threshold dynamics on sampled random-regular and power-law graphs: cycle-free for every update order",
+			Paper: "Theorem 1 (irregular graphs)",
+			Check: checkS4BSeq,
+		},
+		{
 			ID:    "EQ-ROT",
 			Title: "rotation equivariance: F∘rot = rot∘F for translation-invariant threshold rings",
 			Paper: "§2 (translation invariance)",

@@ -5,12 +5,14 @@ import (
 	"math/rand"
 	"testing"
 
+	"repro/internal/automaton"
 	"repro/internal/bitvec"
 	"repro/internal/config"
 	"repro/internal/interleave"
 	"repro/internal/phasespace"
 	"repro/internal/rule"
 	"repro/internal/sim"
+	"repro/internal/space"
 	"repro/internal/transfer"
 )
 
@@ -58,6 +60,78 @@ func FuzzBatchVsScalar(f *testing.F) {
 				t.Fatalf("%s: batch lane %d of base %d gives %s, scalar %s",
 					cs, l, base,
 					config.FromIndex(out[l], cs.N), config.FromIndex(want, cs.N))
+			}
+		}
+	})
+}
+
+// FuzzGraphBatch cross-checks the CSR graph batch kernel against the
+// scalar stepper on fuzzer-chosen seeded graphs (random-regular,
+// power-law, hypercube) with threshold rules: all 64 lanes of a batch must
+// match the scalar successor exactly.
+func FuzzGraphBatch(f *testing.F) {
+	f.Add(uint8(0), uint8(14), uint8(3), uint8(2), uint64(0), uint64(0))
+	f.Add(uint8(1), uint8(16), uint8(2), uint8(3), uint64(7), uint64(1<<10))
+	f.Add(uint8(2), uint8(4), uint8(0), uint8(3), uint64(0), uint64(0xFFC0))
+	f.Fuzz(func(t *testing.T, fam, nb, pb, kb uint8, seed, base uint64) {
+		var sp space.Space
+		var err error
+		switch fam % 3 {
+		case 0:
+			n := 8 + int(nb)%13
+			d := 3 + int(pb)%3
+			if n*d%2 == 1 {
+				n++
+			}
+			sp, err = space.RandomRegular(n, d, int64(seed%(1<<30)))
+			if err != nil {
+				t.Skip("no pairing-model realization for this (n, d, seed)")
+			}
+		case 1:
+			n := 8 + int(nb)%13
+			m := 2 + int(pb)%3
+			sp, err = space.PowerLaw(n, m, int64(seed%(1<<30)))
+			if err != nil {
+				t.Skipf("power-law generator rejected (n=%d, m=%d): %v", n, m, err)
+			}
+		default:
+			sp = space.Hypercube(3 + int(nb)%2) // Q_3 or Q_4
+		}
+		n := sp.N()
+		maxDeg := 0
+		nbhd := make([][]int, n)
+		for i := 0; i < n; i++ {
+			nbhd[i] = sp.Neighborhood(i)
+			if len(nbhd[i]) > maxDeg {
+				maxDeg = len(nbhd[i])
+			}
+		}
+		k := int(kb) % (maxDeg + 2)
+		rules := make([]sim.GraphRule, n)
+		for i := range rules {
+			rules[i] = sim.GraphRule{K: k}
+		}
+		gk, err := sim.NewGraphBatch(nbhd, rules)
+		if err != nil {
+			t.Fatalf("NewGraphBatch(n=%d): %v", n, err)
+		}
+		a, err := automaton.New(sp, rule.Threshold{K: k})
+		if err != nil {
+			t.Fatalf("automaton on %s: %v", sp.Name(), err)
+		}
+		st := a.NewStepper()
+		base = base % (uint64(1) << uint(n)) &^ 63
+		var out [64]uint64
+		gk.Succ64(base, &out)
+		for l := 0; l < 64; l++ {
+			x := base + uint64(l)
+			if x >= uint64(1)<<uint(n) {
+				break
+			}
+			if want := stepIndex(st, n, x); out[l] != want {
+				t.Fatalf("%s threshold-%d: graph batch lane %d of base %d gives %s, scalar %s",
+					sp.Name(), k, l, base,
+					config.FromIndex(out[l], n), config.FromIndex(want, n))
 			}
 		}
 	})
