@@ -9,7 +9,10 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"runtime"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"repro/internal/async"
 	"repro/internal/automaton"
@@ -20,6 +23,7 @@ import (
 	"repro/internal/energy"
 	"repro/internal/interleave"
 	"repro/internal/phasespace"
+	rt "repro/internal/runtime"
 	"repro/internal/rule"
 	"repro/internal/sds"
 	"repro/internal/sim"
@@ -619,8 +623,8 @@ func BenchmarkAblation_QuotientVsRawParallel(b *testing.B) {
 
 // Ablation: the same raw-vs-quotient comparison for the sequential
 // (node-by-node) phase space, whose raw build writes n successors per
-// configuration. Raw is capped at MaxSequentialNodes = 20; the quotient
-// extends the paired range and MaxQuotientSequentialNodes = 26 beyond it.
+// configuration. Raw is capped at MaxSequentialNodes = 24; the quotient
+// extends the paired range and MaxQuotientSequentialNodes = 28 beyond it.
 func BenchmarkAblation_QuotientVsRawSequential(b *testing.B) {
 	a18, a20 := majRing(b, 18, 1), majRing(b, 20, 1)
 	for _, tc := range []struct {
@@ -652,10 +656,10 @@ func BenchmarkAblation_QuotientVsRawSequential(b *testing.B) {
 	}
 }
 
-// Ablation: quotient-only territory — ring sizes past the raw caps
-// (MaxEnumNodes = 26), where the symmetry quotient is the only way to get
-// an exact census at all. n = 28 enumerates ~4.8M symmetry classes
-// standing for 2^28 configurations.
+// Ablation: quotient-only territory — ring sizes where the symmetry
+// quotient beats even the streaming raw classifier by walking only ~2^n/2n
+// symmetry classes. n = 28 enumerates ~4.8M classes standing for 2^28
+// configurations.
 func BenchmarkAblation_QuotientBeyondRawCap(b *testing.B) {
 	a := majRing(b, 28, 1)
 	b.ReportAllocs()
@@ -937,5 +941,162 @@ func BenchmarkAblation_PORPrune(b *testing.B) {
 			}
 		}
 		b.ReportMetric(float64(explored), "schedules/op")
+	})
+}
+
+// reportPeakHeap runs the benchmark loop with a background sampler polling
+// runtime.ReadMemStats and reports the heap high-water mark above the
+// pre-run baseline as a "peak-B" metric. B/op only counts cumulative
+// allocation; peak-B is what distinguishes a streaming classifier (small
+// live set, regenerated blocks) from a dense one (whole-table live set),
+// so it is the metric the -mem-threshold compare gate watches. Sampling at
+// 2ms misses sub-millisecond spikes, which is fine: the arrays that matter
+// here live for the whole classification.
+func reportPeakHeap(b *testing.B, fn func()) {
+	b.Helper()
+	runtime.GC()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	base := ms.HeapAlloc
+	var peak atomic.Uint64
+	peak.Store(base)
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		tick := time.NewTicker(2 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-tick.C:
+				var s runtime.MemStats
+				runtime.ReadMemStats(&s)
+				if v := s.HeapAlloc; v > peak.Load() {
+					peak.Store(v)
+				}
+			}
+		}
+	}()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fn()
+	}
+	b.StopTimer()
+	close(stop)
+	<-done
+	runtime.ReadMemStats(&ms)
+	if v := ms.HeapAlloc; v > peak.Load() {
+		peak.Store(v)
+	}
+	p := peak.Load()
+	if p > base {
+		p -= base
+	} else {
+		p = 0
+	}
+	b.ReportMetric(float64(p), "peak-B")
+}
+
+// Ablation (tentpole): table-free streaming classification vs the dense
+// successor table on the full pipeline (build + cycles + census) at
+// n = 26, the old MaxEnumNodes frontier. Dense materializes the 256 MiB
+// uint32 table plus ~total*32 B of classifier arrays; streaming keeps only
+// bitsets and a sparse cycle-id directory and regenerates successors from
+// the batch kernel in 64-configuration blocks, so its peak-B high-water mark
+// must come in ≥ 4× below dense (the acceptance gate EXPERIMENTS.md
+// appendix B records; byte-identical output is pinned by
+// internal/phasespace/stream_test.go and FuzzStreamVsDense).
+func BenchmarkAblation_StreamVsDenseClassify(b *testing.B) {
+	const n = 26
+	a := majRing(b, n, 1)
+	check := func(b *testing.B, p *phasespace.Parallel) {
+		b.Helper()
+		if c := p.TakeCensus(); c.Configs != uint64(1)<<uint(n) || c.MaxPeriod != 2 {
+			b.Fatalf("census shape: %+v", c)
+		}
+	}
+	b.Run(fmt.Sprintf("dense/n=%d", n), func(b *testing.B) {
+		b.ReportAllocs()
+		reportPeakHeap(b, func() {
+			p, err := phasespace.BuildParallelOpts(context.Background(), a, phasespace.BuildOptions{
+				Options:  rt.Options{Workers: 1},
+				Strategy: phasespace.StrategyDense,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			check(b, p)
+		})
+	})
+	b.Run(fmt.Sprintf("stream/n=%d", n), func(b *testing.B) {
+		b.ReportAllocs()
+		reportPeakHeap(b, func() {
+			p, err := phasespace.BuildParallelOpts(context.Background(), a, phasespace.BuildOptions{
+				Options:  rt.Options{Workers: 1},
+				Strategy: phasespace.StrategyStream,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			check(b, p)
+		})
+	})
+}
+
+// Ablation: the same dense-vs-streaming memory comparison for the
+// sequential (node-by-node) phase space at n = 22. Dense stores n uint32
+// successors per configuration (~352 MiB); the flip-bitset mode exploits
+// the Hamming-1 structure of single-node updates and stores one flip bit
+// per (configuration, node) pair (~11 MiB), a 32× table compression that
+// peak-B makes visible end to end.
+func BenchmarkAblation_StreamVsDenseSequential(b *testing.B) {
+	const n = 22
+	a := majRing(b, n, 1)
+	for _, tc := range []struct {
+		name     string
+		strategy phasespace.Strategy
+	}{{"dense", phasespace.StrategyDense}, {"flip", phasespace.StrategyStream}} {
+		tc := tc
+		b.Run(fmt.Sprintf("%s/n=%d", tc.name, n), func(b *testing.B) {
+			b.ReportAllocs()
+			reportPeakHeap(b, func() {
+				s, err := phasespace.BuildSequentialOpts(context.Background(), a, phasespace.BuildOptions{
+					Options:  rt.Options{Workers: 1},
+					Strategy: tc.strategy,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if c := s.TakeCensus(); !c.Acyclic {
+					b.Fatal("threshold SCA must be acyclic")
+				}
+			})
+		})
+	}
+}
+
+// Ablation: streaming-only territory — an exact raw census at n = 28, past
+// the dense classifier's practical envelope (a dense build would need
+// ~8.6 GiB of live arrays; the label-free census sweeps stay in the
+// hundreds of MiB, dominated by bitsets). This is the raw-space
+// counterpart of
+// BenchmarkAblation_QuotientBeyondRawCap: no symmetry assumption, any
+// automaton the kernels can evaluate.
+func BenchmarkAblation_StreamBeyondDenseCap(b *testing.B) {
+	a := majRing(b, 28, 1)
+	b.ReportAllocs()
+	reportPeakHeap(b, func() {
+		p, err := phasespace.BuildParallelOpts(context.Background(), a, phasespace.BuildOptions{
+			Strategy: phasespace.StrategyStream,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		c := p.TakeCensus()
+		if c.Configs != 1<<28 || c.FixedPoints == 0 || c.MaxPeriod != 2 {
+			b.Fatalf("census shape: %+v", c)
+		}
 	})
 }

@@ -10,11 +10,13 @@ import (
 
 // Delta is one benchmark's baseline-vs-current comparison. Pct is the
 // relative ns/op change in percent (positive = slower); allocation metrics
-// (B/op, allocs/op, present when the runs used -benchmem) are diffed and
-// reported alongside but never gate — the regression threshold applies to
-// ns/op only. Benchmarks present in only one report are carried through
-// with OnlyOld/OnlyNew set and never count as regressions — a renamed
-// benchmark should not fail CI, a slower one should.
+// (B/op, allocs/op, present when the runs used -benchmem) and the peak-B
+// high-water heap metric (present when the benchmark called
+// reportPeakHeap) are diffed and reported alongside. ns/op always gates;
+// B/op and peak-B gate only when a -mem-threshold was given. Benchmarks
+// present in only one report are carried through with OnlyOld/OnlyNew set
+// and never count as regressions — a renamed benchmark should not fail
+// CI, a slower one should.
 type Delta struct {
 	Name      string  `json:"name"`
 	OldNs     float64 `json:"old_ns_per_op,omitempty"`
@@ -26,6 +28,9 @@ type Delta struct {
 	OldAllocs int64   `json:"old_allocs_per_op,omitempty"`
 	NewAllocs int64   `json:"new_allocs_per_op,omitempty"`
 	AllocsPct float64 `json:"allocs_pct,omitempty"`
+	OldPeakB  float64 `json:"old_peak_b,omitempty"`
+	NewPeakB  float64 `json:"new_peak_b,omitempty"`
+	PeakPct   float64 `json:"peak_pct,omitempty"`
 	OnlyOld   bool    `json:"only_old,omitempty"`
 	OnlyNew   bool    `json:"only_new,omitempty"`
 }
@@ -36,10 +41,29 @@ func (d Delta) Regressed(thresholdPct float64) bool {
 	return !d.OnlyOld && !d.OnlyNew && d.Pct > thresholdPct
 }
 
+// RegressedMem reports whether the delta exceeds the memory threshold (in
+// percent) on either gated memory axis: allocated B/op or the peak-B
+// high-water heap. A negative threshold disables the gate — the default,
+// so existing comparisons keep their timing-only contract.
+func (d Delta) RegressedMem(memThresholdPct float64) bool {
+	if memThresholdPct < 0 || d.OnlyOld || d.OnlyNew {
+		return false
+	}
+	return (d.OldBytes > 0 && d.BytesPct > memThresholdPct) ||
+		(d.OldPeakB > 0 && d.PeakPct > memThresholdPct)
+}
+
+// peakB extracts the high-water heap metric a benchmark reported via
+// reportPeakHeap, or 0 when the run recorded none.
+func peakB(r Result) float64 {
+	return r.Extra["peak-B"]
+}
+
 // compareReports pairs the two reports' results by benchmark name and
 // returns every delta (sorted worst-first) plus the subset regressing past
-// thresholdPct.
-func compareReports(baseline, current *Report, thresholdPct float64) (deltas, regressions []Delta) {
+// thresholdPct on ns/op or past memThresholdPct on B/op / peak-B (the
+// memory gate is off when memThresholdPct is negative).
+func compareReports(baseline, current *Report, thresholdPct, memThresholdPct float64) (deltas, regressions []Delta) {
 	old := make(map[string]Result, len(baseline.Results))
 	for _, r := range baseline.Results {
 		old[r.Name] = r
@@ -52,7 +76,8 @@ func compareReports(baseline, current *Report, thresholdPct float64) (deltas, re
 			deltas = append(deltas, Delta{
 				Name: r.Name, NewNs: r.NsPerOp,
 				NewBytes: r.BytesPerOp, NewAllocs: r.AllocsPerOp,
-				OnlyNew: true,
+				NewPeakB: peakB(r),
+				OnlyNew:  true,
 			})
 			continue
 		}
@@ -61,6 +86,7 @@ func compareReports(baseline, current *Report, thresholdPct float64) (deltas, re
 			OldNs: o.NsPerOp, NewNs: r.NsPerOp,
 			OldBytes: o.BytesPerOp, NewBytes: r.BytesPerOp,
 			OldAllocs: o.AllocsPerOp, NewAllocs: r.AllocsPerOp,
+			OldPeakB: peakB(o), NewPeakB: peakB(r),
 		}
 		if o.NsPerOp > 0 {
 			d.Pct = (r.NsPerOp - o.NsPerOp) / o.NsPerOp * 100
@@ -71,6 +97,9 @@ func compareReports(baseline, current *Report, thresholdPct float64) (deltas, re
 		if o.AllocsPerOp > 0 {
 			d.AllocsPct = float64(r.AllocsPerOp-o.AllocsPerOp) / float64(o.AllocsPerOp) * 100
 		}
+		if d.OldPeakB > 0 {
+			d.PeakPct = (d.NewPeakB - d.OldPeakB) / d.OldPeakB * 100
+		}
 		deltas = append(deltas, d)
 	}
 	for _, r := range baseline.Results {
@@ -78,7 +107,8 @@ func compareReports(baseline, current *Report, thresholdPct float64) (deltas, re
 			deltas = append(deltas, Delta{
 				Name: r.Name, OldNs: r.NsPerOp,
 				OldBytes: r.BytesPerOp, OldAllocs: r.AllocsPerOp,
-				OnlyOld: true,
+				OldPeakB: peakB(r),
+				OnlyOld:  true,
 			})
 		}
 	}
@@ -89,7 +119,7 @@ func compareReports(baseline, current *Report, thresholdPct float64) (deltas, re
 		return deltas[i].Name < deltas[j].Name
 	})
 	for _, d := range deltas {
-		if d.Regressed(thresholdPct) {
+		if d.Regressed(thresholdPct) || d.RegressedMem(memThresholdPct) {
 			regressions = append(regressions, d)
 		}
 	}
@@ -110,23 +140,26 @@ func loadReport(path string) (*Report, error) {
 }
 
 // printDeltas writes the per-benchmark comparison, worst regression first.
-// Rows carry the allocation deltas (when either report recorded them)
-// after the timing delta; only the timing column can carry the regression
-// mark.
-func printDeltas(w io.Writer, deltas []Delta, thresholdPct float64) {
+// Rows carry the allocation and peak-heap deltas (when either report
+// recorded them) after the timing delta; the leading mark flags a row
+// regressing on any gated axis (timing always, memory when a
+// -mem-threshold was given).
+func printDeltas(w io.Writer, deltas []Delta, thresholdPct, memThresholdPct float64) {
 	for _, d := range deltas {
 		switch {
 		case d.OnlyNew:
-			fmt.Fprintf(w, "  new      %-60s %12.1f ns/op%s\n", d.Name, d.NewNs, soloAlloc(d.NewBytes, d.NewAllocs))
+			fmt.Fprintf(w, "  new      %-60s %12.1f ns/op%s%s\n",
+				d.Name, d.NewNs, soloAlloc(d.NewBytes, d.NewAllocs), soloPeak(d.NewPeakB))
 		case d.OnlyOld:
-			fmt.Fprintf(w, "  removed  %-60s %12.1f ns/op%s\n", d.Name, d.OldNs, soloAlloc(d.OldBytes, d.OldAllocs))
+			fmt.Fprintf(w, "  removed  %-60s %12.1f ns/op%s%s\n",
+				d.Name, d.OldNs, soloAlloc(d.OldBytes, d.OldAllocs), soloPeak(d.OldPeakB))
 		default:
 			mark := " "
-			if d.Regressed(thresholdPct) {
+			if d.Regressed(thresholdPct) || d.RegressedMem(memThresholdPct) {
 				mark = "!"
 			}
-			fmt.Fprintf(w, "%s %+7.1f%%  %-60s %12.1f -> %12.1f ns/op%s\n",
-				mark, d.Pct, d.Name, d.OldNs, d.NewNs, allocDelta(d))
+			fmt.Fprintf(w, "%s %+7.1f%%  %-60s %12.1f -> %12.1f ns/op%s%s\n",
+				mark, d.Pct, d.Name, d.OldNs, d.NewNs, allocDelta(d), peakDelta(d))
 		}
 	}
 }
@@ -141,6 +174,15 @@ func allocDelta(d Delta) string {
 		d.BytesPct, d.OldBytes, d.NewBytes, d.AllocsPct, d.OldAllocs, d.NewAllocs)
 }
 
+// peakDelta formats the peak-B portion of a comparison row, or "" when
+// neither run reported a high-water heap.
+func peakDelta(d Delta) string {
+	if d.OldPeakB == 0 && d.NewPeakB == 0 {
+		return ""
+	}
+	return fmt.Sprintf("  %+7.1f%% %.0f -> %.0f peak-B", d.PeakPct, d.OldPeakB, d.NewPeakB)
+}
+
 // soloAlloc formats the single-sided allocation metrics of a new/removed
 // row, or "" when that run recorded none.
 func soloAlloc(bytes, allocs int64) string {
@@ -148,4 +190,12 @@ func soloAlloc(bytes, allocs int64) string {
 		return ""
 	}
 	return fmt.Sprintf("  %d B/op  %d allocs/op", bytes, allocs)
+}
+
+// soloPeak is soloAlloc's peak-B counterpart for new/removed rows.
+func soloPeak(peak float64) string {
+	if peak == 0 {
+		return ""
+	}
+	return fmt.Sprintf("  %.0f peak-B", peak)
 }

@@ -19,7 +19,7 @@ func TestCompareReportsDetectsSyntheticRegression(t *testing.T) {
 		Result{Name: "BenchmarkA", NsPerOp: 104},
 		Result{Name: "BenchmarkB", NsPerOp: 1400},
 	)
-	deltas, regressions := compareReports(baseline, current, 15)
+	deltas, regressions := compareReports(baseline, current, 15, -1)
 	if len(deltas) != 2 {
 		t.Fatalf("got %d deltas, want 2", len(deltas))
 	}
@@ -44,7 +44,7 @@ func TestCompareReportsImprovementAndNoise(t *testing.T) {
 		Result{Name: "BenchmarkFast", NsPerOp: 50},    // 4x speedup
 		Result{Name: "BenchmarkSteady", NsPerOp: 555}, // +11%: within threshold
 	)
-	_, regressions := compareReports(baseline, current, 15)
+	_, regressions := compareReports(baseline, current, 15, -1)
 	if len(regressions) != 0 {
 		t.Fatalf("improvement/noise flagged as regression: %+v", regressions)
 	}
@@ -53,7 +53,7 @@ func TestCompareReportsImprovementAndNoise(t *testing.T) {
 func TestCompareReportsDisjointNames(t *testing.T) {
 	baseline := report(Result{Name: "BenchmarkGone", NsPerOp: 10})
 	current := report(Result{Name: "BenchmarkNew", NsPerOp: 999999})
-	deltas, regressions := compareReports(baseline, current, 15)
+	deltas, regressions := compareReports(baseline, current, 15, -1)
 	if len(regressions) != 0 {
 		t.Fatalf("renamed benchmarks must not regress: %+v", regressions)
 	}
@@ -74,9 +74,9 @@ func TestCompareReportsDisjointNames(t *testing.T) {
 func TestPrintDeltasMarksRegressions(t *testing.T) {
 	baseline := report(Result{Name: "BenchmarkSlow", NsPerOp: 100})
 	current := report(Result{Name: "BenchmarkSlow", NsPerOp: 200})
-	deltas, _ := compareReports(baseline, current, 15)
+	deltas, _ := compareReports(baseline, current, 15, -1)
 	var b strings.Builder
-	printDeltas(&b, deltas, 15)
+	printDeltas(&b, deltas, 15, -1)
 	if !strings.Contains(b.String(), "!") || !strings.Contains(b.String(), "+100.0%") {
 		t.Fatalf("regression line not marked:\n%s", b.String())
 	}
@@ -89,7 +89,7 @@ func TestCompareReportsDiffsAllocationMetrics(t *testing.T) {
 	current := report(
 		Result{Name: "BenchmarkMem", NsPerOp: 105, BytesPerOp: 1024, AllocsPerOp: 40},
 	)
-	deltas, regressions := compareReports(baseline, current, 15)
+	deltas, regressions := compareReports(baseline, current, 15, -1)
 	if len(deltas) != 1 {
 		t.Fatalf("got %d deltas, want 1", len(deltas))
 	}
@@ -108,7 +108,7 @@ func TestCompareReportsDiffsAllocationMetrics(t *testing.T) {
 		t.Fatalf("allocation-only change flagged as regression: %+v", regressions)
 	}
 	var b strings.Builder
-	printDeltas(&b, deltas, 15)
+	printDeltas(&b, deltas, 15, -1)
 	out := b.String()
 	for _, want := range []string{"4096 -> 1024 B/op", "10 -> 40 allocs/op", "-75.0%", "+300.0%"} {
 		if !strings.Contains(out, want) {
@@ -120,9 +120,9 @@ func TestCompareReportsDiffsAllocationMetrics(t *testing.T) {
 func TestPrintDeltasOmitsAllocsWhenAbsent(t *testing.T) {
 	baseline := report(Result{Name: "BenchmarkPlain", NsPerOp: 100})
 	current := report(Result{Name: "BenchmarkPlain", NsPerOp: 110})
-	deltas, _ := compareReports(baseline, current, 15)
+	deltas, _ := compareReports(baseline, current, 15, -1)
 	var b strings.Builder
-	printDeltas(&b, deltas, 15)
+	printDeltas(&b, deltas, 15, -1)
 	if strings.Contains(b.String(), "B/op") || strings.Contains(b.String(), "allocs/op") {
 		t.Fatalf("allocation columns printed for a timing-only report:\n%s", b.String())
 	}
@@ -135,7 +135,7 @@ func TestCompareReportsCarriesAllocsOnOneSidedRows(t *testing.T) {
 	current := report(
 		Result{Name: "BenchmarkNew", NsPerOp: 20, BytesPerOp: 2048, AllocsPerOp: 7},
 	)
-	deltas, _ := compareReports(baseline, current, 15)
+	deltas, _ := compareReports(baseline, current, 15, -1)
 	for _, d := range deltas {
 		switch {
 		case d.OnlyNew:
@@ -149,7 +149,7 @@ func TestCompareReportsCarriesAllocsOnOneSidedRows(t *testing.T) {
 		}
 	}
 	var b strings.Builder
-	printDeltas(&b, deltas, 15)
+	printDeltas(&b, deltas, 15, -1)
 	out := b.String()
 	for _, want := range []string{"2048 B/op", "7 allocs/op", "512 B/op", "3 allocs/op"} {
 		if !strings.Contains(out, want) {
@@ -157,10 +157,77 @@ func TestCompareReportsCarriesAllocsOnOneSidedRows(t *testing.T) {
 		}
 	}
 	// Timing-only one-sided rows still omit the allocation columns.
-	deltas, _ = compareReports(report(), report(Result{Name: "BenchmarkPlainNew", NsPerOp: 5}), 15)
+	deltas, _ = compareReports(report(), report(Result{Name: "BenchmarkPlainNew", NsPerOp: 5}), 15, -1)
 	b.Reset()
-	printDeltas(&b, deltas, 15)
+	printDeltas(&b, deltas, 15, -1)
 	if strings.Contains(b.String(), "B/op") {
 		t.Errorf("timing-only new row printed allocation columns:\n%s", b.String())
+	}
+}
+
+func TestCompareReportsMemoryGate(t *testing.T) {
+	baseline := report(
+		Result{Name: "BenchmarkHeap", NsPerOp: 100, BytesPerOp: 1000,
+			Extra: map[string]float64{"peak-B": 1 << 20}},
+		Result{Name: "BenchmarkSteadyHeap", NsPerOp: 100, BytesPerOp: 1000,
+			Extra: map[string]float64{"peak-B": 1 << 20}},
+	)
+	// Heap doubles its high-water mark at unchanged timing; SteadyHeap only
+	// drifts 5% on both memory axes.
+	current := report(
+		Result{Name: "BenchmarkHeap", NsPerOp: 100, BytesPerOp: 1000,
+			Extra: map[string]float64{"peak-B": 2 << 20}},
+		Result{Name: "BenchmarkSteadyHeap", NsPerOp: 100, BytesPerOp: 1050,
+			Extra: map[string]float64{"peak-B": 1.05 * (1 << 20)}},
+	)
+	// Gate off (negative mem threshold): a pure memory regression passes.
+	if _, regressions := compareReports(baseline, current, 15, -1); len(regressions) != 0 {
+		t.Fatalf("memory regression gated with -mem-threshold off: %+v", regressions)
+	}
+	// Gate on: only the doubled high-water mark regresses.
+	deltas, regressions := compareReports(baseline, current, 15, 25)
+	if len(regressions) != 1 || regressions[0].Name != "BenchmarkHeap" {
+		t.Fatalf("regressions = %+v, want exactly BenchmarkHeap", regressions)
+	}
+	if got := regressions[0].PeakPct; got < 99.9 || got > 100.1 {
+		t.Errorf("PeakPct = %.2f, want ~100", got)
+	}
+	var b strings.Builder
+	printDeltas(&b, deltas, 15, 25)
+	out := b.String()
+	if !strings.Contains(out, "peak-B") {
+		t.Fatalf("peak-B column missing:\n%s", out)
+	}
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, "BenchmarkHeap ") && !strings.HasPrefix(line, "!") {
+			t.Errorf("memory regression not marked: %q", line)
+		}
+	}
+}
+
+func TestCompareReportsBytesPerOpGate(t *testing.T) {
+	baseline := report(Result{Name: "BenchmarkAlloc", NsPerOp: 100, BytesPerOp: 1000})
+	current := report(Result{Name: "BenchmarkAlloc", NsPerOp: 100, BytesPerOp: 1500})
+	if _, regressions := compareReports(baseline, current, 15, 25); len(regressions) != 1 {
+		t.Fatalf("+50%% B/op not gated at -mem-threshold 25: %+v", regressions)
+	}
+	if _, regressions := compareReports(baseline, current, 15, 75); len(regressions) != 0 {
+		t.Fatalf("+50%% B/op gated at -mem-threshold 75: %+v", regressions)
+	}
+}
+
+func TestPeakMetricOnOneSidedRows(t *testing.T) {
+	deltas, regressions := compareReports(
+		report(),
+		report(Result{Name: "BenchmarkNewPeak", NsPerOp: 5,
+			Extra: map[string]float64{"peak-B": 4096}}),
+		15, 10)
+	if len(regressions) != 0 {
+		t.Fatalf("new benchmark with peak-B counted as regression: %+v", regressions)
+	}
+	var b strings.Builder
+	printDeltas(&b, deltas, 15, 10)
+	if !strings.Contains(b.String(), "4096 peak-B") {
+		t.Fatalf("one-sided peak-B not printed:\n%s", b.String())
 	}
 }

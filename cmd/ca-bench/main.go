@@ -44,6 +44,7 @@ func main() {
 		benchtime = flag.String("benchtime", "", "go test -benchtime value, e.g. 0.2s or 100x (default: go's)")
 		compare   = flag.String("compare", "", "baseline report JSON to diff against; regressions beyond -threshold fail")
 		threshold = flag.Float64("threshold", 15, "ns/op slowdown percentage treated as a regression (with -compare)")
+		memThresh = flag.Float64("mem-threshold", -1, "B/op or peak-B growth percentage treated as a regression (with -compare; -1 = off)")
 
 		serveLoad     = flag.Bool("serve-load", false, "run the ca-serve load generator instead of go test benchmarks")
 		serveURL      = flag.String("serve-url", "", "ca-serve base URL to load (empty = start a server in-process)")
@@ -86,7 +87,7 @@ func main() {
 			Timeout:       *timeout,
 		}, *out)
 	} else {
-		err = run(*bench, *out, *dir, *input, *compare, *benchtime, *parse, *timeout, *threshold)
+		err = run(*bench, *out, *dir, *input, *compare, *benchtime, *parse, *timeout, *threshold, *memThresh)
 	}
 	stopSig()
 	stopProf() // explicit: the os.Exit paths below skip defers
@@ -109,7 +110,7 @@ var errRegression = errors.New("performance regression beyond threshold")
 // failures so CI can report it precisely.
 const regressionExitCode = 3
 
-func run(bench, out, dir, input, compare, benchtime string, parseOnly bool, timeout time.Duration, threshold float64) error {
+func run(bench, out, dir, input, compare, benchtime string, parseOnly bool, timeout time.Duration, threshold, memThreshold float64) error {
 	var raw []byte
 	var err error
 	if parseOnly {
@@ -165,12 +166,16 @@ func run(bench, out, dir, input, compare, benchtime string, parseOnly bool, time
 		if err != nil {
 			return fmt.Errorf("-compare: %w", err)
 		}
-		deltas, regressions := compareReports(baseline, &report, threshold)
-		fmt.Printf("\ncomparison against %s (threshold %+.0f%% ns/op):\n", compare, threshold)
-		printDeltas(os.Stdout, deltas, threshold)
+		deltas, regressions := compareReports(baseline, &report, threshold, memThreshold)
+		gate := fmt.Sprintf("threshold %+.0f%% ns/op", threshold)
+		if memThreshold >= 0 {
+			gate += fmt.Sprintf(", %+.0f%% B/op or peak-B", memThreshold)
+		}
+		fmt.Printf("\ncomparison against %s (%s):\n", compare, gate)
+		printDeltas(os.Stdout, deltas, threshold, memThreshold)
 		if len(regressions) > 0 {
-			return fmt.Errorf("%w: %d benchmark(s) slower than baseline by more than %.0f%%",
-				errRegression, len(regressions), threshold)
+			return fmt.Errorf("%w: %d benchmark(s) worse than baseline beyond the gate (%s)",
+				errRegression, len(regressions), gate)
 		}
 		fmt.Println("no regressions beyond threshold")
 	}

@@ -69,7 +69,7 @@ func TestRunParseMode(t *testing.T) {
 		t.Fatal(err)
 	}
 	out := filepath.Join(dir, "bench.json")
-	if err := run(".", out, dir, in, "", "", true, time.Minute, 15); err != nil {
+	if err := run(".", out, dir, in, "", "", true, time.Minute, 15, -1); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(out)
@@ -91,7 +91,7 @@ func TestRunParseModeRejectsEmptyLog(t *testing.T) {
 	if err := os.WriteFile(in, []byte("no benchmarks here\n"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(".", filepath.Join(dir, "x.json"), dir, in, "", "", true, time.Minute, 15); err == nil {
+	if err := run(".", filepath.Join(dir, "x.json"), dir, in, "", "", true, time.Minute, 15, -1); err == nil {
 		t.Fatal("empty log accepted")
 	}
 }

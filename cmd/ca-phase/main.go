@@ -55,6 +55,8 @@ func main() {
 		memoize    = flag.Bool("memoize", false, "reuse in-process memoized successor tables across builds")
 		quotient   = flag.Bool("quotient", false, "enumerate dihedral symmetry classes (necklace representatives) instead of raw configurations; census tables are lifted to identical full-space counts by orbit weighting")
 		analytic   = flag.Bool("analytic", false, "transfer-matrix analytic census: exact fixed-point / 2-cycle / Garden-of-Eden counts in O(log n), no enumeration; ring spaces only, ST quantities only — n is unbounded")
+		strategy   = flag.String("strategy", "auto", "phase-space storage: auto | dense | stream (auto streams when the dense tables would exceed -mem-budget-mb)")
+		memBudget  = flag.Int("mem-budget-mb", 0, "dense-vs-streaming crossover for -strategy auto, in MiB (0 = 512)")
 	)
 	prof := cli.NewProfile()
 	flag.Parse()
@@ -62,17 +64,19 @@ func main() {
 		cli.Positive("-n", *n),
 		cli.NonNegative("-r", *r),
 		cli.NonNegative("-workers", *workers),
+		cli.NonNegative("-mem-budget-mb", *memBudget),
 		cli.Writable("-checkpoint", *checkpoint),
 	))
+	strat, err := parseStrategy(*strategy)
+	cli.Exit2("ca-phase", err)
 	stopProf := prof.MustStart("ca-phase")
 	// Second SIGINT/SIGTERM force-exits but still flushes the profiles.
 	ctx, stop := cli.ForcedSignalContext(context.Background(), stopProf)
 	defer stop()
-	var err error
 	if *analytic {
 		err = runAnalytic(*n, *r, *ruleSpec, *spSpec, *dot, *noMemory, *quotient)
 	} else {
-		err = run(ctx, *n, *r, *ruleSpec, *spSpec, *dot, *verbose, *noMemory, *workers, *checkpoint, *resume, *faults, *memoize, *quotient)
+		err = run(ctx, *n, *r, *ruleSpec, *spSpec, *dot, *verbose, *noMemory, *workers, *checkpoint, *resume, *faults, *memoize, *quotient, strat, *memBudget)
 	}
 	stopProf() // explicit: the os.Exit paths below skip defers
 	switch {
@@ -85,7 +89,20 @@ func main() {
 	}
 }
 
-func run(ctx context.Context, n, r int, ruleSpec, spSpec, dot string, verbose, noMemory bool, workers int, checkpoint string, resume bool, faults string, memoize, quotient bool) error {
+// parseStrategy maps the -strategy flag to a phasespace.Strategy.
+func parseStrategy(s string) (phasespace.Strategy, error) {
+	switch s {
+	case "auto":
+		return phasespace.StrategyAuto, nil
+	case "dense":
+		return phasespace.StrategyDense, nil
+	case "stream":
+		return phasespace.StrategyStream, nil
+	}
+	return phasespace.StrategyAuto, fmt.Errorf("-strategy must be auto, dense or stream, got %q", s)
+}
+
+func run(ctx context.Context, n, r int, ruleSpec, spSpec, dot string, verbose, noMemory bool, workers int, checkpoint string, resume bool, faults string, memoize, quotient bool, strat phasespace.Strategy, memBudgetMB int) error {
 	sp, err := parseSpace(spSpec, n, r)
 	if err != nil {
 		return err
@@ -108,10 +125,12 @@ func run(ctx context.Context, n, r int, ruleSpec, spSpec, dot string, verbose, n
 		return err
 	}
 	opts := phasespace.BuildOptions{
-		Options:    runtime.Options{Workers: workers},
-		Checkpoint: checkpoint,
-		Resume:     resume,
-		Memoize:    memoize,
+		Options:      runtime.Options{Workers: workers},
+		Checkpoint:   checkpoint,
+		Resume:       resume,
+		Memoize:      memoize,
+		Strategy:     strat,
+		MemoryBudget: int64(memBudgetMB) << 20,
 	}
 	if plan != nil {
 		opts.Hooks = plan

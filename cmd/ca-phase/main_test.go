@@ -2,8 +2,10 @@ package main
 
 import (
 	"context"
+
 	"io"
 	"os"
+	"repro/internal/phasespace"
 	"testing"
 )
 
@@ -61,19 +63,19 @@ func TestRunSmoke(t *testing.T) {
 	// Full analysis path on a tiny automaton (stdout noise is acceptable in
 	// tests; correctness of the numbers is covered by the phasespace suite).
 	ctx := context.Background()
-	if err := run(ctx, 4, 1, "majority", "ring", "", false, false, 0, "", false, "", false, false); err != nil {
+	if err := run(ctx, 4, 1, "majority", "ring", "", false, false, 0, "", false, "", false, false, phasespace.StrategyAuto, 0); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(ctx, 4, 1, "xor", "ring", "", true, true, 2, "", false, "", false, false); err != nil {
+	if err := run(ctx, 4, 1, "xor", "ring", "", true, true, 2, "", false, "", false, false, phasespace.StrategyAuto, 0); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(ctx, 2, 1, "xor", "complete", "sequential", false, false, 1, "", false, "", false, false); err != nil {
+	if err := run(ctx, 2, 1, "xor", "complete", "sequential", false, false, 1, "", false, "", false, false, phasespace.StrategyAuto, 0); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(ctx, 4, 1, "majority", "ring", "bogus", false, false, 0, "", false, "", false, false); err == nil {
+	if err := run(ctx, 4, 1, "majority", "ring", "bogus", false, false, 0, "", false, "", false, false, phasespace.StrategyAuto, 0); err == nil {
 		t.Fatal("bogus dot mode accepted")
 	}
-	if err := run(ctx, 4, 1, "majority", "ring", "", false, false, 0, "", false, "explode:1", false, false); err == nil {
+	if err := run(ctx, 4, 1, "majority", "ring", "", false, false, 0, "", false, "explode:1", false, false, phasespace.StrategyAuto, 0); err == nil {
 		t.Fatal("bad fault spec accepted")
 	}
 }
@@ -83,10 +85,10 @@ func TestRunSmoke(t *testing.T) {
 func TestRunSmokeCheckpointed(t *testing.T) {
 	ckpt := t.TempDir() + "/phase.ckpt.gz"
 	ctx := context.Background()
-	if err := run(ctx, 12, 1, "majority", "ring", "", false, false, 2, ckpt, false, "", false, false); err != nil {
+	if err := run(ctx, 12, 1, "majority", "ring", "", false, false, 2, ckpt, false, "", false, false, phasespace.StrategyAuto, 0); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(ctx, 12, 1, "majority", "ring", "", false, false, 2, ckpt, true, "", false, false); err != nil {
+	if err := run(ctx, 12, 1, "majority", "ring", "", false, false, 2, ckpt, true, "", false, false, phasespace.StrategyAuto, 0); err != nil {
 		t.Fatalf("resume over a complete checkpoint failed: %v", err)
 	}
 }
@@ -101,7 +103,7 @@ func captureRun(t *testing.T, quotient bool, n int, rule string, workers int) st
 		t.Fatal(err)
 	}
 	os.Stdout = w
-	runErr := run(context.Background(), n, 1, rule, "ring", "", false, false, workers, "", false, "", false, quotient)
+	runErr := run(context.Background(), n, 1, rule, "ring", "", false, false, workers, "", false, "", false, quotient, phasespace.StrategyAuto, 0)
 	w.Close()
 	os.Stdout = old
 	out, err := io.ReadAll(r)
@@ -133,13 +135,13 @@ func TestQuotientOutputMatchesRaw(t *testing.T) {
 // DOT export must error, not panic.
 func TestQuotientRunRejections(t *testing.T) {
 	ctx := context.Background()
-	if err := run(ctx, 10, 1, "xor", "ring", "", false, false, 1, "", false, "", false, true); err == nil {
+	if err := run(ctx, 10, 1, "xor", "ring", "", false, false, 1, "", false, "", false, true, phasespace.StrategyAuto, 0); err == nil {
 		t.Fatal("-quotient accepted a non-threshold rule")
 	}
-	if err := run(ctx, 10, 1, "majority", "line", "", false, false, 1, "", false, "", false, true); err == nil {
+	if err := run(ctx, 10, 1, "majority", "line", "", false, false, 1, "", false, "", false, true, phasespace.StrategyAuto, 0); err == nil {
 		t.Fatal("-quotient accepted a non-circulant space")
 	}
-	if err := run(ctx, 10, 1, "majority", "ring", "parallel", false, false, 1, "", false, "", false, true); err == nil {
+	if err := run(ctx, 10, 1, "majority", "ring", "parallel", false, false, 1, "", false, "", false, true, phasespace.StrategyAuto, 0); err == nil {
 		t.Fatal("-quotient accepted -dot export")
 	}
 }

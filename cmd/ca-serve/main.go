@@ -54,6 +54,7 @@ func main() {
 		retries      = flag.Int("retries", 0, "supervised per-shard retry budget (0 = default)")
 		faults       = flag.String("faults", "", "fault plan, e.g. 'http:503:0.05,panic:3,delay:1=2ms'")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "bound on finishing in-flight work after SIGTERM")
+		memBudgetMB  = flag.Int("mem-budget-mb", 0, "per-build dense-vs-streaming crossover in MiB (0 = 512)")
 	)
 	flag.Parse()
 	cli.Exit2("ca-serve", cli.First(
@@ -63,6 +64,7 @@ func main() {
 		cli.PositiveDuration("-drain-timeout", *drainTimeout),
 		cli.NonNegative("-workers", *workers),
 		cli.NonNegative("-retries", *retries),
+		cli.NonNegative("-mem-budget-mb", *memBudgetMB),
 	))
 	var plan *faultinject.Plan
 	if *faults != "" {
@@ -79,6 +81,7 @@ func main() {
 		QueueDepth: *queue,
 		MaxTimeout: *timeout,
 		Faults:     plan,
+		MemBudget:  int64(*memBudgetMB) << 20,
 	}
 	ctx, stop := cli.ForcedSignalContext(context.Background(), nil)
 	code := run(ctx, cfg, *addr, *drainTimeout, nil, os.Stdout, os.Stderr)

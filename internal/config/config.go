@@ -176,10 +176,15 @@ func (c Config) Gather(nodes []int, dst []uint8) []uint8 {
 // MaxEnumNodes is the single source of truth for how many nodes a full
 // 2^n configuration-space enumeration may have. Space, SpaceRange and the
 // phase-space builders (phasespace.MaxParallelNodes) all derive their caps
-// from this constant so the limits cannot drift apart. At the current value
-// a dense uint32 successor array weighs 2^26 × 4 B = 256 MiB, the
-// memory/throughput frontier of the configuration-parallel enumerator.
-const MaxEnumNodes = 26
+// from this constant so the limits cannot drift apart. The cap is set by
+// the streaming (table-free) classifier, which regenerates successors
+// blockwise and keeps ~5–6 bytes of classification state per
+// configuration: at the current value that is ~6 GiB of bitsets and
+// labels for 2^30 configurations. A dense uint32 successor array
+// (2^30 × 4 B = 4 GiB) is still buildable but no longer the frontier;
+// the builders switch to streaming automatically past the memory budget
+// (phasespace.BuildOptions).
+const MaxEnumNodes = 30
 
 // Space enumerates all 2^n configurations on n ≤ MaxEnumNodes nodes,
 // invoking visit with a reused Config for each index in increasing order.

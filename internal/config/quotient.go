@@ -30,10 +30,12 @@ import (
 
 // MaxQuotientNodes is the single source of truth for how many nodes a
 // symmetry-quotient phase-space enumeration may have. The quotient on n
-// nodes has ~2^n/(2n) classes, so n=32 stays within the uint32 ordinal
-// space the phase-space builders use (2^32/64 ≈ 67M representatives) at
-// roughly the memory footprint of a raw build at n=26.
-const MaxQuotientNodes = 32
+// nodes has ~2^n/(2n) classes, so n=34 stays within the uint32 ordinal
+// space the phase-space builders use (2^34/68 ≈ 253M representatives, a
+// ~1 GiB ordinal table) — with classification streamed past the memory
+// budget, the working set tracks the table rather than the dense
+// classifier arrays.
+const MaxQuotientNodes = 34
 
 // QuotientSize returns the number of dihedral (bracelet) classes of
 // {0,1}^n — the node count of a quotient phase space on n cells.

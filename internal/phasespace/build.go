@@ -405,7 +405,7 @@ func BuildParallelScalar(a *automaton.Automaton) *Parallel {
 		panic(errParallelCap(n))
 	}
 	total := uint64(1) << uint(n)
-	ps := &Parallel{n: n, succ: make([]uint32, total), workers: 1}
+	ps := newDenseParallel(n, make([]uint32, total), 1)
 	dst := config.New(n)
 	config.Space(n, func(idx uint64, c config.Config) {
 		a.Step(dst, c)
@@ -471,6 +471,71 @@ func (f *filler) sequentialRange(succ []uint32, lo, hi uint64) {
 				y &^= 1 << uint(i)
 			}
 			succ[base+uint64(i)] = uint32(y)
+		}
+	})
+}
+
+// lanePatterns[i] is the 64-lane word of bit i across the configurations of
+// any 64-aligned block: lane l holds bit i of base+l, independent of the
+// base for i < 6.
+var lanePatterns = [6]uint64{
+	0xAAAAAAAAAAAAAAAA, 0xCCCCCCCCCCCCCCCC, 0xF0F0F0F0F0F0F0F0,
+	0xFF00FF00FF00FF00, 0xFFFF0000FFFF0000, 0xFFFFFFFF00000000,
+}
+
+// laneWord returns the 64-lane word holding the current bit i of
+// configurations base..base+63 (base 64-aligned): the six low bits cycle
+// through lanePatterns, higher bits are constant across the block.
+func laneWord(i int, base uint64) uint64 {
+	if i < 6 {
+		return lanePatterns[i]
+	}
+	if base>>uint(i)&1 == 1 {
+		return ^uint64(0)
+	}
+	return 0
+}
+
+// sequentialFlipRange fills the flip-bitset rows of blocks [loB, hiB): for
+// block b and node i, lane l of the flip word is set iff updating node i
+// changes configuration 64b+l. The batch kernels deliver this directly —
+// the flip word is the node's next-state plane XOR the block's current-bit
+// lane word. Writes are confined to the rows of blocks loB..hiB-1 and are
+// idempotent (the supervisor's retry contract).
+func (f *filler) sequentialFlipRange(flips []uint32, total, loB, hiB uint64) {
+	n := f.a.N()
+	s := f.pool.Get().(*fillScratch)
+	defer f.pool.Put(s)
+	if s.bk != nil || s.gk != nil { // kernels imply n ≥ 6: every block is full
+		planes := s.planes
+		for b := loB; b < hiB; b++ {
+			base := b * sim.BatchLanes
+			if s.bk != nil {
+				s.bk.NodePlanes(base, planes)
+			} else {
+				s.gk.NodePlanes(base, planes)
+			}
+			row := b * 2 * uint64(n)
+			for i := 0; i < n; i++ {
+				w := planes[i] ^ laneWord(i, base)
+				flips[row+2*uint64(i)] = uint32(w)
+				flips[row+2*uint64(i)+1] = uint32(w >> 32)
+			}
+		}
+		return
+	}
+	lo, hi := loB*64, hiB*64
+	if hi > total {
+		hi = total
+	}
+	config.SpaceRange(n, lo, hi, func(idx uint64, c config.Config) {
+		row := (idx >> 6) * 2 * uint64(n)
+		l := idx & 63
+		for i := 0; i < n; i++ {
+			cur := idx >> uint(i) & 1
+			if uint64(s.st.NodeNext(c, i)) != cur {
+				flips[row+2*uint64(i)+l>>5] |= 1 << uint(l&31)
+			}
 		}
 	})
 }

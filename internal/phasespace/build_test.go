@@ -196,8 +196,8 @@ func TestConcurrentClassifierMatchesSerial(t *testing.T) {
 // TestCapsAgree pins the satellite requirement that every enumeration cap
 // derives from the single config-level constant.
 func TestCapsAgree(t *testing.T) {
-	if MaxParallelNodes != 26 {
-		t.Errorf("MaxParallelNodes = %d, want 26 (config.MaxEnumNodes)", MaxParallelNodes)
+	if MaxParallelNodes != 30 {
+		t.Errorf("MaxParallelNodes = %d, want 30 (config.MaxEnumNodes)", MaxParallelNodes)
 	}
 	if MaxSequentialNodes > MaxParallelNodes {
 		t.Errorf("MaxSequentialNodes %d exceeds MaxParallelNodes %d", MaxSequentialNodes, MaxParallelNodes)

@@ -46,6 +46,79 @@ type BuildOptions struct {
 	// 2^n configurations again. Memoized results share one read-only
 	// backing array.
 	Memoize bool
+	// Strategy selects dense tables vs table-free streaming; StrategyAuto
+	// (the zero value) picks dense while the dense build-and-classify
+	// peak fits MemoryBudget and streams past it.
+	Strategy Strategy
+	// MemoryBudget is the byte budget StrategyAuto compares dense peaks
+	// against; ≤ 0 selects DefaultMemoryBudget. It is advisory for the
+	// strategy choice only — explicit strategies ignore it, and the caps
+	// (MaxParallelNodes etc.) stay the hard admission gates.
+	MemoryBudget int64
+}
+
+// Strategy selects the phase-space storage mode.
+type Strategy uint8
+
+const (
+	// StrategyAuto picks dense when the dense footprint fits the memory
+	// budget, streaming otherwise.
+	StrategyAuto Strategy = iota
+	// StrategyDense forces materialized successor tables and the
+	// CSR-based classifier, whatever the size.
+	StrategyDense
+	// StrategyStream forces table-free builds: successors regenerated in
+	// blocks by the kernels, classification in bitsets. A streaming
+	// parallel build performs no up-front enumeration at all, so
+	// Checkpoint/Resume are no-ops for it (there is nothing durable to
+	// snapshot; classification recomputes after a restart).
+	StrategyStream
+)
+
+// DefaultMemoryBudget is the StrategyAuto dense-vs-streaming crossover
+// when BuildOptions.MemoryBudget is unset: 512 MiB keeps the dense path
+// for every space the pre-streaming caps admitted comfortably (parallel
+// n ≤ 24, sequential n ≤ 22) and streams beyond.
+const DefaultMemoryBudget = 512 << 20
+
+func (o BuildOptions) budgetBytes() uint64 {
+	if o.MemoryBudget > 0 {
+		return uint64(o.MemoryBudget)
+	}
+	return DefaultMemoryBudget
+}
+
+// denseParallelFootprint estimates the dense parallel peak: the 4-byte
+// successor table plus the concurrent classifier's seven word-sized
+// arrays (period, dist, basinID, in-degrees, CSR offsets/preds/cursor).
+func denseParallelFootprint(total uint64) uint64 { return total * 32 }
+
+// denseSequentialFootprint is the dense n×2^n sequential table; the
+// classification arrays (~10 bytes per state) are common to both modes
+// and excluded from the comparison.
+func denseSequentialFootprint(n int, total uint64) uint64 { return total * uint64(n) * 4 }
+
+// parallelStrategy resolves the effective strategy for a parallel build.
+func (o BuildOptions) parallelStrategy(total uint64) Strategy {
+	if o.Strategy != StrategyAuto {
+		return o.Strategy
+	}
+	if denseParallelFootprint(total) <= o.budgetBytes() {
+		return StrategyDense
+	}
+	return StrategyStream
+}
+
+// sequentialStrategy resolves the effective strategy for a sequential
+// build.
+func (o BuildOptions) sequentialStrategy(n int, total uint64) Strategy {
+	if o.Strategy != StrategyAuto {
+		return o.Strategy
+	}
+	if denseSequentialFootprint(n, total) <= o.budgetBytes() {
+		return StrategyDense
+	}
+	return StrategyStream
 }
 
 // campaignShardTarget aims the fixed grid at about this many shards for
@@ -213,17 +286,35 @@ func runBuildCampaign(ctx context.Context, opts BuildOptions, kind, fingerprint 
 func BuildParallelOpts(ctx context.Context, a *automaton.Automaton, opts BuildOptions) (*Parallel, error) {
 	n := a.N()
 	if n > MaxParallelNodes {
-		return nil, errors.New(errParallelCap(n))
+		return nil, errParallelCap(n)
 	}
 	workers := resolveWorkers(opts.Workers)
 	total := uint64(1) << uint(n)
 	fp := buildFingerprint("phasespace/parallel", a)
 	if opts.Memoize {
 		if tbl := buildMemo.get(fp); tbl != nil {
-			return &Parallel{n: n, succ: tbl, workers: workers}, nil
+			// A memoized table is already resident and shared, so the
+			// dense view is free regardless of the requested strategy.
+			return newDenseParallel(n, tbl, workers), nil
 		}
 	}
-	ps := &Parallel{n: n, succ: make([]uint32, total), workers: workers}
+	if opts.parallelStrategy(total) == StrategyStream {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		// Table-free: nothing is enumerated up front. Successors are
+		// regenerated blockwise by the kernels at classification time, so
+		// there is no campaign to supervise and nothing to checkpoint or
+		// memoize.
+		return &Parallel{
+			n:          n,
+			workers:    workers,
+			total:      total,
+			src:        newKernelSource(newFiller(a)),
+			streamMode: true,
+		}, nil
+	}
+	ps := newDenseParallel(n, make([]uint32, total), workers)
 	f := newFiller(a)
 	if opts.inlineEligible(workers, total) {
 		if err := ctx.Err(); err != nil {
@@ -252,10 +343,13 @@ func BuildParallelOpts(ctx context.Context, a *automaton.Automaton, opts BuildOp
 func BuildSequentialOpts(ctx context.Context, a *automaton.Automaton, opts BuildOptions) (*Sequential, error) {
 	n := a.N()
 	if n > MaxSequentialNodes {
-		return nil, errors.New(errSequentialCap(n))
+		return nil, errSequentialCap(n)
 	}
 	workers := resolveWorkers(opts.Workers)
 	total := uint64(1) << uint(n)
+	if opts.sequentialStrategy(n, total) == StrategyStream {
+		return buildSequentialStream(ctx, a, opts, workers, total)
+	}
 	fp := buildFingerprint("phasespace/sequential", a)
 	if opts.Memoize {
 		if tbl := buildMemo.get(fp); tbl != nil {
@@ -281,6 +375,44 @@ func BuildSequentialOpts(ctx context.Context, a *automaton.Automaton, opts Build
 	}
 	if opts.Memoize {
 		buildMemo.put(fp, ps.succ)
+	}
+	return ps, nil
+}
+
+// buildSequentialStream enumerates the flip-bitset representation: one bit
+// per (configuration, node) instead of a 4-byte successor entry. The
+// campaign grid runs over 64-configuration blocks (each block owns 2n
+// uint32 words — the lo/hi halves of its n lane words), so checkpoints,
+// resume, retries, and the memo all reuse the dense machinery on a
+// distinct campaign kind.
+func buildSequentialStream(ctx context.Context, a *automaton.Automaton, opts BuildOptions, workers int, total uint64) (*Sequential, error) {
+	n := a.N()
+	blocks := (total + 63) >> 6
+	fp := buildFingerprint("phasespace/sequential-stream", a)
+	if opts.Memoize {
+		if tbl := buildMemo.get(fp); tbl != nil {
+			return &Sequential{n: n, states: total, flips: tbl}, nil
+		}
+	}
+	ps := &Sequential{n: n, states: total, flips: make([]uint32, blocks*2*uint64(n))}
+	f := newFiller(a)
+	if opts.inlineEligible(workers, total) {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		f.sequentialFlipRange(ps.flips, total, 0, blocks)
+		if opts.Memoize {
+			buildMemo.put(fp, ps.flips)
+		}
+		return ps, nil
+	}
+	err := runBuildCampaign(ctx, opts, "phasespace/sequential-stream", fp,
+		blocks, ps.flips, 2*uint64(n), func(lo, hi uint64) { f.sequentialFlipRange(ps.flips, total, lo, hi) })
+	if err != nil {
+		return nil, err
+	}
+	if opts.Memoize {
+		buildMemo.put(fp, ps.flips)
 	}
 	return ps, nil
 }

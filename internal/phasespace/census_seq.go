@@ -49,27 +49,64 @@ func (s *Sequential) TakeCensus() SequentialCensus {
 // nondeterministic transition relation), computed by backward reachability
 // from the fixed points.
 func (s *Sequential) CanReachFixedPoint() []bool {
+	seed := make([]bool, s.Size())
+	for x := uint64(0); x < s.Size(); x++ {
+		seed[x] = s.IsFixedPoint(x)
+	}
+	return s.backwardReachable(seed)
+}
+
+// CanCycleForever returns, per configuration, whether some infinite update
+// sequence starting there changes state infinitely often — i.e. whether a
+// proper sequential cycle is reachable (forward) from the configuration.
+func (s *Sequential) CanCycleForever() []bool {
+	onCycle := make([]bool, s.Size())
+	for _, x := range s.ProperCycleStates() {
+		onCycle[x] = true
+	}
+	return s.backwardReachable(onCycle)
+}
+
+// backwardReachable computes the configurations that can reach the seed
+// set by some sequence of changing transitions, marking the seed itself.
+// The seed slice is extended in place and returned.
+//
+// A single-node update moves Hamming distance ≤ 1, so on a full
+// configuration space the predecessors of y all lie among {y ^ bit i}:
+// the BFS enumerates those n candidates per visit and never materializes
+// a reverse adjacency (the old per-state predecessor buckets cost ~8+
+// bytes per edge — more than the dense table itself). Quotient views live
+// on class ordinals where the Hamming-1 structure is folded away, so they
+// keep the bucketed scan.
+func (s *Sequential) backwardReachable(reach []bool) []bool {
 	total := s.Size()
-	// Build reverse adjacency over changing transitions.
-	// To stay memory-lean we do a backward BFS using a forward pass per
-	// frontier expansion: predecessors are found by scanning all edges once
-	// into buckets.
+	var queue []uint32
+	for x := uint64(0); x < total; x++ {
+		if reach[x] {
+			queue = append(queue, uint32(x))
+		}
+	}
+	if total == uint64(1)<<uint(s.n) {
+		for len(queue) > 0 {
+			y := uint64(queue[len(queue)-1])
+			queue = queue[:len(queue)-1]
+			for i := 0; i < s.n; i++ {
+				x := y ^ uint64(1)<<uint(i)
+				if !reach[x] && s.Successor(x, i) == y {
+					reach[x] = true
+					queue = append(queue, uint32(x))
+				}
+			}
+		}
+		return reach
+	}
 	preds := make([][]uint32, total)
 	for x := uint64(0); x < total; x++ {
-		base := x * uint64(s.n)
 		for i := 0; i < s.n; i++ {
-			y := uint64(s.succ[base+uint64(i)])
+			y := s.Successor(x, i)
 			if y != x {
 				preds[y] = append(preds[y], uint32(x))
 			}
-		}
-	}
-	reach := make([]bool, total)
-	var queue []uint32
-	for x := uint64(0); x < total; x++ {
-		if s.IsFixedPoint(x) {
-			reach[x] = true
-			queue = append(queue, uint32(x))
 		}
 	}
 	for len(queue) > 0 {
@@ -83,46 +120,4 @@ func (s *Sequential) CanReachFixedPoint() []bool {
 		}
 	}
 	return reach
-}
-
-// CanCycleForever returns, per configuration, whether some infinite update
-// sequence starting there changes state infinitely often — i.e. whether a
-// proper sequential cycle is reachable (forward) from the configuration.
-func (s *Sequential) CanCycleForever() []bool {
-	total := s.Size()
-	onCycle := make([]bool, total)
-	for _, x := range s.ProperCycleStates() {
-		onCycle[x] = true
-	}
-	// Forward reachability INTO the cycle set = backward reachability from
-	// the cycle set over reversed edges; reuse a reverse scan.
-	preds := make([][]uint32, total)
-	for x := uint64(0); x < total; x++ {
-		base := x * uint64(s.n)
-		for i := 0; i < s.n; i++ {
-			y := uint64(s.succ[base+uint64(i)])
-			if y != x {
-				preds[y] = append(preds[y], uint32(x))
-			}
-		}
-	}
-	can := make([]bool, total)
-	var queue []uint32
-	for x := uint64(0); x < total; x++ {
-		if onCycle[x] {
-			can[x] = true
-			queue = append(queue, uint32(x))
-		}
-	}
-	for len(queue) > 0 {
-		y := queue[len(queue)-1]
-		queue = queue[:len(queue)-1]
-		for _, x := range preds[y] {
-			if !can[x] {
-				can[x] = true
-				queue = append(queue, x)
-			}
-		}
-	}
-	return can
 }

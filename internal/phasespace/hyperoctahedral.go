@@ -63,7 +63,7 @@ func detectHyperocta(a *automaton.Automaton) (*hyperoctaSpec, error) {
 	}
 	d := bits.Len(uint(n)) - 1
 	if d > MaxHyperoctaDim {
-		return nil, fmt.Errorf("phasespace: hypercube quotient supports d ≤ %d, got d=%d", MaxHyperoctaDim, d)
+		return nil, fmt.Errorf("%w: hypercube quotient supports d ≤ %d, got d=%d", ErrTooLarge, MaxHyperoctaDim, d)
 	}
 	// The node set of Q_d: every node's neighbor set must be exactly its d
 	// bit-flips, optionally plus itself (with-memory), consistently.
@@ -261,7 +261,7 @@ func BuildHyperoctaParallelOpts(ctx context.Context, a *automaton.Automaton, opt
 	q := &HyperoctaParallel{spec: spec, group: group, reps: reps, orbit: orbit}
 	if opts.Memoize {
 		if tbl := buildMemo.get(fp); tbl != nil {
-			q.graph = &Parallel{n: spec.n, succ: tbl, workers: workers}
+			q.graph = newDenseParallel(spec.n, tbl, workers)
 			return q, nil
 		}
 	}
@@ -285,7 +285,7 @@ func BuildHyperoctaParallelOpts(ctx context.Context, a *automaton.Automaton, opt
 	if opts.Memoize {
 		buildMemo.put(fp, succ)
 	}
-	q.graph = &Parallel{n: spec.n, succ: succ, workers: workers}
+	q.graph = newDenseParallel(spec.n, succ, workers)
 	return q, nil
 }
 

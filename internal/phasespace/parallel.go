@@ -12,8 +12,10 @@ package phasespace
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sort"
+	"sync/atomic"
 
 	"repro/internal/automaton"
 	"repro/internal/config"
@@ -24,26 +26,56 @@ import (
 // enumeration cap config.MaxEnumNodes so the two limits cannot drift.
 const MaxParallelNodes = config.MaxEnumNodes
 
-func errParallelCap(n int) string {
-	return fmt.Sprintf("phasespace: %d nodes exceeds parallel enumeration cap %d", n, MaxParallelNodes)
+// ErrTooLarge wraps every "space exceeds an enumeration cap" error the
+// builders return, mirroring transfer.ErrTooLarge and
+// interleave.ErrTooLarge: callers branch with errors.Is(err, ErrTooLarge)
+// instead of recovering panics, which is what lets ca-serve degrade
+// gracefully on any cap miss.
+var ErrTooLarge = errors.New("phasespace: space exceeds enumeration caps")
+
+func errParallelCap(n int) error {
+	return fmt.Errorf("%w: %d nodes exceeds parallel enumeration cap %d", ErrTooLarge, n, MaxParallelNodes)
 }
 
-func errSequentialCap(n int) string {
-	return fmt.Sprintf("phasespace: %d nodes exceeds sequential enumeration cap %d", n, MaxSequentialNodes)
+func errSequentialCap(n int) error {
+	return fmt.Errorf("%w: %d nodes exceeds sequential enumeration cap %d", ErrTooLarge, n, MaxSequentialNodes)
 }
 
 // Parallel is the functional graph of a parallel CA's global map over all
-// 2^n configurations, with classification computed on demand.
+// 2^n configurations, with classification computed on demand. Two storage
+// modes share the type: dense (succ holds the materialized table) and
+// streaming (succ is nil; src regenerates successors in blocks and the
+// classifier keeps only bitsets plus a sparse cycle-id directory, with
+// per-state basin labels materialized lazily on the first basin query).
 type Parallel struct {
 	n       int
-	succ    []uint32 // succ[x] = F(x)
+	succ    []uint32 // succ[x] = F(x); nil in streaming mode
 	workers int      // worker count the builder ran with; classification reuses it
 
-	// lazily computed classification
+	total      uint64     // state count (== len(succ) when a table exists)
+	src        succSource // implicit successor function; always usable
+	streamMode bool       // classify with the table-free streaming phases
+
+	// lazily computed dense classification
 	period  []int32 // 0 until classified; ≥1 on the periodic part; -1 transient
 	dist    []int32 // transient distance to the periodic part (0 on it)
 	cycles  [][]uint64
 	basinID []int32 // cycle id per configuration; filled by the sharded classifier
+
+	// lazily computed streaming classification
+	stream *streamResult
+}
+
+// newDenseParallel wraps a materialized successor table, the storage mode
+// every pre-streaming builder produced.
+func newDenseParallel(n int, succ []uint32, workers int) *Parallel {
+	return &Parallel{
+		n:       n,
+		succ:    succ,
+		workers: workers,
+		total:   uint64(len(succ)),
+		src:     tableSource{succ: succ},
+	}
 }
 
 // BuildParallel enumerates F over the full configuration space of a
@@ -57,10 +89,16 @@ func BuildParallel(a *automaton.Automaton) *Parallel {
 func (p *Parallel) N() int { return p.n }
 
 // Size returns the number of configurations, 2^n.
-func (p *Parallel) Size() uint64 { return uint64(len(p.succ)) }
+func (p *Parallel) Size() uint64 { return p.total }
 
-// Successor returns F(x) as a configuration index.
-func (p *Parallel) Successor(x uint64) uint64 { return uint64(p.succ[x]) }
+// Successor returns F(x) as a configuration index. Streaming spaces
+// recompute it with the scalar kernel path.
+func (p *Parallel) Successor(x uint64) uint64 {
+	if p.succ != nil {
+		return uint64(p.succ[x])
+	}
+	return p.src.one(x)
+}
 
 // classify colors the functional graph: every configuration either lies on
 // a cycle (period recorded) or is transient (distance to the periodic part
@@ -80,11 +118,14 @@ func (p *Parallel) classify() {
 // background context; long-running campaigns call ClassifyCtx first so
 // an interrupt cannot strand them inside an O(2^n) traversal.
 func (p *Parallel) ClassifyCtx(ctx context.Context) error {
-	if p.period != nil {
+	if p.period != nil || p.stream != nil {
 		return nil
 	}
 	if err := ctx.Err(); err != nil {
 		return err
+	}
+	if p.streamMode {
+		return p.streamClassify(ctx)
 	}
 	if p.workers > 1 && len(p.succ) >= shardMinWork {
 		return p.classifyConcurrent(ctx, p.workers)
@@ -95,7 +136,7 @@ func (p *Parallel) ClassifyCtx(ctx context.Context) error {
 // resetClassification drops a partially computed classification so a
 // cancelled ClassifyCtx leaves the space as if never classified.
 func (p *Parallel) resetClassification() {
-	p.period, p.dist, p.basinID, p.cycles = nil, nil, nil, nil
+	p.period, p.dist, p.basinID, p.cycles, p.stream = nil, nil, nil, nil, nil
 }
 
 // classifySerial is the single-threaded path-walking classifier.
@@ -188,12 +229,24 @@ func canonicalizeCycle(ids []uint64) {
 }
 
 // IsFixedPoint reports whether x satisfies F(x) = x.
-func (p *Parallel) IsFixedPoint(x uint64) bool { return uint64(p.succ[x]) == x }
+func (p *Parallel) IsFixedPoint(x uint64) bool { return p.Successor(x) == x }
 
 // Period returns the cycle period of x if x lies on a cycle (1 for fixed
-// points), or 0 if x is transient.
+// points), or 0 if x is transient. Streaming spaces answer from the cycle
+// bitset, walking the (always short relative to classification) cycle to
+// measure its length.
 func (p *Parallel) Period(x uint64) int {
 	p.classify()
+	if p.stream != nil {
+		if !p.stream.onCycle.get(x) {
+			return 0
+		}
+		period := 1
+		for y := p.src.one(x); y != x; y = p.src.one(y) {
+			period++
+		}
+		return period
+	}
 	if p.period[x] < 0 {
 		return 0
 	}
@@ -201,21 +254,59 @@ func (p *Parallel) Period(x uint64) int {
 }
 
 // TransientDistance returns how many steps separate x from the periodic
-// part (0 if x lies on a cycle).
+// part (0 if x lies on a cycle). Streaming spaces walk forward to the
+// cycle bitset.
 func (p *Parallel) TransientDistance(x uint64) int {
 	p.classify()
+	if p.stream != nil {
+		d := 0
+		for y := x; !p.stream.onCycle.get(y); y = p.src.one(y) {
+			d++
+		}
+		return d
+	}
 	return int(p.dist[x])
 }
 
 // FixedPoints returns all fixed-point configuration indices, ascending.
+// Streaming spaces re-enumerate blockwise instead of reading a table.
 func (p *Parallel) FixedPoints() []uint64 {
+	if p.succ == nil {
+		var out []uint64
+		p.streamScan(func(x, fx uint64) {
+			if fx == x {
+				out = append(out, x)
+			}
+		})
+		return out
+	}
 	var out []uint64
 	for x := range p.succ {
-		if p.IsFixedPoint(uint64(x)) {
+		if uint64(p.succ[x]) == uint64(x) {
 			out = append(out, uint64(x))
 		}
 	}
 	return out
+}
+
+// streamScan evaluates F over the whole space serially in blocks, calling
+// visit(x, F(x)) in ascending x order — the streaming substitute for a
+// table scan where deterministic order matters.
+func (p *Parallel) streamScan(visit func(x, fx uint64)) {
+	ses := p.src.session()
+	defer ses.close()
+	var out [64]uint64
+	total := p.Size()
+	for base := uint64(0); base < total; base += 64 {
+		m := total - base
+		if m > 64 {
+			m = 64
+		}
+		ses.eval(base, &out)
+		for l := uint64(0); l < m; l++ {
+			visit(base+l, out[l])
+		}
+	}
 }
 
 // Cycles returns every cycle as a slice of configuration indices in orbit
@@ -250,9 +341,28 @@ func (p *Parallel) MaxPeriod() int {
 }
 
 // InDegrees returns the in-degree of every configuration under F. Spaces
-// built with multiple workers count concurrently with atomic adds.
+// built with multiple workers count concurrently with atomic adds;
+// streaming spaces re-enumerate successors blockwise.
 func (p *Parallel) InDegrees() []int32 {
-	deg := make([]int32, len(p.succ))
+	deg := make([]int32, p.Size())
+	if p.succ == nil {
+		shardRange(p.workers, p.Size(), func(lo, hi uint64) {
+			ses := p.src.session()
+			defer ses.close()
+			var out [64]uint64
+			for base := lo; base < hi; base += 64 {
+				m := hi - base
+				if m > 64 {
+					m = 64
+				}
+				ses.eval(base, &out)
+				for l := uint64(0); l < m; l++ {
+					atomic.AddInt32(&deg[out[l]], 1)
+				}
+			}
+		})
+		return deg
+	}
 	if p.workers > 1 && len(p.succ) >= shardMinWork {
 		p.inDegreesConcurrent(deg)
 		return deg
@@ -265,7 +375,19 @@ func (p *Parallel) InDegrees() []int32 {
 
 // GardenOfEden returns all configurations with no predecessor (in-degree 0):
 // states unreachable by any computation, only usable as initial conditions.
+// Streaming spaces answer from the classifier's predecessor bitset instead
+// of materializing in-degrees.
 func (p *Parallel) GardenOfEden() []uint64 {
+	if p.streamMode {
+		p.classify()
+		var out []uint64
+		for x := uint64(0); x < p.Size(); x++ {
+			if !p.stream.hasPred.get(x) {
+				out = append(out, x)
+			}
+		}
+		return out
+	}
 	deg := p.InDegrees()
 	var out []uint64
 	for x, d := range deg {
@@ -279,6 +401,15 @@ func (p *Parallel) GardenOfEden() []uint64 {
 // Predecessors returns all configurations y with F(y) = x, ascending — the
 // exact preimage set (empty for Garden-of-Eden states).
 func (p *Parallel) Predecessors(x uint64) []uint64 {
+	if p.succ == nil {
+		var out []uint64
+		p.streamScan(func(y, fy uint64) {
+			if fy == x {
+				out = append(out, y)
+			}
+		})
+		return out
+	}
 	var out []uint64
 	for y, fx := range p.succ {
 		if uint64(fx) == x {
@@ -293,6 +424,12 @@ func (p *Parallel) Predecessors(x uint64) []uint64 {
 // themselves.
 func (p *Parallel) BasinSizes() []uint64 {
 	p.classify()
+	if p.stream != nil {
+		st := p.streamBasins()
+		sizes := make([]uint64, len(st.sizes))
+		copy(sizes, st.sizes)
+		return sizes
+	}
 	if p.basinID != nil {
 		// The sharded classifier already attributed every configuration to
 		// its attractor; counting is a concurrent scan.
@@ -353,6 +490,11 @@ type Census struct {
 // workers scan concurrently (per-shard partial censuses merged at the end).
 func (p *Parallel) TakeCensus() Census {
 	p.classify()
+	if p.stream != nil {
+		// The streaming classifier computed the full census as it went;
+		// every field matches the dense scan below bit for bit.
+		return p.stream.census
+	}
 	c := Census{Nodes: p.n, Configs: p.Size()}
 	deg := p.InDegrees()
 	if p.workers > 1 && len(p.succ) >= shardMinWork {

@@ -47,12 +47,14 @@ import (
 //     quotient.
 
 // MaxQuotientSequentialNodes bounds quotient sequential enumeration (dense
-// n × R successor table; at the cap R ≈ 2^26/52, so the table is ≈ 135 MiB
-// — past the raw sequential cap of 20 by six nodes).
-const MaxQuotientSequentialNodes = 26
+// n × R successor table over class ordinals; at the cap R ≈ 2^28/56, so
+// the table is ≈ 520 MiB — past the raw sequential cap of 24 by four
+// nodes). The flip-bitset compression does not apply here: single-node
+// updates are Hamming-1 in configuration space, not in ordinal space.
+const MaxQuotientSequentialNodes = 28
 
-func errQuotientCap(n, cap int) string {
-	return fmt.Sprintf("phasespace: quotient space on %d nodes exceeds the cap of %d", n, cap)
+func errQuotientCap(n, cap int) error {
+	return fmt.Errorf("%w: quotient space on %d nodes exceeds the cap of %d", ErrTooLarge, n, cap)
 }
 
 // quotientSpec recognizes a as eligible for the symmetry-quotient engine:
@@ -113,7 +115,7 @@ func BuildQuotientParallelOpts(ctx context.Context, a *automaton.Automaton, opts
 	}
 	n := spec.n
 	if n > config.MaxQuotientNodes {
-		return nil, errors.New(errQuotientCap(n, config.MaxQuotientNodes))
+		return nil, errQuotientCap(n, config.MaxQuotientNodes)
 	}
 	kern, err := sim.NewWord(n, spec.k, spec.offsets)
 	if err != nil {
@@ -126,7 +128,7 @@ func BuildQuotientParallelOpts(ctx context.Context, a *automaton.Automaton, opts
 	q := &QuotientParallel{n: n, reps: reps, orbit: orbit, kern: kern}
 	if opts.Memoize {
 		if tbl := buildMemo.get(fp); tbl != nil {
-			q.graph = &Parallel{n: n, succ: tbl, workers: workers}
+			q.graph = newQuotientGraph(n, tbl, workers, opts)
 			return q, nil
 		}
 	}
@@ -151,8 +153,21 @@ func BuildQuotientParallelOpts(ctx context.Context, a *automaton.Automaton, opts
 	if opts.Memoize {
 		buildMemo.put(fp, succ)
 	}
-	q.graph = &Parallel{n: n, succ: succ, workers: workers}
+	q.graph = newQuotientGraph(n, succ, workers, opts)
 	return q, nil
+}
+
+// newQuotientGraph wraps the quotient successor table in a Parallel view.
+// The table itself is always retained (it is what makes a quotient a
+// quotient), but when the dense classifier's working arrays would outgrow
+// the memory budget the view classifies with the streaming phases instead
+// (BasinWeights materializes the per-class basin labels lazily).
+func newQuotientGraph(n int, succ []uint32, workers int, opts BuildOptions) *Parallel {
+	g := newDenseParallel(n, succ, workers)
+	if opts.parallelStrategy(uint64(len(succ))) == StrategyStream {
+		g.streamMode = true
+	}
+	return g
 }
 
 // BuildQuotientParallelCtx is BuildQuotientParallelOpts with only a
@@ -226,6 +241,41 @@ func (q *QuotientParallel) TakeCensus() Census {
 	g := q.graph
 	g.classify()
 	c := Census{Nodes: q.n, Configs: q.Size()}
+	if st := g.stream; st != nil {
+		// Streaming classification: transients/GoE come from the bitsets,
+		// the longest transient from the sweep depth (distance is constant
+		// on dihedral orbits, so the class-graph maximum is the full-space
+		// maximum), and incoming-transient flags per cycle id.
+		for r := range g.succ {
+			w := uint64(q.orbit[r])
+			if !st.onCycle.get(uint64(r)) {
+				c.Transients += w
+			}
+			if !st.hasPred.get(uint64(r)) {
+				c.GardenOfEden += w
+			}
+		}
+		c.MaxTransientLen = st.census.MaxTransientLen
+		for id, cyc := range g.cycles {
+			lift := q.liftCycle(cyc)
+			if lift.period == 1 {
+				c.FixedPoints += int(lift.weight)
+				continue
+			}
+			c.ProperCycles += int(lift.count)
+			c.CycleStates += lift.weight
+			if lift.period > c.MaxPeriod {
+				c.MaxPeriod = lift.period
+			}
+			if st.incoming[id] != 0 {
+				c.CyclesWithIncomingTransients += int(lift.count)
+			}
+		}
+		if c.MaxPeriod == 0 && c.FixedPoints > 0 {
+			c.MaxPeriod = 1
+		}
+		return c
+	}
 	deg := g.InDegrees()
 	for r := range g.succ {
 		w := uint64(q.orbit[r])
@@ -274,6 +324,14 @@ func (q *QuotientParallel) TakeCensus() Census {
 func (q *QuotientParallel) BasinWeights() []uint64 {
 	g := q.graph
 	g.classify()
+	if g.stream != nil {
+		st := g.streamBasins()
+		weights := make([]uint64, len(g.cycles))
+		for r := range g.succ {
+			weights[st.label[r]] += uint64(q.orbit[r])
+		}
+		return weights
+	}
 	cycleID := make([]int32, len(g.succ))
 	for i := range cycleID {
 		cycleID[i] = -1
@@ -324,7 +382,7 @@ func BuildQuotientSequentialOpts(ctx context.Context, a *automaton.Automaton, op
 	}
 	n := spec.n
 	if n > MaxQuotientSequentialNodes {
-		return nil, errors.New(errQuotientCap(n, MaxQuotientSequentialNodes))
+		return nil, errQuotientCap(n, MaxQuotientSequentialNodes)
 	}
 	kern, err := sim.NewWord(n, spec.k, spec.offsets)
 	if err != nil {

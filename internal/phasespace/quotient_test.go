@@ -275,9 +275,9 @@ func TestQuotientGateRejections(t *testing.T) {
 // enumeration cap and checks its internal Burnside accounting: the census
 // partitions all 2^n configurations.
 func TestQuotientBeyondRawCap(t *testing.T) {
-	n := 28
+	n := 31
 	if testing.Short() {
-		n = 22 // still past nothing, but keeps -short fast; the full run uses 28
+		n = 22 // still past nothing, but keeps -short fast; the full run uses 31
 	}
 	if n <= config.MaxEnumNodes && !testing.Short() {
 		t.Fatalf("test misconfigured: n=%d does not exceed MaxEnumNodes", n)

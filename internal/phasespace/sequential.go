@@ -4,20 +4,33 @@ import (
 	"repro/internal/automaton"
 )
 
-// MaxSequentialNodes bounds full sequential phase-space enumeration (dense
-// n × 2^n successor table; at the cap that is 20 × 2^20 uint32 ≈ 80 MiB,
-// comfortably inside the memory frontier set by config.MaxEnumNodes for the
-// parallel builder's flat 2^n table).
-const MaxSequentialNodes = 20
+// MaxSequentialNodes bounds full sequential phase-space enumeration. The
+// streaming (flip-bitset) representation stores one bit per (state, node)
+// pair instead of the dense table's 4 bytes — at the cap that is
+// 24 × 2^24 bits = 48 MiB against a 1.5 GiB dense table — so the cap is
+// set by classification working memory (~10 bytes per state), not by the
+// transition relation.
+const MaxSequentialNodes = 24
 
 // Sequential is the complete nondeterministic phase space of a sequential
 // CA: for every configuration x and node i, the configuration reached by
 // updating node i in x. It is the union, over all interleaving choices, of
 // all possible sequential computations (paper Fig. 1(b) drawn in full).
+//
+// Two storage modes share the type. Dense mode materializes succ[x*n+i].
+// Streaming (flip-bitset) mode exploits the Hamming-1 structure of
+// single-node updates: updating node i either fixes x or flips exactly
+// bit i, so the whole out-neighborhood of x is determined by n flip
+// bits — a 32× compression of the dense table. Flips are stored
+// block-major: the 64-configuration block b keeps one 64-bit lane word
+// per node i (lane l set ⟺ updating node i changes configuration
+// 64b+l), split into lo/hi uint32 pairs so the campaign checkpoint and
+// memo machinery (both built on []uint32) apply unchanged.
 type Sequential struct {
 	n      int
 	states uint64   // state count: 2^n for full spaces, the class count for quotient views
-	succ   []uint32 // succ[x*n + i] = x with node i updated
+	succ   []uint32 // dense mode: succ[x*n + i] = x with node i updated; nil in streaming mode
+	flips  []uint32 // streaming mode: flips[(b*n+i)*2] = lo word, +1 = hi word
 }
 
 // BuildSequential enumerates every single-node update over the full
@@ -33,21 +46,30 @@ func (s *Sequential) N() int { return s.n }
 // Size returns the number of states: 2^n for a full phase space, the
 // number of symmetry classes for a quotient view. Every classification
 // method below ranges over [0, Size()) and reads nothing but the successor
-// table, which is what lets the quotient engine reuse them on class
-// ordinals unchanged.
+// accessor, which is what lets the quotient engine reuse them on class
+// ordinals unchanged — and the flip-bitset mode substitute its packed
+// representation.
 func (s *Sequential) Size() uint64 { return s.states }
+
+// flipWord returns the 64-lane flip word of (block b, node i).
+func (s *Sequential) flipWord(b uint64, i int) uint64 {
+	at := (b*uint64(s.n) + uint64(i)) * 2
+	return uint64(s.flips[at]) | uint64(s.flips[at+1])<<32
+}
 
 // Successor returns the configuration reached from x by updating node i.
 func (s *Sequential) Successor(x uint64, i int) uint64 {
-	return uint64(s.succ[x*uint64(s.n)+uint64(i)])
+	if s.succ != nil {
+		return uint64(s.succ[x*uint64(s.n)+uint64(i)])
+	}
+	return x ^ ((s.flipWord(x>>6, i) >> (x & 63) & 1) << uint(i))
 }
 
 // IsFixedPoint reports whether every single-node update leaves x unchanged.
 // This coincides with the parallel notion of fixed point.
 func (s *Sequential) IsFixedPoint(x uint64) bool {
-	base := x * uint64(s.n)
 	for i := 0; i < s.n; i++ {
-		if uint64(s.succ[base+uint64(i)]) != x {
+		if s.Successor(x, i) != x {
 			return false
 		}
 	}
@@ -59,10 +81,9 @@ func (s *Sequential) IsFixedPoint(x uint64) bool {
 // "pseudo-fixed points" of Fig. 1(b), which some sequential computations fix
 // and others leave.
 func (s *Sequential) IsPseudoFixedPoint(x uint64) bool {
-	base := x * uint64(s.n)
 	selfLoop, change := false, false
 	for i := 0; i < s.n; i++ {
-		if uint64(s.succ[base+uint64(i)]) == x {
+		if s.Successor(x, i) == x {
 			selfLoop = true
 		} else {
 			change = true
@@ -127,7 +148,7 @@ func (s *Sequential) Acyclic() (witness []uint64, ok bool) {
 			}
 			i := f.next
 			f.next++
-			y := s.succ[uint64(f.x)*uint64(s.n)+uint64(i)]
+			y := uint32(s.Successor(uint64(f.x), i))
 			if y == f.x {
 				continue // self-loop: not a proper transition
 			}
@@ -190,7 +211,7 @@ func (s *Sequential) ProperCycleStates() []uint64 {
 			if f.edge < s.n {
 				i := f.edge
 				f.edge++
-				y := s.succ[uint64(f.x)*uint64(s.n)+uint64(i)]
+				y := uint32(s.Successor(uint64(f.x), i))
 				if y == f.x {
 					continue
 				}
@@ -247,9 +268,8 @@ func (s *Sequential) ReachableFrom(x uint64) []bool {
 	for len(stack) > 0 {
 		v := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
-		base := v * uint64(s.n)
 		for i := 0; i < s.n; i++ {
-			y := uint64(s.succ[base+uint64(i)])
+			y := s.Successor(v, i)
 			if !seen[y] {
 				seen[y] = true
 				stack = append(stack, y)
@@ -267,9 +287,8 @@ func (s *Sequential) Unreachable() []uint64 {
 	total := s.Size()
 	hasPred := make([]bool, total)
 	for x := uint64(0); x < total; x++ {
-		base := x * uint64(s.n)
 		for i := 0; i < s.n; i++ {
-			y := uint64(s.succ[base+uint64(i)])
+			y := s.Successor(x, i)
 			if y != x {
 				hasPred[y] = true
 			}
@@ -291,17 +310,15 @@ func (s *Sequential) TwoCycles() [][2]uint64 {
 	var out [][2]uint64
 	total := s.Size()
 	for x := uint64(0); x < total; x++ {
-		base := x * uint64(s.n)
 		seen := map[uint64]bool{}
 		for i := 0; i < s.n; i++ {
-			y := uint64(s.succ[base+uint64(i)])
+			y := s.Successor(x, i)
 			if y <= x || seen[y] { // report each pair once
 				continue
 			}
 			seen[y] = true
-			ybase := y * uint64(s.n)
 			for j := 0; j < s.n; j++ {
-				if uint64(s.succ[ybase+uint64(j)]) == x {
+				if s.Successor(y, j) == x {
 					out = append(out, [2]uint64{x, y})
 					break
 				}
@@ -316,9 +333,8 @@ func (s *Sequential) TwoCycles() [][2]uint64 {
 func (s *Sequential) Edges(visit func(x uint64, node int, y uint64)) {
 	total := s.Size()
 	for x := uint64(0); x < total; x++ {
-		base := x * uint64(s.n)
 		for i := 0; i < s.n; i++ {
-			visit(x, i, uint64(s.succ[base+uint64(i)]))
+			visit(x, i, s.Successor(x, i))
 		}
 	}
 }

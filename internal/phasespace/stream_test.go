@@ -1,0 +1,342 @@
+package phasespace
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+
+	"repro/internal/automaton"
+	"repro/internal/rule"
+	"repro/internal/runtime"
+	"repro/internal/space"
+)
+
+// The streaming classifier's contract is byte-identity with the dense
+// classifiers: identical censuses, cycle lists, basin sizes, and
+// Garden-of-Eden sets for every automaton and worker count. These tests
+// force StrategyStream at sizes where StrategyAuto would choose dense, so
+// every table-free code path runs under the ordinary suite (and under
+// -race in CI).
+
+func buildStreamParallel(t *testing.T, a *automaton.Automaton, workers int) *Parallel {
+	t.Helper()
+	p, err := BuildParallelOpts(context.Background(), a, BuildOptions{
+		Options:  runtime.Options{Workers: workers},
+		Strategy: StrategyStream,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.streamMode || p.succ != nil {
+		t.Fatal("StrategyStream produced a dense table")
+	}
+	return p
+}
+
+// compareParallel checks every classification surface of a streaming space
+// against its dense twin.
+func compareParallel(t *testing.T, name string, stream, dense *Parallel) {
+	t.Helper()
+	if sc, dc := stream.TakeCensus(), dense.TakeCensus(); sc != dc {
+		t.Errorf("%s: census mismatch:\nstream %+v\ndense  %+v", name, sc, dc)
+	}
+	if !reflect.DeepEqual(stream.Cycles(), dense.Cycles()) {
+		t.Errorf("%s: cycle lists differ", name)
+	}
+	if got, want := stream.BasinSizes(), dense.BasinSizes(); !reflect.DeepEqual(got, want) {
+		t.Errorf("%s: basin sizes %v, dense %v", name, got, want)
+	}
+	if got, want := stream.GardenOfEden(), dense.GardenOfEden(); !reflect.DeepEqual(got, want) {
+		t.Errorf("%s: Garden-of-Eden sets differ (%d vs %d states)", name, len(got), len(want))
+	}
+	if got, want := stream.FixedPoints(), dense.FixedPoints(); !reflect.DeepEqual(got, want) {
+		t.Errorf("%s: fixed points %v, dense %v", name, got, want)
+	}
+	if got, want := stream.InDegrees(), dense.InDegrees(); !reflect.DeepEqual(got, want) {
+		t.Errorf("%s: in-degrees differ", name)
+	}
+	// Spot-check the per-state queries on a deterministic sample.
+	total := dense.Size()
+	for x := uint64(0); x < total; x += 1 + total/97 {
+		if got, want := stream.Successor(x), dense.Successor(x); got != want {
+			t.Fatalf("%s: Successor(%d) = %d, dense %d", name, x, got, want)
+		}
+		if got, want := stream.Period(x), dense.Period(x); got != want {
+			t.Errorf("%s: Period(%d) = %d, dense %d", name, x, got, want)
+		}
+		if got, want := stream.TransientDistance(x), dense.TransientDistance(x); got != want {
+			t.Errorf("%s: TransientDistance(%d) = %d, dense %d", name, x, got, want)
+		}
+		if got, want := stream.Predecessors(x), dense.Predecessors(x); !reflect.DeepEqual(got, want) {
+			t.Errorf("%s: Predecessors(%d) = %v, dense %v", name, x, got, want)
+		}
+	}
+}
+
+// TestStreamVsDenseParallel is the tentpole differential: table-free
+// classification must match the dense classifiers on every kernel shape
+// (ring batch, CSR graph batch, scalar fallback, partial tail blocks at
+// n < 6) and worker count.
+func TestStreamVsDenseParallel(t *testing.T) {
+	cases := batchableCases(t)
+	for name, a := range fallbackCases(t) {
+		cases[name] = a
+	}
+	cases["tiny-ring-n3"] = automaton.MustNew(space.Ring(3, 1), rule.Majority(1))
+	cases["hypercube-d4"] = automaton.MustNew(space.Hypercube(4), rule.MajorityOf(5))
+	for _, workers := range []int{1, 4} {
+		for name, a := range cases {
+			stream := buildStreamParallel(t, a, workers)
+			dense := BuildParallelWorkers(a, workers)
+			compareParallel(t, name, stream, dense)
+		}
+	}
+}
+
+// TestStreamVsDenseSequential pins the flip-bitset sequential space to the
+// dense table on every shape: identical censuses, classifications, and
+// edge lists.
+func TestStreamVsDenseSequential(t *testing.T) {
+	cases := batchableCases(t)
+	for name, a := range fallbackCases(t) {
+		cases[name] = a
+	}
+	cases["tiny-ring-n3"] = automaton.MustNew(space.Ring(3, 1), rule.Majority(1))
+	for _, workers := range []int{1, 4} {
+		for name, a := range cases {
+			flip, err := BuildSequentialOpts(context.Background(), a, BuildOptions{
+				Options:  runtime.Options{Workers: workers},
+				Strategy: StrategyStream,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if flip.succ != nil || flip.flips == nil {
+				t.Fatalf("%s: StrategyStream produced a dense sequential table", name)
+			}
+			dense := BuildSequentialWorkers(a, workers)
+			if fc, dc := flip.TakeCensus(), dense.TakeCensus(); fc != dc {
+				t.Errorf("%s: sequential census mismatch:\nflip  %+v\ndense %+v", name, fc, dc)
+			}
+			if !reflect.DeepEqual(flip.FixedPoints(), dense.FixedPoints()) {
+				t.Errorf("%s: sequential fixed points differ", name)
+			}
+			if !reflect.DeepEqual(flip.PseudoFixedPoints(), dense.PseudoFixedPoints()) {
+				t.Errorf("%s: pseudo-fixed points differ", name)
+			}
+			fw, fok := flip.Acyclic()
+			dw, dok := dense.Acyclic()
+			if fok != dok || !reflect.DeepEqual(fw, dw) {
+				t.Errorf("%s: Acyclic() = (%v, %v), dense (%v, %v)", name, fw, fok, dw, dok)
+			}
+			type edge struct {
+				x, y uint64
+				i    int
+			}
+			var fe, de []edge
+			flip.Edges(func(x uint64, i int, y uint64) { fe = append(fe, edge{x, y, i}) })
+			dense.Edges(func(x uint64, i int, y uint64) { de = append(de, edge{x, y, i}) })
+			if !reflect.DeepEqual(fe, de) {
+				t.Errorf("%s: sequential edge lists differ", name)
+			}
+		}
+	}
+}
+
+// TestStreamSequentialCampaignAndMemo drives the flip build through the
+// supervised campaign path (hooks force the pool) and the memo round trip.
+func TestStreamSequentialCampaignAndMemo(t *testing.T) {
+	a := automaton.MustNew(space.Ring(13, 1), rule.Majority(1))
+	opts := BuildOptions{
+		Options:  runtime.Options{Workers: 4, OnEvent: func(runtime.Event) {}},
+		Strategy: StrategyStream,
+		Memoize:  true,
+	}
+	first, err := BuildSequentialOpts(context.Background(), a, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := BuildSequentialOpts(context.Background(), a, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.flips == nil {
+		t.Fatal("memo hit did not return a flip-bitset view")
+	}
+	if !reflect.DeepEqual(first.flips, second.flips) {
+		t.Fatal("memoized flip table differs from the built one")
+	}
+	dense := BuildSequentialWorkers(a, 1)
+	if fc, dc := first.TakeCensus(), dense.TakeCensus(); fc != dc {
+		t.Errorf("campaign flip census mismatch:\nflip  %+v\ndense %+v", fc, dc)
+	}
+}
+
+// TestStreamVsDenseQuotient forces the quotient graph onto the streaming
+// classifier and checks the lifted censuses and basin weights against the
+// dense quotient (whose own correctness is pinned to the raw space
+// elsewhere). Quotient totals are not multiples of 64, so this also covers
+// the padTail partial-block path.
+func TestStreamVsDenseQuotient(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		a    *automaton.Automaton
+	}{
+		{"maj-ring-n14", automaton.MustNew(space.Ring(14, 1), rule.Majority(1))},
+		{"or-ring-n13", automaton.MustNew(space.Ring(13, 1), rule.Threshold{K: 1})},
+		{"maj-r2-ring-n12", automaton.MustNew(space.Ring(12, 2), rule.Majority(2))},
+	} {
+		for _, workers := range []int{1, 4} {
+			qs, err := BuildQuotientParallelOpts(context.Background(), tc.a, BuildOptions{
+				Options:  runtime.Options{Workers: workers},
+				Strategy: StrategyStream,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !qs.graph.streamMode {
+				t.Fatalf("%s: quotient graph did not stream", tc.name)
+			}
+			qd, err := BuildQuotientParallelOpts(context.Background(), tc.a, BuildOptions{
+				Options:  runtime.Options{Workers: workers},
+				Strategy: StrategyDense,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if sc, dc := qs.TakeCensus(), qd.TakeCensus(); sc != dc {
+				t.Errorf("%s workers=%d: quotient census mismatch:\nstream %+v\ndense  %+v", tc.name, workers, sc, dc)
+			}
+			if got, want := qs.BasinWeights(), qd.BasinWeights(); !reflect.DeepEqual(got, want) {
+				t.Errorf("%s workers=%d: quotient basin weights %v, dense %v", tc.name, workers, got, want)
+			}
+			if !reflect.DeepEqual(qs.Cycles(), qd.Cycles()) {
+				t.Errorf("%s workers=%d: quotient cycle lists differ", tc.name, workers)
+			}
+		}
+	}
+}
+
+// TestStreamShardMinWorkBoundary pins the sizes that straddle the inline
+// vs. sharded threshold (2^12 = shardMinWork): one below, one at, one
+// above, each with enough workers that sharding genuinely engages.
+func TestStreamShardMinWorkBoundary(t *testing.T) {
+	for _, n := range []int{11, 12, 13} {
+		a := automaton.MustNew(space.Ring(n, 1), rule.Majority(1))
+		stream := buildStreamParallel(t, a, 4)
+		dense := BuildParallelWorkers(a, 4)
+		compareParallel(t, space.Ring(n, 1).Name(), stream, dense)
+	}
+}
+
+// TestStreamIdentityRule: eca:204 is the identity map, so every
+// configuration is a fixed point, no state has a transient, and the basin
+// reverse sweep must terminate on an empty first frontier.
+func TestStreamIdentityRule(t *testing.T) {
+	a := automaton.MustNew(space.Ring(10, 1), rule.Elementary(204))
+	p := buildStreamParallel(t, a, 4)
+	c := p.TakeCensus()
+	want := Census{Nodes: 10, Configs: 1024, FixedPoints: 1024, GardenOfEden: 0, MaxPeriod: 1}
+	if c != want {
+		t.Fatalf("identity census %+v, want %+v", c, want)
+	}
+	for _, s := range p.BasinSizes() {
+		if s != 1 {
+			t.Fatalf("identity basin of size %d", s)
+		}
+	}
+}
+
+// TestStreamConstantRule: threshold K=0 maps every configuration to
+// all-ones in one step — a single giant basin, the maximal Garden-of-Eden
+// set, and transients of length exactly 1.
+func TestStreamConstantRule(t *testing.T) {
+	a := automaton.MustNew(space.Ring(10, 1), rule.Threshold{K: 0})
+	p := buildStreamParallel(t, a, 4)
+	c := p.TakeCensus()
+	want := Census{
+		Nodes: 10, Configs: 1024, FixedPoints: 1,
+		Transients: 1023, GardenOfEden: 1023, MaxTransientLen: 1, MaxPeriod: 1,
+	}
+	if c != want {
+		t.Fatalf("constant-map census %+v, want %+v", c, want)
+	}
+	if sizes := p.BasinSizes(); len(sizes) != 1 || sizes[0] != 1024 {
+		t.Fatalf("constant-map basins %v, want one basin of 1024", sizes)
+	}
+}
+
+// TestStreamDoublingFallback feeds the classifier a functional graph whose
+// transient chain is far longer than the peel-round bound, forcing the
+// pointer-doubling fallback, and checks it against dense classification of
+// the same table.
+func TestStreamDoublingFallback(t *testing.T) {
+	const n = 12
+	total := uint64(1) << n
+	if int(total) <= streamPeelRounds(n) {
+		t.Fatalf("chain of %d cannot exceed the %d-round peel bound", total, streamPeelRounds(n))
+	}
+	// One chain 0 → 1 → … feeding a terminal 2-cycle.
+	succ := make([]uint32, total)
+	for x := uint64(0); x+1 < total; x++ {
+		succ[x] = uint32(x + 1)
+	}
+	succ[total-1] = uint32(total - 2)
+	stream := newDenseParallel(n, succ, 4)
+	stream.succ = nil // classification must not touch a table
+	stream.src = tableSource{succ: succ}
+	stream.streamMode = true
+	dense := newDenseParallel(n, succ, 1)
+	if sc, dc := stream.TakeCensus(), dense.TakeCensus(); sc != dc {
+		t.Fatalf("doubling-fallback census mismatch:\nstream %+v\ndense  %+v", sc, dc)
+	}
+	if !reflect.DeepEqual(stream.Cycles(), dense.Cycles()) {
+		t.Fatal("doubling-fallback cycle lists differ")
+	}
+	if !reflect.DeepEqual(stream.BasinSizes(), dense.BasinSizes()) {
+		t.Fatal("doubling-fallback basin sizes differ")
+	}
+}
+
+// TestStreamStrategyAuto pins the auto crossover: a space whose dense
+// footprint fits a generous budget stays dense, and the same space under a
+// starvation budget streams.
+func TestStreamStrategyAuto(t *testing.T) {
+	a := automaton.MustNew(space.Ring(12, 1), rule.Majority(1))
+	roomy, err := BuildParallelOpts(context.Background(), a, BuildOptions{MemoryBudget: 1 << 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if roomy.succ == nil {
+		t.Fatal("auto strategy streamed under a 1 GiB budget")
+	}
+	tight, err := BuildParallelOpts(context.Background(), a, BuildOptions{MemoryBudget: 1 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tight.succ != nil {
+		t.Fatal("auto strategy built a dense table under a 1 KiB budget")
+	}
+	compareParallel(t, "auto-crossover", tight, roomy)
+}
+
+// TestStreamBuilderErrors pins the ErrTooLarge convention on the streaming
+// builder paths (satellite: no panicking cap checks reachable from servers).
+func TestStreamBuilderErrors(t *testing.T) {
+	// Building over the cap must error (not panic) whatever the strategy.
+	big := automaton.MustNew(space.Ring(MaxParallelNodes+1, 1), rule.Majority(1))
+	for _, s := range []Strategy{StrategyAuto, StrategyDense, StrategyStream} {
+		_, err := BuildParallelOpts(context.Background(), big, BuildOptions{Strategy: s})
+		if !errors.Is(err, ErrTooLarge) {
+			t.Errorf("strategy %d: over-cap parallel build returned %v, want ErrTooLarge", s, err)
+		}
+	}
+	seqBig := automaton.MustNew(space.Ring(MaxSequentialNodes+1, 1), rule.Majority(1))
+	for _, s := range []Strategy{StrategyAuto, StrategyDense, StrategyStream} {
+		_, err := BuildSequentialOpts(context.Background(), seqBig, BuildOptions{Strategy: s})
+		if !errors.Is(err, ErrTooLarge) {
+			t.Errorf("strategy %d: over-cap sequential build returned %v, want ErrTooLarge", s, err)
+		}
+	}
+}

@@ -160,7 +160,8 @@ func (s *Server) buildOpts() phasespace.BuildOptions {
 			Backoff: s.cfg.Backoff,
 			OnEvent: s.runtimeStats.Observe,
 		},
-		Memoize: true,
+		Memoize:      true,
+		MemoryBudget: s.cfg.MemBudget,
 	}
 	if s.plan != nil {
 		o.Hooks = s.plan

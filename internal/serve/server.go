@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"repro/internal/faultinject"
+	"repro/internal/phasespace"
 	"repro/internal/runtime"
 	"repro/internal/transfer"
 )
@@ -48,6 +49,10 @@ type Config struct {
 	// Faults, when non-nil, injects deterministic request-path (http:...)
 	// and build-shard (panic/error/delay/seed) faults.
 	Faults *faultinject.Plan
+	// MemBudget is the per-build dense-vs-streaming crossover passed to the
+	// phase-space builders (0 = phasespace.DefaultMemoryBudget): builds
+	// whose dense tables would exceed it run table-free.
+	MemBudget int64
 }
 
 // Server is one ca-serve instance.
@@ -317,7 +322,7 @@ func (s *Server) writeQueryError(w http.ResponseWriter, err error) {
 		writeError(w, http.StatusServiceUnavailable, err)
 	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
 		writeError(w, http.StatusGatewayTimeout, err)
-	case errors.Is(err, ErrOverCap), errors.Is(err, transfer.ErrTooLarge):
+	case errors.Is(err, ErrOverCap), errors.Is(err, transfer.ErrTooLarge), errors.Is(err, phasespace.ErrTooLarge):
 		writeError(w, http.StatusUnprocessableEntity, err)
 	case errors.As(err, &unproc):
 		writeError(w, http.StatusUnprocessableEntity, err)

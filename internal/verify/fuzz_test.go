@@ -179,6 +179,24 @@ func FuzzClassifyConcurrentVsSerial(f *testing.F) {
 	})
 }
 
+// FuzzStreamVsDense pins the table-free streaming classifier (and the
+// flip-bitset sequential space) to the dense classifiers on fuzzer-chosen
+// automata and worker counts: censuses, cycle lists, basin sizes and
+// Garden-of-Eden sets must be byte-identical. Ring sizes 12–14 keep 2^n
+// past the sharding threshold so the concurrent streaming phases engage.
+func FuzzStreamVsDense(f *testing.F) {
+	f.Add(uint8(12), uint8(1), uint8(2), uint8(4))
+	f.Add(uint8(13), uint8(2), uint8(3), uint8(2))
+	f.Add(uint8(14), uint8(1), uint8(0), uint8(6))
+	f.Fuzz(func(t *testing.T, nb, rb, kb, wb uint8) {
+		cs := foldCase(nb, rb, kb, 12, 14, 2)
+		workers := 1 + int(wb)%8
+		if cex := StreamDenseAgree(cs, workers); cex != nil {
+			t.Fatalf("streaming and dense classifiers diverge: %s", cex)
+		}
+	})
+}
+
 // FuzzCanonicalDihedral cross-checks the branchless canonicalization
 // kernels (the basis of the symmetry-quotient phase-space engine) against
 // a literal walk over all 2n dihedral images: the canonical form must be

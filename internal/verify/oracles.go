@@ -1,11 +1,13 @@
 package verify
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
 	"repro/internal/config"
 	"repro/internal/phasespace"
+	"repro/internal/runtime"
 	"repro/internal/sim"
 )
 
@@ -154,6 +156,60 @@ func SequentialBuildersAgree(cs Case, workers int) *Counterexample {
 	if fok != rok {
 		return cs.counterexample(fmt.Sprintf(
 			"acyclicity verdict mismatch: workers=%d %v, scalar %v", workers, fok, rok))
+	}
+	return nil
+}
+
+// StreamDenseAgree pins the table-free (streaming) classifiers to the
+// dense ones on one case: parallel census, cycle list, basin sizes and
+// Garden-of-Eden set, plus the flip-bitset sequential census, must all be
+// byte-identical to their dense twins.
+func StreamDenseAgree(cs Case, workers int) *Counterexample {
+	a := cs.Automaton()
+	ctx := context.Background()
+	streamOpts := phasespace.BuildOptions{
+		Options:  runtime.Options{Workers: workers},
+		Strategy: phasespace.StrategyStream,
+	}
+	sp, err := phasespace.BuildParallelOpts(ctx, a, streamOpts)
+	if err != nil {
+		return cs.counterexample(fmt.Sprintf("streaming parallel build: %v", err))
+	}
+	dp := phasespace.BuildParallelWorkers(a, workers)
+	if sc, dc := sp.TakeCensus(), dp.TakeCensus(); sc != dc {
+		return cs.counterexample(fmt.Sprintf(
+			"streaming census %+v, dense %+v (workers=%d)", sc, dc, workers))
+	}
+	scy, dcy := sp.Cycles(), dp.Cycles()
+	if len(scy) != len(dcy) {
+		return cs.counterexample(fmt.Sprintf(
+			"streaming found %d cycles, dense %d", len(scy), len(dcy)))
+	}
+	for i := range scy {
+		if len(scy[i]) != len(dcy[i]) || scy[i][0] != dcy[i][0] {
+			return cs.counterexample(fmt.Sprintf("cycle %d differs between streaming and dense", i))
+		}
+	}
+	sb, db := sp.BasinSizes(), dp.BasinSizes()
+	for i := range sb {
+		if sb[i] != db[i] {
+			return cs.counterexample(fmt.Sprintf(
+				"basin %d: streaming %d states, dense %d", i, sb[i], db[i]))
+		}
+	}
+	sg, dg := sp.GardenOfEden(), dp.GardenOfEden()
+	if len(sg) != len(dg) {
+		return cs.counterexample(fmt.Sprintf(
+			"streaming %d Garden-of-Eden states, dense %d", len(sg), len(dg)))
+	}
+	ss, err := phasespace.BuildSequentialOpts(ctx, a, streamOpts)
+	if err != nil {
+		return cs.counterexample(fmt.Sprintf("flip-bitset sequential build: %v", err))
+	}
+	ds := phasespace.BuildSequentialWorkers(a, workers)
+	if sc, dc := ss.TakeCensus(), ds.TakeCensus(); sc != dc {
+		return cs.counterexample(fmt.Sprintf(
+			"flip-bitset sequential census %+v, dense %+v (workers=%d)", sc, dc, workers))
 	}
 	return nil
 }
